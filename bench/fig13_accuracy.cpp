@@ -1,0 +1,88 @@
+// Figure 13: accuracy of the optimized mixed-precision implementation.
+//
+// The paper runs the same water case on an x86 Xeon (GROMACS 5.1.5, mixed
+// precision) and on SW_GROMACS for 500,000 steps and overlays total energy
+// and temperature: the trajectories differ (different accumulation orders in
+// float), but the series stay in the same statistical band.
+//
+// We reproduce with two *implementations* of the same physics: the reference
+// kernel path ("x86") and the full Mark strategy ("opt4"), 4,000 steps at
+// 2 fs (scaled from 500,000), sampled every 100. The reproduction target is
+// the bounded deviation of the means/spreads, not per-step agreement
+// (dynamics are chaotic).
+#include <cmath>
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+std::vector<md::EnergySample> run(core::Strategy s, int steps) {
+  md::System sys = bench::water_particles(1152);  // ~ the paper's 0.9K case
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(s, cg);
+  core::CpePairList pl(cg);
+  md::SimOptions opt;
+  opt.nstenergy = 100;
+  opt.integ.thermostat = true;
+  opt.integ.t_ref = 300.0;
+  opt.integ.tau_t = 0.1;
+  // 1 fs step: our iterative SHAKE dissipates at the water case's usual
+  // 2 fs (GROMACS' analytic SETTLE does not); the comparison needs both
+  // implementations at a step where the thermostat holds 300 K.
+  opt.integ.dt = 0.001;
+  md::Simulation sim(std::move(sys), opt, *sr, pl);
+  sim.run(steps);
+  return sim.energy_series();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 13: energy & temperature, opt4 vs reference");
+  constexpr int kSteps = 4000;
+
+  const auto ref = run(core::Strategy::Ori, kSteps);   // "knl_*" series
+  const auto opt = run(core::Strategy::Mark, kSteps);  // "opt4_*" series
+
+  Table t({"step", "ref E_total", "opt4 E_total", "ref T (K)", "opt4 T (K)"});
+  for (std::size_t i = 0; i < ref.size(); i += 4) {
+    t.add_row({std::to_string(ref[i].step), Table::num(ref[i].e_total(), 1),
+               Table::num(opt[i].e_total(), 1), Table::num(ref[i].temperature, 1),
+               Table::num(opt[i].temperature, 1)});
+  }
+  t.print(std::cout, "(every 400th step shown; full series sampled each 100)");
+
+  // Statistical comparison over the equilibrated second half.
+  auto tail_stats = [](const std::vector<md::EnergySample>& s, bool energy) {
+    std::vector<double> xs;
+    for (std::size_t i = s.size() / 2; i < s.size(); ++i) {
+      xs.push_back(energy ? s[i].e_total() : s[i].temperature);
+    }
+    return summarize(xs);
+  };
+  const Summary re = tail_stats(ref, true), oe = tail_stats(opt, true);
+  const Summary rt = tail_stats(ref, false), ot = tail_stats(opt, false);
+
+  std::cout << "\nEquilibrated tail (last " << ref.size() / 2 << " samples):\n";
+  std::cout << "  E_total: ref " << Table::num(re.mean, 1) << " +- "
+            << Table::num(re.stddev, 1) << "  opt4 " << Table::num(oe.mean, 1)
+            << " +- " << Table::num(oe.stddev, 1) << "  (mean deviation "
+            << Table::pct(std::abs(re.mean - oe.mean) / std::abs(re.mean))
+            << ")\n";
+  std::cout << "  T:       ref " << Table::num(rt.mean, 1) << " +- "
+            << Table::num(rt.stddev, 1) << "  opt4 " << Table::num(ot.mean, 1)
+            << " +- " << Table::num(ot.stddev, 1) << "  (mean deviation "
+            << Table::num(std::abs(rt.mean - ot.mean), 2) << " K)\n";
+
+  const bool ok_e = std::abs(re.mean - oe.mean) <
+                    3.0 * (re.stddev + oe.stddev) + 0.005 * std::abs(re.mean);
+  const bool ok_t = std::abs(rt.mean - ot.mean) < 3.0 * (rt.stddev + ot.stddev);
+  std::cout << "\nDeviation contained (paper: 'the deviation could be "
+               "contained in a certain range'): "
+            << (ok_e && ok_t ? "YES" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the per-figure benchmark binaries.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "core/sw_short_range.hpp"
+#include "md/simulation.hpp"
+#include "md/water.hpp"
+
+namespace swgmx::bench {
+
+/// Water box by particle count (3 particles per molecule), Table 3 defaults.
+inline md::System water_particles(std::size_t nparticles,
+                                  md::CoulombMode mode = md::CoulombMode::ReactionField,
+                                  unsigned seed = 1) {
+  md::WaterBoxOptions o;
+  o.nmol = nparticles / 3;
+  o.coulomb = mode;
+  o.seed = seed;
+  return md::make_water_box(o);
+}
+
+/// One short-range force invocation of a strategy; returns simulated seconds.
+struct ForceRun {
+  double seconds = 0.0;
+  md::NbEnergies e;
+  sw::PerfCounters counters;
+};
+
+inline ForceRun run_force(md::ShortRangeBackend& be, const md::System& sys) {
+  md::ClusterSystem cs(sys, be.wants_layout());
+  md::ClusterPairList list;
+  build_pairlist(cs, sys.box, static_cast<float>(sys.ff->rlist()),
+                 be.wants_half_list(), list);
+  AlignedVector<Vec3f> f(cs.nslots(), Vec3f{});
+  const md::NbParams p = make_nb_params(*sys.ff);
+  ForceRun r;
+  r.seconds = be.compute(cs, sys.box, list, p, f, r.e);
+  return r;
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace swgmx::bench

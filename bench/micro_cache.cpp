@@ -1,0 +1,64 @@
+// google-benchmark microbenches for the software caches' host overhead
+// (the simulator's own speed, not the simulated chip's).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/packed.hpp"
+#include "core/read_cache.hpp"
+#include "core/write_cache.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+struct Rec {
+  float v[16];
+};
+
+void BM_ReadCacheHit(benchmark::State& state) {
+  const sw::SwConfig cfg;
+  sw::LdmArena ldm(cfg.ldm_bytes);
+  sw::CpeContext ctx(0, cfg, ldm);
+  std::vector<Rec> mem(4096);
+  core::ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 32, 2);
+  (void)cache.get(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(100));
+  }
+}
+BENCHMARK(BM_ReadCacheHit);
+
+void BM_ReadCacheRandom(benchmark::State& state) {
+  const sw::SwConfig cfg;
+  sw::LdmArena ldm(cfg.ldm_bytes);
+  sw::CpeContext ctx(0, cfg, ldm);
+  std::vector<Rec> mem(4096);
+  core::ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 32, 2);
+  Rng rng(3);
+  std::vector<std::size_t> idx(1024);
+  for (auto& i : idx) i = rng.below(4096);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(idx[k++ & 1023]));
+  }
+}
+BENCHMARK(BM_ReadCacheRandom);
+
+void BM_WriteCacheAdd(benchmark::State& state) {
+  const sw::SwConfig cfg;
+  sw::LdmArena ldm(cfg.ldm_bytes);
+  sw::CpeContext ctx(0, cfg, ldm);
+  core::ForceCopySet copies(1, 64);
+  core::ForceWriteCache wc(ctx, copies, 0, 16, true);
+  Rng rng(4);
+  std::vector<std::size_t> slots(1024);
+  for (auto& s : slots) s = rng.below(64 * core::kParticlesPerLine);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    wc.add(slots[k++ & 1023], {1.f, 2.f, 3.f});
+  }
+  wc.flush();
+}
+BENCHMARK(BM_WriteCacheAdd);
+
+}  // namespace

@@ -1,0 +1,38 @@
+// google-benchmark microbenches for the FFT substrate (host wall-clock).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft3d.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+void BM_Fft1D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<fft::cplx> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    auto y = x;
+    fft::forward(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1D)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_Fft3D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fft::Grid3D g(n, n, n);
+  Rng rng(2);
+  for (auto& v : g.flat()) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    g.forward();
+    g.inverse();
+    benchmark::DoNotOptimize(g.flat().data());
+  }
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// google-benchmark microbenches for §3.7's formatting claim: the custom
+// float->chars converter vs the C standard library, measured on the host.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "io/fast_format.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+std::vector<double> values() {
+  Rng rng(3);
+  std::vector<double> v(4096);
+  for (auto& x : v) x = rng.uniform(-100.0, 100.0);
+  return v;
+}
+
+void BM_SnprintfFixed(benchmark::State& state) {
+  const auto vals = values();
+  char buf[64];
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::snprintf(buf, sizeof(buf), "%8.3f", vals[i++ & 4095]);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_SnprintfFixed);
+
+void BM_FastFormatFixed(benchmark::State& state) {
+  const auto vals = values();
+  char buf[64];
+  std::size_t i = 0;
+  for (auto _ : state) {
+    io::format_fixed_width(vals[i++ & 4095], 3, 8, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_FastFormatFixed);
+
+void BM_SnprintfInt(benchmark::State& state) {
+  char buf[32];
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v++));
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_SnprintfInt);
+
+void BM_FastFormatInt(benchmark::State& state) {
+  char buf[32];
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    io::format_int(v++, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_FastFormatInt);
+
+}  // namespace

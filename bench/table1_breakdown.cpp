@@ -1,0 +1,90 @@
+// Table 1: time share of each kernel of the (original, MPE-only) GROMACS
+// workflow, in two cases.
+//
+// Paper reference:                     Case 1 (48k, 1 CG)   Case 2 (3M, 512 CG)
+//   Domain decomp.                       -                    0.7%
+//   Neighbor search                      2.5%                 2.3%
+//   Force                               95.5%                74.8%
+//   Wait + comm. F                       -                    1.1%
+//   NB X/F buffer ops                    0.1%                 0.2%
+//   Update                               0.3%                 0.2%
+//   Constraints                          0.6%                 1.7%
+//   Comm. energies                       -                   18.7%
+//   Write traj                           0.5%                 0.1%
+//
+// Scaled cases (1-core host): Case 1 = 12k particles on 1 CG, Case 2 = 48k
+// particles on 64 CGs (ratios, not absolutes, are the target).
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "io/traj.hpp"
+#include "net/parallel_sim.hpp"
+#include "pme/pme.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+void print_config() {
+  Table t({"Key Variable", "Value"});
+  t.add_row({"particles number", "12K / 48K (paper: 0.9K - 3,000K)"});
+  t.add_row({"nstlist", "10"});
+  t.add_row({"ns_type", "grid"});
+  t.add_row({"coulombtype", "PME"});
+  t.add_row({"rlist", "1.0 (+0.1 verlet buffer)"});
+  t.add_row({"cutoff scheme", "verlet"});
+  t.print(std::cout, "Benchmark parameters (Table 3):");
+}
+
+sw::PhaseTimers run_case(std::size_t particles, int ranks, int steps) {
+  md::System sys =
+      bench::water_particles(particles, md::CoulombMode::EwaldShort);
+  pme::PmeSolver pme(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+  sw::CoreGroup cg;
+  // Table 1 profiles the unported code: Ori force + MPE list generation.
+  md::MpeShortRange sr(cg);
+  md::MpePairList pl(cg);
+  io::ModelTrajSink traj(/*fast=*/false);
+
+  net::ParallelOptions opt;
+  opt.nranks = ranks;
+  opt.sim.nstxout = 20;
+  opt.sim.nstenergy = 0;
+  net::ParallelSim sim(std::move(sys), opt, sr, pl, &pme, &traj);
+  sim.run(steps);
+  return sim.timers();
+}
+
+void print_breakdown(const char* title, const sw::PhaseTimers& t) {
+  const double total = t.total();
+  Table out({"Kernel", "share", "sim seconds"});
+  const char* order[] = {md::phase::kDomainDecomp, md::phase::kNeighborSearch,
+                         md::phase::kForce,        md::phase::kWaitCommF,
+                         md::phase::kBufferOps,    md::phase::kUpdate,
+                         md::phase::kConstraints,  md::phase::kCommEnergies,
+                         md::phase::kWriteTraj,    md::phase::kRest};
+  for (const char* ph : order) {
+    const double s = t.get(ph);
+    out.add_row({ph, s == 0.0 ? "NULL" : Table::pct(s / total),
+                 Table::num(s * 1e3, 3) + " ms"});
+  }
+  out.print(std::cout, title);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 1: kernel time ratio of the original workflow");
+  print_config();
+
+  std::cout << '\n';
+  print_breakdown("Case 1 (12K particles, 1 CG; paper: 48K, 1 CG):",
+                  run_case(12000, 1, 20));
+  std::cout << '\n';
+  print_breakdown("Case 2 (48K particles, 64 CG; paper: 3M, 512 CG):",
+                  run_case(48000, 64, 20));
+
+  std::cout << "\nPaper: Case 1 Force 95.5%, Neighbor search 2.5%; Case 2 "
+               "Force 74.8%, Comm. energies 18.7%.\n";
+  return 0;
+}

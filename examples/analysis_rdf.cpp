@@ -1,0 +1,76 @@
+// Analysis pipeline example: minimize a fresh water box, equilibrate with a
+// thermostat, then measure the O-O radial distribution function, the
+// mean-squared displacement and the velocity autocorrelation — the
+// observables that tell you the simulated water actually behaves like a
+// liquid.
+//
+//   ./analysis_rdf [molecules] [production_steps]
+#include <cstdio>
+#include <iostream>
+
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "md/analysis.hpp"
+#include "md/minimize.hpp"
+#include "md/simulation.hpp"
+#include "md/water.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swgmx;
+  const std::size_t nmol = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 400;
+
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+
+  md::System sys = md::make_water_box({.nmol = nmol});
+  std::cout << "1) minimizing " << sys.size() << " particles... ";
+  const md::MinimizeResult mr = md::minimize(sys, *sr, pl, {.max_steps = 60});
+  std::cout << "E " << mr.e_initial << " -> " << mr.e_final << " kJ/mol in "
+            << mr.steps << " steps\n";
+
+  md::SimOptions opt;
+  opt.integ.thermostat = true;
+  opt.integ.t_ref = 300.0;
+  opt.integ.tau_t = 0.05;
+  opt.integ.dt = 0.001;
+  opt.nstenergy = 0;
+  md::Simulation sim(std::move(sys), opt, *sr, pl);
+
+  std::cout << "2) equilibrating 200 steps...\n";
+  sim.run(200);
+
+  std::cout << "3) production (" << steps << " steps) with analysis...\n";
+  md::Rdf rdf(45, 0.9, /*O*/ 0, /*O*/ 0);
+  md::Msd msd(sim.system());
+  md::Vacf vacf(sim.system());
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    if (s % 10 == 9) rdf.accumulate(sim.system());
+    msd.accumulate(sim.system());
+    vacf.accumulate(sim.system());
+  }
+
+  const auto curve = rdf.finalize();
+  std::cout << "\nO-O radial distribution function:\n   r(nm)   g(r)\n";
+  for (std::size_t b = 4; b < curve.r.size(); b += 2) {
+    std::printf("  %6.3f  %6.2f %s\n", curve.r[b], curve.g[b],
+                std::string(static_cast<std::size_t>(curve.g[b] * 12.0), '#')
+                    .c_str());
+  }
+  std::cout << "first coordination peak at " << rdf.peak_position()
+            << " nm (experimental water: ~0.28 nm)\n";
+
+  // Self-diffusion estimate from the MSD slope (Einstein relation).
+  const auto& m = msd.series();
+  const double dt_ps = opt.integ.dt;
+  const double slope =
+      (m.back() - m[m.size() / 2]) /
+      (static_cast<double>(m.size() - m.size() / 2) * dt_ps);
+  std::cout << "MSD(final) " << m.back() << " nm^2; D ~ " << slope / 6.0
+            << " nm^2/ps (experimental: ~2.3e-3)\n";
+  std::cout << "VACF decayed to " << vacf.series().back() << " after "
+            << steps * dt_ps << " ps\n";
+  return 0;
+}

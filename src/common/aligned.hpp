@@ -1,0 +1,58 @@
+// 128-bit-aligned storage, per §3.7 of the paper ("we make the address of all
+// parameters and arrays in the alignment of 128 bit").
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace swgmx {
+
+/// Alignment used for all bulk particle arrays (128 bit, matching the
+/// SW26010 DMA-friendly alignment the paper imposes).
+inline constexpr std::size_t kSwAlignment = 16;
+
+/// std::allocator drop-in that over-aligns to kSwAlignment.
+template <typename T, std::size_t Align = kSwAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  /// Explicit rebind: required because of the non-type Align parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept { return true; }
+
+ private:
+  // aligned_alloc requires size to be a multiple of alignment.
+  static constexpr std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+/// Vector whose data() is 128-bit aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True if p satisfies the library-wide alignment contract.
+inline bool is_sw_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kSwAlignment == 0;
+}
+
+}  // namespace swgmx

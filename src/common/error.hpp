@@ -1,0 +1,45 @@
+// Error handling helpers shared by all swgmx modules.
+//
+// We throw std::runtime_error on contract violations instead of aborting so
+// tests can assert on failure paths (LDM overflow, bad cache geometry, ...).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swgmx {
+
+/// Exception type for all library-detected contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace swgmx
+
+/// Always-on invariant check (never compiled out: these guard simulator
+/// contracts like LDM budgets, not hot inner loops).
+#define SWGMX_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::swgmx::detail::raise(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SWGMX_CHECK_MSG(expr, msg)                                  \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream os_;                                       \
+      os_ << msg;                                                   \
+      ::swgmx::detail::raise(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace swgmx {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  double sum = 0.0, sum2 = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum2 += x * x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  const double var = sum2 / static_cast<double>(xs.size()) - s.mean * s.mean;
+  s.stddev = std::sqrt(std::max(0.0, var));
+  return s;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  SWGMX_CHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double rel_rms(std::span<const double> a, std::span<const double> ref) {
+  SWGMX_CHECK(a.size() == ref.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - ref[i];
+    num += d * d;
+    den += ref[i] * ref[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+}  // namespace swgmx

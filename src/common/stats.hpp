@@ -1,0 +1,27 @@
+// Small statistics helpers for benches/tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace swgmx {
+
+/// Summary statistics over a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Compute mean/stddev/min/max of a span in one pass.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Maximum absolute difference between two equally-sized spans.
+[[nodiscard]] double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// Relative RMS deviation of `a` from reference `ref` (L2 of diff / L2 of ref).
+[[nodiscard]] double rel_rms(std::span<const double> a, std::span<const double> ref);
+
+}  // namespace swgmx

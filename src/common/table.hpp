@@ -1,0 +1,33 @@
+// ASCII table printer used by the benchmark harnesses to emit the paper's
+// tables/figures as aligned rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swgmx {
+
+/// Collects rows of strings and prints them with aligned columns, a header
+/// rule and an optional caption — the benches use this to render Table 1/2,
+/// Fig 8/9/10/12 series, etc.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Format as percentage ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os, const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swgmx

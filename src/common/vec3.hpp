@@ -1,0 +1,55 @@
+// Minimal 3-vector used throughout the MD substrate.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace swgmx {
+
+/// POD 3-vector with the arithmetic the MD kernels need. T is float for the
+/// mixed-precision production path and double for reference paths.
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T xx, T yy, T zz) : x(xx), y(yy), z(zz) {}
+
+  /// Converting constructor between precisions (explicit: narrowing is a
+  /// deliberate act in mixed-precision code).
+  template <typename U>
+  explicit constexpr Vec3(const Vec3<U>& o)
+      : x(static_cast<T>(o.x)), y(static_cast<T>(o.y)), z(static_cast<T>(o.z)) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr T dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+  friend constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+  }
+  friend T norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+  friend constexpr T norm2(const Vec3& a) { return dot(a, a); }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+
+}  // namespace swgmx

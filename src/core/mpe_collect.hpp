@@ -1,0 +1,39 @@
+// The USTC pipeline strategy [29]: CPEs compute pair interactions and stream
+// (slot, force) update records to main-memory queues; the otherwise-idle MPE
+// drains the queues and applies every update serially, so no two cores ever
+// write the same particle. The kernel time is the *slower* of the two sides
+// of the pipeline — the imbalance the paper criticizes in §2.2/§4.3.
+#pragma once
+
+#include "core/strategies.hpp"
+#include "md/backends.hpp"
+
+namespace swgmx::core {
+
+class MpeCollectShortRange final : public md::ShortRangeBackend {
+ public:
+  MpeCollectShortRange(sw::CoreGroup& cg, SwKernelOptions opt)
+      : cg_(&cg), opt_(opt) {}
+
+  [[nodiscard]] std::string name() const override { return "MPE-collect"; }
+  [[nodiscard]] bool wants_half_list() const override { return true; }
+  [[nodiscard]] md::PackageLayout wants_layout() const override {
+    return md::PackageLayout::Interleaved;
+  }
+
+  double compute(const md::ClusterSystem& cs, const md::Box& box,
+                 const md::ClusterPairList& list, const md::NbParams& p,
+                 std::span<Vec3f> f_slots, md::NbEnergies& e) override;
+
+  /// Pipeline sides of the last call (for analysis output).
+  [[nodiscard]] double last_cpe_seconds() const { return cpe_s_; }
+  [[nodiscard]] double last_mpe_seconds() const { return mpe_s_; }
+
+ private:
+  sw::CoreGroup* cg_;
+  SwKernelOptions opt_;
+  double cpe_s_ = 0.0;
+  double mpe_s_ = 0.0;
+};
+
+}  // namespace swgmx::core

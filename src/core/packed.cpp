@@ -1,0 +1,76 @@
+#include "core/packed.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace swgmx::core {
+
+PackedSystem::PackedSystem(const md::ClusterSystem& cs) : layout_(cs.layout()) {
+  const int ncl = cs.nclusters();
+  pkg_.resize(static_cast<std::size_t>(ncl));
+  const std::span<const float> raw = cs.packages();
+  for (int c = 0; c < ncl; ++c) {
+    auto& p = pkg_[static_cast<std::size_t>(c)];
+    std::memcpy(p.pos_q, raw.data() + static_cast<std::size_t>(c) * md::kPkgFloats,
+                sizeof(p.pos_q));
+    for (int lane = 0; lane < md::kClusterSize; ++lane) {
+      const std::size_t s = static_cast<std::size_t>(c) * md::kClusterSize +
+                            static_cast<std::size_t>(lane);
+      p.type[lane] = cs.type_of(s);
+      p.mol[lane] = cs.mol_of(s);
+    }
+  }
+}
+
+ForceCopySet::ForceCopySet(int ncpe, int nlines)
+    : ncpe_(ncpe),
+      nlines_(nlines),
+      pkgs_per_cpe_(static_cast<std::size_t>(nlines) * kPkgsPerLine),
+      mark_words_((static_cast<std::size_t>(nlines) + 63) / 64) {
+  storage_.resize(static_cast<std::size_t>(ncpe) * pkgs_per_cpe_);
+  marks_.resize(static_cast<std::size_t>(ncpe) * mark_words_);
+  zero_all();
+}
+
+std::span<ForcePackage> ForceCopySet::copy_of(int cpe) {
+  return {storage_.data() + static_cast<std::size_t>(cpe) * pkgs_per_cpe_,
+          pkgs_per_cpe_};
+}
+std::span<const ForcePackage> ForceCopySet::copy_of(int cpe) const {
+  return {storage_.data() + static_cast<std::size_t>(cpe) * pkgs_per_cpe_,
+          pkgs_per_cpe_};
+}
+
+ForcePackage* ForceCopySet::line(int cpe, int line_idx) {
+  SWGMX_CHECK(line_idx >= 0 && line_idx < nlines_);
+  return copy_of(cpe).data() + static_cast<std::size_t>(line_idx) * kPkgsPerLine;
+}
+const ForcePackage* ForceCopySet::line(int cpe, int line_idx) const {
+  SWGMX_CHECK(line_idx >= 0 && line_idx < nlines_);
+  return copy_of(cpe).data() + static_cast<std::size_t>(line_idx) * kPkgsPerLine;
+}
+
+std::span<std::uint64_t> ForceCopySet::marks_of(int cpe) {
+  return {marks_.data() + static_cast<std::size_t>(cpe) * mark_words_, mark_words_};
+}
+std::span<const std::uint64_t> ForceCopySet::marks_of(int cpe) const {
+  return {marks_.data() + static_cast<std::size_t>(cpe) * mark_words_, mark_words_};
+}
+
+bool ForceCopySet::marked(int cpe, int line_idx) const {
+  const auto w = static_cast<std::size_t>(line_idx) / 64;
+  const auto b = static_cast<std::size_t>(line_idx) % 64;
+  return (marks_of(cpe)[w] >> b) & 1u;
+}
+
+void ForceCopySet::zero_all() {
+  std::memset(storage_.data(), 0, storage_.size() * sizeof(ForcePackage));
+  clear_marks();
+}
+
+void ForceCopySet::clear_marks() {
+  std::memset(marks_.data(), 0, marks_.size() * sizeof(std::uint64_t));
+}
+
+}  // namespace swgmx::core

@@ -1,0 +1,128 @@
+// The paper's Fetch Strategy (§3.1): aggregate position, charge, type and
+// molecule data of 4 particles from their separate arrays into one
+// contiguous "particle package", so a single DMA moves everything a CPE
+// needs — raising the transfer size from 4 B to ~100 B (Fig 2) and, with the
+// read cache's 8-package lines, to ~800 B (Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "md/clusters.hpp"
+
+namespace swgmx::core {
+
+/// Packages per software-cache line (Fig 3/5: offset field is 3 bits).
+inline constexpr int kPkgsPerLine = 8;
+/// Particles covered by one cache line (8 packages x 4 particles = 32;
+/// Fig 5: "for one Byte size memory we could record the update state of 256
+/// (8*8*4) particles").
+inline constexpr int kParticlesPerLine = kPkgsPerLine * md::kClusterSize;
+
+/// One particle package in main memory. pos_q layout follows the owning
+/// ClusterSystem (Interleaved for the Pkg/Cache ladder rungs, Transposed for
+/// Vec/Mark). 96 B, 16-byte aligned.
+struct alignas(16) DevicePackage {
+  float pos_q[md::kPkgFloats];
+  std::int32_t type[md::kClusterSize];
+  std::int32_t mol[md::kClusterSize];
+};
+static_assert(sizeof(DevicePackage) == 96);
+
+/// Force package: 4 particles x 3 components. 48 B; a force cache line is 8
+/// of these (384 B).
+struct alignas(16) ForcePackage {
+  float f[md::kClusterSize * 3];  ///< xyz-interleaved per particle
+};
+static_assert(sizeof(ForcePackage) == 48);
+
+/// Layout-aware package accessors (lane in [0, 4)).
+[[nodiscard]] inline Vec3f pkg_pos(const DevicePackage& p, md::PackageLayout lay,
+                                   int lane) {
+  if (lay == md::PackageLayout::Interleaved) {
+    return {p.pos_q[lane * 4 + 0], p.pos_q[lane * 4 + 1], p.pos_q[lane * 4 + 2]};
+  }
+  return {p.pos_q[0 + lane], p.pos_q[4 + lane], p.pos_q[8 + lane]};
+}
+[[nodiscard]] inline float pkg_q(const DevicePackage& p, md::PackageLayout lay,
+                                 int lane) {
+  return lay == md::PackageLayout::Interleaved ? p.pos_q[lane * 4 + 3]
+                                               : p.pos_q[12 + lane];
+}
+
+/// Main-memory aggregated view of a ClusterSystem, plus the per-CPE force
+/// copy arrays ("RMA copies") the write strategies target.
+class PackedSystem {
+ public:
+  /// Aggregate from the cluster system (MPE-side work, done once per step).
+  explicit PackedSystem(const md::ClusterSystem& cs);
+
+  [[nodiscard]] std::span<const DevicePackage> packages() const { return pkg_; }
+  [[nodiscard]] int nclusters() const { return static_cast<int>(pkg_.size()); }
+  [[nodiscard]] std::size_t nslots() const { return pkg_.size() * md::kClusterSize; }
+  /// Force lines covering all clusters.
+  [[nodiscard]] int nlines() const {
+    return static_cast<int>((pkg_.size() + kPkgsPerLine - 1) / kPkgsPerLine);
+  }
+  [[nodiscard]] md::PackageLayout layout() const { return layout_; }
+
+ private:
+  md::PackageLayout layout_;
+  AlignedVector<DevicePackage> pkg_;
+};
+
+/// Per-CPE force copy arrays in main memory (the "redundant memory
+/// approach"), stored as force *lines* so the deferred-update cache and the
+/// reduction operate on whole lines. Also holds each CPE's line marks
+/// (Fig 5) mirrored to main memory so the reduction kernel can read them.
+class ForceCopySet {
+ public:
+  ForceCopySet(int ncpe, int nlines);
+
+  [[nodiscard]] int ncpe() const { return ncpe_; }
+  [[nodiscard]] int nlines() const { return nlines_; }
+
+  /// One CPE's whole copy array (nlines * kPkgsPerLine force packages).
+  [[nodiscard]] std::span<ForcePackage> copy_of(int cpe);
+  [[nodiscard]] std::span<const ForcePackage> copy_of(int cpe) const;
+  /// One line (kPkgsPerLine packages) of one CPE's copy.
+  [[nodiscard]] ForcePackage* line(int cpe, int line_idx);
+  [[nodiscard]] const ForcePackage* line(int cpe, int line_idx) const;
+
+  /// The 3 floats of one particle slot inside one CPE's copy (used by the
+  /// Pkg rung's per-pair direct updates).
+  [[nodiscard]] float* slot_ptr(int cpe, std::size_t slot) {
+    const auto line_idx = static_cast<int>(slot / kParticlesPerLine);
+    const std::size_t in_line = slot % kParticlesPerLine;
+    return line(cpe, line_idx)[in_line / md::kClusterSize].f +
+           (in_line % md::kClusterSize) * 3;
+  }
+
+  /// Marks: bit l of cpe's mask set => line l of that copy was written.
+  [[nodiscard]] std::span<std::uint64_t> marks_of(int cpe);
+  [[nodiscard]] std::span<const std::uint64_t> marks_of(int cpe) const;
+  [[nodiscard]] bool marked(int cpe, int line_idx) const;
+  /// The whole mark store (cpe-major, words_per_cpe() words per CPE) — lets
+  /// the reduction pull every CPE's marks with a single DMA.
+  [[nodiscard]] std::span<const std::uint64_t> all_marks() const { return marks_; }
+
+  /// Zero every copy (the RMA "initialization step"; NOT called by the
+  /// Bit-Map strategy — that is the point of §3.3). Host-side zero fill;
+  /// the simulated cost is charged by the caller's init kernel.
+  void zero_all();
+  /// Clear only the marks (cheap; done at the start of every Mark-strategy
+  /// kernel).
+  void clear_marks();
+
+  [[nodiscard]] std::size_t words_per_cpe() const { return mark_words_; }
+
+ private:
+  int ncpe_, nlines_;
+  std::size_t pkgs_per_cpe_;
+  std::size_t mark_words_;
+  AlignedVector<ForcePackage> storage_;
+  AlignedVector<std::uint64_t> marks_;
+};
+
+}  // namespace swgmx::core

@@ -1,0 +1,288 @@
+#include "core/pairlist_cpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/read_cache.hpp"
+#include "md/cells.hpp"
+#include "md/cost.hpp"
+
+namespace swgmx::core {
+
+namespace {
+
+/// Cluster geometry record: sphere (center + radius) for the cheap
+/// prefilter and the axis-aligned bounding box for the acceptance test —
+/// 32 B, 16 records per 512 B cache line. The whole search touches only
+/// this one stream (GROMACS' nbnxn search likewise needs no particle data).
+struct alignas(16) GeomRec {
+  float x, y, z, r;        ///< bounding-sphere center + radius
+  float hx, hy, hz, pad;   ///< bounding-box half extents (box center = x,y,z)
+};
+static_assert(sizeof(GeomRec) == 32);
+constexpr int kGeomsPerLine = 16;
+
+float mi(float d, float L) { return d - L * std::nearbyint(d / L); }
+
+float dist2_min_image(const GeomRec& a, const GeomRec& b, const Vec3f& box_len) {
+  const float dx = mi(a.x - b.x, box_len.x);
+  const float dy = mi(a.y - b.y, box_len.y);
+  const float dz = mi(a.z - b.z, box_len.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Box-box acceptance (matches md::build_pairlist's clusters_within_rlist).
+bool boxes_within_rlist(const GeomRec& a, const GeomRec& b, const Vec3f& box_len,
+                        float rlist) {
+  const float gx = std::max(0.0f, std::abs(mi(a.x - b.x, box_len.x)) - a.hx - b.hx);
+  const float gy = std::max(0.0f, std::abs(mi(a.y - b.y, box_len.y)) - a.hy - b.hy);
+  const float gz = std::max(0.0f, std::abs(mi(a.z - b.z, box_len.z)) - a.hz - b.hz);
+  return gx * gx + gy * gy + gz * gz < rlist * rlist;
+}
+
+}  // namespace
+
+double CpePairList::build(const md::ClusterSystem& cs, const md::Box& box,
+                          float rlist, bool half, md::ClusterPairList& out,
+                          int nranks) {
+  const int ncl = cs.nclusters();
+  const int ncpe = cg_->config().cpe_count;
+  const Vec3f box_len(box.len);
+
+  // --- MPE prologue: geometry records + cell grid over cluster centers ---
+  // NOTE: the sphere uses the *box* center so prefilter and acceptance agree.
+  std::vector<GeomRec> geom(static_cast<std::size_t>(ncl));
+  for (int c = 0; c < ncl; ++c) {
+    const Vec3f ctr = box.wrap(cs.bb_center(c));
+    const Vec3f h = cs.bb_half(c);
+    auto& g = geom[static_cast<std::size_t>(c)];
+    g.x = ctr.x;
+    g.y = ctr.y;
+    g.z = ctr.z;
+    g.r = norm(h);  // sphere radius bounding the box
+    g.hx = h.x;
+    g.hy = h.y;
+    g.hz = h.z;
+    g.pad = 0.0f;
+  }
+  // Percentile-capped grid edge; rare oversized clusters (Morton-seam
+  // stragglers) get an explicit extra pass (same scheme as md::build_pairlist).
+  std::vector<float> sorted_r;
+  sorted_r.reserve(static_cast<std::size_t>(ncl));
+  for (int c = 0; c < ncl; ++c) sorted_r.push_back(cs.radius(c));
+  std::sort(sorted_r.begin(), sorted_r.end());
+  const float r_cap = sorted_r.back();  // radii are bounded by construction
+  std::vector<std::int32_t> oversized;
+  for (int c = 0; c < ncl; ++c) {
+    if (cs.radius(c) > r_cap) oversized.push_back(c);
+  }
+  const double reach_typ =
+      static_cast<double>(rlist) + 2.0 * static_cast<double>(r_cap);
+  md::CellGrid grid(box, 0.45);
+  {
+    std::vector<Vec3f> centers(static_cast<std::size_t>(ncl));
+    for (int c = 0; c < ncl; ++c)
+      centers[static_cast<std::size_t>(c)] = {geom[static_cast<std::size_t>(c)].x,
+                                              geom[static_cast<std::size_t>(c)].y,
+                                              geom[static_cast<std::size_t>(c)].z};
+    grid.build(centers);
+  }
+  const auto stencil = grid.sphere_offsets(reach_typ);
+  // Binning cost on the MPE.
+  double total_s = cg_->mpe_seconds(static_cast<double>(ncl) * 12.0,
+                                    static_cast<double>(ncl) * 2.0);
+
+  // --- CPE kernels: every CPE fills its own temporary row storage. With
+  // nranks > 1 each (simulated) rank's core group searches only its share
+  // of i-clusters, so the per-CPE chunks — and with them the software-cache
+  // working sets — shrink with the rank count, exactly as on the machine.
+  struct CpeRows {
+    std::vector<std::int32_t> cj;       ///< concatenated rows
+    std::vector<std::int32_t> row_len;  ///< per i-cluster in chunk
+  };
+  std::vector<CpeRows> rows(
+      static_cast<std::size_t>(ncpe) * static_cast<std::size_t>(nranks));
+
+  double worst_rank_s = 0.0;
+  sw::KernelStats agg{};
+  // Per-rank halo localization (the DD exchange): each rank owns a compact
+  // copy of the geometry records its search can touch — own clusters plus
+  // the stencil halo — with remapped local ids. This is what a real
+  // distributed rank holds in its memory, and it is what keeps the software
+  // cache's working set independent of the *global* system size.
+  std::vector<std::int32_t> global2local(static_cast<std::size_t>(ncl), -1);
+  std::vector<int> g2l_epoch(static_cast<std::size_t>(ncl), -1);
+  std::vector<int> cell_epoch(static_cast<std::size_t>(grid.ncells()), -1);
+  std::vector<GeomRec> local_geom;
+  std::vector<std::int32_t> local_ids;
+  for (int rank = 0; rank < nranks; ++rank) {
+  const int r_lo = ncl * rank / nranks;
+  const int r_hi = ncl * (rank + 1) / nranks;
+  if (nranks > 1) {
+    local_ids.clear();
+    auto touch_cell = [&](int c2) {
+      if (cell_epoch[static_cast<std::size_t>(c2)] == rank) return;
+      cell_epoch[static_cast<std::size_t>(c2)] = rank;
+      for (std::int32_t id : grid.cell_members(c2)) local_ids.push_back(id);
+    };
+    for (int ci = r_lo; ci < r_hi; ++ci) {
+      const auto& g = geom[static_cast<std::size_t>(ci)];
+      const int cell = grid.cell_of({g.x, g.y, g.z});
+      for (const auto& off : stencil) touch_cell(grid.cell_at_offset(cell, off));
+    }
+    for (std::int32_t id : oversized) local_ids.push_back(id);
+    for (int ci = r_lo; ci < r_hi; ++ci)
+      local_ids.push_back(static_cast<std::int32_t>(ci));
+    std::sort(local_ids.begin(), local_ids.end());
+    local_ids.erase(std::unique(local_ids.begin(), local_ids.end()),
+                    local_ids.end());
+    local_geom.resize(local_ids.size());
+    for (std::size_t k = 0; k < local_ids.size(); ++k) {
+      global2local[static_cast<std::size_t>(local_ids[k])] =
+          static_cast<std::int32_t>(k);
+      g2l_epoch[static_cast<std::size_t>(local_ids[k])] = rank;
+      local_geom[k] = geom[static_cast<std::size_t>(local_ids[k])];
+    }
+  }
+  const std::span<const GeomRec> rank_geom =
+      nranks > 1 ? std::span<const GeomRec>(local_geom)
+                 : std::span<const GeomRec>(geom);
+  auto local_of = [&](std::int32_t cj) {
+    if (nranks == 1) return cj;
+    // Mappings are epoch-stamped per rank: a stale entry from a previous
+    // rank's halo must read as "not local".
+    return g2l_epoch[static_cast<std::size_t>(cj)] == rank
+               ? global2local[static_cast<std::size_t>(cj)]
+               : std::int32_t{-1};
+  };
+  const auto st = cg_->run([&](sw::CpeContext& ctx) {
+    const int cpe = ctx.id();
+    const int lo = r_lo + (r_hi - r_lo) * cpe / ncpe;
+    const int hi = r_lo + (r_hi - r_lo) * (cpe + 1) / ncpe;
+    auto& my = rows[static_cast<std::size_t>(rank) * ncpe +
+                    static_cast<std::size_t>(cpe)];
+    my.row_len.reserve(static_cast<std::size_t>(hi - lo));
+
+    ReadCache<GeomRec, kGeomsPerLine> gcache(ctx, rank_geom, sets_, ways_);
+
+    // Staging buffer for accepted cj values; flushed to the CPE's temporary
+    // main-memory region with 2 KB DMA puts.
+    constexpr std::size_t kStage = 512;
+    auto stage = ctx.ldm().allocate<std::int32_t>(kStage);
+    std::size_t staged = 0;
+    auto flush = [&]() {
+      if (staged == 0) return;
+      // The functional rows were appended directly; charge the DMA.
+      ctx.perf().dma_cycles += ctx.config().dma_cycles(staged * 4);
+      ctx.perf().dma_transfers += 1;
+      ctx.perf().dma_bytes += staged * 4;
+      staged = 0;
+    };
+
+    std::vector<std::int32_t> row;  // scratch (MPE-side sort happens later)
+    std::vector<std::pair<std::int32_t, int>> scan_cells;
+    for (int ci = lo; ci < hi; ++ci) {
+      const GeomRec gi = gcache.get(static_cast<std::size_t>(local_of(ci)));
+      row.clear();
+      double ops = 0.0;
+      auto consider = [&](std::int32_t cj) {
+        if (half && cj < ci) return;
+        ops += md::ListCost::kCandidateOps;
+        // Clusters outside this rank's halo set (only reachable through the
+        // rare oversized-cluster pass) are fetched straight from the global
+        // array with a single-record DMA.
+        const std::int32_t lj = local_of(cj);
+        GeomRec gj;
+        if (lj >= 0) {
+          gj = gcache.get(static_cast<std::size_t>(lj));
+        } else {
+          gj = geom[static_cast<std::size_t>(cj)];
+          ctx.perf().dma_cycles += ctx.config().dma_cycles(sizeof(GeomRec));
+          ctx.perf().dma_transfers += 1;
+          ctx.perf().dma_bytes += sizeof(GeomRec);
+        }
+        const float reach = rlist + gi.r + gj.r;
+        if (dist2_min_image(gi, gj, box_len) < reach * reach) {
+          ops += md::ListCost::kExactCheckOps;
+          if (boxes_within_rlist(gi, gj, box_len, rlist)) {
+            row.push_back(cj);
+            stage[staged] = cj;
+            if (++staged == kStage) flush();
+          }
+        }
+      };
+      if (gi.r > r_cap) {
+        for (std::int32_t cj = 0; cj < ncl; ++cj) consider(cj);
+      } else {
+        // Visit the stencil's cells in ascending first-member id: cluster
+        // ids are Morton-ordered, so this walks the candidate stream in
+        // (almost) memory order and every cache line is touched in one
+        // contiguous burst instead of being evicted and refetched.
+        const int cell = grid.cell_of({gi.x, gi.y, gi.z});
+        scan_cells.clear();
+        for (const auto& off : stencil) {
+          const int nb = grid.cell_at_offset(cell, off);
+          const auto members = grid.cell_members(nb);
+          if (!members.empty()) scan_cells.push_back({members.front(), nb});
+        }
+        if (sorted_) {
+          std::sort(scan_cells.begin(), scan_cells.end());
+          ops += static_cast<double>(scan_cells.size()) * 10.0;  // the sort
+        }
+        for (const auto& [first_id, nb] : scan_cells) {
+          for (std::int32_t cj : grid.cell_members(nb)) consider(cj);
+        }
+        for (std::int32_t cj : oversized) consider(cj);
+      }
+      ctx.charge_flops(ops);
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      my.cj.insert(my.cj.end(), row.begin(), row.end());
+      my.row_len.push_back(static_cast<std::int32_t>(row.size()));
+    }
+    flush();
+  });
+  worst_rank_s = std::max(worst_rank_s, st.sim_seconds);
+  agg.total += st.total;
+  agg.max_cycles = std::max(agg.max_cycles, st.max_cycles);
+  }
+  agg.sim_seconds = worst_rank_s;
+  last_ = agg;
+  total_s += worst_rank_s;
+
+  // --- MPE epilogue: gather the per-CPE regions into the CSR list ---
+  out.half = half;
+  out.row_ptr.assign(static_cast<std::size_t>(ncl) + 1, 0);
+  out.cj.clear();
+  int ci_cursor = 0;
+  for (int rank = 0; rank < nranks; ++rank) {
+    const int r_lo = ncl * rank / nranks;
+    const int r_hi = ncl * (rank + 1) / nranks;
+    for (int cpe = 0; cpe < ncpe; ++cpe) {
+      const auto& my = rows[static_cast<std::size_t>(rank) * ncpe +
+                            static_cast<std::size_t>(cpe)];
+      std::size_t ofs = 0;
+      for (std::size_t k = 0; k < my.row_len.size(); ++k) {
+        const auto len = static_cast<std::size_t>(my.row_len[k]);
+        out.cj.insert(out.cj.end(),
+                      my.cj.begin() + static_cast<std::ptrdiff_t>(ofs),
+                      my.cj.begin() + static_cast<std::ptrdiff_t>(ofs + len));
+        out.row_ptr[static_cast<std::size_t>(ci_cursor) + 1] =
+            static_cast<std::int32_t>(out.cj.size());
+        ofs += len;
+        ++ci_cursor;
+      }
+    }
+    (void)r_lo;
+    (void)r_hi;
+  }
+  // (row_ptr is already cumulative because chunks are processed in order.)
+  total_s += cg_->mpe_seconds(static_cast<double>(out.cj.size()) * 2.0,
+                              static_cast<double>(out.cj.size()) * 0.5) /
+             std::max(1, nranks);
+  return total_s;
+}
+
+}  // namespace swgmx::core

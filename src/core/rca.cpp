@@ -1,0 +1,168 @@
+#include "core/rca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/partition.hpp"
+#include "core/read_cache.hpp"
+#include "md/cost.hpp"
+#include "md/kernel_ref.hpp"
+#include "simd/floatv4.hpp"
+
+namespace swgmx::core {
+
+namespace {
+constexpr std::size_t kRowChunk = 512;
+
+simd::floatv4 pbc_wrap(simd::floatv4 d, float box_len) {
+  float out[4];
+  for (int lane = 0; lane < 4; ++lane) {
+    const float v = d[lane];
+    out[lane] = v - box_len * std::nearbyint(v / box_len);
+  }
+  return {out[0], out[1], out[2], out[3]};
+}
+}  // namespace
+
+double RcaShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
+                              const md::ClusterPairList& list,
+                              const md::NbParams& p, std::span<Vec3f> f_slots,
+                              md::NbEnergies& e) {
+  SWGMX_CHECK_MSG(!list.half, "RCA consumes full lists");
+  SWGMX_CHECK(cs.layout() == md::PackageLayout::Transposed);
+  const PackedSystem packed(cs);
+  const int ncl = packed.nclusters();
+  const int ncpe = cg_->config().cpe_count;
+  const Vec3f box_len(box.len);
+
+  struct CpeE {
+    double lj = 0.0, coul = 0.0;
+  };
+  std::vector<CpeE> e_cpe(static_cast<std::size_t>(ncpe));
+
+  const std::vector<int> bounds = balance_rows(list, ncl, ncpe);
+  const auto st = cg_->run([&](sw::CpeContext& ctx) {
+    using simd::floatv4;
+    const int cpe = ctx.id();
+    const int lo = bounds[static_cast<std::size_t>(cpe)];
+    const int hi = bounds[static_cast<std::size_t>(cpe) + 1];
+
+    const auto nt2 = static_cast<std::size_t>(p.ntypes) *
+                     static_cast<std::size_t>(p.ntypes);
+    auto c6l = ctx.ldm().allocate<float>(nt2);
+    auto c12l = ctx.ldm().allocate<float>(nt2);
+    ctx.dma_get(c6l.data(), p.c6.data(), nt2 * sizeof(float));
+    ctx.dma_get(c12l.data(), p.c12.data(), nt2 * sizeof(float));
+
+    ReadCache<DevicePackage, kPkgsPerLine> rcache(ctx, packed.packages(),
+                                                  opt_.read_sets, opt_.read_ways);
+    auto ibuf = ctx.ldm().allocate<DevicePackage>(1);
+    auto rowbuf = ctx.ldm().allocate<std::int32_t>(kRowChunk);
+    auto fout = ctx.ldm().allocate<float>(md::kClusterSize * 3);
+
+    CpeE eng;
+    for (int ci = lo; ci < hi; ++ci) {
+      ctx.dma_get(ibuf.data(), &packed.packages()[static_cast<std::size_t>(ci)],
+                  sizeof(DevicePackage));
+      const DevicePackage& ip = ibuf[0];
+      const floatv4 xi = floatv4::load(ip.pos_q + 0);
+      const floatv4 yi = floatv4::load(ip.pos_q + 4);
+      const floatv4 zi = floatv4::load(ip.pos_q + 8);
+      const floatv4 qi = floatv4::load(ip.pos_q + 12);
+      floatv4 fxi, fyi, fzi;
+
+      const auto row = list.row(ci);
+      double vec_ops = 0.0, vec_divs = 0.0;
+      for (std::size_t base = 0; base < row.size(); base += kRowChunk) {
+        const std::size_t chunk = std::min(kRowChunk, row.size() - base);
+        ctx.dma_get(rowbuf.data(), row.data() + base,
+                    chunk * sizeof(std::int32_t));
+        for (std::size_t k = 0; k < chunk; ++k) {
+          const std::int32_t cj = row[base + k];
+          const DevicePackage& jp = rcache.get(static_cast<std::size_t>(cj));
+          const bool self = cj == ci;
+
+          for (int lj = 0; lj < md::kClusterSize; ++lj) {
+            float mask_arr[4];
+            bool any = false;
+            for (int li = 0; li < md::kClusterSize; ++li) {
+              // Full list: all ordered pairs except the diagonal.
+              const bool ok =
+                  !md::excluded(ip.mol[li], jp.mol[lj]) && !(self && li == lj);
+              mask_arr[li] = ok ? 1.0f : 0.0f;
+              any |= ok;
+            }
+            if (!any) continue;
+            const floatv4 valid(mask_arr[0], mask_arr[1], mask_arr[2],
+                                mask_arr[3]);
+            const floatv4 dx = pbc_wrap(xi - floatv4(jp.pos_q[0 + lj]), box_len.x);
+            const floatv4 dy = pbc_wrap(yi - floatv4(jp.pos_q[4 + lj]), box_len.y);
+            const floatv4 dz = pbc_wrap(zi - floatv4(jp.pos_q[8 + lj]), box_len.z);
+            const floatv4 r2 = dx * dx + dy * dy + dz * dz;
+            const floatv4 mask = cmp_lt(r2, floatv4(p.rcut2)) * valid;
+            vec_ops += md::PairCost::kTestOps;
+            if (hsum(mask) == 0.0f) continue;
+
+            const int tj = jp.type[lj];
+            float c6a[4], c12a[4];
+            for (int li = 0; li < 4; ++li) {
+              const auto idx = static_cast<std::size_t>(ip.type[li] * p.ntypes + tj);
+              c6a[li] = c6l[idx];
+              c12a[li] = c12l[idx];
+            }
+            // Scalar per-lane evaluation of the shared pair physics keeps
+            // RCA bit-comparable with the reference kernel.
+            float fs[4], elj[4], eco[4];
+            for (int li = 0; li < 4; ++li) {
+              fs[li] = elj[li] = eco[li] = 0.0f;
+              if (mask[li] == 0.0f) continue;
+              md::PairResult pr{};
+              if (md::pair_force(r2[li], qi[li], jp.pos_q[12 + lj], c6a[li],
+                                 c12a[li], p, pr)) {
+                fs[li] = pr.fscal;
+                elj[li] = pr.e_lj;
+                eco[li] = pr.e_coul;
+              }
+            }
+            const floatv4 fscal(fs[0], fs[1], fs[2], fs[3]);
+            fxi += fscal * dx;
+            fyi += fscal * dy;
+            fzi += fscal * dz;
+            eng.lj += elj[0] + elj[1] + elj[2] + elj[3];
+            eng.coul += eco[0] + eco[1] + eco[2] + eco[3];
+            vec_ops += md::PairCost::kForceOps;
+            vec_divs += md::PairCost::kDivsPerPair;
+          }
+        }
+      }
+      ctx.charge_vec_ops(vec_ops);
+      ctx.charge_vec_divs(vec_divs);
+
+      // i-only update: transpose (Fig 7) and one DMA put per i-cluster.
+      const simd::Xyz4 t = simd::transpose_soa_to_xyz(fxi, fyi, fzi);
+      ctx.charge_shuffles(simd::kTransposeShuffles);
+      t.a.store(fout.data());
+      t.b.store(fout.data() + 4);
+      t.c.store(fout.data() + 8);
+      ctx.dma_put(f_slots.data() + static_cast<std::size_t>(ci) * md::kClusterSize,
+                  fout.data(), md::kClusterSize * sizeof(Vec3f));
+    }
+    e_cpe[static_cast<std::size_t>(cpe)] = eng;
+  });
+
+  last_ = st;
+  double elj = 0.0, ecoul = 0.0;
+  for (const auto& ec : e_cpe) {
+    elj += ec.lj;
+    ecoul += ec.coul;
+  }
+  // Full list double-counts energies.
+  e.lj += 0.5 * elj;
+  e.coul += 0.5 * ecoul;
+  return st.sim_seconds;
+}
+
+}  // namespace swgmx::core

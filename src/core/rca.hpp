@@ -1,0 +1,36 @@
+// The Redundant Computation Approach (Algorithm 2; used by SW_LAMMPS [8]):
+// a *full* neighbor list makes every CPE update only its own i-particles, so
+// there is no write conflict, no copies, no init and no reduction — at the
+// price of computing every interaction twice.
+#pragma once
+
+#include "core/packed.hpp"
+#include "core/strategies.hpp"
+#include "md/backends.hpp"
+
+namespace swgmx::core {
+
+class RcaShortRange final : public md::ShortRangeBackend {
+ public:
+  RcaShortRange(sw::CoreGroup& cg, SwKernelOptions opt)
+      : cg_(&cg), opt_(opt) {}
+
+  [[nodiscard]] std::string name() const override { return "RCA"; }
+  [[nodiscard]] bool wants_half_list() const override { return false; }
+  [[nodiscard]] md::PackageLayout wants_layout() const override {
+    return md::PackageLayout::Transposed;
+  }
+
+  double compute(const md::ClusterSystem& cs, const md::Box& box,
+                 const md::ClusterPairList& list, const md::NbParams& p,
+                 std::span<Vec3f> f_slots, md::NbEnergies& e) override;
+
+  [[nodiscard]] const sw::KernelStats& last_force() const { return last_; }
+
+ private:
+  sw::CoreGroup* cg_;
+  SwKernelOptions opt_;
+  sw::KernelStats last_;
+};
+
+}  // namespace swgmx::core

@@ -1,0 +1,94 @@
+// LDM-resident set-associative read cache over particle packages (Fig 3)
+// and, generically, over any array of fixed-size records.
+//
+// The address is decomposed exactly as in Fig 3: the record index splits
+// into | tag | set index | offset-in-line |. Direct-mapped (ways = 1) is the
+// short-range kernel's configuration; the pair-list generation kernel uses
+// ways = 2 to defeat the cache thrashing described in §3.5.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "common/error.hpp"
+#include "sw/cpe.hpp"
+
+namespace swgmx::core {
+
+/// Set-associative software cache of `Record` lines, backed by a main-memory
+/// array. LRU within a set (exact for ways <= 2, which is all the paper
+/// uses). All storage (lines + tags) lives in the owning CPE's LDM.
+template <typename Record, int RecordsPerLine>
+class ReadCache {
+ public:
+  ReadCache(sw::CpeContext& ctx, std::span<const Record> mem, int nsets, int ways)
+      : ctx_(&ctx), mem_(mem), nsets_(nsets), ways_(ways) {
+    SWGMX_CHECK_MSG((nsets & (nsets - 1)) == 0, "nsets must be a power of two");
+    SWGMX_CHECK(ways >= 1 && ways <= 2);
+    const int nlines = nsets * ways;
+    lines_ = ctx.ldm().allocate<Record>(
+        static_cast<std::size_t>(nlines) * RecordsPerLine);
+    tags_ = ctx.ldm().allocate<std::int32_t>(static_cast<std::size_t>(nlines));
+    lru_ = ctx.ldm().allocate<std::int8_t>(static_cast<std::size_t>(nsets));
+    for (auto& t : tags_) t = -1;
+  }
+
+  /// Fetch the record at `index`, via the cache.
+  const Record& get(std::size_t index) {
+    const auto line_id = static_cast<std::int32_t>(index / RecordsPerLine);
+    const auto offset = index % RecordsPerLine;
+    const int set = line_id & (nsets_ - 1);
+
+    // Probe the ways of this set.
+    for (int w = 0; w < ways_; ++w) {
+      const int slot = set * ways_ + w;
+      if (tags_[static_cast<std::size_t>(slot)] == line_id) {
+        ++ctx_->perf().read_hits;
+        touch(set, w);
+        return line_at(slot)[offset];
+      }
+    }
+
+    // Miss: evict the LRU way and DMA the whole line from main memory.
+    ++ctx_->perf().read_misses;
+    const int w = victim(set);
+    const int slot = set * ways_ + w;
+    const std::size_t first = static_cast<std::size_t>(line_id) *
+                              static_cast<std::size_t>(RecordsPerLine);
+    const std::size_t count =
+        std::min<std::size_t>(RecordsPerLine, mem_.size() - first);
+    ctx_->dma_get(line_at(slot), mem_.data() + first, count * sizeof(Record));
+    tags_[static_cast<std::size_t>(slot)] = line_id;
+    touch(set, w);
+    return line_at(slot)[offset];
+  }
+
+  [[nodiscard]] int nsets() const { return nsets_; }
+  [[nodiscard]] int ways() const { return ways_; }
+
+ private:
+  [[nodiscard]] Record* line_at(int slot) {
+    return lines_.data() + static_cast<std::size_t>(slot) * RecordsPerLine;
+  }
+  void touch(int set, int way) {
+    // For 2-way: remember the most recently used way. For 1-way: no-op.
+    if (ways_ == 2) lru_[static_cast<std::size_t>(set)] = static_cast<std::int8_t>(way);
+  }
+  [[nodiscard]] int victim(int set) const {
+    if (ways_ == 1) return 0;
+    // 2-way: prefer an invalid way, else evict the not-most-recently-used.
+    for (int w = 0; w < 2; ++w)
+      if (tags_[static_cast<std::size_t>(set * 2 + w)] < 0) return w;
+    return 1 - lru_[static_cast<std::size_t>(set)];
+  }
+
+  sw::CpeContext* ctx_;
+  std::span<const Record> mem_;
+  int nsets_, ways_;
+  std::span<Record> lines_;
+  std::span<std::int32_t> tags_;
+  std::span<std::int8_t> lru_;
+};
+
+}  // namespace swgmx::core

@@ -1,0 +1,61 @@
+#include "core/strategies.hpp"
+
+#include "common/error.hpp"
+#include "core/mpe_collect.hpp"
+#include "core/rca.hpp"
+#include "core/sw_short_range.hpp"
+
+namespace swgmx::core {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::Ori: return "Ori";
+    case Strategy::Gld: return "Gld";
+    case Strategy::Pkg: return "Pkg";
+    case Strategy::Cache: return "Cache";
+    case Strategy::Vec: return "Vec";
+    case Strategy::Mark: return "Mark";
+    case Strategy::Rca: return "RCA";
+    case Strategy::MpeCollect: return "MPE-collect";
+  }
+  return "?";
+}
+
+std::unique_ptr<md::ShortRangeBackend> make_short_range(Strategy s,
+                                                        sw::CoreGroup& cg,
+                                                        SwKernelOptions opt) {
+  using Flags = SwShortRange::Flags;
+  switch (s) {
+    case Strategy::Ori:
+      return std::make_unique<md::MpeShortRange>(cg);
+    case Strategy::Gld:
+      return std::make_unique<SwShortRange>(
+          cg,
+          Flags{.read_cache = false, .vectorized = false, .marks = false,
+                .gld = true},
+          opt, "Gld");
+    case Strategy::Pkg:
+      return std::make_unique<SwShortRange>(
+          cg, Flags{.read_cache = false, .vectorized = false, .marks = false},
+          opt, "Pkg");
+    case Strategy::Cache:
+      return std::make_unique<SwShortRange>(
+          cg, Flags{.read_cache = true, .vectorized = false, .marks = false},
+          opt, "Cache");
+    case Strategy::Vec:
+      return std::make_unique<SwShortRange>(
+          cg, Flags{.read_cache = true, .vectorized = true, .marks = false},
+          opt, "Vec");
+    case Strategy::Mark:
+      return std::make_unique<SwShortRange>(
+          cg, Flags{.read_cache = true, .vectorized = true, .marks = true},
+          opt, "Mark");
+    case Strategy::Rca:
+      return std::make_unique<RcaShortRange>(cg, opt);
+    case Strategy::MpeCollect:
+      return std::make_unique<MpeCollectShortRange>(cg, opt);
+  }
+  SWGMX_CHECK_MSG(false, "unknown strategy");
+}
+
+}  // namespace swgmx::core

@@ -1,0 +1,43 @@
+// The optimization ladder of Fig 8 and the competing write-conflict
+// strategies of Fig 9, expressed as configurations of the CPE short-range
+// backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "md/backends.hpp"
+#include "sw/core_group.hpp"
+
+namespace swgmx::core {
+
+/// The versions evaluated in the paper.
+enum class Strategy : std::uint8_t {
+  Ori,         ///< unported GROMACS on the MPE (Fig 8 "Ori", 1x)
+  Gld,         ///< naive CPE port: per-element gld/gst accesses (§3.1's
+               ///< "before" state — scattered arrays, ~0.99 GB/s effective)
+  Pkg,         ///< + particle-package aggregation (Fig 8 "Pkg", ~3x)
+  Cache,       ///< + read cache & deferred-update write cache (~23x)
+  Vec,         ///< + SIMD vectorization (~40x) — equals RMA_GMX in Fig 9
+  Mark,        ///< + Bit-Map update marks (~61-63x) — MARK_GMX in Fig 9
+  Rca,         ///< redundant computation (full list, x2 compute) — SW_LAMMPS
+  MpeCollect,  ///< USTC pipeline: MPE applies the updates CPEs produce
+};
+
+[[nodiscard]] const char* strategy_name(Strategy s);
+
+/// Tuning knobs of the CPE kernels (defaults follow the paper's geometry:
+/// 8-package lines, 32-line direct-mapped read cache ~ Fig 3's 5-bit index).
+struct SwKernelOptions {
+  int read_sets = 32;   ///< 32 sets x 2 ways x 768 B = 48 KB of LDM
+  int read_ways = 2;
+  int write_lines = 16; ///< 16 x 384 B = 6 KB of LDM
+};
+
+/// Create the short-range backend implementing a strategy on a core group.
+/// The returned backend borrows `cg` (one backend per core group at a time).
+std::unique_ptr<md::ShortRangeBackend> make_short_range(
+    Strategy s, sw::CoreGroup& cg, SwKernelOptions opt = {});
+
+}  // namespace swgmx::core

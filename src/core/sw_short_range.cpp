@@ -1,0 +1,507 @@
+#include "core/sw_short_range.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/partition.hpp"
+#include "core/read_cache.hpp"
+#include "core/write_cache.hpp"
+#include "md/cost.hpp"
+#include "md/kernel_ref.hpp"
+#include "simd/floatv4.hpp"
+
+namespace swgmx::core {
+
+namespace {
+
+/// Pair-list row entries staged per DMA (int32 each; 512 * 4 B = 2 KB, the
+/// top of the Table 2 curve).
+constexpr std::size_t kRowChunk = 512;
+
+/// Lane-wise minimum image: d -= L * round(d / L).
+simd::floatv4 pbc_wrap(simd::floatv4 d, float box_len) {
+  float out[4];
+  for (int lane = 0; lane < 4; ++lane) {
+    const float v = d[lane];
+    out[lane] = v - box_len * std::nearbyint(v / box_len);
+  }
+  return {out[0], out[1], out[2], out[3]};
+}
+
+/// Minimum image for scalars, identical formula to Box::min_image.
+Vec3f min_image(const Vec3f& a, const Vec3f& b, const Vec3f& box_len) {
+  Vec3f d = a - b;
+  d.x -= box_len.x * std::nearbyint(d.x / box_len.x);
+  d.y -= box_len.y * std::nearbyint(d.y / box_len.y);
+  d.z -= box_len.z * std::nearbyint(d.z / box_len.z);
+  return d;
+}
+
+/// Result sink for one force contribution: either the deferred-update write
+/// cache, or (Pkg rung) a per-pair DMA read-modify-write on the copy array.
+class ForceSink {
+ public:
+  ForceSink(sw::CpeContext& ctx, ForceCopySet& copies, ForceWriteCache* cache,
+            bool gld = false)
+      : ctx_(&ctx), copies_(&copies), cache_(cache), gld_(gld) {}
+
+  void add(std::size_t slot, const Vec3f& fv) {
+    if (cache_ != nullptr) {
+      cache_->add(slot, fv);
+      return;
+    }
+    if (gld_) {
+      // Naive port: read-modify-write of the 3 force components via
+      // gld/gst, one element at a time (Algorithm 1 on scattered arrays).
+      float* p = copies_->slot_ptr(ctx_->id(), slot);
+      p[0] = ctx_->gld(p[0]) + fv.x;
+      p[1] = ctx_->gld(p[1]) + fv.y;
+      p[2] = ctx_->gld(p[2]) + fv.z;
+      float sink_val = 0.0f;
+      ctx_->gst(sink_val, p[0]);
+      ctx_->gst(sink_val, p[1]);
+      ctx_->gst(sink_val, p[2]);
+      (void)sink_val;
+      return;
+    }
+    // Pkg rung: Algorithm 1's per-pair UPDATE_FORCE — a 12 B read-modify-
+    // write against this CPE's copy in main memory. The tiny transfer sits
+    // at the very bottom of the Table 2 curve AND the get/put pair is a
+    // dependent round trip (the add needs the loaded value), so neither
+    // transfer overlaps anything: each is charged twice (once for issue
+    // bandwidth, once for the exposed round-trip latency). This is the cost
+    // the deferred update (§3.2) exists to remove.
+    float* p = copies_->slot_ptr(ctx_->id(), slot);
+    float tmp[3];
+    ctx_->dma_get(tmp, p, sizeof(tmp));
+    tmp[0] += fv.x;
+    tmp[1] += fv.y;
+    tmp[2] += fv.z;
+    ctx_->dma_put(p, tmp, sizeof(tmp));
+    ctx_->perf().dma_cycles += 1.0 * ctx_->config().dma_cycles(sizeof(tmp));
+  }
+
+  void flush() {
+    if (cache_ != nullptr) cache_->flush();
+  }
+
+ private:
+  sw::CpeContext* ctx_;
+  ForceCopySet* copies_;
+  ForceWriteCache* cache_;
+  bool gld_ = false;
+};
+
+struct CpeEnergies {
+  double lj = 0.0;
+  double coul = 0.0;
+};
+
+/// Scalar inner loops over one cluster pair (Interleaved layout).
+void cluster_pair_scalar(sw::CpeContext& ctx, const DevicePackage& ip,
+                         const DevicePackage& jp, int ci, int cj,
+                         const Vec3f& box_len, const md::NbParams& p,
+                         std::span<const float> c6t, std::span<const float> c12t,
+                         Vec3f fi[md::kClusterSize], ForceSink& sink,
+                         CpeEnergies& e) {
+  const bool self = ci == cj;
+  std::size_t tested = 0, accepted = 0;
+  for (int li = 0; li < md::kClusterSize; ++li) {
+    const Vec3f xi = pkg_pos(ip, md::PackageLayout::Interleaved, li);
+    const float qi = pkg_q(ip, md::PackageLayout::Interleaved, li);
+    const int ti = ip.type[li];
+    for (int lj = self ? li + 1 : 0; lj < md::kClusterSize; ++lj) {
+      ++tested;
+      if (md::excluded(ip.mol[li], jp.mol[lj])) continue;
+      const Vec3f dr =
+          min_image(xi, pkg_pos(jp, md::PackageLayout::Interleaved, lj), box_len);
+      const int tj = jp.type[lj];
+      md::PairResult pr{};
+      if (!md::pair_force(norm2(dr), qi,
+                          pkg_q(jp, md::PackageLayout::Interleaved, lj),
+                          c6t[static_cast<std::size_t>(ti * p.ntypes + tj)],
+                          c12t[static_cast<std::size_t>(ti * p.ntypes + tj)], p,
+                          pr)) {
+        continue;
+      }
+      ++accepted;
+      const Vec3f fv = pr.fscal * dr;
+      fi[li] += fv;
+      e.lj += pr.e_lj;
+      e.coul += pr.e_coul;
+      sink.add(static_cast<std::size_t>(cj) * md::kClusterSize +
+                   static_cast<std::size_t>(lj),
+               -fv);
+    }
+  }
+  ctx.charge_flops(static_cast<double>(tested) * md::PairCost::kTestOps +
+                   static_cast<double>(accepted) * md::PairCost::kForceOps);
+  ctx.charge_divs(static_cast<double>(accepted) * md::PairCost::kDivsPerPair);
+}
+
+/// Vectorized inner loops over one cluster pair (Transposed layout, §3.4):
+/// 4 i-particles per floatv4 lane against one j-particle per iteration.
+void cluster_pair_vector(sw::CpeContext& ctx, const DevicePackage& ip,
+                         const DevicePackage& jp, int ci, int cj,
+                         const Vec3f& box_len, const md::NbParams& p,
+                         std::span<const float> c6t, std::span<const float> c12t,
+                         simd::floatv4& fxi, simd::floatv4& fyi,
+                         simd::floatv4& fzi, ForceSink& sink, CpeEnergies& e) {
+  using simd::floatv4;
+  const bool self = ci == cj;
+  const floatv4 xi = floatv4::load(ip.pos_q + 0);
+  const floatv4 yi = floatv4::load(ip.pos_q + 4);
+  const floatv4 zi = floatv4::load(ip.pos_q + 8);
+  const floatv4 qi = floatv4::load(ip.pos_q + 12);
+  const floatv4 rcut2(p.rcut2);
+
+  double vec_ops = 0.0, vec_divs = 0.0;
+
+  for (int lj = 0; lj < md::kClusterSize; ++lj) {
+    // Per-lane validity mask: cutoff check comes later; here: exclusion and
+    // (for self pairs) the li < lj half-list rule.
+    float mask_arr[4];
+    bool any_valid = false;
+    for (int li = 0; li < md::kClusterSize; ++li) {
+      const bool ok = !md::excluded(ip.mol[li], jp.mol[lj]) && (!self || li < lj);
+      mask_arr[li] = ok ? 1.0f : 0.0f;
+      any_valid |= ok;
+    }
+    if (!any_valid) continue;
+    const floatv4 valid(mask_arr[0], mask_arr[1], mask_arr[2], mask_arr[3]);
+
+    const floatv4 xj(jp.pos_q[0 + lj]);
+    const floatv4 yj(jp.pos_q[4 + lj]);
+    const floatv4 zj(jp.pos_q[8 + lj]);
+    const floatv4 qj(jp.pos_q[12 + lj]);
+
+    const floatv4 dx = pbc_wrap(xi - xj, box_len.x);
+    const floatv4 dy = pbc_wrap(yi - yj, box_len.y);
+    const floatv4 dz = pbc_wrap(zi - zj, box_len.z);
+    const floatv4 r2 = dx * dx + dy * dy + dz * dz;
+
+    const floatv4 mask = cmp_lt(r2, rcut2) * valid;
+    vec_ops += md::PairCost::kTestOps;
+    if (hsum(mask) == 0.0f) continue;
+
+    // Gather per-lane LJ parameters (type of each i lane vs this j).
+    const int tj = jp.type[lj];
+    float c6_arr[4], c12_arr[4];
+    for (int li = 0; li < md::kClusterSize; ++li) {
+      const auto idx = static_cast<std::size_t>(ip.type[li] * p.ntypes + tj);
+      c6_arr[li] = c6t[idx];
+      c12_arr[li] = c12t[idx];
+    }
+    const floatv4 c6(c6_arr[0], c6_arr[1], c6_arr[2], c6_arr[3]);
+    const floatv4 c12(c12_arr[0], c12_arr[1], c12_arr[2], c12_arr[3]);
+
+    const floatv4 one(1.0f);
+    const floatv4 rinv2 = one / r2;
+    const floatv4 rinv6 = rinv2 * rinv2 * rinv2;
+    const floatv4 vvdw12 = c12 * rinv6 * rinv6;
+    const floatv4 vvdw6 = c6 * rinv6;
+    floatv4 fscal = (floatv4(12.0f) * vvdw12 - floatv4(6.0f) * vvdw6) * rinv2;
+    floatv4 e_lj_v = vvdw12 - vvdw6;
+    floatv4 e_coul_v;
+
+    const floatv4 qq = floatv4(p.coulomb_k) * qi * qj;
+    switch (p.coulomb) {
+      case md::CoulombMode::None:
+        break;
+      case md::CoulombMode::Cutoff: {
+        const floatv4 rinv = rsqrt(r2);
+        e_coul_v = qq * rinv;
+        fscal += qq * rinv * rinv2;
+        break;
+      }
+      case md::CoulombMode::ReactionField: {
+        const floatv4 rinv = rsqrt(r2);
+        e_coul_v = qq * (rinv + floatv4(p.rf_krf) * r2 - floatv4(p.rf_crf));
+        fscal += qq * (rinv * rinv2 - floatv4(2.0f * p.rf_krf));
+        break;
+      }
+      case md::CoulombMode::EwaldShort: {
+        // erfc/exp are lane-wise scalar calls functionally; on the real chip
+        // they are a vectorized table lookup — the cost model charges them
+        // as a handful of vector ops.
+        float ec[4], fs[4];
+        for (int li = 0; li < 4; ++li) {
+          const float r2l = r2[li];
+          if (r2l <= 0.0f || mask[li] == 0.0f) {
+            ec[li] = 0.0f;
+            fs[li] = 0.0f;
+            continue;
+          }
+          const float rinv = 1.0f / std::sqrt(r2l);
+          const float r = r2l * rinv;
+          const float br = p.ewald_beta * r;
+          const float erfc_br = std::erfc(br);
+          constexpr float kTwoOverSqrtPi = 1.1283791670955126f;
+          ec[li] = qq[li] * erfc_br * rinv;
+          fs[li] = qq[li] *
+                   (erfc_br * rinv +
+                    kTwoOverSqrtPi * p.ewald_beta * std::exp(-br * br)) *
+                   (1.0f / r2l);
+        }
+        e_coul_v = floatv4(ec[0], ec[1], ec[2], ec[3]);
+        fscal += floatv4(fs[0], fs[1], fs[2], fs[3]);
+        break;
+      }
+    }
+
+    const floatv4 zero;
+    fscal = select(mask, fscal, zero);
+    e_lj_v = select(mask, e_lj_v, zero);
+    e_coul_v = select(mask, e_coul_v, zero);
+
+    const floatv4 fvx = fscal * dx;
+    const floatv4 fvy = fscal * dy;
+    const floatv4 fvz = fscal * dz;
+    fxi += fvx;
+    fyi += fvy;
+    fzi += fvz;
+    e.lj += hsum(e_lj_v);
+    e.coul += hsum(e_coul_v);
+
+    // Newton: the j particle gets minus the sum over i lanes.
+    sink.add(static_cast<std::size_t>(cj) * md::kClusterSize +
+                 static_cast<std::size_t>(lj),
+             {-hsum(fvx), -hsum(fvy), -hsum(fvz)});
+
+    vec_ops += md::PairCost::kForceOps;
+    vec_divs += md::PairCost::kDivsPerPair;
+  }
+  ctx.charge_vec_ops(vec_ops);
+  ctx.charge_vec_divs(vec_divs);
+}
+
+}  // namespace
+
+SwShortRange::SwShortRange(sw::CoreGroup& cg, Flags flags, SwKernelOptions opt,
+                           std::string name)
+    : cg_(&cg), flags_(flags), opt_(opt), name_(std::move(name)) {}
+
+double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
+                             const md::ClusterPairList& list,
+                             const md::NbParams& p, std::span<Vec3f> f_slots,
+                             md::NbEnergies& e) {
+  SWGMX_CHECK_MSG(list.half, "SwShortRange consumes half lists");
+  SWGMX_CHECK(cs.layout() == wants_layout());
+  const PackedSystem packed(cs);
+  const int ncl = packed.nclusters();
+  const int nlines = packed.nlines();
+  const int ncpe = cg_->config().cpe_count;
+  const Vec3f box_len(box.len);
+
+  last_ = ShortRangeBreakdown{};
+
+  // 1. MPE-side aggregation (Fig 2): stream every particle's fields once.
+  const double nslots = static_cast<double>(packed.nslots());
+  last_.aggregate_s = cg_->mpe_seconds(nslots * 6.0, nslots * 2.0);
+
+  if (!copies_ || copies_->nlines() != nlines || copies_->ncpe() != ncpe) {
+    copies_.emplace(ncpe, nlines);
+  }
+
+  // 2. RMA initialization step (deserted by the Bit-Map strategy). The
+  // baseline implementations zero all 64 copies from the host side — a
+  // serial MPE sweep over ncpe * nslots * 12 B, which is why the paper says
+  // the initialization "almost consumes the same time with calculation".
+  if (!flags_.marks) {
+    copies_->zero_all();
+    const double init_bytes = static_cast<double>(ncpe) *
+                              static_cast<double>(copies_->nlines()) *
+                              kForceLineBytes;
+    // ~0.22 ops and 1/16 memory reference per byte: a straight vectorized
+    // MPE memset sweep over ncpe copies.
+    last_.init_s = cg_->mpe_seconds(init_bytes * 0.22, init_bytes / 16.0);
+  } else {
+    copies_->clear_marks();
+  }
+
+  // 3. Force kernel.
+  std::vector<CpeEnergies> e_cpe(static_cast<std::size_t>(ncpe));
+  const std::vector<int> bounds = balance_rows(list, ncl, ncpe);
+  const auto fst = cg_->run([&](sw::CpeContext& ctx) {
+    const int cpe = ctx.id();
+    const int lo = bounds[static_cast<std::size_t>(cpe)];
+    const int hi = bounds[static_cast<std::size_t>(cpe) + 1];
+
+    // LDM-resident LJ tables (one DMA each at kernel start).
+    const auto nt2 = static_cast<std::size_t>(p.ntypes) *
+                     static_cast<std::size_t>(p.ntypes);
+    auto c6l = ctx.ldm().allocate<float>(nt2);
+    auto c12l = ctx.ldm().allocate<float>(nt2);
+    ctx.dma_get(c6l.data(), p.c6.data(), nt2 * sizeof(float));
+    ctx.dma_get(c12l.data(), p.c12.data(), nt2 * sizeof(float));
+
+    // Read path: cache (Fig 3), direct per-package DMA (Pkg rung), or
+    // per-element gld (the naive port of §3.1's "before" state).
+    std::optional<ReadCache<DevicePackage, kPkgsPerLine>> rcache;
+    std::span<DevicePackage> jscratch;
+    if (flags_.read_cache) {
+      rcache.emplace(ctx, packed.packages(), opt_.read_sets, opt_.read_ways);
+    } else {
+      jscratch = ctx.ldm().allocate<DevicePackage>(1);
+    }
+    auto ibuf = ctx.ldm().allocate<DevicePackage>(1);
+
+    // Write path: deferred-update cache, or per-pair DMA on the Pkg rung.
+    std::optional<ForceWriteCache> wcache;
+    if (flags_.read_cache) {
+      wcache.emplace(ctx, *copies_, cpe, opt_.write_lines, flags_.marks);
+    }
+    ForceSink sink(ctx, *copies_, wcache ? &*wcache : nullptr, flags_.gld);
+
+    // Pair-list row staging buffer.
+    auto rowbuf = ctx.ldm().allocate<std::int32_t>(kRowChunk);
+
+    CpeEnergies eng;
+    for (int ci = lo; ci < hi; ++ci) {
+      ctx.dma_get(ibuf.data(), &packed.packages()[static_cast<std::size_t>(ci)],
+                  sizeof(DevicePackage));
+      const auto row = list.row(ci);
+
+      Vec3f fi_s[md::kClusterSize] = {};
+      simd::floatv4 fxi, fyi, fzi;
+
+      // Stream the row in 2 KB chunks (functional reads go straight to the
+      // list; the DMA charges model the staging transfers).
+      for (std::size_t base = 0; base < row.size(); base += kRowChunk) {
+        const std::size_t chunk = std::min(kRowChunk, row.size() - base);
+        ctx.dma_get(rowbuf.data(), row.data() + base,
+                    chunk * sizeof(std::int32_t));
+        for (std::size_t k = 0; k < chunk; ++k) {
+          const std::int32_t cj = row[base + k];
+          const DevicePackage* jp_ptr;
+          if (rcache) {
+            jp_ptr = &rcache->get(static_cast<std::size_t>(cj));
+          } else if (flags_.gld) {
+            // 4 lanes x (x, y, z, q, type, mol) fetched one element at a
+            // time from the scattered arrays.
+            jp_ptr = &packed.packages()[static_cast<std::size_t>(cj)];
+            ctx.perf().gld_cycles += 24.0 * ctx.config().gld_latency_cycles;
+            ctx.perf().gld_count += 24;
+          } else {
+            ctx.dma_get(jscratch.data(),
+                        &packed.packages()[static_cast<std::size_t>(cj)],
+                        sizeof(DevicePackage));
+            jp_ptr = &jscratch[0];
+          }
+          const DevicePackage& jp = *jp_ptr;
+          if (flags_.vectorized) {
+            cluster_pair_vector(ctx, ibuf[0], jp, ci, cj, box_len, p, c6l, c12l,
+                                fxi, fyi, fzi, sink, eng);
+          } else {
+            cluster_pair_scalar(ctx, ibuf[0], jp, ci, cj, box_len, p, c6l, c12l,
+                                fi_s, sink, eng);
+          }
+        }
+      }
+
+      // i-forces: Fig 7 post-treatment in the vector path (6 shuffles), then
+      // both paths push through the same sink.
+      if (flags_.vectorized) {
+        const simd::Xyz4 t = simd::transpose_soa_to_xyz(fxi, fyi, fzi);
+        ctx.charge_shuffles(simd::kTransposeShuffles);
+        ctx.charge_vec_ops(3.0);
+        float out[12];
+        t.a.store(out);
+        t.b.store(out + 4);
+        t.c.store(out + 8);
+        for (int lane = 0; lane < md::kClusterSize; ++lane) {
+          fi_s[lane] = {out[lane * 3], out[lane * 3 + 1], out[lane * 3 + 2]};
+        }
+      }
+      for (int lane = 0; lane < md::kClusterSize; ++lane) {
+        sink.add(static_cast<std::size_t>(ci) * md::kClusterSize +
+                     static_cast<std::size_t>(lane),
+                 fi_s[lane]);
+      }
+    }
+    sink.flush();
+    e_cpe[static_cast<std::size_t>(cpe)] = eng;
+  },
+  // The Vec/Mark rungs double-buffer their DMA streams ("full pipeline
+  // acceleration"); the scalar rungs issue blocking transfers.
+  flags_.vectorized ? 0.8 : 0.0);
+  last_.force_s = fst.sim_seconds;
+  last_.force = fst;
+
+  // 4. Reduction (Alg 4): force lines are chunked over CPEs; marked (or all)
+  // copies are fetched, summed, and written to f_slots.
+  const std::size_t total_slots = cs.nslots();
+  const auto rst = cg_->run([&](sw::CpeContext& ctx) {
+    const int cpe = ctx.id();
+    const int l_lo = nlines * cpe / ncpe;
+    const int l_hi = nlines * (cpe + 1) / ncpe;
+    if (l_lo == l_hi) return;
+
+    auto acc = ctx.ldm().allocate<ForcePackage>(kPkgsPerLine);
+    auto fetch = ctx.ldm().allocate<ForcePackage>(kPkgsPerLine);
+
+    // Pull the mark words covering this CPE's line range from every CPE.
+    // The mark store is contiguous (cpe-major), so this is a single strided
+    // DMA (the SW26010 engine's stride mode); fetching every CPE's whole
+    // mark array would not fit LDM for large systems.
+    (void)copies_->words_per_cpe();
+    const std::size_t w_lo = static_cast<std::size_t>(l_lo) / 64;
+    const std::size_t w_hi = static_cast<std::size_t>(l_hi - 1) / 64 + 1;
+    const std::size_t w_chunk = w_hi - w_lo;
+    std::span<std::uint64_t> marks;
+    if (flags_.marks) {
+      marks = ctx.ldm().allocate<std::uint64_t>(
+          static_cast<std::size_t>(ncpe) * w_chunk);
+      for (int c = 0; c < ncpe; ++c) {
+        std::memcpy(marks.data() + static_cast<std::size_t>(c) * w_chunk,
+                    copies_->marks_of(c).data() + w_lo,
+                    w_chunk * sizeof(std::uint64_t));
+      }
+      const std::size_t bytes =
+          static_cast<std::size_t>(ncpe) * w_chunk * sizeof(std::uint64_t);
+      ctx.perf().dma_cycles += ctx.config().dma_cycles(bytes);
+      ctx.perf().dma_transfers += 1;
+      ctx.perf().dma_bytes += bytes;
+    }
+
+    for (int l = l_lo; l < l_hi; ++l) {
+      std::memset(acc.data(), 0, kForceLineBytes);
+      bool any = false;
+      for (int c = 0; c < ncpe; ++c) {
+        if (flags_.marks) {
+          const auto w = static_cast<std::size_t>(l) / 64 - w_lo;
+          const auto b = static_cast<std::size_t>(l) % 64;
+          ctx.charge_cycles(1.0);  // the mark test (Alg 4 line 4)
+          if (((marks[static_cast<std::size_t>(c) * w_chunk + w] >> b) & 1u) == 0)
+            continue;
+        }
+        ctx.dma_get(fetch.data(), copies_->line(c, l), kForceLineBytes);
+        const float* src = fetch[0].f;
+        float* dst = acc[0].f;
+        for (std::size_t i = 0; i < kPkgsPerLine * md::kClusterSize * 3; ++i) {
+          dst[i] += src[i];
+        }
+        ctx.charge_vec_ops(kPkgsPerLine * md::kClusterSize * 3 / 4.0);
+        any = true;
+      }
+      if (!any) continue;
+      // Write the summed line into the global slot-force array.
+      const std::size_t slot0 = static_cast<std::size_t>(l) * kParticlesPerLine;
+      const std::size_t count =
+          std::min<std::size_t>(kParticlesPerLine, total_slots - slot0);
+      ctx.dma_put(f_slots.data() + slot0, acc.data(), count * sizeof(Vec3f));
+    }
+  });
+  last_.reduce_s = rst.sim_seconds;
+  last_.reduce = rst;
+
+  for (const auto& ec : e_cpe) {
+    e.lj += ec.lj;
+    e.coul += ec.coul;
+  }
+  return last_.total();
+}
+
+}  // namespace swgmx::core

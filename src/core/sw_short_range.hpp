@@ -1,0 +1,74 @@
+// The CPE short-range backend implementing the Pkg / Cache / Vec / Mark
+// ladder (one class, feature flags) on the core-group simulator.
+//
+// Execution shape per force call:
+//   1. MPE aggregates particle packages (PackedSystem).
+//   2. (RMA only, i.e. no marks) init kernel: every CPE zeroes its force
+//      copy array with large DMA puts — the step the Bit-Map deserts.
+//   3. Force kernel: i-clusters are chunked contiguously over the 64 CPEs;
+//      each CPE streams its i-packages + pair-list rows by DMA, reads
+//      j-packages through the (optional) read cache, and accumulates ALL
+//      force contributions through the deferred-update write cache into its
+//      private copy array.
+//   4. Reduction kernel: force lines are chunked over CPEs; each line sums
+//      the (marked) copies of all CPEs and writes the result to f_slots.
+#pragma once
+
+#include <optional>
+
+#include "core/packed.hpp"
+#include "core/strategies.hpp"
+#include "md/backends.hpp"
+
+namespace swgmx::core {
+
+/// Per-call cost breakdown (drives Fig 8/9 analysis output).
+struct ShortRangeBreakdown {
+  double aggregate_s = 0.0;  ///< MPE package aggregation
+  double init_s = 0.0;       ///< RMA copy zeroing (0 with marks)
+  double force_s = 0.0;      ///< CPE force kernel (critical path)
+  double reduce_s = 0.0;     ///< reduction kernel
+  sw::KernelStats force;
+  sw::KernelStats reduce;
+  [[nodiscard]] double total() const {
+    return aggregate_s + init_s + force_s + reduce_s;
+  }
+};
+
+class SwShortRange final : public md::ShortRangeBackend {
+ public:
+  struct Flags {
+    bool read_cache = true;   ///< false => Pkg rung: one DMA per package,
+                              ///< plus per-pair j-force DMA updates
+    bool vectorized = false;  ///< floatv4 inner loop + Fig 7 transposes
+    bool marks = false;       ///< Bit-Map strategy
+    bool gld = false;         ///< naive port: per-element gld/gst instead of
+                              ///< DMA (requires read_cache == false)
+  };
+
+  SwShortRange(sw::CoreGroup& cg, Flags flags, SwKernelOptions opt,
+               std::string name);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool wants_half_list() const override { return true; }
+  [[nodiscard]] md::PackageLayout wants_layout() const override {
+    return flags_.vectorized ? md::PackageLayout::Transposed
+                             : md::PackageLayout::Interleaved;
+  }
+
+  double compute(const md::ClusterSystem& cs, const md::Box& box,
+                 const md::ClusterPairList& list, const md::NbParams& p,
+                 std::span<Vec3f> f_slots, md::NbEnergies& e) override;
+
+  [[nodiscard]] const ShortRangeBreakdown& last() const { return last_; }
+
+ private:
+  sw::CoreGroup* cg_;
+  Flags flags_;
+  SwKernelOptions opt_;
+  std::string name_;
+  std::optional<ForceCopySet> copies_;
+  ShortRangeBreakdown last_;
+};
+
+}  // namespace swgmx::core

@@ -1,0 +1,38 @@
+#include "core/ttf.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace swgmx::core {
+
+const std::vector<PlatformSpec>& platform_table() {
+  static const std::vector<PlatformSpec> table = {
+      // name, peak flops, bandwidth, miss rate, cache
+      {"KNL", 6e12, 400e9, 0.0008, "32 KB + 1 MB"},
+      {"SW26010", 3e12, 132e9, 0.04, "64 KB LDM"},
+      {"P100", 10e12, 720e9, 0.009, "64 KB + 4 MB"},
+  };
+  return table;
+}
+
+const PlatformSpec& platform(const std::string& name) {
+  const auto& t = platform_table();
+  const auto it = std::find_if(t.begin(), t.end(),
+                               [&](const PlatformSpec& p) { return p.name == name; });
+  SWGMX_CHECK_MSG(it != t.end(), "unknown platform " << name);
+  return *it;
+}
+
+double ttf_ratio(const PlatformSpec& a, const PlatformSpec& b) {
+  return (a.cache_miss_rate * b.bandwidth) / (b.cache_miss_rate * a.bandwidth);
+}
+
+double roofline_seconds(const PlatformSpec& spec, double flops, double bytes) {
+  const double t_compute = flops / spec.flops;
+  const double t_memory = bytes * spec.cache_miss_rate / spec.bandwidth *
+                          64.0;  // a miss moves a 64 B line
+  return std::max(t_compute, t_memory);
+}
+
+}  // namespace swgmx::core

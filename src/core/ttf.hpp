@@ -1,0 +1,37 @@
+// The paper's cross-platform "time to fulfill" (TTF) model: §4.5, Table 4,
+// Equations (3) and (4). For a memory-bound kernel,
+//   TTF ~ (memory accesses) * (cache miss rate) / bandwidth,
+// so the platform ratio reduces to  MR_a * BW_b / (MR_b * BW_a).
+//
+// We have no KNL or P100 hardware; this module *is* the comparator the
+// paper itself uses, plus a simple roofline estimator for the Fig 11 bars.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swgmx::core {
+
+/// One row of Table 4.
+struct PlatformSpec {
+  std::string name;
+  double flops;            ///< peak FLOP/s
+  double bandwidth;        ///< memory bandwidth, B/s
+  double cache_miss_rate;  ///< combined miss rate to DRAM
+  std::string cache_desc;
+};
+
+/// Table 4 constants (+ the miss rates of §4.5: KNL < 0.08%, P100 ~0.9%,
+/// SW26010 ~4% — about 2x the KNL L1 rate through a single level).
+[[nodiscard]] const std::vector<PlatformSpec>& platform_table();
+[[nodiscard]] const PlatformSpec& platform(const std::string& name);
+
+/// Eq (3)/(4): TTF_a / TTF_b = (MR_a * BW_b) / (MR_b * BW_a).
+[[nodiscard]] double ttf_ratio(const PlatformSpec& a, const PlatformSpec& b);
+
+/// Roofline time estimate for a kernel that moves `bytes` with miss rate
+/// `spec.cache_miss_rate` and executes `flops`: max(compute, memory) time.
+[[nodiscard]] double roofline_seconds(const PlatformSpec& spec, double flops,
+                                      double bytes);
+
+}  // namespace swgmx::core

@@ -1,0 +1,90 @@
+#include "core/write_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace swgmx::core {
+
+ForceWriteCache::ForceWriteCache(sw::CpeContext& ctx, ForceCopySet& copies,
+                                 int cpe, int cache_lines, bool use_marks)
+    : ctx_(&ctx),
+      copies_(&copies),
+      cpe_(cpe),
+      nlines_cache_(cache_lines),
+      use_marks_(use_marks) {
+  SWGMX_CHECK_MSG((cache_lines & (cache_lines - 1)) == 0,
+                  "cache_lines must be a power of two");
+  data_ = ctx.ldm().allocate<ForcePackage>(
+      static_cast<std::size_t>(cache_lines) * kPkgsPerLine);
+  tags_ = ctx.ldm().allocate<std::int32_t>(static_cast<std::size_t>(cache_lines));
+  for (auto& t : tags_) t = -1;
+  if (use_marks_) {
+    // LDM mirror of the mark bits, zeroed at kernel start (the copies
+    // themselves are NOT initialized — that is the Bit-Map point).
+    ldm_marks_ = ctx.ldm().allocate<std::uint64_t>(copies.words_per_cpe());
+  }
+}
+
+void ForceWriteCache::write_back(int cache_slot) {
+  const std::int32_t line_id = tags_[static_cast<std::size_t>(cache_slot)];
+  if (line_id < 0) return;
+  ctx_->dma_put(copies_->line(cpe_, line_id),
+                data_.data() + static_cast<std::size_t>(cache_slot) * kPkgsPerLine,
+                kForceLineBytes);
+}
+
+void ForceWriteCache::load_line(int cache_slot, std::int32_t line_id) {
+  ForcePackage* dst = data_.data() + static_cast<std::size_t>(cache_slot) * kPkgsPerLine;
+  if (use_marks_) {
+    const auto w = static_cast<std::size_t>(line_id) / 64;
+    const auto b = static_cast<std::size_t>(line_id) % 64;
+    if ((ldm_marks_[w] >> b) & 1u) {
+      // Line was written before (Alg 3 line 11-13): fetch the partial sums.
+      ctx_->dma_get(dst, copies_->line(cpe_, line_id), kForceLineBytes);
+    } else {
+      // First touch (Alg 3 line 14-16): the copy is logically zero — just
+      // clear the LDM line and set the mark. No DMA, no init step.
+      std::memset(dst, 0, kForceLineBytes);
+      ldm_marks_[w] |= std::uint64_t{1} << b;
+      ctx_->charge_cycles(2.0);  // the bit ops of Alg 3
+    }
+  } else {
+    // RMA: copies were zero-initialized up front, always fetch.
+    ctx_->dma_get(dst, copies_->line(cpe_, line_id), kForceLineBytes);
+  }
+  tags_[static_cast<std::size_t>(cache_slot)] = line_id;
+}
+
+void ForceWriteCache::add(std::size_t slot, const Vec3f& fv) {
+  const auto line_id = static_cast<std::int32_t>(slot / kParticlesPerLine);
+  const int cache_slot = line_id & (nlines_cache_ - 1);
+
+  if (tags_[static_cast<std::size_t>(cache_slot)] != line_id) {
+    ++ctx_->perf().write_misses;
+    write_back(cache_slot);
+    load_line(cache_slot, line_id);
+  } else {
+    ++ctx_->perf().write_hits;
+  }
+
+  const std::size_t in_line = slot % kParticlesPerLine;
+  const std::size_t pkg = in_line / md::kClusterSize;
+  const std::size_t lane = in_line % md::kClusterSize;
+  float* f = data_[static_cast<std::size_t>(cache_slot) * kPkgsPerLine + pkg].f;
+  f[lane * 3 + 0] += fv.x;
+  f[lane * 3 + 1] += fv.y;
+  f[lane * 3 + 2] += fv.z;
+}
+
+void ForceWriteCache::flush() {
+  for (int s = 0; s < nlines_cache_; ++s) {
+    write_back(s);
+    tags_[static_cast<std::size_t>(s)] = -1;
+  }
+  if (use_marks_) {
+    // Publish the marks so the reduction kernel can read them (one small DMA).
+    ctx_->dma_put(copies_->marks_of(cpe_).data(), ldm_marks_.data(),
+                  ldm_marks_.size() * sizeof(std::uint64_t));
+  }
+}
+
+}  // namespace swgmx::core

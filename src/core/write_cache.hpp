@@ -1,0 +1,52 @@
+// Deferred Update (§3.2, Fig 4) + Bit-Map marks (§3.3, Fig 5, Alg 3).
+//
+// Force changes are accumulated in an LDM-resident direct-mapped cache of
+// force lines; a line is written back to this CPE's main-memory copy array
+// only when evicted (or at flush). With marks enabled, the first touch of a
+// line skips both the main-memory initialization and the fetch — the line is
+// known to be zero — which is what lets the Bit-Map strategy desert the RMA
+// initialization step entirely.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "common/vec3.hpp"
+#include "core/packed.hpp"
+#include "sw/cpe.hpp"
+
+namespace swgmx::core {
+
+class ForceWriteCache {
+ public:
+  /// `cache_lines` must be a power of two. With `use_marks` false the
+  /// backing copy must have been zero-initialized (the RMA init step).
+  ForceWriteCache(sw::CpeContext& ctx, ForceCopySet& copies, int cpe,
+                  int cache_lines, bool use_marks);
+
+  /// Accumulate a force contribution for a particle slot.
+  void add(std::size_t slot, const Vec3f& fv);
+
+  /// Write every dirty line back to the copy array and (with marks) publish
+  /// the mark bits to main memory. Must be called before the kernel ends.
+  void flush();
+
+ private:
+  void write_back(int cache_slot);
+  void load_line(int cache_slot, std::int32_t line_id);
+
+  sw::CpeContext* ctx_;
+  ForceCopySet* copies_;
+  int cpe_;
+  int nlines_cache_;
+  bool use_marks_;
+
+  std::span<ForcePackage> data_;       ///< LDM line storage
+  std::span<std::int32_t> tags_;       ///< backing line id per cache line
+  std::span<std::uint64_t> ldm_marks_; ///< LDM copy of this CPE's mark bits
+};
+
+/// DMA bytes of one force line (used by cost estimates in benches).
+inline constexpr std::size_t kForceLineBytes = sizeof(ForcePackage) * kPkgsPerLine;
+
+}  // namespace swgmx::core

@@ -1,0 +1,66 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace swgmx::fft {
+
+namespace {
+
+// Bit-reversal permutation.
+void bit_reverse(std::span<cplx> a) {
+  const std::size_t n = a.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+// Core Cooley-Tukey loop; sign = -1 forward, +1 inverse (no normalization).
+void transform(std::span<cplx> a, double sign) {
+  const std::size_t n = a.size();
+  SWGMX_CHECK_MSG(is_pow2(n), "FFT length must be a power of two, got " << n);
+  bit_reverse(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void forward(std::span<cplx> data) { transform(data, -1.0); }
+
+void inverse(std::span<cplx> data) {
+  transform(data, +1.0);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x *= inv_n;
+}
+
+std::vector<cplx> forward_copy(std::span<const cplx> data) {
+  std::vector<cplx> out(data.begin(), data.end());
+  forward(out);
+  return out;
+}
+
+double butterfly_count(std::size_t n) {
+  if (n <= 1) return 0.0;
+  return static_cast<double>(n) / 2.0 * std::log2(static_cast<double>(n));
+}
+
+}  // namespace swgmx::fft

@@ -1,0 +1,35 @@
+// In-place iterative radix-2 complex FFT. The PME substrate runs on
+// power-of-two grids, so radix-2 is all we need; precision is double because
+// the reciprocal-space sum is the accuracy-critical part of PME.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace swgmx::fft {
+
+using cplx = std::complex<double>;
+
+/// True if n is a power of two (and > 0).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward DFT: X[k] = sum_j x[j] e^{-2 pi i jk / n}. n must be a
+/// power of two.
+void forward(std::span<cplx> data);
+
+/// In-place inverse DFT *including* the 1/n normalization, so
+/// inverse(forward(x)) == x.
+void inverse(std::span<cplx> data);
+
+/// Out-of-place convenience.
+[[nodiscard]] std::vector<cplx> forward_copy(std::span<const cplx> data);
+
+/// Number of complex butterflies an n-point radix-2 FFT performs — used by
+/// the PME cost model.
+[[nodiscard]] double butterfly_count(std::size_t n);
+
+}  // namespace swgmx::fft

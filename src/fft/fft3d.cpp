@@ -1,0 +1,78 @@
+#include "fft/fft3d.hpp"
+
+#include "common/error.hpp"
+
+namespace swgmx::fft {
+
+Grid3D::Grid3D(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz) {
+  SWGMX_CHECK_MSG(is_pow2(nx) && is_pow2(ny) && is_pow2(nz),
+                  "Grid3D dimensions must be powers of two: " << nx << 'x' << ny
+                                                              << 'x' << nz);
+}
+
+void Grid3D::fill(cplx v) {
+  for (auto& x : data_) x = v;
+}
+
+void Grid3D::transform_axis(int axis, bool fwd) {
+  // Gather each line along `axis` into a contiguous scratch buffer, do the
+  // 1-D transform, scatter back. z lines are already contiguous.
+  auto run = [&](std::span<cplx> line) {
+    if (fwd) {
+      fft::forward(line);
+    } else {
+      fft::inverse(line);
+    }
+  };
+
+  if (axis == 2) {
+    for (std::size_t ix = 0; ix < nx_; ++ix)
+      for (std::size_t iy = 0; iy < ny_; ++iy)
+        run(std::span<cplx>(&at(ix, iy, 0), nz_));
+    return;
+  }
+
+  const std::size_t len = axis == 0 ? nx_ : ny_;
+  std::vector<cplx> scratch(len);
+  if (axis == 1) {
+    for (std::size_t ix = 0; ix < nx_; ++ix)
+      for (std::size_t iz = 0; iz < nz_; ++iz) {
+        for (std::size_t iy = 0; iy < ny_; ++iy) scratch[iy] = at(ix, iy, iz);
+        run(scratch);
+        for (std::size_t iy = 0; iy < ny_; ++iy) at(ix, iy, iz) = scratch[iy];
+      }
+  } else {
+    for (std::size_t iy = 0; iy < ny_; ++iy)
+      for (std::size_t iz = 0; iz < nz_; ++iz) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) scratch[ix] = at(ix, iy, iz);
+        run(scratch);
+        for (std::size_t ix = 0; ix < nx_; ++ix) at(ix, iy, iz) = scratch[ix];
+      }
+  }
+}
+
+void Grid3D::forward() {
+  transform_axis(2, true);
+  transform_axis(1, true);
+  transform_axis(0, true);
+}
+
+void Grid3D::inverse() {
+  // fft::inverse normalizes each 1-D line by 1/len, so after the three
+  // passes the grid carries the full 1/(nx ny nz) factor.
+  transform_axis(2, false);
+  transform_axis(1, false);
+  transform_axis(0, false);
+}
+
+double Grid3D::butterfly_count() const {
+  const double per_x = fft::butterfly_count(nx_);
+  const double per_y = fft::butterfly_count(ny_);
+  const double per_z = fft::butterfly_count(nz_);
+  return static_cast<double>(ny_ * nz_) * per_x +
+         static_cast<double>(nx_ * nz_) * per_y +
+         static_cast<double>(nx_ * ny_) * per_z;
+}
+
+}  // namespace swgmx::fft

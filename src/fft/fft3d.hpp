@@ -1,0 +1,47 @@
+// 3-D complex FFT over a dense row-major grid, built from the 1-D transform.
+// This is the stand-in for GROMACS' parallel 3-D FFT used by PME.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace swgmx::fft {
+
+/// Dense nx*ny*nz complex grid, row-major with z fastest.
+class Grid3D {
+ public:
+  Grid3D(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] cplx& at(std::size_t ix, std::size_t iy, std::size_t iz) {
+    return data_[(ix * ny_ + iy) * nz_ + iz];
+  }
+  [[nodiscard]] const cplx& at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return data_[(ix * ny_ + iy) * nz_ + iz];
+  }
+  [[nodiscard]] std::span<cplx> flat() { return data_; }
+  [[nodiscard]] std::span<const cplx> flat() const { return data_; }
+
+  void fill(cplx v);
+
+  /// In-place forward 3-D FFT (1-D transforms along z, then y, then x).
+  void forward();
+  /// In-place inverse 3-D FFT including full 1/(nx ny nz) normalization.
+  void inverse();
+
+  /// Total butterflies of one 3-D transform (PME cost model input).
+  [[nodiscard]] double butterfly_count() const;
+
+ private:
+  void transform_axis(int axis, bool fwd);
+  std::size_t nx_, ny_, nz_;
+  std::vector<cplx> data_;
+};
+
+}  // namespace swgmx::fft

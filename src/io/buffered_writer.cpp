@@ -1,0 +1,54 @@
+#include "io/buffered_writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace swgmx::io {
+
+BufferedWriter::BufferedWriter(const std::string& path, std::size_t buffer_bytes)
+    : cap_(buffer_bytes), buf_(std::make_unique<char[]>(buffer_bytes)) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  SWGMX_CHECK_MSG(fd_ >= 0, "cannot open " << path);
+}
+
+BufferedWriter::~BufferedWriter() {
+  if (fd_ >= 0) close();
+}
+
+void BufferedWriter::write(const char* data, std::size_t n) {
+  SWGMX_CHECK(fd_ >= 0);
+  total_ += n;
+  while (n > 0) {
+    const std::size_t take = std::min(n, cap_ - used_);
+    std::memcpy(buf_.get() + used_, data, take);
+    used_ += take;
+    data += take;
+    n -= take;
+    if (used_ == cap_) flush();
+  }
+}
+
+void BufferedWriter::flush() {
+  std::size_t off = 0;
+  while (off < used_) {
+    const ssize_t w = ::write(fd_, buf_.get() + off, used_ - off);
+    SWGMX_CHECK_MSG(w >= 0, "write failed");
+    off += static_cast<std::size_t>(w);
+    ++syscalls_;
+  }
+  used_ = 0;
+}
+
+void BufferedWriter::close() {
+  if (fd_ < 0) return;
+  flush();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace swgmx::io

@@ -1,0 +1,41 @@
+// Large-buffer file writer (§3.7): replaces fwrite's small stdio buffering
+// with raw write(2) calls over a 20 MB user buffer, batching syscalls.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace swgmx::io {
+
+class BufferedWriter {
+ public:
+  /// Opens (creates/truncates) the file with the given buffer capacity.
+  explicit BufferedWriter(const std::string& path,
+                          std::size_t buffer_bytes = 20 * 1024 * 1024);
+  ~BufferedWriter();
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  void write(const char* data, std::size_t n);
+  void write(std::string_view s) { write(s.data(), s.size()); }
+
+  /// Flush the user buffer to the kernel.
+  void flush();
+  /// Flush and close; further writes are invalid.
+  void close();
+
+  [[nodiscard]] std::size_t bytes_written() const { return total_; }
+  [[nodiscard]] std::size_t syscall_count() const { return syscalls_; }
+
+ private:
+  int fd_ = -1;
+  std::size_t cap_;
+  std::size_t used_ = 0;
+  std::size_t total_ = 0;
+  std::size_t syscalls_ = 0;
+  std::unique_ptr<char[]> buf_;
+};
+
+}  // namespace swgmx::io

@@ -1,0 +1,58 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace swgmx::io {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x53574758'43505431ull;  // "SWGX CPT1"
+}
+
+void write_checkpoint(const std::string& path, const md::System& sys,
+                      std::int64_t step) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SWGMX_CHECK_MSG(out.good(), "cannot open " << path);
+  const std::uint64_t n = sys.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&step), sizeof(step));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(sys.x.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3f)));
+  out.write(reinterpret_cast<const char*>(sys.v.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3f)));
+  SWGMX_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SWGMX_CHECK_MSG(in.good(), "cannot open " << path);
+  std::uint64_t magic = 0, n = 0;
+  Checkpoint cp;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  SWGMX_CHECK_MSG(magic == kMagic, "not a SW_GROMACS checkpoint: " << path);
+  in.read(reinterpret_cast<char*>(&cp.step), sizeof(cp.step));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  SWGMX_CHECK_MSG(in.good() && n > 0 && n < (1ull << 32),
+                  "corrupt checkpoint header in " << path);
+  cp.x.resize(n);
+  cp.v.resize(n);
+  in.read(reinterpret_cast<char*>(cp.x.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3f)));
+  in.read(reinterpret_cast<char*>(cp.v.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3f)));
+  SWGMX_CHECK_MSG(in.good(), "truncated checkpoint " << path);
+  return cp;
+}
+
+void apply_checkpoint(const Checkpoint& cp, md::System& sys) {
+  SWGMX_CHECK_MSG(cp.x.size() == sys.size(),
+                  "checkpoint particle count " << cp.x.size()
+                                               << " != system " << sys.size());
+  std::memcpy(sys.x.data(), cp.x.data(), cp.x.size() * sizeof(Vec3f));
+  std::memcpy(sys.v.data(), cp.v.data(), cp.v.size() * sizeof(Vec3f));
+}
+
+}  // namespace swgmx::io

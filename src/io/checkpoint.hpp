@@ -1,0 +1,33 @@
+// Binary checkpoint / restart of a simulation state (positions, velocities,
+// step counter). Restarting from a checkpoint continues bit-identically,
+// which the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "md/system.hpp"
+
+namespace swgmx::io {
+
+/// Everything needed to resume: per-particle dynamic state + step count.
+/// Static data (topology, force field) is reconstructed by the caller, as
+/// in GROMACS (.cpt holds state; .tpr holds the setup).
+struct Checkpoint {
+  std::int64_t step = 0;
+  std::vector<Vec3f> x;
+  std::vector<Vec3f> v;
+};
+
+/// Write the dynamic state of `sys` at `step`.
+void write_checkpoint(const std::string& path, const md::System& sys,
+                      std::int64_t step);
+
+/// Read a checkpoint (throws swgmx::Error on format mismatch/corruption).
+[[nodiscard]] Checkpoint read_checkpoint(const std::string& path);
+
+/// Apply a checkpoint's dynamic state onto a freshly constructed system
+/// (particle count must match).
+void apply_checkpoint(const Checkpoint& cp, md::System& sys);
+
+}  // namespace swgmx::io

@@ -1,0 +1,75 @@
+#include "io/fast_format.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace swgmx::io {
+
+std::size_t format_uint(std::uint64_t v, char* out) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+std::size_t format_int(std::int64_t v, char* out) {
+  if (v < 0) {
+    *out = '-';
+    return 1 + format_uint(static_cast<std::uint64_t>(-v), out + 1);
+  }
+  return format_uint(static_cast<std::uint64_t>(v), out);
+}
+
+namespace {
+constexpr std::uint64_t kPow10[] = {1ull,      10ull,      100ull,
+                                    1000ull,   10000ull,   100000ull,
+                                    1000000ull, 10000000ull, 100000000ull,
+                                    1000000000ull};
+}
+
+std::size_t format_fixed(double v, int decimals, char* out) {
+  SWGMX_CHECK(decimals >= 0 && decimals <= 9);
+  char* p = out;
+  if (std::signbit(v)) {
+    *p++ = '-';
+    v = -v;
+  }
+  const auto scale = kPow10[decimals];
+  // Round half up at the last kept decimal.
+  const double scaled = v * static_cast<double>(scale) + 0.5;
+  SWGMX_CHECK_MSG(scaled < 9.3e18, "format_fixed value out of range");
+  const auto total = static_cast<std::uint64_t>(scaled);
+  const std::uint64_t ip = total / scale;
+  const std::uint64_t fp = total % scale;
+  p += format_uint(ip, p);
+  if (decimals > 0) {
+    *p++ = '.';
+    // zero-pad the fractional part
+    for (int d = decimals - 1; d >= 0; --d) {
+      *p++ = static_cast<char>('0' + (fp / kPow10[d]) % 10);
+    }
+  }
+  return static_cast<std::size_t>(p - out);
+}
+
+std::size_t format_fixed_width(double v, int decimals, int width, char* out) {
+  char tmp[48];
+  const std::size_t n = format_fixed(v, decimals, tmp);
+  const std::size_t w = static_cast<std::size_t>(std::max(0, width));
+  if (n >= w) {
+    std::copy(tmp, tmp + n, out);
+    return n;
+  }
+  const std::size_t pad = w - n;
+  std::fill(out, out + pad, ' ');
+  std::copy(tmp, tmp + n, out + pad);
+  return w;
+}
+
+}  // namespace swgmx::io

@@ -1,0 +1,28 @@
+// Fast number-to-character conversion (§3.7). The C standard library's
+// printf-family formatting dominates trajectory output; these converters
+// skip locale handling, error paths and general format parsing ("concise
+// methods ... it saves so much time in dealing with special cases").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swgmx::io {
+
+/// Write a non-negative integer; returns characters written.
+std::size_t format_uint(std::uint64_t v, char* out);
+
+/// Write a signed integer; returns characters written.
+std::size_t format_int(std::int64_t v, char* out);
+
+/// Write a float with a fixed number of decimals (0..9), rounding half up —
+/// the .gro-style fixed-point format trajectories use. Returns characters
+/// written. Values are finite by contract (MD positions/velocities).
+std::size_t format_fixed(double v, int decimals, char* out);
+
+/// Like format_fixed but right-aligned in a field of `width` (space padded),
+/// matching fprintf("%*.*f"). Returns `width` (or more if the number is
+/// longer than the field).
+std::size_t format_fixed_width(double v, int decimals, int width, char* out);
+
+}  // namespace swgmx::io

@@ -1,0 +1,73 @@
+#include "io/traj.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "io/fast_format.hpp"
+
+namespace swgmx::io {
+
+double IoModel::frame_seconds(std::size_t natoms, bool fast) const {
+  const double values = static_cast<double>(natoms) * 3.0 + 8.0;
+  const double bytes = values * 9.0;  // ~9 chars per formatted value
+  const double format_s =
+      values * (fast ? format_s_fast : format_s_stdio);
+  const double buffer = static_cast<double>(fast ? fast_buffer : stdio_buffer);
+  const double syscalls = std::ceil(bytes / buffer);
+  return format_s + syscalls * syscall_s + bytes / disk_bw;
+}
+
+StdioTrajWriter::StdioTrajWriter(const std::string& path, IoModel model)
+    : f_(std::fopen(path.c_str(), "w")), model_(model) {
+  SWGMX_CHECK_MSG(f_ != nullptr, "cannot open " << path);
+}
+
+StdioTrajWriter::~StdioTrajWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+double StdioTrajWriter::write_frame(const md::System& sys, double time_ps) {
+  std::fprintf(f_, "frame t= %.3f\n%zu\n", time_ps, sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    std::fprintf(f_, "%8.3f%8.3f%8.3f\n", static_cast<double>(sys.x[i].x),
+                 static_cast<double>(sys.x[i].y), static_cast<double>(sys.x[i].z));
+  }
+  std::fprintf(f_, "%10.5f%10.5f%10.5f\n", sys.box.len.x, sys.box.len.y,
+               sys.box.len.z);
+  ++frames_;
+  return model_.frame_seconds(sys.size(), /*fast=*/false);
+}
+
+FastTrajWriter::FastTrajWriter(const std::string& path, IoModel model)
+    : out_(path, model.fast_buffer), model_(model) {}
+
+double FastTrajWriter::write_frame(const md::System& sys, double time_ps) {
+  char line[96];
+  char* p = line;
+  std::memcpy(p, "frame t= ", 9);
+  p += 9;
+  p += format_fixed(time_ps, 3, p);
+  *p++ = '\n';
+  p += format_uint(sys.size(), p);
+  *p++ = '\n';
+  out_.write(line, static_cast<std::size_t>(p - line));
+
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    p = line;
+    p += format_fixed_width(static_cast<double>(sys.x[i].x), 3, 8, p);
+    p += format_fixed_width(static_cast<double>(sys.x[i].y), 3, 8, p);
+    p += format_fixed_width(static_cast<double>(sys.x[i].z), 3, 8, p);
+    *p++ = '\n';
+    out_.write(line, static_cast<std::size_t>(p - line));
+  }
+  p = line;
+  p += format_fixed_width(sys.box.len.x, 5, 10, p);
+  p += format_fixed_width(sys.box.len.y, 5, 10, p);
+  p += format_fixed_width(sys.box.len.z, 5, 10, p);
+  *p++ = '\n';
+  out_.write(line, static_cast<std::size_t>(p - line));
+  ++frames_;
+  return model_.frame_seconds(sys.size(), /*fast=*/true);
+}
+
+}  // namespace swgmx::io

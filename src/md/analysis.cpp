@@ -1,0 +1,112 @@
+#include "md/analysis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace swgmx::md {
+
+Rdf::Rdf(int nbins, double r_max, int type_a, int type_b)
+    : nbins_(nbins),
+      r_max_(r_max),
+      type_a_(type_a),
+      type_b_(type_b),
+      hist_(static_cast<std::size_t>(nbins), 0.0) {
+  SWGMX_CHECK(nbins > 0 && r_max > 0.0);
+}
+
+void Rdf::accumulate(const System& sys) {
+  const double bin_w = r_max_ / nbins_;
+  std::size_t na = 0, nb = 0;
+  const std::size_t n = sys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (type_a_ < 0 || sys.type[i] == type_a_) ++na;
+    if (type_b_ < 0 || sys.type[i] == type_b_) ++nb;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool ia = type_a_ < 0 || sys.type[i] == type_a_;
+    if (!ia) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (!(type_b_ < 0 || sys.type[j] == type_b_)) continue;
+      const double r =
+          std::sqrt(static_cast<double>(sys.box.dist2(sys.x[i], sys.x[j])));
+      if (r >= r_max_) continue;
+      hist_[static_cast<std::size_t>(r / bin_w)] += 1.0;
+    }
+  }
+  pair_density_sum_ +=
+      static_cast<double>(na) * static_cast<double>(nb) / sys.box.volume();
+  ++frames_;
+}
+
+Rdf::Curve Rdf::finalize() const {
+  SWGMX_CHECK_MSG(frames_ > 0, "Rdf::finalize with no accumulated frames");
+  Curve c;
+  const double bin_w = r_max_ / nbins_;
+  c.r.resize(static_cast<std::size_t>(nbins_));
+  c.g.resize(static_cast<std::size_t>(nbins_));
+  for (int b = 0; b < nbins_; ++b) {
+    const double r_lo = b * bin_w;
+    const double r_hi = r_lo + bin_w;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    // Ideal-gas expectation of pair counts in the shell, averaged per frame.
+    const double ideal = shell * pair_density_sum_;
+    c.r[static_cast<std::size_t>(b)] = r_lo + 0.5 * bin_w;
+    c.g[static_cast<std::size_t>(b)] =
+        ideal > 0.0 ? hist_[static_cast<std::size_t>(b)] / ideal : 0.0;
+  }
+  return c;
+}
+
+double Rdf::peak_position() const {
+  const Curve c = finalize();
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < c.g.size(); ++b) {
+    if (c.g[b] > c.g[best]) best = b;
+  }
+  return c.r[best];
+}
+
+Msd::Msd(const System& sys) : box_(sys.box) {
+  start_.reserve(sys.size());
+  for (const auto& x : sys.x) start_.push_back(Vec3d(x));
+  unwrapped_ = start_;
+  last_wrapped_.assign(sys.x.begin(), sys.x.end());
+}
+
+double Msd::accumulate(const System& sys) {
+  SWGMX_CHECK(sys.size() == start_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    // Unwrap: add the minimum-image step since the previous frame.
+    const Vec3d step(box_.min_image(sys.x[i], last_wrapped_[i]));
+    unwrapped_[i] += step;
+    last_wrapped_[i] = sys.x[i];
+    acc += norm2(unwrapped_[i] - start_[i]);
+  }
+  const double msd = acc / static_cast<double>(sys.size());
+  series_.push_back(msd);
+  return msd;
+}
+
+Vacf::Vacf(const System& sys) : v0_(sys.v.begin(), sys.v.end()) {
+  double n0 = 0.0;
+  for (const auto& v : v0_) n0 += norm2(v);
+  norm0_ = n0;
+}
+
+double Vacf::accumulate(const System& sys) {
+  SWGMX_CHECK(sys.size() == v0_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    acc += static_cast<double>(dot(v0_[i], sys.v[i]));
+  }
+  const double c = norm0_ > 0.0 ? acc / norm0_ : 0.0;
+  series_.push_back(c);
+  return c;
+}
+
+}  // namespace swgmx::md

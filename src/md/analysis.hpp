@@ -1,0 +1,78 @@
+// Trajectory analysis: radial distribution function, mean-squared
+// displacement and velocity autocorrelation — the standard observables a
+// water-benchmark user computes from the trajectories this library produces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace swgmx::md {
+
+/// Radial distribution function g(r) accumulated over frames.
+class Rdf {
+ public:
+  /// Histogram of nbins bins over [0, r_max). Pass type filters to restrict
+  /// to specific atom types (e.g. O-O in water); -1 matches every type.
+  Rdf(int nbins, double r_max, int type_a = -1, int type_b = -1);
+
+  /// Accumulate one frame (O(N^2) over the selected types; intended for
+  /// analysis-sized systems).
+  void accumulate(const System& sys);
+
+  /// Normalized g(r) bin centers and values. Requires >= 1 frame.
+  struct Curve {
+    std::vector<double> r;
+    std::vector<double> g;
+  };
+  [[nodiscard]] Curve finalize() const;
+
+  /// r of the highest g(r) bin (the first coordination peak for liquids).
+  [[nodiscard]] double peak_position() const;
+
+ private:
+  int nbins_;
+  double r_max_;
+  int type_a_, type_b_;
+  std::vector<double> hist_;
+  std::size_t frames_ = 0;
+  double pair_density_sum_ = 0.0;  ///< sum over frames of n_a*n_b/V
+};
+
+/// Mean-squared displacement from a reference frame, with unwrapped
+/// positions tracked internally (positions fed in may be box-wrapped).
+class Msd {
+ public:
+  /// Start tracking from this frame.
+  explicit Msd(const System& sys);
+
+  /// Feed the next frame; returns MSD (nm^2) relative to the start.
+  double accumulate(const System& sys);
+
+  [[nodiscard]] const std::vector<double>& series() const { return series_; }
+
+ private:
+  Box box_;
+  std::vector<Vec3d> start_;
+  std::vector<Vec3d> unwrapped_;
+  std::vector<Vec3f> last_wrapped_;
+  std::vector<double> series_;
+};
+
+/// Normalized velocity autocorrelation C(t) = <v(0).v(t)> / <v(0).v(0)>.
+class Vacf {
+ public:
+  explicit Vacf(const System& sys);
+  /// Feed the next frame; returns C(t) for that lag.
+  double accumulate(const System& sys);
+  [[nodiscard]] const std::vector<double>& series() const { return series_; }
+
+ private:
+  std::vector<Vec3f> v0_;
+  double norm0_;
+  std::vector<double> series_;
+};
+
+}  // namespace swgmx::md

@@ -1,0 +1,33 @@
+#include "md/backends.hpp"
+
+#include "md/cost.hpp"
+
+namespace swgmx::md {
+
+double MpeShortRange::compute(const ClusterSystem& cs, const Box& box,
+                              const ClusterPairList& list, const NbParams& p,
+                              std::span<Vec3f> f_slots, NbEnergies& e) {
+  const NbKernelStats st = nb_kernel_ref(cs, box, list, p, f_slots, e);
+  const double ops =
+      static_cast<double>(st.pairs_tested) * PairCost::kTestOps +
+      static_cast<double>(st.pairs_in_cutoff) *
+          (PairCost::kForceOps +
+           PairCost::kDivsPerPair * cg_->config().cpe_div_cycles);
+  const double mem = static_cast<double>(st.pairs_tested) * PairCost::kMpeMemRefs;
+  return cg_->mpe_seconds(ops, mem);
+}
+
+double MpePairList::build(const ClusterSystem& cs, const Box& box, float rlist,
+                          bool half, ClusterPairList& out, int nranks) {
+  const PairListStats st = build_pairlist(cs, box, rlist, half, out);
+  const double ops =
+      static_cast<double>(st.candidates_tested) * ListCost::kCandidateOps +
+      static_cast<double>(st.sphere_passed) * ListCost::kExactCheckOps;
+  const double mem = static_cast<double>(st.candidates_tested) * ListCost::kMpeMemRefs;
+  // The MPE path is linear in the searched clusters: critical path over
+  // nranks subdomains is the 1/nranks share plus ~10% spatial imbalance.
+  const double share = nranks > 1 ? 1.1 / nranks : 1.0;
+  return cg_->mpe_seconds(ops, mem) * share;
+}
+
+}  // namespace swgmx::md

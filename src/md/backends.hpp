@@ -1,0 +1,91 @@
+// Pluggable backends for the phases the paper accelerates. The Simulation
+// driver is backend-agnostic; src/core provides the CPE implementations and
+// this header provides the MPE reference ones (the paper's "Ori" baseline).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "md/kernel_ref.hpp"
+#include "sw/core_group.hpp"
+
+namespace swgmx::md {
+
+/// Computes short-range nonbonded forces for one step.
+class ShortRangeBackend {
+ public:
+  virtual ~ShortRangeBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Which pair-list flavor this backend consumes.
+  [[nodiscard]] virtual bool wants_half_list() const { return true; }
+  /// Which package layout this backend consumes.
+  [[nodiscard]] virtual PackageLayout wants_layout() const {
+    return PackageLayout::Interleaved;
+  }
+  /// Accumulate forces into f_slots (slot-ordered); returns simulated seconds.
+  virtual double compute(const ClusterSystem& cs, const Box& box,
+                         const ClusterPairList& list, const NbParams& p,
+                         std::span<Vec3f> f_slots, NbEnergies& e) = 0;
+};
+
+/// Builds the cluster pair list (every nstlist steps).
+class PairListBackend {
+ public:
+  virtual ~PairListBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Builds the (globally complete) list; returns *critical-path* simulated
+  /// seconds when the build is distributed over `nranks` core groups, each
+  /// searching only its contiguous share of i-clusters.
+  virtual double build(const ClusterSystem& cs, const Box& box, float rlist,
+                       bool half, ClusterPairList& out, int nranks = 1) = 0;
+};
+
+/// Long-range electrostatics (PME). Implemented in src/pme; interface lives
+/// here so md does not depend on pme.
+class LongRangeBackend {
+ public:
+  virtual ~LongRangeBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Adds reciprocal-space + correction forces into sys.f; returns simulated
+  /// seconds and writes the reciprocal energy (incl. self/excluded terms).
+  virtual double compute(System& sys, double& e_recip) = 0;
+};
+
+/// Trajectory sink (implemented in src/io).
+class TrajSink {
+ public:
+  virtual ~TrajSink() = default;
+  /// Writes one frame; returns simulated seconds.
+  virtual double write_frame(const System& sys, double time_ps) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MPE reference backends (the "Ori" row of Fig 8/10): the unported GROMACS
+// running on the management core only.
+// ---------------------------------------------------------------------------
+
+class MpeShortRange final : public ShortRangeBackend {
+ public:
+  explicit MpeShortRange(const sw::CoreGroup& cg) : cg_(&cg) {}
+  [[nodiscard]] std::string name() const override { return "Ori(MPE)"; }
+  double compute(const ClusterSystem& cs, const Box& box,
+                 const ClusterPairList& list, const NbParams& p,
+                 std::span<Vec3f> f_slots, NbEnergies& e) override;
+
+ private:
+  const sw::CoreGroup* cg_;
+};
+
+class MpePairList final : public PairListBackend {
+ public:
+  explicit MpePairList(const sw::CoreGroup& cg) : cg_(&cg) {}
+  [[nodiscard]] std::string name() const override { return "MPE list"; }
+  double build(const ClusterSystem& cs, const Box& box, float rlist, bool half,
+               ClusterPairList& out, int nranks = 1) override;
+
+ private:
+  const sw::CoreGroup* cg_;
+};
+
+}  // namespace swgmx::md

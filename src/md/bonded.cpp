@@ -1,0 +1,98 @@
+#include "md/bonded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swgmx::md {
+
+double bond_force(const Box& box, const Bond& b, std::span<const Vec3f> x,
+                  std::span<Vec3f> f) {
+  const Vec3d dr(box.min_image(x[static_cast<std::size_t>(b.i)],
+                               x[static_cast<std::size_t>(b.j)]));
+  const double r = norm(dr);
+  const double dev = r - b.b0;
+  const double e = 0.5 * b.k * dev * dev;
+  // dV/dr = k (r - b0); force on i = -dV/dr * dr/r
+  const double fscal = -b.k * dev / r;
+  const Vec3f fv(Vec3d(dr * fscal));
+  f[static_cast<std::size_t>(b.i)] += fv;
+  f[static_cast<std::size_t>(b.j)] -= fv;
+  return e;
+}
+
+double angle_force(const Box& box, const Angle& a, std::span<const Vec3f> x,
+                   std::span<Vec3f> f) {
+  // Vectors from apex j to i and k.
+  const Vec3d rij(box.min_image(x[static_cast<std::size_t>(a.i)],
+                                x[static_cast<std::size_t>(a.j)]));
+  const Vec3d rkj(box.min_image(x[static_cast<std::size_t>(a.k)],
+                                x[static_cast<std::size_t>(a.j)]));
+  const double nij = norm(rij), nkj = norm(rkj);
+  double cos_th = dot(rij, rkj) / (nij * nkj);
+  cos_th = std::clamp(cos_th, -1.0, 1.0);
+  const double th = std::acos(cos_th);
+  const double dev = th - a.th0;
+  const double e = 0.5 * a.kf * dev * dev;
+
+  // dV/dtheta; force via the standard chain rule (GROMACS angles.c form).
+  const double sin_th = std::sqrt(std::max(1e-12, 1.0 - cos_th * cos_th));
+  const double st = -a.kf * dev / sin_th;  // -dV/dtheta / sin
+  const double sth = st * cos_th;
+  const Vec3d fi = (rij * (sth / (nij * nij)) - rkj * (st / (nij * nkj)));
+  const Vec3d fk = (rkj * (sth / (nkj * nkj)) - rij * (st / (nij * nkj)));
+  f[static_cast<std::size_t>(a.i)] += Vec3f(fi);
+  f[static_cast<std::size_t>(a.k)] += Vec3f(fk);
+  f[static_cast<std::size_t>(a.j)] -= Vec3f(fi + fk);
+  return e;
+}
+
+double dihedral_force(const Box& box, const Dihedral& d, std::span<const Vec3f> x,
+                      std::span<Vec3f> f) {
+  // Standard proper-dihedral force (see e.g. GROMACS manual ch. 4).
+  const Vec3d rij(box.min_image(x[static_cast<std::size_t>(d.i)],
+                                x[static_cast<std::size_t>(d.j)]));
+  const Vec3d rkj(box.min_image(x[static_cast<std::size_t>(d.k)],
+                                x[static_cast<std::size_t>(d.j)]));
+  const Vec3d rkl(box.min_image(x[static_cast<std::size_t>(d.k)],
+                                x[static_cast<std::size_t>(d.l)]));
+  const Vec3d m = cross(rij, rkj);
+  const Vec3d n = cross(rkj, rkl);
+  const double mm = norm2(m), nn = norm2(n);
+  const double nrkj = norm(rkj);
+  if (mm < 1e-12 || nn < 1e-12) return 0.0;  // collinear degenerate
+
+  double cos_phi = dot(m, n) / std::sqrt(mm * nn);
+  cos_phi = std::clamp(cos_phi, -1.0, 1.0);
+  const double sign = dot(rij, n) < 0.0 ? -1.0 : 1.0;
+  const double phi = sign * std::acos(cos_phi);
+
+  const double mult = static_cast<double>(d.mult);
+  const double e = d.kf * (1.0 + std::cos(mult * phi - d.phi0));
+  const double dvdphi = -d.kf * mult * std::sin(mult * phi - d.phi0);
+
+  // Forces (Allen & Tildesley / GROMACS dih_angle + do_dih_fup).
+  const Vec3d fi = m * (-dvdphi * nrkj / mm);
+  const Vec3d fl = n * (dvdphi * nrkj / nn);
+  const double p = dot(rij, rkj) / (nrkj * nrkj);
+  const double q = dot(rkl, rkj) / (nrkj * nrkj);
+  const Vec3d sv = fi * p - fl * q;
+  const Vec3d fj = sv - fi;
+  const Vec3d fk = -sv - fl;
+
+  f[static_cast<std::size_t>(d.i)] += Vec3f(fi);
+  f[static_cast<std::size_t>(d.j)] += Vec3f(fj);
+  f[static_cast<std::size_t>(d.k)] += Vec3f(fk);
+  f[static_cast<std::size_t>(d.l)] += Vec3f(fl);
+  return e;
+}
+
+BondedEnergies compute_bonded(System& sys) {
+  BondedEnergies e;
+  for (const auto& b : sys.top.bonds) e.bond += bond_force(sys.box, b, sys.x, sys.f);
+  for (const auto& a : sys.top.angles) e.angle += angle_force(sys.box, a, sys.x, sys.f);
+  for (const auto& d : sys.top.dihedrals)
+    e.dihedral += dihedral_force(sys.box, d, sys.x, sys.f);
+  return e;
+}
+
+}  // namespace swgmx::md

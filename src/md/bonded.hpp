@@ -1,0 +1,39 @@
+// Bonded interactions: harmonic bonds (2-body), harmonic angles (3-body) and
+// periodic proper dihedrals (4-body) — the "bound interaction" classes of
+// Fig 1. Computed in double precision on the MPE (they are a tiny fraction
+// of run time in the water benchmark; see Table 1).
+#pragma once
+
+#include <span>
+
+#include "md/system.hpp"
+
+namespace swgmx::md {
+
+/// Bonded energy terms.
+struct BondedEnergies {
+  double bond = 0.0;
+  double angle = 0.0;
+  double dihedral = 0.0;
+  [[nodiscard]] double total() const { return bond + angle + dihedral; }
+};
+
+/// Number of floating-point operations charged per term instance (cost model).
+struct BondedOpCounts {
+  static constexpr double kPerBond = 30.0;
+  static constexpr double kPerAngle = 80.0;
+  static constexpr double kPerDihedral = 160.0;
+};
+
+/// Evaluate all bonded terms of the topology, accumulating forces into sys.f.
+BondedEnergies compute_bonded(System& sys);
+
+/// Individual terms (exposed for unit tests against numerical gradients).
+double bond_force(const Box& box, const Bond& b, std::span<const Vec3f> x,
+                  std::span<Vec3f> f);
+double angle_force(const Box& box, const Angle& a, std::span<const Vec3f> x,
+                   std::span<Vec3f> f);
+double dihedral_force(const Box& box, const Dihedral& d, std::span<const Vec3f> x,
+                      std::span<Vec3f> f);
+
+}  // namespace swgmx::md

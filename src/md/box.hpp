@@ -1,0 +1,42 @@
+// Orthorhombic periodic simulation box with minimum-image helpers.
+#pragma once
+
+#include <cmath>
+
+#include "common/vec3.hpp"
+
+namespace swgmx::md {
+
+/// Rectangular periodic box anchored at the origin.
+struct Box {
+  Vec3d len{1.0, 1.0, 1.0};
+
+  [[nodiscard]] double volume() const { return len.x * len.y * len.z; }
+
+  /// Wrap a position into [0, L) per dimension.
+  template <typename T>
+  [[nodiscard]] Vec3<T> wrap(Vec3<T> p) const {
+    p.x -= static_cast<T>(len.x) * std::floor(p.x / static_cast<T>(len.x));
+    p.y -= static_cast<T>(len.y) * std::floor(p.y / static_cast<T>(len.y));
+    p.z -= static_cast<T>(len.z) * std::floor(p.z / static_cast<T>(len.z));
+    return p;
+  }
+
+  /// Minimum-image displacement a - b.
+  template <typename T>
+  [[nodiscard]] Vec3<T> min_image(Vec3<T> a, Vec3<T> b) const {
+    Vec3<T> d = a - b;
+    d.x -= static_cast<T>(len.x) * std::round(d.x / static_cast<T>(len.x));
+    d.y -= static_cast<T>(len.y) * std::round(d.y / static_cast<T>(len.y));
+    d.z -= static_cast<T>(len.z) * std::round(d.z / static_cast<T>(len.z));
+    return d;
+  }
+
+  /// Squared minimum-image distance.
+  template <typename T>
+  [[nodiscard]] T dist2(Vec3<T> a, Vec3<T> b) const {
+    return norm2(min_image(a, b));
+  }
+};
+
+}  // namespace swgmx::md

@@ -1,0 +1,134 @@
+#include "md/cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace swgmx::md {
+
+CellGrid::CellGrid(const Box& box, double min_cell_edge) : box_(box) {
+  SWGMX_CHECK(min_cell_edge > 0.0);
+  auto dim = [&](double len) {
+    return std::max(1, static_cast<int>(std::floor(len / min_cell_edge)));
+  };
+  nx_ = dim(box.len.x);
+  ny_ = dim(box.len.y);
+  nz_ = dim(box.len.z);
+  inv_edge_ = {nx_ / box.len.x, ny_ / box.len.y, nz_ / box.len.z};
+}
+
+int CellGrid::cell_of(const Vec3f& p) const {
+  auto clampi = [](int v, int hi) { return std::min(std::max(v, 0), hi - 1); };
+  const int ix = clampi(static_cast<int>(p.x * inv_edge_.x), nx_);
+  const int iy = clampi(static_cast<int>(p.y * inv_edge_.y), ny_);
+  const int iz = clampi(static_cast<int>(p.z * inv_edge_.z), nz_);
+  return index(ix, iy, iz);
+}
+
+void CellGrid::build(std::span<const Vec3f> points) {
+  const int nc = ncells();
+  csr_ptr_.assign(static_cast<std::size_t>(nc) + 1, 0);
+  csr_ids_.resize(points.size());
+  // Counting sort by cell.
+  std::vector<std::int32_t> cell(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    cell[i] = cell_of(points[i]);
+    ++csr_ptr_[static_cast<std::size_t>(cell[i]) + 1];
+  }
+  for (int c = 0; c < nc; ++c)
+    csr_ptr_[static_cast<std::size_t>(c) + 1] += csr_ptr_[static_cast<std::size_t>(c)];
+  std::vector<std::int32_t> cursor(csr_ptr_.begin(), csr_ptr_.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    csr_ids_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(cell[i])]++)] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+std::span<const std::int32_t> CellGrid::cell_members(int c) const {
+  const auto lo = static_cast<std::size_t>(csr_ptr_[static_cast<std::size_t>(c)]);
+  const auto hi = static_cast<std::size_t>(csr_ptr_[static_cast<std::size_t>(c) + 1]);
+  return {csr_ids_.data() + lo, hi - lo};
+}
+
+std::vector<int> CellGrid::neighborhood(int c) const {
+  const int iz = c % nz_;
+  const int iy = (c / nz_) % ny_;
+  const int ix = c / (ny_ * nz_);
+  std::vector<int> out;
+  out.reserve(27);
+  auto wrap = [](int v, int n) { return (v % n + n) % n; };
+  const int dx_lo = nx_ >= 3 ? -1 : 0, dx_hi = nx_ >= 2 ? 1 : 0;
+  const int dy_lo = ny_ >= 3 ? -1 : 0, dy_hi = ny_ >= 2 ? 1 : 0;
+  const int dz_lo = nz_ >= 3 ? -1 : 0, dz_hi = nz_ >= 2 ? 1 : 0;
+  for (int dx = dx_lo; dx <= dx_hi; ++dx)
+    for (int dy = dy_lo; dy <= dy_hi; ++dy)
+      for (int dz = dz_lo; dz <= dz_hi; ++dz)
+        out.push_back(index(wrap(ix + dx, nx_), wrap(iy + dy, ny_), wrap(iz + dz, nz_)));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::array<int, 3>> CellGrid::sphere_offsets(double reach) const {
+  const double ex = box_.len.x / nx_;
+  const double ey = box_.len.y / ny_;
+  const double ez = box_.len.z / nz_;
+  const int kx = std::min(nx_ / 2, static_cast<int>(std::ceil(reach / ex)));
+  const int ky = std::min(ny_ / 2, static_cast<int>(std::ceil(reach / ey)));
+  const int kz = std::min(nz_ / 2, static_cast<int>(std::ceil(reach / ez)));
+  std::vector<std::array<int, 3>> out;
+  std::vector<std::uint64_t> seen;  // wrapped-offset dedup keys
+  auto min_dist = [](int d, double e) {
+    return d == 0 ? 0.0 : (std::abs(d) - 1) * e;
+  };
+  for (int dx = -kx; dx <= kx; ++dx)
+    for (int dy = -ky; dy <= ky; ++dy)
+      for (int dz = -kz; dz <= kz; ++dz) {
+        const double mx = min_dist(dx, ex);
+        const double my = min_dist(dy, ey);
+        const double mz = min_dist(dz, ez);
+        if (mx * mx + my * my + mz * mz > reach * reach) continue;
+        auto wrap = [](int v, int n) { return (v % n + n) % n; };
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(wrap(dx, nx_)) << 40) |
+            (static_cast<std::uint64_t>(wrap(dy, ny_)) << 20) |
+            static_cast<std::uint64_t>(wrap(dz, nz_));
+        if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+        seen.push_back(key);
+        out.push_back({dx, dy, dz});
+      }
+  return out;
+}
+
+std::vector<int> CellGrid::cells_in_morton_order() const {
+  auto spread = [](std::uint32_t v) {
+    // Spread the low 10 bits of v so there are two zero bits between each.
+    std::uint64_t x = v & 0x3FFu;
+    x = (x | (x << 16)) & 0x30000FFull;
+    x = (x | (x << 8)) & 0x300F00Full;
+    x = (x | (x << 4)) & 0x30C30C3ull;
+    x = (x | (x << 2)) & 0x9249249ull;
+    return x;
+  };
+  std::vector<std::pair<std::uint64_t, int>> keyed;
+  keyed.reserve(static_cast<std::size_t>(ncells()));
+  for (int ix = 0; ix < nx_; ++ix)
+    for (int iy = 0; iy < ny_; ++iy)
+      for (int iz = 0; iz < nz_; ++iz) {
+        const std::uint64_t key =
+            spread(static_cast<std::uint32_t>(ix)) |
+            (spread(static_cast<std::uint32_t>(iy)) << 1) |
+            (spread(static_cast<std::uint32_t>(iz)) << 2);
+        keyed.emplace_back(key, index(ix, iy, iz));
+      }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<int> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, cell] : keyed) out.push_back(cell);
+  return out;
+}
+
+}  // namespace swgmx::md

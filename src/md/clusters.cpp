@@ -1,0 +1,199 @@
+#include "md/clusters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "md/cells.hpp"
+
+namespace swgmx::md {
+
+namespace {
+// Cell edge used only to spatially order particles before packing; smaller
+// cells give more compact clusters (~3-4 water atoms per cell, so a cluster
+// rarely spans more than two adjacent cells of the Morton curve).
+constexpr double kSortCellEdge = 0.33;
+}  // namespace
+
+ClusterSystem::ClusterSystem(const System& sys, PackageLayout layout)
+    : layout_(layout) {
+  SWGMX_CHECK_MSG(sys.size() > 0, "empty system");
+  nreal_ = sys.size();
+
+  // Spatial sort: bin particles into a fine cell grid and take them in
+  // Morton order, so consecutive groups of 4 are close together. A cluster
+  // is closed (padded) whenever the Morton walk jumps to a non-adjacent
+  // cell — otherwise seam-straddling clusters get large bounding radii and
+  // poison the pair-search grid.
+  CellGrid grid(sys.box, kSortCellEdge);
+  grid.build(sys.x);
+  perm_.clear();
+  perm_.reserve(nreal_ + nreal_ / 8 + kClusterSize);
+  std::array<int, 3> start{};
+  const std::array<int, 3> dims{grid.nx(), grid.ny(), grid.nz()};
+  // Raw (non-periodic) cell distance on purpose: a cluster must never span
+  // the periodic boundary, or its bounding geometry (computed on raw
+  // coordinates) degenerates to half the box.
+  (void)dims;
+  auto far_jump = [&](const std::array<int, 3>& a, const std::array<int, 3>& b) {
+    for (int d = 0; d < 3; ++d) {
+      if (std::abs(a[d] - b[d]) > 1) return true;
+    }
+    return false;
+  };
+  for (int c : grid.cells_in_morton_order()) {
+    const auto members = grid.cell_members(c);
+    if (members.empty()) continue;
+    const auto coords = grid.coords_of(c);
+    if (perm_.size() % kClusterSize != 0 && far_jump(start, coords)) {
+      while (perm_.size() % kClusterSize != 0) perm_.push_back(-1);
+    }
+    for (std::int32_t id : members) {
+      if (perm_.size() % kClusterSize == 0) start = coords;
+      perm_.push_back(id);
+    }
+  }
+  while (perm_.size() % kClusterSize != 0) perm_.push_back(-1);
+  ncl_ = static_cast<int>(perm_.size() / kClusterSize);
+
+  pkg_.resize(static_cast<std::size_t>(ncl_) * kPkgFloats);
+  type_.resize(nslots());
+  mol_.resize(nslots());
+  center_.resize(static_cast<std::size_t>(ncl_));
+  radius_.resize(static_cast<std::size_t>(ncl_));
+  bb_center_.resize(static_cast<std::size_t>(ncl_));
+  bb_half_.resize(static_cast<std::size_t>(ncl_));
+
+  const auto ghost = sys.ff->ghost_type();
+  for (std::size_t s = 0; s < nslots(); ++s) {
+    const std::int32_t g = perm_[s];
+    if (g >= 0) {
+      type_[s] = sys.type[static_cast<std::size_t>(g)];
+      mol_[s] = sys.top.mol_id[static_cast<std::size_t>(g)];
+    } else {
+      type_[s] = ghost;
+      mol_[s] = -1;
+    }
+  }
+  update_positions(sys);
+
+  // Charges are static: write them once here (update_positions only touches
+  // coordinates).
+  for (std::size_t s = 0; s < nslots(); ++s) {
+    const std::int32_t g = perm_[s];
+    const float qv = g >= 0 ? sys.q[static_cast<std::size_t>(g)] : 0.0f;
+    const std::size_t cl = s / kClusterSize;
+    const std::size_t lane = s % kClusterSize;
+    float* base = &pkg_[cl * kPkgFloats];
+    if (layout_ == PackageLayout::Interleaved) {
+      base[lane * 4 + 3] = qv;
+    } else {
+      base[12 + lane] = qv;
+    }
+  }
+}
+
+void ClusterSystem::write_slot_pos(std::size_t slot, const Vec3f& p) {
+  const std::size_t cl = slot / kClusterSize;
+  const std::size_t lane = slot % kClusterSize;
+  float* base = &pkg_[cl * kPkgFloats];
+  if (layout_ == PackageLayout::Interleaved) {
+    base[lane * 4 + 0] = p.x;
+    base[lane * 4 + 1] = p.y;
+    base[lane * 4 + 2] = p.z;
+  } else {
+    base[0 + lane] = p.x;
+    base[4 + lane] = p.y;
+    base[8 + lane] = p.z;
+  }
+}
+
+void ClusterSystem::update_positions(const System& sys) {
+  for (std::size_t s = 0; s < nslots(); ++s) {
+    const std::int32_t g = perm_[s];
+    if (g >= 0) {
+      write_slot_pos(s, sys.x[static_cast<std::size_t>(g)]);
+    } else {
+      // Padding: sit near the cluster's first real particle with a unique
+      // small offset, so r2 > 0 for every pair while the ghost type/zero
+      // charge make the interaction exactly zero.
+      const std::size_t cl = s / kClusterSize;
+      const std::size_t lane = s % kClusterSize;
+      const std::int32_t g0 = perm_[cl * kClusterSize];
+      Vec3f p = g0 >= 0 ? sys.x[static_cast<std::size_t>(g0)] : Vec3f{};
+      p.x += 0.013f * static_cast<float>(lane + 1);
+      p.y += 0.017f * static_cast<float>(lane + 1);
+      write_slot_pos(s, p);
+    }
+  }
+  refresh_geometry();
+}
+
+void ClusterSystem::refresh_geometry() {
+  for (int cl = 0; cl < ncl_; ++cl) {
+    Vec3f c{};
+    int nreal_in_cl = 0;
+    for (int lane = 0; lane < kClusterSize; ++lane) {
+      const std::size_t s = static_cast<std::size_t>(cl) * kClusterSize +
+                            static_cast<std::size_t>(lane);
+      if (perm_[s] < 0) continue;
+      c += pos(s);
+      ++nreal_in_cl;
+    }
+    if (nreal_in_cl > 0) c *= 1.0f / static_cast<float>(nreal_in_cl);
+    float r2max = 0.0f;
+    for (int lane = 0; lane < kClusterSize; ++lane) {
+      const std::size_t s = static_cast<std::size_t>(cl) * kClusterSize +
+                            static_cast<std::size_t>(lane);
+      if (perm_[s] < 0) continue;
+      r2max = std::max(r2max, norm2(pos(s) - c));
+    }
+    center_[static_cast<std::size_t>(cl)] = c;
+    radius_[static_cast<std::size_t>(cl)] = std::sqrt(r2max);
+
+    // Axis-aligned bounding box of the real particles (relative to the
+    // cluster center so periodic wrapping cannot split it: clusters are
+    // spatially compact by construction).
+    Vec3f lo{1e30f, 1e30f, 1e30f}, hi{-1e30f, -1e30f, -1e30f};
+    bool any = false;
+    for (int lane = 0; lane < kClusterSize; ++lane) {
+      const std::size_t s = static_cast<std::size_t>(cl) * kClusterSize +
+                            static_cast<std::size_t>(lane);
+      if (perm_[s] < 0) continue;
+      const Vec3f p = pos(s);
+      lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+      hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+      any = true;
+    }
+    if (!any) lo = hi = c;
+    bb_center_[static_cast<std::size_t>(cl)] = 0.5f * (lo + hi);
+    bb_half_[static_cast<std::size_t>(cl)] = 0.5f * (hi - lo);
+  }
+}
+
+void ClusterSystem::scatter_forces(std::span<const Vec3f> fcl, System& sys) const {
+  SWGMX_CHECK(fcl.size() == nslots());
+  for (std::size_t s = 0; s < nslots(); ++s) {
+    const std::int32_t g = perm_[s];
+    if (g >= 0) sys.f[static_cast<std::size_t>(g)] += fcl[s];
+  }
+}
+
+Vec3f ClusterSystem::pos(std::size_t slot) const {
+  const std::size_t cl = slot / kClusterSize;
+  const std::size_t lane = slot % kClusterSize;
+  const float* base = &pkg_[cl * kPkgFloats];
+  if (layout_ == PackageLayout::Interleaved) {
+    return {base[lane * 4 + 0], base[lane * 4 + 1], base[lane * 4 + 2]};
+  }
+  return {base[0 + lane], base[4 + lane], base[8 + lane]};
+}
+
+float ClusterSystem::charge(std::size_t slot) const {
+  const std::size_t cl = slot / kClusterSize;
+  const std::size_t lane = slot % kClusterSize;
+  const float* base = &pkg_[cl * kPkgFloats];
+  return layout_ == PackageLayout::Interleaved ? base[lane * 4 + 3] : base[12 + lane];
+}
+
+}  // namespace swgmx::md

@@ -1,0 +1,106 @@
+// Cluster (particle-package) layout: the nbnxn-style grouping of 4 spatially
+// close particles that GROMACS computes on simultaneously, and which the
+// paper's Fetch Strategy (§3.1) DMA-transfers as one "particle package".
+//
+// Two package layouts are supported, matching the paper:
+//  - Interleaved (Fig 2): per particle x y z q, 4 particles in a row — the
+//    layout after data aggregation ("Pkg" version).
+//  - Transposed (Fig 6): x1..x4 y1..y4 z1..z4 q1..q4 — the vector-friendly
+//    layout used by the "Vec" version.
+// Both are 16 floats (64 B) of position+charge plus 4 int32 types and 4
+// int32 molecule ids; the cost model charges the DMA size accordingly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace swgmx::md {
+
+/// Particles per cluster / package. Fixed at 4 like the paper (four
+/// contiguous particles are "always calculated simultaneously").
+inline constexpr int kClusterSize = 4;
+/// Floats of position+charge data per package.
+inline constexpr int kPkgFloats = 4 * kClusterSize;
+/// Bytes of one particle package as the DMA cost model sees it
+/// (16 floats pos+charge, 4 int32 types).
+inline constexpr std::size_t kPkgBytes = kPkgFloats * sizeof(float) +
+                                         kClusterSize * sizeof(std::int32_t);
+
+enum class PackageLayout : std::uint8_t {
+  Interleaved,  ///< Fig 2: x y z q per particle
+  Transposed,   ///< Fig 6: x[4] y[4] z[4] q[4]
+};
+
+/// Cluster-ordered copy of the particle data, ready for the SW kernels.
+class ClusterSystem {
+ public:
+  /// Build clusters from a system: spatially sort particles (cell order),
+  /// pack groups of 4, pad the tail with ghost particles.
+  ClusterSystem(const System& sys, PackageLayout layout);
+
+  [[nodiscard]] int nclusters() const { return ncl_; }
+  [[nodiscard]] std::size_t nslots() const {
+    return static_cast<std::size_t>(ncl_) * kClusterSize;
+  }
+  [[nodiscard]] std::size_t nreal() const { return nreal_; }
+  [[nodiscard]] PackageLayout layout() const { return layout_; }
+
+  /// Global particle index of a slot, or -1 for padding.
+  [[nodiscard]] std::int32_t global_of(std::size_t slot) const { return perm_[slot]; }
+  [[nodiscard]] std::span<const std::int32_t> perm() const { return perm_; }
+
+  /// Refresh package positions from the system (every step; this is the
+  /// "NB X buffer ops" phase). Charges/types are static after construction.
+  void update_positions(const System& sys);
+
+  /// Scatter cluster-ordered forces back to the system's force array,
+  /// *adding* into it ("NB F buffer ops"). `fcl` is slot-ordered.
+  void scatter_forces(std::span<const Vec3f> fcl, System& sys) const;
+
+  // --- slot accessors (layout-aware) ---
+  [[nodiscard]] Vec3f pos(std::size_t slot) const;
+  [[nodiscard]] float charge(std::size_t slot) const;
+  [[nodiscard]] std::int32_t type_of(std::size_t slot) const { return type_[slot]; }
+  [[nodiscard]] std::int32_t mol_of(std::size_t slot) const { return mol_[slot]; }
+
+  /// Raw package array: nclusters * kPkgFloats floats.
+  [[nodiscard]] std::span<const float> packages() const { return pkg_; }
+  [[nodiscard]] std::span<const std::int32_t> types() const { return type_; }
+  [[nodiscard]] std::span<const std::int32_t> mols() const { return mol_; }
+
+  /// Geometric center of a cluster's real particles.
+  [[nodiscard]] Vec3f center(int cluster) const { return center_[static_cast<std::size_t>(cluster)]; }
+  /// Bounding radius around the center (real particles only).
+  [[nodiscard]] float radius(int cluster) const { return radius_[static_cast<std::size_t>(cluster)]; }
+  /// Axis-aligned bounding-box center and half extents (real particles only)
+  /// — the cluster-pair acceptance test GROMACS' nbnxn search uses.
+  [[nodiscard]] Vec3f bb_center(int cluster) const {
+    return bb_center_[static_cast<std::size_t>(cluster)];
+  }
+  [[nodiscard]] Vec3f bb_half(int cluster) const {
+    return bb_half_[static_cast<std::size_t>(cluster)];
+  }
+
+ private:
+  void write_slot_pos(std::size_t slot, const Vec3f& p);
+  void refresh_geometry();
+
+  PackageLayout layout_;
+  int ncl_ = 0;
+  std::size_t nreal_ = 0;
+  std::vector<std::int32_t> perm_;
+  AlignedVector<float> pkg_;
+  AlignedVector<std::int32_t> type_;
+  AlignedVector<std::int32_t> mol_;
+  std::vector<Vec3f> center_;
+  std::vector<float> radius_;
+  std::vector<Vec3f> bb_center_;
+  std::vector<Vec3f> bb_half_;
+};
+
+}  // namespace swgmx::md

@@ -1,0 +1,42 @@
+// SHAKE distance constraints (rigid SPC/E water: two O-H bonds plus the H-H
+// distance per molecule). This is the "Constraints" row of Table 1.
+#pragma once
+
+#include <span>
+
+#include "md/system.hpp"
+
+namespace swgmx::md {
+
+/// Iterative SHAKE solver.
+class Shake {
+ public:
+  /// tol: max relative deviation |r^2 - d^2| / d^2 allowed. The default is
+  /// what float positions can actually reach (~1e-5 relative).
+  explicit Shake(double tol = 1e-5, int max_iter = 60)
+      : tol_(tol), max_iter_(max_iter) {}
+
+  /// Constrain positions `x` so each topology constraint holds, given the
+  /// pre-constraint reference positions `x_ref` (positions before the
+  /// unconstrained update; SHAKE projects along the reference bonds).
+  /// Also applies the corresponding velocity correction: v += dx/dt.
+  /// Returns the number of iterations used.
+  int apply(System& sys, std::span<const Vec3f> x_ref, double dt) const;
+
+  /// Largest relative constraint violation in the current positions.
+  [[nodiscard]] static double max_violation(const System& sys);
+
+  /// Ops per constraint per iteration (solver-internal accounting).
+  static constexpr double kOpsPerConstraintIter = 40.0;
+  /// Ops per constraint charged by the simulation cost model. GROMACS
+  /// constrains rigid water with the analytic single-pass SETTLE algorithm
+  /// (~50 ops/constraint); we solve with iterative SHAKE for robustness but
+  /// charge the SETTLE cost so the Table 1 "Constraints" share is faithful.
+  static constexpr double kSettleOpsPerConstraint = 50.0;
+
+ private:
+  double tol_;
+  int max_iter_;
+};
+
+}  // namespace swgmx::md

@@ -1,0 +1,34 @@
+// Closed-form operation counts for the short-range inner loop, shared by the
+// MPE baseline model and the CPE strategy kernels (src/core). The numbers
+// are derived from the arithmetic in md::pair_force and Algorithm 1:
+//
+//   distance test: 3 subs + 3 muls + 2 adds + 1 cmp (+ ~6 for min-image)  ~= 15
+//   accepted pair: LJ (9) + RF coulomb (8) + force vector (6) + accums (9) ~= 32
+//                  plus 1 divide (1/r2) and 1 sqrt (folded into div cost)
+//
+// The MPE pays an additional per-memory-reference stall cost through
+// CoreGroup::mpe_seconds; CPE kernels pay DMA/gld costs through their
+// caches instead.
+#pragma once
+
+namespace swgmx::md {
+
+struct PairCost {
+  static constexpr double kTestOps = 15.0;    ///< per distance-checked pair
+  static constexpr double kForceOps = 32.0;   ///< per accepted pair, beyond test
+  static constexpr double kDivsPerPair = 2.0; ///< 1/r2 and rsqrt
+  /// Scattered memory references per tested pair on the MPE path
+  /// (position, type, charge of j from three arrays + force update).
+  static constexpr double kMpeMemRefs = 6.0;
+};
+
+struct ListCost {
+  /// Ops per candidate cluster pair during list generation (sphere check).
+  static constexpr double kCandidateOps = 15.0;
+  /// Ops for the bounding-box acceptance test on sphere-passing candidates.
+  static constexpr double kExactCheckOps = 20.0;
+  /// Scattered memory references per candidate on the MPE path.
+  static constexpr double kMpeMemRefs = 2.0;
+};
+
+}  // namespace swgmx::md

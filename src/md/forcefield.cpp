@@ -1,0 +1,48 @@
+#include "md/forcefield.hpp"
+
+#include <cmath>
+
+#include "md/units.hpp"
+
+namespace swgmx::md {
+
+ForceField::ForceField(std::span<const AtomType> types, double rcut, double rlist)
+    : ntypes_(static_cast<int>(types.size())), rcut_(rcut), rlist_(rlist) {
+  SWGMX_CHECK_MSG(rlist >= rcut, "rlist must be >= rcut (Verlet buffer)");
+  SWGMX_CHECK(!types.empty());
+  // Table includes one ghost row/column (zero-initialized) for padding slots.
+  const auto dim = static_cast<std::size_t>(ntypes_ + 1);
+  c6_.resize(dim * dim);
+  c12_.resize(c6_.size());
+  for (int i = 0; i < ntypes_; ++i) {
+    for (int j = 0; j < ntypes_; ++j) {
+      // Lorentz-Berthelot-free: GROMACS water uses geometric rules for C6/C12.
+      const double sig = 0.5 * (types[static_cast<std::size_t>(i)].sigma +
+                                types[static_cast<std::size_t>(j)].sigma);
+      const double eps = std::sqrt(types[static_cast<std::size_t>(i)].epsilon *
+                                   types[static_cast<std::size_t>(j)].epsilon);
+      const double s6 = std::pow(sig, 6.0);
+      c6_[idx(i, j)] = static_cast<float>(4.0 * eps * s6);
+      c12_[idx(i, j)] = static_cast<float>(4.0 * eps * s6 * s6);
+    }
+  }
+}
+
+NbParams make_nb_params(const ForceField& ff) {
+  NbParams p{};
+  p.rcut2 = static_cast<float>(ff.rcut() * ff.rcut());
+  p.coulomb = ff.coulomb;
+  p.coulomb_k = static_cast<float>(kCoulomb);
+  p.ewald_beta = static_cast<float>(ff.ewald_beta);
+  // Reaction field with eps_rf = infinity:
+  //   E = qq k (1/r + krf r^2 - crf),  krf = 1/(2 rc^3), crf = 3/(2 rc).
+  const double rc = ff.rcut();
+  p.rf_krf = static_cast<float>(1.0 / (2.0 * rc * rc * rc));
+  p.rf_crf = static_cast<float>(3.0 / (2.0 * rc));
+  p.ntypes = ff.table_dim();
+  p.c6 = ff.c6_table();
+  p.c12 = ff.c12_table();
+  return p;
+}
+
+}  // namespace swgmx::md

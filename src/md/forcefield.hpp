@@ -1,0 +1,83 @@
+// Nonbonded force-field parameters: per-type-pair Lennard-Jones C6/C12
+// tables and the Coulomb treatment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace swgmx::md {
+
+/// Short-range Coulomb treatment.
+enum class CoulombMode : std::uint8_t {
+  None,           ///< LJ-only systems
+  Cutoff,         ///< plain truncated 1/r
+  ReactionField,  ///< RF with eps_rf = infinity
+  EwaldShort,     ///< erfc(beta r)/r real-space part of PME/Ewald
+};
+
+/// Per-atom-type LJ parameters (sigma/epsilon form, converted to C6/C12).
+struct AtomType {
+  double sigma;    ///< nm
+  double epsilon;  ///< kJ/mol
+};
+
+/// Assembled force field: symmetric C6/C12 tables with geometric combination
+/// rules, plus the cutoff scheme parameters of Table 3 (rlist/rcut, PME
+/// beta, ...).
+///
+/// One extra "ghost" type (id == ntypes()) with zero C6/C12 is appended
+/// automatically; cluster padding slots use it so padded lanes compute to
+/// exactly zero force without branches.
+class ForceField {
+ public:
+  ForceField(std::span<const AtomType> types, double rcut, double rlist);
+
+  /// Number of *real* atom types (the ghost type is extra).
+  [[nodiscard]] int ntypes() const { return ntypes_; }
+  /// Type id of the zero-interaction ghost type used for padding.
+  [[nodiscard]] int ghost_type() const { return ntypes_; }
+  /// Table dimension, ntypes() + 1.
+  [[nodiscard]] int table_dim() const { return ntypes_ + 1; }
+
+  [[nodiscard]] float c6(int ti, int tj) const { return c6_[idx(ti, tj)]; }
+  [[nodiscard]] float c12(int ti, int tj) const { return c12_[idx(ti, tj)]; }
+  [[nodiscard]] std::span<const float> c6_table() const { return c6_; }
+  [[nodiscard]] std::span<const float> c12_table() const { return c12_; }
+
+  [[nodiscard]] double rcut() const { return rcut_; }
+  [[nodiscard]] double rlist() const { return rlist_; }
+
+  CoulombMode coulomb = CoulombMode::ReactionField;
+  double ewald_beta = 3.12;  ///< nm^-1, tuned so erfc(beta*rcut) ~ 1e-5 at rcut=1.0
+
+ private:
+  [[nodiscard]] std::size_t idx(int ti, int tj) const {
+    SWGMX_CHECK(ti >= 0 && ti <= ntypes_ && tj >= 0 && tj <= ntypes_);
+    const auto dim = static_cast<std::size_t>(ntypes_ + 1);
+    return static_cast<std::size_t>(ti) * dim + static_cast<std::size_t>(tj);
+  }
+  int ntypes_;
+  double rcut_, rlist_;
+  std::vector<float> c6_, c12_;
+};
+
+/// Kernel-ready nonbonded parameters (all float, LDM-resident on a CPE).
+struct NbParams {
+  float rcut2;             ///< cutoff squared
+  CoulombMode coulomb;
+  float coulomb_k;         ///< kCoulomb
+  float ewald_beta;
+  float rf_krf;            ///< reaction-field k coefficient
+  float rf_crf;            ///< reaction-field shift
+  int ntypes;
+  std::span<const float> c6;   ///< ntypes*ntypes
+  std::span<const float> c12;
+};
+
+/// Derive kernel parameters from a force field.
+[[nodiscard]] NbParams make_nb_params(const ForceField& ff);
+
+}  // namespace swgmx::md

@@ -1,0 +1,24 @@
+#include "md/integrator.hpp"
+
+#include <cmath>
+
+namespace swgmx::md {
+
+void leapfrog_step(System& sys, const IntegratorOptions& opt) {
+  const auto dt = static_cast<float>(opt.dt);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys.v[i] += sys.f[i] * (sys.inv_mass[i] * dt);
+    sys.x[i] += sys.v[i] * dt;
+  }
+}
+
+void apply_thermostat(System& sys, const IntegratorOptions& opt) {
+  if (!opt.thermostat) return;
+  const double t_now = sys.temperature();
+  if (t_now <= 1e-9) return;
+  const double lambda2 = 1.0 + opt.dt / opt.tau_t * (opt.t_ref / t_now - 1.0);
+  const auto lambda = static_cast<float>(std::sqrt(std::max(0.0, lambda2)));
+  for (auto& v : sys.v) v *= lambda;
+}
+
+}  // namespace swgmx::md

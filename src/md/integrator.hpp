@@ -1,0 +1,28 @@
+// Leapfrog integrator with an optional Berendsen-style velocity-rescaling
+// thermostat — the "Update" row of Table 1.
+#pragma once
+
+#include "md/system.hpp"
+
+namespace swgmx::md {
+
+/// Leapfrog parameters.
+struct IntegratorOptions {
+  double dt = 0.002;        ///< ps (2 fs, the water benchmark's step)
+  bool thermostat = false;
+  double t_ref = 300.0;     ///< K
+  double tau_t = 0.1;       ///< ps coupling time
+};
+
+/// One unconstrained leapfrog step:
+///   v(t+dt/2) = v(t-dt/2) + f(t)/m * dt;   x(t+dt) = x(t) + v(t+dt/2) dt.
+/// Call Shake::apply afterwards when the topology has constraints.
+void leapfrog_step(System& sys, const IntegratorOptions& opt);
+
+/// Berendsen velocity rescale toward opt.t_ref (no-op unless opt.thermostat).
+void apply_thermostat(System& sys, const IntegratorOptions& opt);
+
+/// FP ops per particle per leapfrog step (cost model).
+inline constexpr double kUpdateOpsPerParticle = 12.0;
+
+}  // namespace swgmx::md

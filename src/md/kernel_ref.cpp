@@ -1,0 +1,96 @@
+#include "md/kernel_ref.hpp"
+
+#include "common/error.hpp"
+
+namespace swgmx::md {
+
+NbKernelStats nb_kernel_ref(const ClusterSystem& cs, const Box& box,
+                            const ClusterPairList& list, const NbParams& p,
+                            std::span<Vec3f> f_slots, NbEnergies& e) {
+  SWGMX_CHECK(f_slots.size() == cs.nslots());
+  NbKernelStats stats;
+  const int ncl = cs.nclusters();
+  double e_lj = 0.0, e_coul = 0.0;
+
+  for (int ci = 0; ci < ncl; ++ci) {
+    for (std::int32_t cj : list.row(ci)) {
+      ++stats.cluster_pairs;
+      const bool self = cj == ci;
+      for (int li = 0; li < kClusterSize; ++li) {
+        const std::size_t si = static_cast<std::size_t>(ci) * kClusterSize +
+                               static_cast<std::size_t>(li);
+        const Vec3f xi = cs.pos(si);
+        const float qi = cs.charge(si);
+        const std::int32_t ti = cs.type_of(si);
+        const std::int32_t mi = cs.mol_of(si);
+        Vec3f fi{};
+        // Half list: intra-cluster pairs once (lj > li). Full list: every
+        // ordered pair except the diagonal, so the i-only update still gives
+        // each particle its full force.
+        const int lj_begin = (self && list.half) ? li + 1 : 0;
+        for (int ljn = lj_begin; ljn < kClusterSize; ++ljn) {
+          const std::size_t sj = static_cast<std::size_t>(cj) * kClusterSize +
+                                 static_cast<std::size_t>(ljn);
+          if (self && li == ljn) continue;
+          ++stats.pairs_tested;
+          if (excluded(mi, cs.mol_of(sj))) continue;
+          const Vec3f dr = box.min_image(xi, cs.pos(sj));
+          const float r2 = norm2(dr);
+          const std::int32_t tj = cs.type_of(sj);
+          PairResult pr{};
+          if (!pair_force(r2, qi, cs.charge(sj), p.c6[static_cast<std::size_t>(ti * p.ntypes + tj)],
+                          p.c12[static_cast<std::size_t>(ti * p.ntypes + tj)], p, pr)) {
+            continue;
+          }
+          ++stats.pairs_in_cutoff;
+          const Vec3f fv = pr.fscal * dr;
+          fi += fv;
+          e_lj += pr.e_lj;
+          e_coul += pr.e_coul;
+          if (list.half) f_slots[sj] -= fv;  // Newton's 3rd law: the j-update
+        }
+        f_slots[si] += fi;
+      }
+    }
+  }
+
+  if (!list.half) {
+    // Full (RCA) list: every interaction visited twice, so energies are
+    // double-counted. Forces are not (only the i side is updated).
+    e_lj *= 0.5;
+    e_coul *= 0.5;
+  }
+  e.lj += e_lj;
+  e.coul += e_coul;
+  return stats;
+}
+
+NbEnergies nb_brute_force(const System& sys, const NbParams& p,
+                          std::span<Vec3d> f) {
+  SWGMX_CHECK(f.size() == sys.size());
+  for (auto& fi : f) fi = Vec3d{};
+  NbEnergies e;
+  const std::size_t n = sys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (excluded(sys.top.mol_id[i], sys.top.mol_id[j])) continue;
+      const Vec3f dr_f = sys.box.min_image(sys.x[i], sys.x[j]);
+      const float r2 = norm2(dr_f);
+      const int ti = sys.type[i], tj = sys.type[j];
+      PairResult pr{};
+      if (!pair_force(r2, sys.q[i], sys.q[j],
+                      p.c6[static_cast<std::size_t>(ti * p.ntypes + tj)],
+                      p.c12[static_cast<std::size_t>(ti * p.ntypes + tj)], p, pr)) {
+        continue;
+      }
+      const Vec3d fv = Vec3d(dr_f) * static_cast<double>(pr.fscal);
+      f[i] += fv;
+      f[j] -= fv;
+      e.lj += pr.e_lj;
+      e.coul += pr.e_coul;
+    }
+  }
+  return e;
+}
+
+}  // namespace swgmx::md

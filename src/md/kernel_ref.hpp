@@ -1,0 +1,108 @@
+// Reference short-range nonbonded kernels (Lennard-Jones + Coulomb).
+//
+// pair_force() is the single source of truth for the pair physics: the SW
+// strategy kernels in src/core call the same inline so every strategy
+// produces bit-comparable forces (up to accumulation order).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/vec3.hpp"
+#include "md/box.hpp"
+#include "md/clusters.hpp"
+#include "md/forcefield.hpp"
+#include "md/pairlist.hpp"
+
+namespace swgmx::md {
+
+/// Accumulated potential-energy terms (double: energies are the
+/// accuracy-critical reduction even in mixed precision).
+struct NbEnergies {
+  double lj = 0.0;
+  double coul = 0.0;
+};
+
+/// Counters the cost models consume.
+struct NbKernelStats {
+  std::size_t cluster_pairs = 0;
+  std::size_t pairs_tested = 0;     ///< particle pairs distance-checked
+  std::size_t pairs_in_cutoff = 0;  ///< pairs that passed rcut (and exclusion)
+};
+
+/// Force scalar and energy of one particle pair at squared distance r2.
+/// Returns false if the pair is outside the cutoff.
+/// The force on i is  fscal * dr  with dr = xi - xj (minimum image).
+struct PairResult {
+  float fscal;
+  float e_lj;
+  float e_coul;
+};
+
+inline bool pair_force(float r2, float qi, float qj, float c6, float c12,
+                       const NbParams& p, PairResult& out) {
+  if (r2 >= p.rcut2) return false;
+  const float rinv2 = 1.0f / r2;
+  const float rinv6 = rinv2 * rinv2 * rinv2;
+  const float vvdw12 = c12 * rinv6 * rinv6;
+  const float vvdw6 = c6 * rinv6;
+  out.e_lj = vvdw12 - vvdw6;
+  float fscal = (12.0f * vvdw12 - 6.0f * vvdw6) * rinv2;
+
+  const float qq = p.coulomb_k * qi * qj;
+  switch (p.coulomb) {
+    case CoulombMode::None:
+      out.e_coul = 0.0f;
+      break;
+    case CoulombMode::Cutoff: {
+      const float rinv = std::sqrt(rinv2);
+      out.e_coul = qq * rinv;
+      fscal += qq * rinv * rinv2;
+      break;
+    }
+    case CoulombMode::ReactionField: {
+      const float rinv = std::sqrt(rinv2);
+      out.e_coul = qq * (rinv + p.rf_krf * r2 - p.rf_crf);
+      fscal += qq * (rinv * rinv2 - 2.0f * p.rf_krf);
+      break;
+    }
+    case CoulombMode::EwaldShort: {
+      const float rinv = std::sqrt(rinv2);
+      const float r = r2 * rinv;
+      const float br = p.ewald_beta * r;
+      const float erfc_br = std::erfc(br);
+      // d/dr [erfc(br)/r] term: erfc/r^2 + 2b/sqrt(pi) exp(-b^2 r^2)/r
+      constexpr float kTwoOverSqrtPi = 1.1283791670955126f;
+      out.e_coul = qq * erfc_br * rinv;
+      fscal += qq * (erfc_br * rinv + kTwoOverSqrtPi * p.ewald_beta *
+                                          std::exp(-br * br)) *
+               rinv2;
+      break;
+    }
+  }
+  out.fscal = fscal;
+  return true;
+}
+
+/// Whether the nonbonded interaction between two slots is excluded
+/// (same molecule; padding slots have mol == -1 and only exclude each other,
+/// which is a no-op since their parameters are zero).
+inline bool excluded(std::int32_t mol_i, std::int32_t mol_j) {
+  return mol_i == mol_j;
+}
+
+/// Scalar reference kernel over a cluster pair list. Forces are accumulated
+/// into the slot-ordered array `f_slots` (size cs.nslots()).
+/// Handles both half lists (Newton's 3rd law, j-updates) and full lists
+/// (RCA semantics: i-updates only, energies halved by the caller is NOT
+/// needed — this function already halves them for full lists).
+NbKernelStats nb_kernel_ref(const ClusterSystem& cs, const Box& box,
+                            const ClusterPairList& list, const NbParams& p,
+                            std::span<Vec3f> f_slots, NbEnergies& e);
+
+/// O(N^2) double-precision brute-force kernel over the raw System, for
+/// validation. Forces are written (not accumulated) in global order.
+NbEnergies nb_brute_force(const System& sys, const NbParams& p,
+                          std::span<Vec3d> f);
+
+}  // namespace swgmx::md

@@ -1,0 +1,87 @@
+#include "md/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/bonded.hpp"
+#include "md/constraints.hpp"
+#include "md/kernel_ref.hpp"
+
+namespace swgmx::md {
+
+namespace {
+
+/// Compute forces + potential energy with the provided backends.
+double evaluate(System& sys, ShortRangeBackend& sr, PairListBackend& pl) {
+  sys.clear_forces();
+  ClusterSystem cs(sys, sr.wants_layout());
+  ClusterPairList list;
+  pl.build(cs, sys.box, static_cast<float>(sys.ff->rlist()),
+           sr.wants_half_list(), list);
+  AlignedVector<Vec3f> f(cs.nslots(), Vec3f{});
+  NbEnergies e;
+  const NbParams p = make_nb_params(*sys.ff);
+  sr.compute(cs, sys.box, list, p, f, e);
+  cs.scatter_forces(f, sys);
+  const BondedEnergies be = compute_bonded(sys);
+  return e.lj + e.coul + be.total();
+}
+
+double max_force(const System& sys) {
+  double fmax = 0.0;
+  for (const auto& fi : sys.f) {
+    fmax = std::max(fmax, static_cast<double>(norm(fi)));
+  }
+  return fmax;
+}
+
+}  // namespace
+
+MinimizeResult minimize(System& sys, ShortRangeBackend& sr,
+                        PairListBackend& pl, const MinimizeOptions& opt) {
+  MinimizeResult res;
+  double e = evaluate(sys, sr, pl);
+  res.e_initial = e;
+  double step = opt.initial_step;
+
+  AlignedVector<Vec3f> x_save(sys.x.begin(), sys.x.end());
+  for (res.steps = 0; res.steps < opt.max_steps; ++res.steps) {
+    const double fmax = max_force(sys);
+    res.f_max = fmax;
+    if (fmax < opt.f_tol) {
+      res.converged = true;
+      break;
+    }
+    // Trial move: displace along forces, largest force moves `step`. Rigid
+    // topologies are re-projected onto the constraint manifold afterwards —
+    // without this, descent happily collapses a bare SPC hydrogen into a
+    // neighboring oxygen (downhill for point charges with no LJ on H).
+    x_save.assign(sys.x.begin(), sys.x.end());
+    const auto scale = static_cast<float>(step / fmax);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      sys.x[i] += sys.f[i] * scale;
+    }
+    if (!sys.top.constraints.empty()) {
+      Shake shake;
+      shake.apply(sys, x_save, /*dt=*/0.0);
+    }
+    sys.wrap_positions();
+    const double e_new = evaluate(sys, sr, pl);
+    if (e_new < e) {
+      e = e_new;
+      step = std::min(step * 1.2, 0.1);  // accept, grow the step
+    } else {
+      sys.x.assign(x_save.begin(), x_save.end());  // reject, shrink
+      step *= 0.5;
+      if (step < 1e-6) break;
+      // Forces still correspond to the restored positions only after a
+      // re-evaluation.
+      e = evaluate(sys, sr, pl);
+    }
+  }
+  res.e_final = e;
+  res.f_max = max_force(sys);
+  return res;
+}
+
+}  // namespace swgmx::md

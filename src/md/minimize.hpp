@@ -1,0 +1,29 @@
+// Steepest-descent energy minimization (GROMACS' `integrator = steep`):
+// relaxes freshly generated configurations before dynamics, removing the
+// lattice-overlap heat burst the generators otherwise produce.
+#pragma once
+
+#include "md/backends.hpp"
+
+namespace swgmx::md {
+
+struct MinimizeOptions {
+  int max_steps = 200;
+  double initial_step = 0.01;   ///< nm, displacement of the largest force
+  double f_tol = 100.0;         ///< stop when max |F| (kJ/mol/nm) drops below
+};
+
+struct MinimizeResult {
+  int steps = 0;
+  double e_initial = 0.0;
+  double e_final = 0.0;
+  double f_max = 0.0;   ///< final max force norm
+  bool converged = false;
+};
+
+/// Minimize the potential energy of `sys` in place using the given
+/// short-range backend (any strategy works; physics is identical).
+MinimizeResult minimize(System& sys, ShortRangeBackend& sr,
+                        PairListBackend& pl, const MinimizeOptions& opt = {});
+
+}  // namespace swgmx::md

@@ -1,0 +1,50 @@
+// Cluster pair list: for every i-cluster, the j-clusters that may contain a
+// particle within rlist. Regenerated every nstlist steps (Table 3: 10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "md/box.hpp"
+#include "md/clusters.hpp"
+
+namespace swgmx::md {
+
+/// CSR cluster pair list.
+///
+/// half == true: each unordered cluster pair appears once with cj >= ci and
+/// the kernel applies Newton's third law (this is the list whose j-updates
+/// cause the write conflicts the paper is about).
+/// half == false: the RCA "full" list — every pair appears in both rows and
+/// the kernel updates only i-forces, doubling the computation (§2.2, Alg 2).
+struct ClusterPairList {
+  bool half = true;
+  std::vector<std::int32_t> row_ptr;  ///< nclusters + 1
+  std::vector<std::int32_t> cj;
+
+  [[nodiscard]] std::size_t cluster_pairs() const { return cj.size(); }
+  [[nodiscard]] std::span<const std::int32_t> row(int ci) const {
+    const auto lo = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(ci)]);
+    const auto hi = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(ci) + 1]);
+    return {cj.data() + lo, hi - lo};
+  }
+};
+
+/// Statistics of one list build (feeds the neighbor-search cost model).
+struct PairListStats {
+  std::size_t candidates_tested = 0;  ///< cluster pairs sphere-checked
+  std::size_t sphere_passed = 0;      ///< candidates that got the exact check
+  std::size_t pairs_kept = 0;
+};
+
+/// Reference (MPE-side) builder using a cell grid over cluster centers.
+/// Clusters are paired when their bounding spheres approach within rlist.
+PairListStats build_pairlist(const ClusterSystem& cs, const Box& box, float rlist,
+                             bool half, ClusterPairList& out);
+
+/// Exhaustive O(ncl^2) builder for tests.
+void build_pairlist_brute(const ClusterSystem& cs, const Box& box, float rlist,
+                          bool half, ClusterPairList& out);
+
+}  // namespace swgmx::md

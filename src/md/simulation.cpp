@@ -1,0 +1,142 @@
+#include "md/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "md/cost.hpp"
+
+namespace swgmx::md {
+
+namespace {
+/// MPE cost of `ops` arithmetic ops + `mem` memory references (same model as
+/// CoreGroup::mpe_seconds, usable without a core group).
+double mpe_secs(const sw::SwConfig& cfg, double ops, double mem) {
+  return cfg.seconds(ops * cfg.mpe_op_penalty +
+                     mem * cfg.mpe_miss_rate * cfg.mpe_miss_latency_cycles);
+}
+}  // namespace
+
+Simulation::Simulation(System sys, SimOptions opt, ShortRangeBackend& sr,
+                       PairListBackend& pl, LongRangeBackend* lr, TrajSink* traj)
+    : sys_(std::move(sys)), opt_(opt), sr_(&sr), pl_(&pl), lr_(lr), traj_(traj) {
+  SWGMX_CHECK(sys_.size() > 0);
+  neighbor_search();
+}
+
+void Simulation::neighbor_search() {
+  // Re-sort particles into clusters at the backend's preferred layout, then
+  // regenerate the pair list. Both are part of "Neighbor search" in Table 1.
+  clusters_.emplace(sys_, sr_->wants_layout());
+  f_slots_.assign(clusters_->nslots(), Vec3f{});
+  const double secs =
+      pl_->build(*clusters_, sys_.box, static_cast<float>(sys_.ff->rlist()),
+                 sr_->wants_half_list(), list_);
+  timers_.add(phase::kNeighborSearch, secs);
+}
+
+void Simulation::compute_forces() {
+  sys_.clear_forces();
+
+  // "NB X buffer ops": refresh package coordinates from the system.
+  clusters_->update_positions(sys_);
+  // Modeled as an MPE streaming copy: a handful of ops + 2 memory references
+  // per slot.
+  const double n = static_cast<double>(clusters_->nslots());
+  double buffer_secs = 0.0;
+
+  // Short-range nonbonded on the configured backend.
+  std::fill(f_slots_.begin(), f_slots_.end(), Vec3f{});
+  last_nb_ = NbEnergies{};
+  const NbParams params = make_nb_params(*sys_.ff);
+  const double force_secs =
+      sr_->compute(*clusters_, sys_.box, list_, params, f_slots_, last_nb_);
+  timers_.add(phase::kForce, force_secs);
+
+  // "NB F buffer ops": scatter slot forces back to the system array.
+  clusters_->scatter_forces(f_slots_, sys_);
+  buffer_secs += mpe_secs(opt_.cfg, n * 8.0, n * 2.0) / opt_.buffer_speedup;
+  timers_.add(phase::kBufferOps, buffer_secs);
+
+  // Bonded terms (double precision, MPE).
+  last_bonded_ = compute_bonded(sys_);
+  const double nbonded =
+      static_cast<double>(sys_.top.bonds.size()) * BondedOpCounts::kPerBond +
+      static_cast<double>(sys_.top.angles.size()) * BondedOpCounts::kPerAngle +
+      static_cast<double>(sys_.top.dihedrals.size()) * BondedOpCounts::kPerDihedral;
+  timers_.add(phase::kForce, mpe_secs(opt_.cfg, nbonded, nbonded * 0.2));
+
+  // Long-range electrostatics (PME), if configured.
+  last_longrange_ = 0.0;
+  if (lr_ != nullptr) {
+    timers_.add(phase::kForce, lr_->compute(sys_, last_longrange_));
+  }
+}
+
+EnergySample Simulation::measure() {
+  compute_forces();
+  EnergySample s{};
+  s.step = step_;
+  s.e_lj = last_nb_.lj;
+  s.e_coul = last_nb_.coul;
+  s.e_bonded = last_bonded_.total();
+  s.e_longrange = last_longrange_;
+  s.e_kin = sys_.kinetic_energy();
+  s.temperature = sys_.temperature();
+  return s;
+}
+
+std::optional<EnergySample> Simulation::step() {
+  if (step_ > 0 && opt_.nstlist > 0 && step_ % opt_.nstlist == 0) {
+    neighbor_search();
+  }
+
+  compute_forces();
+
+  // "Update": leapfrog + thermostat.
+  const AlignedVector<Vec3f> x_ref(sys_.x.begin(), sys_.x.end());
+  leapfrog_step(sys_, opt_.integ);
+  apply_thermostat(sys_, opt_.integ);
+  const double npart = static_cast<double>(sys_.size());
+  timers_.add(phase::kUpdate,
+              mpe_secs(opt_.cfg, npart * kUpdateOpsPerParticle, npart * 2.0) /
+                  opt_.update_speedup);
+
+  // "Constraints": SHAKE.
+  if (!sys_.top.constraints.empty()) {
+    shake_.apply(sys_, x_ref, opt_.integ.dt);
+    // Charged at SETTLE (single-pass analytic) cost; see constraints.hpp.
+    const double ops = static_cast<double>(sys_.top.constraints.size()) *
+                       Shake::kSettleOpsPerConstraint;
+    timers_.add(phase::kConstraints,
+                mpe_secs(opt_.cfg, ops, ops * 0.2) / opt_.constraint_speedup);
+  }
+
+  ++step_;
+
+  std::optional<EnergySample> sample;
+  if (opt_.nstenergy > 0 && step_ % opt_.nstenergy == 0) {
+    EnergySample s{};
+    s.step = step_;
+    s.e_lj = last_nb_.lj;
+    s.e_coul = last_nb_.coul;
+    s.e_bonded = last_bonded_.total();
+    s.e_longrange = last_longrange_;
+    s.e_kin = sys_.kinetic_energy();
+    s.temperature = sys_.temperature();
+    series_.push_back(s);
+    sample = s;
+  }
+
+  // "Write traj".
+  if (traj_ != nullptr && opt_.nstxout > 0 && step_ % opt_.nstxout == 0) {
+    timers_.add(phase::kWriteTraj,
+                traj_->write_frame(sys_, static_cast<double>(step_) * opt_.integ.dt));
+  }
+  return sample;
+}
+
+void Simulation::run(int nsteps) {
+  for (int i = 0; i < nsteps; ++i) step();
+}
+
+}  // namespace swgmx::md

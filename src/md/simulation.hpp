@@ -1,0 +1,108 @@
+// Single-rank MD driver: the GROMACS main loop of Fig 1 (calculate
+// interaction -> update configuration -> output), instrumented with the
+// Table 1 phase timers (simulated seconds).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "md/backends.hpp"
+#include "md/bonded.hpp"
+#include "md/constraints.hpp"
+#include "md/integrator.hpp"
+#include "sw/perf.hpp"
+
+namespace swgmx::md {
+
+/// Phase names used by the timers; match Table 1's rows.
+namespace phase {
+inline constexpr const char* kDomainDecomp = "Domain decomp.";
+inline constexpr const char* kNeighborSearch = "Neighbor search";
+inline constexpr const char* kForce = "Force";
+inline constexpr const char* kWaitCommF = "Wait + comm. F";
+inline constexpr const char* kBufferOps = "NB X/F buffer ops";
+inline constexpr const char* kUpdate = "Update";
+inline constexpr const char* kConstraints = "Constraints";
+inline constexpr const char* kCommEnergies = "Comm. energies";
+inline constexpr const char* kWriteTraj = "Write traj";
+inline constexpr const char* kRest = "Rest";
+}  // namespace phase
+
+struct SimOptions {
+  IntegratorOptions integ;
+  int nstlist = 10;    ///< pair-list rebuild interval (Table 3)
+  int nstenergy = 10;  ///< energy sampling interval
+  int nstxout = 0;     ///< trajectory output interval (0 = never)
+  sw::SwConfig cfg;    ///< architecture model for MPE-side phase costs
+  /// Speedup factors for the "Other" optimizations of Fig 10 version 4
+  /// (update/constraints/buffer-ops moved to CPEs + 128-bit alignment).
+  double update_speedup = 1.0;
+  double constraint_speedup = 1.0;
+  double buffer_speedup = 1.0;
+};
+
+/// One energy sample.
+struct EnergySample {
+  std::int64_t step;
+  double e_lj, e_coul, e_bonded, e_longrange;
+  double e_kin, temperature;
+  [[nodiscard]] double e_pot() const { return e_lj + e_coul + e_bonded + e_longrange; }
+  [[nodiscard]] double e_total() const { return e_pot() + e_kin; }
+};
+
+/// The MD loop. Owns the system; borrows the backends (callers own their
+/// core groups and can therefore inspect counters afterwards).
+class Simulation {
+ public:
+  Simulation(System sys, SimOptions opt, ShortRangeBackend& sr,
+             PairListBackend& pl, LongRangeBackend* lr = nullptr,
+             TrajSink* traj = nullptr);
+
+  /// Advance one step. Returns the energies if this step sampled them.
+  std::optional<EnergySample> step();
+
+  /// Advance n steps.
+  void run(int nsteps);
+
+  /// Compute forces/energies at the current positions without integrating
+  /// (used by tests and by step 0 sampling).
+  EnergySample measure();
+
+  [[nodiscard]] const System& system() const { return sys_; }
+  [[nodiscard]] System& system() { return sys_; }
+  [[nodiscard]] const sw::PhaseTimers& timers() const { return timers_; }
+  [[nodiscard]] sw::PhaseTimers& timers() { return timers_; }
+  [[nodiscard]] const std::vector<EnergySample>& energy_series() const {
+    return series_;
+  }
+  [[nodiscard]] std::int64_t current_step() const { return step_; }
+  [[nodiscard]] const SimOptions& options() const { return opt_; }
+
+ private:
+  /// Rebuild clusters + pair list ("Neighbor search").
+  void neighbor_search();
+  /// All force terms; fills last_* energy fields.
+  void compute_forces();
+
+  System sys_;
+  SimOptions opt_;
+  ShortRangeBackend* sr_;
+  PairListBackend* pl_;
+  LongRangeBackend* lr_;
+  TrajSink* traj_;
+  Shake shake_;
+
+  std::optional<ClusterSystem> clusters_;
+  ClusterPairList list_;
+  AlignedVector<Vec3f> f_slots_;
+
+  sw::PhaseTimers timers_;
+  std::vector<EnergySample> series_;
+  std::int64_t step_ = 0;
+
+  NbEnergies last_nb_;
+  BondedEnergies last_bonded_;
+  double last_longrange_ = 0.0;
+};
+
+}  // namespace swgmx::md

@@ -1,0 +1,52 @@
+#include "md/system.hpp"
+
+#include "md/units.hpp"
+
+namespace swgmx::md {
+
+void System::resize(std::size_t n) {
+  x.resize(n);
+  v.resize(n);
+  f.resize(n);
+  q.resize(n);
+  type.resize(n);
+  mass.resize(n);
+  inv_mass.resize(n);
+  top.mol_id.resize(n);
+}
+
+void System::clear_forces() {
+  for (auto& fi : f) fi = Vec3f{};
+}
+
+double System::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    e += 0.5 * static_cast<double>(mass[i]) * static_cast<double>(norm2(v[i]));
+  }
+  return e;
+}
+
+double System::temperature() const {
+  const double ndf = top.degrees_of_freedom();
+  if (ndf <= 0.0) return 0.0;
+  return 2.0 * kinetic_energy() / (ndf * kBoltz);
+}
+
+void System::remove_com_velocity() {
+  Vec3d p{};
+  double m = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    p += Vec3d(v[i]) * static_cast<double>(mass[i]);
+    m += mass[i];
+  }
+  if (m == 0.0) return;
+  const Vec3f vcom(Vec3d(p.x / m, p.y / m, p.z / m));
+  for (auto& vi : v) vi -= vcom;
+}
+
+void System::wrap_positions() {
+  for (auto& xi : x) xi = box.wrap(xi);
+}
+
+}  // namespace swgmx::md

@@ -1,0 +1,58 @@
+// The particle system: positions/velocities/forces plus per-particle static
+// data, a periodic box, a topology and a force field.
+//
+// Positions and velocities are float (GROMACS "mixed precision"): forces are
+// accumulated in float by the production kernels and in double by the
+// reference paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/aligned.hpp"
+#include "common/vec3.hpp"
+#include "md/box.hpp"
+#include "md/forcefield.hpp"
+#include "md/topology.hpp"
+
+namespace swgmx::md {
+
+/// Whole simulation state for one rank.
+struct System {
+  Box box;
+  Topology top;
+  std::shared_ptr<const ForceField> ff;
+
+  // Per-particle arrays. Kept as separate arrays on purpose: the paper's
+  // Fetch Strategy (§3.1) aggregates them into particle packages, and the
+  // "before" state is exactly this scattered layout.
+  AlignedVector<Vec3f> x;          ///< positions (xyz interleaved, nm)
+  AlignedVector<Vec3f> v;          ///< velocities (nm/ps)
+  AlignedVector<Vec3f> f;          ///< forces (kJ mol^-1 nm^-1)
+  AlignedVector<float> q;          ///< charges (e)
+  AlignedVector<std::int32_t> type;
+  AlignedVector<float> mass;       ///< amu
+  AlignedVector<float> inv_mass;
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+
+  /// Allocate all per-particle arrays for n particles.
+  void resize(std::size_t n);
+
+  /// Zero the force array.
+  void clear_forces();
+
+  /// Kinetic energy (kJ/mol), computed in double.
+  [[nodiscard]] double kinetic_energy() const;
+
+  /// Instantaneous temperature (K) from kinetic energy and topology DoF.
+  [[nodiscard]] double temperature() const;
+
+  /// Remove center-of-mass velocity.
+  void remove_com_velocity();
+
+  /// Wrap all positions into the box.
+  void wrap_positions();
+};
+
+}  // namespace swgmx::md

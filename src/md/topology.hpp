@@ -1,0 +1,54 @@
+// Molecular topology: bonded terms, distance constraints, molecule ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swgmx::md {
+
+/// Harmonic bond: V = 1/2 k (r - b0)^2.
+struct Bond {
+  std::int32_t i, j;
+  double b0;  ///< equilibrium length, nm
+  double k;   ///< force constant, kJ mol^-1 nm^-2
+};
+
+/// Harmonic angle: V = 1/2 k (theta - th0)^2.
+struct Angle {
+  std::int32_t i, j, k;  ///< j is the apex
+  double th0;            ///< equilibrium angle, rad
+  double kf;             ///< kJ mol^-1 rad^-2
+};
+
+/// Periodic proper dihedral: V = k (1 + cos(mult*phi - phi0)).
+struct Dihedral {
+  std::int32_t i, j, k, l;
+  double phi0;  ///< rad
+  double kf;    ///< kJ/mol
+  int mult;
+};
+
+/// Rigid distance constraint |r_i - r_j| = d (solved by SHAKE).
+struct Constraint {
+  std::int32_t i, j;
+  double d;  ///< nm
+};
+
+/// Topology of the whole system. `mol_id[p]` groups particles into molecules;
+/// the production kernels exclude nonbonded interactions within a molecule
+/// (exact for rigid water, the paper's benchmark system).
+struct Topology {
+  std::vector<std::int32_t> mol_id;
+  std::vector<Bond> bonds;
+  std::vector<Angle> angles;
+  std::vector<Dihedral> dihedrals;
+  std::vector<Constraint> constraints;
+
+  /// Degrees of freedom for temperature: 3N - n_constraints - 3 (COM motion).
+  [[nodiscard]] double degrees_of_freedom() const {
+    return 3.0 * static_cast<double>(mol_id.size()) -
+           static_cast<double>(constraints.size()) - 3.0;
+  }
+};
+
+}  // namespace swgmx::md

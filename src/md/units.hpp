@@ -1,0 +1,16 @@
+// GROMACS unit system: length nm, time ps, mass amu (g/mol), energy kJ/mol,
+// charge e, temperature K. Constants follow GROMACS' values.
+#pragma once
+
+namespace swgmx::md {
+
+/// Boltzmann constant, kJ mol^-1 K^-1.
+inline constexpr double kBoltz = 8.314462618e-3;
+
+/// Coulomb conversion factor f = 1/(4 pi eps0), kJ mol^-1 nm e^-2.
+inline constexpr double kCoulomb = 138.935458;
+
+/// Degrees to radians.
+inline constexpr double kDeg2Rad = 0.017453292519943295;
+
+}  // namespace swgmx::md

@@ -1,0 +1,160 @@
+#include "md/water.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "md/units.hpp"
+
+namespace swgmx::md {
+
+namespace {
+
+/// Thermal velocity sigma for one particle: sqrt(kB T / m), nm/ps.
+double thermal_sigma(double temp, double mass) {
+  return std::sqrt(kBoltz * temp / mass);
+}
+
+/// Random unit vector.
+Vec3d random_unit(Rng& rng) {
+  // Marsaglia: uniform on the sphere.
+  double a, b, s;
+  do {
+    a = rng.uniform(-1.0, 1.0);
+    b = rng.uniform(-1.0, 1.0);
+    s = a * a + b * b;
+  } while (s >= 1.0);
+  const double t = 2.0 * std::sqrt(1.0 - s);
+  return {a * t, b * t, 1.0 - 2.0 * s};
+}
+
+}  // namespace
+
+System make_water_box(const WaterBoxOptions& opt) {
+  SWGMX_CHECK(opt.nmol > 0);
+  System sys;
+
+  const AtomType types[] = {{Spce::kSigmaO, Spce::kEpsO},  // O
+                            {0.0, 0.0}};                   // H (no LJ)
+  auto ff = std::make_shared<ForceField>(std::span<const AtomType>(types),
+                                         opt.rcut, opt.rlist);
+  ff->coulomb = opt.coulomb;
+  sys.ff = ff;
+
+  const double volume = static_cast<double>(opt.nmol) / opt.density_per_nm3;
+  const double box_len = std::cbrt(volume);
+  sys.box.len = {box_len, box_len, box_len};
+
+  const auto m = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(opt.nmol))));
+  const double spacing = box_len / static_cast<double>(m);
+
+  sys.resize(opt.nmol * 3);
+  Rng rng(opt.seed);
+
+  std::size_t placed = 0;
+  for (std::size_t ix = 0; ix < m && placed < opt.nmol; ++ix) {
+    for (std::size_t iy = 0; iy < m && placed < opt.nmol; ++iy) {
+      for (std::size_t iz = 0; iz < m && placed < opt.nmol; ++iz, ++placed) {
+        const std::size_t o = placed * 3;
+        const Vec3d base{(static_cast<double>(ix) + 0.5) * spacing,
+                         (static_cast<double>(iy) + 0.5) * spacing,
+                         (static_cast<double>(iz) + 0.5) * spacing};
+        // Random orientation: u along one O-H; w in the HOH plane.
+        const Vec3d u = random_unit(rng);
+        Vec3d w = random_unit(rng);
+        Vec3d perp = w - u * dot(w, u);
+        double np = norm(perp);
+        while (np < 1e-6) {  // unlucky near-parallel draw
+          w = random_unit(rng);
+          perp = w - u * dot(w, u);
+          np = norm(perp);
+        }
+        perp *= 1.0 / np;
+        // H positions from the O at the SPC/E geometry: both OH bonds at
+        // half the HOH angle from the bisector (u).
+        const double half = 0.5 * 109.47 * kDeg2Rad;
+        const Vec3d h1 = u * std::cos(half) + perp * std::sin(half);
+        const Vec3d h2 = u * std::cos(half) - perp * std::sin(half);
+
+        sys.x[o] = Vec3f(base);
+        sys.x[o + 1] = Vec3f(base + h1 * Spce::kDOH);
+        sys.x[o + 2] = Vec3f(base + h2 * Spce::kDOH);
+
+        const int mol = static_cast<int>(placed);
+        for (int k = 0; k < 3; ++k) {
+          const std::size_t p = o + static_cast<std::size_t>(k);
+          sys.top.mol_id[p] = mol;
+          const bool is_o = k == 0;
+          sys.type[p] = is_o ? 0 : 1;
+          sys.q[p] = static_cast<float>(is_o ? Spce::kQO : Spce::kQH);
+          sys.mass[p] = static_cast<float>(is_o ? Spce::kMassO : Spce::kMassH);
+          sys.inv_mass[p] = 1.0f / sys.mass[p];
+          const double sig = thermal_sigma(opt.temperature, sys.mass[p]);
+          sys.v[p] = Vec3f(Vec3d(rng.normal() * sig, rng.normal() * sig,
+                                 rng.normal() * sig));
+        }
+        if (opt.rigid) {
+          const auto i0 = static_cast<std::int32_t>(o);
+          sys.top.constraints.push_back({i0, i0 + 1, Spce::kDOH});
+          sys.top.constraints.push_back({i0, i0 + 2, Spce::kDOH});
+          sys.top.constraints.push_back({i0 + 1, i0 + 2, Spce::kDHH});
+        } else {
+          const auto i0 = static_cast<std::int32_t>(o);
+          // Flexible water: harmonic bonds + angle.
+          sys.top.bonds.push_back({i0, i0 + 1, Spce::kDOH, 345000.0});
+          sys.top.bonds.push_back({i0, i0 + 2, Spce::kDOH, 345000.0});
+          sys.top.angles.push_back({i0 + 1, i0, i0 + 2, 109.47 * kDeg2Rad, 383.0});
+        }
+      }
+    }
+  }
+  SWGMX_CHECK(placed == opt.nmol);
+  sys.wrap_positions();
+  sys.remove_com_velocity();
+  return sys;
+}
+
+System make_lj_fluid(const LjFluidOptions& opt) {
+  SWGMX_CHECK(opt.n > 0);
+  System sys;
+  const AtomType types[] = {{opt.sigma, opt.epsilon}};
+  auto ff = std::make_shared<ForceField>(std::span<const AtomType>(types),
+                                         opt.rcut, opt.rlist);
+  ff->coulomb = CoulombMode::None;
+  sys.ff = ff;
+
+  const double volume = static_cast<double>(opt.n) / opt.density_per_nm3;
+  const double box_len = std::cbrt(volume);
+  sys.box.len = {box_len, box_len, box_len};
+
+  const auto m = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(opt.n))));
+  const double spacing = box_len / static_cast<double>(m);
+
+  sys.resize(opt.n);
+  Rng rng(opt.seed);
+  std::size_t placed = 0;
+  for (std::size_t ix = 0; ix < m && placed < opt.n; ++ix)
+    for (std::size_t iy = 0; iy < m && placed < opt.n; ++iy)
+      for (std::size_t iz = 0; iz < m && placed < opt.n; ++iz, ++placed) {
+        const Vec3d base{(static_cast<double>(ix) + 0.5) * spacing,
+                         (static_cast<double>(iy) + 0.5) * spacing,
+                         (static_cast<double>(iz) + 0.5) * spacing};
+        const Vec3d jit = random_unit(rng) * (0.05 * spacing);
+        sys.x[placed] = Vec3f(base + jit);
+        sys.type[placed] = 0;
+        sys.q[placed] = 0.0f;
+        sys.mass[placed] = static_cast<float>(opt.mass);
+        sys.inv_mass[placed] = 1.0f / sys.mass[placed];
+        sys.top.mol_id[placed] = static_cast<int>(placed);
+        const double sig = thermal_sigma(opt.temperature, opt.mass);
+        sys.v[placed] = Vec3f(Vec3d(rng.normal() * sig, rng.normal() * sig,
+                                    rng.normal() * sig));
+      }
+  sys.wrap_positions();
+  sys.remove_com_velocity();
+  return sys;
+}
+
+}  // namespace swgmx::md

@@ -1,0 +1,55 @@
+// Workload generators: the paper's water benchmark (SPC/E rigid 3-site
+// water, the `water_GMX50_bare` equivalent per Table 3) and a plain LJ fluid
+// for tests.
+#pragma once
+
+#include <cstddef>
+
+#include "md/system.hpp"
+
+namespace swgmx::md {
+
+/// SPC/E parameters (GROMACS values).
+struct Spce {
+  static constexpr double kSigmaO = 0.316557;   // nm
+  static constexpr double kEpsO = 0.650194;     // kJ/mol
+  static constexpr double kQO = -0.8476;        // e
+  static constexpr double kQH = 0.4238;
+  static constexpr double kMassO = 15.9994;     // amu
+  static constexpr double kMassH = 1.008;
+  static constexpr double kDOH = 0.1;           // nm
+  static constexpr double kDHH = 0.16330;       // nm (109.47 deg HOH)
+};
+
+/// Parameters of a generated water box (defaults follow Table 3).
+struct WaterBoxOptions {
+  std::size_t nmol = 1000;
+  double temperature = 300.0;       ///< K, Maxwell-Boltzmann init
+  double density_per_nm3 = 33.3;    ///< molecules / nm^3 (~997 kg/m^3)
+  double rcut = 1.0;                ///< nm (Table 3 rlist = 1.0)
+  double rlist = 1.1;               ///< verlet buffer
+  CoulombMode coulomb = CoulombMode::ReactionField;
+  bool rigid = true;                ///< SHAKE constraints (SPC/E is rigid)
+  unsigned seed = 1;
+};
+
+/// Build a periodic box of SPC/E water on a jittered lattice with random
+/// molecular orientations and thermal velocities. Particle order is O,H,H
+/// per molecule; types are O=0, H=1.
+System make_water_box(const WaterBoxOptions& opt);
+
+/// Single-type Lennard-Jones fluid (argon-like) for unit tests.
+struct LjFluidOptions {
+  std::size_t n = 1000;
+  double density_per_nm3 = 26.0;
+  double temperature = 120.0;
+  double sigma = 0.34;
+  double epsilon = 0.996;
+  double mass = 39.948;
+  double rcut = 0.9;
+  double rlist = 1.0;
+  unsigned seed = 7;
+};
+System make_lj_fluid(const LjFluidOptions& opt);
+
+}  // namespace swgmx::md

@@ -1,0 +1,93 @@
+#include "net/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace swgmx::net {
+
+namespace {
+/// Factor n into three near-equal factors (largest first).
+std::array<int, 3> factor3(int n) {
+  std::array<int, 3> best{n, 1, 1};
+  double best_score = 1e300;
+  for (int a = 1; a * a * a <= n * 4; ++a) {
+    if (n % a != 0) continue;
+    const int rem = n / a;
+    for (int b = a; b * b <= rem * 2; ++b) {
+      if (rem % b != 0) continue;
+      const int c = rem / b;
+      // score: surface-to-volume ~ prefer near-cubic
+      const double score = 1.0 / a + 1.0 / b + 1.0 / c;
+      if (score < best_score) {
+        best_score = score;
+        best = {c, b, a};  // c >= b >= a
+      }
+    }
+  }
+  return best;
+}
+}  // namespace
+
+DomainDecomposition::DomainDecomposition(const md::Box& box, int nranks)
+    : box_(box) {
+  SWGMX_CHECK(nranks >= 1);
+  const auto f = factor3(nranks);
+  px_ = f[0];
+  py_ = f[1];
+  pz_ = f[2];
+  SWGMX_CHECK(px_ * py_ * pz_ == nranks);
+}
+
+int DomainDecomposition::rank_of(const Vec3f& pos) const {
+  const Vec3f w = box_.wrap(pos);
+  auto cell = [](float x, double len, int n) {
+    const int c = static_cast<int>(static_cast<double>(x) / len * n);
+    return std::min(std::max(c, 0), n - 1);
+  };
+  const int ix = cell(w.x, box_.len.x, px_);
+  const int iy = cell(w.y, box_.len.y, py_);
+  const int iz = cell(w.z, box_.len.z, pz_);
+  return (ix * py_ + iy) * pz_ + iz;
+}
+
+double DomainDecomposition::halo_fraction(double halo_width) const {
+  const double lx = box_.len.x / px_;
+  const double ly = box_.len.y / py_;
+  const double lz = box_.len.z / pz_;
+  // Interior fraction of the cell after shaving `halo_width` from each
+  // face that has a neighbor (periodic: every face does when p > 1).
+  auto interior = [&](double l, int p) {
+    if (p == 1) return 1.0;
+    return std::max(0.0, (l - 2.0 * halo_width) / l);
+  };
+  const double inner = interior(lx, px_) * interior(ly, py_) * interior(lz, pz_);
+  return 1.0 - inner;
+}
+
+int DomainDecomposition::halo_neighbors() const {
+  const int nx = px_ > 2 ? 3 : px_;
+  const int ny = py_ > 2 ? 3 : py_;
+  const int nz = pz_ > 2 ? 3 : pz_;
+  return nx * ny * nz - 1;
+}
+
+int DomainDecomposition::halo_pulses() const {
+  int pulses = 0;
+  for (int p : {px_, py_, pz_}) {
+    if (p > 1) pulses += 2;
+  }
+  return pulses;
+}
+
+std::vector<std::size_t> assign_counts(const DomainDecomposition& dd,
+                                       std::span<const Vec3f> positions) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(dd.nranks()), 0);
+  for (const auto& p : positions) {
+    ++counts[static_cast<std::size_t>(dd.rank_of(p))];
+  }
+  return counts;
+}
+
+}  // namespace swgmx::net

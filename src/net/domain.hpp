@@ -1,0 +1,48 @@
+// 3-D spatial domain decomposition across core groups (one MPI rank per CG,
+// as on TaihuLight).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/box.hpp"
+
+namespace swgmx::net {
+
+/// Near-cubic factorization of `nranks` into a px * py * pz grid over the
+/// box, with rank lookup by position and halo-volume accounting.
+class DomainDecomposition {
+ public:
+  DomainDecomposition(const md::Box& box, int nranks);
+
+  [[nodiscard]] int nranks() const { return px_ * py_ * pz_; }
+  [[nodiscard]] std::array<int, 3> dims() const { return {px_, py_, pz_}; }
+
+  /// Rank owning a (wrapped) position.
+  [[nodiscard]] int rank_of(const Vec3f& pos) const;
+
+  /// Fraction of this rank's particles that sit within `halo_width` of a
+  /// domain face (estimate: surface shell volume / cell volume, clamped).
+  [[nodiscard]] double halo_fraction(double halo_width) const;
+
+  /// Number of neighbor ranks a rank exchanges halos with (up to 26; fewer
+  /// for degenerate grids).
+  [[nodiscard]] int halo_neighbors() const;
+
+  /// Messages per staged halo exchange: GROMACS DD communicates in 2 pulses
+  /// per decomposed dimension (corners forwarded), not pairwise with all 26
+  /// neighbors.
+  [[nodiscard]] int halo_pulses() const;
+
+ private:
+  md::Box box_;
+  int px_, py_, pz_;
+};
+
+/// Count of items assigned to each rank given their positions.
+[[nodiscard]] std::vector<std::size_t> assign_counts(
+    const DomainDecomposition& dd, std::span<const Vec3f> positions);
+
+}  // namespace swgmx::net

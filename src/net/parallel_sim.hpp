@@ -1,0 +1,78 @@
+// Multi-core-group (multi-rank) MD driver.
+//
+// Substitution note (see DESIGN.md): the physics is computed once, globally
+// — identical to the single-rank Simulation, so results are exactly
+// rank-count-invariant — while the *time* of every phase is modeled per rank
+// from the real domain decomposition: each rank's share of cluster pairs
+// (with true spatial load imbalance), halo exchange and PME all-to-all
+// volumes through the MPI/RDMA transport models, and the per-step energy
+// all-reduce that dominates Case 2's "Comm. energies" row.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "md/simulation.hpp"
+#include "net/domain.hpp"
+#include "net/transport.hpp"
+
+namespace swgmx::net {
+
+struct ParallelOptions {
+  int nranks = 4;
+  md::SimOptions sim;
+  bool rdma = false;  ///< §3.6: use the RDMA transport instead of MPI
+  /// Multiplier on the energy all-reduce capturing synchronization skew
+  /// (ranks arrive at the reduce at different times).
+  double energy_comm_skew = 4.0;
+};
+
+class ParallelSim {
+ public:
+  ParallelSim(md::System sys, ParallelOptions opt, md::ShortRangeBackend& sr,
+              md::PairListBackend& pl, md::LongRangeBackend* lr = nullptr,
+              md::TrajSink* traj = nullptr);
+
+  void step();
+  void run(int nsteps);
+
+  [[nodiscard]] const md::System& system() const { return sys_; }
+  /// Critical-path (max-over-ranks) simulated seconds per phase.
+  [[nodiscard]] const sw::PhaseTimers& timers() const { return timers_; }
+  [[nodiscard]] double total_seconds() const { return timers_.total(); }
+  [[nodiscard]] std::int64_t current_step() const { return step_; }
+  [[nodiscard]] const std::vector<md::EnergySample>& energy_series() const {
+    return series_;
+  }
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
+  /// Max-over-ranks share of cluster pairs (load imbalance indicator).
+  [[nodiscard]] double max_pair_share() const { return max_pair_share_; }
+
+ private:
+  void neighbor_search();
+  [[nodiscard]] double mpe_secs(double ops, double mem) const;
+
+  md::System sys_;
+  ParallelOptions opt_;
+  md::ShortRangeBackend* sr_;
+  md::PairListBackend* pl_;
+  md::LongRangeBackend* lr_;
+  md::TrajSink* traj_;
+  md::Shake shake_;
+
+  DomainDecomposition dd_;
+  std::unique_ptr<Transport> transport_;
+
+  std::optional<md::ClusterSystem> clusters_;
+  md::ClusterPairList list_;
+  AlignedVector<Vec3f> f_slots_;
+  double max_pair_share_ = 1.0;
+  double max_cluster_share_ = 1.0;
+
+  sw::PhaseTimers timers_;
+  std::vector<md::EnergySample> series_;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace swgmx::net

@@ -1,0 +1,60 @@
+#include "net/transport.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace swgmx::net {
+
+double MpiSimTransport::message_seconds(std::size_t bytes) const {
+  const double b = static_cast<double>(bytes);
+  return p_.latency_s + b / p_.wire_bw +
+         static_cast<double>(p_.copies) * b / p_.copy_bw + b * p_.pack_s_per_byte;
+}
+
+double RdmaSimTransport::message_seconds(std::size_t bytes) const {
+  return p_.latency_s + static_cast<double>(bytes) / p_.wire_bw;
+}
+
+double allreduce_seconds(const Transport& t, std::size_t bytes, int nranks) {
+  if (nranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
+  // reduce + broadcast phases.
+  return 2.0 * rounds * t.message_seconds(bytes);
+}
+
+double alltoall_seconds(const Transport& t, std::size_t bytes_per_pair,
+                        int nranks) {
+  if (nranks <= 1) return 0.0;
+  // Pairwise exchange: nranks-1 rounds, each round sends/receives in parallel.
+  return static_cast<double>(nranks - 1) * t.message_seconds(bytes_per_pair);
+}
+
+LoopbackNetwork::LoopbackNetwork(int nranks, std::shared_ptr<Transport> transport)
+    : nranks_(nranks),
+      transport_(std::move(transport)),
+      boxes_(static_cast<std::size_t>(nranks)) {
+  SWGMX_CHECK(nranks > 0);
+  SWGMX_CHECK(transport_ != nullptr);
+}
+
+void LoopbackNetwork::send(int from, int to, std::vector<std::uint8_t> payload) {
+  SWGMX_CHECK(from >= 0 && from < nranks_ && to >= 0 && to < nranks_);
+  cost_s_ += transport_->message_seconds(payload.size());
+  ++nmsg_;
+  boxes_[static_cast<std::size_t>(to)].push_back(std::move(payload));
+}
+
+std::vector<std::uint8_t> LoopbackNetwork::recv(int rank) {
+  auto& box = boxes_[static_cast<std::size_t>(rank)];
+  if (box.empty()) return {};
+  auto msg = std::move(box.front());
+  box.pop_front();
+  return msg;
+}
+
+bool LoopbackNetwork::has_message(int rank) const {
+  return !boxes_[static_cast<std::size_t>(rank)].empty();
+}
+
+}  // namespace swgmx::net

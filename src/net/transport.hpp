@@ -1,0 +1,96 @@
+// Communication transports (§3.6). The paper replaces MPI point-to-point
+// with raw RDMA: MPI pays four memory copies plus TCP-style pack/unpack CPU
+// time per message; RDMA moves user memory to user memory with no kernel
+// involvement. Both are modeled here as deterministic cost functions, plus a
+// functional in-process mailbox network for correctness tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swgmx::net {
+
+/// Cost model of one point-to-point message.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// End-to-end seconds for one message of `bytes`.
+  [[nodiscard]] virtual double message_seconds(std::size_t bytes) const = 0;
+};
+
+/// MPI over the TaihuLight interconnect: user->kernel copy, kernel->NIC
+/// copy, NIC->kernel copy, kernel->user copy, plus pack/unpack CPU time.
+class MpiSimTransport final : public Transport {
+ public:
+  struct Params {
+    double latency_s = 1.6e-6;       ///< per-message software latency
+    double wire_bw = 12e9;           ///< link bandwidth, B/s
+    double copy_bw = 6e9;            ///< memcpy bandwidth, B/s
+    int copies = 4;                  ///< the four copies of §3.6
+    double pack_s_per_byte = 0.3e-9; ///< pack + unpack CPU time
+  };
+  MpiSimTransport() : p_{} {}
+  explicit MpiSimTransport(Params p) : p_(p) {}
+  [[nodiscard]] std::string name() const override { return "MPI"; }
+  [[nodiscard]] double message_seconds(std::size_t bytes) const override;
+
+ private:
+  Params p_;
+};
+
+/// RDMA: NIC reads user memory directly; no copies, no pack, lower latency.
+class RdmaSimTransport final : public Transport {
+ public:
+  struct Params {
+    double latency_s = 0.9e-6;
+    double wire_bw = 12e9;
+  };
+  RdmaSimTransport() : p_{} {}
+  explicit RdmaSimTransport(Params p) : p_(p) {}
+  [[nodiscard]] std::string name() const override { return "RDMA"; }
+  [[nodiscard]] double message_seconds(std::size_t bytes) const override;
+
+ private:
+  Params p_;
+};
+
+// --- collective cost helpers (tree algorithms) ---
+
+/// Binomial-tree allreduce of `bytes` across `nranks`.
+[[nodiscard]] double allreduce_seconds(const Transport& t, std::size_t bytes,
+                                       int nranks);
+/// Pairwise all-to-all where every rank sends `bytes_per_pair` to every other.
+[[nodiscard]] double alltoall_seconds(const Transport& t,
+                                      std::size_t bytes_per_pair, int nranks);
+
+// --- functional in-process network (for tests) ---
+
+/// Mailbox network: rank r sends byte payloads to rank s; receive pops in
+/// FIFO order. Single-threaded (ranks are simulated sequentially), so no
+/// locking. Accumulates the modeled cost of every message it carries.
+class LoopbackNetwork {
+ public:
+  LoopbackNetwork(int nranks, std::shared_ptr<Transport> transport);
+
+  void send(int from, int to, std::vector<std::uint8_t> payload);
+  /// Pops the next message for `rank`; returns empty if none.
+  [[nodiscard]] std::vector<std::uint8_t> recv(int rank);
+  [[nodiscard]] bool has_message(int rank) const;
+
+  [[nodiscard]] double total_cost_seconds() const { return cost_s_; }
+  [[nodiscard]] std::size_t messages_sent() const { return nmsg_; }
+
+ private:
+  int nranks_;
+  std::shared_ptr<Transport> transport_;
+  std::vector<std::deque<std::vector<std::uint8_t>>> boxes_;
+  double cost_s_ = 0.0;
+  std::size_t nmsg_ = 0;
+};
+
+}  // namespace swgmx::net

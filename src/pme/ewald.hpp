@@ -1,0 +1,28 @@
+// Direct (non-mesh) Ewald reciprocal-space sum. O(N * K^3) — used as the
+// exact reference that validates the smooth-PME implementation, exactly as
+// GROMACS' own PME tests do.
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace swgmx::pme {
+
+/// Reciprocal-space energy and forces by direct summation over k-vectors
+/// with |n| <= kmax per dimension. Forces are *added* into f.
+/// Returns the reciprocal energy (kJ/mol), excluding self/excluded terms.
+double ewald_recip(const md::System& sys, double beta, int kmax,
+                   std::span<Vec3d> f);
+
+/// Ewald self-energy: -beta/sqrt(pi) * k_coulomb * sum q_i^2.
+double ewald_self_energy(const md::System& sys, double beta);
+
+/// Correction for excluded (same-molecule) pairs: the reciprocal sum
+/// includes them, so subtract q_i q_j k erf(beta r)/r and the matching
+/// force. Forces are added into f; returns the (negative) energy term.
+double excluded_correction(const md::System& sys, double beta,
+                           std::span<Vec3d> f);
+
+}  // namespace swgmx::pme

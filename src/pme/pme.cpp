@@ -1,0 +1,234 @@
+#include "pme/pme.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "md/units.hpp"
+#include "pme/ewald.hpp"
+
+namespace swgmx::pme {
+
+namespace {
+
+double m4(double u) {
+  // Cardinal B-spline M4 via the recursion M_n(u) = u/(n-1) M_{n-1}(u) +
+  // (n-u)/(n-1) M_{n-1}(u-1), with M2(u) = 1 - |u-1| on [0,2].
+  auto m2 = [](double x) { return x > 0.0 && x < 2.0 ? 1.0 - std::abs(x - 1.0) : 0.0; };
+  auto m3 = [&](double x) { return x / 2.0 * m2(x) + (3.0 - x) / 2.0 * m2(x - 1.0); };
+  return u / 3.0 * m3(u) + (4.0 - u) / 3.0 * m3(u - 1.0);
+}
+
+double m3v(double u) {
+  auto m2 = [](double x) { return x > 0.0 && x < 2.0 ? 1.0 - std::abs(x - 1.0) : 0.0; };
+  return u / 2.0 * m2(u) + (3.0 - u) / 2.0 * m2(u - 1.0);
+}
+
+}  // namespace
+
+void spline4(double w, double w4[4], double d4[4]) {
+  for (int t = 0; t < 4; ++t) {
+    const double u = w + static_cast<double>(t);
+    w4[t] = m4(u);
+    d4[t] = m3v(u) - m3v(u - 1.0);  // M4'(u) = M3(u) - M3(u-1)
+  }
+}
+
+PmeOptions suggest_grid(const md::Box& box, double beta, double max_spacing) {
+  auto pick = [&](double len) {
+    std::size_t k = 8;
+    while (len / static_cast<double>(k) > max_spacing) k <<= 1;
+    return k;
+  };
+  PmeOptions o;
+  o.grid_x = pick(box.len.x);
+  o.grid_y = pick(box.len.y);
+  o.grid_z = pick(box.len.z);
+  o.beta = beta;
+  return o;
+}
+
+PmeSolver::PmeSolver(PmeOptions opt, sw::SwConfig cfg)
+    : opt_(opt), cfg_(cfg), grid_(opt.grid_x, opt.grid_y, opt.grid_z) {
+  bmod_x_ = bspline_moduli(opt_.grid_x);
+  bmod_y_ = bspline_moduli(opt_.grid_y);
+  bmod_z_ = bspline_moduli(opt_.grid_z);
+}
+
+std::vector<double> PmeSolver::bspline_moduli(std::size_t K) {
+  // |b(m)|^2 = 1 / |sum_{k=0}^{2} M4(k+1) e^{2 pi i m k / K}|^2.
+  const double m4_1 = m4(1.0), m4_2 = m4(2.0), m4_3 = m4(3.0);
+  std::vector<double> out(K);
+  for (std::size_t m = 0; m < K; ++m) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(m) /
+                       static_cast<double>(K);
+    std::complex<double> den =
+        m4_1 + m4_2 * std::polar(1.0, ang) + m4_3 * std::polar(1.0, 2.0 * ang);
+    const double n2 = std::norm(den);
+    out[m] = n2 < 1e-10 ? 0.0 : 1.0 / n2;
+  }
+  return out;
+}
+
+void PmeSolver::spread(const md::System& sys) {
+  grid_.fill({0.0, 0.0});
+  const auto kx = static_cast<double>(opt_.grid_x);
+  const auto ky = static_cast<double>(opt_.grid_y);
+  const auto kz = static_cast<double>(opt_.grid_z);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const double q = sys.q[i];
+    if (q == 0.0) continue;
+    const Vec3f xw = sys.box.wrap(sys.x[i]);
+    const double ux = xw.x / sys.box.len.x * kx;
+    const double uy = xw.y / sys.box.len.y * ky;
+    const double uz = xw.z / sys.box.len.z * kz;
+    const auto fx = std::floor(ux), fy = std::floor(uy), fz = std::floor(uz);
+    double wx[4], dx[4], wy[4], dy[4], wz[4], dz[4];
+    spline4(ux - fx, wx, dx);
+    spline4(uy - fy, wy, dy);
+    spline4(uz - fz, wz, dz);
+    for (int tx = 0; tx < 4; ++tx) {
+      const auto gx = static_cast<std::size_t>(
+          ((static_cast<long>(fx) - tx) % static_cast<long>(opt_.grid_x) +
+           static_cast<long>(opt_.grid_x)) %
+          static_cast<long>(opt_.grid_x));
+      for (int ty = 0; ty < 4; ++ty) {
+        const auto gy = static_cast<std::size_t>(
+            ((static_cast<long>(fy) - ty) % static_cast<long>(opt_.grid_y) +
+             static_cast<long>(opt_.grid_y)) %
+            static_cast<long>(opt_.grid_y));
+        const double wxy = q * wx[tx] * wy[ty];
+        for (int tz = 0; tz < 4; ++tz) {
+          const auto gz = static_cast<std::size_t>(
+              ((static_cast<long>(fz) - tz) % static_cast<long>(opt_.grid_z) +
+               static_cast<long>(opt_.grid_z)) %
+              static_cast<long>(opt_.grid_z));
+          grid_.at(gx, gy, gz) += wxy * wz[tz];
+        }
+      }
+    }
+  }
+}
+
+double PmeSolver::convolve(const md::System& sys) {
+  grid_.forward();
+  const double volume = sys.box.volume();
+  const double beta = opt_.beta;
+  double energy = 0.0;
+  const auto kx = opt_.grid_x, ky = opt_.grid_y, kz = opt_.grid_z;
+
+  for (std::size_t mx = 0; mx < kx; ++mx) {
+    const double mpx = mx <= kx / 2 ? static_cast<double>(mx)
+                                    : static_cast<double>(mx) - static_cast<double>(kx);
+    const double mtx = mpx / sys.box.len.x;
+    for (std::size_t my = 0; my < ky; ++my) {
+      const double mpy = my <= ky / 2 ? static_cast<double>(my)
+                                      : static_cast<double>(my) - static_cast<double>(ky);
+      const double mty = mpy / sys.box.len.y;
+      for (std::size_t mz = 0; mz < kz; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) {
+          grid_.at(0, 0, 0) = {0.0, 0.0};
+          continue;
+        }
+        const double mpz = mz <= kz / 2
+                               ? static_cast<double>(mz)
+                               : static_cast<double>(mz) - static_cast<double>(kz);
+        const double mtz = mpz / sys.box.len.z;
+        const double m2 = mtx * mtx + mty * mty + mtz * mtz;
+        const double bc = md::kCoulomb / (std::numbers::pi * volume) *
+                          std::exp(-std::numbers::pi * std::numbers::pi * m2 /
+                                   (beta * beta)) /
+                          m2 * bmod_x_[mx] * bmod_y_[my] * bmod_z_[mz];
+        auto& g = grid_.at(mx, my, mz);
+        energy += 0.5 * bc * std::norm(g);
+        g *= bc;
+      }
+    }
+  }
+  grid_.inverse();
+  return energy;
+}
+
+void PmeSolver::gather(const md::System& sys, std::span<Vec3d> f) const {
+  // After convolve(), grid_ holds IFFT[BC * F(Q)], so dE/dQ_k is
+  // N * Re(grid_k) / N ... with our normalized inverse it is exactly
+  // Re(grid_k) * Ntotal; see the derivation in DESIGN.md. Because
+  // fft::inverse applies 1/N, phi_k = Re(grid_k) * N.
+  const double npts = static_cast<double>(grid_.size());
+  const auto kx = static_cast<double>(opt_.grid_x);
+  const auto ky = static_cast<double>(opt_.grid_y);
+  const auto kz = static_cast<double>(opt_.grid_z);
+
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const double q = sys.q[i];
+    if (q == 0.0) continue;
+    const Vec3f xw = sys.box.wrap(sys.x[i]);
+    const double ux = xw.x / sys.box.len.x * kx;
+    const double uy = xw.y / sys.box.len.y * ky;
+    const double uz = xw.z / sys.box.len.z * kz;
+    const auto fx = std::floor(ux), fy = std::floor(uy), fz = std::floor(uz);
+    double wx[4], dx[4], wy[4], dy[4], wz[4], dz[4];
+    spline4(ux - fx, wx, dx);
+    spline4(uy - fy, wy, dy);
+    spline4(uz - fz, wz, dz);
+    Vec3d fi{};
+    for (int tx = 0; tx < 4; ++tx) {
+      const auto gx = static_cast<std::size_t>(
+          ((static_cast<long>(fx) - tx) % static_cast<long>(opt_.grid_x) +
+           static_cast<long>(opt_.grid_x)) %
+          static_cast<long>(opt_.grid_x));
+      for (int ty = 0; ty < 4; ++ty) {
+        const auto gy = static_cast<std::size_t>(
+            ((static_cast<long>(fy) - ty) % static_cast<long>(opt_.grid_y) +
+             static_cast<long>(opt_.grid_y)) %
+            static_cast<long>(opt_.grid_y));
+        for (int tz = 0; tz < 4; ++tz) {
+          const auto gz = static_cast<std::size_t>(
+              ((static_cast<long>(fz) - tz) % static_cast<long>(opt_.grid_z) +
+               static_cast<long>(opt_.grid_z)) %
+              static_cast<long>(opt_.grid_z));
+          const double phi = grid_.at(gx, gy, gz).real() * npts;
+          // d(weight)/dx = dM4/du * K/L; dE/dx_i = q * sum phi * dweights.
+          fi.x -= q * dx[tx] * (kx / sys.box.len.x) * wy[ty] * wz[tz] * phi;
+          fi.y -= q * wx[tx] * dy[ty] * (ky / sys.box.len.y) * wz[tz] * phi;
+          fi.z -= q * wx[tx] * wy[ty] * dz[tz] * (kz / sys.box.len.z) * phi;
+        }
+      }
+    }
+    f[i] += fi;
+  }
+}
+
+double PmeSolver::recip(const md::System& sys, std::span<Vec3d> f) {
+  SWGMX_CHECK(f.size() == sys.size());
+  spread(sys);
+  const double e = convolve(sys);
+  gather(sys, f);
+  return e;
+}
+
+double PmeSolver::compute(md::System& sys, double& e_recip) {
+  std::vector<Vec3d> f(sys.size());
+  const double er = recip(sys, f);
+  const double eself = ewald_self_energy(sys, opt_.beta);
+  const double ecorr = excluded_correction(sys, opt_.beta, f);
+  e_recip = er + eself + ecorr;
+  for (std::size_t i = 0; i < sys.size(); ++i) sys.f[i] += Vec3f(f[i]);
+
+  // MPE cost model: spread + gather are 64 grid ops per particle; the FFTs
+  // dominate for large grids.
+  const double n = static_cast<double>(sys.size());
+  const double ops = n * 64.0 * 12.0 * 2.0 +          // spread + gather
+                     grid_.butterfly_count() * 10.0 +  // 2 FFTs (fwd+inv)
+                     static_cast<double>(grid_.size()) * 12.0;  // convolution
+  const double mem = n * 64.0 * 2.0 + static_cast<double>(grid_.size()) * 2.0;
+  const double mpe_s =
+      cfg_.seconds(ops * cfg_.mpe_op_penalty +
+                   mem * cfg_.mpe_miss_rate * cfg_.mpe_miss_latency_cycles);
+  // CPE port: spread/gather partition over particles, FFT lines over CPEs;
+  // ~30x effective (limited by the transpose-heavy 3-D FFT).
+  return accelerated_ ? mpe_s / 30.0 : mpe_s;
+}
+
+}  // namespace swgmx::pme

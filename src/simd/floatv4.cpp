@@ -1,0 +1,3 @@
+#include "simd/floatv4.hpp"
+
+// floatv4 is header-only; TU kept so the target has a stable object file.

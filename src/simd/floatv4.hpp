@@ -1,0 +1,130 @@
+// Portable model of the SW26010 `floatv4` 256-bit vector type (4 float
+// lanes) and its `simd_vshuff` instruction.
+//
+// On GCC/Clang this compiles to real SSE/NEON vectors via vector extensions;
+// the public API is the subset the paper's kernels need. simd_vshuff follows
+// the paper's description: the new vector's first two lanes come from the
+// first operand and the last two lanes from the second operand.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace swgmx::simd {
+
+/// 4-lane float vector.
+class floatv4 {
+ public:
+  using native = float __attribute__((vector_size(16)));
+
+  floatv4() : v_{0.f, 0.f, 0.f, 0.f} {}
+  explicit floatv4(float broadcast) : v_{broadcast, broadcast, broadcast, broadcast} {}
+  floatv4(float a, float b, float c, float d) : v_{a, b, c, d} {}
+  explicit floatv4(native v) : v_(v) {}
+
+  /// Load 4 contiguous floats (16-byte aligned preferred, not required).
+  static floatv4 load(const float* p) { return {p[0], p[1], p[2], p[3]}; }
+  void store(float* p) const {
+    p[0] = v_[0]; p[1] = v_[1]; p[2] = v_[2]; p[3] = v_[3];
+  }
+
+  float operator[](int lane) const { return v_[lane]; }
+  [[nodiscard]] native raw() const { return v_; }
+
+  friend floatv4 operator+(floatv4 a, floatv4 b) { return floatv4(a.v_ + b.v_); }
+  friend floatv4 operator-(floatv4 a, floatv4 b) { return floatv4(a.v_ - b.v_); }
+  friend floatv4 operator*(floatv4 a, floatv4 b) { return floatv4(a.v_ * b.v_); }
+  friend floatv4 operator/(floatv4 a, floatv4 b) { return floatv4(a.v_ / b.v_); }
+  floatv4& operator+=(floatv4 o) { v_ += o.v_; return *this; }
+  floatv4& operator-=(floatv4 o) { v_ -= o.v_; return *this; }
+  floatv4& operator*=(floatv4 o) { v_ *= o.v_; return *this; }
+
+  /// Fused a*b+c (single SW26010 vmad issue; correctness here is plain FP).
+  friend floatv4 madd(floatv4 a, floatv4 b, floatv4 c) {
+    return floatv4(a.v_ * b.v_ + c.v_);
+  }
+
+  /// Lane-wise reciprocal square root (full precision; the SW kernel's
+  /// Newton-iteration refinement is folded into the cost model).
+  friend floatv4 rsqrt(floatv4 a) {
+    return {1.0f / std::sqrt(a.v_[0]), 1.0f / std::sqrt(a.v_[1]),
+            1.0f / std::sqrt(a.v_[2]), 1.0f / std::sqrt(a.v_[3])};
+  }
+
+  /// Lane-wise select: lanes where mask lane != 0 take `a`, else `b`.
+  friend floatv4 select(floatv4 mask, floatv4 a, floatv4 b) {
+    floatv4 r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = mask.v_[i] != 0.0f ? a.v_[i] : b.v_[i];
+    return r;
+  }
+
+  /// Lane-wise "less than" producing 1.0f / 0.0f lanes.
+  friend floatv4 cmp_lt(floatv4 a, floatv4 b) {
+    floatv4 r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = a.v_[i] < b.v_[i] ? 1.0f : 0.0f;
+    return r;
+  }
+
+  /// Horizontal sum of all 4 lanes.
+  friend float hsum(floatv4 a) { return a.v_[0] + a.v_[1] + a.v_[2] + a.v_[3]; }
+
+ private:
+  native v_;
+};
+
+/// simd_vshuff: build {a[IA0], a[IA1], b[IB0], b[IB1]}.
+///
+/// Matches the paper's description of the instruction ("chooses two float
+/// numbers in the first vector as the first two float numbers of the new
+/// vector and the other two float numbers of the new vector are from the
+/// second vector").
+template <int IA0, int IA1, int IB0, int IB1>
+floatv4 vshuff(floatv4 a, floatv4 b) {
+  static_assert(IA0 >= 0 && IA0 < 4 && IA1 >= 0 && IA1 < 4, "lane out of range");
+  static_assert(IB0 >= 0 && IB0 < 4 && IB1 >= 0 && IB1 < 4, "lane out of range");
+  return {a[IA0], a[IA1], b[IB0], b[IB1]};
+}
+
+/// Number of simd_vshuff ops in one Fig 7 transpose (used by the cost model).
+inline constexpr int kTransposeShuffles = 6;
+
+/// The Figure 7 post-treatment: convert SoA force vectors
+///   fx = (X1 X2 X3 X4), fy = (Y1..Y4), fz = (Z1..Z4)
+/// into three vectors laid out as the interleaved force array
+///   out0 = (X1 Y1 Z1 X2), out1 = (Y2 Z2 X3 Y3), out2 = (Z3 X4 Y4 Z4)
+/// using exactly six simd_vshuff operations, so the result can be added to
+/// the xyz-interleaved force array without scalar decomposition.
+struct Xyz4 {
+  floatv4 a, b, c;
+};
+
+inline Xyz4 transpose_soa_to_xyz(floatv4 fx, floatv4 fy, floatv4 fz) {
+  // First shuffle round (3 ops): see Fig 7, "First Shuffle".
+  const floatv4 t0 = vshuff<0, 2, 0, 2>(fx, fy);  // X1 X3 Y1 Y3
+  const floatv4 t1 = vshuff<1, 3, 0, 2>(fx, fz);  // X2 X4 Z1 Z3
+  const floatv4 t2 = vshuff<1, 3, 1, 3>(fy, fz);  // Y2 Y4 Z2 Z4
+  // Second shuffle round (3 ops): "Second Shuffle".
+  return {
+      vshuff<0, 2, 2, 0>(t0, t1),  // X1 Y1 Z1 X2
+      vshuff<0, 2, 1, 3>(t2, t0),  // Y2 Z2 X3 Y3
+      vshuff<3, 1, 1, 3>(t1, t2),  // Z3 X4 Y4 Z4
+  };
+}
+
+/// Number of simd_vshuff ops in one inverse transpose.
+inline constexpr int kInverseTransposeShuffles = 5;
+
+/// Inverse of transpose_soa_to_xyz (pre-treatment when loading interleaved
+/// data into SoA lanes); five shuffles.
+inline Xyz4 transpose_xyz_to_soa(floatv4 a, floatv4 b, floatv4 c) {
+  // a = (X1 Y1 Z1 X2), b = (Y2 Z2 X3 Y3), c = (Z3 X4 Y4 Z4)
+  const floatv4 u = vshuff<2, 3, 1, 2>(b, c);  // X3 Y3 X4 Y4
+  const floatv4 v = vshuff<1, 2, 0, 1>(a, b);  // Y1 Z1 Y2 Z2
+  return {
+      vshuff<0, 3, 0, 2>(a, u),  // X1 X2 X3 X4
+      vshuff<0, 2, 1, 3>(v, u),  // Y1 Y2 Y3 Y4
+      vshuff<1, 3, 0, 3>(v, c),  // Z1 Z2 Z3 Z4
+  };
+}
+
+}  // namespace swgmx::simd

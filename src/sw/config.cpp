@@ -1,0 +1,32 @@
+#include "sw/config.hpp"
+
+#include "common/error.hpp"
+
+namespace swgmx::sw {
+
+double SwConfig::dma_bandwidth(std::size_t bytes) const {
+  SWGMX_CHECK_MSG(bytes > 0, "DMA transfer of zero bytes");
+  const auto& c = dma_curve;
+  if (bytes <= c.front().bytes) return c.front().gb_per_s * 1e9;
+  if (bytes >= c.back().bytes) return c.back().gb_per_s * 1e9;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (bytes <= c[i].bytes) {
+      const double x0 = static_cast<double>(c[i - 1].bytes);
+      const double x1 = static_cast<double>(c[i].bytes);
+      const double y0 = c[i - 1].gb_per_s;
+      const double y1 = c[i].gb_per_s;
+      const double t = (static_cast<double>(bytes) - x0) / (x1 - x0);
+      return (y0 + t * (y1 - y0)) * 1e9;
+    }
+  }
+  return c.back().gb_per_s * 1e9;  // unreachable
+}
+
+double SwConfig::dma_cycles(std::size_t bytes) const {
+  // The curve is per-CG aggregate with all CPEs active; a single CPE's
+  // transfer therefore sees 1/dma_concurrency of it.
+  return static_cast<double>(bytes) * dma_concurrency / dma_bandwidth(bytes) *
+         freq_hz;
+}
+
+}  // namespace swgmx::sw

@@ -1,0 +1,80 @@
+// SW26010 core-group architecture parameters.
+//
+// One SW26010 chip has 4 core groups (CGs). Each CG = 1 MPE (management
+// processing element, a conventional core) + 64 CPEs (compute processing
+// elements) in an 8x8 mesh. Each CPE has 64 KB of software-managed local
+// device memory (LDM) and reaches main memory either by DMA (fast for large
+// contiguous blocks) or by global load/store (gld/gst, ~280 cycle latency).
+//
+// The numbers below come from the paper (Table 2 DMA curve, 1.45 GHz clock)
+// and from published SW26010 micro-benchmarks (gld/gst latency).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace swgmx::sw {
+
+/// One (access size, effective bandwidth) sample of the DMA curve.
+struct DmaSample {
+  std::size_t bytes;
+  double gb_per_s;
+};
+
+/// Architecture constants for one core group. All cost accounting in the
+/// simulator derives from this struct; tests construct variants to probe the
+/// model.
+struct SwConfig {
+  // --- topology ---
+  int cpe_count = 64;          ///< 8x8 CPE mesh per core group
+  int cpe_mesh_dim = 8;
+  std::size_t ldm_bytes = 64 * 1024;  ///< LDM per CPE
+
+  // --- clocks ---
+  double freq_hz = 1.45e9;     ///< CPE/MPE clock
+
+  // --- DMA model (Table 2 of the paper) ---
+  // Effective *per-core-group* bandwidth as measured on TaihuLight with all
+  // CPEs issuing, *including* startup effects — which is why 8 B transfers
+  // only reach 0.99 GB/s in aggregate (each transfer is latency-bound).
+  std::array<DmaSample, 5> dma_curve{{
+      {8, 0.99}, {128, 15.77}, {256, 28.88}, {512, 28.98}, {2048, 30.48}}};
+  // Number of CPEs sharing the curve: one CPE's transfer of n bytes costs
+  // n / (bw(n) / dma_concurrency) — kernels always run all 64 CPEs.
+  int dma_concurrency = 64;
+
+  // --- global load/store model ---
+  double gld_latency_cycles = 278.0;  ///< one gld from DDR3 into a CPE register
+  double gst_latency_cycles = 278.0;
+
+  // --- CPE compute model ---
+  // Scalar FP op: 1 issue slot. 256-bit vector op: 1 issue slot covering 4
+  // float lanes. Divide/sqrt are unpipelined and much slower.
+  double cpe_flop_cycles = 1.0;
+  double cpe_vec_op_cycles = 1.0;   ///< one floatv4 op (4 lanes)
+  double cpe_div_cycles = 30.0;     ///< scalar divide + rsqrt Newton chain
+  double cpe_vec_div_cycles = 34.0; ///< vector divide (unpipelined, 4 lanes)
+  double cpe_shuffle_cycles = 1.0;  ///< simd_vshuff
+
+  // --- MPE model ---
+  // The MPE is a conventional dual-issue core (~1.7 ops/cycle sustained on
+  // the scalar kernel) with a hardware cache whose misses stall it.
+  // Ori-on-MPE is the paper's 1x baseline; these two constants are the
+  // calibration knobs that anchor the Fig 8 ladder (see DESIGN.md §3).
+  double mpe_op_penalty = 0.75;            ///< cycles per scalar op
+  double mpe_miss_latency_cycles = 140.0;  ///< DDR3 access from MPE
+  double mpe_miss_rate = 0.015;            ///< L1+L2 combined miss per mem op
+
+  /// Effective DMA bandwidth (bytes/s) for a transfer of `bytes`, by
+  /// piecewise-linear interpolation of `dma_curve` (clamped at the ends).
+  [[nodiscard]] double dma_bandwidth(std::size_t bytes) const;
+
+  /// Simulated cycles for one DMA transfer of `bytes`.
+  [[nodiscard]] double dma_cycles(std::size_t bytes) const;
+
+  /// Convert simulated cycles to seconds at the configured clock.
+  [[nodiscard]] double seconds(double cycles) const { return cycles / freq_hz; }
+};
+
+}  // namespace swgmx::sw

@@ -1,0 +1,38 @@
+#include "sw/core_group.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace swgmx::sw {
+
+CoreGroup::CoreGroup(SwConfig cfg) : cfg_(cfg) {
+  arenas_.reserve(static_cast<std::size_t>(cfg_.cpe_count));
+  for (int i = 0; i < cfg_.cpe_count; ++i) arenas_.emplace_back(cfg_.ldm_bytes);
+}
+
+KernelStats CoreGroup::run(const std::function<void(CpeContext&)>& kernel,
+                           double dma_overlap) {
+  KernelStats stats;
+  stats.min_cycles = std::numeric_limits<double>::infinity();
+  for (int id = 0; id < cfg_.cpe_count; ++id) {
+    arenas_[static_cast<std::size_t>(id)].reset();
+    CpeContext ctx(id, cfg_, arenas_[static_cast<std::size_t>(id)]);
+    kernel(ctx);
+    const double cyc = ctx.perf().overlapped_cycles(dma_overlap);
+    stats.max_cycles = std::max(stats.max_cycles, cyc);
+    stats.min_cycles = std::min(stats.min_cycles, cyc);
+    stats.total += ctx.perf();
+  }
+  if (cfg_.cpe_count == 0) stats.min_cycles = 0.0;
+  stats.sim_seconds = cfg_.seconds(stats.max_cycles);
+  lifetime_ += stats.total;
+  return stats;
+}
+
+double CoreGroup::mpe_seconds(double ops, double mem_ops) const {
+  const double cycles = ops * cfg_.mpe_op_penalty +
+                        mem_ops * cfg_.mpe_miss_rate * cfg_.mpe_miss_latency_cycles;
+  return cfg_.seconds(cycles);
+}
+
+}  // namespace swgmx::sw

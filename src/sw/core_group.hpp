@@ -1,0 +1,60 @@
+// CoreGroup: one MPE + 64 CPEs. Launches CPE kernels (functionally executed,
+// cost-model accounted) and models MPE-side work.
+//
+// Execution is sequential over CPEs: with independent per-CPE counters the
+// simulated time of a kernel is max over CPEs of that CPE's cycles, which is
+// identical whether the host runs them concurrently or not — and sequential
+// execution keeps the simulator deterministic and race-free by construction.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sw/cpe.hpp"
+
+namespace swgmx::sw {
+
+/// Result of one CPE-kernel launch.
+struct KernelStats {
+  double sim_seconds = 0.0;   ///< max over CPEs (the kernel's critical path)
+  double max_cycles = 0.0;
+  double min_cycles = 0.0;
+  PerfCounters total;         ///< summed over all CPEs
+
+  /// Load imbalance: max/mean cycles (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance(int cpe_count) const {
+    const double mean = total.total_cycles() / cpe_count;
+    return mean == 0.0 ? 1.0 : max_cycles / mean;
+  }
+};
+
+/// One SW26010 core group.
+class CoreGroup {
+ public:
+  explicit CoreGroup(SwConfig cfg = {});
+
+  /// Launch `kernel` on all CPEs (athread_spawn + join). Each CPE's LDM is
+  /// reset before the launch, matching static per-kernel LDM partitioning.
+  /// `dma_overlap` in [0, 1] models double-buffered pipelining: that
+  /// fraction of min(compute, memory) cycles hides behind the other.
+  KernelStats run(const std::function<void(CpeContext&)>& kernel,
+                  double dma_overlap = 0.0);
+
+  /// Model the MPE executing `ops` arithmetic ops and `mem_ops` memory
+  /// references (a fraction of which miss to DDR3). Returns simulated
+  /// seconds. Used for the Ori baseline and MPE-side serial phases.
+  [[nodiscard]] double mpe_seconds(double ops, double mem_ops) const;
+
+  [[nodiscard]] const SwConfig& config() const { return cfg_; }
+
+  /// Cumulative counters across every kernel launched on this core group.
+  [[nodiscard]] const PerfCounters& lifetime() const { return lifetime_; }
+  void reset_lifetime() { lifetime_ = {}; }
+
+ private:
+  SwConfig cfg_;
+  std::vector<LdmArena> arenas_;
+  PerfCounters lifetime_;
+};
+
+}  // namespace swgmx::sw

@@ -1,0 +1,3 @@
+#include "sw/cpe.hpp"
+
+// CpeContext is header-only; TU kept so the target has a stable object file.

@@ -1,0 +1,73 @@
+// CpeContext: the per-CPE handle a kernel receives. Mirrors the athread
+// programming model: an id in the 8x8 mesh, the LDM arena, DMA, gld/gst,
+// and explicit compute-cost charging hooks.
+#pragma once
+
+#include <cstring>
+
+#include "sw/dma.hpp"
+#include "sw/ldm.hpp"
+#include "sw/perf.hpp"
+
+namespace swgmx::sw {
+
+/// Everything a CPE kernel can touch. Constructed by CoreGroup for each of
+/// the 64 CPEs; kernels receive it by reference.
+class CpeContext {
+ public:
+  CpeContext(int id, const SwConfig& cfg, LdmArena& ldm)
+      : id_(id), cfg_(&cfg), ldm_(&ldm), dma_(cfg) {}
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int row() const { return id_ / cfg_->cpe_mesh_dim; }
+  [[nodiscard]] int col() const { return id_ % cfg_->cpe_mesh_dim; }
+  [[nodiscard]] const SwConfig& config() const { return *cfg_; }
+
+  [[nodiscard]] LdmArena& ldm() { return *ldm_; }
+  [[nodiscard]] PerfCounters& perf() { return perf_; }
+  [[nodiscard]] const PerfCounters& perf() const { return perf_; }
+
+  // --- DMA (bulk, contiguous) ---
+  void dma_get(void* ldm_dst, const void* mem_src, std::size_t bytes) {
+    dma_.get(ldm_dst, mem_src, bytes, perf_);
+  }
+  void dma_put(void* mem_dst, const void* ldm_src, std::size_t bytes) {
+    dma_.put(mem_dst, ldm_src, bytes, perf_);
+  }
+
+  // --- gld/gst (single-element, high latency) ---
+  /// Global load: read one T from main memory, charging the ~278-cycle
+  /// round-trip the real chip pays.
+  template <typename T>
+  [[nodiscard]] T gld(const T& mem_src) {
+    perf_.gld_cycles += cfg_->gld_latency_cycles;
+    perf_.gld_count += 1;
+    return mem_src;
+  }
+  /// Global store: write one T to main memory.
+  template <typename T>
+  void gst(T& mem_dst, const T& value) {
+    perf_.gld_cycles += cfg_->gst_latency_cycles;
+    perf_.gst_count += 1;
+    mem_dst = value;
+  }
+
+  // --- compute-cost charging ---
+  // Kernels compute real values with host arithmetic and charge the SW26010
+  // cost via these hooks (closed-form per-loop constants; see core/cost.hpp).
+  void charge_flops(double n) { perf_.compute_cycles += n * cfg_->cpe_flop_cycles; }
+  void charge_vec_ops(double n) { perf_.compute_cycles += n * cfg_->cpe_vec_op_cycles; }
+  void charge_divs(double n) { perf_.compute_cycles += n * cfg_->cpe_div_cycles; }
+  void charge_vec_divs(double n) { perf_.compute_cycles += n * cfg_->cpe_vec_div_cycles; }
+  void charge_shuffles(double n) { perf_.compute_cycles += n * cfg_->cpe_shuffle_cycles; }
+  void charge_cycles(double n) { perf_.compute_cycles += n; }
+
+ private:
+  int id_;
+  const SwConfig* cfg_;
+  LdmArena* ldm_;
+  DmaEngine dma_;
+  PerfCounters perf_;
+};
+
+}  // namespace swgmx::sw

@@ -1,0 +1,29 @@
+#include "sw/dma.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace swgmx::sw {
+
+void DmaEngine::charge(std::size_t bytes, PerfCounters& pc) const {
+  pc.dma_cycles += cfg_->dma_cycles(bytes);
+  pc.dma_transfers += 1;
+  pc.dma_bytes += bytes;
+}
+
+void DmaEngine::get(void* ldm_dst, const void* mem_src, std::size_t bytes,
+                    PerfCounters& pc) const {
+  SWGMX_CHECK(bytes > 0);
+  std::memcpy(ldm_dst, mem_src, bytes);
+  charge(bytes, pc);
+}
+
+void DmaEngine::put(void* mem_dst, const void* ldm_src, std::size_t bytes,
+                    PerfCounters& pc) const {
+  SWGMX_CHECK(bytes > 0);
+  std::memcpy(mem_dst, ldm_src, bytes);
+  charge(bytes, pc);
+}
+
+}  // namespace swgmx::sw

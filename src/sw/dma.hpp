@@ -1,0 +1,45 @@
+// DMA engine: CPE <-> main-memory bulk transfers. Functionally a memcpy;
+// cost-wise charged from the Table 2 bandwidth curve.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sw/config.hpp"
+#include "sw/perf.hpp"
+
+namespace swgmx::sw {
+
+/// Models the per-CPE DMA channel. get() pulls a contiguous block of main
+/// memory into LDM; put() pushes LDM back. Both actually copy (so functional
+/// results are real) and charge simulated cycles to the counters.
+class DmaEngine {
+ public:
+  explicit DmaEngine(const SwConfig& cfg) : cfg_(&cfg) {}
+
+  /// Main memory -> LDM.
+  void get(void* ldm_dst, const void* mem_src, std::size_t bytes,
+           PerfCounters& pc) const;
+
+  /// LDM -> main memory.
+  void put(void* mem_dst, const void* ldm_src, std::size_t bytes,
+           PerfCounters& pc) const;
+
+  /// Typed convenience overloads.
+  template <typename T>
+  void get(std::span<T> ldm_dst, const T* mem_src, PerfCounters& pc) const {
+    get(ldm_dst.data(), mem_src, ldm_dst.size_bytes(), pc);
+  }
+  template <typename T>
+  void put(T* mem_dst, std::span<const T> ldm_src, PerfCounters& pc) const {
+    put(mem_dst, ldm_src.data(), ldm_src.size_bytes(), pc);
+  }
+
+  [[nodiscard]] const SwConfig& config() const { return *cfg_; }
+
+ private:
+  void charge(std::size_t bytes, PerfCounters& pc) const;
+  const SwConfig* cfg_;
+};
+
+}  // namespace swgmx::sw

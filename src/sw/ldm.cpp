@@ -1,0 +1,4 @@
+#include "sw/ldm.hpp"
+
+// Header-only today; this TU pins the library symbol table and is the natural
+// home if LdmArena ever grows out-of-line members.

@@ -1,0 +1,66 @@
+// Local Device Memory (LDM) arena: each CPE owns 64 KB of software-managed
+// scratchpad. Kernels must fit all their buffers (caches, staging areas,
+// SIMD temporaries) inside this budget — the arena enforces it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace swgmx::sw {
+
+/// Bump allocator over a fixed-size buffer modelling one CPE's LDM.
+///
+/// Allocation is 16-byte aligned (the library-wide 128-bit alignment rule).
+/// There is no free(); kernels reset the whole arena between launches, which
+/// matches how LDM is used on the real hardware (static partitioning per
+/// kernel).
+class LdmArena {
+ public:
+  explicit LdmArena(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes),
+        storage_(std::make_unique<std::byte[]>(capacity_bytes)) {}
+
+  LdmArena(const LdmArena&) = delete;
+  LdmArena& operator=(const LdmArena&) = delete;
+  LdmArena(LdmArena&&) = default;
+  LdmArena& operator=(LdmArena&&) = default;
+
+  /// Allocate `count` default-initialized objects of T. Throws swgmx::Error
+  /// if the 64 KB budget would be exceeded — exactly the failure a kernel
+  /// author must design around on the real chip.
+  template <typename T>
+  [[nodiscard]] std::span<T> allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "LDM objects must be trivially destructible (no free())");
+    const std::size_t bytes = round_up(count * sizeof(T));
+    SWGMX_CHECK_MSG(used_ + bytes <= capacity_,
+                    "LDM overflow: need " << bytes << " B, free "
+                                          << (capacity_ - used_) << " B of "
+                                          << capacity_);
+    T* p = new (storage_.get() + used_) T[count]();
+    used_ += bytes;
+    return {p, count};
+  }
+
+  /// Release everything (called between kernel launches).
+  void reset() { used_ = 0; }
+
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t free_bytes() const { return capacity_ - used_; }
+
+ private:
+  static constexpr std::size_t kAlign = 16;
+  static constexpr std::size_t round_up(std::size_t b) {
+    return (b + kAlign - 1) / kAlign * kAlign;
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::unique_ptr<std::byte[]> storage_;
+};
+
+}  // namespace swgmx::sw

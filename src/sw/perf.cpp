@@ -1,0 +1,36 @@
+#include "sw/perf.hpp"
+
+namespace swgmx::sw {
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& o) {
+  compute_cycles += o.compute_cycles;
+  dma_cycles += o.dma_cycles;
+  gld_cycles += o.gld_cycles;
+  dma_transfers += o.dma_transfers;
+  dma_bytes += o.dma_bytes;
+  gld_count += o.gld_count;
+  gst_count += o.gst_count;
+  read_hits += o.read_hits;
+  read_misses += o.read_misses;
+  write_hits += o.write_hits;
+  write_misses += o.write_misses;
+  return *this;
+}
+
+double PhaseTimers::get(const std::string& phase) const {
+  const auto it = seconds_.find(phase);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimers::total() const {
+  double t = 0.0;
+  for (const auto& [name, s] : seconds_) t += s;
+  return t;
+}
+
+PhaseTimers& PhaseTimers::operator+=(const PhaseTimers& o) {
+  for (const auto& [name, s] : o.seconds_) seconds_[name] += s;
+  return *this;
+}
+
+}  // namespace swgmx::sw

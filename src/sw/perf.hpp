@@ -1,0 +1,78 @@
+// Simulated-cost counters. Every memory/compute action in the simulator is
+// charged here; benches report simulated time, never host wall-clock.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "sw/config.hpp"
+
+namespace swgmx::sw {
+
+/// Per-CPE (or per-MPE) cost counters, in simulated cycles plus raw event
+/// counts so benches can report bandwidths and hit rates.
+struct PerfCounters {
+  double compute_cycles = 0.0;
+  double dma_cycles = 0.0;
+  double gld_cycles = 0.0;
+
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t gld_count = 0;
+  std::uint64_t gst_count = 0;
+
+  // Software-cache statistics (filled by core::PackageReadCache /
+  // core::ForceWriteCache).
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+
+  [[nodiscard]] double total_cycles() const {
+    return compute_cycles + dma_cycles + gld_cycles;
+  }
+  /// Cycles when a fraction `overlap` of the shorter of {compute, memory}
+  /// hides behind the longer (double-buffered DMA pipelining; the paper's
+  /// "full pipeline acceleration"). overlap = 0 degenerates to the sum.
+  [[nodiscard]] double overlapped_cycles(double overlap) const {
+    const double mem = dma_cycles + gld_cycles;
+    const double hi = std::max(compute_cycles, mem);
+    const double lo = std::min(compute_cycles, mem);
+    return hi + (1.0 - overlap) * lo;
+  }
+  [[nodiscard]] static double rate(std::uint64_t miss, std::uint64_t hit) {
+    const auto n = miss + hit;
+    return n == 0 ? 0.0 : static_cast<double>(miss) / static_cast<double>(n);
+  }
+  [[nodiscard]] double read_miss_rate() const { return rate(read_misses, read_hits); }
+  [[nodiscard]] double write_miss_rate() const { return rate(write_misses, write_hits); }
+  /// Combined software-cache miss rate (the paper's "<15%" claim covers both).
+  [[nodiscard]] double cache_miss_rate() const {
+    return rate(read_misses + write_misses, read_hits + write_hits);
+  }
+  /// Effective DMA bandwidth achieved (bytes per simulated second).
+  [[nodiscard]] double dma_effective_bw(const SwConfig& cfg) const {
+    return dma_cycles == 0.0 ? 0.0
+                             : static_cast<double>(dma_bytes) / cfg.seconds(dma_cycles);
+  }
+
+  PerfCounters& operator+=(const PerfCounters& o);
+};
+
+/// Named phase -> simulated seconds, used for the Table 1 breakdown and the
+/// Fig 10 whole-application ladder.
+class PhaseTimers {
+ public:
+  void add(const std::string& phase, double seconds) { seconds_[phase] += seconds; }
+  [[nodiscard]] double get(const std::string& phase) const;
+  [[nodiscard]] double total() const;
+  [[nodiscard]] const std::map<std::string, double>& phases() const { return seconds_; }
+  void clear() { seconds_.clear(); }
+  PhaseTimers& operator+=(const PhaseTimers& o);
+
+ private:
+  std::map<std::string, double> seconds_;
+};
+
+}  // namespace swgmx::sw

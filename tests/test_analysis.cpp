@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "common/rng.hpp"
+#include "md/analysis.hpp"
+#include "md/simulation.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+TEST(Rdf, IdealGasIsFlat) {
+  // Uniform random points: g(r) ~ 1 everywhere (within noise).
+  System sys = test::small_lj(2000, 3);
+  Rng rng(9);
+  for (auto& x : sys.x) {
+    x = Vec3f{static_cast<float>(rng.uniform(0, sys.box.len.x)),
+              static_cast<float>(rng.uniform(0, sys.box.len.y)),
+              static_cast<float>(rng.uniform(0, sys.box.len.z))};
+  }
+  Rdf rdf(20, sys.box.len.x * 0.45);
+  rdf.accumulate(sys);
+  const auto c = rdf.finalize();
+  // Skip the first (tiny-shell, noisy) bins.
+  for (std::size_t b = 3; b < c.g.size(); ++b) {
+    EXPECT_NEAR(c.g[b], 1.0, 0.25) << "bin " << b;
+  }
+}
+
+TEST(Rdf, LatticePeaksAtSpacing) {
+  // A perfect cubic lattice peaks exactly at the lattice constant.
+  System sys = test::small_lj(8);  // placeholder, will overwrite
+  const int m = 5;
+  const double a = 0.5;
+  sys.box.len = {m * a, m * a, m * a};
+  sys.resize(static_cast<std::size_t>(m * m * m));
+  std::size_t k = 0;
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j)
+      for (int l = 0; l < m; ++l, ++k) {
+        sys.x[k] = Vec3f(Vec3d(i * a, j * a, l * a));
+        sys.type[k] = 0;
+      }
+  // Restrict the range to below the second shell (a*sqrt(2)), whose
+  // shell-normalized weight equals the first one's on a cubic lattice.
+  Rdf rdf(30, 0.6);
+  rdf.accumulate(sys);
+  EXPECT_NEAR(rdf.peak_position(), a, 0.03);
+}
+
+TEST(Rdf, WaterOxygenFirstShell) {
+  // Liquid-ish water: the O-O first coordination peak sits near 0.28 nm.
+  // Run a short thermostatted equilibration first.
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  SimOptions opt;
+  opt.integ.thermostat = true;
+  opt.integ.t_ref = 300.0;
+  opt.integ.tau_t = 0.05;
+  opt.nstenergy = 0;
+  Simulation sim(test::small_water(200), opt, *sr, pl);
+  sim.run(150);
+  Rdf rdf(60, 0.9, /*type_a=*/0, /*type_b=*/0);  // O-O
+  rdf.accumulate(sim.system());
+  EXPECT_NEAR(rdf.peak_position(), 0.28, 0.06);
+}
+
+TEST(Rdf, RequiresFrames) {
+  Rdf rdf(10, 1.0);
+  EXPECT_THROW((void)rdf.finalize(), Error);
+}
+
+TEST(Msd, BallisticDriftIsQuadratic) {
+  System sys = test::small_lj(64);
+  for (auto& v : sys.v) v = {0.1f, 0.0f, 0.0f};
+  Msd msd(sys);
+  const double dt = 0.01;
+  for (int s = 1; s <= 5; ++s) {
+    for (auto& x : sys.x) x.x += 0.1f * static_cast<float>(dt);
+    sys.wrap_positions();
+    const double m = msd.accumulate(sys);
+    const double expect = std::pow(0.1 * dt * s, 2.0);
+    EXPECT_NEAR(m, expect, expect * 0.05 + 1e-10) << "step " << s;
+  }
+}
+
+TEST(Msd, UnwrapsAcrossBoundary) {
+  System sys = test::small_lj(1);
+  sys.box.len = {1.0, 1.0, 1.0};
+  sys.x[0] = {0.95f, 0.5f, 0.5f};
+  Msd msd(sys);
+  // Cross the boundary in +x: wrapped position jumps back near 0.
+  sys.x[0] = {0.05f, 0.5f, 0.5f};
+  const double m = msd.accumulate(sys);
+  EXPECT_NEAR(m, 0.01, 1e-4);  // 0.1 nm of real travel, not 0.9
+}
+
+TEST(Vacf, StartsAtOneAndDecorrelates) {
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  SimOptions opt;
+  opt.nstenergy = 0;
+  Simulation sim(test::small_water(100), opt, *sr, pl);
+  Vacf vacf(sim.system());
+  EXPECT_DOUBLE_EQ(vacf.accumulate(sim.system()), 1.0);
+  sim.run(60);
+  const double c_late = vacf.accumulate(sim.system());
+  EXPECT_LT(std::abs(c_late), 0.6);  // collisions decorrelate velocities
+}
+
+TEST(Vacf, FreeParticlesStayCorrelated) {
+  System sys = test::small_lj(32);
+  Vacf vacf(sys);
+  // No forces: velocities unchanged, C stays exactly 1.
+  EXPECT_DOUBLE_EQ(vacf.accumulate(sys), 1.0);
+  EXPECT_DOUBLE_EQ(vacf.accumulate(sys), 1.0);
+}
+
+}  // namespace
+}  // namespace swgmx::md

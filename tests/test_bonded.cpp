@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "md/bonded.hpp"
+#include "md/units.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+constexpr double kH = 1e-4;  // central-difference step (nm)
+
+/// Numerical gradient check: for each particle/component, -dE/dx must match
+/// the analytic force.
+template <typename EnergyFn>
+void check_gradient(const Box& box, std::span<Vec3f> x, EnergyFn energy,
+                    std::span<const Vec3f> f_analytic, double tol) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      float* comp = c == 0 ? &x[i].x : c == 1 ? &x[i].y : &x[i].z;
+      const float orig = *comp;
+      *comp = orig + static_cast<float>(kH);
+      const double e_hi = energy();
+      *comp = orig - static_cast<float>(kH);
+      const double e_lo = energy();
+      *comp = orig;
+      const double fnum = -(e_hi - e_lo) / (2.0 * kH);
+      const double fana = c == 0 ? f_analytic[i].x
+                          : c == 1 ? f_analytic[i].y
+                                   : f_analytic[i].z;
+      EXPECT_NEAR(fana, fnum, tol + std::abs(fnum) * 0.02)
+          << "particle " << i << " comp " << c;
+    }
+  }
+}
+
+Box big_box() {
+  Box b;
+  b.len = {50.0, 50.0, 50.0};
+  return b;
+}
+
+TEST(Bond, EnergyAtEquilibriumIsZero) {
+  const Box box = big_box();
+  std::vector<Vec3f> x = {{1.0f, 1.0f, 1.0f}, {1.1f, 1.0f, 1.0f}};
+  std::vector<Vec3f> f(2);
+  const Bond b{0, 1, 0.1, 1000.0};
+  EXPECT_NEAR(bond_force(box, b, x, f), 0.0, 1e-10);
+  EXPECT_NEAR(norm(f[0]), 0.0, 1e-4);
+}
+
+TEST(Bond, HookeEnergy) {
+  const Box box = big_box();
+  std::vector<Vec3f> x = {{0, 0, 0}, {0.15f, 0, 0}};
+  std::vector<Vec3f> f(2);
+  const Bond b{0, 1, 0.1, 1000.0};
+  // E = 1/2 k (r-b0)^2 = 0.5*1000*0.05^2
+  EXPECT_NEAR(bond_force(box, b, x, f), 1.25, 1e-4);
+  // Opposite forces along the bond.
+  EXPECT_NEAR(f[0].x, 50.0f, 0.05);
+  EXPECT_NEAR(f[1].x, -50.0f, 0.05);
+}
+
+class BondGradient : public ::testing::TestWithParam<int> {};
+TEST_P(BondGradient, MatchesNumericalGradient) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const Box box = big_box();
+  std::vector<Vec3f> x(2);
+  for (auto& p : x)
+    p = Vec3f{static_cast<float>(rng.uniform(1, 2)),
+              static_cast<float>(rng.uniform(1, 2)),
+              static_cast<float>(rng.uniform(1, 2))};
+  const Bond b{0, 1, 0.12, 2500.0};
+  std::vector<Vec3f> f(2);
+  bond_force(box, b, x, f);
+  check_gradient(box, x, [&] {
+    std::vector<Vec3f> tmp(2);
+    return bond_force(box, b, x, tmp);
+  }, f, 0.5);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, BondGradient, ::testing::Range(1, 9));
+
+TEST(Angle, EnergyAtEquilibriumIsZero) {
+  const Box box = big_box();
+  // 90-degree geometry with th0 = 90 deg.
+  std::vector<Vec3f> x = {{1.1f, 1.0f, 1.0f}, {1.0f, 1.0f, 1.0f}, {1.0f, 1.1f, 1.0f}};
+  std::vector<Vec3f> f(3);
+  const Angle a{0, 1, 2, 90.0 * kDeg2Rad, 400.0};
+  EXPECT_NEAR(angle_force(box, a, x, f), 0.0, 1e-8);
+}
+
+class AngleGradient : public ::testing::TestWithParam<int> {};
+TEST_P(AngleGradient, MatchesNumericalGradient) {
+  Rng rng(static_cast<unsigned>(GetParam()) + 50);
+  const Box box = big_box();
+  std::vector<Vec3f> x(3);
+  for (auto& p : x)
+    p = Vec3f{static_cast<float>(rng.uniform(1, 1.5)),
+              static_cast<float>(rng.uniform(1, 1.5)),
+              static_cast<float>(rng.uniform(1, 1.5))};
+  const Angle a{0, 1, 2, 100.0 * kDeg2Rad, 350.0};
+  std::vector<Vec3f> f(3);
+  angle_force(box, a, x, f);
+  check_gradient(box, x, [&] {
+    std::vector<Vec3f> tmp(3);
+    return angle_force(box, a, x, tmp);
+  }, f, 1.0);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, AngleGradient, ::testing::Range(1, 9));
+
+class DihedralGradient : public ::testing::TestWithParam<int> {};
+TEST_P(DihedralGradient, MatchesNumericalGradient) {
+  Rng rng(static_cast<unsigned>(GetParam()) + 100);
+  const Box box = big_box();
+  // A non-degenerate backbone-like geometry with jitter.
+  std::vector<Vec3f> x = {{1.0f, 1.0f, 1.0f},
+                          {1.15f, 1.0f, 1.0f},
+                          {1.2f, 1.14f, 1.0f},
+                          {1.3f, 1.2f, 1.12f}};
+  for (auto& p : x) {
+    p.x += static_cast<float>(rng.uniform(-0.02, 0.02));
+    p.y += static_cast<float>(rng.uniform(-0.02, 0.02));
+    p.z += static_cast<float>(rng.uniform(-0.02, 0.02));
+  }
+  const Dihedral d{0, 1, 2, 3, 0.0, 8.0, GetParam() % 3 + 1};
+  std::vector<Vec3f> f(4);
+  dihedral_force(box, d, x, f);
+  check_gradient(box, x, [&] {
+    std::vector<Vec3f> tmp(4);
+    return dihedral_force(box, d, x, tmp);
+  }, f, 1.0);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, DihedralGradient, ::testing::Range(1, 9));
+
+TEST(Dihedral, PeriodicEnergyRange) {
+  const Box box = big_box();
+  std::vector<Vec3f> x = {{1.0f, 1.0f, 1.0f},
+                          {1.15f, 1.0f, 1.0f},
+                          {1.2f, 1.14f, 1.0f},
+                          {1.3f, 1.2f, 1.12f}};
+  std::vector<Vec3f> f(4);
+  const Dihedral d{0, 1, 2, 3, 0.0, 5.0, 1};
+  const double e = dihedral_force(box, d, x, f);
+  // V = k(1 + cos(...)) in [0, 2k].
+  EXPECT_GE(e, 0.0);
+  EXPECT_LE(e, 10.0);
+}
+
+TEST(Bonded, NetForceAndTorqueFree) {
+  const Box box = big_box();
+  std::vector<Vec3f> x = {{1.0f, 1.1f, 1.0f},
+                          {1.15f, 1.0f, 1.05f},
+                          {1.2f, 1.14f, 1.0f},
+                          {1.3f, 1.2f, 1.12f}};
+  std::vector<Vec3f> f(4);
+  const Dihedral d{0, 1, 2, 3, 0.3, 6.0, 2};
+  dihedral_force(box, d, x, f);
+  Vec3f net{};
+  for (const auto& fi : f) net += fi;
+  EXPECT_NEAR(norm(net), 0.0f, 1e-4f);
+}
+
+TEST(Bonded, ComputeBondedAggregates) {
+  System sys = test::small_water(8);
+  // Flexible water carries bonds + angles.
+  WaterBoxOptions o;
+  o.nmol = 8;
+  o.rigid = false;
+  sys = make_water_box(o);
+  sys.clear_forces();
+  const BondedEnergies e = compute_bonded(sys);
+  EXPECT_GE(e.bond, 0.0);
+  EXPECT_GE(e.angle, 0.0);
+  EXPECT_DOUBLE_EQ(e.dihedral, 0.0);
+  EXPECT_DOUBLE_EQ(e.total(), e.bond + e.angle);
+}
+
+}  // namespace
+}  // namespace swgmx::md

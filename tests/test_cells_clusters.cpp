@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "md/cells.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+TEST(CellGrid, EveryParticleBinnedExactlyOnce) {
+  System sys = test::small_lj(500);
+  CellGrid grid(sys.box, 0.5);
+  grid.build(sys.x);
+  std::set<std::int32_t> seen;
+  for (int c = 0; c < grid.ncells(); ++c) {
+    for (auto id : grid.cell_members(c)) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+      EXPECT_EQ(grid.cell_of(sys.x[static_cast<std::size_t>(id)]), c);
+    }
+  }
+  EXPECT_EQ(seen.size(), sys.size());
+}
+
+TEST(CellGrid, NeighborhoodIsSymmetricAndUnique) {
+  Box box;
+  box.len = {4.0, 4.0, 4.0};
+  CellGrid grid(box, 1.0);
+  for (int c = 0; c < grid.ncells(); ++c) {
+    const auto nb = grid.neighborhood(c);
+    EXPECT_EQ(nb.size(), 27u);
+    std::set<int> uniq(nb.begin(), nb.end());
+    EXPECT_EQ(uniq.size(), nb.size());
+    for (int d : nb) {
+      const auto back = grid.neighborhood(d);
+      EXPECT_NE(std::find(back.begin(), back.end(), c), back.end());
+    }
+  }
+}
+
+TEST(CellGrid, SmallGridDegeneratesGracefully) {
+  Box box;
+  box.len = {1.0, 1.0, 1.0};
+  CellGrid grid(box, 0.6);  // 1 cell per dim
+  EXPECT_EQ(grid.ncells(), 1);
+  EXPECT_EQ(grid.neighborhood(0).size(), 1u);
+  Box box2;
+  box2.len = {1.2, 1.2, 1.2};
+  CellGrid grid2(box2, 0.6);  // 2 cells per dim
+  EXPECT_EQ(grid2.ncells(), 8);
+  EXPECT_EQ(grid2.neighborhood(0).size(), 8u);
+}
+
+class ClusterLayouts : public ::testing::TestWithParam<PackageLayout> {};
+
+TEST_P(ClusterLayouts, PermutationIsABijection) {
+  System sys = test::small_water(40);
+  ClusterSystem cs(sys, GetParam());
+  EXPECT_EQ(cs.nreal(), sys.size());
+  std::set<std::int32_t> seen;
+  std::size_t padding = 0;
+  for (std::size_t s = 0; s < cs.nslots(); ++s) {
+    const auto g = cs.global_of(s);
+    if (g < 0) {
+      ++padding;
+      continue;
+    }
+    EXPECT_TRUE(seen.insert(g).second);
+  }
+  EXPECT_EQ(seen.size(), sys.size());
+  EXPECT_EQ(padding, cs.nslots() - sys.size());
+}
+
+TEST_P(ClusterLayouts, SlotAccessorsMatchSystem) {
+  System sys = test::small_water(30);
+  ClusterSystem cs(sys, GetParam());
+  for (std::size_t s = 0; s < cs.nslots(); ++s) {
+    const auto g = cs.global_of(s);
+    if (g < 0) {
+      EXPECT_EQ(cs.type_of(s), sys.ff->ghost_type());
+      EXPECT_FLOAT_EQ(cs.charge(s), 0.0f);
+      EXPECT_EQ(cs.mol_of(s), -1);
+      continue;
+    }
+    const auto gi = static_cast<std::size_t>(g);
+    EXPECT_EQ(cs.pos(s), sys.x[gi]);
+    EXPECT_FLOAT_EQ(cs.charge(s), sys.q[gi]);
+    EXPECT_EQ(cs.type_of(s), sys.type[gi]);
+    EXPECT_EQ(cs.mol_of(s), sys.top.mol_id[gi]);
+  }
+}
+
+TEST_P(ClusterLayouts, UpdatePositionsTracksSystem) {
+  System sys = test::small_lj(100);
+  ClusterSystem cs(sys, GetParam());
+  for (auto& x : sys.x) x += Vec3f{0.01f, -0.02f, 0.03f};
+  cs.update_positions(sys);
+  for (std::size_t s = 0; s < cs.nslots(); ++s) {
+    const auto g = cs.global_of(s);
+    if (g >= 0) EXPECT_EQ(cs.pos(s), sys.x[static_cast<std::size_t>(g)]);
+  }
+}
+
+TEST_P(ClusterLayouts, ScatterForcesAccumulates) {
+  System sys = test::small_lj(64);
+  ClusterSystem cs(sys, GetParam());
+  AlignedVector<Vec3f> f(cs.nslots(), Vec3f{1.0f, 2.0f, 3.0f});
+  sys.clear_forces();
+  cs.scatter_forces(f, sys);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(sys.f[i], (Vec3f{1.0f, 2.0f, 3.0f}));
+  }
+}
+
+TEST_P(ClusterLayouts, ClustersAreSpatiallyCompact) {
+  System sys = test::small_water(200);
+  ClusterSystem cs(sys, GetParam());
+  double mean_r = 0.0;
+  for (int c = 0; c < cs.nclusters(); ++c) mean_r += cs.radius(c);
+  mean_r /= cs.nclusters();
+  // Spatially sorted clusters should be much tighter than the box (~1.8 nm).
+  EXPECT_LT(mean_r, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, ClusterLayouts,
+                         ::testing::Values(PackageLayout::Interleaved,
+                                           PackageLayout::Transposed));
+
+TEST(Clusters, PaddingSlotsHaveDistinctPositions) {
+  System sys = test::small_lj(63);  // 63 = 15*4 + 3 -> one cluster padded
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  ASSERT_EQ(cs.nslots(), 64u);
+  for (std::size_t a = 0; a < cs.nslots(); ++a) {
+    for (std::size_t b = a + 1; b < cs.nslots(); ++b) {
+      if (cs.global_of(a) < 0 || cs.global_of(b) < 0) {
+        EXPECT_GT(norm2(cs.pos(a) - cs.pos(b)), 0.0f)
+            << "slots " << a << "," << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swgmx::md

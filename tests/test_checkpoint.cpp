@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include <filesystem>
+#include <fstream>
+
+#include "io/checkpoint.hpp"
+#include "md/simulation.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::io {
+namespace {
+
+struct Rig {
+  sw::CoreGroup cg;
+  std::unique_ptr<md::ShortRangeBackend> sr;
+  std::unique_ptr<md::PairListBackend> pl;
+  Rig() {
+    sr = core::make_short_range(core::Strategy::Mark, cg);
+    pl = std::make_unique<core::CpePairList>(cg);
+  }
+};
+
+TEST(Checkpoint, RoundTripsState) {
+  md::System sys = test::small_water(30);
+  const std::string path = ::testing::TempDir() + "/cp_roundtrip.cpt";
+  write_checkpoint(path, sys, 42);
+  const Checkpoint cp = read_checkpoint(path);
+  EXPECT_EQ(cp.step, 42);
+  ASSERT_EQ(cp.x.size(), sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(cp.x[i], sys.x[i]);
+    EXPECT_EQ(cp.v[i], sys.v[i]);
+  }
+}
+
+TEST(Checkpoint, RestartContinuesBitIdentically) {
+  // Run 20 steps; checkpoint at 10; a fresh simulation restored from the
+  // checkpoint must land on exactly the same state at step 20.
+  const std::string path = ::testing::TempDir() + "/cp_restart.cpt";
+  md::SimOptions opt;
+  opt.nstenergy = 0;
+
+  Rig rig1;
+  md::Simulation ref(test::small_water(40), opt, *rig1.sr, *rig1.pl);
+  ref.run(10);
+  write_checkpoint(path, ref.system(), ref.current_step());
+  ref.run(10);
+
+  Rig rig2;
+  md::System fresh = test::small_water(40);
+  const Checkpoint cp = read_checkpoint(path);
+  apply_checkpoint(cp, fresh);
+  md::Simulation resumed(std::move(fresh), opt, *rig2.sr, *rig2.pl);
+  resumed.run(10);
+
+  for (std::size_t i = 0; i < ref.system().size(); ++i) {
+    EXPECT_EQ(ref.system().x[i], resumed.system().x[i]) << "particle " << i;
+    EXPECT_EQ(ref.system().v[i], resumed.system().v[i]) << "particle " << i;
+  }
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/cp_garbage.cpt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint at all, sorry";
+  }
+  EXPECT_THROW((void)read_checkpoint(path), Error);
+  EXPECT_THROW((void)read_checkpoint("/nonexistent/path.cpt"), Error);
+}
+
+TEST(Checkpoint, RejectsParticleCountMismatch) {
+  md::System sys = test::small_water(10);
+  const std::string path = ::testing::TempDir() + "/cp_mismatch.cpt";
+  write_checkpoint(path, sys, 0);
+  md::System other = test::small_water(20);
+  const Checkpoint cp = read_checkpoint(path);
+  EXPECT_THROW(apply_checkpoint(cp, other), Error);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  md::System sys = test::small_water(10);
+  const std::string path = ::testing::TempDir() + "/cp_trunc.cpt";
+  write_checkpoint(path, sys, 7);
+  // Truncate the file in the middle of the position block.
+  std::filesystem::resize_file(path, 40);
+  EXPECT_THROW((void)read_checkpoint(path), Error);
+}
+
+}  // namespace
+}  // namespace swgmx::io

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/vec3.hpp"
+
+namespace swgmx {
+namespace {
+
+TEST(Aligned, VectorDataIsAligned) {
+  AlignedVector<float> v(37);
+  EXPECT_TRUE(is_sw_aligned(v.data()));
+  AlignedVector<Vec3f> w(5);
+  EXPECT_TRUE(is_sw_aligned(w.data()));
+}
+
+TEST(Aligned, GrowsAndKeepsAlignment) {
+  AlignedVector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_TRUE(is_sw_aligned(v.data()));
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_DOUBLE_EQ(v[999], 999.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(7);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3d{3, 3, 3}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3d{1, 0, 0}, Vec3d{0, 1, 0}), (Vec3d{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(norm2(a), 14.0);
+}
+
+TEST(Vec3, PrecisionConversion) {
+  const Vec3d d{1.5, -2.5, 3.25};
+  const Vec3f f(d);
+  EXPECT_FLOAT_EQ(f.x, 1.5f);
+  const Vec3d back(f);
+  EXPECT_DOUBLE_EQ(back.y, -2.5);
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    SWGMX_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Stats, Summarize) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.1180339887, 1e-9);
+}
+
+TEST(Stats, RelRms) {
+  const double a[] = {1.0, 2.0};
+  const double b[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rel_rms(a, b), 0.0);
+  const double c[] = {2.0, 4.0};
+  EXPECT_NEAR(rel_rms(c, b), 1.0, 1e-12);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.2345, 2)});
+  t.add_row({"b", Table::pct(0.123)});
+  std::ostringstream os;
+  t.print(os, "caption");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("caption"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("12.3%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swgmx

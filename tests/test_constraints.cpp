@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "md/constraints.hpp"
+#include "md/integrator.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+TEST(Shake, RestoresSingleConstraint) {
+  System sys;
+  const AtomType types[] = {{0.3, 0.1}};
+  sys.ff = std::make_shared<ForceField>(std::span<const AtomType>(types), 1.0, 1.1);
+  sys.box.len = {10, 10, 10};
+  sys.resize(2);
+  sys.x[0] = {5.0f, 5.0f, 5.0f};
+  sys.x[1] = {5.13f, 5.0f, 5.0f};  // stretched from 0.1 to 0.13
+  sys.mass[0] = sys.mass[1] = 1.0f;
+  sys.inv_mass[0] = sys.inv_mass[1] = 1.0f;
+  sys.top.constraints.push_back({0, 1, 0.1});
+
+  const AlignedVector<Vec3f> x_ref(sys.x.begin(), sys.x.end());
+  Shake shake(1e-6);
+  shake.apply(sys, x_ref, 0.0);
+  // float positions bound the achievable violation near 1e-5 relative.
+  EXPECT_LT(Shake::max_violation(sys), 2e-5);
+  // Equal masses: symmetric correction about the midpoint.
+  EXPECT_NEAR(sys.x[0].x + sys.x[1].x, 10.13f, 1e-4f);
+}
+
+TEST(Shake, MassWeightedCorrection) {
+  System sys;
+  const AtomType types[] = {{0.3, 0.1}};
+  sys.ff = std::make_shared<ForceField>(std::span<const AtomType>(types), 1.0, 1.1);
+  sys.box.len = {10, 10, 10};
+  sys.resize(2);
+  sys.x[0] = {5.0f, 5.0f, 5.0f};
+  sys.x[1] = {5.2f, 5.0f, 5.0f};
+  sys.mass[0] = 16.0f;  // heavy
+  sys.mass[1] = 1.0f;   // light
+  sys.inv_mass[0] = 1.0f / 16.0f;
+  sys.inv_mass[1] = 1.0f;
+  sys.top.constraints.push_back({0, 1, 0.1});
+  const AlignedVector<Vec3f> x_ref(sys.x.begin(), sys.x.end());
+  Shake shake(1e-6);
+  shake.apply(sys, x_ref, 0.0);
+  EXPECT_LT(Shake::max_violation(sys), 2e-5);
+  // The light particle moves ~16x more.
+  EXPECT_LT(std::abs(sys.x[0].x - 5.0f), std::abs(sys.x[1].x - 5.2f) / 8.0f);
+}
+
+TEST(Shake, WaterMoleculeStaysRigid) {
+  System sys = test::small_water(27);
+  // Kick the positions and let SHAKE restore the geometry.
+  const AlignedVector<Vec3f> x_ref(sys.x.begin(), sys.x.end());
+  Rng rng(3);
+  for (auto& x : sys.x) {
+    x.x += static_cast<float>(rng.uniform(-0.01, 0.01));
+    x.y += static_cast<float>(rng.uniform(-0.01, 0.01));
+    x.z += static_cast<float>(rng.uniform(-0.01, 0.01));
+  }
+  Shake shake(1e-6);
+  const int iters = shake.apply(sys, x_ref, 0.0);
+  EXPECT_GT(iters, 0);
+  EXPECT_LT(Shake::max_violation(sys), 2e-5);
+}
+
+TEST(Shake, VelocityStageRemovesBondVelocity) {
+  // The RATTLE velocity stage must leave (v_i - v_j) orthogonal to every
+  // constrained bond, so rigid water carries no internal bond velocity.
+  System sys = test::small_water(8);
+  const AlignedVector<Vec3f> x_ref(sys.x.begin(), sys.x.end());
+  sys.x[0].x += 0.01f;  // break constraints
+  Shake shake(1e-6);
+  shake.apply(sys, x_ref, 0.002);
+  for (const auto& c : sys.top.constraints) {
+    const auto i = static_cast<std::size_t>(c.i);
+    const auto j = static_cast<std::size_t>(c.j);
+    const Vec3d u = Vec3d(sys.box.min_image(sys.x[i], sys.x[j]));
+    const Vec3d vrel(Vec3d(sys.v[i]) - Vec3d(sys.v[j]));
+    EXPECT_NEAR(dot(vrel, u) / norm(u), 0.0, 1e-4);
+  }
+}
+
+TEST(Shake, NoConstraintsIsNoop) {
+  System sys = test::small_lj(32);
+  const AlignedVector<Vec3f> x_ref(sys.x.begin(), sys.x.end());
+  Shake shake;
+  EXPECT_EQ(shake.apply(sys, x_ref, 0.002), 0);
+}
+
+TEST(Shake, HoldsThroughDynamics) {
+  System sys = test::small_water(27);
+  IntegratorOptions opt;
+  opt.dt = 0.002;
+  Shake shake(1e-6);
+  for (int step = 0; step < 20; ++step) {
+    const AlignedVector<Vec3f> x_ref(sys.x.begin(), sys.x.end());
+    // No forces: pure drift still breaks rigid geometry without SHAKE.
+    leapfrog_step(sys, opt);
+    shake.apply(sys, x_ref, opt.dt);
+    EXPECT_LT(Shake::max_violation(sys), 1e-5) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace swgmx::md

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/packed.hpp"
+#include "core/read_cache.hpp"
+#include "core/write_cache.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::core {
+namespace {
+
+struct Rec {
+  int v;
+  int pad[3];
+};
+
+sw::SwConfig cfg() { return sw::SwConfig{}; }
+
+TEST(ReadCache, ReturnsCorrectValues) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  std::vector<Rec> mem(1000);
+  for (int i = 0; i < 1000; ++i) mem[static_cast<std::size_t>(i)].v = i * 3;
+  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, 1);
+  for (int i = 999; i >= 0; i -= 7) {
+    EXPECT_EQ(cache.get(static_cast<std::size_t>(i)).v, i * 3);
+  }
+}
+
+TEST(ReadCache, SequentialAccessHitsWithinLine) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  std::vector<Rec> mem(256);
+  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, 1);
+  for (std::size_t i = 0; i < 256; ++i) (void)cache.get(i);
+  // One miss per 8-record line.
+  EXPECT_EQ(ctx.perf().read_misses, 32u);
+  EXPECT_EQ(ctx.perf().read_hits, 224u);
+}
+
+TEST(ReadCache, RepeatAccessIsAllHits) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  std::vector<Rec> mem(64);
+  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, 1);
+  (void)cache.get(5);
+  const auto misses = ctx.perf().read_misses;
+  for (int k = 0; k < 100; ++k) (void)cache.get(5);
+  EXPECT_EQ(ctx.perf().read_misses, misses);
+  EXPECT_GE(ctx.perf().read_hits, 100u);
+}
+
+TEST(ReadCache, TwoWayBeatsDirectMapOnThrash) {
+  // Alternate between two lines that map to the same direct-mapped set.
+  const auto c = cfg();
+  std::vector<Rec> mem(16 * 8 * 4);
+  auto run = [&](int ways) {
+    sw::LdmArena ldm(c.ldm_bytes);
+    sw::CpeContext ctx(0, c, ldm);
+    ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, ways);
+    // Records 0 and 16*8 share set 0.
+    for (int k = 0; k < 100; ++k) {
+      (void)cache.get(0);
+      (void)cache.get(16 * 8);
+    }
+    return ctx.perf().read_miss_rate();
+  };
+  EXPECT_GT(run(1), 0.9);   // ping-pong thrash
+  EXPECT_LT(run(2), 0.05);  // both lines resident
+}
+
+TEST(ReadCache, DmaChargedPerMiss) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  std::vector<Rec> mem(128);
+  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 8, 1);
+  (void)cache.get(0);
+  EXPECT_EQ(ctx.perf().dma_transfers, 1u);
+  EXPECT_EQ(ctx.perf().dma_bytes, 8 * sizeof(Rec));
+}
+
+TEST(ReadCache, RejectsBadGeometry) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  std::vector<Rec> mem(8);
+  using Cache = ReadCache<Rec, 8>;
+  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 12, 1), Error);
+  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 16, 3), Error);
+}
+
+TEST(ReadCache, OverflowsLdmWhenTooLarge) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  std::vector<DevicePackage> mem(64);
+  using BigCache = ReadCache<DevicePackage, 8>;
+  // 128 sets x 768 B = 98 KB > 64 KB LDM.
+  EXPECT_THROW(BigCache(ctx, std::span<const DevicePackage>(mem), 128, 1), Error);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(WriteCache, AccumulatesIntoCopy) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(3, c, ldm);
+  ForceCopySet copies(8, 4);
+  ForceWriteCache wc(ctx, copies, 3, 4, /*use_marks=*/false);
+  wc.add(0, {1.f, 2.f, 3.f});
+  wc.add(0, {1.f, 2.f, 3.f});
+  wc.add(37, {5.f, 0.f, 0.f});
+  wc.flush();
+  const float* f0 = copies.slot_ptr(3, 0);
+  EXPECT_FLOAT_EQ(f0[0], 2.f);
+  EXPECT_FLOAT_EQ(f0[1], 4.f);
+  EXPECT_FLOAT_EQ(f0[2], 6.f);
+  const float* f37 = copies.slot_ptr(3, 37);
+  EXPECT_FLOAT_EQ(f37[0], 5.f);
+  // Another CPE's copy is untouched.
+  EXPECT_FLOAT_EQ(copies.slot_ptr(2, 0)[0], 0.f);
+}
+
+TEST(WriteCache, EvictionWritesBackAndRefetches) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  ForceCopySet copies(1, 8);
+  // 2 cache lines; slots from lines 0, 2, 4 collide in line slot 0.
+  ForceWriteCache wc(ctx, copies, 0, 2, false);
+  wc.add(0 * kParticlesPerLine, {1.f, 0.f, 0.f});
+  wc.add(2 * kParticlesPerLine, {2.f, 0.f, 0.f});  // evicts line 0
+  wc.add(0 * kParticlesPerLine, {1.f, 0.f, 0.f});  // refetch, accumulate
+  wc.flush();
+  EXPECT_FLOAT_EQ(copies.slot_ptr(0, 0)[0], 2.f);
+  EXPECT_FLOAT_EQ(copies.slot_ptr(0, 2 * kParticlesPerLine)[0], 2.f);
+  EXPECT_GE(ctx.perf().write_misses, 3u);
+}
+
+TEST(WriteCache, MarksSetOnlyForTouchedLines) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  ForceCopySet copies(2, 16);
+  ForceWriteCache wc(ctx, copies, 0, 4, /*use_marks=*/true);
+  wc.add(0, {1.f, 0.f, 0.f});                        // line 0
+  wc.add(5 * kParticlesPerLine + 3, {2.f, 0.f, 0.f});  // line 5
+  wc.flush();
+  EXPECT_TRUE(copies.marked(0, 0));
+  EXPECT_TRUE(copies.marked(0, 5));
+  EXPECT_FALSE(copies.marked(0, 1));
+  EXPECT_FALSE(copies.marked(1, 0));  // other CPE untouched
+}
+
+TEST(WriteCache, MarksSkipInitialFetch) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  ForceCopySet copies(1, 4);
+  // Poison the copy: with marks, first touch must NOT read this garbage.
+  copies.clear_marks();
+  copies.slot_ptr(0, 0)[0] = 999.f;
+  ForceWriteCache wc(ctx, copies, 0, 4, true);
+  wc.add(0, {1.f, 0.f, 0.f});
+  wc.flush();
+  EXPECT_FLOAT_EQ(copies.slot_ptr(0, 0)[0], 1.f);  // poison overwritten
+}
+
+TEST(WriteCache, MarkedLineRefetchedAfterEviction) {
+  const auto c = cfg();
+  sw::LdmArena ldm(c.ldm_bytes);
+  sw::CpeContext ctx(0, c, ldm);
+  ForceCopySet copies(1, 8);
+  ForceWriteCache wc(ctx, copies, 0, 2, true);
+  wc.add(0, {1.f, 0.f, 0.f});                          // line 0, first touch
+  wc.add(2 * kParticlesPerLine, {1.f, 0.f, 0.f});      // evict line 0
+  wc.add(0, {1.f, 0.f, 0.f});                          // marked -> refetch
+  wc.flush();
+  EXPECT_FLOAT_EQ(copies.slot_ptr(0, 0)[0], 2.f);
+}
+
+TEST(ForceCopySet, ZeroAllAndMarks) {
+  ForceCopySet copies(4, 10);
+  copies.slot_ptr(1, 7)[2] = 3.f;
+  auto marks = copies.marks_of(1);
+  marks[0] = 0xFF;
+  EXPECT_TRUE(copies.marked(1, 0));
+  copies.zero_all();
+  EXPECT_FLOAT_EQ(copies.slot_ptr(1, 7)[2], 0.f);
+  EXPECT_FALSE(copies.marked(1, 0));
+}
+
+TEST(PackedSystem, AggregatesClusterData) {
+  md::System sys = test::small_water(20);
+  md::ClusterSystem cs(sys, md::PackageLayout::Interleaved);
+  PackedSystem packed(cs);
+  EXPECT_EQ(packed.nclusters(), cs.nclusters());
+  for (std::size_t s = 0; s < cs.nslots(); ++s) {
+    const auto& pkg = packed.packages()[s / md::kClusterSize];
+    const int lane = static_cast<int>(s % md::kClusterSize);
+    EXPECT_EQ(pkg_pos(pkg, cs.layout(), lane), cs.pos(s));
+    EXPECT_FLOAT_EQ(pkg_q(pkg, cs.layout(), lane), cs.charge(s));
+    EXPECT_EQ(pkg.type[lane], cs.type_of(s));
+    EXPECT_EQ(pkg.mol[lane], cs.mol_of(s));
+  }
+}
+
+TEST(PackedSystem, PackageGeometryMatchesPaper) {
+  // Fig 3/5 geometry: 8 packages per line, 32 particles per line.
+  EXPECT_EQ(kPkgsPerLine, 8);
+  EXPECT_EQ(kParticlesPerLine, 32);
+  EXPECT_EQ(sizeof(DevicePackage), 96u);
+  EXPECT_EQ(kForceLineBytes, 384u);
+}
+
+}  // namespace
+}  // namespace swgmx::core

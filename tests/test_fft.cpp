@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "common/error.hpp"
+#include "fft/fft3d.hpp"
+
+namespace swgmx::fft {
+namespace {
+
+std::vector<cplx> naive_dft(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx s{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(j * k) /
+                         static_cast<double>(n);
+      s += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n));
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto expect = naive_dft(x);
+  auto got = x;
+  forward(got);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k].real(), expect[k].real(), 1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(got[k].imag(), expect[k].imag(), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, RoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n) + 100);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto y = x;
+  forward(y);
+  inverse(y);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(y[k].real(), x[k].real(), 1e-12 * static_cast<double>(n));
+    EXPECT_NEAR(y[k].imag(), x[k].imag(), 1e-12 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, Parseval) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n) + 200);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  double time_e = 0.0;
+  for (const auto& v : x) time_e += std::norm(v);
+  auto y = x;
+  forward(y);
+  double freq_e = 0.0;
+  for (const auto& v : y) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e, time_e * static_cast<double>(n),
+              1e-9 * time_e * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Fft, SingleToneLandsInRightBin) {
+  constexpr std::size_t n = 64;
+  std::vector<cplx> x(n);
+  constexpr std::size_t bin = 5;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(bin * j) /
+                       static_cast<double>(n);
+    x[j] = {std::cos(ang), std::sin(ang)};
+  }
+  forward(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(x[k]);
+    if (k == bin) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, NonPowerOfTwoRejected) {
+  std::vector<cplx> x(12);
+  EXPECT_THROW(forward(x), Error);
+}
+
+TEST(Fft, ButterflyCount) {
+  EXPECT_DOUBLE_EQ(butterfly_count(1), 0.0);
+  EXPECT_DOUBLE_EQ(butterfly_count(8), 12.0);   // 8/2 * 3
+  EXPECT_DOUBLE_EQ(butterfly_count(1024), 5120.0);
+}
+
+TEST(Grid3D, RoundTrip) {
+  Grid3D g(8, 4, 16);
+  Rng rng(99);
+  for (auto& v : g.flat()) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<cplx> orig(g.flat().begin(), g.flat().end());
+  g.forward();
+  g.inverse();
+  const auto flat = g.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(flat[i].real(), orig[i].real(), 1e-11);
+    EXPECT_NEAR(flat[i].imag(), orig[i].imag(), 1e-11);
+  }
+}
+
+TEST(Grid3D, PlaneWaveLandsInRightBin) {
+  Grid3D g(8, 8, 8);
+  const std::size_t mx = 2, my = 3, mz = 1;
+  for (std::size_t ix = 0; ix < 8; ++ix)
+    for (std::size_t iy = 0; iy < 8; ++iy)
+      for (std::size_t iz = 0; iz < 8; ++iz) {
+        const double ang = 2.0 * std::numbers::pi *
+                           (static_cast<double>(mx * ix + my * iy + mz * iz)) / 8.0;
+        g.at(ix, iy, iz) = {std::cos(ang), std::sin(ang)};
+      }
+  g.forward();
+  // forward uses e^{-i...}: the tone lands at (mx,my,mz).
+  EXPECT_NEAR(std::abs(g.at(mx, my, mz)), 512.0, 1e-8);
+  EXPECT_NEAR(std::abs(g.at(0, 0, 0)), 0.0, 1e-8);
+}
+
+TEST(Grid3D, DimensionsMustBePow2) {
+  EXPECT_THROW(Grid3D(7, 8, 8), Error);
+}
+
+TEST(Grid3D, ButterflyCountComposition) {
+  Grid3D g(8, 8, 8);
+  // 3 axes x 64 lines x butterfly(8)=12.
+  EXPECT_DOUBLE_EQ(g.butterfly_count(), 3 * 64 * 12.0);
+}
+
+}  // namespace
+}  // namespace swgmx::fft

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "md/integrator.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+TEST(Leapfrog, FreeParticleDrifts) {
+  System sys = test::small_lj(8);
+  sys.clear_forces();
+  for (auto& v : sys.v) v = {1.0f, 0.0f, 0.0f};
+  const Vec3f x0 = sys.x[0];
+  IntegratorOptions opt;
+  opt.dt = 0.01;
+  leapfrog_step(sys, opt);
+  EXPECT_NEAR(sys.x[0].x - x0.x, 0.01f, 1e-6f);
+  EXPECT_NEAR(sys.x[0].y - x0.y, 0.0f, 1e-7f);
+}
+
+TEST(Leapfrog, ConstantForceAccelerates) {
+  System sys = test::small_lj(4);
+  for (auto& v : sys.v) v = {};
+  for (auto& f : sys.f) f = {2.0f, 0.0f, 0.0f};
+  sys.mass[0] = 2.0f;
+  sys.inv_mass[0] = 0.5f;
+  IntegratorOptions opt;
+  opt.dt = 0.1;
+  leapfrog_step(sys, opt);
+  // v = f/m dt = 2/2*0.1
+  EXPECT_NEAR(sys.v[0].x, 0.1f, 1e-6f);
+}
+
+TEST(Thermostat, RescalesTowardTarget) {
+  System sys = test::small_lj(500);
+  IntegratorOptions opt;
+  opt.thermostat = true;
+  opt.t_ref = 240.0;  // generated at 120 K
+  opt.tau_t = 0.02;
+  opt.dt = 0.002;
+  const double t0 = sys.temperature();
+  for (int i = 0; i < 200; ++i) apply_thermostat(sys, opt);
+  const double t1 = sys.temperature();
+  EXPECT_GT(t1, t0);
+  EXPECT_NEAR(t1, 240.0, 12.0);
+}
+
+TEST(Thermostat, DisabledIsNoop) {
+  System sys = test::small_lj(100);
+  const double t0 = sys.temperature();
+  IntegratorOptions opt;
+  opt.thermostat = false;
+  apply_thermostat(sys, opt);
+  EXPECT_DOUBLE_EQ(sys.temperature(), t0);
+}
+
+}  // namespace
+}  // namespace swgmx::md

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "io/fast_format.hpp"
+#include "io/traj.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(FastFormat, UintMatchesSnprintf) {
+  char mine[32], ref[32];
+  for (std::uint64_t v : {0ull, 7ull, 10ull, 999ull, 123456789ull,
+                          18446744073709551615ull}) {
+    const std::size_t n = format_uint(v, mine);
+    mine[n] = '\0';
+    std::snprintf(ref, sizeof(ref), "%llu", static_cast<unsigned long long>(v));
+    EXPECT_STREQ(mine, ref);
+  }
+}
+
+TEST(FastFormat, IntHandlesNegatives) {
+  char mine[32];
+  const std::size_t n = format_int(-40302, mine);
+  mine[n] = '\0';
+  EXPECT_STREQ(mine, "-40302");
+}
+
+class FixedFormatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedFormatSweep, MatchesSnprintfAcrossValues) {
+  const int decimals = GetParam();
+  Rng rng(static_cast<unsigned>(decimals) + 1);
+  char mine[64], ref[64];
+  for (int k = 0; k < 500; ++k) {
+    const double v = rng.uniform(-1000.0, 1000.0);
+    const std::size_t n = format_fixed(v, decimals, mine);
+    mine[n] = '\0';
+    std::snprintf(ref, sizeof(ref), "%.*f", decimals, v);
+    // Allow the last digit to differ by one (printf rounds half-to-even on
+    // the binary value; we round half-up on the decimal one).
+    const std::size_t len = std::strlen(ref);
+    ASSERT_EQ(n, len) << v;
+    for (std::size_t i = 0; i + 1 < len; ++i) {
+      if (mine[i] != ref[i]) {
+        // allow a trailing-digit carry mismatch only
+        break;
+      }
+      EXPECT_EQ(mine[i], ref[i]) << "v=" << v << " i=" << i;
+    }
+    EXPECT_NEAR(std::atof(mine), v, std::pow(10.0, -decimals) * 0.51);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Decimals, FixedFormatSweep, ::testing::Values(0, 1, 3, 6));
+
+TEST(FastFormat, FixedWidthPads) {
+  char buf[32];
+  const std::size_t n = format_fixed_width(1.5, 3, 8, buf);
+  buf[n] = '\0';
+  EXPECT_STREQ(buf, "   1.500");
+  // Too-narrow fields grow like printf.
+  const std::size_t m = format_fixed_width(-12345.678, 3, 4, buf);
+  buf[m] = '\0';
+  EXPECT_STREQ(buf, "-12345.678");
+}
+
+TEST(BufferedWriter, WritesExactBytes) {
+  const std::string path = ::testing::TempDir() + "/bw_test.bin";
+  {
+    BufferedWriter w(path, 16);
+    w.write("hello ");
+    w.write("world, this spills the tiny buffer");
+    w.close();
+    EXPECT_EQ(w.bytes_written(), 40u);
+    EXPECT_GE(w.syscall_count(), 2u);
+  }
+  EXPECT_EQ(slurp(path), "hello world, this spills the tiny buffer");
+}
+
+TEST(BufferedWriter, LargeBufferBatchesSyscalls) {
+  const std::string path = ::testing::TempDir() + "/bw_big.bin";
+  BufferedWriter w(path, 1 << 20);
+  for (int i = 0; i < 10000; ++i) w.write("0123456789");
+  w.close();
+  EXPECT_EQ(w.bytes_written(), 100000u);
+  EXPECT_EQ(w.syscall_count(), 1u);  // everything fits the buffer, one flush
+}
+
+TEST(TrajWriters, StdioAndFastProduceIdenticalFiles) {
+  md::System sys = test::small_water(30);
+  const std::string p_stdio = ::testing::TempDir() + "/traj_stdio.gro";
+  const std::string p_fast = ::testing::TempDir() + "/traj_fast.gro";
+  {
+    StdioTrajWriter a(p_stdio);
+    a.write_frame(sys, 1.234);
+    a.write_frame(sys, 2.468);
+  }
+  {
+    FastTrajWriter b(p_fast);
+    b.write_frame(sys, 1.234);
+    b.write_frame(sys, 2.468);
+    b.close();
+  }
+  const std::string sa = slurp(p_stdio);
+  const std::string sb = slurp(p_fast);
+  ASSERT_EQ(sa.size(), sb.size());
+  // Allow isolated last-digit rounding differences; require 99.9% identical.
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i) diff += sa[i] != sb[i];
+  EXPECT_LT(static_cast<double>(diff) / sa.size(), 0.001);
+}
+
+TEST(IoModel, FastPathIsMuchCheaper) {
+  const IoModel m;
+  const double slow = m.frame_seconds(48000, false);
+  const double fast = m.frame_seconds(48000, true);
+  EXPECT_GT(slow / fast, 3.0);
+}
+
+TEST(IoModel, CostGrowsWithAtoms) {
+  const IoModel m;
+  EXPECT_GT(m.frame_seconds(96000, true), m.frame_seconds(12000, true));
+}
+
+TEST(ModelTrajSink, ReturnsModeledCost) {
+  md::System sys = test::small_water(20);
+  ModelTrajSink slow(false), fast(true);
+  EXPECT_GT(slow.write_frame(sys, 0.0), fast.write_frame(sys, 0.0));
+}
+
+}  // namespace
+}  // namespace swgmx::io

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "md/kernel_ref.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+/// Run the cluster reference kernel and return global-order forces.
+std::vector<Vec3d> cluster_forces(const System& sys, bool half,
+                                  PackageLayout layout, NbEnergies& e,
+                                  NbKernelStats* stats = nullptr) {
+  ClusterSystem cs(sys, layout);
+  ClusterPairList list;
+  build_pairlist(cs, sys.box, static_cast<float>(sys.ff->rlist()), half, list);
+  AlignedVector<Vec3f> f(cs.nslots(), Vec3f{});
+  const NbParams p = make_nb_params(*sys.ff);
+  const NbKernelStats st = nb_kernel_ref(cs, sys.box, list, p, f, e);
+  if (stats != nullptr) *stats = st;
+  return test::slot_to_global(cs, f, sys.size());
+}
+
+struct KernelCase {
+  const char* name;
+  bool water;
+  CoulombMode mode;
+};
+
+class KernelVsBrute : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelVsBrute, ForcesAndEnergiesMatch) {
+  const auto& c = GetParam();
+  System sys = c.water ? test::small_water(48, c.mode) : test::small_lj(200);
+  const NbParams p = make_nb_params(*sys.ff);
+
+  std::vector<Vec3d> f_ref(sys.size());
+  const NbEnergies e_ref = nb_brute_force(sys, p, f_ref);
+
+  NbEnergies e_cl;
+  const auto f_cl = cluster_forces(sys, /*half=*/true,
+                                   PackageLayout::Interleaved, e_cl);
+
+  EXPECT_LT(test::max_force_rel_err(f_cl, f_ref), 2e-4);
+  EXPECT_NEAR(e_cl.lj, e_ref.lj, std::abs(e_ref.lj) * 1e-4 + 1e-3);
+  EXPECT_NEAR(e_cl.coul, e_ref.coul, std::abs(e_ref.coul) * 1e-4 + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KernelVsBrute,
+    ::testing::Values(KernelCase{"lj", false, CoulombMode::None},
+                      KernelCase{"water_rf", true, CoulombMode::ReactionField},
+                      KernelCase{"water_cut", true, CoulombMode::Cutoff},
+                      KernelCase{"water_ewald", true, CoulombMode::EwaldShort}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Kernel, FullListMatchesHalfList) {
+  System sys = test::small_water(64);
+  NbEnergies e_half, e_full;
+  const auto f_half =
+      cluster_forces(sys, true, PackageLayout::Interleaved, e_half);
+  const auto f_full =
+      cluster_forces(sys, false, PackageLayout::Interleaved, e_full);
+  EXPECT_LT(test::max_force_rel_err(f_full, f_half), 2e-4);
+  EXPECT_NEAR(e_full.lj, e_half.lj, std::abs(e_half.lj) * 1e-5 + 1e-4);
+  EXPECT_NEAR(e_full.coul, e_half.coul, std::abs(e_half.coul) * 1e-5 + 1e-4);
+}
+
+TEST(Kernel, FullListDoublesTestedPairs) {
+  System sys = test::small_water(64);
+  NbEnergies e1, e2;
+  NbKernelStats st_half, st_full;
+  cluster_forces(sys, true, PackageLayout::Interleaved, e1, &st_half);
+  cluster_forces(sys, false, PackageLayout::Interleaved, e2, &st_full);
+  // Algorithm 2 "doubles the computation": accepted pair count must double.
+  EXPECT_EQ(st_full.pairs_in_cutoff, 2 * st_half.pairs_in_cutoff);
+}
+
+TEST(Kernel, LayoutsProduceSameForces) {
+  System sys = test::small_water(64);
+  NbEnergies e1, e2;
+  const auto fa = cluster_forces(sys, true, PackageLayout::Interleaved, e1);
+  const auto fb = cluster_forces(sys, true, PackageLayout::Transposed, e2);
+  EXPECT_LT(test::max_force_rel_err(fa, fb), 1e-6);
+  EXPECT_NEAR(e1.lj, e2.lj, 1e-6 * std::abs(e1.lj));
+}
+
+TEST(Kernel, NewtonThirdLawZeroNetForce) {
+  System sys = test::small_lj(200);
+  NbEnergies e;
+  const auto f = cluster_forces(sys, true, PackageLayout::Interleaved, e);
+  Vec3d net{};
+  for (const auto& fi : f) net += fi;
+  // Forces sum to ~0 (float accumulation noise only).
+  EXPECT_NEAR(norm(net), 0.0, 1e-2);
+}
+
+TEST(Kernel, ExclusionsSkipSameMolecule) {
+  // A single water molecule: every particle pair is intra-molecular, so the
+  // nonbonded kernel must produce exactly zero forces and energies despite
+  // the O-H distances (0.1 nm) being deep inside the cutoff.
+  System sys = test::small_water(1);
+  const NbParams p = make_nb_params(*sys.ff);
+
+  std::vector<Vec3d> f_ref(sys.size());
+  const NbEnergies e_ref = nb_brute_force(sys, p, f_ref);
+  EXPECT_DOUBLE_EQ(e_ref.lj, 0.0);
+  EXPECT_DOUBLE_EQ(e_ref.coul, 0.0);
+  for (const auto& fi : f_ref) EXPECT_DOUBLE_EQ(norm2(fi), 0.0);
+
+  NbEnergies e_cl;
+  const auto f_cl = cluster_forces(sys, true, PackageLayout::Interleaved, e_cl);
+  EXPECT_DOUBLE_EQ(e_cl.lj, 0.0);
+  EXPECT_DOUBLE_EQ(e_cl.coul, 0.0);
+  for (const auto& fi : f_cl) EXPECT_DOUBLE_EQ(norm2(fi), 0.0);
+}
+
+TEST(PairForce, LennardJonesMinimumAtSigma126) {
+  // F = 0 at r = 2^(1/6) sigma.
+  NbParams p{};
+  p.rcut2 = 100.0f;
+  p.coulomb = CoulombMode::None;
+  const float sigma = 0.34f, eps = 1.0f;
+  const float c6 = 4.0f * eps * std::pow(sigma, 6.0f);
+  const float c12 = 4.0f * eps * std::pow(sigma, 12.0f);
+  const float rmin = sigma * std::pow(2.0f, 1.0f / 6.0f);
+  PairResult pr{};
+  ASSERT_TRUE(pair_force(rmin * rmin, 0.f, 0.f, c6, c12, p, pr));
+  EXPECT_NEAR(pr.fscal, 0.0f, 1e-3);
+  EXPECT_NEAR(pr.e_lj, -eps, 1e-4);
+}
+
+TEST(PairForce, MatchesNumericalGradient) {
+  NbParams p{};
+  p.rcut2 = 100.0f;
+  p.coulomb = CoulombMode::ReactionField;
+  p.coulomb_k = 138.935458f;
+  p.rf_krf = 0.5f;
+  p.rf_crf = 1.5f;
+  const float c6 = 0.0026f, c12 = 2.6e-6f;
+  const float qi = 0.4f, qj = -0.8f;
+  for (float r = 0.25f; r < 1.0f; r += 0.1f) {
+    const float h = 1e-3f;
+    PairResult lo{}, hi{}, mid{};
+    ASSERT_TRUE(pair_force((r - h) * (r - h), qi, qj, c6, c12, p, lo));
+    ASSERT_TRUE(pair_force((r + h) * (r + h), qi, qj, c6, c12, p, hi));
+    ASSERT_TRUE(pair_force(r * r, qi, qj, c6, c12, p, mid));
+    const float e_lo = lo.e_lj + lo.e_coul;
+    const float e_hi = hi.e_lj + hi.e_coul;
+    const float dedr = (e_hi - e_lo) / (2.0f * h);
+    // fscal = -dE/dr / r
+    EXPECT_NEAR(mid.fscal, -dedr / r, std::abs(dedr / r) * 5e-2f + 1e-2f)
+        << "r=" << r;
+  }
+}
+
+TEST(PairForce, CutoffIsSharp) {
+  NbParams p{};
+  p.rcut2 = 1.0f;
+  p.coulomb = CoulombMode::None;
+  PairResult pr{};
+  EXPECT_TRUE(pair_force(0.999f, 0.f, 0.f, 1.f, 1.f, p, pr));
+  EXPECT_FALSE(pair_force(1.0f, 0.f, 0.f, 1.f, 1.f, p, pr));
+  EXPECT_FALSE(pair_force(1.5f, 0.f, 0.f, 1.f, 1.f, p, pr));
+}
+
+TEST(Kernel, GhostPaddingContributesNothing) {
+  // 63 particles => one padded cluster; forces must match the brute force
+  // over the 63 real particles exactly (padding is physically absent).
+  LjFluidOptions o;
+  o.n = 63;
+  System sys = make_lj_fluid(o);
+  const NbParams p = make_nb_params(*sys.ff);
+  std::vector<Vec3d> f_ref(sys.size());
+  const NbEnergies e_ref = nb_brute_force(sys, p, f_ref);
+  NbEnergies e_cl;
+  const auto f_cl = cluster_forces(sys, true, PackageLayout::Interleaved, e_cl);
+  EXPECT_LT(test::max_force_rel_err(f_cl, f_ref), 2e-4);
+  EXPECT_NEAR(e_cl.lj, e_ref.lj, std::abs(e_ref.lj) * 1e-4 + 1e-3);
+}
+
+}  // namespace
+}  // namespace swgmx::md

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/units.hpp"
+#include "md/water.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+TEST(Box, WrapIntoBox) {
+  Box b;
+  b.len = {2.0, 3.0, 4.0};
+  const Vec3f w = b.wrap(Vec3f{-0.5f, 3.5f, 9.0f});
+  EXPECT_NEAR(w.x, 1.5f, 1e-6);
+  EXPECT_NEAR(w.y, 0.5f, 1e-6);
+  EXPECT_NEAR(w.z, 1.0f, 1e-6);
+}
+
+TEST(Box, MinImageShorterThanHalfBox) {
+  Box b;
+  b.len = {2.0, 2.0, 2.0};
+  const Vec3f d = b.min_image(Vec3f{0.1f, 0.1f, 0.1f}, Vec3f{1.9f, 1.9f, 1.9f});
+  EXPECT_NEAR(d.x, 0.2f, 1e-6);
+  EXPECT_NEAR(norm(d), std::sqrt(3.0f) * 0.2f, 1e-5);
+}
+
+TEST(Box, Dist2Symmetric) {
+  Box b;
+  b.len = {3.0, 3.0, 3.0};
+  const Vec3f p{0.2f, 0.3f, 0.4f}, q{2.8f, 2.9f, 0.1f};
+  EXPECT_NEAR(b.dist2(p, q), b.dist2(q, p), 1e-7);
+}
+
+TEST(ForceField, CombinationRules) {
+  const AtomType types[] = {{0.3, 0.5}, {0.4, 0.8}};
+  ForceField ff(types, 1.0, 1.1);
+  // c6(i,i) = 4 eps sigma^6
+  EXPECT_NEAR(ff.c6(0, 0), 4.0 * 0.5 * std::pow(0.3, 6.0), 1e-9);
+  EXPECT_NEAR(ff.c12(1, 1), 4.0 * 0.8 * std::pow(0.4, 12.0), 1e-10);
+  // Mixed: arithmetic sigma, geometric eps.
+  const double sig = 0.35, eps = std::sqrt(0.4);
+  EXPECT_NEAR(ff.c6(0, 1), 4.0 * eps * std::pow(sig, 6.0), 1e-8);
+  EXPECT_FLOAT_EQ(ff.c6(0, 1), ff.c6(1, 0));
+}
+
+TEST(ForceField, GhostTypeIsZero) {
+  const AtomType types[] = {{0.3, 0.5}};
+  ForceField ff(types, 1.0, 1.1);
+  EXPECT_EQ(ff.ghost_type(), 1);
+  EXPECT_EQ(ff.table_dim(), 2);
+  EXPECT_FLOAT_EQ(ff.c6(0, ff.ghost_type()), 0.0f);
+  EXPECT_FLOAT_EQ(ff.c12(ff.ghost_type(), 0), 0.0f);
+}
+
+TEST(ForceField, RlistMustCoverRcut) {
+  const AtomType types[] = {{0.3, 0.5}};
+  EXPECT_THROW(ForceField(types, 1.0, 0.9), Error);
+}
+
+TEST(NbParams, ReactionFieldDerivation) {
+  const AtomType types[] = {{0.3, 0.5}};
+  ForceField ff(types, 1.0, 1.1);
+  const NbParams p = make_nb_params(ff);
+  EXPECT_FLOAT_EQ(p.rcut2, 1.0f);
+  EXPECT_NEAR(p.rf_krf, 0.5, 1e-6);
+  EXPECT_NEAR(p.rf_crf, 1.5, 1e-6);
+  EXPECT_NEAR(p.coulomb_k, kCoulomb, 1e-3);
+}
+
+TEST(System, KineticEnergyAndTemperature) {
+  System sys = test::small_lj(100);
+  const double ek = sys.kinetic_energy();
+  EXPECT_GT(ek, 0.0);
+  // Generated at 120 K: the temperature estimate should be thereabouts.
+  EXPECT_NEAR(sys.temperature(), 120.0, 30.0);
+}
+
+TEST(System, RemoveComVelocity) {
+  System sys = test::small_lj(100);
+  sys.remove_com_velocity();
+  Vec3d p{};
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    p += Vec3d(sys.v[i]) * static_cast<double>(sys.mass[i]);
+  EXPECT_NEAR(norm(p), 0.0, 1e-3);
+}
+
+TEST(WaterBox, GeometryAndCharges) {
+  System sys = test::small_water(125);
+  ASSERT_EQ(sys.size(), 375u);
+  // Charge neutrality.
+  double q = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) q += sys.q[i];
+  EXPECT_NEAR(q, 0.0, 1e-4);
+  // O-H distances at the SPC/E geometry.
+  for (std::size_t m = 0; m < 125; ++m) {
+    const std::size_t o = m * 3;
+    EXPECT_NEAR(norm(sys.box.min_image(sys.x[o], sys.x[o + 1])), Spce::kDOH, 1e-4);
+    EXPECT_NEAR(norm(sys.box.min_image(sys.x[o], sys.x[o + 2])), Spce::kDOH, 1e-4);
+    EXPECT_NEAR(norm(sys.box.min_image(sys.x[o + 1], sys.x[o + 2])), Spce::kDHH,
+                1e-3);
+  }
+}
+
+TEST(WaterBox, DensityMatchesRequest) {
+  WaterBoxOptions o;
+  o.nmol = 216;
+  const System sys = make_water_box(o);
+  const double density = 216.0 / sys.box.volume();
+  EXPECT_NEAR(density, o.density_per_nm3, 0.1);
+}
+
+TEST(WaterBox, RigidHasConstraintsOnly) {
+  System sys = test::small_water(27);
+  EXPECT_EQ(sys.top.constraints.size(), 81u);
+  EXPECT_TRUE(sys.top.bonds.empty());
+  // Flexible variant swaps constraints for bonds + angles.
+  WaterBoxOptions o;
+  o.nmol = 27;
+  o.rigid = false;
+  System flex = make_water_box(o);
+  EXPECT_TRUE(flex.top.constraints.empty());
+  EXPECT_EQ(flex.top.bonds.size(), 54u);
+  EXPECT_EQ(flex.top.angles.size(), 27u);
+}
+
+TEST(WaterBox, MoleculeIdsGroupAtoms) {
+  System sys = test::small_water(10);
+  for (std::size_t m = 0; m < 10; ++m)
+    for (int k = 0; k < 3; ++k)
+      EXPECT_EQ(sys.top.mol_id[m * 3 + static_cast<std::size_t>(k)],
+                static_cast<int>(m));
+}
+
+TEST(WaterBox, DegreesOfFreedom) {
+  System sys = test::small_water(100);
+  // 3*300 atoms - 300 constraints - 3 COM
+  EXPECT_DOUBLE_EQ(sys.top.degrees_of_freedom(), 900.0 - 300.0 - 3.0);
+}
+
+TEST(LjFluid, TypesAndNoCharges) {
+  System sys = test::small_lj(64);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_EQ(sys.type[i], 0);
+    EXPECT_FLOAT_EQ(sys.q[i], 0.0f);
+    EXPECT_EQ(sys.top.mol_id[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(sys.ff->coulomb, CoulombMode::None);
+}
+
+TEST(WaterBox, DeterministicForSeed) {
+  System a = test::small_water(27, CoulombMode::ReactionField, 3);
+  System b = test::small_water(27, CoulombMode::ReactionField, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]);
+    EXPECT_EQ(a.v[i], b.v[i]);
+  }
+}
+
+}  // namespace
+}  // namespace swgmx::md

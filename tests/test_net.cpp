@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/domain.hpp"
+#include "net/transport.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::net {
+namespace {
+
+TEST(Transports, RdmaBeatsMpiAtEverySize) {
+  const MpiSimTransport mpi;
+  const RdmaSimTransport rdma;
+  for (std::size_t bytes : {64u, 1024u, 65536u, 1u << 20}) {
+    EXPECT_LT(rdma.message_seconds(bytes), mpi.message_seconds(bytes))
+        << bytes;
+  }
+}
+
+TEST(Transports, MpiCostDecomposition) {
+  MpiSimTransport::Params p;
+  const MpiSimTransport mpi(p);
+  const std::size_t n = 1 << 20;
+  const double expect = p.latency_s + n / p.wire_bw + 4.0 * n / p.copy_bw +
+                        n * p.pack_s_per_byte;
+  EXPECT_NEAR(mpi.message_seconds(n), expect, 1e-12);
+}
+
+TEST(Transports, SmallMessagesAreLatencyBound) {
+  const MpiSimTransport mpi;
+  const double t8 = mpi.message_seconds(8);
+  const double t64 = mpi.message_seconds(64);
+  EXPECT_NEAR(t8, t64, t8 * 0.05);  // latency dominates
+}
+
+TEST(Collectives, AllreduceLogScaling) {
+  const RdmaSimTransport t;
+  const double t4 = allreduce_seconds(t, 64, 4);
+  const double t16 = allreduce_seconds(t, 64, 16);
+  const double t256 = allreduce_seconds(t, 64, 256);
+  EXPECT_NEAR(t16 / t4, 2.0, 1e-9);   // log2: 4 vs 2 rounds
+  EXPECT_NEAR(t256 / t4, 4.0, 1e-9);  // 8 vs 2
+  EXPECT_DOUBLE_EQ(allreduce_seconds(t, 64, 1), 0.0);
+}
+
+TEST(Collectives, AlltoallLinearInRanks) {
+  const RdmaSimTransport t;
+  EXPECT_NEAR(alltoall_seconds(t, 128, 9) / alltoall_seconds(t, 128, 5), 2.0,
+              1e-9);
+}
+
+TEST(Loopback, FifoDelivery) {
+  LoopbackNetwork net(4, std::make_shared<RdmaSimTransport>());
+  net.send(0, 2, {1, 2, 3});
+  net.send(1, 2, {4});
+  EXPECT_TRUE(net.has_message(2));
+  EXPECT_FALSE(net.has_message(0));
+  const auto a = net.recv(2);
+  EXPECT_EQ(a, (std::vector<std::uint8_t>{1, 2, 3}));
+  const auto b = net.recv(2);
+  EXPECT_EQ(b, (std::vector<std::uint8_t>{4}));
+  EXPECT_TRUE(net.recv(2).empty());
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_GT(net.total_cost_seconds(), 0.0);
+}
+
+TEST(Loopback, RejectsBadRanks) {
+  LoopbackNetwork net(2, std::make_shared<RdmaSimTransport>());
+  EXPECT_THROW(net.send(0, 5, {1}), Error);
+}
+
+TEST(Domain, FactorizationCoversRanks) {
+  md::Box box;
+  box.len = {4, 4, 4};
+  for (int r : {1, 2, 3, 4, 8, 12, 16, 64, 512}) {
+    DomainDecomposition dd(box, r);
+    EXPECT_EQ(dd.nranks(), r);
+    const auto d = dd.dims();
+    EXPECT_EQ(d[0] * d[1] * d[2], r);
+  }
+}
+
+TEST(Domain, NearCubicFor64) {
+  md::Box box;
+  box.len = {4, 4, 4};
+  DomainDecomposition dd(box, 64);
+  EXPECT_EQ(dd.dims(), (std::array<int, 3>{4, 4, 4}));
+}
+
+TEST(Domain, RankOfPartitionsAllParticles) {
+  md::System sys = test::small_water(200);
+  DomainDecomposition dd(sys.box, 8);
+  const auto counts = assign_counts(dd, sys.x);
+  std::size_t total = 0;
+  for (auto c : counts) {
+    EXPECT_GT(c, 0u);  // water is uniform: every domain populated
+    total += c;
+  }
+  EXPECT_EQ(total, sys.size());
+}
+
+TEST(Domain, HaloFractionBounds) {
+  md::Box box;
+  box.len = {8, 8, 8};
+  DomainDecomposition dd(box, 8);  // 2x2x2, cells of 4nm
+  const double f = dd.halo_fraction(1.0);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+  // Wider halo, larger fraction.
+  EXPECT_GT(dd.halo_fraction(1.5), f);
+  // Single rank has no halo.
+  DomainDecomposition one(box, 1);
+  EXPECT_DOUBLE_EQ(one.halo_fraction(1.0), 0.0);
+}
+
+TEST(Domain, HaloNeighborsCount) {
+  md::Box box;
+  box.len = {8, 8, 8};
+  EXPECT_EQ(DomainDecomposition(box, 27).halo_neighbors(), 26);
+  EXPECT_EQ(DomainDecomposition(box, 1).halo_neighbors(), 0);
+}
+
+}  // namespace
+}  // namespace swgmx::net

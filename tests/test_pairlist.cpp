@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "md/pairlist.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::md {
+namespace {
+
+std::set<std::pair<int, int>> to_set(const ClusterPairList& list, int ncl) {
+  std::set<std::pair<int, int>> s;
+  for (int ci = 0; ci < ncl; ++ci)
+    for (auto cj : list.row(ci)) s.insert({ci, cj});
+  return s;
+}
+
+class PairListCase : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PairListCase, GridBuilderMatchesBruteForce) {
+  System sys = test::small_water(GetParam());
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  const float rlist = static_cast<float>(sys.ff->rlist());
+  ClusterPairList grid_list, brute_list;
+  build_pairlist(cs, sys.box, rlist, /*half=*/true, grid_list);
+  build_pairlist_brute(cs, sys.box, rlist, /*half=*/true, brute_list);
+  EXPECT_EQ(to_set(grid_list, cs.nclusters()), to_set(brute_list, cs.nclusters()));
+}
+
+TEST_P(PairListCase, CoversEveryParticlePairWithinRlist) {
+  System sys = test::small_water(GetParam());
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  const float rlist = static_cast<float>(sys.ff->rlist());
+  ClusterPairList list;
+  build_pairlist(cs, sys.box, rlist, /*half=*/true, list);
+  const auto pairs = to_set(list, cs.nclusters());
+
+  // Every particle pair within rlist must be covered by some cluster pair.
+  std::vector<int> cluster_of(cs.nslots());
+  for (std::size_t s = 0; s < cs.nslots(); ++s)
+    cluster_of[s] = static_cast<int>(s / kClusterSize);
+  // slot of each global particle
+  std::vector<std::size_t> slot_of(sys.size());
+  for (std::size_t s = 0; s < cs.nslots(); ++s)
+    if (cs.global_of(s) >= 0)
+      slot_of[static_cast<std::size_t>(cs.global_of(s))] = s;
+
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      if (sys.box.dist2(sys.x[i], sys.x[j]) >= rlist * rlist) continue;
+      int ci = cluster_of[slot_of[i]];
+      int cj = cluster_of[slot_of[j]];
+      if (ci > cj) std::swap(ci, cj);
+      EXPECT_TRUE(pairs.count({ci, cj}) == 1)
+          << "missing cluster pair " << ci << "," << cj;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PairListCase, ::testing::Values(16, 64, 150));
+
+TEST(PairList, HalfListHasOrderedPairs) {
+  System sys = test::small_water(64);
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  ClusterPairList list;
+  build_pairlist(cs, sys.box, 1.1f, true, list);
+  for (int ci = 0; ci < cs.nclusters(); ++ci) {
+    std::int32_t prev = -1;
+    for (auto cj : list.row(ci)) {
+      EXPECT_GE(cj, ci);
+      EXPECT_GT(cj, prev);  // sorted, no duplicates
+      prev = cj;
+    }
+  }
+}
+
+TEST(PairList, SelfPairAlwaysPresent) {
+  System sys = test::small_water(64);
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  ClusterPairList list;
+  build_pairlist(cs, sys.box, 1.1f, true, list);
+  for (int ci = 0; ci < cs.nclusters(); ++ci) {
+    const auto row = list.row(ci);
+    EXPECT_NE(std::find(row.begin(), row.end(), ci), row.end());
+  }
+}
+
+TEST(PairList, FullListIsSymmetric) {
+  System sys = test::small_water(48);
+  ClusterSystem cs(sys, PackageLayout::Transposed);
+  ClusterPairList list;
+  build_pairlist(cs, sys.box, 1.1f, /*half=*/false, list);
+  const auto pairs = to_set(list, cs.nclusters());
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(pairs.count({b, a}) == 1) << a << "," << b;
+  }
+}
+
+TEST(PairList, FullListDoublesHalfList) {
+  System sys = test::small_water(48);
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  ClusterPairList half, full;
+  build_pairlist(cs, sys.box, 1.1f, true, half);
+  build_pairlist(cs, sys.box, 1.1f, false, full);
+  const auto ncl = static_cast<std::size_t>(cs.nclusters());
+  // full = 2*half - ncl self pairs.
+  EXPECT_EQ(full.cluster_pairs(), 2 * half.cluster_pairs() - ncl);
+}
+
+TEST(PairList, StatsAreConsistent) {
+  System sys = test::small_water(64);
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  ClusterPairList list;
+  const PairListStats st = build_pairlist(cs, sys.box, 1.1f, true, list);
+  EXPECT_EQ(st.pairs_kept, list.cluster_pairs());
+  EXPECT_GE(st.candidates_tested, st.pairs_kept);
+}
+
+TEST(PairList, LargerRlistNeverShrinksList) {
+  System sys = test::small_water(64);
+  ClusterSystem cs(sys, PackageLayout::Interleaved);
+  ClusterPairList a, b;
+  build_pairlist(cs, sys.box, 1.0f, true, a);
+  build_pairlist(cs, sys.box, 1.3f, true, b);
+  EXPECT_GE(b.cluster_pairs(), a.cluster_pairs());
+}
+
+}  // namespace
+}  // namespace swgmx::md

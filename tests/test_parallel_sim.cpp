@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "net/parallel_sim.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::net {
+namespace {
+
+struct Rig {
+  sw::CoreGroup cg;
+  std::unique_ptr<md::ShortRangeBackend> sr;
+  std::unique_ptr<md::PairListBackend> pl;
+  Rig() {
+    sr = core::make_short_range(core::Strategy::Mark, cg);
+    pl = std::make_unique<core::CpePairList>(cg);
+  }
+};
+
+ParallelOptions opts(int ranks, bool rdma = false) {
+  ParallelOptions o;
+  o.nranks = ranks;
+  o.rdma = rdma;
+  o.sim.nstenergy = 5;
+  return o;
+}
+
+TEST(ParallelSim, PhysicsIsRankCountInvariant) {
+  auto run_with = [](int ranks) {
+    Rig rig;
+    ParallelSim sim(swgmx::test::small_water(60), opts(ranks), *rig.sr, *rig.pl);
+    sim.run(10);
+    return sim;
+  };
+  const auto a = run_with(1).energy_series();
+  const auto b = run_with(8).energy_series();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].e_lj, b[i].e_lj);
+    EXPECT_DOUBLE_EQ(a[i].e_kin, b[i].e_kin);
+  }
+}
+
+TEST(ParallelSim, CommPhasesOnlyWithMultipleRanks) {
+  Rig rig1, rig8;
+  ParallelSim one(swgmx::test::small_water(60), opts(1), *rig1.sr, *rig1.pl);
+  one.run(5);
+  EXPECT_DOUBLE_EQ(one.timers().get(md::phase::kCommEnergies), 0.0);
+  EXPECT_DOUBLE_EQ(one.timers().get(md::phase::kWaitCommF), 0.0);
+
+  ParallelSim eight(swgmx::test::small_water(60), opts(8), *rig8.sr, *rig8.pl);
+  eight.run(5);
+  EXPECT_GT(eight.timers().get(md::phase::kCommEnergies), 0.0);
+  EXPECT_GT(eight.timers().get(md::phase::kWaitCommF), 0.0);
+}
+
+TEST(ParallelSim, ForceTimeShrinksWithRanks) {
+  auto force_time = [](int ranks) {
+    Rig rig;
+    ParallelSim sim(swgmx::test::small_water(150), opts(ranks), *rig.sr, *rig.pl);
+    sim.run(4);
+    return sim.timers().get(md::phase::kForce);
+  };
+  const double t1 = force_time(1);
+  const double t8 = force_time(8);
+  EXPECT_LT(t8, t1);
+  EXPECT_GT(t8, t1 / 16.0);  // not superlinear
+}
+
+TEST(ParallelSim, RdmaReducesCommTime) {
+  auto comm_time = [](bool rdma) {
+    Rig rig;
+    ParallelSim sim(swgmx::test::small_water(100), opts(8, rdma), *rig.sr,
+                    *rig.pl);
+    sim.run(5);
+    return sim.timers().get(md::phase::kCommEnergies) +
+           sim.timers().get(md::phase::kWaitCommF);
+  };
+  EXPECT_LT(comm_time(true), comm_time(false));
+}
+
+TEST(ParallelSim, CommEnergiesGrowsWithRanks) {
+  auto ce = [](int ranks) {
+    Rig rig;
+    ParallelSim sim(swgmx::test::small_water(100), opts(ranks), *rig.sr,
+                    *rig.pl);
+    sim.run(5);
+    return sim.timers().get(md::phase::kCommEnergies);
+  };
+  EXPECT_LT(ce(4), ce(64));
+}
+
+TEST(ParallelSim, LoadImbalanceTracked) {
+  Rig rig;
+  ParallelSim sim(swgmx::test::small_water(120), opts(8), *rig.sr, *rig.pl);
+  sim.run(1);
+  EXPECT_GE(sim.max_pair_share(), 1.0 / 8.0);
+  EXPECT_LE(sim.max_pair_share(), 1.0);
+}
+
+TEST(ParallelSim, DomainDecompChargedOnRebuild) {
+  Rig rig;
+  auto o = opts(8);
+  o.sim.nstlist = 5;
+  ParallelSim sim(swgmx::test::small_water(60), o, *rig.sr, *rig.pl);
+  sim.run(11);
+  EXPECT_GT(sim.timers().get(md::phase::kDomainDecomp), 0.0);
+}
+
+}  // namespace
+}  // namespace swgmx::net

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/units.hpp"
+#include "pme/ewald.hpp"
+#include "pme/pme.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::pme {
+namespace {
+
+TEST(Spline4, PartitionOfUnity) {
+  for (double w = 0.0; w < 1.0; w += 0.05) {
+    double w4[4], d4[4];
+    spline4(w, w4, d4);
+    double sum = 0.0, dsum = 0.0;
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_GE(w4[t], 0.0);
+      sum += w4[t];
+      dsum += d4[t];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "w=" << w;
+    EXPECT_NEAR(dsum, 0.0, 1e-12) << "w=" << w;
+  }
+}
+
+TEST(Spline4, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (double w = 0.05; w < 1.0; w += 0.1) {
+    double lo[4], hi[4], d4[4], dd[4];
+    spline4(w - h, lo, dd);
+    spline4(w + h, hi, dd);
+    double w4[4];
+    spline4(w, w4, d4);
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_NEAR(d4[t], (hi[t] - lo[t]) / (2.0 * h), 1e-5);
+    }
+  }
+}
+
+TEST(Ewald, SelfEnergyFormula) {
+  md::System sys = test::small_water(4);
+  const double beta = 3.0;
+  double q2 = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    q2 += static_cast<double>(sys.q[i]) * sys.q[i];
+  EXPECT_NEAR(ewald_self_energy(sys, beta),
+              -md::kCoulomb * beta / std::sqrt(M_PI) * q2, 1e-6);
+}
+
+TEST(Ewald, RecipForcesMatchNumericalGradient) {
+  md::System sys = test::small_water(4, md::CoulombMode::EwaldShort, 17);
+  const double beta = 2.5;
+  const int kmax = 6;
+  std::vector<Vec3d> f(sys.size());
+  ewald_recip(sys, beta, kmax, f);
+
+  // Numerical gradient on two probe particles.
+  const double h = 1e-4;
+  for (std::size_t i : {std::size_t{0}, std::size_t{5}}) {
+    const float orig = sys.x[i].x;
+    std::vector<Vec3d> tmp(sys.size());
+    sys.x[i].x = orig + static_cast<float>(h);
+    const double e_hi = ewald_recip(sys, beta, kmax, tmp);
+    sys.x[i].x = orig - static_cast<float>(h);
+    const double e_lo = ewald_recip(sys, beta, kmax, tmp);
+    sys.x[i].x = orig;
+    const double fnum = -(e_hi - e_lo) / (2.0 * h);
+    EXPECT_NEAR(f[i].x, fnum, std::abs(fnum) * 0.02 + 0.5) << "i=" << i;
+  }
+}
+
+TEST(Ewald, ExcludedCorrectionGradient) {
+  md::System sys = test::small_water(2, md::CoulombMode::EwaldShort, 3);
+  const double beta = 3.0;
+  std::vector<Vec3d> f(sys.size());
+  excluded_correction(sys, beta, f);
+  const double h = 1e-4;
+  std::vector<Vec3d> tmp(sys.size());
+  const float orig = sys.x[1].y;  // an H atom
+  sys.x[1].y = orig + static_cast<float>(h);
+  const double e_hi = excluded_correction(sys, beta, tmp);
+  sys.x[1].y = orig - static_cast<float>(h);
+  const double e_lo = excluded_correction(sys, beta, tmp);
+  sys.x[1].y = orig;
+  const double fnum = -(e_hi - e_lo) / (2.0 * h);
+  EXPECT_NEAR(f[1].y, fnum, std::abs(fnum) * 0.02 + 0.1);
+}
+
+class PmeVsEwald : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PmeVsEwald, RecipEnergyAndForcesAgree) {
+  md::System sys = test::small_water(GetParam(), md::CoulombMode::EwaldShort, 29);
+  const double beta = 3.0;
+
+  std::vector<Vec3d> f_ref(sys.size());
+  const double e_ref = ewald_recip(sys, beta, 9, f_ref);
+
+  PmeOptions opt;
+  opt.grid_x = opt.grid_y = opt.grid_z = 32;
+  opt.beta = beta;
+  PmeSolver solver(opt);
+  std::vector<Vec3d> f_pme(sys.size());
+  const double e_pme = solver.recip(sys, f_pme);
+
+  EXPECT_NEAR(e_pme, e_ref, std::abs(e_ref) * 0.01 + 0.5);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    worst = std::max(worst, norm(f_pme[i] - f_ref[i]));
+  }
+  // Mesh error: small relative to typical recip force magnitudes.
+  double typical = 0.0;
+  for (const auto& fr : f_ref) typical = std::max(typical, norm(fr));
+  EXPECT_LT(worst, typical * 0.05 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PmeVsEwald, ::testing::Values(4, 16));
+
+TEST(Pme, FinerGridConverges) {
+  md::System sys = test::small_water(8, md::CoulombMode::EwaldShort, 31);
+  const double beta = 3.0;
+  std::vector<Vec3d> f_ref(sys.size());
+  const double e_ref = ewald_recip(sys, beta, 10, f_ref);
+
+  double prev_err = 1e300;
+  for (std::size_t grid : {16u, 32u, 64u}) {
+    PmeOptions opt;
+    opt.grid_x = opt.grid_y = opt.grid_z = grid;
+    opt.beta = beta;
+    PmeSolver solver(opt);
+    std::vector<Vec3d> f(sys.size());
+    const double e = solver.recip(sys, f);
+    const double err = std::abs(e - e_ref);
+    EXPECT_LE(err, prev_err * 1.5) << "grid " << grid;  // no divergence
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, std::abs(e_ref) * 0.002 + 0.05);
+}
+
+TEST(Pme, ComputeIsChargeNeutralForceSum) {
+  md::System sys = test::small_water(16, md::CoulombMode::EwaldShort, 37);
+  PmeSolver solver(suggest_grid(sys.box, 3.0));
+  sys.clear_forces();
+  double e = 0.0;
+  const double secs = solver.compute(sys, e);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_NE(e, 0.0);
+  Vec3d net{};
+  double mag = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    net += Vec3d(sys.f[i]);
+    mag += norm(Vec3d(sys.f[i]));
+  }
+  // Mesh discretization breaks exact translation invariance; the net force
+  // must still be a tiny fraction of the total force magnitude.
+  EXPECT_LT(norm(net), mag * 1e-3);
+}
+
+TEST(Pme, SuggestGridPowersOfTwo) {
+  md::Box box;
+  box.len = {3.5, 3.5, 3.5};
+  const PmeOptions o = suggest_grid(box, 3.0, 0.125);
+  EXPECT_TRUE(fft::is_pow2(o.grid_x));
+  EXPECT_LE(box.len.x / static_cast<double>(o.grid_x), 0.125);
+}
+
+TEST(Pme, TotalEwaldDecompositionIsBetaRobust) {
+  // The physical total E_real + E_recip + E_self + E_excl must be (nearly)
+  // independent of the splitting parameter beta.
+  // The box must exceed twice the cutoff or the real-space sum is badly
+  // truncated; a 0.8 nm cutoff with high beta keeps truncation negligible
+  // (erfc(beta*rcut) < 1e-5) in a 150-molecule (L ~ 1.65 nm) box.
+  md::WaterBoxOptions wo;
+  wo.nmol = 150;
+  wo.coulomb = md::CoulombMode::EwaldShort;
+  wo.rcut = 0.8;
+  wo.rlist = 0.9;
+  wo.seed = 41;
+  md::System sys = md::make_water_box(wo);
+  auto total_for_beta = [&](double beta) {
+    // real-space part via the brute-force kernel with EwaldShort
+    auto ff = std::make_shared<md::ForceField>(*sys.ff);
+    ff->coulomb = md::CoulombMode::EwaldShort;
+    ff->ewald_beta = beta;
+    sys.ff = ff;
+    const md::NbParams p = md::make_nb_params(*sys.ff);
+    std::vector<Vec3d> f(sys.size());
+    const md::NbEnergies e_sr = md::nb_brute_force(sys, p, f);
+    std::vector<Vec3d> f2(sys.size());
+    const double e_recip = ewald_recip(sys, beta, 10, f2);
+    const double e_self = ewald_self_energy(sys, beta);
+    std::vector<Vec3d> f3(sys.size());
+    const double e_excl = excluded_correction(sys, beta, f3);
+    return e_sr.coul + e_recip + e_self + e_excl;
+  };
+  const double e_a = total_for_beta(4.2);
+  const double e_b = total_for_beta(4.6);
+  EXPECT_NEAR(e_a, e_b, std::abs(e_a) * 0.005 + 2.0);
+}
+
+}  // namespace
+}  // namespace swgmx::pme

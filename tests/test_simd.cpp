@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "simd/floatv4.hpp"
+
+namespace swgmx::simd {
+namespace {
+
+TEST(Floatv4, ConstructLoadStore) {
+  const floatv4 a(1.f, 2.f, 3.f, 4.f);
+  EXPECT_FLOAT_EQ(a[0], 1.f);
+  EXPECT_FLOAT_EQ(a[3], 4.f);
+  float buf[4];
+  a.store(buf);
+  EXPECT_FLOAT_EQ(buf[2], 3.f);
+  const floatv4 b = floatv4::load(buf);
+  EXPECT_FLOAT_EQ(b[1], 2.f);
+  const floatv4 c(7.f);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 7.f);
+}
+
+TEST(Floatv4, Arithmetic) {
+  const floatv4 a(1.f, 2.f, 3.f, 4.f), b(4.f, 3.f, 2.f, 1.f);
+  const floatv4 s = a + b;
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(s[i], 5.f);
+  const floatv4 p = a * b;
+  EXPECT_FLOAT_EQ(p[0], 4.f);
+  EXPECT_FLOAT_EQ(p[3], 4.f);
+  const floatv4 d = a - b;
+  EXPECT_FLOAT_EQ(d[0], -3.f);
+  const floatv4 q = a / b;
+  EXPECT_FLOAT_EQ(q[1], 2.f / 3.f);
+  EXPECT_FLOAT_EQ(hsum(a), 10.f);
+}
+
+TEST(Floatv4, MaddAndRsqrt) {
+  const floatv4 a(2.f), b(3.f), c(1.f, 2.f, 3.f, 4.f);
+  const floatv4 m = madd(a, b, c);
+  EXPECT_FLOAT_EQ(m[0], 7.f);
+  EXPECT_FLOAT_EQ(m[3], 10.f);
+  const floatv4 r = rsqrt(floatv4(4.f, 16.f, 64.f, 0.25f));
+  EXPECT_FLOAT_EQ(r[0], 0.5f);
+  EXPECT_FLOAT_EQ(r[3], 2.f);
+}
+
+TEST(Floatv4, CompareAndSelect) {
+  const floatv4 a(1.f, 5.f, 2.f, 8.f), b(3.f);
+  const floatv4 m = cmp_lt(a, b);
+  EXPECT_FLOAT_EQ(m[0], 1.f);
+  EXPECT_FLOAT_EQ(m[1], 0.f);
+  const floatv4 s = select(m, floatv4(10.f), floatv4(20.f));
+  EXPECT_FLOAT_EQ(s[0], 10.f);
+  EXPECT_FLOAT_EQ(s[1], 20.f);
+}
+
+TEST(Vshuff, PaperSemantics) {
+  const floatv4 a(1.f, 2.f, 3.f, 4.f), b(5.f, 6.f, 7.f, 8.f);
+  // First two lanes from a, last two from b.
+  const floatv4 r = vshuff<0, 2, 1, 3>(a, b);
+  EXPECT_FLOAT_EQ(r[0], 1.f);
+  EXPECT_FLOAT_EQ(r[1], 3.f);
+  EXPECT_FLOAT_EQ(r[2], 6.f);
+  EXPECT_FLOAT_EQ(r[3], 8.f);
+}
+
+TEST(Transpose, Figure7Exact) {
+  // The exact example of Fig 7: SoA x/y/z -> interleaved xyz.
+  const floatv4 x(1.f, 2.f, 3.f, 4.f);    // X1..X4
+  const floatv4 y(10.f, 20.f, 30.f, 40.f);
+  const floatv4 z(100.f, 200.f, 300.f, 400.f);
+  const Xyz4 t = transpose_soa_to_xyz(x, y, z);
+  const float expect[12] = {1, 10, 100, 2, 20, 200, 3, 30, 300, 4, 40, 400};
+  float got[12];
+  t.a.store(got);
+  t.b.store(got + 4);
+  t.c.store(got + 8);
+  for (int i = 0; i < 12; ++i) EXPECT_FLOAT_EQ(got[i], expect[i]) << "i=" << i;
+}
+
+class TransposeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeRoundTrip, InverseRecoversSoA) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  float v[12];
+  for (auto& f : v) f = static_cast<float>(rng.uniform(-100.0, 100.0));
+  const floatv4 x(v[0], v[1], v[2], v[3]);
+  const floatv4 y(v[4], v[5], v[6], v[7]);
+  const floatv4 z(v[8], v[9], v[10], v[11]);
+  const Xyz4 fwd = transpose_soa_to_xyz(x, y, z);
+  const Xyz4 back = transpose_xyz_to_soa(fwd.a, fwd.b, fwd.c);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(back.a[i], x[i]);
+    EXPECT_FLOAT_EQ(back.b[i], y[i]);
+    EXPECT_FLOAT_EQ(back.c[i], z[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TransposeRoundTrip,
+                         ::testing::Range(1, 21));
+
+TEST(Transpose, AddsDirectlyToInterleavedArray) {
+  // The use case of §3.4: the transposed force vectors can be added to the
+  // xyz-interleaved array without scalar decomposition.
+  float forces[12] = {};
+  const floatv4 fx(1.f, 2.f, 3.f, 4.f), fy(5.f, 6.f, 7.f, 8.f),
+      fz(9.f, 10.f, 11.f, 12.f);
+  const Xyz4 t = transpose_soa_to_xyz(fx, fy, fz);
+  (floatv4::load(forces) + t.a).store(forces);
+  (floatv4::load(forces + 4) + t.b).store(forces + 4);
+  (floatv4::load(forces + 8) + t.c).store(forces + 8);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_FLOAT_EQ(forces[p * 3 + 0], fx[p]);
+    EXPECT_FLOAT_EQ(forces[p * 3 + 1], fy[p]);
+    EXPECT_FLOAT_EQ(forces[p * 3 + 2], fz[p]);
+  }
+}
+
+TEST(Transpose, CostConstants) {
+  EXPECT_EQ(kTransposeShuffles, 6);
+  EXPECT_EQ(kInverseTransposeShuffles, 5);
+}
+
+}  // namespace
+}  // namespace swgmx::simd

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+#include "core/sw_short_range.hpp"
+#include "md/kernel_ref.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::core {
+namespace {
+
+struct RunResult {
+  std::vector<Vec3d> forces;  ///< global order
+  md::NbEnergies e;
+  double sim_seconds;
+};
+
+RunResult run_backend(md::ShortRangeBackend& be, const md::System& sys) {
+  md::ClusterSystem cs(sys, be.wants_layout());
+  md::ClusterPairList list;
+  build_pairlist(cs, sys.box, static_cast<float>(sys.ff->rlist()),
+                 be.wants_half_list(), list);
+  AlignedVector<Vec3f> f(cs.nslots(), Vec3f{});
+  const md::NbParams p = make_nb_params(*sys.ff);
+  RunResult r;
+  r.sim_seconds = be.compute(cs, sys.box, list, p, f, r.e);
+  r.forces = test::slot_to_global(cs, f, sys.size());
+  return r;
+}
+
+RunResult run_reference(const md::System& sys) {
+  md::ClusterSystem cs(sys, md::PackageLayout::Interleaved);
+  md::ClusterPairList list;
+  build_pairlist(cs, sys.box, static_cast<float>(sys.ff->rlist()), true, list);
+  AlignedVector<Vec3f> f(cs.nslots(), Vec3f{});
+  const md::NbParams p = make_nb_params(*sys.ff);
+  RunResult r;
+  nb_kernel_ref(cs, sys.box, list, p, f, r.e);
+  r.forces = test::slot_to_global(cs, f, sys.size());
+  r.sim_seconds = 0.0;
+  return r;
+}
+
+struct Case {
+  const char* name;
+  Strategy strategy;
+  bool water;
+};
+
+class StrategyEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StrategyEquivalence, MatchesReferenceKernel) {
+  const auto& c = GetParam();
+  md::System sys =
+      c.water ? test::small_water(80) : test::small_lj(320);
+  sw::CoreGroup cg;
+  auto be = make_short_range(c.strategy, cg);
+  const RunResult got = run_backend(*be, sys);
+  const RunResult ref = run_reference(sys);
+
+  EXPECT_LT(test::max_force_rel_err(got.forces, ref.forces, 5.0), 5e-4)
+      << be->name();
+  EXPECT_NEAR(got.e.lj, ref.e.lj, std::abs(ref.e.lj) * 2e-4 + 1e-2);
+  EXPECT_NEAR(got.e.coul, ref.e.coul, std::abs(ref.e.coul) * 2e-4 + 1e-2);
+  EXPECT_GT(got.sim_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, StrategyEquivalence,
+    ::testing::Values(Case{"gld_water", Strategy::Gld, true},
+                      Case{"pkg_water", Strategy::Pkg, true},
+                      Case{"cache_water", Strategy::Cache, true},
+                      Case{"vec_water", Strategy::Vec, true},
+                      Case{"mark_water", Strategy::Mark, true},
+                      Case{"rca_water", Strategy::Rca, true},
+                      Case{"collect_water", Strategy::MpeCollect, true},
+                      Case{"pkg_lj", Strategy::Pkg, false},
+                      Case{"mark_lj", Strategy::Mark, false},
+                      Case{"rca_lj", Strategy::Rca, false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(StrategyLadder, SpeedupOrderingHolds) {
+  // The Fig 8 ladder must be monotone: Gld > Pkg > Cache > Vec > Mark in
+  // time. Needs a realistic working set (cold caches dominate tiny systems).
+  md::System sys = test::small_water(1500);
+  sw::CoreGroup cg;
+  double t_prev = 1e300;
+  for (Strategy s : {Strategy::Gld, Strategy::Pkg, Strategy::Cache,
+                     Strategy::Vec, Strategy::Mark}) {
+    auto be = make_short_range(s, cg);
+    const RunResult r = run_backend(*be, sys);
+    EXPECT_LT(r.sim_seconds, t_prev) << strategy_name(s);
+    t_prev = r.sim_seconds;
+  }
+}
+
+TEST(StrategyLadder, MarkBeatsOtherWriteConflictStrategies) {
+  // Fig 9: MARK beats RMA(=Vec), RCA and MPE-collect.
+  md::System sys = test::small_water(1500);
+  sw::CoreGroup cg;
+  auto mark = make_short_range(Strategy::Mark, cg);
+  const double t_mark = run_backend(*mark, sys).sim_seconds;
+  for (Strategy s : {Strategy::Vec, Strategy::Rca, Strategy::MpeCollect}) {
+    auto be = make_short_range(s, cg);
+    EXPECT_GT(run_backend(*be, sys).sim_seconds, t_mark) << strategy_name(s);
+  }
+}
+
+TEST(SwShortRange, CacheMissRateBelowPaperBound) {
+  // §4.2: "the cache-miss rate in both write cache and read cache are under
+  // 15%".
+  md::System sys = test::small_water(400);
+  sw::CoreGroup cg;
+  SwShortRange be(cg, {.read_cache = true, .vectorized = true, .marks = true},
+                  {}, "Mark");
+  run_backend(be, sys);
+  const auto& pc = be.last().force.total;
+  EXPECT_GT(pc.read_hits + pc.read_misses, 0u);
+  EXPECT_LT(pc.read_miss_rate(), 0.15);
+  EXPECT_LT(pc.write_miss_rate(), 0.15);
+}
+
+TEST(SwShortRange, MarkSkipsInit) {
+  md::System sys = test::small_water(1000);
+  sw::CoreGroup cg;
+  SwShortRange rma(cg, {.read_cache = true, .vectorized = true, .marks = false},
+                   {}, "Vec");
+  SwShortRange mark(cg, {.read_cache = true, .vectorized = true, .marks = true},
+                    {}, "Mark");
+  run_backend(rma, sys);
+  run_backend(mark, sys);
+  EXPECT_GT(rma.last().init_s, 0.0);
+  EXPECT_DOUBLE_EQ(mark.last().init_s, 0.0);
+  // Mark reduction only touches marked lines: cheaper than the full one.
+  EXPECT_LT(mark.last().reduce_s, rma.last().reduce_s);
+}
+
+TEST(SwShortRange, ReductionSmallFractionWithMarks) {
+  // §4.3: "the reduction time is only about 1.2% of the calculation time".
+  md::System sys = test::small_water(400);
+  sw::CoreGroup cg;
+  SwShortRange mark(cg, {.read_cache = true, .vectorized = true, .marks = true},
+                    {}, "Mark");
+  run_backend(mark, sys);
+  EXPECT_LT(mark.last().reduce_s, mark.last().force_s * 0.25);
+}
+
+TEST(SwShortRange, RepeatedCallsAreConsistent) {
+  md::System sys = test::small_water(60);
+  sw::CoreGroup cg;
+  auto be = make_short_range(Strategy::Mark, cg);
+  const RunResult a = run_backend(*be, sys);
+  const RunResult b = run_backend(*be, sys);
+  for (std::size_t i = 0; i < a.forces.size(); ++i) {
+    EXPECT_EQ(a.forces[i], b.forces[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.e.lj, b.e.lj);
+}
+
+TEST(Strategies, Names) {
+  EXPECT_STREQ(strategy_name(Strategy::Ori), "Ori");
+  EXPECT_STREQ(strategy_name(Strategy::Gld), "Gld");
+  EXPECT_STREQ(strategy_name(Strategy::Mark), "Mark");
+  sw::CoreGroup cg;
+  EXPECT_EQ(make_short_range(Strategy::Rca, cg)->name(), "RCA");
+  EXPECT_EQ(make_short_range(Strategy::Cache, cg)->wants_layout(),
+            md::PackageLayout::Interleaved);
+  EXPECT_EQ(make_short_range(Strategy::Vec, cg)->wants_layout(),
+            md::PackageLayout::Transposed);
+  EXPECT_FALSE(make_short_range(Strategy::Rca, cg)->wants_half_list());
+}
+
+TEST(Ori, MpeBackendMatchesReferenceExactly) {
+  md::System sys = test::small_water(60);
+  sw::CoreGroup cg;
+  auto be = make_short_range(Strategy::Ori, cg);
+  const RunResult got = run_backend(*be, sys);
+  const RunResult ref = run_reference(sys);
+  for (std::size_t i = 0; i < got.forces.size(); ++i) {
+    EXPECT_EQ(got.forces[i], ref.forces[i]);
+  }
+  EXPECT_DOUBLE_EQ(got.e.lj, ref.e.lj);
+}
+
+}  // namespace
+}  // namespace swgmx::core

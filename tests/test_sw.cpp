@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sw/core_group.hpp"
+
+namespace swgmx::sw {
+namespace {
+
+TEST(SwConfig, DmaCurveHitsTable2Points) {
+  const SwConfig cfg;
+  // The measured points of Table 2 must be reproduced exactly.
+  EXPECT_NEAR(cfg.dma_bandwidth(8) / 1e9, 0.99, 1e-9);
+  EXPECT_NEAR(cfg.dma_bandwidth(128) / 1e9, 15.77, 1e-9);
+  EXPECT_NEAR(cfg.dma_bandwidth(256) / 1e9, 28.88, 1e-9);
+  EXPECT_NEAR(cfg.dma_bandwidth(512) / 1e9, 28.98, 1e-9);
+  EXPECT_NEAR(cfg.dma_bandwidth(2048) / 1e9, 30.48, 1e-9);
+}
+
+TEST(SwConfig, DmaCurveInterpolatesAndClamps) {
+  const SwConfig cfg;
+  const double bw96 = cfg.dma_bandwidth(96) / 1e9;
+  EXPECT_GT(bw96, 0.99);
+  EXPECT_LT(bw96, 15.77);
+  // Clamped outside the measured range.
+  EXPECT_NEAR(cfg.dma_bandwidth(4) / 1e9, 0.99, 1e-9);
+  EXPECT_NEAR(cfg.dma_bandwidth(1 << 20) / 1e9, 30.48, 1e-9);
+}
+
+TEST(SwConfig, DmaCyclesMonotonicInBytes) {
+  const SwConfig cfg;
+  double prev = 0.0;
+  for (std::size_t b = 8; b <= 4096; b *= 2) {
+    const double c = cfg.dma_cycles(b);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(SwConfig, ZeroByteDmaRejected) {
+  const SwConfig cfg;
+  EXPECT_THROW((void)cfg.dma_bandwidth(0), Error);
+}
+
+TEST(LdmArena, AllocatesWithinBudget) {
+  LdmArena ldm(64 * 1024);
+  auto a = ldm.allocate<float>(1024);
+  EXPECT_EQ(a.size(), 1024u);
+  EXPECT_EQ(ldm.used(), 4096u);
+  auto b = ldm.allocate<char>(3);   // rounded to 16
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(ldm.used(), 4096u + 16u);
+}
+
+TEST(LdmArena, OverflowThrows) {
+  LdmArena ldm(1024);
+  (void)ldm.allocate<char>(1000);
+  EXPECT_THROW((void)ldm.allocate<char>(100), Error);
+}
+
+TEST(LdmArena, ResetReclaims) {
+  LdmArena ldm(1024);
+  (void)ldm.allocate<char>(1000);
+  ldm.reset();
+  EXPECT_EQ(ldm.used(), 0u);
+  EXPECT_NO_THROW((void)ldm.allocate<char>(1000));
+}
+
+TEST(Dma, CopiesAndCharges) {
+  const SwConfig cfg;
+  const DmaEngine dma(cfg);
+  PerfCounters pc;
+  float src[64], dst[64] = {};
+  for (int i = 0; i < 64; ++i) src[i] = static_cast<float>(i);
+  dma.get(dst, src, sizeof(src), pc);
+  EXPECT_FLOAT_EQ(dst[63], 63.0f);
+  EXPECT_EQ(pc.dma_transfers, 1u);
+  EXPECT_EQ(pc.dma_bytes, sizeof(src));
+  EXPECT_NEAR(pc.dma_cycles, cfg.dma_cycles(sizeof(src)), 1e-9);
+}
+
+TEST(Cpe, GldChargesLatency) {
+  const SwConfig cfg;
+  LdmArena ldm(cfg.ldm_bytes);
+  CpeContext ctx(5, cfg, ldm);
+  const double v = 3.5;
+  EXPECT_DOUBLE_EQ(ctx.gld(v), 3.5);
+  EXPECT_EQ(ctx.perf().gld_count, 1u);
+  EXPECT_DOUBLE_EQ(ctx.perf().gld_cycles, cfg.gld_latency_cycles);
+  double sink = 0.0;
+  ctx.gst(sink, 7.0);
+  EXPECT_DOUBLE_EQ(sink, 7.0);
+  EXPECT_EQ(ctx.perf().gst_count, 1u);
+}
+
+TEST(Cpe, MeshCoordinates) {
+  const SwConfig cfg;
+  LdmArena ldm(cfg.ldm_bytes);
+  CpeContext ctx(19, cfg, ldm);
+  EXPECT_EQ(ctx.row(), 2);
+  EXPECT_EQ(ctx.col(), 3);
+}
+
+TEST(CoreGroup, RunsAllCpes) {
+  CoreGroup cg;
+  std::vector<int> visited;
+  const auto st = cg.run([&](CpeContext& ctx) {
+    visited.push_back(ctx.id());
+    ctx.charge_flops(100.0);
+  });
+  EXPECT_EQ(visited.size(), 64u);
+  EXPECT_EQ(visited.front(), 0);
+  EXPECT_EQ(visited.back(), 63);
+  EXPECT_NEAR(st.max_cycles, 100.0, 1e-9);
+  EXPECT_NEAR(st.total.compute_cycles, 6400.0, 1e-9);
+  EXPECT_NEAR(st.sim_seconds, 100.0 / cg.config().freq_hz, 1e-18);
+}
+
+TEST(CoreGroup, SimTimeIsCriticalPath) {
+  CoreGroup cg;
+  const auto st = cg.run([&](CpeContext& ctx) {
+    ctx.charge_flops(ctx.id() == 13 ? 1000.0 : 10.0);
+  });
+  EXPECT_NEAR(st.max_cycles, 1000.0, 1e-9);
+  EXPECT_NEAR(st.min_cycles, 10.0, 1e-9);
+  EXPECT_GT(st.imbalance(cg.config().cpe_count), 20.0);
+}
+
+TEST(CoreGroup, LdmResetBetweenKernels) {
+  CoreGroup cg;
+  cg.run([&](CpeContext& ctx) { (void)ctx.ldm().allocate<char>(60000); });
+  // Would throw if arenas were not reset.
+  EXPECT_NO_THROW(
+      cg.run([&](CpeContext& ctx) { (void)ctx.ldm().allocate<char>(60000); }));
+}
+
+TEST(CoreGroup, MpeSecondsModel) {
+  CoreGroup cg;
+  const auto& cfg = cg.config();
+  const double s = cg.mpe_seconds(1000.0, 100.0);
+  const double expect =
+      (1000.0 * cfg.mpe_op_penalty +
+       100.0 * cfg.mpe_miss_rate * cfg.mpe_miss_latency_cycles) /
+      cfg.freq_hz;
+  EXPECT_NEAR(s, expect, 1e-18);
+}
+
+TEST(CoreGroup, LifetimeCountersAccumulate) {
+  CoreGroup cg;
+  cg.run([](CpeContext& ctx) { ctx.charge_flops(1.0); });
+  cg.run([](CpeContext& ctx) { ctx.charge_flops(1.0); });
+  EXPECT_NEAR(cg.lifetime().compute_cycles, 128.0, 1e-9);
+  cg.reset_lifetime();
+  EXPECT_DOUBLE_EQ(cg.lifetime().compute_cycles, 0.0);
+}
+
+TEST(PhaseTimers, AccumulateAndTotal) {
+  PhaseTimers t;
+  t.add("Force", 1.0);
+  t.add("Force", 0.5);
+  t.add("Update", 0.25);
+  EXPECT_DOUBLE_EQ(t.get("Force"), 1.5);
+  EXPECT_DOUBLE_EQ(t.total(), 1.75);
+  PhaseTimers u;
+  u.add("Force", 1.0);
+  t += u;
+  EXPECT_DOUBLE_EQ(t.get("Force"), 2.5);
+}
+
+TEST(PerfCounters, MissRates) {
+  PerfCounters pc;
+  pc.read_hits = 90;
+  pc.read_misses = 10;
+  pc.write_hits = 30;
+  pc.write_misses = 70;
+  EXPECT_NEAR(pc.read_miss_rate(), 0.10, 1e-12);
+  EXPECT_NEAR(pc.write_miss_rate(), 0.70, 1e-12);
+  EXPECT_NEAR(pc.cache_miss_rate(), 0.40, 1e-12);
+}
+
+}  // namespace
+}  // namespace swgmx::sw

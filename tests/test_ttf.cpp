@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/ttf.hpp"
+
+namespace swgmx::core {
+namespace {
+
+TEST(Ttf, Table4Constants) {
+  const auto& knl = platform("KNL");
+  EXPECT_DOUBLE_EQ(knl.flops, 6e12);
+  EXPECT_DOUBLE_EQ(knl.bandwidth, 400e9);
+  const auto& sw = platform("SW26010");
+  EXPECT_DOUBLE_EQ(sw.flops, 3e12);
+  EXPECT_DOUBLE_EQ(sw.bandwidth, 132e9);
+  const auto& p100 = platform("P100");
+  EXPECT_DOUBLE_EQ(p100.flops, 10e12);
+  EXPECT_DOUBLE_EQ(p100.bandwidth, 720e9);
+}
+
+TEST(Ttf, Equation3KnlRatioNear150) {
+  // Eq (3): TTF_SW / TTF_KNL ~ 150.
+  const double r = ttf_ratio(platform("SW26010"), platform("KNL"));
+  EXPECT_NEAR(r, 150.0, 10.0);
+}
+
+TEST(Ttf, Equation4P100RatioNear24) {
+  // Eq (4): TTF_SW / TTF_P100 ~ 24.
+  const double r = ttf_ratio(platform("SW26010"), platform("P100"));
+  EXPECT_NEAR(r, 24.0, 2.0);
+}
+
+TEST(Ttf, RatioAntisymmetry) {
+  const double a = ttf_ratio(platform("SW26010"), platform("KNL"));
+  const double b = ttf_ratio(platform("KNL"), platform("SW26010"));
+  EXPECT_NEAR(a * b, 1.0, 1e-12);
+}
+
+TEST(Ttf, UnknownPlatformThrows) {
+  EXPECT_THROW(platform("A64FX"), Error);
+}
+
+TEST(Ttf, RooflinePicksBindingResource) {
+  const PlatformSpec spec{"X", 1e12, 100e9, 0.01, ""};
+  // Compute bound: lots of flops, no bytes.
+  EXPECT_NEAR(roofline_seconds(spec, 1e12, 1.0), 1.0, 1e-9);
+  // Memory bound: 1 GB with 1% miss * 64B lines = 0.64 GB of traffic.
+  EXPECT_NEAR(roofline_seconds(spec, 1.0, 1e9), 0.0064, 1e-6);
+}
+
+}  // namespace
+}  // namespace swgmx::core

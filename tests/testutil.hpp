@@ -1,0 +1,58 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "md/clusters.hpp"
+#include "md/kernel_ref.hpp"
+#include "md/water.hpp"
+
+namespace swgmx::test {
+
+/// Small water box (fast to brute-force).
+inline md::System small_water(std::size_t nmol = 64,
+                              md::CoulombMode mode = md::CoulombMode::ReactionField,
+                              unsigned seed = 11) {
+  md::WaterBoxOptions o;
+  o.nmol = nmol;
+  o.coulomb = mode;
+  o.seed = seed;
+  return md::make_water_box(o);
+}
+
+/// Small LJ fluid.
+inline md::System small_lj(std::size_t n = 256, unsigned seed = 5) {
+  md::LjFluidOptions o;
+  o.n = n;
+  o.seed = seed;
+  return md::make_lj_fluid(o);
+}
+
+/// Scatter slot-ordered forces to global order (zero-initialized).
+inline std::vector<Vec3d> slot_to_global(const md::ClusterSystem& cs,
+                                         std::span<const Vec3f> f_slots,
+                                         std::size_t n) {
+  std::vector<Vec3d> out(n);
+  for (std::size_t s = 0; s < cs.nslots(); ++s) {
+    const auto g = cs.global_of(s);
+    if (g >= 0) out[static_cast<std::size_t>(g)] += Vec3d(f_slots[s]);
+  }
+  return out;
+}
+
+/// Max relative force error vs a reference set (with an absolute floor to
+/// avoid division blow-ups on near-zero forces).
+inline double max_force_rel_err(std::span<const Vec3d> a,
+                                std::span<const Vec3d> ref,
+                                double floor = 1.0) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double num = norm(a[i] - ref[i]);
+    const double den = std::max(floor, norm(ref[i]));
+    worst = std::max(worst, num / den);
+  }
+  return worst;
+}
+
+}  // namespace swgmx::test
