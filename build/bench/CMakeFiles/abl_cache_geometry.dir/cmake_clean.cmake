@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cache_geometry.dir/abl_cache_geometry.cpp.o"
+  "CMakeFiles/abl_cache_geometry.dir/abl_cache_geometry.cpp.o.d"
+  "abl_cache_geometry"
+  "abl_cache_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cache_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_comm_rdma.dir/abl_comm_rdma.cpp.o"
+  "CMakeFiles/abl_comm_rdma.dir/abl_comm_rdma.cpp.o.d"
+  "abl_comm_rdma"
+  "abl_comm_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_comm_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

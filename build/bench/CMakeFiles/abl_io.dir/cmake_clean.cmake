@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_io.dir/abl_io.cpp.o"
+  "CMakeFiles/abl_io.dir/abl_io.cpp.o.d"
+  "abl_io"
+  "abl_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

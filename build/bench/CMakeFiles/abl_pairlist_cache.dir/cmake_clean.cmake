@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pairlist_cache.dir/abl_pairlist_cache.cpp.o"
+  "CMakeFiles/abl_pairlist_cache.dir/abl_pairlist_cache.cpp.o.d"
+  "abl_pairlist_cache"
+  "abl_pairlist_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pairlist_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

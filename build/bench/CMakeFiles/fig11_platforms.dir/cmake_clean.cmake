@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_platforms.dir/fig11_platforms.cpp.o"
+  "CMakeFiles/fig11_platforms.dir/fig11_platforms.cpp.o.d"
+  "fig11_platforms"
+  "fig11_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ladder.dir/fig8_ladder.cpp.o"
+  "CMakeFiles/fig8_ladder.dir/fig8_ladder.cpp.o.d"
+  "fig8_ladder"
+  "fig8_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

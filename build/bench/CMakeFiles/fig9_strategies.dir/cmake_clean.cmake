@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_strategies.dir/fig9_strategies.cpp.o"
+  "CMakeFiles/fig9_strategies.dir/fig9_strategies.cpp.o.d"
+  "fig9_strategies"
+  "fig9_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

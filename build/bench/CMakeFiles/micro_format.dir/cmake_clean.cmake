@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_format.dir/micro_format.cpp.o"
+  "CMakeFiles/micro_format.dir/micro_format.cpp.o.d"
+  "micro_format"
+  "micro_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dma.dir/table2_dma.cpp.o"
+  "CMakeFiles/table2_dma.dir/table2_dma.cpp.o.d"
+  "table2_dma"
+  "table2_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

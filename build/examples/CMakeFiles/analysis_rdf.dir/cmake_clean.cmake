@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_rdf.dir/analysis_rdf.cpp.o"
+  "CMakeFiles/analysis_rdf.dir/analysis_rdf.cpp.o.d"
+  "analysis_rdf"
+  "analysis_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cg.dir/multi_cg.cpp.o"
+  "CMakeFiles/multi_cg.dir/multi_cg.cpp.o.d"
+  "multi_cg"
+  "multi_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

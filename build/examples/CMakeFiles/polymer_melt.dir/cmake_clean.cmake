@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymer_melt.dir/polymer_melt.cpp.o"
+  "CMakeFiles/polymer_melt.dir/polymer_melt.cpp.o.d"
+  "polymer_melt"
+  "polymer_melt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymer_melt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for polymer_melt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_writer_demo.dir/traj_writer_demo.cpp.o"
+  "CMakeFiles/traj_writer_demo.dir/traj_writer_demo.cpp.o.d"
+  "traj_writer_demo"
+  "traj_writer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_writer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

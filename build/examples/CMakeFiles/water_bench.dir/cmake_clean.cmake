@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_bench.dir/water_bench.cpp.o"
+  "CMakeFiles/water_bench.dir/water_bench.cpp.o.d"
+  "water_bench"
+  "water_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_common.dir/stats.cpp.o"
+  "CMakeFiles/swgmx_common.dir/stats.cpp.o.d"
+  "CMakeFiles/swgmx_common.dir/table.cpp.o"
+  "CMakeFiles/swgmx_common.dir/table.cpp.o.d"
+  "libswgmx_common.a"
+  "libswgmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mpe_collect.cpp" "src/core/CMakeFiles/swgmx_core.dir/mpe_collect.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/mpe_collect.cpp.o.d"
+  "/root/repo/src/core/packed.cpp" "src/core/CMakeFiles/swgmx_core.dir/packed.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/packed.cpp.o.d"
+  "/root/repo/src/core/pairlist_cpe.cpp" "src/core/CMakeFiles/swgmx_core.dir/pairlist_cpe.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/pairlist_cpe.cpp.o.d"
+  "/root/repo/src/core/rca.cpp" "src/core/CMakeFiles/swgmx_core.dir/rca.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/rca.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/swgmx_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/strategies.cpp.o.d"
+  "/root/repo/src/core/sw_short_range.cpp" "src/core/CMakeFiles/swgmx_core.dir/sw_short_range.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/sw_short_range.cpp.o.d"
+  "/root/repo/src/core/ttf.cpp" "src/core/CMakeFiles/swgmx_core.dir/ttf.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/ttf.cpp.o.d"
+  "/root/repo/src/core/write_cache.cpp" "src/core/CMakeFiles/swgmx_core.dir/write_cache.cpp.o" "gcc" "src/core/CMakeFiles/swgmx_core.dir/write_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/swgmx_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/swgmx_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swgmx_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swgmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_core.dir/mpe_collect.cpp.o"
+  "CMakeFiles/swgmx_core.dir/mpe_collect.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/packed.cpp.o"
+  "CMakeFiles/swgmx_core.dir/packed.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/pairlist_cpe.cpp.o"
+  "CMakeFiles/swgmx_core.dir/pairlist_cpe.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/rca.cpp.o"
+  "CMakeFiles/swgmx_core.dir/rca.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/strategies.cpp.o"
+  "CMakeFiles/swgmx_core.dir/strategies.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/sw_short_range.cpp.o"
+  "CMakeFiles/swgmx_core.dir/sw_short_range.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/ttf.cpp.o"
+  "CMakeFiles/swgmx_core.dir/ttf.cpp.o.d"
+  "CMakeFiles/swgmx_core.dir/write_cache.cpp.o"
+  "CMakeFiles/swgmx_core.dir/write_cache.cpp.o.d"
+  "libswgmx_core.a"
+  "libswgmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

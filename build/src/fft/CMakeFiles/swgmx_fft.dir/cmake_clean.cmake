@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_fft.dir/fft.cpp.o"
+  "CMakeFiles/swgmx_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/swgmx_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/swgmx_fft.dir/fft3d.cpp.o.d"
+  "libswgmx_fft.a"
+  "libswgmx_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/buffered_writer.cpp" "src/io/CMakeFiles/swgmx_io.dir/buffered_writer.cpp.o" "gcc" "src/io/CMakeFiles/swgmx_io.dir/buffered_writer.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/swgmx_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/swgmx_io.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/io/fast_format.cpp" "src/io/CMakeFiles/swgmx_io.dir/fast_format.cpp.o" "gcc" "src/io/CMakeFiles/swgmx_io.dir/fast_format.cpp.o.d"
+  "/root/repo/src/io/traj.cpp" "src/io/CMakeFiles/swgmx_io.dir/traj.cpp.o" "gcc" "src/io/CMakeFiles/swgmx_io.dir/traj.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/swgmx_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/swgmx_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swgmx_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swgmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

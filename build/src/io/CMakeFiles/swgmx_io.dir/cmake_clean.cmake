@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_io.dir/buffered_writer.cpp.o"
+  "CMakeFiles/swgmx_io.dir/buffered_writer.cpp.o.d"
+  "CMakeFiles/swgmx_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/swgmx_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/swgmx_io.dir/fast_format.cpp.o"
+  "CMakeFiles/swgmx_io.dir/fast_format.cpp.o.d"
+  "CMakeFiles/swgmx_io.dir/traj.cpp.o"
+  "CMakeFiles/swgmx_io.dir/traj.cpp.o.d"
+  "libswgmx_io.a"
+  "libswgmx_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cpp" "src/md/CMakeFiles/swgmx_md.dir/analysis.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/md/backends.cpp" "src/md/CMakeFiles/swgmx_md.dir/backends.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/backends.cpp.o.d"
+  "/root/repo/src/md/bonded.cpp" "src/md/CMakeFiles/swgmx_md.dir/bonded.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/bonded.cpp.o.d"
+  "/root/repo/src/md/cells.cpp" "src/md/CMakeFiles/swgmx_md.dir/cells.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/cells.cpp.o.d"
+  "/root/repo/src/md/clusters.cpp" "src/md/CMakeFiles/swgmx_md.dir/clusters.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/clusters.cpp.o.d"
+  "/root/repo/src/md/constraints.cpp" "src/md/CMakeFiles/swgmx_md.dir/constraints.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/constraints.cpp.o.d"
+  "/root/repo/src/md/forcefield.cpp" "src/md/CMakeFiles/swgmx_md.dir/forcefield.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/forcefield.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/swgmx_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/kernel_ref.cpp" "src/md/CMakeFiles/swgmx_md.dir/kernel_ref.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/kernel_ref.cpp.o.d"
+  "/root/repo/src/md/minimize.cpp" "src/md/CMakeFiles/swgmx_md.dir/minimize.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/minimize.cpp.o.d"
+  "/root/repo/src/md/pairlist.cpp" "src/md/CMakeFiles/swgmx_md.dir/pairlist.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/pairlist.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/swgmx_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/md/CMakeFiles/swgmx_md.dir/system.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/system.cpp.o.d"
+  "/root/repo/src/md/water.cpp" "src/md/CMakeFiles/swgmx_md.dir/water.cpp.o" "gcc" "src/md/CMakeFiles/swgmx_md.dir/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swgmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/swgmx_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swgmx_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

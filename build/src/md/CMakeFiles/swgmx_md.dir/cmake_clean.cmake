@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_md.dir/analysis.cpp.o"
+  "CMakeFiles/swgmx_md.dir/analysis.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/backends.cpp.o"
+  "CMakeFiles/swgmx_md.dir/backends.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/bonded.cpp.o"
+  "CMakeFiles/swgmx_md.dir/bonded.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/cells.cpp.o"
+  "CMakeFiles/swgmx_md.dir/cells.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/clusters.cpp.o"
+  "CMakeFiles/swgmx_md.dir/clusters.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/constraints.cpp.o"
+  "CMakeFiles/swgmx_md.dir/constraints.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/forcefield.cpp.o"
+  "CMakeFiles/swgmx_md.dir/forcefield.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/integrator.cpp.o"
+  "CMakeFiles/swgmx_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/kernel_ref.cpp.o"
+  "CMakeFiles/swgmx_md.dir/kernel_ref.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/minimize.cpp.o"
+  "CMakeFiles/swgmx_md.dir/minimize.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/pairlist.cpp.o"
+  "CMakeFiles/swgmx_md.dir/pairlist.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/simulation.cpp.o"
+  "CMakeFiles/swgmx_md.dir/simulation.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/system.cpp.o"
+  "CMakeFiles/swgmx_md.dir/system.cpp.o.d"
+  "CMakeFiles/swgmx_md.dir/water.cpp.o"
+  "CMakeFiles/swgmx_md.dir/water.cpp.o.d"
+  "libswgmx_md.a"
+  "libswgmx_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

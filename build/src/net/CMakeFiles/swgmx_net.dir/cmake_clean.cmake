@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_net.dir/domain.cpp.o"
+  "CMakeFiles/swgmx_net.dir/domain.cpp.o.d"
+  "CMakeFiles/swgmx_net.dir/parallel_sim.cpp.o"
+  "CMakeFiles/swgmx_net.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/swgmx_net.dir/transport.cpp.o"
+  "CMakeFiles/swgmx_net.dir/transport.cpp.o.d"
+  "libswgmx_net.a"
+  "libswgmx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswgmx_net.a"
+)

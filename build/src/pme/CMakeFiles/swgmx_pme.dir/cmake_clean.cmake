@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_pme.dir/ewald.cpp.o"
+  "CMakeFiles/swgmx_pme.dir/ewald.cpp.o.d"
+  "CMakeFiles/swgmx_pme.dir/pme.cpp.o"
+  "CMakeFiles/swgmx_pme.dir/pme.cpp.o.d"
+  "libswgmx_pme.a"
+  "libswgmx_pme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_pme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_simd.dir/floatv4.cpp.o"
+  "CMakeFiles/swgmx_simd.dir/floatv4.cpp.o.d"
+  "libswgmx_simd.a"
+  "libswgmx_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

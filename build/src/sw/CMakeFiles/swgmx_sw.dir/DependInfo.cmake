@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/config.cpp" "src/sw/CMakeFiles/swgmx_sw.dir/config.cpp.o" "gcc" "src/sw/CMakeFiles/swgmx_sw.dir/config.cpp.o.d"
+  "/root/repo/src/sw/core_group.cpp" "src/sw/CMakeFiles/swgmx_sw.dir/core_group.cpp.o" "gcc" "src/sw/CMakeFiles/swgmx_sw.dir/core_group.cpp.o.d"
+  "/root/repo/src/sw/cpe.cpp" "src/sw/CMakeFiles/swgmx_sw.dir/cpe.cpp.o" "gcc" "src/sw/CMakeFiles/swgmx_sw.dir/cpe.cpp.o.d"
+  "/root/repo/src/sw/dma.cpp" "src/sw/CMakeFiles/swgmx_sw.dir/dma.cpp.o" "gcc" "src/sw/CMakeFiles/swgmx_sw.dir/dma.cpp.o.d"
+  "/root/repo/src/sw/ldm.cpp" "src/sw/CMakeFiles/swgmx_sw.dir/ldm.cpp.o" "gcc" "src/sw/CMakeFiles/swgmx_sw.dir/ldm.cpp.o.d"
+  "/root/repo/src/sw/perf.cpp" "src/sw/CMakeFiles/swgmx_sw.dir/perf.cpp.o" "gcc" "src/sw/CMakeFiles/swgmx_sw.dir/perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swgmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swgmx_sw.dir/config.cpp.o"
+  "CMakeFiles/swgmx_sw.dir/config.cpp.o.d"
+  "CMakeFiles/swgmx_sw.dir/core_group.cpp.o"
+  "CMakeFiles/swgmx_sw.dir/core_group.cpp.o.d"
+  "CMakeFiles/swgmx_sw.dir/cpe.cpp.o"
+  "CMakeFiles/swgmx_sw.dir/cpe.cpp.o.d"
+  "CMakeFiles/swgmx_sw.dir/dma.cpp.o"
+  "CMakeFiles/swgmx_sw.dir/dma.cpp.o.d"
+  "CMakeFiles/swgmx_sw.dir/ldm.cpp.o"
+  "CMakeFiles/swgmx_sw.dir/ldm.cpp.o.d"
+  "CMakeFiles/swgmx_sw.dir/perf.cpp.o"
+  "CMakeFiles/swgmx_sw.dir/perf.cpp.o.d"
+  "libswgmx_sw.a"
+  "libswgmx_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swgmx_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

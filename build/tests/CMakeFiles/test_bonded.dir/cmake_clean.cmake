@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bonded.dir/test_bonded.cpp.o"
+  "CMakeFiles/test_bonded.dir/test_bonded.cpp.o.d"
+  "test_bonded"
+  "test_bonded.pdb"
+  "test_bonded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bonded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

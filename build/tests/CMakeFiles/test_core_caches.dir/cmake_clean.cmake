@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_caches.dir/test_core_caches.cpp.o"
+  "CMakeFiles/test_core_caches.dir/test_core_caches.cpp.o.d"
+  "test_core_caches"
+  "test_core_caches.pdb"
+  "test_core_caches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

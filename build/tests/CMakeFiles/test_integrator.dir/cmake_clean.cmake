@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integrator.dir/test_integrator.cpp.o"
+  "CMakeFiles/test_integrator.dir/test_integrator.cpp.o.d"
+  "test_integrator"
+  "test_integrator.pdb"
+  "test_integrator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

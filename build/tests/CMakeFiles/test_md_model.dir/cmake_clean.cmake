@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_model.dir/test_md_model.cpp.o"
+  "CMakeFiles/test_md_model.dir/test_md_model.cpp.o.d"
+  "test_md_model"
+  "test_md_model.pdb"
+  "test_md_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

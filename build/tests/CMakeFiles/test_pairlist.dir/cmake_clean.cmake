@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairlist.dir/test_pairlist.cpp.o"
+  "CMakeFiles/test_pairlist.dir/test_pairlist.cpp.o.d"
+  "test_pairlist"
+  "test_pairlist.pdb"
+  "test_pairlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

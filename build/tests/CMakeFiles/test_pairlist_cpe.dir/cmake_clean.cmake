@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairlist_cpe.dir/test_pairlist_cpe.cpp.o"
+  "CMakeFiles/test_pairlist_cpe.dir/test_pairlist_cpe.cpp.o.d"
+  "test_pairlist_cpe"
+  "test_pairlist_cpe.pdb"
+  "test_pairlist_cpe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairlist_cpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pme.dir/test_pme.cpp.o"
+  "CMakeFiles/test_pme.dir/test_pme.cpp.o.d"
+  "test_pme"
+  "test_pme.pdb"
+  "test_pme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_simd.cpp" "tests/CMakeFiles/test_simd.dir/test_simd.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/test_simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swgmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/swgmx_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/swgmx_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/swgmx_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/swgmx_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/pme/CMakeFiles/swgmx_pme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swgmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swgmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swgmx_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

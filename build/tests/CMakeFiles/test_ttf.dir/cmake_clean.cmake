@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttf.dir/test_ttf.cpp.o"
+  "CMakeFiles/test_ttf.dir/test_ttf.cpp.o.d"
+  "test_ttf"
+  "test_ttf.pdb"
+  "test_ttf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sw[1]_include.cmake")
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_md_model[1]_include.cmake")
+include("/root/repo/build/tests/test_cells_clusters[1]_include.cmake")
+include("/root/repo/build/tests/test_pairlist[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_bonded[1]_include.cmake")
+include("/root/repo/build/tests/test_constraints[1]_include.cmake")
+include("/root/repo/build/tests/test_integrator[1]_include.cmake")
+include("/root/repo/build/tests/test_pme[1]_include.cmake")
+include("/root/repo/build/tests/test_core_caches[1]_include.cmake")
+include("/root/repo/build/tests/test_strategies[1]_include.cmake")
+include("/root/repo/build/tests/test_pairlist_cpe[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_ttf[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
