@@ -21,7 +21,22 @@ using namespace swgmx;
 
 enum class Version { Ori, Cal, List, Other };
 
-double run_version(Version v, std::size_t particles, int ranks, int steps) {
+const char* version_name(Version v) {
+  switch (v) {
+    case Version::Ori: return "Ori";
+    case Version::Cal: return "Cal";
+    case Version::List: return "List";
+    case Version::Other: return "Other";
+  }
+  return "?";
+}
+
+struct VersionRun {
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+VersionRun run_version(Version v, std::size_t particles, int ranks, int steps) {
   md::System sys =
       bench::water_particles(particles, md::CoulombMode::EwaldShort);
   pme::PmeSolver pme(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
@@ -57,8 +72,9 @@ double run_version(Version v, std::size_t particles, int ranks, int steps) {
   io::ModelTrajSink traj(/*fast=*/v == Version::Other);
 
   net::ParallelSim sim(std::move(sys), opt, *sr, *pl, &pme, &traj);
+  bench::WallTimer wall;
   sim.run(steps);
-  return sim.timers().total();
+  return {sim.timers().total(), wall.seconds()};
 }
 
 }  // namespace
@@ -82,16 +98,17 @@ int main() {
   for (const Case& c : cases) {
     std::vector<std::string> row{c.name};
     double t_ori = 0.0;
-    int vi = 0;
     for (Version v : {Version::Ori, Version::Cal, Version::List, Version::Other}) {
-      const double secs = run_version(v, c.particles, c.ranks, c.steps);
+      const VersionRun r = run_version(v, c.particles, c.ranks, c.steps);
+      bench::bench_json(std::string("fig10/") + c.name + "/" + version_name(v),
+                        {{"sim_seconds", r.sim_seconds},
+                         {"wall_seconds", r.wall_seconds}});
       if (v == Version::Ori) {
-        t_ori = secs;
+        t_ori = r.sim_seconds;
         row.push_back("1.0");
       } else {
-        row.push_back(Table::num(t_ori / secs, 1));
+        row.push_back(Table::num(t_ori / r.sim_seconds, 1));
       }
-      ++vi;
     }
     row.push_back(std::to_string(static_cast<int>(c.paper[1])) + "/" +
                   std::to_string(static_cast<int>(c.paper[2])) + "/" +

@@ -24,7 +24,10 @@ int main() {
   sw::CoreGroup cg;
 
   auto ori = core::make_short_range(Strategy::Ori, cg);
-  const double t_ori = bench::run_force(*ori, sys).seconds;
+  const bench::ForceRun ori_run = bench::run_force(*ori, sys);
+  const double t_ori = ori_run.seconds;
+  bench::bench_json("fig9/Ori", {{"sim_seconds", ori_run.seconds},
+                                 {"wall_seconds", ori_run.wall_seconds}});
 
   struct Row {
     const char* paper_name;
@@ -44,6 +47,9 @@ int main() {
   for (const Row& r : rows) {
     auto be = core::make_short_range(r.s, cg);
     const bench::ForceRun run = bench::run_force(*be, sys);
+    bench::bench_json(std::string("fig9/") + r.paper_name,
+                      {{"sim_seconds", run.seconds},
+                       {"wall_seconds", run.wall_seconds}});
     const double speedup = t_ori / run.seconds;
     t.add_row({r.paper_name, Table::num(speedup, 1), Table::num(r.paper_speedup, 1),
                Table::num(run.seconds * 1e3, 2)});

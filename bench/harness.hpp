@@ -1,11 +1,15 @@
 // Shared helpers for the per-figure benchmark binaries.
 #pragma once
 
+#include <chrono>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/pairlist_cpe.hpp"
 #include "core/strategies.hpp"
 #include "core/sw_short_range.hpp"
@@ -13,6 +17,40 @@
 #include "md/water.hpp"
 
 namespace swgmx::bench {
+
+/// Host wall-clock stopwatch. Simulated seconds stay the headline number
+/// (deterministic, hardware-independent); wall seconds are recorded next to
+/// them so host-side speedups (e.g. SWGMX_THREADS scaling) are visible in
+/// the bench output.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One machine-readable result line:
+///   BENCH {"name":"fig10/case 1/Cal","host_threads":8,"sim_seconds":...,
+///          "wall_seconds":...}
+/// Every field list gets "host_threads" prepended so recorded wall-clock
+/// numbers are always attributable to a pool size.
+inline void bench_json(const std::string& name,
+                       std::initializer_list<std::pair<const char*, double>> fields,
+                       std::ostream& os = std::cout) {
+  os << "BENCH {\"name\":\"" << name << "\",\"host_threads\":"
+     << common::ThreadPool::global().size();
+  for (const auto& [key, value] : fields) {
+    os << ",\"" << key << "\":" << value;
+  }
+  os << "}\n";
+}
 
 /// Water box by particle count (3 particles per molecule), Table 3 defaults.
 inline md::System water_particles(std::size_t nparticles,
@@ -25,9 +63,12 @@ inline md::System water_particles(std::size_t nparticles,
   return md::make_water_box(o);
 }
 
-/// One short-range force invocation of a strategy; returns simulated seconds.
+/// One short-range force invocation of a strategy; returns simulated seconds
+/// (the deterministic cost-model number) plus the host wall-clock seconds the
+/// invocation actually took.
 struct ForceRun {
-  double seconds = 0.0;
+  double seconds = 0.0;       // simulated SW26010 seconds (cost model)
+  double wall_seconds = 0.0;  // host wall clock for the compute() call
   md::NbEnergies e;
   sw::PerfCounters counters;
 };
@@ -40,7 +81,9 @@ inline ForceRun run_force(md::ShortRangeBackend& be, const md::System& sys) {
   AlignedVector<Vec3f> f(cs.nslots(), Vec3f{});
   const md::NbParams p = make_nb_params(*sys.ff);
   ForceRun r;
+  WallTimer wall;
   r.seconds = be.compute(cs, sys.box, list, p, f, r.e);
+  r.wall_seconds = wall.seconds();
   return r;
 }
 

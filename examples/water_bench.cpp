@@ -10,6 +10,8 @@
 #include <map>
 #include <string>
 
+#include "bench/harness.hpp"
+#include "common/thread_pool.hpp"
 #include "core/pairlist_cpe.hpp"
 #include "core/strategies.hpp"
 #include "core/sw_short_range.hpp"
@@ -58,16 +60,24 @@ int main(int argc, char** argv) {
   std::cout << "SW_GROMACS water benchmark: " << sys.size() << " particles, "
             << sr->name() << " kernel, "
             << (use_pme ? "PME" : "reaction-field") << " electrostatics, "
-            << nsteps << " steps\n";
+            << nsteps << " steps, "
+            << common::ThreadPool::global().size() << " host threads\n";
 
   md::SimOptions opt;
   opt.nstenergy = nsteps;
   md::Simulation sim(std::move(sys), opt, *sr, pl, pme_solver.get());
+  bench::WallTimer wall;
   sim.run(nsteps);
+  const double host_s = wall.seconds();
 
   const double per_step = sim.timers().total() / nsteps;
   std::cout << "\nsimulated wall time: " << sim.timers().total() * 1e3
             << " ms total, " << per_step * 1e3 << " ms/step\n";
+  std::cout << "host wall time: " << host_s * 1e3 << " ms ("
+            << common::ThreadPool::global().size() << " threads)\n";
+  bench::bench_json("water_bench/" + strat_name,
+                    {{"sim_seconds", sim.timers().total()},
+                     {"wall_seconds", host_s}});
   // ns/day at a 2 fs step: the number MD people actually compare.
   const double ns_per_day = 86400.0 / per_step * opt.integ.dt / 1e3;
   std::cout << "simulated throughput: " << ns_per_day << " ns/day\n\n";

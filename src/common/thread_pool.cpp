@@ -1,0 +1,148 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace swgmx::common {
+
+namespace {
+thread_local bool t_on_worker = false;
+
+/// Chunk k of [0, n) over `lanes` lanes: contiguous, deterministic.
+constexpr int chunk_lo(int n, int lanes, int k) { return n * k / lanes; }
+constexpr int chunk_hi(int n, int lanes, int k) { return n * (k + 1) / lanes; }
+}  // namespace
+
+ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int k = 1; k < nthreads_; ++k) {
+    workers_.emplace_back([this, k] { worker_main(k); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_main(int chunk_index) {
+  t_on_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    int n;
+    const std::function<void(int)>* body;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      n = job_n_;
+      body = job_body_;
+    }
+    std::exception_ptr err;
+    const int hi = chunk_hi(n, nthreads_, chunk_index);
+    for (int i = chunk_lo(n, nthreads_, chunk_index); i < hi; ++i) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        err = std::current_exception();
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      errors_[static_cast<std::size_t>(chunk_index)] = err;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  // Sequential pool, tiny loop, or a nested call from inside a task: run
+  // inline on the current thread. This is exactly the pre-pool behavior.
+  if (nthreads_ == 1 || n == 1 || t_on_worker) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> launch(launch_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_n_ = n;
+    job_body_ = &body;
+    errors_.assign(static_cast<std::size_t>(nthreads_), nullptr);
+    pending_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  // The caller is lane 0. Mark it as inside a pool task while it runs its
+  // chunk so a nested parallel_for from this lane runs inline instead of
+  // re-entering the (held) launch lock.
+  std::exception_ptr my_err;
+  t_on_worker = true;
+  const int hi = chunk_hi(n, nthreads_, 0);
+  for (int i = chunk_lo(n, nthreads_, 0); i < hi; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      my_err = std::current_exception();
+      break;
+    }
+  }
+  t_on_worker = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    job_body_ = nullptr;
+    errors_[0] = my_err;
+    // Rethrow the lowest-numbered failing chunk so failure reporting does
+    // not depend on the thread schedule.
+    for (auto& e : errors_) {
+      if (e) {
+        const std::exception_ptr first = e;
+        lk.unlock();
+        std::rethrow_exception(first);
+      }
+    }
+  }
+}
+
+int ThreadPool::threads_from_env(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v <= 0 || v > 4096) return fallback;
+  return static_cast<int>(v);
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0) hw = 1;
+    g_pool = std::make_unique<ThreadPool>(
+        threads_from_env(std::getenv("SWGMX_THREADS"), hw));
+  }
+  return *g_pool;
+}
+
+void ThreadPool::set_global_size(int nthreads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool = std::make_unique<ThreadPool>(nthreads);
+}
+
+}  // namespace swgmx::common

@@ -1,0 +1,96 @@
+// Deterministic host thread-pool execution engine.
+//
+// The simulator's hot loops (the 64 CPE kernel launches of a CoreGroup, the
+// per-rank search phases of the distributed pair-list build) are
+// embarrassingly parallel *by contract*: every task writes only its own
+// staging buffers, and the launcher combines the per-task results in a fixed
+// post-join order. This pool exploits that contract on real host cores
+// without changing a single simulated cycle:
+//
+//  - No work stealing, no dynamic scheduling: [0, n) is split into
+//    `size()` contiguous chunks and chunk k always runs on lane k. The
+//    work-to-thread mapping is a pure function of (n, size()).
+//  - The calling thread executes chunk 0 itself, so `size()` is the number
+//    of concurrent lanes, not the number of extra threads. A pool of size 1
+//    spawns no threads at all and degenerates to the plain sequential loop.
+//  - Nested parallel_for calls (a task that itself launches a parallel
+//    region) run inline on the worker that issued them, so rank-level and
+//    CPE-level parallelism compose without deadlock or oversubscription.
+//
+// The pool therefore never *creates* determinism — it preserves the
+// determinism the tasks already have. The equivalence gate
+// (test_thread_pool, the SWGMX_THREADS=1 vs 8 strategy/parallel-sim tests)
+// asserts that forces, energies and simulated seconds are bit-identical for
+// every pool size.
+//
+// The global pool is sized by the SWGMX_THREADS environment variable
+// (default: std::thread::hardware_concurrency(); 1 = sequential).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swgmx::common {
+
+class ThreadPool {
+ public:
+  /// A pool with `nthreads` lanes (clamped to >= 1). Spawns nthreads - 1
+  /// worker threads; the caller of parallel_for is lane 0.
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of concurrent lanes (1 = sequential, no worker threads).
+  [[nodiscard]] int size() const { return nthreads_; }
+
+  /// Run body(0) .. body(n-1), lane k executing the contiguous chunk
+  /// [n*k/size(), n*(k+1)/size()). Blocks until every index has run. If one
+  /// or more chunks throw, the exception of the lowest-numbered failing
+  /// chunk is rethrown after the join (the rest of that chunk is skipped;
+  /// other chunks still run to completion). Calls from inside a pool task
+  /// run the whole loop inline on the current thread.
+  void parallel_for(int n, const std::function<void(int)>& body);
+
+  /// True when called from one of this process's pool worker threads.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// The process-wide pool, created on first use with threads_from_env(
+  /// getenv("SWGMX_THREADS"), hardware_concurrency).
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Replace the global pool (test hook / programmatic override). Must not
+  /// be called while work is in flight.
+  static void set_global_size(int nthreads);
+
+  /// Parse a SWGMX_THREADS-style value: a positive integer wins; null,
+  /// empty, non-numeric or non-positive values yield `fallback`.
+  [[nodiscard]] static int threads_from_env(const char* value, int fallback);
+
+ private:
+  void worker_main(int chunk_index);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  int job_n_ = 0;
+  const std::function<void(int)>* job_body_ = nullptr;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per lane
+
+  std::mutex launch_mu_;  ///< serializes top-level parallel_for calls
+};
+
+}  // namespace swgmx::common

@@ -42,9 +42,14 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
   const int ncpe = cg_->config().cpe_count;
   const Vec3f box_len(box.len);
 
+  /// One queued force-update record (what the CPE ships to the MPE).
+  struct Update {
+    std::int32_t slot;
+    Vec3f f;
+  };
   struct CpeOut {
     double lj = 0.0, coul = 0.0;
-    std::uint64_t updates = 0;
+    std::vector<Update> records;
   };
   std::vector<CpeOut> outs(static_cast<std::size_t>(ncpe));
 
@@ -69,13 +74,13 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
     CpeOut out;
     std::size_t queued = 0;  // records in the LDM-side queue buffer
 
-    // The record queue: functionally the force lands straight in f_slots
-    // (CPEs run sequentially in the simulator, and semantically it is the
-    // MPE that applies it); the DMA cost of shipping the 2 KB record blocks
-    // is charged here.
+    // The record queue: each CPE stages its updates in a private queue and
+    // the MPE applies them after the join, in CPE-id order — the same
+    // producer/consumer split the real pipeline has, and the per-CPE-output
+    // contract that lets CoreGroup run the CPEs on concurrent host threads.
+    // The DMA cost of shipping the 2 KB record blocks is charged here.
     auto emit = [&](std::size_t slot, const Vec3f& fv) {
-      f_slots[slot] += fv;
-      ++out.updates;
+      out.records.push_back({static_cast<std::int32_t>(slot), fv});
       if (++queued == kRecordsPerFlush) {
         ctx.charge_cycles(
             ctx.config().dma_cycles(kRecordsPerFlush * kRecordBytes));
@@ -143,11 +148,17 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
     outs[static_cast<std::size_t>(cpe)] = out;
   });
 
+  // MPE side: drain the queues in CPE-id order. The accumulation order into
+  // f_slots is exactly the order the old sequential-CPE path produced, so
+  // the result is bit-identical for any host thread count.
   std::uint64_t total_updates = 0;
   for (const auto& o : outs) {
     e.lj += o.lj;
     e.coul += o.coul;
-    total_updates += o.updates;
+    for (const Update& u : o.records) {
+      f_slots[static_cast<std::size_t>(u.slot)] += u.f;
+    }
+    total_updates += o.records.size();
   }
 
   // The MPE side of the pipeline: read each record, scatter-add 3 floats

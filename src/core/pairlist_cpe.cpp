@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "core/read_cache.hpp"
 #include "md/cells.hpp"
 #include "md/cost.hpp"
@@ -105,26 +106,28 @@ double CpePairList::build(const md::ClusterSystem& cs, const md::Box& box,
   std::vector<CpeRows> rows(
       static_cast<std::size_t>(ncpe) * static_cast<std::size_t>(nranks));
 
-  double worst_rank_s = 0.0;
-  sw::KernelStats agg{};
+  // Ranks are independent between the domain-decomposition barrier and the
+  // CSR merge below, so their search phases run concurrently on the host
+  // thread pool: every rank owns private scratch (halo maps, local geometry)
+  // and private row storage, and the merge walks ranks in order after the
+  // join — results are bit-identical to the sequential rank loop.
+  std::vector<sw::KernelStats> rank_stats(static_cast<std::size_t>(nranks));
+  auto search_rank = [&](int rank) {
+  const int r_lo = ncl * rank / nranks;
+  const int r_hi = ncl * (rank + 1) / nranks;
   // Per-rank halo localization (the DD exchange): each rank owns a compact
   // copy of the geometry records its search can touch — own clusters plus
   // the stencil halo — with remapped local ids. This is what a real
   // distributed rank holds in its memory, and it is what keeps the software
   // cache's working set independent of the *global* system size.
-  std::vector<std::int32_t> global2local(static_cast<std::size_t>(ncl), -1);
-  std::vector<int> g2l_epoch(static_cast<std::size_t>(ncl), -1);
-  std::vector<int> cell_epoch(static_cast<std::size_t>(grid.ncells()), -1);
+  std::vector<std::int32_t> global2local;
   std::vector<GeomRec> local_geom;
-  std::vector<std::int32_t> local_ids;
-  for (int rank = 0; rank < nranks; ++rank) {
-  const int r_lo = ncl * rank / nranks;
-  const int r_hi = ncl * (rank + 1) / nranks;
   if (nranks > 1) {
-    local_ids.clear();
+    std::vector<std::int32_t> local_ids;
+    std::vector<char> cell_seen(static_cast<std::size_t>(grid.ncells()), 0);
     auto touch_cell = [&](int c2) {
-      if (cell_epoch[static_cast<std::size_t>(c2)] == rank) return;
-      cell_epoch[static_cast<std::size_t>(c2)] = rank;
+      if (cell_seen[static_cast<std::size_t>(c2)] != 0) return;
+      cell_seen[static_cast<std::size_t>(c2)] = 1;
       for (std::int32_t id : grid.cell_members(c2)) local_ids.push_back(id);
     };
     for (int ci = r_lo; ci < r_hi; ++ci) {
@@ -138,11 +141,11 @@ double CpePairList::build(const md::ClusterSystem& cs, const md::Box& box,
     std::sort(local_ids.begin(), local_ids.end());
     local_ids.erase(std::unique(local_ids.begin(), local_ids.end()),
                     local_ids.end());
+    global2local.assign(static_cast<std::size_t>(ncl), -1);
     local_geom.resize(local_ids.size());
     for (std::size_t k = 0; k < local_ids.size(); ++k) {
       global2local[static_cast<std::size_t>(local_ids[k])] =
           static_cast<std::int32_t>(k);
-      g2l_epoch[static_cast<std::size_t>(local_ids[k])] = rank;
       local_geom[k] = geom[static_cast<std::size_t>(local_ids[k])];
     }
   }
@@ -150,14 +153,10 @@ double CpePairList::build(const md::ClusterSystem& cs, const md::Box& box,
       nranks > 1 ? std::span<const GeomRec>(local_geom)
                  : std::span<const GeomRec>(geom);
   auto local_of = [&](std::int32_t cj) {
-    if (nranks == 1) return cj;
-    // Mappings are epoch-stamped per rank: a stale entry from a previous
-    // rank's halo must read as "not local".
-    return g2l_epoch[static_cast<std::size_t>(cj)] == rank
-               ? global2local[static_cast<std::size_t>(cj)]
-               : std::int32_t{-1};
+    // A -1 entry means "not in this rank's halo set".
+    return nranks == 1 ? cj : global2local[static_cast<std::size_t>(cj)];
   };
-  const auto st = cg_->run([&](sw::CpeContext& ctx) {
+  const auto st = cg_->run_collect([&](sw::CpeContext& ctx) {
     const int cpe = ctx.id();
     const int lo = r_lo + (r_hi - r_lo) * cpe / ncpe;
     const int hi = r_lo + (r_hi - r_lo) * (cpe + 1) / ncpe;
@@ -244,9 +243,24 @@ double CpePairList::build(const md::ClusterSystem& cs, const md::Box& box,
     }
     flush();
   });
-  worst_rank_s = std::max(worst_rank_s, st.sim_seconds);
-  agg.total += st.total;
-  agg.max_cycles = std::max(agg.max_cycles, st.max_cycles);
+  rank_stats[static_cast<std::size_t>(rank)] = st;
+  };
+  if (nranks == 1) {
+    search_rank(0);
+  } else {
+    common::ThreadPool::global().parallel_for(nranks, search_rank);
+  }
+
+  // Ordered post-join reduction: aggregate stats and fold lifetime counters
+  // in rank order, keeping every number independent of the thread schedule.
+  double worst_rank_s = 0.0;
+  sw::KernelStats agg{};
+  for (int rank = 0; rank < nranks; ++rank) {
+    const auto& st = rank_stats[static_cast<std::size_t>(rank)];
+    worst_rank_s = std::max(worst_rank_s, st.sim_seconds);
+    agg.total += st.total;
+    agg.max_cycles = std::max(agg.max_cycles, st.max_cycles);
+    cg_->add_lifetime(st.total);
   }
   agg.sim_seconds = worst_rank_s;
   last_ = agg;

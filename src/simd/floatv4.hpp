@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 
 namespace swgmx::simd {
 
@@ -23,10 +24,14 @@ class floatv4 {
   explicit floatv4(native v) : v_(v) {}
 
   /// Load 4 contiguous floats (16-byte aligned preferred, not required).
-  static floatv4 load(const float* p) { return {p[0], p[1], p[2], p[3]}; }
-  void store(float* p) const {
-    p[0] = v_[0]; p[1] = v_[1]; p[2] = v_[2]; p[3] = v_[3];
+  /// memcpy into the native vector compiles to a single unaligned vector
+  /// load on GCC/Clang, instead of four scalar lane inserts.
+  static floatv4 load(const float* p) {
+    native v;
+    std::memcpy(&v, p, sizeof(v));
+    return floatv4(v);
   }
+  void store(float* p) const { std::memcpy(p, &v_, sizeof(v_)); }
 
   float operator[](int lane) const { return v_[lane]; }
   [[nodiscard]] native raw() const { return v_; }

@@ -2,31 +2,60 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
+
+#include "common/thread_pool.hpp"
 
 namespace swgmx::sw {
 
-CoreGroup::CoreGroup(SwConfig cfg) : cfg_(cfg) {
-  arenas_.reserve(static_cast<std::size_t>(cfg_.cpe_count));
-  for (int i = 0; i < cfg_.cpe_count; ++i) arenas_.emplace_back(cfg_.ldm_bytes);
+CoreGroup::CoreGroup(SwConfig cfg) : cfg_(cfg) {}
+
+LdmArena& CoreGroup::thread_arena() {
+  const std::thread::id me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lk(arena_mu_);
+  auto& slot = arenas_[me];
+  if (!slot) slot = std::make_unique<LdmArena>(cfg_.ldm_bytes);
+  return *slot;
+}
+
+KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kernel,
+                                   double dma_overlap) {
+  const int n = cfg_.cpe_count;
+  // Per-CPE counters land in private slots; the reduction below walks them
+  // in CPE-id order so stats are bit-identical for any thread count.
+  std::vector<PerfCounters> perf(static_cast<std::size_t>(n));
+  common::ThreadPool::global().parallel_for(n, [&](int id) {
+    LdmArena& arena = thread_arena();
+    arena.reset();
+    CpeContext ctx(id, cfg_, arena);
+    kernel(ctx);
+    perf[static_cast<std::size_t>(id)] = ctx.perf();
+  });
+
+  KernelStats stats;
+  stats.min_cycles = std::numeric_limits<double>::infinity();
+  for (int id = 0; id < n; ++id) {
+    const auto& pc = perf[static_cast<std::size_t>(id)];
+    const double cyc = pc.overlapped_cycles(dma_overlap);
+    stats.max_cycles = std::max(stats.max_cycles, cyc);
+    stats.min_cycles = std::min(stats.min_cycles, cyc);
+    stats.total += pc;
+  }
+  if (n == 0) stats.min_cycles = 0.0;
+  stats.sim_seconds = cfg_.seconds(stats.max_cycles);
+  return stats;
 }
 
 KernelStats CoreGroup::run(const std::function<void(CpeContext&)>& kernel,
                            double dma_overlap) {
-  KernelStats stats;
-  stats.min_cycles = std::numeric_limits<double>::infinity();
-  for (int id = 0; id < cfg_.cpe_count; ++id) {
-    arenas_[static_cast<std::size_t>(id)].reset();
-    CpeContext ctx(id, cfg_, arenas_[static_cast<std::size_t>(id)]);
-    kernel(ctx);
-    const double cyc = ctx.perf().overlapped_cycles(dma_overlap);
-    stats.max_cycles = std::max(stats.max_cycles, cyc);
-    stats.min_cycles = std::min(stats.min_cycles, cyc);
-    stats.total += ctx.perf();
-  }
-  if (cfg_.cpe_count == 0) stats.min_cycles = 0.0;
-  stats.sim_seconds = cfg_.seconds(stats.max_cycles);
-  lifetime_ += stats.total;
+  const KernelStats stats = run_collect(kernel, dma_overlap);
+  add_lifetime(stats.total);
   return stats;
+}
+
+void CoreGroup::add_lifetime(const PerfCounters& pc) {
+  std::lock_guard<std::mutex> lk(lifetime_mu_);
+  lifetime_ += pc;
 }
 
 double CoreGroup::mpe_seconds(double ops, double mem_ops) const {

@@ -1,14 +1,24 @@
 // CoreGroup: one MPE + 64 CPEs. Launches CPE kernels (functionally executed,
 // cost-model accounted) and models MPE-side work.
 //
-// Execution is sequential over CPEs: with independent per-CPE counters the
-// simulated time of a kernel is max over CPEs of that CPE's cycles, which is
-// identical whether the host runs them concurrently or not — and sequential
-// execution keeps the simulator deterministic and race-free by construction.
+// Execution model: the 64 CPE kernel invocations of a launch are dispatched
+// across host threads by the deterministic thread pool
+// (common/thread_pool.hpp, sized by SWGMX_THREADS). This is safe and
+// bit-reproducible because kernels honor a per-CPE-output contract: every
+// CPE writes only its own staging buffers (its LDM arena, its force-copy
+// array, its energy slot, its pair-list rows), and the launcher reduces the
+// per-CPE results in fixed CPE-id order after the join. Simulated cycles,
+// forces and energies are therefore identical for any pool size — the
+// simulated time of a kernel is max over CPEs of that CPE's cycles, which
+// does not depend on how the host schedules them. SWGMX_THREADS=1 recovers
+// the plain sequential loop.
 #pragma once
 
 #include <functional>
-#include <vector>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "sw/cpe.hpp"
 
@@ -19,7 +29,7 @@ struct KernelStats {
   double sim_seconds = 0.0;   ///< max over CPEs (the kernel's critical path)
   double max_cycles = 0.0;
   double min_cycles = 0.0;
-  PerfCounters total;         ///< summed over all CPEs
+  PerfCounters total;         ///< summed over all CPEs (in CPE-id order)
 
   /// Load imbalance: max/mean cycles (1.0 = perfectly balanced).
   [[nodiscard]] double imbalance(int cpe_count) const {
@@ -33,12 +43,25 @@ class CoreGroup {
  public:
   explicit CoreGroup(SwConfig cfg = {});
 
-  /// Launch `kernel` on all CPEs (athread_spawn + join). Each CPE's LDM is
-  /// reset before the launch, matching static per-kernel LDM partitioning.
-  /// `dma_overlap` in [0, 1] models double-buffered pipelining: that
-  /// fraction of min(compute, memory) cycles hides behind the other.
+  /// Launch `kernel` on all CPEs (athread_spawn + join), dispatching the
+  /// per-CPE invocations across the global host thread pool. Each CPE's LDM
+  /// is reset before its invocation, matching static per-kernel LDM
+  /// partitioning. `dma_overlap` in [0, 1] models double-buffered
+  /// pipelining: that fraction of min(compute, memory) cycles hides behind
+  /// the other. Folds the launch's counters into lifetime().
   KernelStats run(const std::function<void(CpeContext&)>& kernel,
                   double dma_overlap = 0.0);
+
+  /// Same as run() but does NOT touch lifetime(). Callers that launch
+  /// kernels concurrently from several host threads (e.g. the rank-parallel
+  /// pair-list search) use this and apply add_lifetime() in a fixed order
+  /// after joining, so the lifetime counters stay bit-reproducible.
+  KernelStats run_collect(const std::function<void(CpeContext&)>& kernel,
+                          double dma_overlap = 0.0);
+
+  /// Fold one launch's summed counters into lifetime(). Thread-safe; for
+  /// bit-stable totals call it in a deterministic order.
+  void add_lifetime(const PerfCounters& pc);
 
   /// Model the MPE executing `ops` arithmetic ops and `mem_ops` memory
   /// references (a fraction of which miss to DDR3). Returns simulated
@@ -48,12 +71,25 @@ class CoreGroup {
   [[nodiscard]] const SwConfig& config() const { return cfg_; }
 
   /// Cumulative counters across every kernel launched on this core group.
+  /// Read between launches (not while a launch is in flight).
   [[nodiscard]] const PerfCounters& lifetime() const { return lifetime_; }
-  void reset_lifetime() { lifetime_ = {}; }
+  void reset_lifetime() {
+    std::lock_guard<std::mutex> lk(lifetime_mu_);
+    lifetime_ = {};
+  }
 
  private:
+  /// The LDM arena for the calling host thread. Arenas model scratchpad
+  /// state that is reset at every CPE invocation, so they are keyed by
+  /// execution lane (host thread), not by CPE id: concurrent launches on
+  /// the same CoreGroup (nested rank/CPE parallelism) each get private
+  /// scratch, and the kernel's observable behavior is arena-independent.
+  [[nodiscard]] LdmArena& thread_arena();
+
   SwConfig cfg_;
-  std::vector<LdmArena> arenas_;
+  std::mutex arena_mu_;
+  std::unordered_map<std::thread::id, std::unique_ptr<LdmArena>> arenas_;
+  std::mutex lifetime_mu_;
   PerfCounters lifetime_;
 };
 

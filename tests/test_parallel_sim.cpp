@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "core/pairlist_cpe.hpp"
 #include "core/strategies.hpp"
 #include "net/parallel_sim.hpp"
@@ -97,6 +98,37 @@ TEST(ParallelSim, LoadImbalanceTracked) {
   sim.run(1);
   EXPECT_GE(sim.max_pair_share(), 1.0 / 8.0);
   EXPECT_LE(sim.max_pair_share(), 1.0);
+}
+
+TEST(ParallelSim, ThreadCountInvariant) {
+  // Rank-parallel pair-list search + pooled CPE dispatch must leave every
+  // observable — energy series, per-phase timers, totals — bit-identical
+  // between a sequential pool and an oversubscribed 8-thread pool.
+  auto run_with_pool = [](int nthreads) {
+    common::ThreadPool::set_global_size(nthreads);
+    Rig rig;
+    auto o = opts(4);
+    o.sim.nstlist = 3;  // several rebuilds → several rank-parallel searches
+    auto sim = std::make_unique<ParallelSim>(swgmx::test::small_water(90), o,
+                                             *rig.sr, *rig.pl);
+    sim->run(10);
+    return std::make_pair(sim->energy_series(), sim->timers());
+  };
+  const auto [e1, t1] = run_with_pool(1);
+  const auto [e8, t8] = run_with_pool(8);
+  common::ThreadPool::set_global_size(1);
+
+  ASSERT_EQ(e1.size(), e8.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].e_lj, e8[i].e_lj) << i;
+    EXPECT_EQ(e1[i].e_coul, e8[i].e_coul) << i;
+    EXPECT_EQ(e1[i].e_kin, e8[i].e_kin) << i;
+  }
+  ASSERT_EQ(t1.phases().size(), t8.phases().size());
+  for (const auto& [phase, secs] : t1.phases()) {
+    EXPECT_EQ(secs, t8.get(phase)) << phase;
+  }
+  EXPECT_EQ(t1.total(), t8.total());
 }
 
 TEST(ParallelSim, DomainDecompChargedOnRebuild) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "core/strategies.hpp"
 #include "core/sw_short_range.hpp"
 #include "md/kernel_ref.hpp"
@@ -76,6 +77,49 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{"pkg_lj", Strategy::Pkg, false},
                       Case{"mark_lj", Strategy::Mark, false},
                       Case{"rca_lj", Strategy::Rca, false}),
+    [](const auto& info) { return info.param.name; });
+
+// The thread-pool equivalence gate: dispatching the 64 CPE invocations
+// across host threads must not change a single bit of the result. Same
+// strategies as the reference-equivalence suite, forces/energies/simulated
+// time compared with EXPECT_EQ (not NEAR).
+class ThreadPoolEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ThreadPoolEquivalence, BitIdenticalAcrossPoolSizes) {
+  const auto& c = GetParam();
+  md::System sys = c.water ? test::small_water(80) : test::small_lj(320);
+
+  auto run_with_pool = [&](int nthreads) {
+    common::ThreadPool::set_global_size(nthreads);
+    sw::CoreGroup cg;
+    auto be = make_short_range(c.strategy, cg);
+    return run_backend(*be, sys);
+  };
+  const RunResult seq = run_with_pool(1);
+  const RunResult par = run_with_pool(8);
+  common::ThreadPool::set_global_size(1);
+
+  ASSERT_EQ(seq.forces.size(), par.forces.size());
+  for (std::size_t i = 0; i < seq.forces.size(); ++i) {
+    EXPECT_EQ(seq.forces[i].x, par.forces[i].x) << i;
+    EXPECT_EQ(seq.forces[i].y, par.forces[i].y) << i;
+    EXPECT_EQ(seq.forces[i].z, par.forces[i].z) << i;
+  }
+  EXPECT_EQ(seq.e.lj, par.e.lj);
+  EXPECT_EQ(seq.e.coul, par.e.coul);
+  EXPECT_EQ(seq.sim_seconds, par.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ThreadPoolEquivalence,
+    ::testing::Values(Case{"gld_water", Strategy::Gld, true},
+                      Case{"pkg_water", Strategy::Pkg, true},
+                      Case{"cache_water", Strategy::Cache, true},
+                      Case{"vec_water", Strategy::Vec, true},
+                      Case{"mark_water", Strategy::Mark, true},
+                      Case{"rca_water", Strategy::Rca, true},
+                      Case{"collect_water", Strategy::MpeCollect, true},
+                      Case{"mark_lj", Strategy::Mark, false}),
     [](const auto& info) { return info.param.name; });
 
 TEST(StrategyLadder, SpeedupOrderingHolds) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "sw/core_group.hpp"
 
 namespace swgmx::sw {
@@ -102,17 +103,56 @@ TEST(Cpe, MeshCoordinates) {
 
 TEST(CoreGroup, RunsAllCpes) {
   CoreGroup cg;
-  std::vector<int> visited;
+  // Per-CPE slot (not push_back): kernel invocations may run on several
+  // host threads, and each CPE must only write its own output.
+  std::vector<int> visited(64, -1);
   const auto st = cg.run([&](CpeContext& ctx) {
-    visited.push_back(ctx.id());
+    visited[static_cast<std::size_t>(ctx.id())] = ctx.id();
     ctx.charge_flops(100.0);
   });
-  EXPECT_EQ(visited.size(), 64u);
-  EXPECT_EQ(visited.front(), 0);
-  EXPECT_EQ(visited.back(), 63);
+  for (int id = 0; id < 64; ++id) EXPECT_EQ(visited[static_cast<std::size_t>(id)], id);
   EXPECT_NEAR(st.max_cycles, 100.0, 1e-9);
   EXPECT_NEAR(st.total.compute_cycles, 6400.0, 1e-9);
   EXPECT_NEAR(st.sim_seconds, 100.0 / cg.config().freq_hz, 1e-18);
+}
+
+TEST(CoreGroup, StatsIdenticalAcrossPoolSizes) {
+  // The launch must be bit-reproducible for any host thread count: counters
+  // are reduced post-join in CPE-id order, never in completion order.
+  auto kernel = [](CpeContext& ctx) {
+    ctx.charge_flops(static_cast<double>(ctx.id()) * 1.25 + 3.0);
+    ctx.perf().dma_cycles += 0.5 * static_cast<double>(ctx.id() % 7);
+  };
+  common::ThreadPool::set_global_size(1);
+  CoreGroup cg1;
+  const auto seq = cg1.run(kernel, /*dma_overlap=*/0.5);
+  const PerfCounters life_seq = cg1.lifetime();
+
+  common::ThreadPool::set_global_size(8);
+  CoreGroup cg8;
+  const auto par = cg8.run(kernel, /*dma_overlap=*/0.5);
+  const PerfCounters life_par = cg8.lifetime();
+  common::ThreadPool::set_global_size(1);
+
+  EXPECT_EQ(seq.sim_seconds, par.sim_seconds);
+  EXPECT_EQ(seq.max_cycles, par.max_cycles);
+  EXPECT_EQ(seq.min_cycles, par.min_cycles);
+  EXPECT_EQ(seq.total.compute_cycles, par.total.compute_cycles);
+  EXPECT_EQ(seq.total.dma_cycles, par.total.dma_cycles);
+  EXPECT_EQ(life_seq.compute_cycles, life_par.compute_cycles);
+  EXPECT_EQ(life_seq.dma_cycles, life_par.dma_cycles);
+}
+
+TEST(CoreGroup, KernelExceptionPropagatesFromPooledLaunch) {
+  common::ThreadPool::set_global_size(4);
+  CoreGroup cg;
+  EXPECT_THROW(cg.run([](CpeContext& ctx) {
+    if (ctx.id() == 37) throw Error("cpe 37 failed");
+  }),
+               Error);
+  // The core group (and the pool) stay usable after a failed launch.
+  EXPECT_NO_THROW(cg.run([](CpeContext& ctx) { ctx.charge_flops(1.0); }));
+  common::ThreadPool::set_global_size(1);
 }
 
 TEST(CoreGroup, SimTimeIsCriticalPath) {

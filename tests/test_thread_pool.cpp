@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace swgmx::common {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (int size : {1, 2, 3, 8}) {
+    ThreadPool pool(size);
+    for (int n : {0, 1, 5, 64, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      for (auto& h : hits) h.store(0);
+      pool.parallel_for(n, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "size=" << size << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](int) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPool, LargePoolUsesWorkerThreads) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::thread::id> lane(64);
+  pool.parallel_for(64, [&](int i) { lane[static_cast<std::size_t>(i)] = std::this_thread::get_id(); });
+  // Chunks are contiguous and fixed: lane of i only depends on i, and with
+  // 64 items over 4 lanes at least one item runs off the calling thread.
+  const auto caller = std::this_thread::get_id();
+  bool off_caller = false;
+  for (const auto& id : lane) off_caller = off_caller || id != caller;
+  EXPECT_TRUE(off_caller);
+  // Static chunking: items of the same chunk share a thread.
+  for (int k = 0; k < 4; ++k) {
+    const int lo = 64 * k / 4, hi = 64 * (k + 1) / 4;
+    for (int i = lo + 1; i < hi; ++i) {
+      EXPECT_EQ(lane[static_cast<std::size_t>(i)], lane[static_cast<std::size_t>(lo)]);
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](int i) {
+                          if (i == 41) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Reusable after a failed launch.
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionFromCallerLaneAlsoPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](int i) {
+                                   if (i == 0) throw std::runtime_error("lane0");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(8, [&](int outer) {
+    // A nested call from a task must not resubmit to the pool (deadlock);
+    // it runs inline on whichever lane is executing the outer task.
+    pool.parallel_for(8, [&](int inner) {
+      hits[static_cast<std::size_t>(outer * 8 + inner)]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DeterministicSumAcrossSizes) {
+  // Per-lane staging + fixed-order reduction — the pattern CoreGroup uses —
+  // must give bit-identical floating-point results for every pool size.
+  auto run = [](int size) {
+    ThreadPool pool(size);
+    std::vector<double> part(1000);
+    pool.parallel_for(1000, [&](int i) {
+      part[static_cast<std::size_t>(i)] = 1.0 / (1.0 + static_cast<double>(i));
+    });
+    double sum = 0.0;
+    for (double v : part) sum += v;
+    return sum;
+  };
+  const double ref = run(1);
+  for (int size : {2, 3, 8}) EXPECT_EQ(run(size), ref) << "size=" << size;
+}
+
+TEST(ThreadPool, ThreadsFromEnvParsing) {
+  EXPECT_EQ(ThreadPool::threads_from_env("8", 3), 8);
+  EXPECT_EQ(ThreadPool::threads_from_env("1", 3), 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(nullptr, 3), 3);
+  EXPECT_EQ(ThreadPool::threads_from_env("", 3), 3);
+  EXPECT_EQ(ThreadPool::threads_from_env("0", 3), 3);
+  EXPECT_EQ(ThreadPool::threads_from_env("-2", 3), 3);
+  EXPECT_EQ(ThreadPool::threads_from_env("abc", 3), 3);
+  EXPECT_EQ(ThreadPool::threads_from_env("8x", 3), 3);
+  EXPECT_EQ(ThreadPool::threads_from_env("999999", 3), 3);  // > 4096 cap
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+  ThreadPool::set_global_size(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2);
+  std::atomic<int> count{0};
+  ThreadPool::global().parallel_for(10, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 10);
+  ThreadPool::set_global_size(1);
+  EXPECT_EQ(ThreadPool::global().size(), 1);
+}
+
+}  // namespace
+}  // namespace swgmx::common
