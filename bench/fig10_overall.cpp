@@ -116,5 +116,6 @@ int main() {
     t.add_row(row);
   }
   t.print(std::cout, "Whole-app speedup vs Ori (paper Cal/List/Other shown):");
+  bench::recovery_json("fig10");
   return 0;
 }

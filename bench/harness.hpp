@@ -15,6 +15,7 @@
 #include "core/sw_short_range.hpp"
 #include "md/simulation.hpp"
 #include "md/water.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::bench {
 
@@ -50,6 +51,31 @@ inline void bench_json(const std::string& name,
     os << ",\"" << key << "\":" << value;
   }
   os << "}\n";
+}
+
+/// One BENCH line with the global fault-injection RecoveryStats. Emitted
+/// only when the injector saw or repaired anything, so fault-free bench
+/// output is unchanged.
+inline void recovery_json(const std::string& name, std::ostream& os = std::cout) {
+  const sw::RecoveryStats st = sw::FaultInjector::global().snapshot();
+  if (st.faults_seen() == 0 && st.rollbacks == 0 && st.checkpoints_written == 0)
+    return;
+  bench_json(name + "/recovery",
+             {{"dma_bitflips", static_cast<double>(st.dma_bitflips)},
+              {"dma_retries", static_cast<double>(st.dma_retries)},
+              {"dma_stalls", static_cast<double>(st.dma_stalls)},
+              {"msgs_dropped", static_cast<double>(st.msgs_dropped)},
+              {"msg_retransmits", static_cast<double>(st.msg_retransmits)},
+              {"msgs_duplicated", static_cast<double>(st.msgs_duplicated)},
+              {"msg_delays", static_cast<double>(st.msg_delays)},
+              {"cpe_stragglers", static_cast<double>(st.cpe_stragglers)},
+              {"numeric_kicks", static_cast<double>(st.numeric_kicks)},
+              {"rollbacks", static_cast<double>(st.rollbacks)},
+              {"steps_replayed", static_cast<double>(st.steps_replayed)},
+              {"transport_fallbacks", static_cast<double>(st.transport_fallbacks)},
+              {"checkpoints_written", static_cast<double>(st.checkpoints_written)},
+              {"seconds_lost", st.seconds_lost()}},
+             os);
 }
 
 /// Water box by particle count (3 particles per molecule), Table 3 defaults.

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   bench::bench_json("water_bench/" + strat_name,
                     {{"sim_seconds", sim.timers().total()},
                      {"wall_seconds", host_s}});
+  bench::recovery_json("water_bench/" + strat_name);
   // ns/day at a 2 fs step: the number MD people actually compare.
   const double ns_per_day = 86400.0 / per_step * opt.integ.dt / 1e3;
   std::cout << "simulated throughput: " << ns_per_day << " ns/day\n\n";

@@ -1,0 +1,41 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320). Used as the payload
+// checksum for DMA transfer verification and checkpoint files. Chainable:
+// crc32(b, nb, crc32(a, na)) == crc32(a||b).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace swgmx::common {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC of `n` bytes, continuing from a previous `crc` (0 to start).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n,
+                                         std::uint32_t crc = 0) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace swgmx::common

@@ -1,40 +1,95 @@
 #include "io/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace swgmx::io {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x53574758'43505431ull;  // "SWGX CPT1"
+constexpr std::uint64_t kMagic = 0x53574758'43505432ull;  // "SWGX CPT2"
+
+/// Flush `f` through the OS to the disk. Returns false on any failure.
+bool flush_to_disk(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+}  // namespace
+
+std::string checkpoint_prev_path(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "_prev";
+  }
+  return path.substr(0, dot) + "_prev" + path.substr(dot);
 }
 
 void write_checkpoint(const std::string& path, const md::System& sys,
                       std::int64_t step) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  SWGMX_CHECK_MSG(out.good(), "cannot open " << path);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  SWGMX_CHECK_MSG(f != nullptr, "cannot open " << tmp);
+
   const std::uint64_t n = sys.size();
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&step), sizeof(step));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(sys.x.data()),
-            static_cast<std::streamsize>(n * sizeof(Vec3f)));
-  out.write(reinterpret_cast<const char*>(sys.v.data()),
-            static_cast<std::streamsize>(n * sizeof(Vec3f)));
-  SWGMX_CHECK_MSG(out.good(), "short write to " << path);
+  const std::size_t xbytes = n * sizeof(Vec3f);
+  std::uint32_t crc = common::crc32(sys.x.data(), xbytes);
+  crc = common::crc32(sys.v.data(), xbytes, crc);
+
+  bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1;
+  ok = ok && std::fwrite(&step, sizeof(step), 1, f) == 1;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, f) == 1;
+  ok = ok && std::fwrite(sys.x.data(), 1, xbytes, f) == xbytes;
+  ok = ok && std::fwrite(sys.v.data(), 1, xbytes, f) == xbytes;
+  ok = ok && flush_to_disk(f);
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    SWGMX_CHECK_MSG(false, "short write to " << tmp);
+  }
+  // Atomic publish: readers see either the old checkpoint or the new one,
+  // never a torn file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SWGMX_CHECK_MSG(false, "cannot rename " << tmp << " to " << path);
+  }
+}
+
+void write_checkpoint_rotating(const std::string& path, const md::System& sys,
+                               std::int64_t step) {
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, checkpoint_prev_path(path), ec);
+    SWGMX_CHECK_MSG(!ec, "cannot rotate checkpoint " << path << ": "
+                                                     << ec.message());
+  }
+  write_checkpoint(path, sys, step);
 }
 
 Checkpoint read_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SWGMX_CHECK_MSG(in.good(), "cannot open " << path);
   std::uint64_t magic = 0, n = 0;
+  std::uint32_t stored_crc = 0;
   Checkpoint cp;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   SWGMX_CHECK_MSG(magic == kMagic, "not a SW_GROMACS checkpoint: " << path);
   in.read(reinterpret_cast<char*>(&cp.step), sizeof(cp.step));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
   SWGMX_CHECK_MSG(in.good() && n > 0 && n < (1ull << 32),
                   "corrupt checkpoint header in " << path);
   cp.x.resize(n);
@@ -44,6 +99,11 @@ Checkpoint read_checkpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(cp.v.data()),
           static_cast<std::streamsize>(n * sizeof(Vec3f)));
   SWGMX_CHECK_MSG(in.good(), "truncated checkpoint " << path);
+  std::uint32_t crc = common::crc32(cp.x.data(), n * sizeof(Vec3f));
+  crc = common::crc32(cp.v.data(), n * sizeof(Vec3f), crc);
+  SWGMX_CHECK_MSG(crc == stored_crc,
+                  "checkpoint payload CRC mismatch in " << path
+                                                        << " (corrupt file)");
   return cp;
 }
 

@@ -19,11 +19,26 @@ struct Checkpoint {
   std::vector<Vec3f> v;
 };
 
-/// Write the dynamic state of `sys` at `step`.
+/// Write the dynamic state of `sys` at `step`. Crash-safe: the state is
+/// written to `<path>.tmp`, fsync'd, then atomically renamed over `path`,
+/// and the header carries a CRC32 of the payload so a reader can reject a
+/// torn or bit-rotted file. A crash mid-write leaves the previous `path`
+/// intact.
 void write_checkpoint(const std::string& path, const md::System& sys,
                       std::int64_t step);
 
-/// Read a checkpoint (throws swgmx::Error on format mismatch/corruption).
+/// Like write_checkpoint, but first rotates an existing `path` to
+/// checkpoint_prev_path(path) (GROMACS-style `_prev`), so a fault during
+/// the write of the new checkpoint still leaves a restartable older one.
+void write_checkpoint_rotating(const std::string& path, const md::System& sys,
+                               std::int64_t step);
+
+/// The `_prev` sibling used by write_checkpoint_rotating
+/// ("run.cpt" -> "run_prev.cpt").
+[[nodiscard]] std::string checkpoint_prev_path(const std::string& path);
+
+/// Read a checkpoint (throws swgmx::Error on format mismatch, truncation or
+/// payload CRC mismatch).
 [[nodiscard]] Checkpoint read_checkpoint(const std::string& path);
 
 /// Apply a checkpoint's dynamic state onto a freshly constructed system

@@ -1,9 +1,13 @@
 #include "md/simulation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "io/checkpoint.hpp"
 #include "md/cost.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::md {
 
@@ -86,11 +90,21 @@ EnergySample Simulation::measure() {
 }
 
 std::optional<EnergySample> Simulation::step() {
-  if (step_ > 0 && opt_.nstlist > 0 && step_ % opt_.nstlist == 0) {
-    neighbor_search();
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  const bool faults = inj.enabled();
+  const bool guard = faults || opt_.watchdog;
+  if (faults) inj.set_step(step_);
+
+  const bool rebuild_step =
+      step_ > 0 && opt_.nstlist > 0 && step_ % opt_.nstlist == 0;
+  if (rebuild_step && !skip_rebuild_) neighbor_search();
+  skip_rebuild_ = false;
+  if (guard && (snap_.step != step_) && (snap_.step < 0 || rebuild_step)) {
+    take_snapshot();
   }
 
   compute_forces();
+  if (faults) inject_numeric_fault();
 
   // "Update": leapfrog + thermostat.
   const AlignedVector<Vec3f> x_ref(sys_.x.begin(), sys_.x.end());
@@ -100,6 +114,16 @@ std::optional<EnergySample> Simulation::step() {
   timers_.add(phase::kUpdate,
               mpe_secs(opt_.cfg, npart * kUpdateOpsPerParticle, npart * 2.0) /
                   opt_.update_speedup);
+
+  if (guard) {
+    // Health scan before the constraints see a corrupt state; charged as an
+    // MPE pass over x and v.
+    timers_.add(phase::kRest, mpe_secs(opt_.cfg, npart * 6.0, npart * 2.0));
+    if (!state_healthy(x_ref)) {
+      rollback();
+      return std::nullopt;
+    }
+  }
 
   // "Constraints": SHAKE.
   if (!sys_.top.constraints.empty()) {
@@ -125,6 +149,25 @@ std::optional<EnergySample> Simulation::step() {
     s.temperature = sys_.temperature();
     series_.push_back(s);
     sample = s;
+    if (guard) {
+      if (!have_e0_) {
+        e0_ = s.e_total();
+        have_e0_ = true;
+      } else if (std::abs(s.e_total() - e0_) >
+                 opt_.watchdog_energy_tol * std::max(1.0, std::abs(e0_))) {
+        // Slow corruption the displacement scan missed: total energy drifted
+        // away from the first sample.
+        --step_;
+        rollback();
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Past every detection point: the step the last rollback flagged has now
+  // completed cleanly, so the livelock budget resets.
+  if (consecutive_rollbacks_ > 0 && step_ > last_detect_step_) {
+    consecutive_rollbacks_ = 0;
   }
 
   // "Write traj".
@@ -132,11 +175,86 @@ std::optional<EnergySample> Simulation::step() {
     timers_.add(phase::kWriteTraj,
                 traj_->write_frame(sys_, static_cast<double>(step_) * opt_.integ.dt));
   }
+  maybe_write_checkpoint();
   return sample;
 }
 
+void Simulation::take_snapshot() {
+  snap_.step = step_;
+  snap_.x.assign(sys_.x.begin(), sys_.x.end());
+  snap_.v.assign(sys_.v.begin(), sys_.v.end());
+}
+
+void Simulation::inject_numeric_fault() {
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  const sw::FaultPlan& plan = inj.plan();
+  const auto step = static_cast<std::uint64_t>(step_);
+  if (!plan.numeric_kick(step, 0, kick_generation_)) return;
+  const std::uint64_t d =
+      plan.draw(sw::FaultKind::NumericKick, step, 0x4B1CCull, kick_generation_, 1);
+  const auto i = static_cast<std::size_t>(d % sys_.size());
+  const float bad = ((d >> 60) & 1ull) != 0
+                        ? std::numeric_limits<float>::quiet_NaN()
+                        : 1e12f;
+  sys_.f[i] = Vec3f{bad, bad, bad};
+  inj.record_numeric_kick();
+}
+
+bool Simulation::state_healthy(const AlignedVector<Vec3f>& x_ref) const {
+  const double max_d2 = opt_.watchdog_max_disp * opt_.watchdog_max_disp;
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    const Vec3f& x = sys_.x[i];
+    const Vec3f& v = sys_.v[i];
+    if (!std::isfinite(x.x) || !std::isfinite(x.y) || !std::isfinite(x.z) ||
+        !std::isfinite(v.x) || !std::isfinite(v.y) || !std::isfinite(v.z)) {
+      return false;
+    }
+    if (static_cast<double>(norm2(x - x_ref[i])) > max_d2) return false;
+  }
+  return true;
+}
+
+void Simulation::rollback() {
+  SWGMX_CHECK_MSG(snap_.step >= 0,
+                  "health violation at step " << step_
+                                              << " with no snapshot to roll back to");
+  last_detect_step_ = step_;
+  ++consecutive_rollbacks_;
+  SWGMX_CHECK_MSG(
+      consecutive_rollbacks_ <= sw::kMaxConsecutiveRollbacks,
+      "self-healing gave up: " << consecutive_rollbacks_
+                               << " consecutive rollbacks to step " << snap_.step);
+  const auto replayed = static_cast<std::uint64_t>(step_ - snap_.step) + 1;
+  std::copy(snap_.x.begin(), snap_.x.end(), sys_.x.begin());
+  std::copy(snap_.v.begin(), snap_.v.end(), sys_.v.begin());
+  sys_.clear_forces();
+  step_ = snap_.step;
+  while (!series_.empty() && series_.back().step > step_) series_.pop_back();
+  // The cluster mapping and pair list were last rebuilt exactly at the
+  // snapshot step, so the restored positions already match them — no rebuild
+  // needed, and the replay of a rebuild step must not rebuild twice.
+  skip_rebuild_ = true;
+  ++kick_generation_;
+  ++rollbacks_;
+  sw::FaultInjector::global().record_rollback(replayed);
+}
+
+void Simulation::maybe_write_checkpoint() {
+  if (opt_.checkpoint_every <= 0 || opt_.checkpoint_path.empty()) return;
+  if (step_ % opt_.checkpoint_every != 0) return;
+  io::write_checkpoint_rotating(opt_.checkpoint_path, sys_, step_);
+  // Serialization charged as an MPE streaming pass; the fsync itself is
+  // host-side I/O, outside the simulated machine.
+  const double n = static_cast<double>(sys_.size());
+  timers_.add(phase::kWriteTraj, mpe_secs(opt_.cfg, n * 8.0, n * 4.0));
+  sw::FaultInjector::global().record_checkpoint();
+}
+
 void Simulation::run(int nsteps) {
-  for (int i = 0; i < nsteps; ++i) step();
+  // While-loop, not for-loop: a rollback rewinds step_, and the contract is
+  // "advance to step_ + nsteps", replays included.
+  const std::int64_t target = step_ + nsteps;
+  while (step_ < target) step();
 }
 
 }  // namespace swgmx::md

@@ -3,7 +3,9 @@
 // Table 1 phase timers (simulated seconds).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "md/backends.hpp"
@@ -39,6 +41,12 @@ struct SimOptions {
   double update_speedup = 1.0;
   double constraint_speedup = 1.0;
   double buffer_speedup = 1.0;
+  // --- robustness / self-healing knobs ---
+  int checkpoint_every = 0;        ///< steps between on-disk checkpoints (0 = off)
+  std::string checkpoint_path;     ///< base .cpt path; a `_prev` sibling is kept
+  bool watchdog = false;           ///< run the numeric health guard even fault-free
+  double watchdog_max_disp = 0.1;  ///< nm of per-step displacement before rollback
+  double watchdog_energy_tol = 1.0;  ///< relative total-energy drift before rollback
 };
 
 /// One energy sample.
@@ -59,6 +67,12 @@ class Simulation {
              TrajSink* traj = nullptr);
 
   /// Advance one step. Returns the energies if this step sampled them.
+  /// Under fault injection (or with SimOptions::watchdog) the step is guarded:
+  /// a NaN/inf, runaway-displacement, or energy-drift violation rolls the
+  /// state back to the last pair-list-rebuild snapshot and the step count
+  /// rewinds, so the caller's run() loop replays it. Replayed steps draw
+  /// fresh fault decisions (a generation counter salts the fault keys), so
+  /// the loop converges to the fault-free trajectory bit for bit.
   std::optional<EnergySample> step();
 
   /// Advance n steps.
@@ -77,12 +91,30 @@ class Simulation {
   }
   [[nodiscard]] std::int64_t current_step() const { return step_; }
   [[nodiscard]] const SimOptions& options() const { return opt_; }
+  /// Rollbacks performed so far (numeric watchdog recoveries).
+  [[nodiscard]] std::uint64_t rollback_count() const { return rollbacks_; }
 
  private:
+  /// In-memory rollback target. Captured only at pair-list rebuild
+  /// boundaries so a replay regenerates the identical list.
+  struct Snapshot {
+    std::int64_t step = -1;
+    AlignedVector<Vec3f> x, v;
+  };
+
   /// Rebuild clusters + pair list ("Neighbor search").
   void neighbor_search();
   /// All force terms; fills last_* energy fields.
   void compute_forces();
+  void take_snapshot();
+  /// Deterministically corrupt a force (FaultKind::NumericKick), modeling an
+  /// undetected upstream corruption that escaped the DMA CRC.
+  void inject_numeric_fault();
+  /// NaN/inf + max-displacement scan of the post-update state.
+  [[nodiscard]] bool state_healthy(const AlignedVector<Vec3f>& x_ref) const;
+  /// Restore the snapshot and rewind step_ so the caller replays from it.
+  void rollback();
+  void maybe_write_checkpoint();
 
   System sys_;
   SimOptions opt_;
@@ -99,6 +131,15 @@ class Simulation {
   sw::PhaseTimers timers_;
   std::vector<EnergySample> series_;
   std::int64_t step_ = 0;
+
+  Snapshot snap_;
+  std::uint64_t kick_generation_ = 0;  ///< salts fault keys on replay
+  std::uint64_t rollbacks_ = 0;
+  int consecutive_rollbacks_ = 0;
+  std::int64_t last_detect_step_ = -1;
+  bool skip_rebuild_ = false;  ///< list already matches the restored state
+  double e0_ = 0.0;            ///< first energy sample, drift reference
+  bool have_e0_ = false;
 
   NbEnergies last_nb_;
   BondedEnergies last_bonded_;

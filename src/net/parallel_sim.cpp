@@ -1,9 +1,13 @@
 #include "net/parallel_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "io/checkpoint.hpp"
 #include "md/cost.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::net {
 
@@ -30,6 +34,7 @@ ParallelSim::ParallelSim(md::System sys, ParallelOptions opt,
   SWGMX_CHECK(opt_.nranks >= 1);
   if (opt_.rdma) {
     transport_ = std::make_unique<RdmaSimTransport>();
+    using_rdma_ = true;
   } else {
     transport_ = std::make_unique<MpiSimTransport>();
   }
@@ -42,6 +47,60 @@ double ParallelSim::mpe_secs(double ops, double mem) const {
                      mem * cfg.mpe_miss_rate * cfg.mpe_miss_latency_cycles);
 }
 
+void ParallelSim::fall_back_to_mpi() {
+  transport_ = std::make_unique<MpiSimTransport>();
+  using_rdma_ = false;
+  sw::FaultInjector::global().record_transport_fallback();
+}
+
+double ParallelSim::faulted_cost(double base_s) {
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  double s = base_s;
+  if (!inj.enabled()) return s;
+  const sw::FaultPlan& plan = inj.plan();
+  const auto step = static_cast<std::uint64_t>(step_);
+  // Ranks are simulated sequentially, so this ordinal is a deterministic
+  // per-call key regardless of the host pool size.
+  const auto ord = msg_ordinal_++;
+  constexpr int kFrom = 0x51;  // synthetic endpoint ids for modeled traffic
+  constexpr int kTo = 0x52;
+  int attempt = 0;
+  while (plan.msg_drop(step, kFrom, kTo, ord, attempt)) {
+    // Lost on the wire: ack timeout, then the whole exchange is re-paid.
+    const double penalty =
+        sw::kMsgTimeoutFactor * transport_->message_seconds(sw::kMsgAckBytes) +
+        base_s;
+    s += penalty;
+    inj.record_msg_drop();
+    inj.record_msg_retransmit(penalty);
+    ++drops_;
+    ++attempt;
+    if (attempt > sw::kMaxMsgRetries) {
+      // RDMA is lossy here by assumption; MPI retransmits below us. Degrade
+      // instead of dying — or give up if we already did.
+      SWGMX_CHECK_MSG(using_rdma_,
+                      "message retransmit budget exhausted on "
+                          << transport_->name() << " at step " << step_);
+      fall_back_to_mpi();
+      break;
+    }
+  }
+  if (using_rdma_ && drops_ >= static_cast<std::uint64_t>(std::max(
+                                   1, opt_.rdma_fallback_drops))) {
+    fall_back_to_mpi();
+  }
+  if (plan.msg_delay(step, kFrom, kTo, ord)) {
+    const double extra = sw::kMsgDelaySpike * s;
+    s += extra;
+    inj.record_msg_delay(extra);
+  }
+  return s;
+}
+
+double ParallelSim::comm_seconds(std::size_t bytes) {
+  return faulted_cost(transport_->message_seconds(bytes));
+}
+
 void ParallelSim::neighbor_search() {
   const int R = opt_.nranks;
 
@@ -52,7 +111,7 @@ void ParallelSim::neighbor_search() {
     // Roughly the halo-shell particles migrate or need re-registration.
     const double migrants =
         n / R * dd_.halo_fraction(0.1);  // one-step drift shell
-    dd_s += transport_->message_seconds(
+    dd_s += comm_seconds(
         static_cast<std::size_t>(std::max(1.0, migrants * 32.0)));
   }
   timers_.add(kDomainDecomp, dd_s);
@@ -95,8 +154,17 @@ void ParallelSim::step() {
   const int R = opt_.nranks;
   const double n = static_cast<double>(sys_.size());
 
-  if (step_ > 0 && opt_.sim.nstlist > 0 && step_ % opt_.sim.nstlist == 0) {
-    neighbor_search();
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  const bool faults = inj.enabled();
+  const bool guard = faults || opt_.sim.watchdog;
+  if (faults) inj.set_step(step_);
+
+  const bool rebuild_step =
+      step_ > 0 && opt_.sim.nstlist > 0 && step_ % opt_.sim.nstlist == 0;
+  if (rebuild_step && !skip_rebuild_) neighbor_search();
+  skip_rebuild_ = false;
+  if (guard && (snap_.step != step_) && (snap_.step < 0 || rebuild_step)) {
+    take_snapshot();
   }
 
   // Position halo exchange before the force computation (staged pulses:
@@ -107,8 +175,7 @@ void ParallelSim::step() {
     const int nb = dd_.halo_pulses();
     const auto bytes = static_cast<std::size_t>(
         std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
-    timers_.add(kWaitCommF, static_cast<double>(nb) *
-                                transport_->message_seconds(bytes));
+    timers_.add(kWaitCommF, static_cast<double>(nb) * comm_seconds(bytes));
   }
 
   // Forces (functionally global; timed per rank).
@@ -144,8 +211,8 @@ void ParallelSim::step() {
       // Distributed 3-D FFT: two transpose all-to-alls per transform pair.
       const auto grid_bytes_per_pair = static_cast<std::size_t>(std::max(
           1.0, 16.0 * 64.0 * 64.0 * 64.0 / (static_cast<double>(R) * R)));
-      timers_.add(kWaitCommF,
-                  2.0 * alltoall_seconds(*transport_, grid_bytes_per_pair, R));
+      timers_.add(kWaitCommF, faulted_cost(2.0 * alltoall_seconds(
+                                              *transport_, grid_bytes_per_pair, R)));
     }
   }
 
@@ -156,15 +223,24 @@ void ParallelSim::step() {
     const int nb = dd_.halo_pulses();
     const auto bytes = static_cast<std::size_t>(
         std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
-    timers_.add(kWaitCommF,
-                static_cast<double>(nb) * transport_->message_seconds(bytes));
+    timers_.add(kWaitCommF, static_cast<double>(nb) * comm_seconds(bytes));
   }
+
+  if (faults) inject_numeric_fault();
 
   // Update + constraints, parallel over ranks.
   const AlignedVector<Vec3f> x_ref(sys_.x.begin(), sys_.x.end());
   md::leapfrog_step(sys_, opt_.sim.integ);
   md::apply_thermostat(sys_, opt_.sim.integ);
   timers_.add(kUpdate, mpe_secs(n * md::kUpdateOpsPerParticle, n * 2.0) / R);
+
+  if (guard) {
+    timers_.add(md::phase::kRest, mpe_secs(n * 6.0, n * 2.0) / R);
+    if (!state_healthy(x_ref)) {
+      rollback();
+      return;
+    }
+  }
 
   if (!sys_.top.constraints.empty()) {
     shake_.apply(sys_, x_ref, opt_.sim.integ.dt);
@@ -176,11 +252,14 @@ void ParallelSim::step() {
   // "Comm. energies": the per-step global reduction of energies/virial,
   // inflated by synchronization skew — the 18.7% row of Table 1's Case 2.
   if (R > 1) {
-    timers_.add(kCommEnergies,
-                opt_.energy_comm_skew * allreduce_seconds(*transport_, 64, R));
+    timers_.add(kCommEnergies, opt_.energy_comm_skew *
+                                   faulted_cost(allreduce_seconds(*transport_, 64, R)));
   }
 
   ++step_;
+  if (consecutive_rollbacks_ > 0 && step_ > last_detect_step_) {
+    consecutive_rollbacks_ = 0;
+  }
 
   if (opt_.sim.nstenergy > 0 && step_ % opt_.sim.nstenergy == 0) {
     md::EnergySample s{};
@@ -199,18 +278,99 @@ void ParallelSim::step() {
     // path, plus the gather itself.
     double gather_s = 0.0;
     if (R > 1) {
-      gather_s = static_cast<double>(R - 1) *
-                 transport_->message_seconds(
-                     static_cast<std::size_t>(std::max(1.0, n / R * 12.0)));
+      gather_s = faulted_cost(
+          static_cast<double>(R - 1) *
+          transport_->message_seconds(
+              static_cast<std::size_t>(std::max(1.0, n / R * 12.0))));
     }
     timers_.add(kWriteTraj,
                 gather_s + traj_->write_frame(
                                sys_, static_cast<double>(step_) * opt_.sim.integ.dt));
   }
+  maybe_write_checkpoint();
+}
+
+void ParallelSim::take_snapshot() {
+  snap_.step = step_;
+  snap_.x.assign(sys_.x.begin(), sys_.x.end());
+  snap_.v.assign(sys_.v.begin(), sys_.v.end());
+}
+
+void ParallelSim::inject_numeric_fault() {
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  const sw::FaultPlan& plan = inj.plan();
+  const auto step = static_cast<std::uint64_t>(step_);
+  if (!plan.numeric_kick(step, 1, kick_generation_)) return;
+  const std::uint64_t d =
+      plan.draw(sw::FaultKind::NumericKick, step, 0x4B1CDull, kick_generation_, 1);
+  const auto i = static_cast<std::size_t>(d % sys_.size());
+  const float bad = ((d >> 60) & 1ull) != 0
+                        ? std::numeric_limits<float>::quiet_NaN()
+                        : 1e12f;
+  sys_.f[i] = Vec3f{bad, bad, bad};
+  inj.record_numeric_kick();
+}
+
+bool ParallelSim::state_healthy(const AlignedVector<Vec3f>& x_ref) const {
+  const double max_d2 =
+      opt_.sim.watchdog_max_disp * opt_.sim.watchdog_max_disp;
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    const Vec3f& x = sys_.x[i];
+    const Vec3f& v = sys_.v[i];
+    if (!std::isfinite(x.x) || !std::isfinite(x.y) || !std::isfinite(x.z) ||
+        !std::isfinite(v.x) || !std::isfinite(v.y) || !std::isfinite(v.z)) {
+      return false;
+    }
+    if (static_cast<double>(norm2(x - x_ref[i])) > max_d2) return false;
+  }
+  return true;
+}
+
+void ParallelSim::rollback() {
+  SWGMX_CHECK_MSG(snap_.step >= 0,
+                  "health violation at step " << step_
+                                              << " with no snapshot to roll back to");
+  last_detect_step_ = step_;
+  ++consecutive_rollbacks_;
+  SWGMX_CHECK_MSG(
+      consecutive_rollbacks_ <= sw::kMaxConsecutiveRollbacks,
+      "self-healing gave up: " << consecutive_rollbacks_
+                               << " consecutive rollbacks to step " << snap_.step);
+  const auto replayed = static_cast<std::uint64_t>(step_ - snap_.step) + 1;
+  std::copy(snap_.x.begin(), snap_.x.end(), sys_.x.begin());
+  std::copy(snap_.v.begin(), snap_.v.end(), sys_.v.begin());
+  sys_.clear_forces();
+  step_ = snap_.step;
+  while (!series_.empty() && series_.back().step > step_) series_.pop_back();
+  // The decomposition and pair list date from exactly the snapshot step.
+  skip_rebuild_ = true;
+  ++kick_generation_;
+  ++rollbacks_;
+  sw::FaultInjector::global().record_rollback(replayed);
+}
+
+void ParallelSim::maybe_write_checkpoint() {
+  if (opt_.sim.checkpoint_every <= 0 || opt_.sim.checkpoint_path.empty()) return;
+  if (step_ % opt_.sim.checkpoint_every != 0) return;
+  // Rank 0 gathers the state and writes; the gather rides the transport.
+  double gather_s = 0.0;
+  if (opt_.nranks > 1) {
+    const double n = static_cast<double>(sys_.size());
+    gather_s = static_cast<double>(opt_.nranks - 1) *
+               transport_->message_seconds(static_cast<std::size_t>(
+                   std::max(1.0, n / opt_.nranks * 24.0)));
+  }
+  io::write_checkpoint_rotating(opt_.sim.checkpoint_path, sys_, step_);
+  const double n = static_cast<double>(sys_.size());
+  timers_.add(kWriteTraj, gather_s + mpe_secs(n * 8.0, n * 4.0));
+  sw::FaultInjector::global().record_checkpoint();
 }
 
 void ParallelSim::run(int nsteps) {
-  for (int i = 0; i < nsteps; ++i) step();
+  // While-loop: rollbacks rewind step_, and replays must still reach the
+  // target step.
+  const std::int64_t target = step_ + nsteps;
+  while (step_ < target) step();
 }
 
 }  // namespace swgmx::net

@@ -26,6 +26,9 @@ struct ParallelOptions {
   /// Multiplier on the energy all-reduce capturing synchronization skew
   /// (ranks arrive at the reduce at different times).
   double energy_comm_skew = 4.0;
+  /// Under fault injection: cumulative message losses before an RDMA run
+  /// degrades gracefully to the (reliable, slower) MPI transport.
+  int rdma_fallback_drops = 16;
 };
 
 class ParallelSim {
@@ -48,10 +51,26 @@ class ParallelSim {
   [[nodiscard]] const Transport& transport() const { return *transport_; }
   /// Max-over-ranks share of cluster pairs (load imbalance indicator).
   [[nodiscard]] double max_pair_share() const { return max_pair_share_; }
+  /// Rollbacks performed so far (numeric watchdog recoveries).
+  [[nodiscard]] std::uint64_t rollback_count() const { return rollbacks_; }
+  /// Messages lost (and retransmitted) so far under fault injection.
+  [[nodiscard]] std::uint64_t message_drops() const { return drops_; }
 
  private:
   void neighbor_search();
   [[nodiscard]] double mpe_secs(double ops, double mem) const;
+  /// Pass a modeled communication cost through the fault plan: drops charge
+  /// an ack timeout plus a retransmit (and can trigger the RDMA->MPI
+  /// fallback), latency spikes inflate it. Identity when faults are off.
+  double faulted_cost(double base_s);
+  /// faulted_cost of one point-to-point message of `bytes`.
+  double comm_seconds(std::size_t bytes);
+  void fall_back_to_mpi();
+  void take_snapshot();
+  void inject_numeric_fault();
+  [[nodiscard]] bool state_healthy(const AlignedVector<Vec3f>& x_ref) const;
+  void rollback();
+  void maybe_write_checkpoint();
 
   md::System sys_;
   ParallelOptions opt_;
@@ -73,6 +92,22 @@ class ParallelSim {
   sw::PhaseTimers timers_;
   std::vector<md::EnergySample> series_;
   std::int64_t step_ = 0;
+
+  /// Rollback target, captured at pair-list rebuild boundaries (see
+  /// md::Simulation — same replay-bit-identity argument).
+  struct Snapshot {
+    std::int64_t step = -1;
+    AlignedVector<Vec3f> x, v;
+  };
+  Snapshot snap_;
+  std::uint64_t kick_generation_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t msg_ordinal_ = 0;  ///< fault key for modeled messages
+  int consecutive_rollbacks_ = 0;
+  std::int64_t last_detect_step_ = -1;
+  bool skip_rebuild_ = false;
+  bool using_rdma_ = false;
 };
 
 }  // namespace swgmx::net

@@ -1,8 +1,10 @@
 #include "net/transport.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::net {
 
@@ -33,24 +35,81 @@ double alltoall_seconds(const Transport& t, std::size_t bytes_per_pair,
 LoopbackNetwork::LoopbackNetwork(int nranks, std::shared_ptr<Transport> transport)
     : nranks_(nranks),
       transport_(std::move(transport)),
-      boxes_(static_cast<std::size_t>(nranks)) {
+      boxes_(static_cast<std::size_t>(nranks)),
+      next_seq_(static_cast<std::size_t>(nranks),
+                std::vector<std::uint64_t>(static_cast<std::size_t>(nranks), 0)),
+      last_seen_(static_cast<std::size_t>(nranks),
+                 std::vector<std::uint64_t>(static_cast<std::size_t>(nranks), 0)) {
   SWGMX_CHECK(nranks > 0);
   SWGMX_CHECK(transport_ != nullptr);
 }
 
 void LoopbackNetwork::send(int from, int to, std::vector<std::uint8_t> payload) {
   SWGMX_CHECK(from >= 0 && from < nranks_ && to >= 0 && to < nranks_);
-  cost_s_ += transport_->message_seconds(payload.size());
+  const std::uint64_t seq =
+      ++next_seq_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+
+  std::vector<std::uint8_t> frame(kHeaderBytes + payload.size());
+  const auto from32 = static_cast<std::uint32_t>(from);
+  std::memcpy(frame.data(), &from32, sizeof(from32));
+  std::memcpy(frame.data() + sizeof(from32), &seq, sizeof(seq));
+  std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+
+  double s = transport_->message_seconds(frame.size());
+  bool duplicate = false;
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  if (inj.enabled()) {
+    const sw::FaultPlan& plan = inj.plan();
+    const std::uint64_t step = inj.step();
+    int attempt = 0;
+    while (plan.msg_drop(step, from, to, seq, attempt)) {
+      // Lost on the wire: the sender times out waiting for the ack, then
+      // retransmits — both charged through the transport cost model.
+      const double penalty =
+          sw::kMsgTimeoutFactor * transport_->message_seconds(sw::kMsgAckBytes) +
+          transport_->message_seconds(frame.size());
+      s += penalty;
+      inj.record_msg_drop();
+      inj.record_msg_retransmit(penalty);
+      ++attempt;
+      SWGMX_CHECK_MSG(attempt <= sw::kMaxMsgRetries,
+                      "message retransmit budget exhausted ("
+                          << sw::kMaxMsgRetries << " retries, " << from << " -> "
+                          << to << " seq " << seq << " at step " << step << ")");
+    }
+    if (plan.msg_delay(step, from, to, seq)) {
+      const double extra = sw::kMsgDelaySpike * s;
+      s += extra;
+      inj.record_msg_delay(extra);
+    }
+    duplicate = plan.msg_dup(step, from, to, seq);
+  }
+  cost_s_ += s;
   ++nmsg_;
-  boxes_[static_cast<std::size_t>(to)].push_back(std::move(payload));
+  auto& box = boxes_[static_cast<std::size_t>(to)];
+  if (duplicate) {
+    box.push_back(frame);
+    inj.record_msg_duplicate();
+  }
+  box.push_back(std::move(frame));
 }
 
 std::vector<std::uint8_t> LoopbackNetwork::recv(int rank) {
   auto& box = boxes_[static_cast<std::size_t>(rank)];
-  if (box.empty()) return {};
-  auto msg = std::move(box.front());
-  box.pop_front();
-  return msg;
+  while (!box.empty()) {
+    auto frame = std::move(box.front());
+    box.pop_front();
+    std::uint32_t from32 = 0;
+    std::uint64_t seq = 0;
+    std::memcpy(&from32, frame.data(), sizeof(from32));
+    std::memcpy(&seq, frame.data() + sizeof(from32), sizeof(seq));
+    auto& seen = last_seen_[static_cast<std::size_t>(rank)][from32];
+    if (seq <= seen) continue;  // stale duplicate — already delivered
+    seen = seq;
+    return {frame.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+            frame.end()};
+  }
+  return {};
 }
 
 bool LoopbackNetwork::has_message(int rank) const {

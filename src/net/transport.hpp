@@ -73,22 +73,37 @@ class RdmaSimTransport final : public Transport {
 /// Mailbox network: rank r sends byte payloads to rank s; receive pops in
 /// FIFO order. Single-threaded (ranks are simulated sequentially), so no
 /// locking. Accumulates the modeled cost of every message it carries.
+///
+/// Delivery is reliable under fault injection: every message carries a
+/// (sender, sequence) header; a dropped message is retransmitted after a
+/// modeled ack timeout (charged to the cost model, bounded by
+/// sw::kMaxMsgRetries), duplicated deliveries are discarded on receive, and
+/// latency spikes inflate the carried cost. With faults disabled the header
+/// is inert and each payload is delivered exactly once, in order.
 class LoopbackNetwork {
  public:
   LoopbackNetwork(int nranks, std::shared_ptr<Transport> transport);
 
   void send(int from, int to, std::vector<std::uint8_t> payload);
-  /// Pops the next message for `rank`; returns empty if none.
+  /// Pops the next fresh message for `rank` (skipping stale duplicates);
+  /// returns empty if none.
   [[nodiscard]] std::vector<std::uint8_t> recv(int rank);
+  /// True when the mailbox is non-empty (may hold only duplicates, in which
+  /// case the next recv() drains them and returns empty).
   [[nodiscard]] bool has_message(int rank) const;
 
   [[nodiscard]] double total_cost_seconds() const { return cost_s_; }
+  /// Logical sends (retransmits are charged to cost, not counted here).
   [[nodiscard]] std::size_t messages_sent() const { return nmsg_; }
 
  private:
+  /// Wire frame: [from:u32][seq:u64][payload...].
+  static constexpr std::size_t kHeaderBytes = 12;
   int nranks_;
   std::shared_ptr<Transport> transport_;
   std::vector<std::deque<std::vector<std::uint8_t>>> boxes_;
+  std::vector<std::vector<std::uint64_t>> next_seq_;   ///< [from][to]
+  std::vector<std::vector<std::uint64_t>> last_seen_;  ///< [to][from]
   double cost_s_ = 0.0;
   std::size_t nmsg_ = 0;
 };

@@ -1,10 +1,12 @@
 #include "sw/core_group.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::sw {
 
@@ -31,6 +33,23 @@ KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kerne
     kernel(ctx);
     perf[static_cast<std::size_t>(id)] = ctx.perf();
   });
+
+  // Straggler injection happens post-join, in CPE-id order, salted by the
+  // CPE's own (deterministic) cycle count — so the inflated critical path is
+  // identical for every host pool size.
+  FaultInjector& inj = FaultInjector::global();
+  if (inj.enabled()) {
+    const std::uint64_t step = inj.step();
+    for (int id = 0; id < n; ++id) {
+      auto& pc = perf[static_cast<std::size_t>(id)];
+      const auto salt = static_cast<std::uint64_t>(std::llround(pc.total_cycles()));
+      if (inj.plan().cpe_straggle(step, id, salt)) {
+        const double extra = kStragglerSlowdown * pc.total_cycles();
+        pc.compute_cycles += extra;
+        inj.record_cpe_straggler(extra);
+      }
+    }
+  }
 
   KernelStats stats;
   stats.min_cycles = std::numeric_limits<double>::infinity();

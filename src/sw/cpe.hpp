@@ -16,7 +16,7 @@ namespace swgmx::sw {
 class CpeContext {
  public:
   CpeContext(int id, const SwConfig& cfg, LdmArena& ldm)
-      : id_(id), cfg_(&cfg), ldm_(&ldm), dma_(cfg) {}
+      : id_(id), cfg_(&cfg), ldm_(&ldm), dma_(cfg, id) {}
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] int row() const { return id_ / cfg_->cpe_mesh_dim; }

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::sw {
 
@@ -12,18 +14,66 @@ void DmaEngine::charge(std::size_t bytes, PerfCounters& pc) const {
   pc.dma_bytes += bytes;
 }
 
+void DmaEngine::transfer(void* dst, const void* src, std::size_t bytes,
+                         PerfCounters& pc) const {
+  SWGMX_CHECK_MSG(bytes > 0, "zero-byte DMA transfer");
+  SWGMX_CHECK_MSG(bytes <= cfg_->ldm_bytes,
+                  "DMA transfer of " << bytes << " B exceeds the "
+                                     << cfg_->ldm_bytes << " B LDM budget");
+
+  FaultInjector& inj = FaultInjector::global();
+  if (!inj.enabled()) {
+    std::memcpy(dst, src, bytes);
+    charge(bytes, pc);
+    return;
+  }
+
+  // Faulted path: the payload is protected by a CRC32 check charged to the
+  // CPE; a mismatch (injected bit flip) redoes the transfer, bounded by
+  // kMaxDmaRetries. Fault keys are (step, CPE lane, per-CPE transfer index,
+  // attempt) — pure data, so any host schedule sees the same faults.
+  const FaultPlan& plan = inj.plan();
+  const std::uint64_t step = inj.step();
+  const std::uint64_t xfer = pc.dma_transfers;
+  for (int attempt = 0;; ++attempt) {
+    SWGMX_CHECK_MSG(attempt <= kMaxDmaRetries,
+                    "DMA CRC retry budget exhausted ("
+                        << kMaxDmaRetries << " retries, " << bytes
+                        << " B transfer on CPE " << lane_ << " at step "
+                        << step << ")");
+    std::memcpy(dst, src, bytes);
+    charge(bytes, pc);
+    if (plan.dma_stall(step, lane_, xfer, attempt)) {
+      const double stall = kDmaStallPenalty * cfg_->dma_cycles(bytes);
+      pc.dma_cycles += stall;
+      inj.record_dma_stall(stall);
+    }
+    if (plan.dma_flip(step, lane_, xfer, attempt)) {
+      const std::uint64_t d =
+          plan.draw(FaultKind::DmaFlip, step,
+                    static_cast<std::uint64_t>(lane_) ^ 0xB17F11Bull, xfer,
+                    static_cast<std::uint64_t>(attempt));
+      const std::size_t bit = d % (bytes * 8);
+      static_cast<unsigned char*>(dst)[bit / 8] ^=
+          static_cast<unsigned char>(1u << (bit % 8));
+      inj.record_dma_bitflip();
+    }
+    const double crc_cycles = 2.0 * kCrcCyclesPerByte * static_cast<double>(bytes);
+    pc.compute_cycles += crc_cycles;
+    inj.record_crc_cycles(crc_cycles);
+    if (common::crc32(dst, bytes) == common::crc32(src, bytes)) return;
+    inj.record_dma_retry(cfg_->dma_cycles(bytes));
+  }
+}
+
 void DmaEngine::get(void* ldm_dst, const void* mem_src, std::size_t bytes,
                     PerfCounters& pc) const {
-  SWGMX_CHECK(bytes > 0);
-  std::memcpy(ldm_dst, mem_src, bytes);
-  charge(bytes, pc);
+  transfer(ldm_dst, mem_src, bytes, pc);
 }
 
 void DmaEngine::put(void* mem_dst, const void* ldm_src, std::size_t bytes,
                     PerfCounters& pc) const {
-  SWGMX_CHECK(bytes > 0);
-  std::memcpy(mem_dst, ldm_src, bytes);
-  charge(bytes, pc);
+  transfer(mem_dst, ldm_src, bytes, pc);
 }
 
 }  // namespace swgmx::sw

@@ -1,5 +1,12 @@
 // DMA engine: CPE <-> main-memory bulk transfers. Functionally a memcpy;
 // cost-wise charged from the Table 2 bandwidth curve.
+//
+// Robustness: transfer sizes are validated (0-byte and >LDM-budget requests
+// are contract violations), and when the global FaultInjector is enabled
+// every transfer is CRC32-verified against injected bit flips, with a
+// bounded retry loop whose redo copies and stall penalties are charged to
+// the counters. With faults disabled the fault path is a single
+// branch-predictable check.
 #pragma once
 
 #include <cstddef>
@@ -15,7 +22,11 @@ namespace swgmx::sw {
 /// results are real) and charge simulated cycles to the counters.
 class DmaEngine {
  public:
-  explicit DmaEngine(const SwConfig& cfg) : cfg_(&cfg) {}
+  /// `lane` identifies the owning CPE in fault-injection keys (the fault
+  /// pattern of a transfer depends on which CPE issued it, not on the host
+  /// thread that simulated it).
+  explicit DmaEngine(const SwConfig& cfg, int lane = 0)
+      : cfg_(&cfg), lane_(lane) {}
 
   /// Main memory -> LDM.
   void get(void* ldm_dst, const void* mem_src, std::size_t bytes,
@@ -39,7 +50,12 @@ class DmaEngine {
 
  private:
   void charge(std::size_t bytes, PerfCounters& pc) const;
+  /// The shared copy path: validate, copy, and (under fault injection)
+  /// corrupt/verify/retry. `dst` is the side whose payload can be corrupted.
+  void transfer(void* dst, const void* src, std::size_t bytes,
+                PerfCounters& pc) const;
   const SwConfig* cfg_;
+  int lane_;
 };
 
 }  // namespace swgmx::sw

@@ -1,0 +1,124 @@
+#include "sw/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace swgmx::sw {
+
+FaultRates parse_fault_spec(const char* spec) {
+  FaultRates r;
+  if (spec == nullptr || *spec == '\0') return r;
+  const std::string s(spec);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    SWGMX_CHECK_MSG(colon != std::string::npos,
+                    "SWGMX_FAULTS item '" << item << "' is not key:value");
+    const std::string key = item.substr(0, colon);
+    const std::string val = item.substr(colon + 1);
+    char* end = nullptr;
+    if (key == "seed") {
+      r.seed = std::strtoull(val.c_str(), &end, 10);
+      SWGMX_CHECK_MSG(end != nullptr && *end == '\0',
+                      "SWGMX_FAULTS seed '" << val << "' is not an integer");
+      continue;
+    }
+    const double rate = std::strtod(val.c_str(), &end);
+    SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
+                    "SWGMX_FAULTS rate '" << val << "' is not a number");
+    SWGMX_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+                    "SWGMX_FAULTS rate " << key << ":" << rate
+                                         << " outside [0, 1]");
+    if (key == "dma_flip") {
+      r.dma_flip = rate;
+    } else if (key == "dma_stall") {
+      r.dma_stall = rate;
+    } else if (key == "msg_drop") {
+      r.msg_drop = rate;
+    } else if (key == "msg_dup") {
+      r.msg_dup = rate;
+    } else if (key == "msg_delay") {
+      r.msg_delay = rate;
+    } else if (key == "cpe_straggle") {
+      r.cpe_straggle = rate;
+    } else if (key == "numeric_kick") {
+      r.numeric_kick = rate;
+    } else {
+      SWGMX_CHECK_MSG(false, "unknown SWGMX_FAULTS key '"
+                                 << key
+                                 << "' (dma_flip|dma_stall|msg_drop|msg_dup|"
+                                    "msg_delay|cpe_straggle|numeric_kick|seed)");
+    }
+  }
+  return r;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* instance = [] {
+    auto* fi = new FaultInjector();
+    fi->configure_from_env(std::getenv("SWGMX_FAULTS"));
+    return fi;
+  }();
+  return *instance;
+}
+
+void FaultInjector::configure(const FaultRates& rates) {
+  plan_ = FaultPlan(rates);
+  reset_stats();
+  step_.store(0, std::memory_order_relaxed);
+  enabled_.store(rates.any(), std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_env(const char* spec) {
+  configure(parse_fault_spec(spec));
+}
+
+void FaultInjector::add_cycles(double cycles) {
+  fault_cycles_.fetch_add(static_cast<std::uint64_t>(std::llround(cycles)),
+                          std::memory_order_relaxed);
+}
+
+void FaultInjector::add_msg_seconds(double seconds) {
+  msg_fault_ns_.fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e9)),
+      std::memory_order_relaxed);
+}
+
+RecoveryStats FaultInjector::snapshot() const {
+  RecoveryStats s;
+  s.dma_bitflips = dma_bitflips_.load(std::memory_order_relaxed);
+  s.dma_retries = dma_retries_.load(std::memory_order_relaxed);
+  s.dma_stalls = dma_stalls_.load(std::memory_order_relaxed);
+  s.msgs_dropped = msgs_dropped_.load(std::memory_order_relaxed);
+  s.msg_retransmits = msg_retransmits_.load(std::memory_order_relaxed);
+  s.msgs_duplicated = msgs_duplicated_.load(std::memory_order_relaxed);
+  s.msg_delays = msg_delays_.load(std::memory_order_relaxed);
+  s.cpe_stragglers = cpe_stragglers_.load(std::memory_order_relaxed);
+  s.numeric_kicks = numeric_kicks_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.steps_replayed = steps_replayed_.load(std::memory_order_relaxed);
+  s.transport_fallbacks = transport_fallbacks_.load(std::memory_order_relaxed);
+  s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  s.fault_cycles = fault_cycles_.load(std::memory_order_relaxed);
+  s.msg_fault_ns = msg_fault_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FaultInjector::reset_stats() {
+  for (Counter* c :
+       {&dma_bitflips_, &dma_retries_, &dma_stalls_, &msgs_dropped_,
+        &msg_retransmits_, &msgs_duplicated_, &msg_delays_, &cpe_stragglers_,
+        &numeric_kicks_, &rollbacks_, &steps_replayed_, &transport_fallbacks_,
+        &checkpoints_written_, &fault_cycles_, &msg_fault_ns_}) {
+    c->store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace swgmx::sw

@@ -1,0 +1,266 @@
+// Deterministic fault-injection framework.
+//
+// The simulator models exactly the layers that fail first at TaihuLight
+// scale — DMA channels, the interconnect, individual CPEs — so this module
+// lets tests and soak runs inject faults into them and lets the run loop
+// prove it can detect, contain and recover. Two design rules:
+//
+//  1. Determinism. Every fault decision is a pure hash of
+//     (seed, fault kind, step, lane/rank, transfer/sequence index, attempt)
+//     — never wall clock, never host thread identity. The same seed and
+//     rates produce the same fault pattern for any SWGMX_THREADS, so the
+//     pool-size equivalence gates extend to faulted runs.
+//
+//  2. Recovery is charged to simulated time. Retried DMA transfers,
+//     retransmitted messages, straggler cycles and replayed steps all flow
+//     through the normal cost model, so resilience has a measurable
+//     simulated-time price (RecoveryStats::seconds_lost).
+//
+// Configured from the SWGMX_FAULTS environment variable, e.g.
+//   SWGMX_FAULTS=dma_flip:1e-6,dma_stall:1e-4,msg_drop:1e-5,seed:42
+// With the variable unset the injector is disabled and every hook reduces
+// to one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace swgmx::sw {
+
+// --- recovery policy constants ---
+inline constexpr int kMaxDmaRetries = 4;      ///< CRC-retry budget per transfer
+inline constexpr int kMaxMsgRetries = 6;      ///< retransmit budget per message
+inline constexpr int kMaxConsecutiveRollbacks = 8;  ///< per snapshot before giving up
+inline constexpr double kDmaStallPenalty = 8.0;     ///< stall = this x transfer cycles
+inline constexpr double kCrcCyclesPerByte = 0.5;    ///< software CRC32 on a CPE (2 passes)
+inline constexpr double kStragglerSlowdown = 1.0;   ///< straggler runs (1+this)x slower
+inline constexpr double kMsgTimeoutFactor = 20.0;   ///< ack-timeout, in ack-message units
+inline constexpr std::size_t kMsgAckBytes = 64;     ///< modeled ack message size
+inline constexpr double kMsgDelaySpike = 10.0;      ///< latency-spike multiplier
+
+/// Per-kind fault probabilities (per transfer / message / CPE-launch / step).
+struct FaultRates {
+  double dma_flip = 0.0;      ///< one bit of a DMA payload flips
+  double dma_stall = 0.0;     ///< a DMA transfer stalls (kDmaStallPenalty x cost)
+  double msg_drop = 0.0;      ///< a point-to-point message is lost
+  double msg_dup = 0.0;       ///< a message is delivered twice
+  double msg_delay = 0.0;     ///< a message hits a latency spike
+  double cpe_straggle = 0.0;  ///< a CPE finishes (1+kStragglerSlowdown)x late
+  double numeric_kick = 0.0;  ///< a force entry is corrupted (NaN / blow-up)
+  std::uint64_t seed = 0x53574758ull;  // "SWGX"
+
+  [[nodiscard]] bool any() const {
+    return dma_flip > 0.0 || dma_stall > 0.0 || msg_drop > 0.0 ||
+           msg_dup > 0.0 || msg_delay > 0.0 || cpe_straggle > 0.0 ||
+           numeric_kick > 0.0;
+  }
+};
+
+/// Parse a SWGMX_FAULTS spec ("dma_flip:1e-6,msg_drop:1e-5,seed:42").
+/// nullptr/empty yields all-zero rates; unknown keys or rates outside [0, 1]
+/// throw swgmx::Error.
+[[nodiscard]] FaultRates parse_fault_spec(const char* spec);
+
+enum class FaultKind : std::uint64_t {
+  DmaFlip = 1,
+  DmaStall,
+  MsgDrop,
+  MsgDup,
+  MsgDelay,
+  CpeStraggle,
+  NumericKick,
+};
+
+/// Pure deterministic fault oracle: every method is a hash of its arguments
+/// and the seed. Copyable, no state beyond the rates.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultRates r) : r_(r) {}
+
+  [[nodiscard]] const FaultRates& rates() const { return r_; }
+
+  [[nodiscard]] bool dma_flip(std::uint64_t step, int lane, std::uint64_t xfer,
+                              int attempt) const {
+    return fires(FaultKind::DmaFlip, r_.dma_flip, step,
+                 static_cast<std::uint64_t>(lane), xfer,
+                 static_cast<std::uint64_t>(attempt));
+  }
+  [[nodiscard]] bool dma_stall(std::uint64_t step, int lane, std::uint64_t xfer,
+                               int attempt) const {
+    return fires(FaultKind::DmaStall, r_.dma_stall, step,
+                 static_cast<std::uint64_t>(lane), xfer,
+                 static_cast<std::uint64_t>(attempt));
+  }
+  [[nodiscard]] bool msg_drop(std::uint64_t step, int from, int to,
+                              std::uint64_t seq, int attempt) const {
+    return fires(FaultKind::MsgDrop, r_.msg_drop, step, key2(from, to), seq,
+                 static_cast<std::uint64_t>(attempt));
+  }
+  [[nodiscard]] bool msg_dup(std::uint64_t step, int from, int to,
+                             std::uint64_t seq) const {
+    return fires(FaultKind::MsgDup, r_.msg_dup, step, key2(from, to), seq, 0);
+  }
+  [[nodiscard]] bool msg_delay(std::uint64_t step, int from, int to,
+                               std::uint64_t seq) const {
+    return fires(FaultKind::MsgDelay, r_.msg_delay, step, key2(from, to), seq, 0);
+  }
+  /// `salt` decorrelates the launches within one step (callers pass the
+  /// CPE's own cycle count, a deterministic per-launch value).
+  [[nodiscard]] bool cpe_straggle(std::uint64_t step, int cpe,
+                                  std::uint64_t salt) const {
+    return fires(FaultKind::CpeStraggle, r_.cpe_straggle, step,
+                 static_cast<std::uint64_t>(cpe), salt, 0);
+  }
+  /// `generation` increments on every rollback so the replayed steps draw a
+  /// fresh fault pattern and the self-healing loop converges.
+  [[nodiscard]] bool numeric_kick(std::uint64_t step, int rank,
+                                  std::uint64_t generation) const {
+    return fires(FaultKind::NumericKick, r_.numeric_kick, step,
+                 static_cast<std::uint64_t>(rank), generation, 0);
+  }
+
+  /// Raw deterministic 64-bit draw for fault payloads (which bit to flip,
+  /// which particle to kick).
+  [[nodiscard]] std::uint64_t draw(FaultKind kind, std::uint64_t a,
+                                   std::uint64_t b, std::uint64_t c,
+                                   std::uint64_t d) const {
+    return hash(kind, a, b, c, d);
+  }
+
+ private:
+  static std::uint64_t key2(int hi, int lo) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi)) << 32) |
+           static_cast<std::uint32_t>(lo);
+  }
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  [[nodiscard]] std::uint64_t hash(FaultKind kind, std::uint64_t a,
+                                   std::uint64_t b, std::uint64_t c,
+                                   std::uint64_t d) const {
+    std::uint64_t h =
+        r_.seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(kind);
+    h = mix(h ^ a);
+    h = mix(h ^ b);
+    h = mix(h ^ c);
+    h = mix(h ^ d);
+    return h;
+  }
+  [[nodiscard]] bool fires(FaultKind kind, double rate, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c,
+                           std::uint64_t d) const {
+    if (rate <= 0.0) return false;
+    if (rate >= 1.0) return true;
+    const double u =
+        static_cast<double>(hash(kind, a, b, c, d) >> 11) * 0x1.0p-53;
+    return u < rate;
+  }
+
+  FaultRates r_;
+};
+
+/// Observability snapshot: what the fault layer saw and what recovery cost.
+/// Deterministic for a given seed/rates and any pool size: counts are
+/// order-independent sums, and time lost is accumulated in integer units
+/// (cycles / nanoseconds) so no floating-point reduction order leaks in.
+struct RecoveryStats {
+  std::uint64_t dma_bitflips = 0;       ///< injected payload corruptions
+  std::uint64_t dma_retries = 0;        ///< CRC-mismatch redo copies
+  std::uint64_t dma_stalls = 0;
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t msg_retransmits = 0;
+  std::uint64_t msgs_duplicated = 0;
+  std::uint64_t msg_delays = 0;
+  std::uint64_t cpe_stragglers = 0;
+  std::uint64_t numeric_kicks = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t steps_replayed = 0;
+  std::uint64_t transport_fallbacks = 0;  ///< RDMA -> MPI degradations
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t fault_cycles = 0;   ///< CPE cycles spent on checks + recovery
+  std::uint64_t msg_fault_ns = 0;   ///< simulated ns spent on retransmits/spikes
+
+  [[nodiscard]] std::uint64_t faults_seen() const {
+    return dma_bitflips + dma_stalls + msgs_dropped + msgs_duplicated +
+           msg_delays + cpe_stragglers + numeric_kicks;
+  }
+  /// Simulated seconds charged to fault recovery and protection overhead.
+  [[nodiscard]] double seconds_lost(double freq_hz = 1.45e9) const {
+    return static_cast<double>(fault_cycles) / freq_hz +
+           static_cast<double>(msg_fault_ns) * 1e-9;
+  }
+};
+
+/// Process-wide fault injector: the active plan, the current simulation step
+/// (set by the run loops, keyed into every fault decision), and the
+/// recovery statistics. All hot-path hooks gate on one relaxed atomic load,
+/// so an unset SWGMX_FAULTS costs a single predictable branch.
+class FaultInjector {
+ public:
+  /// The global injector, configured from SWGMX_FAULTS on first use.
+  [[nodiscard]] static FaultInjector& global();
+
+  /// Install a new plan and reset statistics (test hook; also the env path).
+  void configure(const FaultRates& rates);
+  /// configure() from a SWGMX_FAULTS-style spec (nullptr/empty disables).
+  void configure_from_env(const char* spec);
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  void set_step(std::int64_t step) {
+    step_.store(step, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t step() const {
+    return static_cast<std::uint64_t>(step_.load(std::memory_order_relaxed));
+  }
+
+  // --- recovery bookkeeping (thread-safe, order-independent) ---
+  void record_dma_bitflip() { bump(dma_bitflips_); }
+  void record_dma_retry(double cycles) { bump(dma_retries_); add_cycles(cycles); }
+  void record_dma_stall(double cycles) { bump(dma_stalls_); add_cycles(cycles); }
+  void record_crc_cycles(double cycles) { add_cycles(cycles); }
+  void record_msg_drop() { bump(msgs_dropped_); }
+  void record_msg_retransmit(double seconds) {
+    bump(msg_retransmits_);
+    add_msg_seconds(seconds);
+  }
+  void record_msg_duplicate() { bump(msgs_duplicated_); }
+  void record_msg_delay(double seconds) { bump(msg_delays_); add_msg_seconds(seconds); }
+  void record_cpe_straggler(double cycles) { bump(cpe_stragglers_); add_cycles(cycles); }
+  void record_numeric_kick() { bump(numeric_kicks_); }
+  void record_rollback(std::uint64_t steps_replayed) {
+    bump(rollbacks_);
+    steps_replayed_.fetch_add(steps_replayed, std::memory_order_relaxed);
+  }
+  void record_transport_fallback() { bump(transport_fallbacks_); }
+  void record_checkpoint() { bump(checkpoints_written_); }
+
+  [[nodiscard]] RecoveryStats snapshot() const;
+  void reset_stats();
+
+ private:
+  using Counter = std::atomic<std::uint64_t>;
+  static void bump(Counter& c) { c.fetch_add(1, std::memory_order_relaxed); }
+  void add_cycles(double cycles);
+  void add_msg_seconds(double seconds);
+
+  FaultPlan plan_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> step_{0};
+
+  Counter dma_bitflips_{0}, dma_retries_{0}, dma_stalls_{0};
+  Counter msgs_dropped_{0}, msg_retransmits_{0}, msgs_duplicated_{0}, msg_delays_{0};
+  Counter cpe_stragglers_{0}, numeric_kicks_{0};
+  Counter rollbacks_{0}, steps_replayed_{0};
+  Counter transport_fallbacks_{0}, checkpoints_written_{0};
+  Counter fault_cycles_{0}, msg_fault_ns_{0};
+};
+
+}  // namespace swgmx::sw

@@ -89,5 +89,69 @@ TEST(Checkpoint, RejectsTruncation) {
   EXPECT_THROW((void)read_checkpoint(path), Error);
 }
 
+TEST(Checkpoint, RejectsBitRot) {
+  md::System sys = test::small_water(10);
+  const std::string path = ::testing::TempDir() + "/cp_bitrot.cpt";
+  write_checkpoint(path, sys, 7);
+  // Flip one bit inside the payload: the header CRC must catch it.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW((void)read_checkpoint(path), Error);
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTmpFile) {
+  md::System sys = test::small_water(10);
+  const std::string path = ::testing::TempDir() + "/cp_atomic.cpt";
+  write_checkpoint(path, sys, 1);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(Checkpoint, RotatingWriteKeepsPrev) {
+  md::System sys = test::small_water(10);
+  const std::string path = ::testing::TempDir() + "/cp_rot.cpt";
+  const std::string prev = checkpoint_prev_path(path);
+  EXPECT_EQ(prev, ::testing::TempDir() + "/cp_rot_prev.cpt");
+  std::filesystem::remove(path);
+  std::filesystem::remove(prev);
+
+  write_checkpoint_rotating(path, sys, 10);
+  EXPECT_FALSE(std::filesystem::exists(prev));  // nothing to rotate yet
+  write_checkpoint_rotating(path, sys, 20);
+  ASSERT_TRUE(std::filesystem::exists(prev));
+  EXPECT_EQ(read_checkpoint(path).step, 20);
+  EXPECT_EQ(read_checkpoint(prev).step, 10);  // older state survives
+}
+
+TEST(Checkpoint, SimulationAutoCheckpoints) {
+  const std::string path = ::testing::TempDir() + "/cp_auto.cpt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(checkpoint_prev_path(path));
+
+  Rig rig;
+  md::SimOptions opt;
+  opt.nstenergy = 0;
+  opt.checkpoint_every = 10;
+  opt.checkpoint_path = path;
+  md::Simulation sim(test::small_water(20), opt, *rig.sr, *rig.pl);
+  sim.run(25);
+
+  // Written at steps 10 and 20; the newest holds step 20, `_prev` step 10.
+  const Checkpoint cp = read_checkpoint(path);
+  EXPECT_EQ(cp.step, 20);
+  EXPECT_EQ(read_checkpoint(checkpoint_prev_path(path)).step, 10);
+  // The checkpoint is a mid-run snapshot; check it restores cleanly onto a
+  // matching system.
+  md::System fresh = test::small_water(20);
+  apply_checkpoint(cp, fresh);
+}
+
 }  // namespace
 }  // namespace swgmx::io

@@ -1,0 +1,374 @@
+// Fault-injection framework: deterministic fault plans, DMA CRC-retry,
+// straggler charging, reliable messaging, and the self-healing run loop
+// (rollback + replay converging to the fault-free trajectory bit for bit).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "md/simulation.hpp"
+#include "net/parallel_sim.hpp"
+#include "net/transport.hpp"
+#include "sw/core_group.hpp"
+#include "sw/dma.hpp"
+#include "sw/fault.hpp"
+#include "testutil.hpp"
+
+namespace swgmx {
+namespace {
+
+using sw::FaultInjector;
+using sw::FaultPlan;
+using sw::FaultRates;
+using sw::RecoveryStats;
+
+/// RAII: configure the global injector for one test, restore "disabled"
+/// afterwards so the rest of the suite stays fault-free.
+class FaultGuard {
+ public:
+  explicit FaultGuard(const FaultRates& r) { FaultInjector::global().configure(r); }
+  explicit FaultGuard(const char* spec) {
+    FaultInjector::global().configure_from_env(spec);
+  }
+  ~FaultGuard() { FaultInjector::global().configure_from_env(nullptr); }
+};
+
+TEST(FaultSpec, ParsesRatesAndSeed) {
+  const FaultRates r = sw::parse_fault_spec(
+      "dma_flip:1e-6,dma_stall:1e-4,msg_drop:1e-5,msg_dup:0.25,"
+      "msg_delay:0.5,cpe_straggle:0.01,numeric_kick:1,seed:42");
+  EXPECT_DOUBLE_EQ(r.dma_flip, 1e-6);
+  EXPECT_DOUBLE_EQ(r.dma_stall, 1e-4);
+  EXPECT_DOUBLE_EQ(r.msg_drop, 1e-5);
+  EXPECT_DOUBLE_EQ(r.msg_dup, 0.25);
+  EXPECT_DOUBLE_EQ(r.msg_delay, 0.5);
+  EXPECT_DOUBLE_EQ(r.cpe_straggle, 0.01);
+  EXPECT_DOUBLE_EQ(r.numeric_kick, 1.0);
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_TRUE(r.any());
+}
+
+TEST(FaultSpec, EmptyOrNullDisables) {
+  EXPECT_FALSE(sw::parse_fault_spec(nullptr).any());
+  EXPECT_FALSE(sw::parse_fault_spec("").any());
+  EXPECT_FALSE(sw::parse_fault_spec("seed:7").any());
+}
+
+TEST(FaultSpec, RejectsUnknownKeysAndBadRates) {
+  EXPECT_THROW((void)sw::parse_fault_spec("bogus:0.1"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip:2.0"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip:-1"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip"), Error);
+}
+
+TEST(FaultPlanTest, DeterministicAndRateEdges) {
+  FaultRates r;
+  r.dma_flip = 0.5;
+  r.seed = 99;
+  const FaultPlan plan(r);
+  // Same key -> same answer, always.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(plan.dma_flip(3, i, 17, 0), plan.dma_flip(3, i, 17, 0));
+  }
+  // Rate 0 never fires, rate 1 always fires.
+  FaultRates never;
+  FaultRates always;
+  always.msg_drop = 1.0;
+  EXPECT_FALSE(FaultPlan(never).msg_drop(1, 0, 1, 5, 0));
+  EXPECT_TRUE(FaultPlan(always).msg_drop(1, 0, 1, 5, 0));
+  // A 50% rate fires for roughly half the keys.
+  int fired = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) fired += plan.dma_flip(0, 0, x, 0);
+  EXPECT_GT(fired, 350);
+  EXPECT_LT(fired, 650);
+}
+
+TEST(FaultDma, BitFlipIsRepairedByCrcRetry) {
+  FaultRates r;
+  // High enough that flips certainly occur over 50 transfers, low enough
+  // that (rate)^(1+kMaxDmaRetries) keeps every retry chain convergent.
+  r.dma_flip = 0.15;
+  r.seed = 12;
+  const FaultGuard guard(r);
+  const sw::SwConfig cfg;
+  const sw::DmaEngine dma(cfg, 0);
+  sw::PerfCounters pc;
+  std::vector<std::uint8_t> src(1024);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint8_t>(i * 37 + 1);
+  std::vector<std::uint8_t> dst(src.size());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::fill(dst.begin(), dst.end(), 0);
+    dma.get(dst.data(), src.data(), dst.size(), pc);
+    // Whatever was injected, the delivered payload is intact...
+    ASSERT_EQ(std::memcmp(dst.data(), src.data(), dst.size()), 0);
+  }
+  // ...and the repair work is visible in the stats.
+  const RecoveryStats st = FaultInjector::global().snapshot();
+  EXPECT_GT(st.dma_bitflips, 0u);
+  EXPECT_GT(st.dma_retries, 0u);
+  EXPECT_GT(st.fault_cycles, 0u);  // CRC + redo cycles were charged
+}
+
+TEST(FaultDma, RetryBudgetExhaustionThrows) {
+  FaultRates r;
+  r.dma_flip = 1.0;  // every attempt corrupted: retries can never succeed
+  const FaultGuard guard(r);
+  const sw::SwConfig cfg;
+  const sw::DmaEngine dma(cfg, 0);
+  sw::PerfCounters pc;
+  std::vector<std::uint8_t> src(256, 0xAB);
+  std::vector<std::uint8_t> dst(src.size());
+  EXPECT_THROW(dma.get(dst.data(), src.data(), dst.size(), pc), Error);
+}
+
+TEST(FaultDma, StallsChargeSimulatedTime) {
+  const sw::SwConfig cfg;
+  std::vector<std::uint8_t> src(2048, 1);
+  std::vector<std::uint8_t> dst(src.size());
+
+  sw::PerfCounters clean;
+  {
+    const FaultGuard guard(FaultRates{});  // enabled() false: fast path
+    const sw::DmaEngine dma(cfg, 0);
+    for (int i = 0; i < 20; ++i) dma.get(dst.data(), src.data(), dst.size(), clean);
+  }
+  sw::PerfCounters stalled;
+  {
+    FaultRates r;
+    r.dma_stall = 1.0;
+    const FaultGuard guard(r);
+    const sw::DmaEngine dma(cfg, 0);
+    for (int i = 0; i < 20; ++i)
+      dma.get(dst.data(), src.data(), dst.size(), stalled);
+    EXPECT_EQ(FaultInjector::global().snapshot().dma_stalls, 20u);
+  }
+  EXPECT_GT(stalled.dma_cycles, clean.dma_cycles * sw::kDmaStallPenalty);
+}
+
+TEST(FaultDma, RejectsZeroAndOversizedTransfers) {
+  const sw::SwConfig cfg;
+  const sw::DmaEngine dma(cfg, 0);
+  sw::PerfCounters pc;
+  std::vector<std::uint8_t> big(cfg.ldm_bytes + 1);
+  std::vector<std::uint8_t> dst(big.size());
+  EXPECT_THROW(dma.get(dst.data(), big.data(), 0, pc), Error);
+  EXPECT_THROW(dma.get(dst.data(), big.data(), big.size(), pc), Error);
+  EXPECT_NO_THROW(dma.get(dst.data(), big.data(), cfg.ldm_bytes, pc));
+}
+
+TEST(FaultNet, DroppedMessagesAreRetransmittedAndCharged) {
+  auto transport = std::make_shared<net::MpiSimTransport>();
+  const double clean_cost = [&] {
+    net::LoopbackNetwork netw(2, transport);
+    std::vector<std::uint8_t> payload{1, 2, 3, 4};
+    netw.send(0, 1, payload);
+    return netw.total_cost_seconds();
+  }();
+
+  FaultRates r;
+  r.msg_drop = 0.4;  // many first attempts lost, retries succeed eventually
+  r.seed = 7;
+  const FaultGuard guard(r);
+  net::LoopbackNetwork netw(2, transport);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::uint8_t> payload{1, 2, 3, static_cast<std::uint8_t>(i)};
+    netw.send(0, 1, payload);
+    const auto got = netw.recv(1);
+    ASSERT_EQ(got, payload);  // delivery is reliable despite the losses
+  }
+  const RecoveryStats st = FaultInjector::global().snapshot();
+  EXPECT_GT(st.msgs_dropped, 0u);
+  EXPECT_EQ(st.msg_retransmits, st.msgs_dropped);
+  EXPECT_GT(st.msg_fault_ns, 0u);
+  // The charged cost grew past 20 clean messages' worth.
+  EXPECT_GT(netw.total_cost_seconds(), 20.0 * clean_cost);
+}
+
+TEST(FaultNet, DuplicatesAreDiscardedOnReceive) {
+  FaultRates r;
+  r.msg_dup = 1.0;  // every message delivered twice
+  const FaultGuard guard(r);
+  net::LoopbackNetwork netw(2, std::make_shared<net::RdmaSimTransport>());
+  netw.send(0, 1, {10});
+  netw.send(0, 1, {11});
+  EXPECT_EQ(netw.recv(1), std::vector<std::uint8_t>{10});
+  EXPECT_EQ(netw.recv(1), std::vector<std::uint8_t>{11});
+  // Only the stale duplicates remain; recv drains them and reports empty.
+  EXPECT_TRUE(netw.recv(1).empty());
+  EXPECT_EQ(FaultInjector::global().snapshot().msgs_duplicated, 2u);
+}
+
+TEST(FaultNet, RetransmitBudgetExhaustionThrows) {
+  FaultRates r;
+  r.msg_drop = 1.0;  // unconditionally lossy: no retry can succeed
+  const FaultGuard guard(r);
+  net::LoopbackNetwork netw(2, std::make_shared<net::MpiSimTransport>());
+  EXPECT_THROW(netw.send(0, 1, {1, 2, 3}), Error);
+}
+
+TEST(FaultCoreGroup, StragglersInflateCriticalPath) {
+  const auto work = [](sw::CpeContext& cpe) { cpe.charge_cycles(1000.0); };
+  sw::CoreGroup cg_clean;
+  const double clean = cg_clean.run(work).sim_seconds;
+  FaultRates r;
+  r.cpe_straggle = 1.0;  // all 64 lanes straggle
+  const FaultGuard guard(r);
+  sw::CoreGroup cg;
+  const double slowed = cg.run(work).sim_seconds;
+  EXPECT_NEAR(slowed, clean * (1.0 + sw::kStragglerSlowdown), clean * 1e-9);
+  EXPECT_EQ(FaultInjector::global().snapshot().cpe_stragglers,
+            static_cast<std::uint64_t>(cg.config().cpe_count));
+}
+
+/// Run a small water simulation and return (final system, rollbacks, stats).
+struct SoakResult {
+  md::System sys;
+  std::uint64_t rollbacks = 0;
+  RecoveryStats stats;
+  double sim_seconds = 0.0;
+};
+
+SoakResult run_water(int nsteps, const char* spec, bool parallel = false) {
+  FaultInjector::global().configure_from_env(spec);
+  md::System sys = test::small_water(60, md::CoulombMode::ReactionField, 3);
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  SoakResult out;
+  if (parallel) {
+    net::ParallelOptions popt;
+    popt.nranks = 4;
+    popt.sim.nstlist = 10;
+    popt.sim.nstenergy = 10;
+    net::ParallelSim sim(std::move(sys), popt, *sr, pl);
+    sim.run(nsteps);
+    out.sys = sim.system();
+    out.rollbacks = sim.rollback_count();
+    out.sim_seconds = sim.total_seconds();
+  } else {
+    md::SimOptions opt;
+    opt.nstlist = 10;
+    opt.nstenergy = 10;
+    md::Simulation sim(std::move(sys), opt, *sr, pl);
+    sim.run(nsteps);
+    out.sys = sim.system();
+    out.rollbacks = sim.rollback_count();
+    out.sim_seconds = sim.timers().total();
+  }
+  out.stats = FaultInjector::global().snapshot();
+  FaultInjector::global().configure_from_env(nullptr);
+  return out;
+}
+
+constexpr const char* kSoakSpec =
+    "dma_flip:1e-5,dma_stall:1e-4,msg_drop:1e-4,cpe_straggle:1e-3,"
+    "numeric_kick:0.02,seed:2026";
+
+TEST(FaultSoak, RecoversToFaultFreeTrajectory) {
+  const SoakResult clean = run_water(200, nullptr);
+  const SoakResult faulted = run_water(200, kSoakSpec);
+
+  // The fault layer was genuinely exercised...
+  EXPECT_GT(faulted.stats.numeric_kicks, 0u);
+  EXPECT_GE(faulted.stats.rollbacks, 1u);
+  EXPECT_EQ(faulted.rollbacks, faulted.stats.rollbacks);
+  EXPECT_GT(faulted.stats.seconds_lost(), 0.0);
+  // ...recovery cost real simulated time...
+  EXPECT_GT(faulted.sim_seconds, clean.sim_seconds);
+  // ...and the healed trajectory is the fault-free one, bit for bit.
+  ASSERT_EQ(faulted.sys.size(), clean.sys.size());
+  for (std::size_t i = 0; i < clean.sys.size(); ++i) {
+    ASSERT_EQ(faulted.sys.x[i].x, clean.sys.x[i].x) << "particle " << i;
+    ASSERT_EQ(faulted.sys.x[i].y, clean.sys.x[i].y) << "particle " << i;
+    ASSERT_EQ(faulted.sys.x[i].z, clean.sys.x[i].z) << "particle " << i;
+    ASSERT_EQ(faulted.sys.v[i].x, clean.sys.v[i].x) << "particle " << i;
+  }
+}
+
+TEST(FaultSoak, ParallelSimRecoversToo) {
+  const SoakResult clean = run_water(100, nullptr, /*parallel=*/true);
+  const SoakResult faulted = run_water(100, kSoakSpec, /*parallel=*/true);
+  EXPECT_GT(faulted.stats.faults_seen(), 0u);
+  ASSERT_EQ(faulted.sys.size(), clean.sys.size());
+  for (std::size_t i = 0; i < clean.sys.size(); ++i) {
+    ASSERT_EQ(faulted.sys.x[i].x, clean.sys.x[i].x) << "particle " << i;
+    ASSERT_EQ(faulted.sys.x[i].z, clean.sys.x[i].z) << "particle " << i;
+  }
+}
+
+TEST(FaultSoak, PoolSizeInvariance) {
+  // The fault pattern, the recovery stats, and the healed state are all
+  // bit-identical whether the simulated CPEs run on 1 host thread or 8.
+  common::ThreadPool::set_global_size(1);
+  const SoakResult a = run_water(100, kSoakSpec);
+  common::ThreadPool::set_global_size(8);
+  const SoakResult b = run_water(100, kSoakSpec);
+  common::ThreadPool::set_global_size(0);  // back to the default size
+
+  EXPECT_EQ(a.stats.dma_bitflips, b.stats.dma_bitflips);
+  EXPECT_EQ(a.stats.dma_retries, b.stats.dma_retries);
+  EXPECT_EQ(a.stats.dma_stalls, b.stats.dma_stalls);
+  EXPECT_EQ(a.stats.cpe_stragglers, b.stats.cpe_stragglers);
+  EXPECT_EQ(a.stats.numeric_kicks, b.stats.numeric_kicks);
+  EXPECT_EQ(a.stats.rollbacks, b.stats.rollbacks);
+  EXPECT_EQ(a.stats.steps_replayed, b.stats.steps_replayed);
+  EXPECT_EQ(a.stats.fault_cycles, b.stats.fault_cycles);
+  EXPECT_EQ(a.stats.msg_fault_ns, b.stats.msg_fault_ns);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  ASSERT_EQ(a.sys.size(), b.sys.size());
+  for (std::size_t i = 0; i < a.sys.size(); ++i) {
+    ASSERT_EQ(a.sys.x[i].x, b.sys.x[i].x) << "particle " << i;
+    ASSERT_EQ(a.sys.v[i].y, b.sys.v[i].y) << "particle " << i;
+  }
+}
+
+TEST(FaultParallel, RdmaFallsBackToMpiAfterRepeatedLoss) {
+  FaultRates r;
+  r.msg_drop = 0.4;
+  r.seed = 11;
+  const FaultGuard guard(r);
+  md::System sys = test::small_water(40);
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  net::ParallelOptions popt;
+  popt.nranks = 8;
+  popt.rdma = true;
+  popt.rdma_fallback_drops = 4;
+  net::ParallelSim sim(std::move(sys), popt, *sr, pl);
+  ASSERT_EQ(sim.transport().name(), "RDMA");
+  sim.run(20);
+  EXPECT_GT(sim.message_drops(), 4u);
+  EXPECT_EQ(sim.transport().name(), "MPI");  // degraded, not dead
+  EXPECT_GE(FaultInjector::global().snapshot().transport_fallbacks, 1u);
+}
+
+TEST(FaultSim, WatchdogRunsFaultFree) {
+  // watchdog=true turns the guard on without any injected faults: the run
+  // must complete with zero rollbacks and an unchanged trajectory.
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+
+  md::SimOptions opt;
+  opt.nstlist = 10;
+  md::Simulation plain(test::small_water(30), opt, *sr, pl);
+  plain.run(50);
+
+  opt.watchdog = true;
+  md::Simulation guarded(test::small_water(30), opt, *sr, pl);
+  guarded.run(50);
+
+  EXPECT_EQ(guarded.rollback_count(), 0u);
+  for (std::size_t i = 0; i < plain.system().size(); ++i) {
+    ASSERT_EQ(guarded.system().x[i].x, plain.system().x[i].x);
+  }
+}
+
+}  // namespace
+}  // namespace swgmx
