@@ -40,7 +40,9 @@ VersionRun run_version(Version v, std::size_t particles, int ranks, int steps) {
   md::System sys =
       bench::water_particles(particles, md::CoulombMode::EwaldShort);
   pme::PmeSolver pme(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
-  // The CPE port of the mesh operations ships with the calculation rung.
+  // The CPE port of the mesh operations ships with the calculation rung:
+  // spread/FFT/convolve/gather run as real CoreGroup kernels (pme_cpe.cpp)
+  // and the PME seconds are their measured critical path.
   pme.set_accelerated(v != Version::Ori);
   sw::CoreGroup cg;
 

@@ -88,6 +88,31 @@ int main(int argc, char** argv) {
                 secs / sim.timers().total() * 100.0);
   }
 
+  // Per-phase PME mesh breakdown when the mesh ran on the core group.
+  if (pme_solver && pme_solver->accelerated()) {
+    const pme::PmeBreakdown& b = pme_solver->last_breakdown();
+    std::cout << "\nPME mesh offload (last step): prep " << b.prep_s * 1e3
+              << " ms, spread " << b.spread_s * 1e3 << " ms, reduce "
+              << b.reduce_s * 1e3 << " ms, fft " << b.fft_s * 1e3
+              << " ms, convolve " << b.convolve_s * 1e3 << " ms, gather "
+              << b.gather_s * 1e3 << " ms\n";
+    std::cout << "PME DMA: " << b.dma_transfers << " transfers, "
+              << static_cast<double>(b.dma_bytes) / 1e6
+              << " MB; gather read miss "
+              << b.gather_read_miss_rate * 100.0 << "%, spread write miss "
+              << b.spread_write_miss_rate * 100.0 << "%\n";
+    for (const auto& [phase, secs] :
+         {std::pair<const char*, double>{"prep", b.prep_s},
+          {"spread", b.spread_s},
+          {"reduce", b.reduce_s},
+          {"fft", b.fft_s},
+          {"convolve", b.convolve_s},
+          {"gather", b.gather_s}}) {
+      bench::bench_json("water_bench/pme/" + std::string(phase),
+                        {{"sim_seconds", secs}});
+    }
+  }
+
   // Kernel-level detail when the strategy is one of the SW CPE kernels.
   if (auto* swsr = dynamic_cast<core::SwShortRange*>(sr.get())) {
     const auto& last = swsr->last();

@@ -1,0 +1,99 @@
+#include "core/grid_cache.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace swgmx::core {
+
+GridCopySet::GridCopySet(int ncpe, std::size_t nx, std::size_t ny,
+                         std::size_t nz)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      windows_(static_cast<std::size_t>(ncpe)),
+      storage_(static_cast<std::size_t>(ncpe)),
+      marks_(static_cast<std::size_t>(ncpe)) {}
+
+void GridCopySet::set_window(int cpe, std::size_t lo, std::size_t planes) {
+  SWGMX_CHECK(planes <= nx_);
+  auto& w = windows_[static_cast<std::size_t>(cpe)];
+  w.lo = lo % nx_;
+  w.planes = planes;
+  // Storage only grows across steps; the contents are never read before
+  // being written (marks gate every access).
+  auto& st = storage_[static_cast<std::size_t>(cpe)];
+  const std::size_t need = planes * ny_ * nz_;
+  if (st.size() < need) st.resize(need);
+  auto& mk = marks_[static_cast<std::size_t>(cpe)];
+  const std::size_t words = (planes * ny_ + 63) / 64;
+  if (mk.size() < words) mk.resize(words, 0);
+}
+
+void GridCopySet::clear_marks() {
+  for (auto& mk : marks_) std::memset(mk.data(), 0, mk.size() * sizeof(mk[0]));
+}
+
+GridWriteCache::GridWriteCache(sw::CpeContext& ctx, GridCopySet& copies,
+                               int cpe)
+    : ctx_(&ctx), copies_(&copies), cpe_(cpe), nz_(copies.nz()) {
+  data_ = ctx.ldm().allocate<double>(static_cast<std::size_t>(kSlots) * nz_);
+  tags_ = ctx.ldm().allocate<std::int32_t>(kSlots);
+  for (auto& t : tags_) t = -1;
+  ldm_marks_ = ctx.ldm().allocate<std::uint64_t>(copies.mark_words(cpe));
+}
+
+void GridWriteCache::write_back(int slot) {
+  const std::int32_t wp = tags_[static_cast<std::size_t>(slot)];
+  if (wp < 0) return;
+  ctx_->dma_put(copies_->pencil(cpe_, static_cast<std::size_t>(wp)),
+                data_.data() + static_cast<std::size_t>(slot) * nz_,
+                nz_ * sizeof(double));
+}
+
+void GridWriteCache::load_pencil(int slot, std::int32_t wp) {
+  double* dst = data_.data() + static_cast<std::size_t>(slot) * nz_;
+  const auto w = static_cast<std::size_t>(wp) / 64;
+  const auto b = static_cast<std::size_t>(wp) % 64;
+  if ((ldm_marks_[w] >> b) & 1u) {
+    // Pencil holds earlier partial sums: fetch them.
+    ctx_->dma_get(dst, copies_->pencil(cpe_, static_cast<std::size_t>(wp)),
+                  nz_ * sizeof(double));
+  } else {
+    // First touch: the copy is logically zero — clear the LDM pencil and
+    // set the mark. No DMA, no main-memory init step (Alg 3).
+    std::memset(dst, 0, nz_ * sizeof(double));
+    ldm_marks_[w] |= std::uint64_t{1} << b;
+    ctx_->charge_cycles(2.0 + static_cast<double>(nz_) / 4.0);
+  }
+  tags_[static_cast<std::size_t>(slot)] = wp;
+}
+
+void GridWriteCache::add(std::size_t wplane, std::size_t iy, std::size_t iz,
+                         double v) {
+  // The 4 support planes x 4 support iy of one particle are consecutive, so
+  // their low-2-bit pairs are distinct: zero intra-particle conflicts.
+  const int slot = static_cast<int>(((wplane & 3u) << 2) | (iy & 3u));
+  const auto wp = static_cast<std::int32_t>(wplane * copies_->ny() + iy);
+  if (tags_[static_cast<std::size_t>(slot)] != wp) {
+    ++ctx_->perf().write_misses;
+    write_back(slot);
+    load_pencil(slot, wp);
+  } else {
+    ++ctx_->perf().write_hits;
+  }
+  data_[static_cast<std::size_t>(slot) * nz_ + iz] += v;
+}
+
+void GridWriteCache::flush() {
+  for (int s = 0; s < kSlots; ++s) {
+    write_back(s);
+    tags_[static_cast<std::size_t>(s)] = -1;
+  }
+  // Publish the marks for the reduction kernel (one small DMA).
+  if (!ldm_marks_.empty())
+    ctx_->dma_put(copies_->marks_of(cpe_).data(), ldm_marks_.data(),
+                  ldm_marks_.size() * sizeof(std::uint64_t));
+}
+
+}  // namespace swgmx::core

@@ -1,0 +1,135 @@
+// PME-spread analogue of the Deferred Update + Bit-Map machinery (§3.2/§3.3)
+// for the short-range force copies, at z-pencil granularity:
+//
+//  - GridCopySet: per-CPE *windowed* copies of the real-valued charge grid.
+//    A CPE spreading particles of x-planes [lo, hi) only ever touches planes
+//    [lo-3, hi) (4th-order B-spline support), so its copy is a circular
+//    window of (hi-lo)+3 planes instead of the whole grid — the full-grid
+//    version would be 64 x nx*ny*nz doubles. One mark bit per z pencil
+//    records "this pencil was written", which (a) lets first touch skip both
+//    initialization and fetch, and (b) lets the reduction skip untouched
+//    pencils.
+//
+//  - GridWriteCache: the LDM-resident direct-mapped cache of pencils a
+//    spread kernel accumulates into, written back to the CPE's window copy
+//    only on eviction/flush. The slot index is built from the low bits of
+//    (plane, iy), so the 4x4 xy support of one particle maps to 16 distinct
+//    slots and never self-evicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sw/cpe.hpp"
+
+namespace swgmx::core {
+
+class GridCopySet {
+ public:
+  struct Window {
+    std::size_t lo = 0;      ///< first x plane (circular)
+    std::size_t planes = 0;  ///< plane count (0 = idle CPE)
+  };
+
+  GridCopySet(int ncpe, std::size_t nx, std::size_t ny, std::size_t nz);
+
+  /// Assign CPE `cpe` the circular plane window [lo, lo+planes) and size its
+  /// copy storage. planes is clamped to nx by the caller.
+  void set_window(int cpe, std::size_t lo, std::size_t planes);
+  [[nodiscard]] const Window& window(int cpe) const {
+    return windows_[static_cast<std::size_t>(cpe)];
+  }
+  /// All windows, contiguous — reduction kernels DMA this into LDM.
+  [[nodiscard]] std::span<const Window> windows() const { return windows_; }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  /// Pencils in a CPE's window (= window planes * ny).
+  [[nodiscard]] std::size_t npencils(int cpe) const {
+    return window(cpe).planes * ny_;
+  }
+  /// Mark words covering npencils(cpe).
+  [[nodiscard]] std::size_t mark_words(int cpe) const {
+    return (npencils(cpe) + 63) / 64;
+  }
+
+  /// Window pencil index of global (ix, iy) for this CPE, or npos when the
+  /// plane is outside the window.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t wpencil(int cpe, std::size_t ix, std::size_t iy) const {
+    const Window& w = window(cpe);
+    const std::size_t wplane = (ix + nx_ - w.lo) % nx_;
+    return wplane < w.planes ? wplane * ny_ + iy : npos;
+  }
+
+  /// Main-memory storage of one window pencil (nz doubles).
+  [[nodiscard]] double* pencil(int cpe, std::size_t wp) {
+    return storage_[static_cast<std::size_t>(cpe)].data() + wp * nz_;
+  }
+  [[nodiscard]] const double* pencil(int cpe, std::size_t wp) const {
+    return storage_[static_cast<std::size_t>(cpe)].data() + wp * nz_;
+  }
+
+  [[nodiscard]] std::span<std::uint64_t> marks_of(int cpe) {
+    return marks_[static_cast<std::size_t>(cpe)];
+  }
+  [[nodiscard]] std::span<const std::uint64_t> marks_of(int cpe) const {
+    return marks_[static_cast<std::size_t>(cpe)];
+  }
+  [[nodiscard]] bool marked(int cpe, std::size_t wp) const {
+    return (marks_[static_cast<std::size_t>(cpe)][wp / 64] >> (wp % 64)) & 1u;
+  }
+
+  /// Zero every CPE's mark bits (the copies themselves are NOT touched —
+  /// that is the Bit-Map point). Host-side, called before a spread launch.
+  void clear_marks();
+
+  [[nodiscard]] int ncpe() const { return static_cast<int>(windows_.size()); }
+
+ private:
+  std::size_t nx_, ny_, nz_;
+  std::vector<Window> windows_;
+  std::vector<std::vector<double>> storage_;        ///< per CPE, pencils * nz
+  std::vector<std::vector<std::uint64_t>> marks_;   ///< per CPE, 1 bit/pencil
+};
+
+/// LDM write cache of grid pencils for one spread kernel. Mirrors
+/// ForceWriteCache: direct-mapped, write-back on eviction, Bit-Map marks so
+/// first touch zero-fills in LDM instead of fetching.
+class GridWriteCache {
+ public:
+  /// 16 slots = the 4 planes x 4 iy support of one particle, conflict-free.
+  static constexpr int kSlots = 16;
+
+  GridWriteCache(sw::CpeContext& ctx, GridCopySet& copies, int cpe);
+
+  /// Accumulate v into the window pencil (wplane, iy) at depth iz.
+  void add(std::size_t wplane, std::size_t iy, std::size_t iz, double v);
+
+  /// Write every dirty pencil back and publish the mark bits. Must be
+  /// called before the kernel ends.
+  void flush();
+
+  /// LDM bytes the cache allocates for a given pencil depth (pencils + tags
+  /// + mark mirror; budget checks in tests).
+  [[nodiscard]] static std::size_t ldm_bytes(std::size_t nz, std::size_t mark_words) {
+    return kSlots * nz * sizeof(double) + kSlots * sizeof(std::int32_t) +
+           mark_words * sizeof(std::uint64_t);
+  }
+
+ private:
+  void write_back(int slot);
+  void load_pencil(int slot, std::int32_t wp);
+
+  sw::CpeContext* ctx_;
+  GridCopySet* copies_;
+  int cpe_;
+  std::size_t nz_;
+  std::span<double> data_;              ///< kSlots pencils of nz doubles
+  std::span<std::int32_t> tags_;        ///< window pencil id per slot
+  std::span<std::uint64_t> ldm_marks_;  ///< LDM mirror of this CPE's marks
+};
+
+}  // namespace swgmx::core

@@ -1,8 +1,19 @@
 #include "fft/fft3d.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace swgmx::fft {
+
+namespace {
+
+/// Lines per batch of the MPE path. 16 z-columns of complex doubles is a
+/// 256 B contiguous run per segment read/write — enough to amortize the
+/// cache-line fills the old one-element-at-a-time gather paid per value.
+constexpr std::size_t kMpeLinesPerBatch = 16;
+
+}  // namespace
 
 Grid3D::Grid3D(std::size_t nx, std::size_t ny, std::size_t nz)
     : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz) {
@@ -15,9 +26,87 @@ void Grid3D::fill(cplx v) {
   for (auto& x : data_) x = v;
 }
 
+std::size_t Grid3D::batch_count(int axis, std::size_t lines_per_batch) const {
+  SWGMX_CHECK(axis >= 0 && axis <= 2 && lines_per_batch > 0);
+  if (axis == 2) {
+    const std::size_t nlines = nx_ * ny_;
+    const std::size_t b = std::min(lines_per_batch, nlines);
+    return (nlines + b - 1) / b;
+  }
+  // x/y lines are indexed by (plane, z-column); a batch is one plane's chunk
+  // of zc consecutive z columns.
+  const std::size_t zc = std::min(lines_per_batch, nz_);
+  SWGMX_CHECK_MSG(nz_ % zc == 0, "lines_per_batch must divide nz");
+  return (axis == 1 ? nx_ : ny_) * (nz_ / zc);
+}
+
+LineBatch Grid3D::batch_info(int axis, std::size_t batch,
+                             std::size_t lines_per_batch) const {
+  LineBatch b;
+  if (axis == 2) {
+    const std::size_t nlines = nx_ * ny_;
+    const std::size_t lpb = std::min(lines_per_batch, nlines);
+    const std::size_t first = batch * lpb;
+    SWGMX_CHECK(first < nlines);
+    b.lines = std::min(lpb, nlines - first);
+    b.len = nz_;
+    b.mem_offset = first * nz_;
+    b.segments = 1;
+    b.segment_elems = b.lines * nz_;
+    b.segment_stride = 0;
+    return b;
+  }
+  const std::size_t zc = std::min(lines_per_batch, nz_);
+  const std::size_t per_plane = nz_ / zc;
+  const std::size_t plane = batch / per_plane;
+  const std::size_t z0 = (batch % per_plane) * zc;
+  b.lines = zc;
+  b.segment_elems = zc;
+  if (axis == 1) {
+    SWGMX_CHECK(plane < nx_);
+    b.len = ny_;
+    b.segments = ny_;
+    b.segment_stride = nz_;
+    b.mem_offset = plane * ny_ * nz_ + z0;  // (ix=plane, iy=0, iz=z0)
+  } else {
+    SWGMX_CHECK(plane < ny_);
+    b.len = nx_;
+    b.segments = nx_;
+    b.segment_stride = ny_ * nz_;
+    b.mem_offset = plane * nz_ + z0;  // (ix=0, iy=plane, iz=z0)
+  }
+  return b;
+}
+
+void Grid3D::load_batch(const LineBatch& b, std::span<cplx> scratch) const {
+  SWGMX_CHECK(scratch.size() >= b.lines * b.len);
+  if (b.segments == 1) {
+    std::memcpy(scratch.data(), data_.data() + b.mem_offset,
+                b.segment_elems * sizeof(cplx));
+    return;
+  }
+  // Segment s carries element s of every line: read each contiguous run
+  // once, scatter into the line-major scratch.
+  for (std::size_t s = 0; s < b.segments; ++s) {
+    const cplx* src = data_.data() + b.mem_offset + s * b.segment_stride;
+    for (std::size_t l = 0; l < b.lines; ++l) scratch[l * b.len + s] = src[l];
+  }
+}
+
+void Grid3D::store_batch(const LineBatch& b, std::span<const cplx> scratch) {
+  SWGMX_CHECK(scratch.size() >= b.lines * b.len);
+  if (b.segments == 1) {
+    std::memcpy(data_.data() + b.mem_offset, scratch.data(),
+                b.segment_elems * sizeof(cplx));
+    return;
+  }
+  for (std::size_t s = 0; s < b.segments; ++s) {
+    cplx* dst = data_.data() + b.mem_offset + s * b.segment_stride;
+    for (std::size_t l = 0; l < b.lines; ++l) dst[l] = scratch[l * b.len + s];
+  }
+}
+
 void Grid3D::transform_axis(int axis, bool fwd) {
-  // Gather each line along `axis` into a contiguous scratch buffer, do the
-  // 1-D transform, scatter back. z lines are already contiguous.
   auto run = [&](std::span<cplx> line) {
     if (fwd) {
       fft::forward(line);
@@ -27,28 +116,24 @@ void Grid3D::transform_axis(int axis, bool fwd) {
   };
 
   if (axis == 2) {
-    for (std::size_t ix = 0; ix < nx_; ++ix)
-      for (std::size_t iy = 0; iy < ny_; ++iy)
-        run(std::span<cplx>(&at(ix, iy, 0), nz_));
+    // z lines are contiguous: transform in place, no staging.
+    for (std::size_t p = 0; p < nx_ * ny_; ++p)
+      run(std::span<cplx>(data_.data() + p * nz_, nz_));
     return;
   }
 
-  const std::size_t len = axis == 0 ? nx_ : ny_;
-  std::vector<cplx> scratch(len);
-  if (axis == 1) {
-    for (std::size_t ix = 0; ix < nx_; ++ix)
-      for (std::size_t iz = 0; iz < nz_; ++iz) {
-        for (std::size_t iy = 0; iy < ny_; ++iy) scratch[iy] = at(ix, iy, iz);
-        run(scratch);
-        for (std::size_t iy = 0; iy < ny_; ++iy) at(ix, iy, iz) = scratch[iy];
-      }
-  } else {
-    for (std::size_t iy = 0; iy < ny_; ++iy)
-      for (std::size_t iz = 0; iz < nz_; ++iz) {
-        for (std::size_t ix = 0; ix < nx_; ++ix) scratch[ix] = at(ix, iy, iz);
-        run(scratch);
-        for (std::size_t ix = 0; ix < nx_; ++ix) at(ix, iy, iz) = scratch[ix];
-      }
+  // Blocked transpose: stage kMpeLinesPerBatch lines at a time so the
+  // strided axis is read/written in contiguous zc-element runs. Per-line
+  // results are identical to the old per-element gather (same data through
+  // the same 1-D transform), only the memory access order changes.
+  const std::size_t nb = batch_count(axis, kMpeLinesPerBatch);
+  std::vector<cplx> scratch(std::min(kMpeLinesPerBatch, nz_) * line_len(axis));
+  for (std::size_t i = 0; i < nb; ++i) {
+    const LineBatch b = batch_info(axis, i, kMpeLinesPerBatch);
+    load_batch(b, scratch);
+    for (std::size_t l = 0; l < b.lines; ++l)
+      run(std::span<cplx>(scratch.data() + l * b.len, b.len));
+    store_batch(b, scratch);
   }
 }
 

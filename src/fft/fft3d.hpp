@@ -1,5 +1,12 @@
 // 3-D complex FFT over a dense row-major grid, built from the 1-D transform.
 // This is the stand-in for GROMACS' parallel 3-D FFT used by PME.
+//
+// Lines along an axis are processed in *batches* (LineBatch): a batch is a
+// group of 1-D lines whose main-memory footprint is a small set of contiguous
+// segments. The MPE path walks batches so the x/y passes read contiguous
+// runs instead of one element per cache line (blocked transpose); the CPE
+// pencil-FFT kernel reuses the same iterator to size its DMA transfers and
+// stay inside the 64 KB LDM budget.
 #pragma once
 
 #include <span>
@@ -8,6 +15,24 @@
 #include "fft/fft.hpp"
 
 namespace swgmx::fft {
+
+/// One blocked batch of 1-D lines along an axis.
+///
+/// Line-major scratch layout: scratch[l * len + i] is element i of line l.
+/// In main memory the batch occupies `segments` contiguous runs of
+/// `segment_elems` complex values, `segment_stride` apart, starting at flat
+/// index `mem_offset`. For the z axis (lines already contiguous) the whole
+/// batch is one segment and scratch order equals memory order; for the x/y
+/// axes segment s holds element s of every line in the batch (a
+/// lines x len tile of the transpose).
+struct LineBatch {
+  std::size_t lines = 0;           ///< lines in this batch
+  std::size_t len = 0;             ///< 1-D transform length
+  std::size_t mem_offset = 0;      ///< flat() index of the first element
+  std::size_t segments = 0;        ///< contiguous main-memory runs
+  std::size_t segment_elems = 0;   ///< complex values per run
+  std::size_t segment_stride = 0;  ///< flat() stride between runs
+};
 
 /// Dense nx*ny*nz complex grid, row-major with z fastest.
 class Grid3D {
@@ -34,6 +59,23 @@ class Grid3D {
   void forward();
   /// In-place inverse 3-D FFT including full 1/(nx ny nz) normalization.
   void inverse();
+
+  /// Transform length of one line along `axis` (0 = x, 1 = y, 2 = z).
+  [[nodiscard]] std::size_t line_len(int axis) const {
+    return axis == 0 ? nx_ : axis == 1 ? ny_ : nz_;
+  }
+  /// Number of batches covering the grid for `lines_per_batch` (clamped to
+  /// the line count of the axis; for x/y it must divide nz).
+  [[nodiscard]] std::size_t batch_count(int axis, std::size_t lines_per_batch) const;
+  /// Geometry of one batch. Batches partition the grid exactly: every
+  /// element belongs to exactly one batch of a pass, so concurrent workers
+  /// processing disjoint batch ranges never overlap.
+  [[nodiscard]] LineBatch batch_info(int axis, std::size_t batch,
+                                     std::size_t lines_per_batch) const;
+  /// Copy a batch into line-major scratch (size >= lines * len).
+  void load_batch(const LineBatch& b, std::span<cplx> scratch) const;
+  /// Copy line-major scratch back into the grid.
+  void store_batch(const LineBatch& b, std::span<const cplx> scratch);
 
   /// Total butterflies of one 3-D transform (PME cost model input).
   [[nodiscard]] double butterfly_count() const;

@@ -22,6 +22,26 @@ struct PairCost {
   static constexpr double kMpeMemRefs = 6.0;
 };
 
+struct PmeCost {
+  /// One spline4() evaluation (M4 weights + derivatives for 4 grid points).
+  static constexpr double kSplineOps = 60.0;
+  /// Per grid point of the spread inner loop (wxy * wz, accumulate, index).
+  static constexpr double kSpreadPointOps = 4.0;
+  /// Per grid point of the gather inner loop (phi scale + 3 force madd
+  /// chains on the precomputed weight products).
+  static constexpr double kGatherPointOps = 12.0;
+  /// Per k-space point of the convolution (exp, |m|^2, moduli, energy) —
+  /// matches the MPE model's 12 ops/point; the 1/m^2 divide is charged
+  /// separately as a div.
+  static constexpr double kConvolvePointOps = 12.0;
+  /// Per radix-2 butterfly (complex mul + two complex adds + twiddle step).
+  static constexpr double kFftButterflyOps = 10.0;
+  /// MPE-side prep per particle: wrap to fractional grid coordinates,
+  /// plane/cell key, counting-sort placement, packed-atom store.
+  static constexpr double kMpePrepOps = 25.0;
+  static constexpr double kMpePrepMemRefs = 6.0;
+};
+
 struct ListCost {
   /// Ops per candidate cluster pair during list generation (sphere check).
   static constexpr double kCandidateOps = 15.0;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "md/units.hpp"
 #include "pme/ewald.hpp"
+#include "pme/pme_cpe.hpp"
 
 namespace swgmx::pme {
 
@@ -54,6 +55,18 @@ PmeSolver::PmeSolver(PmeOptions opt, sw::SwConfig cfg)
   bmod_x_ = bspline_moduli(opt_.grid_x);
   bmod_y_ = bspline_moduli(opt_.grid_y);
   bmod_z_ = bspline_moduli(opt_.grid_z);
+}
+
+PmeSolver::~PmeSolver() = default;
+
+const PmeBreakdown& PmeSolver::last_breakdown() const {
+  static const PmeBreakdown kEmpty{};
+  return cpe_ ? cpe_->last() : kEmpty;
+}
+
+double PmeSolver::recip_cpe(const md::System& sys, std::span<Vec3d> f) {
+  if (!cpe_) cpe_ = std::make_unique<PmeCpeDriver>(opt_, cfg_);
+  return cpe_->recip(sys, grid_, bmod_x_, bmod_y_, bmod_z_, f);
 }
 
 std::vector<double> PmeSolver::bspline_moduli(std::size_t K) {
@@ -210,11 +223,17 @@ double PmeSolver::recip(const md::System& sys, std::span<Vec3d> f) {
 
 double PmeSolver::compute(md::System& sys, double& e_recip) {
   std::vector<Vec3d> f(sys.size());
-  const double er = recip(sys, f);
+  const double er = opt_.offload ? recip_cpe(sys, f) : recip(sys, f);
   const double eself = ewald_self_energy(sys, opt_.beta);
   const double ecorr = excluded_correction(sys, opt_.beta, f);
   e_recip = er + eself + ecorr;
   for (std::size_t i = 0; i < sys.size(); ++i) sys.f[i] += Vec3f(f[i]);
+
+  if (opt_.offload) {
+    // Measured critical path of the CPE kernels (CoreGroup::run cycle
+    // accounting + the MPE-charged prep), not a scaled estimate.
+    return cpe_->last().total();
+  }
 
   // MPE cost model: spread + gather are 64 grid ops per particle; the FFTs
   // dominate for large grids.
@@ -223,12 +242,8 @@ double PmeSolver::compute(md::System& sys, double& e_recip) {
                      grid_.butterfly_count() * 10.0 +  // 2 FFTs (fwd+inv)
                      static_cast<double>(grid_.size()) * 12.0;  // convolution
   const double mem = n * 64.0 * 2.0 + static_cast<double>(grid_.size()) * 2.0;
-  const double mpe_s =
-      cfg_.seconds(ops * cfg_.mpe_op_penalty +
-                   mem * cfg_.mpe_miss_rate * cfg_.mpe_miss_latency_cycles);
-  // CPE port: spread/gather partition over particles, FFT lines over CPEs;
-  // ~30x effective (limited by the transpose-heavy 3-D FFT).
-  return accelerated_ ? mpe_s / 30.0 : mpe_s;
+  return cfg_.seconds(ops * cfg_.mpe_op_penalty +
+                      mem * cfg_.mpe_miss_rate * cfg_.mpe_miss_latency_cycles);
 }
 
 }  // namespace swgmx::pme

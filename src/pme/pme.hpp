@@ -2,8 +2,18 @@
 // charge spreading, reciprocal-space convolution on a 3-D FFT grid, and
 // analytic-derivative force gathering. Validated against the direct Ewald
 // sum in ewald.hpp.
+//
+// Two execution paths share the same math:
+//  - MPE: the serial loops below, charged through the MPE op/miss model.
+//  - CPE offload (PmeOptions::offload): all four phases run as CoreGroup
+//    kernels (pme_cpe.cpp) — spread through per-CPE windowed grid copies +
+//    marked reduction, pencil-decomposed 3-D FFT, tiled convolution, and
+//    ReadCache-backed gather — with the cost coming entirely from
+//    CoreGroup::run cycle accounting. last_breakdown() reports the
+//    per-phase seconds and DMA traffic of the latest offloaded call.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "fft/fft3d.hpp"
@@ -16,11 +26,35 @@ namespace swgmx::pme {
 struct PmeOptions {
   std::size_t grid_x = 32, grid_y = 32, grid_z = 32;  ///< powers of two
   double beta = 3.12;  ///< Ewald splitting parameter, nm^-1
+  /// Run the mesh phases on the CPE core group instead of the MPE.
+  bool offload = false;
 };
 
 /// Pick a power-of-two grid with spacing <= max_spacing nm per dimension.
 PmeOptions suggest_grid(const md::Box& box, double beta,
                         double max_spacing = 0.125);
+
+/// Per-phase accounting of one offloaded PME call. All seconds are
+/// simulated (CoreGroup::run critical path; prep is the MPE-side bucketing
+/// charged through the MPE model).
+struct PmeBreakdown {
+  double prep_s = 0.0;      ///< MPE: wrap, cell sort, atom packing, scatter
+  double spread_s = 0.0;    ///< CPE spread kernel
+  double reduce_s = 0.0;    ///< marked reduction of the window copies
+  double fft_s = 0.0;       ///< all six 1-D passes (forward + inverse)
+  double convolve_s = 0.0;  ///< k-space convolution
+  double gather_s = 0.0;    ///< force gather
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t dma_transfers = 0;
+  double gather_read_miss_rate = 0.0;
+  double spread_write_miss_rate = 0.0;
+
+  [[nodiscard]] double total() const {
+    return prep_s + spread_s + reduce_s + fft_s + convolve_s + gather_s;
+  }
+};
+
+class PmeCpeDriver;
 
 /// The PME solver. Implements md::LongRangeBackend so the Simulation can use
 /// it for the "coulombtype = PME" configuration of Table 3: the short-range
@@ -28,24 +62,32 @@ PmeOptions suggest_grid(const md::Box& box, double beta,
 class PmeSolver final : public md::LongRangeBackend {
  public:
   PmeSolver(PmeOptions opt, sw::SwConfig cfg = {});
+  ~PmeSolver() override;
 
   [[nodiscard]] std::string name() const override { return "PME"; }
 
   /// Reciprocal energy + self energy + excluded-pair correction; forces are
-  /// added into sys.f. Returns simulated seconds (MPE cost model).
+  /// added into sys.f. Returns simulated seconds: the MPE cost model, or —
+  /// with offload on — the measured critical path of the CPE kernels.
   double compute(md::System& sys, double& e_recip) override;
 
   /// Reciprocal-space part only, double-precision forces (for tests against
-  /// ewald_recip). Forces are added into f.
+  /// ewald_recip). Forces are added into f. Always the MPE path.
   double recip(const md::System& sys, std::span<Vec3d> f);
+
+  /// Reciprocal-space part on the CPE core group; returns the energy and
+  /// adds forces into f. Seconds are reported via last_breakdown().
+  double recip_cpe(const md::System& sys, std::span<Vec3d> f);
 
   [[nodiscard]] const PmeOptions& options() const { return opt_; }
 
-  /// Model the CPE port of the mesh operations (spread/FFT/gather moved off
-  /// the MPE). The reciprocal math is unchanged; only the charged cost
-  /// drops by ~the core-group parallel factor.
-  void set_accelerated(bool on) { accelerated_ = on; }
-  [[nodiscard]] bool accelerated() const { return accelerated_; }
+  /// Toggle the CPE offload of the mesh phases (spread/FFT/convolve/gather
+  /// as real CoreGroup kernels; see DESIGN.md §2.7).
+  void set_accelerated(bool on) { opt_.offload = on; }
+  [[nodiscard]] bool accelerated() const { return opt_.offload; }
+
+  /// Phase breakdown of the most recent offloaded call.
+  [[nodiscard]] const PmeBreakdown& last_breakdown() const;
 
  private:
   /// Spread charges onto grid_ (B-spline order 4).
@@ -60,9 +102,9 @@ class PmeSolver final : public md::LongRangeBackend {
 
   PmeOptions opt_;
   sw::SwConfig cfg_;
-  bool accelerated_ = false;
   fft::Grid3D grid_;
   std::vector<double> bmod_x_, bmod_y_, bmod_z_;
+  std::unique_ptr<PmeCpeDriver> cpe_;  ///< lazily built on first offload
 };
 
 /// Cardinal B-spline weights of order 4 at fractional offset w in [0,1):

@@ -1,0 +1,475 @@
+#include "pme/pme_cpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "md/cost.hpp"
+#include "md/units.hpp"
+
+namespace swgmx::pme {
+
+namespace {
+
+/// Atoms staged per spread/gather DMA chunk (128 * 32 B = 4 KB, the top of
+/// the Table 2 curve).
+constexpr std::size_t kAtomChunk = 128;
+
+/// floor(u) wrapped into [0, k).
+std::size_t wrap_cell(double fu, std::size_t k) {
+  const auto kk = static_cast<long long>(k);
+  return static_cast<std::size_t>(
+      ((static_cast<long long>(fu) % kk) + kk) % kk);
+}
+
+}  // namespace
+
+std::size_t fft_lines_per_batch(std::size_t len) {
+  const std::size_t line_bytes = len * sizeof(fft::cplx);
+  return std::max<std::size_t>(1, kFftBatchBytes / line_bytes);
+}
+
+std::size_t fft_ldm_bytes(std::size_t len) {
+  const std::size_t line_bytes = len * sizeof(fft::cplx);
+  const std::size_t tile = fft_lines_per_batch(len) * line_bytes;
+  return tile + line_bytes;  // staged tile + the line gather buffer
+}
+
+PmeCpeDriver::PmeCpeDriver(const PmeOptions& opt, sw::SwConfig cfg)
+    : opt_(opt),
+      cg_(cfg),
+      copies_(cfg.cpe_count, opt.grid_x, opt.grid_y, opt.grid_z) {
+  // The spread write cache stages 16 full z pencils in LDM; the FFT stages
+  // one batch tile plus a line buffer. Both bound the supported grid.
+  SWGMX_CHECK_MSG(opt_.grid_z <= 256,
+                  "CPE PME offload supports nz <= 256 (LDM pencil cache)");
+  const std::size_t max_len =
+      std::max({opt_.grid_x, opt_.grid_y, opt_.grid_z});
+  SWGMX_CHECK_MSG(max_len * sizeof(fft::cplx) <= kFftBatchBytes,
+                  "CPE FFT line of " << max_len << " exceeds the batch tile");
+}
+
+double PmeCpeDriver::prepare(const md::System& sys) {
+  const std::size_t n = sys.size();
+  const std::size_t nx = opt_.grid_x, ny = opt_.grid_y, nz = opt_.grid_z;
+  const int ncpe = cg_.config().cpe_count;
+
+  atoms_.resize(n);
+  order_.resize(n);
+  f_slots_.assign(n, Vec3d{});
+  energy_slots_.assign(static_cast<std::size_t>(ncpe), 0.0);
+
+  // Grid-scaled coordinates + 3-D cell key. The key's plane (x cell) drives
+  // the CPE partition; the full (x,y,z) cell sort gives the gather pencil
+  // cache the spatial locality consecutive atoms need.
+  std::vector<PmeAtom> raw(n);
+  std::vector<std::uint64_t> key(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3f xw = sys.box.wrap(sys.x[i]);
+    const double ux = xw.x / sys.box.len.x * static_cast<double>(nx);
+    const double uy = xw.y / sys.box.len.y * static_cast<double>(ny);
+    const double uz = xw.z / sys.box.len.z * static_cast<double>(nz);
+    raw[i] = {ux, uy, uz, sys.q[i]};
+    const std::size_t px = wrap_cell(std::floor(ux), nx);
+    const std::size_t py = wrap_cell(std::floor(uy), ny);
+    const std::size_t pz = wrap_cell(std::floor(uz), nz);
+    key[i] = (px * ny + py) * nz + pz;
+  }
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) { return key[a] < key[b]; });
+  for (std::size_t s = 0; s < n; ++s) atoms_[s] = raw[order_[s]];
+
+  // Atoms per x plane -> plane prefix sums.
+  std::vector<std::size_t> pstart(nx + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++pstart[key[i] / (ny * nz) + 1];
+  for (std::size_t p = 0; p < nx; ++p) pstart[p + 1] += pstart[p];
+
+  // Atom-count-balanced contiguous plane chunks (same scheme as
+  // core::balance_rows for the pair list).
+  std::vector<std::size_t> pbounds(static_cast<std::size_t>(ncpe) + 1, nx);
+  pbounds[0] = 0;
+  std::size_t plane = 0;
+  for (int c = 1; c < ncpe; ++c) {
+    const double target =
+        static_cast<double>(n) * c / static_cast<double>(ncpe);
+    while (plane < nx && static_cast<double>(pstart[plane]) < target) ++plane;
+    pbounds[static_cast<std::size_t>(c)] = plane;
+  }
+
+  atom_bounds_.assign(static_cast<std::size_t>(ncpe) + 1, n);
+  for (int c = 0; c < ncpe; ++c)
+    atom_bounds_[static_cast<std::size_t>(c)] =
+        pstart[pbounds[static_cast<std::size_t>(c)]];
+
+  // Window = owned planes widened by the 3 lower B-spline support planes,
+  // circular, clamped to the full grid.
+  for (int c = 0; c < ncpe; ++c) {
+    const std::size_t lo = pbounds[static_cast<std::size_t>(c)];
+    const std::size_t hi = pbounds[static_cast<std::size_t>(c) + 1];
+    if (hi == lo || atom_bounds_[static_cast<std::size_t>(c)] ==
+                        atom_bounds_[static_cast<std::size_t>(c) + 1]) {
+      copies_.set_window(c, 0, 0);
+    } else {
+      copies_.set_window(c, (lo + nx - 3) % nx, std::min(nx, hi - lo + 3));
+    }
+  }
+  copies_.clear_marks();
+
+  // Equal contiguous pencil chunks for the reduce/convolve kernels.
+  const std::size_t npen = nx * ny;
+  pencil_bounds_.assign(static_cast<std::size_t>(ncpe) + 1, npen);
+  for (int c = 0; c < ncpe; ++c)
+    pencil_bounds_[static_cast<std::size_t>(c)] =
+        npen * static_cast<std::size_t>(c) / static_cast<std::size_t>(ncpe);
+
+  const double nn = static_cast<double>(n);
+  const double sort_ops = nn * std::log2(std::max(nn, 2.0));
+  return cg_.mpe_seconds(nn * md::PmeCost::kMpePrepOps + sort_ops,
+                         nn * md::PmeCost::kMpePrepMemRefs);
+}
+
+void PmeCpeDriver::run_spread() {
+  const std::size_t nx = opt_.grid_x, ny = opt_.grid_y, nz = opt_.grid_z;
+  auto kernel = [&](sw::CpeContext& ctx) {
+    const auto c = static_cast<std::size_t>(ctx.id());
+    const std::size_t a0 = atom_bounds_[c], a1 = atom_bounds_[c + 1];
+    if (a0 == a1) return;
+    const core::GridCopySet::Window w = copies_.window(ctx.id());
+    core::GridWriteCache cache(ctx, copies_, ctx.id());
+    auto buf = ctx.ldm().allocate<PmeAtom>(kAtomChunk);
+    for (std::size_t s0 = a0; s0 < a1; s0 += kAtomChunk) {
+      const std::size_t cnt = std::min(kAtomChunk, a1 - s0);
+      ctx.dma_get(buf.data(), atoms_.data() + s0, cnt * sizeof(PmeAtom));
+      for (std::size_t k = 0; k < cnt; ++k) {
+        const PmeAtom& a = buf[k];
+        const double fx = std::floor(a.ux), fy = std::floor(a.uy),
+                     fz = std::floor(a.uz);
+        double wx[4], dx4[4], wy[4], dy4[4], wz[4], dz4[4];
+        spline4(a.ux - fx, wx, dx4);
+        spline4(a.uy - fy, wy, dy4);
+        spline4(a.uz - fz, wz, dz4);
+        ctx.charge_flops(3.0 * md::PmeCost::kSplineOps);
+        for (int tx = 0; tx < 4; ++tx) {
+          const std::size_t gx = wrap_cell(fx - tx, nx);
+          const std::size_t wplane = (gx + nx - w.lo) % nx;
+          for (int ty = 0; ty < 4; ++ty) {
+            const std::size_t gy = wrap_cell(fy - ty, ny);
+            const double wxy = a.q * wx[tx] * wy[ty];
+            for (int tz = 0; tz < 4; ++tz) {
+              const std::size_t gz = wrap_cell(fz - tz, nz);
+              cache.add(wplane, gy, gz, wxy * wz[tz]);
+            }
+          }
+        }
+        ctx.charge_flops(64.0 * md::PmeCost::kSpreadPointOps);
+      }
+    }
+    cache.flush();
+  };
+  const sw::KernelStats st = cg_.run(kernel, 0.5);
+  breakdown_.spread_s = st.sim_seconds;
+  breakdown_.dma_bytes += st.total.dma_bytes;
+  breakdown_.dma_transfers += st.total.dma_transfers;
+  breakdown_.spread_write_miss_rate = st.total.write_miss_rate();
+}
+
+void PmeCpeDriver::run_reduce(fft::Grid3D& grid) {
+  const std::size_t nx = opt_.grid_x, ny = opt_.grid_y, nz = opt_.grid_z;
+  const int ncpe = cg_.config().cpe_count;
+  auto kernel = [&](sw::CpeContext& ctx) {
+    const auto c = static_cast<std::size_t>(ctx.id());
+    const std::size_t p0 = pencil_bounds_[c], p1 = pencil_bounds_[c + 1];
+    if (p0 == p1) return;
+    auto wins = ctx.ldm().allocate<core::GridCopySet::Window>(
+        static_cast<std::size_t>(ncpe));
+    ctx.dma_get(wins.data(), copies_.windows().data(),
+                wins.size() * sizeof(core::GridCopySet::Window));
+    auto acc = ctx.ldm().allocate<double>(nz);
+    auto in = ctx.ldm().allocate<double>(nz);
+    auto out = ctx.ldm().allocate<fft::cplx>(nz);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t ix = p / ny, iy = p % ny;
+      std::memset(acc.data(), 0, nz * sizeof(double));
+      ctx.charge_cycles(static_cast<double>(nz) / 4.0);
+      // Fixed CPE-id source order keeps the sum bit-stable for any pool.
+      for (int c2 = 0; c2 < ncpe; ++c2) {
+        const core::GridCopySet::Window& w2 =
+            wins[static_cast<std::size_t>(c2)];
+        if (w2.planes == 0) continue;
+        const std::size_t wplane = (ix + nx - w2.lo) % nx;
+        if (wplane >= w2.planes) continue;
+        const std::size_t wp = wplane * ny + iy;
+        // One scattered word: the Bit-Map test is a gld, not a DMA.
+        const std::uint64_t word = ctx.gld(copies_.marks_of(c2)[wp / 64]);
+        ctx.charge_cycles(2.0);
+        if (!((word >> (wp % 64)) & 1u)) continue;
+        ctx.dma_get(in.data(), copies_.pencil(c2, wp), nz * sizeof(double));
+        for (std::size_t z = 0; z < nz; ++z) acc[z] += in[z];
+        ctx.charge_flops(static_cast<double>(nz));
+      }
+      // Unconditional write: pencils nobody touched come out zero, which is
+      // what re-initializes the grid for this step.
+      for (std::size_t z = 0; z < nz; ++z) out[z] = {acc[z], 0.0};
+      ctx.charge_cycles(static_cast<double>(nz));
+      ctx.dma_put(grid.flat().data() + p * nz, out.data(),
+                  nz * sizeof(fft::cplx));
+    }
+  };
+  const sw::KernelStats st = cg_.run(kernel, 0.5);
+  breakdown_.reduce_s = st.sim_seconds;
+  breakdown_.dma_bytes += st.total.dma_bytes;
+  breakdown_.dma_transfers += st.total.dma_transfers;
+}
+
+double PmeCpeDriver::run_fft_pass(fft::Grid3D& grid, int axis, bool fwd) {
+  const std::size_t len = grid.line_len(axis);
+  const std::size_t lpb = fft_lines_per_batch(len);
+  const std::size_t nb = grid.batch_count(axis, lpb);
+  const int ncpe = cg_.config().cpe_count;
+  const double butterflies = fft::butterfly_count(len);
+  fft::cplx* base = grid.flat().data();
+
+  auto kernel = [&](sw::CpeContext& ctx) {
+    const auto c = static_cast<std::size_t>(ctx.id());
+    const std::size_t b0 = nb * c / static_cast<std::size_t>(ncpe);
+    const std::size_t b1 = nb * (c + 1) / static_cast<std::size_t>(ncpe);
+    if (b0 == b1) return;
+    auto tile = ctx.ldm().allocate<fft::cplx>(lpb * len);
+    std::span<fft::cplx> line;
+    if (axis != 2) line = ctx.ldm().allocate<fft::cplx>(len);
+    for (std::size_t b = b0; b < b1; ++b) {
+      const fft::LineBatch lb = grid.batch_info(axis, b, lpb);
+      const std::size_t row_bytes = lb.segment_elems * sizeof(fft::cplx);
+      if (lb.segments == 1) {
+        // z pass: lines are contiguous pencils; one bulk get, transform in
+        // place, one bulk put.
+        ctx.dma_get(tile.data(), base + lb.mem_offset, row_bytes);
+        for (std::size_t l = 0; l < lb.lines; ++l) {
+          std::span<fft::cplx> ln(tile.data() + l * lb.len, lb.len);
+          if (fwd) {
+            fft::forward(ln);
+          } else {
+            fft::inverse(ln);
+            ctx.charge_flops(static_cast<double>(lb.len));
+          }
+          ctx.charge_flops(butterflies * md::PmeCost::kFftButterflyOps);
+        }
+        ctx.dma_put(base + lb.mem_offset, tile.data(), row_bytes);
+      } else {
+        // x/y pass: the tile is staged in memory order by strided DMA (the
+        // transpose cost — one short transfer per segment), lines are
+        // gathered/scattered inside LDM around the 1-D transform.
+        ctx.dma_get_2d(tile.data(), base + lb.mem_offset, lb.segments,
+                       row_bytes, lb.segment_stride * sizeof(fft::cplx),
+                       row_bytes);
+        for (std::size_t l = 0; l < lb.lines; ++l) {
+          for (std::size_t s = 0; s < lb.len; ++s)
+            line[s] = tile[s * lb.lines + l];
+          if (fwd) {
+            fft::forward(line);
+          } else {
+            fft::inverse(line);
+            ctx.charge_flops(static_cast<double>(lb.len));
+          }
+          for (std::size_t s = 0; s < lb.len; ++s)
+            tile[s * lb.lines + l] = line[s];
+          ctx.charge_cycles(2.0 * static_cast<double>(lb.len));
+          ctx.charge_flops(butterflies * md::PmeCost::kFftButterflyOps);
+        }
+        ctx.dma_put_2d(base + lb.mem_offset, tile.data(), lb.segments,
+                       row_bytes, lb.segment_stride * sizeof(fft::cplx),
+                       row_bytes);
+      }
+    }
+  };
+  // 0.8 overlap: double-buffered get/compute/put pipeline.
+  const sw::KernelStats st = cg_.run(kernel, 0.8);
+  breakdown_.dma_bytes += st.total.dma_bytes;
+  breakdown_.dma_transfers += st.total.dma_transfers;
+  return st.sim_seconds;
+}
+
+double PmeCpeDriver::run_convolve(const md::System& sys, fft::Grid3D& grid,
+                                  const std::vector<double>& bmod_x,
+                                  const std::vector<double>& bmod_y,
+                                  const std::vector<double>& bmod_z) {
+  const std::size_t nx = opt_.grid_x, ny = opt_.grid_y, nz = opt_.grid_z;
+  const double volume = sys.box.volume();
+  const double beta = opt_.beta;
+  fft::cplx* base = grid.flat().data();
+
+  auto kernel = [&](sw::CpeContext& ctx) {
+    const auto c = static_cast<std::size_t>(ctx.id());
+    const std::size_t p0 = pencil_bounds_[c], p1 = pencil_bounds_[c + 1];
+    if (p0 == p1) return;
+    // Per-axis moduli resident in LDM for the whole kernel.
+    auto bx = ctx.ldm().allocate<double>(nx);
+    auto by = ctx.ldm().allocate<double>(ny);
+    auto bz = ctx.ldm().allocate<double>(nz);
+    ctx.dma_get(bx.data(), bmod_x.data(), nx * sizeof(double));
+    ctx.dma_get(by.data(), bmod_y.data(), ny * sizeof(double));
+    ctx.dma_get(bz.data(), bmod_z.data(), nz * sizeof(double));
+    auto pen = ctx.ldm().allocate<fft::cplx>(nz);
+    double e = 0.0;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t mx = p / ny, my = p % ny;
+      ctx.dma_get(pen.data(), base + p * nz, nz * sizeof(fft::cplx));
+      const double mpx = mx <= nx / 2
+                             ? static_cast<double>(mx)
+                             : static_cast<double>(mx) - static_cast<double>(nx);
+      const double mtx = mpx / sys.box.len.x;
+      const double mpy = my <= ny / 2
+                             ? static_cast<double>(my)
+                             : static_cast<double>(my) - static_cast<double>(ny);
+      const double mty = mpy / sys.box.len.y;
+      for (std::size_t mz = 0; mz < nz; ++mz) {
+        if (p == 0 && mz == 0) {
+          pen[0] = {0.0, 0.0};
+          continue;
+        }
+        const double mpz = mz <= nz / 2
+                               ? static_cast<double>(mz)
+                               : static_cast<double>(mz) - static_cast<double>(nz);
+        const double mtz = mpz / sys.box.len.z;
+        const double m2 = mtx * mtx + mty * mty + mtz * mtz;
+        const double bc = md::kCoulomb / (std::numbers::pi * volume) *
+                          std::exp(-std::numbers::pi * std::numbers::pi * m2 /
+                                   (beta * beta)) /
+                          m2 * bx[mx] * by[my] * bz[mz];
+        e += 0.5 * bc * std::norm(pen[mz]);
+        pen[mz] *= bc;
+      }
+      ctx.charge_flops(static_cast<double>(nz) * md::PmeCost::kConvolvePointOps);
+      ctx.charge_divs(static_cast<double>(nz));
+      ctx.dma_put(base + p * nz, pen.data(), nz * sizeof(fft::cplx));
+    }
+    energy_slots_[c] = e;
+  };
+  const sw::KernelStats st = cg_.run(kernel, 0.8);
+  breakdown_.convolve_s = st.sim_seconds;
+  breakdown_.dma_bytes += st.total.dma_bytes;
+  breakdown_.dma_transfers += st.total.dma_transfers;
+
+  // Fixed CPE-id order: bit-stable energy for any pool size.
+  double energy = 0.0;
+  for (const double ec : energy_slots_) energy += ec;
+  return energy;
+}
+
+void PmeCpeDriver::run_gather(const md::System& sys, const fft::Grid3D& grid) {
+  const std::size_t nx = opt_.grid_x, ny = opt_.grid_y, nz = opt_.grid_z;
+  const double npts = static_cast<double>(grid.size());
+  const double sx = static_cast<double>(nx) / sys.box.len.x;
+  const double sy = static_cast<double>(ny) / sys.box.len.y;
+  const double sz = static_cast<double>(nz) / sys.box.len.z;
+
+  auto kernel = [&](sw::CpeContext& ctx) {
+    const auto c = static_cast<std::size_t>(ctx.id());
+    const std::size_t a0 = atom_bounds_[c], a1 = atom_bounds_[c + 1];
+    if (a0 == a1) return;
+    // Pencil-granular read cache with the spread slot function: the 4x4 xy
+    // support of one atom maps to 16 distinct slots, so a single atom never
+    // self-evicts (a set-associative line cache thrashes here — pencils of
+    // adjacent x planes are nx*ny elements apart and alias into the same
+    // set). Whole z pencils also ride the fast end of the DMA bandwidth
+    // curve instead of 64 B line fills. Slots store the real part only:
+    // after the inverse FFT the potential is real, and doubles halve LDM.
+    constexpr int kPenSlots = 16;
+    auto pens = ctx.ldm().allocate<double>(kPenSlots * nz);
+    auto tags = ctx.ldm().allocate<std::int64_t>(kPenSlots);
+    auto scratch = ctx.ldm().allocate<fft::cplx>(nz);
+    for (auto& t : tags) t = -1;
+    const fft::cplx* gbase = grid.flat().data();
+    auto pencil_of = [&](std::size_t gx, std::size_t gy) -> const double* {
+      const int slot = static_cast<int>(((gx & 3) << 2) | (gy & 3));
+      const auto wp = static_cast<std::int64_t>(gx * ny + gy);
+      double* data = pens.data() + static_cast<std::size_t>(slot) * nz;
+      if (tags[static_cast<std::size_t>(slot)] != wp) {
+        ++ctx.perf().read_misses;
+        ctx.dma_get(scratch.data(), gbase + static_cast<std::size_t>(wp) * nz,
+                    nz * sizeof(fft::cplx));
+        // Vectorized deinterleave of the real parts into the slot.
+        for (std::size_t z = 0; z < nz; ++z) data[z] = scratch[z].real();
+        ctx.charge_cycles(static_cast<double>(nz) / 2.0);
+        tags[static_cast<std::size_t>(slot)] = wp;
+      } else {
+        ++ctx.perf().read_hits;
+      }
+      return data;
+    };
+    auto abuf = ctx.ldm().allocate<PmeAtom>(kAtomChunk / 2);
+    auto fbuf = ctx.ldm().allocate<Vec3d>(kAtomChunk / 2);
+    const std::size_t chunk = abuf.size();
+    for (std::size_t s0 = a0; s0 < a1; s0 += chunk) {
+      const std::size_t cnt = std::min(chunk, a1 - s0);
+      ctx.dma_get(abuf.data(), atoms_.data() + s0, cnt * sizeof(PmeAtom));
+      for (std::size_t k = 0; k < cnt; ++k) {
+        const PmeAtom& a = abuf[k];
+        const double fx = std::floor(a.ux), fy = std::floor(a.uy),
+                     fz = std::floor(a.uz);
+        double wx[4], dx4[4], wy[4], dy4[4], wz[4], dz4[4];
+        spline4(a.ux - fx, wx, dx4);
+        spline4(a.uy - fy, wy, dy4);
+        spline4(a.uz - fz, wz, dz4);
+        ctx.charge_flops(3.0 * md::PmeCost::kSplineOps);
+        Vec3d fi{};
+        for (int tx = 0; tx < 4; ++tx) {
+          const std::size_t gx = wrap_cell(fx - tx, nx);
+          for (int ty = 0; ty < 4; ++ty) {
+            const std::size_t gy = wrap_cell(fy - ty, ny);
+            const double* pen = pencil_of(gx, gy);
+            for (int tz = 0; tz < 4; ++tz) {
+              const std::size_t gz = wrap_cell(fz - tz, nz);
+              const double phi = pen[gz] * npts;
+              fi.x -= a.q * dx4[tx] * sx * wy[ty] * wz[tz] * phi;
+              fi.y -= a.q * wx[tx] * dy4[ty] * sy * wz[tz] * phi;
+              fi.z -= a.q * wx[tx] * wy[ty] * dz4[tz] * sz * phi;
+            }
+          }
+        }
+        ctx.charge_flops(64.0 * md::PmeCost::kGatherPointOps);
+        fbuf[k] = fi;
+      }
+      ctx.dma_put(f_slots_.data() + s0, fbuf.data(), cnt * sizeof(Vec3d));
+    }
+  };
+  const sw::KernelStats st = cg_.run(kernel, 0.5);
+  breakdown_.gather_s = st.sim_seconds;
+  breakdown_.dma_bytes += st.total.dma_bytes;
+  breakdown_.dma_transfers += st.total.dma_transfers;
+  breakdown_.gather_read_miss_rate = st.total.read_miss_rate();
+}
+
+double PmeCpeDriver::recip(const md::System& sys, fft::Grid3D& grid,
+                           const std::vector<double>& bmod_x,
+                           const std::vector<double>& bmod_y,
+                           const std::vector<double>& bmod_z,
+                           std::span<Vec3d> f) {
+  SWGMX_CHECK(f.size() == sys.size());
+  breakdown_ = {};
+  breakdown_.prep_s = prepare(sys);
+
+  run_spread();
+  run_reduce(grid);
+  breakdown_.fft_s += run_fft_pass(grid, 2, true);
+  breakdown_.fft_s += run_fft_pass(grid, 1, true);
+  breakdown_.fft_s += run_fft_pass(grid, 0, true);
+  const double energy = run_convolve(sys, grid, bmod_x, bmod_y, bmod_z);
+  breakdown_.fft_s += run_fft_pass(grid, 2, false);
+  breakdown_.fft_s += run_fft_pass(grid, 1, false);
+  breakdown_.fft_s += run_fft_pass(grid, 0, false);
+  run_gather(sys, grid);
+
+  // MPE-side scatter of the slot-ordered forces back to particle order.
+  const std::size_t n = sys.size();
+  for (std::size_t s = 0; s < n; ++s) f[order_[s]] += f_slots_[s];
+  breakdown_.prep_s +=
+      cg_.mpe_seconds(static_cast<double>(n) * 3.0, static_cast<double>(n) * 4.0);
+  return energy;
+}
+
+}  // namespace swgmx::pme

@@ -1,0 +1,93 @@
+// CPE offload of the four PME mesh phases (DESIGN.md §2.7). Each phase is a
+// real CoreGroup kernel: functional results come from executing the math on
+// the host pool, simulated time from the per-CPE cycle accounting — there is
+// no constant-factor "acceleration" anywhere in this path.
+//
+//  spread   — particles bucketed by grid cell on the MPE, partitioned over
+//             CPEs by x-plane; accumulation goes through GridWriteCache into
+//             per-CPE windowed grid copies (core/grid_cache.hpp).
+//  reduce   — marked reduction: global pencils partitioned over CPEs, each
+//             summing the covering windows' marked pencils in CPE-id order.
+//  fft      — pencil decomposition: line batches (fft::LineBatch) DMA-staged
+//             into LDM, radix-2 transformed locally, written back; the x/y
+//             passes pay the strided-segment (transpose) DMA cost.
+//  convolve — z pencils tiled over CPEs, bmod factors resident in LDM.
+//  gather   — particles over CPEs, grid read through a 2-way ReadCache.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/grid_cache.hpp"
+#include "pme/pme.hpp"
+#include "sw/core_group.hpp"
+
+namespace swgmx::pme {
+
+/// LDM sizing of the CPE FFT: one staged batch is at most this many bytes
+/// (tile of complex doubles). Double buffering is modeled by the
+/// dma_overlap argument of CoreGroup::run, so the worst-case LDM footprint
+/// is tile + one line buffer.
+inline constexpr std::size_t kFftBatchBytes = 32 * 1024;
+
+/// Lines per FFT batch for a transform length (>= 1; a full batch is
+/// lines * len complex values <= kFftBatchBytes for len <= 1024).
+[[nodiscard]] std::size_t fft_lines_per_batch(std::size_t len);
+
+/// Worst-case LDM bytes of one CPE FFT pass for a transform length: the
+/// staged tile plus the line gather buffer. Must stay under the 64 KB LDM
+/// budget (asserted in tests for every power-of-two length we support).
+[[nodiscard]] std::size_t fft_ldm_bytes(std::size_t len);
+
+/// Runs the offloaded reciprocal sum. Owns the CoreGroup, the windowed grid
+/// copies and the per-step scratch; persistent across steps so copy storage
+/// is reused.
+class PmeCpeDriver {
+ public:
+  PmeCpeDriver(const PmeOptions& opt, sw::SwConfig cfg);
+
+  /// Reciprocal energy; forces added into f (size = sys.size()). The grid
+  /// and bmod arrays belong to the owning PmeSolver.
+  double recip(const md::System& sys, fft::Grid3D& grid,
+               const std::vector<double>& bmod_x,
+               const std::vector<double>& bmod_y,
+               const std::vector<double>& bmod_z, std::span<Vec3d> f);
+
+  [[nodiscard]] const PmeBreakdown& last() const { return breakdown_; }
+  [[nodiscard]] sw::CoreGroup& core_group() { return cg_; }
+
+ private:
+  /// Packed per-particle record the kernels DMA (grid-scaled coordinates
+  /// u = x/L*K and the charge).
+  struct PmeAtom {
+    double ux, uy, uz, q;
+  };
+
+  /// MPE-side prep: wrap, cell-sort (x-plane major), pack atoms, balance
+  /// planes over CPEs. Returns charged MPE seconds.
+  double prepare(const md::System& sys);
+
+  void run_spread();
+  void run_reduce(fft::Grid3D& grid);
+  double run_fft_pass(fft::Grid3D& grid, int axis, bool fwd);
+  double run_convolve(const md::System& sys, fft::Grid3D& grid,
+                      const std::vector<double>& bmod_x,
+                      const std::vector<double>& bmod_y,
+                      const std::vector<double>& bmod_z);
+  void run_gather(const md::System& sys, const fft::Grid3D& grid);
+
+  PmeOptions opt_;
+  sw::CoreGroup cg_;
+  core::GridCopySet copies_;
+  PmeBreakdown breakdown_;
+
+  // Per-step scratch (persistent, grown on demand).
+  std::vector<PmeAtom> atoms_;        ///< cell-sorted packed atoms
+  std::vector<std::size_t> order_;    ///< sorted slot -> original index
+  std::vector<std::size_t> atom_bounds_;   ///< per-CPE atom slot ranges
+  std::vector<std::size_t> pencil_bounds_; ///< per-CPE global pencil ranges
+  std::vector<Vec3d> f_slots_;        ///< gather output, sorted slot order
+  std::vector<double> energy_slots_;  ///< per-CPE convolve energy partials
+};
+
+}  // namespace swgmx::pme

@@ -56,6 +56,14 @@ class floatv4 {
             1.0f / std::sqrt(a.v_[2]), 1.0f / std::sqrt(a.v_[3])};
   }
 
+  /// Lane-wise round-to-nearest integer value (current rounding mode, i.e.
+  /// std::nearbyint applied per lane — the rounding step of the minimum-image
+  /// convention).
+  friend floatv4 vnearbyint(floatv4 a) {
+    return {std::nearbyint(a.v_[0]), std::nearbyint(a.v_[1]),
+            std::nearbyint(a.v_[2]), std::nearbyint(a.v_[3])};
+  }
+
   /// Lane-wise select: lanes where mask lane != 0 take `a`, else `b`.
   friend floatv4 select(floatv4 mask, floatv4 a, floatv4 b) {
     floatv4 r;

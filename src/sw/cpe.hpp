@@ -35,6 +35,18 @@ class CpeContext {
     dma_.put(mem_dst, ldm_src, bytes, perf_);
   }
 
+  // --- DMA (strided / 2-D) ---
+  void dma_get_2d(void* ldm_dst, const void* mem_src, std::size_t rows,
+                  std::size_t row_bytes, std::size_t mem_pitch,
+                  std::size_t ldm_pitch) {
+    dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+  }
+  void dma_put_2d(void* mem_dst, const void* ldm_src, std::size_t rows,
+                  std::size_t row_bytes, std::size_t mem_pitch,
+                  std::size_t ldm_pitch) {
+    dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+  }
+
   // --- gld/gst (single-element, high latency) ---
   /// Global load: read one T from main memory, charging the ~278-cycle
   /// round-trip the real chip pays.

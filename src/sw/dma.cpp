@@ -76,4 +76,24 @@ void DmaEngine::put(void* mem_dst, const void* ldm_src, std::size_t bytes,
   transfer(mem_dst, ldm_src, bytes, pc);
 }
 
+void DmaEngine::get_2d(void* ldm_dst, const void* mem_src, std::size_t rows,
+                       std::size_t row_bytes, std::size_t mem_pitch,
+                       std::size_t ldm_pitch, PerfCounters& pc) const {
+  SWGMX_CHECK_MSG(rows > 0, "zero-row 2-D DMA transfer");
+  auto* dst = static_cast<unsigned char*>(ldm_dst);
+  const auto* src = static_cast<const unsigned char*>(mem_src);
+  for (std::size_t r = 0; r < rows; ++r)
+    transfer(dst + r * ldm_pitch, src + r * mem_pitch, row_bytes, pc);
+}
+
+void DmaEngine::put_2d(void* mem_dst, const void* ldm_src, std::size_t rows,
+                       std::size_t row_bytes, std::size_t mem_pitch,
+                       std::size_t ldm_pitch, PerfCounters& pc) const {
+  SWGMX_CHECK_MSG(rows > 0, "zero-row 2-D DMA transfer");
+  auto* dst = static_cast<unsigned char*>(mem_dst);
+  const auto* src = static_cast<const unsigned char*>(ldm_src);
+  for (std::size_t r = 0; r < rows; ++r)
+    transfer(dst + r * mem_pitch, src + r * ldm_pitch, row_bytes, pc);
+}
+
 }  // namespace swgmx::sw

@@ -36,6 +36,18 @@ class DmaEngine {
   void put(void* mem_dst, const void* ldm_src, std::size_t bytes,
            PerfCounters& pc) const;
 
+  /// Strided (2-D) transfers: `rows` runs of `row_bytes`, the main-memory
+  /// side advancing by `mem_pitch` bytes per row and the LDM side by
+  /// `ldm_pitch`. Each row is charged as its own transfer — short rows sit
+  /// low on the Table 2 bandwidth curve, which is exactly the cost a
+  /// DMA-staged transpose pays on the real chip.
+  void get_2d(void* ldm_dst, const void* mem_src, std::size_t rows,
+              std::size_t row_bytes, std::size_t mem_pitch,
+              std::size_t ldm_pitch, PerfCounters& pc) const;
+  void put_2d(void* mem_dst, const void* ldm_src, std::size_t rows,
+              std::size_t row_bytes, std::size_t mem_pitch,
+              std::size_t ldm_pitch, PerfCounters& pc) const;
+
   /// Typed convenience overloads.
   template <typename T>
   void get(std::span<T> ldm_dst, const T* mem_src, PerfCounters& pc) const {

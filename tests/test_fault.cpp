@@ -13,6 +13,7 @@
 #include "md/simulation.hpp"
 #include "net/parallel_sim.hpp"
 #include "net/transport.hpp"
+#include "pme/pme.hpp"
 #include "sw/core_group.hpp"
 #include "sw/dma.hpp"
 #include "sw/fault.hpp"
@@ -367,6 +368,41 @@ TEST(FaultSim, WatchdogRunsFaultFree) {
   EXPECT_EQ(guarded.rollback_count(), 0u);
   for (std::size_t i = 0; i < plain.system().size(); ++i) {
     ASSERT_EQ(guarded.system().x[i].x, plain.system().x[i].x);
+  }
+}
+
+TEST(FaultPme, OffloadSurvivesDmaBitFlips) {
+  // The offloaded PME path moves all grid/atom data through real DMA
+  // transfers, so the CRC-retry repair applies to it exactly as to the
+  // short-range kernels: under a dma_flip plan the reciprocal energy and
+  // forces stay bit-identical to the fault-free run.
+  md::System sys = test::small_water(16, md::CoulombMode::EwaldShort, 53);
+  pme::PmeOptions opt;
+  opt.grid_x = opt.grid_y = opt.grid_z = 32;
+  opt.beta = 3.0;
+
+  auto run = [&] {
+    pme::PmeSolver solver(opt);
+    std::vector<Vec3d> f(sys.size());
+    const double e = solver.recip_cpe(sys, f);
+    return std::pair{e, f};
+  };
+
+  const auto clean = run();
+  FaultRates r;
+  r.dma_flip = 2e-3;
+  r.seed = 23;
+  const FaultGuard guard(r);
+  const auto faulted = run();
+
+  const RecoveryStats st = FaultInjector::global().snapshot();
+  EXPECT_GT(st.dma_bitflips, 0u);  // faults actually hit the PME transfers
+  EXPECT_GT(st.dma_retries, 0u);
+  EXPECT_EQ(faulted.first, clean.first);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    ASSERT_EQ(faulted.second[i].x, clean.second[i].x) << "particle " << i;
+    ASSERT_EQ(faulted.second[i].y, clean.second[i].y) << "particle " << i;
+    ASSERT_EQ(faulted.second[i].z, clean.second[i].z) << "particle " << i;
   }
 }
 

@@ -1,0 +1,181 @@
+// CPE offload of the PME mesh phases (pme_cpe.cpp): numerical agreement
+// with the MPE path, bit-identical results across host pool sizes, LDM
+// budgets of the FFT line batches, and the measured phase breakdown.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/grid_cache.hpp"
+#include "pme/pme.hpp"
+#include "pme/pme_cpe.hpp"
+#include "testutil.hpp"
+
+namespace swgmx::pme {
+namespace {
+
+PmeOptions small_opt() {
+  PmeOptions opt;
+  opt.grid_x = opt.grid_y = opt.grid_z = 32;
+  opt.beta = 3.0;
+  return opt;
+}
+
+TEST(PmeCpe, MatchesMpeRecip) {
+  md::System sys = test::small_water(24, md::CoulombMode::EwaldShort, 29);
+  PmeSolver solver(small_opt());
+
+  std::vector<Vec3d> f_mpe(sys.size());
+  const double e_mpe = solver.recip(sys, f_mpe);
+
+  std::vector<Vec3d> f_cpe(sys.size());
+  const double e_cpe = solver.recip_cpe(sys, f_cpe);
+
+  // Same math, different summation orders (per-CPE partials, cache write
+  // back order): float-level agreement, not bitwise.
+  EXPECT_NEAR(e_cpe, e_mpe, std::abs(e_mpe) * 1e-10 + 1e-8);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_NEAR(f_cpe[i].x, f_mpe[i].x, std::abs(f_mpe[i].x) * 1e-8 + 1e-6);
+    EXPECT_NEAR(f_cpe[i].y, f_mpe[i].y, std::abs(f_mpe[i].y) * 1e-8 + 1e-6);
+    EXPECT_NEAR(f_cpe[i].z, f_mpe[i].z, std::abs(f_mpe[i].z) * 1e-8 + 1e-6);
+  }
+}
+
+TEST(PmeCpe, MatchesMpeOnAnisotropicGrid) {
+  // Distinct nx/ny/nz exercise the per-axis FFT batch geometry and the
+  // window arithmetic with non-cubic strides.
+  md::System sys = test::small_water(16, md::CoulombMode::EwaldShort, 31);
+  PmeOptions opt;
+  opt.grid_x = 16;
+  opt.grid_y = 32;
+  opt.grid_z = 64;
+  opt.beta = 3.0;
+  PmeSolver solver(opt);
+
+  std::vector<Vec3d> f_mpe(sys.size());
+  const double e_mpe = solver.recip(sys, f_mpe);
+  std::vector<Vec3d> f_cpe(sys.size());
+  const double e_cpe = solver.recip_cpe(sys, f_cpe);
+
+  EXPECT_NEAR(e_cpe, e_mpe, std::abs(e_mpe) * 1e-10 + 1e-8);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_NEAR(f_cpe[i].x, f_mpe[i].x, std::abs(f_mpe[i].x) * 1e-8 + 1e-6);
+    EXPECT_NEAR(f_cpe[i].z, f_mpe[i].z, std::abs(f_mpe[i].z) * 1e-8 + 1e-6);
+  }
+}
+
+TEST(PmeCpe, PoolSizeInvariance) {
+  // The offloaded energy, forces, and simulated seconds are bit-identical
+  // whether the 64 simulated CPEs run on 1 host thread or 8.
+  md::System sys = test::small_water(24, md::CoulombMode::EwaldShort, 37);
+
+  auto run = [&] {
+    PmeSolver solver(small_opt());
+    std::vector<Vec3d> f(sys.size());
+    const double e = solver.recip_cpe(sys, f);
+    return std::pair{e, std::pair{f, solver.last_breakdown()}};
+  };
+
+  common::ThreadPool::set_global_size(1);
+  const auto a = run();
+  common::ThreadPool::set_global_size(8);
+  const auto b = run();
+  common::ThreadPool::set_global_size(0);  // back to the default size
+
+  EXPECT_EQ(a.first, b.first);
+  const auto& fa = a.second.first;
+  const auto& fb = b.second.first;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    ASSERT_EQ(fa[i].x, fb[i].x) << "particle " << i;
+    ASSERT_EQ(fa[i].y, fb[i].y) << "particle " << i;
+    ASSERT_EQ(fa[i].z, fb[i].z) << "particle " << i;
+  }
+  const auto& ba = a.second.second;
+  const auto& bb = b.second.second;
+  EXPECT_EQ(ba.spread_s, bb.spread_s);
+  EXPECT_EQ(ba.reduce_s, bb.reduce_s);
+  EXPECT_EQ(ba.fft_s, bb.fft_s);
+  EXPECT_EQ(ba.convolve_s, bb.convolve_s);
+  EXPECT_EQ(ba.gather_s, bb.gather_s);
+  EXPECT_EQ(ba.dma_bytes, bb.dma_bytes);
+  EXPECT_EQ(ba.dma_transfers, bb.dma_transfers);
+}
+
+TEST(PmeCpe, FftBatchesFitLdm) {
+  // Every supported power-of-two transform length must stage batches that
+  // fit the 64 KB LDM with headroom for the atom/pencil scratch the other
+  // kernels allocate alongside.
+  constexpr std::size_t kLdm = 64 * 1024;
+  for (std::size_t len = 8; len <= 1024; len <<= 1) {
+    const std::size_t lpb = fft_lines_per_batch(len);
+    EXPECT_GE(lpb, 1u) << "len " << len;
+    EXPECT_LE(lpb * len * sizeof(fft::cplx), kFftBatchBytes) << "len " << len;
+    EXPECT_LE(fft_ldm_bytes(len), kLdm - 8 * 1024) << "len " << len;
+  }
+}
+
+TEST(PmeCpe, SpreadCacheFitsLdm) {
+  // The spread kernel's LDM footprint: 16-pencil write cache + mark mirror
+  // + the staged atom chunk, for the deepest supported grid (nz = 256).
+  constexpr std::size_t kLdm = 64 * 1024;
+  const std::size_t nz = 256;
+  // Worst-case marks: a CPE owning every plane of a 64 x 64 x 256 grid.
+  const std::size_t mark_words = (64 * 64 + 63) / 64;
+  const std::size_t atoms = 128 * 4 * sizeof(double);
+  EXPECT_LE(core::GridWriteCache::ldm_bytes(nz, mark_words) + atoms,
+            kLdm - 8 * 1024);
+}
+
+TEST(PmeCpe, BreakdownIsMeasuredAndPositive) {
+  md::System sys = test::small_water(24, md::CoulombMode::EwaldShort, 41);
+  PmeSolver solver(small_opt());
+  std::vector<Vec3d> f(sys.size());
+  solver.recip_cpe(sys, f);
+
+  const PmeBreakdown& b = solver.last_breakdown();
+  EXPECT_GT(b.prep_s, 0.0);
+  EXPECT_GT(b.spread_s, 0.0);
+  EXPECT_GT(b.reduce_s, 0.0);
+  EXPECT_GT(b.fft_s, 0.0);
+  EXPECT_GT(b.convolve_s, 0.0);
+  EXPECT_GT(b.gather_s, 0.0);
+  EXPECT_GT(b.dma_bytes, 0u);
+  EXPECT_GT(b.dma_transfers, 0u);
+  EXPECT_NEAR(b.total(),
+              b.prep_s + b.spread_s + b.reduce_s + b.fft_s + b.convolve_s +
+                  b.gather_s,
+              1e-15);
+}
+
+TEST(PmeCpe, ComputeOffloadMatchesMpeEnergy) {
+  md::System mpe_sys = test::small_water(16, md::CoulombMode::EwaldShort, 43);
+  md::System cpe_sys = mpe_sys;
+
+  PmeSolver mpe(small_opt());
+  mpe_sys.clear_forces();
+  double e_mpe = 0.0;
+  const double s_mpe = mpe.compute(mpe_sys, e_mpe);
+
+  PmeOptions opt = small_opt();
+  opt.offload = true;
+  PmeSolver cpe(opt);
+  EXPECT_TRUE(cpe.accelerated());
+  cpe_sys.clear_forces();
+  double e_cpe = 0.0;
+  const double s_cpe = cpe.compute(cpe_sys, e_cpe);
+
+  EXPECT_NEAR(e_cpe, e_mpe, std::abs(e_mpe) * 1e-10 + 1e-8);
+  EXPECT_GT(s_mpe, 0.0);
+  EXPECT_GT(s_cpe, 0.0);
+  // compute() reports the measured kernel critical path, not a scaled MPE
+  // number.
+  EXPECT_NEAR(s_cpe, cpe.last_breakdown().total(), 1e-15);
+  for (std::size_t i = 0; i < mpe_sys.size(); ++i) {
+    EXPECT_NEAR(cpe_sys.f[i].x, mpe_sys.f[i].x,
+                std::abs(mpe_sys.f[i].x) * 1e-5 + 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace swgmx::pme
