@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <fstream>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
@@ -15,6 +16,9 @@
 #include "core/sw_short_range.hpp"
 #include "md/simulation.hpp"
 #include "md/water.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 namespace swgmx::bench {
@@ -42,24 +46,38 @@ class WallTimer {
 ///          "wall_seconds":...}
 /// Every field list gets "host_threads" prepended so recorded wall-clock
 /// numbers are always attributable to a pool size.
+///
+/// The line renders through an obs::MetricsRegistry snapshot: fields become
+/// insertion-ordered gauges and the registry's flat writer emits them, so
+/// BENCH output and metrics snapshots share one escaping/precision path
+/// (names JSON-escaped, doubles at max_digits10 — full round-trip, where the
+/// old direct streaming corrupted quoted names and truncated to 6
+/// significant digits).
 inline void bench_json(const std::string& name,
                        std::initializer_list<std::pair<const char*, double>> fields,
                        std::ostream& os = std::cout) {
-  os << "BENCH {\"name\":\"" << name << "\",\"host_threads\":"
-     << common::ThreadPool::global().size();
-  for (const auto& [key, value] : fields) {
-    os << ",\"" << key << "\":" << value;
-  }
+  obs::MetricsRegistry reg;
+  reg.gauge_set("host_threads", common::ThreadPool::global().size());
+  for (const auto& [key, value] : fields) reg.gauge_set(key, value);
+  os << "BENCH {\"name\":\"" << obs::json_escape(name) << "\",";
+  reg.write_flat(os);
   os << "}\n";
 }
 
 /// One BENCH line with the global fault-injection RecoveryStats. Emitted
 /// only when the injector saw or repaired anything, so fault-free bench
-/// output is unchanged.
+/// output is unchanged. The stats are also mirrored into the global
+/// MetricsRegistry ("recovery/..." gauges) so SWGMX_METRICS snapshots carry
+/// them.
 inline void recovery_json(const std::string& name, std::ostream& os = std::cout) {
   const sw::RecoveryStats st = sw::FaultInjector::global().snapshot();
   if (st.faults_seen() == 0 && st.rollbacks == 0 && st.checkpoints_written == 0)
     return;
+  auto& m = obs::MetricsRegistry::global();
+  m.gauge_set("recovery/faults_seen", static_cast<double>(st.faults_seen()));
+  m.gauge_set("recovery/dma_retries", static_cast<double>(st.dma_retries));
+  m.gauge_set("recovery/rollbacks", static_cast<double>(st.rollbacks));
+  m.gauge_set("recovery/seconds_lost", st.seconds_lost());
   bench_json(name + "/recovery",
              {{"dma_bitflips", static_cast<double>(st.dma_bitflips)},
               {"dma_retries", static_cast<double>(st.dma_retries)},
@@ -115,6 +133,23 @@ inline ForceRun run_force(md::ShortRangeBackend& be, const md::System& sys) {
 
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Flush the observability outputs a traced run was asked for: the Perfetto
+/// trace to SWGMX_TRACE and the metrics snapshot to SWGMX_METRICS. Safe to
+/// call unconditionally — each part is a no-op when its knob is unset. The
+/// same writers run from a process-exit hook, so this mainly makes the
+/// artifacts available before any post-bench work the driver does.
+inline void write_observability_artifacts() {
+  obs::TraceSession::global().export_to_path();
+  if (const char* mpath = std::getenv("SWGMX_METRICS");
+      mpath != nullptr && *mpath != '\0') {
+    std::ofstream os(mpath);
+    if (os) {
+      obs::MetricsRegistry::global().snapshot_json(os);
+      os << '\n';
+    }
+  }
 }
 
 }  // namespace swgmx::bench

@@ -125,5 +125,6 @@ int main(int argc, char** argv) {
               << "%, write-cache miss "
               << last.force.total.write_miss_rate() * 100.0 << "%\n";
   }
+  bench::write_observability_artifacts();
   return 0;
 }

@@ -44,4 +44,58 @@ double rel_rms(std::span<const double> a, std::span<const double> ref) {
   return std::sqrt(num / den);
 }
 
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  SWGMX_CHECK(!bounds_.empty());
+  SWGMX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+Histogram Histogram::exponential(double lo, double growth, std::size_t n) {
+  SWGMX_CHECK(lo > 0.0 && growth > 1.0 && n > 0);
+  std::vector<double> bounds(n);
+  double b = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds[i] = b;
+    b *= growth;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::observe(double x) {
+  SWGMX_CHECK(!bounds_.empty());
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo_cum = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate inside bucket i between its value bounds, clamped to the
+    // observed range so quantiles never lie outside [min, max] (the first
+    // bucket has no lower bound and the overflow bucket no upper one).
+    const double lo = i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+    const double hi = i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+    const double frac =
+        counts_[i] == 0 ? 0.0
+                        : (target - lo_cum) / static_cast<double>(counts_[i]);
+    return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+  }
+  return max_;
+}
+
 }  // namespace swgmx

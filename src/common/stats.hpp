@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 namespace swgmx {
 
@@ -23,5 +25,49 @@ struct Summary {
 
 /// Relative RMS deviation of `a` from reference `ref` (L2 of diff / L2 of ref).
 [[nodiscard]] double rel_rms(std::span<const double> a, std::span<const double> ref);
+
+/// Fixed-bucket histogram with quantile estimates (p50/p95/p99 via linear
+/// interpolation inside the owning bucket). Bucket `i` covers
+/// (bounds[i-1], bounds[i]]; values above the last bound land in an
+/// implicit overflow bucket. Deterministic for a deterministic observation
+/// stream: counts are exact integers and the quantile arithmetic has a
+/// fixed evaluation order. Used by obs::MetricsRegistry for DMA transfer
+/// sizes and per-step simulated time.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// `upper_bounds` must be non-empty and sorted ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+  /// n log-spaced bounds: lo, lo*growth, lo*growth^2, ...
+  [[nodiscard]] static Histogram exponential(double lo, double growth,
+                                             std::size_t n);
+
+  void observe(double x);
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Quantile estimate for q in [0, 1]; 0 when empty. Exact at the observed
+  /// min/max, interpolated inside buckets otherwise.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; bounds().size() + 1 entries, overflow last.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
 
 }  // namespace swgmx

@@ -146,7 +146,7 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
       ctx.charge_cycles(ctx.config().dma_cycles(queued * kRecordBytes));
     }
     outs[static_cast<std::size_t>(cpe)] = out;
-  });
+  }, 0.0, "sr/collect");
 
   // MPE side: drain the queues in CPE-id order. The accumulation order into
   // f_slots is exactly the order the old sequential-CPE path produced, so

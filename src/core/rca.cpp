@@ -151,7 +151,7 @@ double RcaShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
                   fout.data(), md::kClusterSize * sizeof(Vec3f));
     }
     e_cpe[static_cast<std::size_t>(cpe)] = eng;
-  });
+  }, 0.0, "sr/rca");
 
   last_ = st;
   double elj = 0.0, ecoul = 0.0;

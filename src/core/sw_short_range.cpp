@@ -426,7 +426,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   },
   // The Vec/Mark rungs double-buffer their DMA streams ("full pipeline
   // acceleration"); the scalar rungs issue blocking transfers.
-  flags_.vectorized ? 0.8 : 0.0);
+  flags_.vectorized ? 0.8 : 0.0, "sr/force");
   last_.force_s = fst.sim_seconds;
   last_.force = fst;
 
@@ -493,7 +493,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
           std::min<std::size_t>(kParticlesPerLine, total_slots - slot0);
       ctx.dma_put(f_slots.data() + slot0, acc.data(), count * sizeof(Vec3f));
     }
-  });
+  }, 0.0, "sr/reduce");
   last_.reduce_s = rst.sim_seconds;
   last_.reduce = rst;
 

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 namespace swgmx::md {
@@ -17,6 +21,13 @@ namespace {
 double mpe_secs(const sw::SwConfig& cfg, double ops, double mem) {
   return cfg.seconds(ops * cfg.mpe_op_penalty +
                      mem * cfg.mpe_miss_rate * cfg.mpe_miss_latency_cycles);
+}
+
+/// Per-step simulated seconds, always on (bucket range spans sub-microsecond
+/// toy steps through multi-second faulted steps).
+Histogram& step_seconds_hist() {
+  return obs::MetricsRegistry::global().histogram(
+      "sim/step_seconds", Histogram::exponential(1e-6, 2.0, 24));
 }
 }  // namespace
 
@@ -36,6 +47,7 @@ void Simulation::neighbor_search() {
       pl_->build(*clusters_, sys_.box, static_cast<float>(sys_.ff->rlist()),
                  sr_->wants_half_list(), list_);
   timers_.add(phase::kNeighborSearch, secs);
+  obs::mpe_phase_span(phase::kNeighborSearch, secs);
 }
 
 void Simulation::compute_forces() {
@@ -52,14 +64,20 @@ void Simulation::compute_forces() {
   std::fill(f_slots_.begin(), f_slots_.end(), Vec3f{});
   last_nb_ = NbEnergies{};
   const NbParams params = make_nb_params(*sys_.ff);
+  const double t_sr = obs::TraceSession::global().now_ns();
   const double force_secs =
       sr_->compute(*clusters_, sys_.box, list_, params, f_slots_, last_nb_);
   timers_.add(phase::kForce, force_secs);
+  // Composite span: the short-range kernel launches inside sr_->compute
+  // already advanced the simulated clock, so anchor at the captured t0.
+  obs::mpe_phase_span(phase::kForce, force_secs, t_sr,
+                      "{\"part\":\"short_range\"}");
 
   // "NB F buffer ops": scatter slot forces back to the system array.
   clusters_->scatter_forces(f_slots_, sys_);
   buffer_secs += mpe_secs(opt_.cfg, n * 8.0, n * 2.0) / opt_.buffer_speedup;
   timers_.add(phase::kBufferOps, buffer_secs);
+  obs::mpe_phase_span(phase::kBufferOps, buffer_secs);
 
   // Bonded terms (double precision, MPE).
   last_bonded_ = compute_bonded(sys_);
@@ -67,12 +85,19 @@ void Simulation::compute_forces() {
       static_cast<double>(sys_.top.bonds.size()) * BondedOpCounts::kPerBond +
       static_cast<double>(sys_.top.angles.size()) * BondedOpCounts::kPerAngle +
       static_cast<double>(sys_.top.dihedrals.size()) * BondedOpCounts::kPerDihedral;
-  timers_.add(phase::kForce, mpe_secs(opt_.cfg, nbonded, nbonded * 0.2));
+  const double bonded_secs = mpe_secs(opt_.cfg, nbonded, nbonded * 0.2);
+  timers_.add(phase::kForce, bonded_secs);
+  obs::mpe_phase_span(phase::kForce, bonded_secs, -1.0,
+                      "{\"part\":\"bonded\"}");
 
   // Long-range electrostatics (PME), if configured.
   last_longrange_ = 0.0;
   if (lr_ != nullptr) {
-    timers_.add(phase::kForce, lr_->compute(sys_, last_longrange_));
+    const double t_lr = obs::TraceSession::global().now_ns();
+    const double lr_secs = lr_->compute(sys_, last_longrange_);
+    timers_.add(phase::kForce, lr_secs);
+    obs::mpe_phase_span(phase::kForce, lr_secs, t_lr,
+                        "{\"part\":\"long_range\"}");
   }
 }
 
@@ -95,6 +120,13 @@ std::optional<EnergySample> Simulation::step() {
   const bool guard = faults || opt_.watchdog;
   if (faults) inj.set_step(step_);
 
+  // Flight recorder: the whole step becomes one MPE-track span (emitted at
+  // the end, once the outcome is known) and one step_seconds observation.
+  obs::TraceSession& tr = obs::TraceSession::global();
+  const double step_t0 = tr.now_ns();
+  const double timers0 = timers_.total();
+  const std::int64_t step_at_entry = step_;
+
   const bool rebuild_step =
       step_ > 0 && opt_.nstlist > 0 && step_ % opt_.nstlist == 0;
   if (rebuild_step && !skip_rebuild_) neighbor_search();
@@ -111,16 +143,21 @@ std::optional<EnergySample> Simulation::step() {
   leapfrog_step(sys_, opt_.integ);
   apply_thermostat(sys_, opt_.integ);
   const double npart = static_cast<double>(sys_.size());
-  timers_.add(phase::kUpdate,
-              mpe_secs(opt_.cfg, npart * kUpdateOpsPerParticle, npart * 2.0) /
-                  opt_.update_speedup);
+  const double update_secs =
+      mpe_secs(opt_.cfg, npart * kUpdateOpsPerParticle, npart * 2.0) /
+      opt_.update_speedup;
+  timers_.add(phase::kUpdate, update_secs);
+  obs::mpe_phase_span(phase::kUpdate, update_secs);
 
   if (guard) {
     // Health scan before the constraints see a corrupt state; charged as an
     // MPE pass over x and v.
-    timers_.add(phase::kRest, mpe_secs(opt_.cfg, npart * 6.0, npart * 2.0));
+    const double scan_secs = mpe_secs(opt_.cfg, npart * 6.0, npart * 2.0);
+    timers_.add(phase::kRest, scan_secs);
+    obs::mpe_phase_span(phase::kRest, scan_secs);
     if (!state_healthy(x_ref)) {
       rollback();
+      finish_step_trace(step_t0, timers0, step_at_entry, rebuild_step, nullptr);
       return std::nullopt;
     }
   }
@@ -131,8 +168,10 @@ std::optional<EnergySample> Simulation::step() {
     // Charged at SETTLE (single-pass analytic) cost; see constraints.hpp.
     const double ops = static_cast<double>(sys_.top.constraints.size()) *
                        Shake::kSettleOpsPerConstraint;
-    timers_.add(phase::kConstraints,
-                mpe_secs(opt_.cfg, ops, ops * 0.2) / opt_.constraint_speedup);
+    const double constraint_secs =
+        mpe_secs(opt_.cfg, ops, ops * 0.2) / opt_.constraint_speedup;
+    timers_.add(phase::kConstraints, constraint_secs);
+    obs::mpe_phase_span(phase::kConstraints, constraint_secs);
   }
 
   ++step_;
@@ -159,6 +198,8 @@ std::optional<EnergySample> Simulation::step() {
         // away from the first sample.
         --step_;
         rollback();
+        finish_step_trace(step_t0, timers0, step_at_entry, rebuild_step,
+                          nullptr);
         return std::nullopt;
       }
     }
@@ -172,11 +213,37 @@ std::optional<EnergySample> Simulation::step() {
 
   // "Write traj".
   if (traj_ != nullptr && opt_.nstxout > 0 && step_ % opt_.nstxout == 0) {
-    timers_.add(phase::kWriteTraj,
-                traj_->write_frame(sys_, static_cast<double>(step_) * opt_.integ.dt));
+    const double traj_secs =
+        traj_->write_frame(sys_, static_cast<double>(step_) * opt_.integ.dt);
+    timers_.add(phase::kWriteTraj, traj_secs);
+    obs::mpe_phase_span(phase::kWriteTraj, traj_secs);
   }
   maybe_write_checkpoint();
+  finish_step_trace(step_t0, timers0, step_at_entry, rebuild_step,
+                    sample.has_value() ? &*sample : nullptr);
   return sample;
+}
+
+void Simulation::finish_step_trace(double step_t0, double timers0,
+                                   std::int64_t step_at_entry, bool rebuilt,
+                                   const EnergySample* sample) {
+  const double step_secs = timers_.total() - timers0;
+  step_seconds_hist().observe(step_secs);
+  obs::MetricsRegistry::global().counter_add("sim/steps", 1.0);
+
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
+  std::ostringstream args;
+  args << "{\"step\":" << step_at_entry
+       << ",\"rebuild\":" << (rebuilt ? "true" : "false") << ",\"sim_seconds\":"
+       << obs::json_number(step_secs);
+  if (sample != nullptr) {
+    args << ",\"e_total\":" << obs::json_number(sample->e_total())
+         << ",\"temperature\":" << obs::json_number(sample->temperature);
+  }
+  args << "}";
+  tr.complete(obs::kPidSim, obs::kTidMpe, "step", step_t0,
+              tr.now_ns() - step_t0, args.str());
 }
 
 void Simulation::take_snapshot() {
@@ -198,6 +265,13 @@ void Simulation::inject_numeric_fault() {
                         : 1e12f;
   sys_.f[i] = Vec3f{bad, bad, bad};
   inj.record_numeric_kick();
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    std::ostringstream args;
+    args << "{\"step\":" << step_ << ",\"particle\":" << i << "}";
+    tr.instant(obs::kPidSim, obs::kTidMpe, "numeric_kick", tr.now_ns(),
+               args.str());
+  }
 }
 
 bool Simulation::state_healthy(const AlignedVector<Vec3f>& x_ref) const {
@@ -237,6 +311,14 @@ void Simulation::rollback() {
   ++kick_generation_;
   ++rollbacks_;
   sw::FaultInjector::global().record_rollback(replayed);
+  obs::MetricsRegistry::global().counter_add("sim/rollbacks", 1.0);
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    std::ostringstream args;
+    args << "{\"detected_at\":" << last_detect_step_ << ",\"to_step\":" << step_
+         << ",\"replayed\":" << replayed << "}";
+    tr.instant(obs::kPidSim, obs::kTidMpe, "rollback", tr.now_ns(), args.str());
+  }
 }
 
 void Simulation::maybe_write_checkpoint() {
@@ -246,8 +328,17 @@ void Simulation::maybe_write_checkpoint() {
   // Serialization charged as an MPE streaming pass; the fsync itself is
   // host-side I/O, outside the simulated machine.
   const double n = static_cast<double>(sys_.size());
-  timers_.add(phase::kWriteTraj, mpe_secs(opt_.cfg, n * 8.0, n * 4.0));
+  const double ckpt_secs = mpe_secs(opt_.cfg, n * 8.0, n * 4.0);
+  timers_.add(phase::kWriteTraj, ckpt_secs);
+  obs::mpe_phase_span("checkpoint", ckpt_secs);
   sw::FaultInjector::global().record_checkpoint();
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    std::ostringstream args;
+    args << "{\"step\":" << step_ << "}";
+    tr.instant(obs::kPidSim, obs::kTidMpe, "checkpoint_written", tr.now_ns(),
+               args.str());
+  }
 }
 
 void Simulation::run(int nsteps) {

@@ -115,6 +115,12 @@ class Simulation {
   /// Restore the snapshot and rewind step_ so the caller replays from it.
   void rollback();
   void maybe_write_checkpoint();
+  /// Close out one step() for observability: observe the step's simulated
+  /// seconds (always) and emit the flight-recorder span (when tracing).
+  /// `sample` is null for unsampled and rolled-back steps.
+  void finish_step_trace(double step_t0, double timers0,
+                         std::int64_t step_at_entry, bool rebuilt,
+                         const EnergySample* sample);
 
   System sys_;
   SimOptions opt_;

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 namespace swgmx::net {
@@ -101,6 +105,59 @@ double ParallelSim::comm_seconds(std::size_t bytes) {
   return faulted_cost(transport_->message_seconds(bytes));
 }
 
+void ParallelSim::trace_rank_tracks() {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
+  for (int r = 0; r < opt_.nranks; ++r) {
+    tr.set_process_name(obs::rank_pid(r), "rank " + std::to_string(r));
+    tr.set_thread_name(obs::rank_pid(r), 0, "MPE");
+  }
+}
+
+void ParallelSim::trace_rank_exchange(const char* name, double seconds,
+                                      bool gather_to_rank0) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
+  const int R = opt_.nranks;
+  const double t0 = tr.now_ns();
+  const double t1 = t0 + seconds * 1e9;
+  std::ostringstream args;
+  args << "{\"transport\":\"" << obs::json_escape(transport_->name())
+       << "\",\"seconds\":" << obs::json_number(seconds) << "}";
+  for (int r = 0; r < R; ++r) {
+    tr.complete(obs::rank_pid(r), 0, name, t0, t1 - t0, args.str());
+  }
+  // Flow arrows: send at the span start, delivery at the span end. Ranks
+  // run concurrently in simulated time, so all flows share [t0, t1].
+  for (int r = 0; r < R; ++r) {
+    int to;
+    if (gather_to_rank0) {
+      if (r == 0) continue;
+      to = 0;
+    } else {
+      if (R < 2) break;
+      to = (r + 1) % R;
+    }
+    const std::uint64_t id = tr.next_flow_id();
+    tr.flow_start(obs::rank_pid(r), 0, name, t0, id);
+    tr.flow_end(obs::rank_pid(to), 0, name, t1, id);
+  }
+  tr.advance_to_ns(t1);
+}
+
+void ParallelSim::finish_step_trace(double step_t0, std::int64_t step_at_entry,
+                                    bool rebuilt) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
+  std::ostringstream args;
+  args << "{\"step\":" << step_at_entry
+       << ",\"rebuild\":" << (rebuilt ? "true" : "false") << "}";
+  for (int r = 0; r < opt_.nranks; ++r) {
+    tr.complete(obs::rank_pid(r), 0, "step", step_t0, tr.now_ns() - step_t0,
+                args.str());
+  }
+}
+
 void ParallelSim::neighbor_search() {
   const int R = opt_.nranks;
 
@@ -136,10 +193,13 @@ void ParallelSim::neighbor_search() {
   }
   max_pair_share_ = 0.0;
   max_cluster_share_ = 0.0;
+  pair_fraction_.assign(static_cast<std::size_t>(R), 1.0 / R);
   for (int r = 0; r < R; ++r) {
-    if (total_pairs > 0.0)
-      max_pair_share_ =
-          std::max(max_pair_share_, pair_share[static_cast<std::size_t>(r)] / total_pairs);
+    if (total_pairs > 0.0) {
+      const double frac = pair_share[static_cast<std::size_t>(r)] / total_pairs;
+      pair_fraction_[static_cast<std::size_t>(r)] = frac;
+      max_pair_share_ = std::max(max_pair_share_, frac);
+    }
     max_cluster_share_ = std::max(
         max_cluster_share_, cl_share[static_cast<std::size_t>(r)] / std::max(1, ncl));
   }
@@ -148,6 +208,17 @@ void ParallelSim::neighbor_search() {
 
   // The backend already reports the critical-path (worst-rank) build time.
   timers_.add(kNeighborSearch, secs);
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    trace_rank_tracks();
+    const double t0 = tr.now_ns();
+    for (int r = 0; r < R; ++r) {
+      tr.complete(obs::rank_pid(r), 0, kDomainDecomp, t0, dd_s * 1e9);
+      tr.complete(obs::rank_pid(r), 0, kNeighborSearch, t0 + dd_s * 1e9,
+                  secs * 1e9);
+    }
+    tr.advance_to_ns(t0 + (dd_s + secs) * 1e9);
+  }
 }
 
 void ParallelSim::step() {
@@ -158,6 +229,11 @@ void ParallelSim::step() {
   const bool faults = inj.enabled();
   const bool guard = faults || opt_.sim.watchdog;
   if (faults) inj.set_step(step_);
+
+  obs::TraceSession& tr = obs::TraceSession::global();
+  trace_rank_tracks();
+  const double step_t0 = tr.now_ns();
+  const std::int64_t step_at_entry = step_;
 
   const bool rebuild_step =
       step_ > 0 && opt_.sim.nstlist > 0 && step_ % opt_.sim.nstlist == 0;
@@ -175,7 +251,9 @@ void ParallelSim::step() {
     const int nb = dd_.halo_pulses();
     const auto bytes = static_cast<std::size_t>(
         std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
-    timers_.add(kWaitCommF, static_cast<double>(nb) * comm_seconds(bytes));
+    const double halo_s = static_cast<double>(nb) * comm_seconds(bytes);
+    timers_.add(kWaitCommF, halo_s);
+    trace_rank_exchange("halo_x", halo_s, false);
   }
 
   // Forces (functionally global; timed per rank).
@@ -184,8 +262,20 @@ void ParallelSim::step() {
   std::fill(f_slots_.begin(), f_slots_.end(), Vec3f{});
   md::NbEnergies nb_e;
   const md::NbParams params = make_nb_params(*sys_.ff);
+  const double t_force0 = tr.now_ns();
   const double force_global =
       sr_->compute(*clusters_, sys_.box, list_, params, f_slots_, nb_e);
+  if (tr.enabled()) {
+    // Per-rank Force spans sized by each rank's true pair share; the shared
+    // kernel launches inside sr_->compute already advanced the clock.
+    for (int r = 0; r < R; ++r) {
+      const double share = pair_fraction_[static_cast<std::size_t>(r)];
+      std::ostringstream fargs;
+      fargs << "{\"pair_fraction\":" << obs::json_number(share) << "}";
+      tr.complete(obs::rank_pid(r), 0, kForce, t_force0,
+                  share * force_global * 1e9, fargs.str());
+    }
+  }
   // "Force" carries the average rank's work; the extra time of the most
   // loaded rank shows up as *waiting inside the energy reduction* on every
   // other rank, which is exactly how GROMACS' profiler attributes it (and
@@ -211,8 +301,10 @@ void ParallelSim::step() {
       // Distributed 3-D FFT: two transpose all-to-alls per transform pair.
       const auto grid_bytes_per_pair = static_cast<std::size_t>(std::max(
           1.0, 16.0 * 64.0 * 64.0 * 64.0 / (static_cast<double>(R) * R)));
-      timers_.add(kWaitCommF, faulted_cost(2.0 * alltoall_seconds(
-                                              *transport_, grid_bytes_per_pair, R)));
+      const double fft_comm_s = faulted_cost(
+          2.0 * alltoall_seconds(*transport_, grid_bytes_per_pair, R));
+      timers_.add(kWaitCommF, fft_comm_s);
+      trace_rank_exchange("fft_alltoall", fft_comm_s, false);
     }
   }
 
@@ -223,7 +315,9 @@ void ParallelSim::step() {
     const int nb = dd_.halo_pulses();
     const auto bytes = static_cast<std::size_t>(
         std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
-    timers_.add(kWaitCommF, static_cast<double>(nb) * comm_seconds(bytes));
+    const double halo_s = static_cast<double>(nb) * comm_seconds(bytes);
+    timers_.add(kWaitCommF, halo_s);
+    trace_rank_exchange("halo_f", halo_s, false);
   }
 
   if (faults) inject_numeric_fault();
@@ -238,6 +332,7 @@ void ParallelSim::step() {
     timers_.add(md::phase::kRest, mpe_secs(n * 6.0, n * 2.0) / R);
     if (!state_healthy(x_ref)) {
       rollback();
+      finish_step_trace(step_t0, step_at_entry, rebuild_step);
       return;
     }
   }
@@ -252,8 +347,10 @@ void ParallelSim::step() {
   // "Comm. energies": the per-step global reduction of energies/virial,
   // inflated by synchronization skew — the 18.7% row of Table 1's Case 2.
   if (R > 1) {
-    timers_.add(kCommEnergies, opt_.energy_comm_skew *
-                                   faulted_cost(allreduce_seconds(*transport_, 64, R)));
+    const double e_comm_s = opt_.energy_comm_skew *
+                            faulted_cost(allreduce_seconds(*transport_, 64, R));
+    timers_.add(kCommEnergies, e_comm_s);
+    trace_rank_exchange(kCommEnergies, e_comm_s, true);
   }
 
   ++step_;
@@ -288,6 +385,7 @@ void ParallelSim::step() {
                                sys_, static_cast<double>(step_) * opt_.sim.integ.dt));
   }
   maybe_write_checkpoint();
+  finish_step_trace(step_t0, step_at_entry, rebuild_step);
 }
 
 void ParallelSim::take_snapshot() {
@@ -309,6 +407,12 @@ void ParallelSim::inject_numeric_fault() {
                         : 1e12f;
   sys_.f[i] = Vec3f{bad, bad, bad};
   inj.record_numeric_kick();
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    std::ostringstream args;
+    args << "{\"step\":" << step_ << ",\"particle\":" << i << "}";
+    tr.instant(obs::rank_pid(0), 0, "numeric_kick", tr.now_ns(), args.str());
+  }
 }
 
 bool ParallelSim::state_healthy(const AlignedVector<Vec3f>& x_ref) const {
@@ -347,6 +451,13 @@ void ParallelSim::rollback() {
   ++kick_generation_;
   ++rollbacks_;
   sw::FaultInjector::global().record_rollback(replayed);
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    std::ostringstream args;
+    args << "{\"detected_at\":" << last_detect_step_ << ",\"to_step\":" << step_
+         << ",\"replayed\":" << replayed << "}";
+    tr.instant(obs::rank_pid(0), 0, "rollback", tr.now_ns(), args.str());
+  }
 }
 
 void ParallelSim::maybe_write_checkpoint() {

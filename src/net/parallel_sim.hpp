@@ -71,6 +71,18 @@ class ParallelSim {
   [[nodiscard]] bool state_healthy(const AlignedVector<Vec3f>& x_ref) const;
   void rollback();
   void maybe_write_checkpoint();
+  // --- observability (all no-ops when tracing is off) ---
+  /// Register one trace process per rank ("rank r").
+  void trace_rank_tracks();
+  /// Emit a communication phase on every rank track plus message flow
+  /// events, then advance the simulated clock past it. `gather_to_rank0`
+  /// draws ranks 1..R-1 -> rank 0 flows (reductions / gathers); otherwise
+  /// each rank sends to its ring neighbor (halo pulses, transposes).
+  void trace_rank_exchange(const char* name, double seconds,
+                           bool gather_to_rank0);
+  /// Per-rank step flight-recorder spans.
+  void finish_step_trace(double step_t0, std::int64_t step_at_entry,
+                         bool rebuilt);
 
   md::System sys_;
   ParallelOptions opt_;
@@ -88,6 +100,9 @@ class ParallelSim {
   AlignedVector<Vec3f> f_slots_;
   double max_pair_share_ = 1.0;
   double max_cluster_share_ = 1.0;
+  /// Per-rank fraction of cluster pairs from the current decomposition
+  /// (sums to 1); sizes the per-rank Force spans in the trace.
+  std::vector<double> pair_fraction_;
 
   sw::PhaseTimers timers_;
   std::vector<md::EnergySample> series_;

@@ -1,0 +1,62 @@
+// Minimal JSON writing helpers shared by the trace exporter, the metrics
+// registry and the BENCH line renderer. Numbers are emitted with
+// max_digits10 precision so values round-trip losslessly and the rendered
+// text is byte-stable for identical inputs.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace swgmx::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal.
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Write a double as a JSON number. JSON has no inf/nan, so non-finite
+/// values map to null.
+inline void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  const auto p = os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  os.precision(p);
+}
+
+[[nodiscard]] inline std::string json_number(double v) {
+  std::ostringstream os;
+  json_number(os, v);
+  return os.str();
+}
+
+}  // namespace swgmx::obs

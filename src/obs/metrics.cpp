@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace swgmx::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: the trace/metrics atexit exporter may run after
+  // static destructors would have fired.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+MetricEntry& MetricsRegistry::upsert(std::string_view name, MetricKind kind) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    MetricEntry& e = entries_[it->second];
+    SWGMX_CHECK_MSG(e.kind == kind,
+                    "metric '" << name << "' re-registered with a different kind");
+    return e;
+  }
+  MetricEntry e;
+  e.name = std::string(name);
+  e.kind = kind;
+  entries_.push_back(std::move(e));
+  index_.emplace(entries_.back().name, entries_.size() - 1);
+  return entries_.back();
+}
+
+void MetricsRegistry::counter_add(std::string_view name, double v) {
+  upsert(name, MetricKind::kCounter).value += v;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double v) {
+  upsert(name, MetricKind::kGauge).value = v;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const Histogram& proto) {
+  MetricEntry& e = upsert(name, MetricKind::kHist);
+  if (e.hist.bounds().empty()) e.hist = proto;
+  return e.hist;
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  const MetricEntry* e = find(name);
+  return e == nullptr ? 0.0 : e->value;
+}
+
+const MetricEntry* MetricsRegistry::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+namespace {
+
+void write_hist(std::ostream& os, const Histogram& h) {
+  os << "{\"count\":" << h.count();
+  os << ",\"sum\":";
+  json_number(os, h.sum());
+  os << ",\"mean\":";
+  json_number(os, h.mean());
+  os << ",\"min\":";
+  json_number(os, h.min());
+  os << ",\"max\":";
+  json_number(os, h.max());
+  os << ",\"p50\":";
+  json_number(os, h.p50());
+  os << ",\"p95\":";
+  json_number(os, h.p95());
+  os << ",\"p99\":";
+  json_number(os, h.p99());
+  os << ",\"bounds\":[";
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    if (i != 0) os << ',';
+    json_number(os, h.bounds()[i]);
+  }
+  os << "],\"buckets\":[";
+  for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+    if (i != 0) os << ',';
+    os << h.buckets()[i];
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void MetricsRegistry::snapshot_json(std::ostream& os) const {
+  os << "{";
+  for (const MetricKind kind :
+       {MetricKind::kCounter, MetricKind::kGauge, MetricKind::kHist}) {
+    switch (kind) {
+      case MetricKind::kCounter: os << "\"counters\":{"; break;
+      case MetricKind::kGauge: os << ",\"gauges\":{"; break;
+      case MetricKind::kHist: os << ",\"histograms\":{"; break;
+    }
+    bool first = true;
+    for (const MetricEntry& e : entries_) {
+      if (e.kind != kind) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"' << json_escape(e.name) << "\":";
+      if (kind == MetricKind::kHist) {
+        write_hist(os, e.hist);
+      } else {
+        json_number(os, e.value);
+      }
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::ostringstream os;
+  snapshot_json(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_flat(std::ostream& os, bool leading_comma) const {
+  bool comma = leading_comma;
+  for (const MetricEntry& e : entries_) {
+    if (e.kind == MetricKind::kHist) continue;
+    if (comma) os << ',';
+    comma = true;
+    os << '"' << json_escape(e.name) << "\":";
+    json_number(os, e.value);
+  }
+}
+
+void MetricsRegistry::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace swgmx::obs

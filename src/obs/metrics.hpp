@@ -1,0 +1,75 @@
+// MetricsRegistry: named counters, gauges and histograms with a JSON
+// snapshot. The single source all BENCH output renders through
+// (bench/harness.hpp) and the sink for the per-kernel compute/memory cycle
+// split, DMA transfer sizes and per-step simulated time.
+//
+// Determinism: every metric recorded by the simulator derives from
+// simulated-cost quantities and is recorded from sequential driver code (the
+// MPE-side step loop and post-join kernel reductions), so a snapshot is
+// bit-identical for any SWGMX_THREADS. The registry itself is NOT
+// thread-safe; concurrent worker code stages into per-CPE logs instead
+// (see obs/trace.hpp) and the launcher folds them in after the join.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace swgmx::obs {
+
+enum class MetricKind { kCounter, kGauge, kHist };
+
+struct MetricEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  ///< counters and gauges
+  Histogram hist;      ///< kHist only
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// Process-wide registry (never destroyed, safe from atexit hooks).
+  [[nodiscard]] static MetricsRegistry& global();
+
+  void counter_add(std::string_view name, double v = 1.0);
+  void gauge_set(std::string_view name, double v);
+  /// Get-or-create a histogram; `proto` supplies the bucket layout on first
+  /// use and is ignored afterwards.
+  Histogram& histogram(std::string_view name, const Histogram& proto);
+
+  /// Counter/gauge value, 0.0 when absent.
+  [[nodiscard]] double value(std::string_view name) const;
+  [[nodiscard]] const MetricEntry* find(std::string_view name) const;
+  /// All metrics in first-recorded order (the order BENCH fields render in).
+  [[nodiscard]] const std::vector<MetricEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Structured snapshot:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
+  /// Numbers use max_digits10 so the text is byte-stable and lossless.
+  void snapshot_json(std::ostream& os) const;
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Flat `"name":value` pairs (counters + gauges, insertion order) for the
+  /// one-line BENCH wire format. Writes nothing before/after the pairs;
+  /// emits a leading comma before each pair when `leading_comma`.
+  void write_flat(std::ostream& os, bool leading_comma = false) const;
+
+  void clear();
+
+ private:
+  MetricEntry& upsert(std::string_view name, MetricKind kind);
+
+  std::vector<MetricEntry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace swgmx::obs

@@ -1,0 +1,203 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace swgmx::obs {
+
+namespace {
+
+/// Process-exit exporter: writes SWGMX_TRACE and SWGMX_METRICS files even
+/// when the driver never calls bench::write_observability_artifacts().
+void export_at_exit() {
+  TraceSession::global().export_to_path();
+  if (const char* mpath = std::getenv("SWGMX_METRICS");
+      mpath != nullptr && *mpath != '\0') {
+    std::ofstream os(mpath);
+    if (os) {
+      MetricsRegistry::global().snapshot_json(os);
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession& TraceSession::global() {
+  // Leaked on purpose: the atexit exporter registered below must outlive
+  // static destruction.
+  static TraceSession* g = new TraceSession();
+  return *g;
+}
+
+TraceSession::TraceSession() {
+  const char* path = std::getenv("SWGMX_TRACE");
+  std::size_t cap = 0;
+  if (const char* ring = std::getenv("SWGMX_TRACE_RING");
+      ring != nullptr && *ring != '\0') {
+    cap = static_cast<std::size_t>(std::strtoull(ring, nullptr, 10));
+  }
+  if (cap != 0) default_cap_ = cap;
+  if (path != nullptr && *path != '\0') start(path);
+  std::atexit(export_at_exit);
+}
+
+void TraceSession::start(std::string path, std::size_t ring_capacity) {
+  stop();
+  enabled_ = true;
+  path_ = std::move(path);
+  // 0 = the session default (SWGMX_TRACE_RING or 4096), so a bounded-ring
+  // session (tests) never leaks its capacity into the next start().
+  cap_ = ring_capacity != 0 ? ring_capacity : default_cap_;
+  set_process_name(kPidSim, "core_group");
+  set_thread_name(kPidSim, kTidMpe, "MPE");
+}
+
+void TraceSession::stop() {
+  enabled_ = false;
+  path_.clear();
+  clock_ns_ = 0.0;
+  flow_ids_ = 0;
+  dropped_ = 0;
+  tracks_.clear();
+  process_names_.clear();
+  thread_names_.clear();
+}
+
+void TraceSession::set_process_name(int pid, std::string_view name) {
+  if (!enabled_) return;
+  process_names_[pid] = std::string(name);
+}
+
+void TraceSession::set_thread_name(int pid, int tid, std::string_view name) {
+  if (!enabled_) return;
+  thread_names_[track_key(pid, tid)] = std::string(name);
+}
+
+void TraceSession::push(int pid, int tid, Event ev) {
+  Track& t = tracks_[track_key(pid, tid)];
+  if (t.ring.size() < cap_) {
+    t.ring.push_back(std::move(ev));
+  } else {
+    t.ring[t.pushed % cap_] = std::move(ev);
+    ++dropped_;
+    MetricsRegistry::global().counter_add("trace/dropped_events");
+  }
+  ++t.pushed;
+}
+
+void TraceSession::complete(int pid, int tid, std::string_view name,
+                            double ts_ns, double dur_ns,
+                            std::string args_json) {
+  if (!enabled_) return;
+  push(pid, tid,
+       Event{'X', ts_ns, dur_ns, 0, std::string(name), std::move(args_json)});
+}
+
+void TraceSession::instant(int pid, int tid, std::string_view name,
+                           double ts_ns, std::string args_json) {
+  if (!enabled_) return;
+  push(pid, tid,
+       Event{'i', ts_ns, 0.0, 0, std::string(name), std::move(args_json)});
+}
+
+void TraceSession::flow_start(int pid, int tid, std::string_view name,
+                              double ts_ns, std::uint64_t flow_id) {
+  if (!enabled_) return;
+  push(pid, tid, Event{'s', ts_ns, 0.0, flow_id, std::string(name), {}});
+}
+
+void TraceSession::flow_end(int pid, int tid, std::string_view name,
+                            double ts_ns, std::uint64_t flow_id) {
+  if (!enabled_) return;
+  push(pid, tid, Event{'f', ts_ns, 0.0, flow_id, std::string(name), {}});
+}
+
+void TraceSession::export_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << static_cast<int>(key >> 32)
+       << ",\"tid\":" << static_cast<int>(key & 0xFFFFFFFF)
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, track] : tracks_) {
+    const int pid = static_cast<int>(key >> 32);
+    const int tid = static_cast<int>(key & 0xFFFFFFFF);
+    const std::size_t n = track.ring.size();
+    // Ring order: oldest surviving event first.
+    const std::size_t head = track.pushed > cap_ ? track.pushed % cap_ : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = track.ring[(head + i) % n];
+      sep();
+      os << "{\"ph\":\"" << e.ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":";
+      json_number(os, e.ts_ns / 1000.0);  // trace-event ts is in microseconds
+      switch (e.ph) {
+        case 'X':
+          os << ",\"dur\":";
+          json_number(os, e.dur_ns / 1000.0);
+          os << ",\"cat\":\"sim\"";
+          break;
+        case 'i':
+          os << ",\"s\":\"t\",\"cat\":\"sim\"";
+          break;
+        case 's':
+          os << ",\"cat\":\"flow\",\"id\":" << e.flow_id;
+          break;
+        case 'f':
+          os << ",\"cat\":\"flow\",\"bp\":\"e\",\"id\":" << e.flow_id;
+          break;
+        default: break;
+      }
+      os << ",\"name\":\"" << json_escape(e.name) << "\"";
+      if (!e.args.empty()) os << ",\"args\":" << e.args;
+      os << "}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+std::string TraceSession::export_json() const {
+  std::ostringstream os;
+  export_json(os);
+  return os.str();
+}
+
+bool TraceSession::export_to_path() const {
+  if (!enabled_ || path_.empty()) return false;
+  std::ofstream os(path_);
+  if (!os) return false;
+  export_json(os);
+  return os.good();
+}
+
+void mpe_phase_span(std::string_view name, double seconds, double t0_ns,
+                    std::string args_json) {
+  TraceSession& tr = TraceSession::global();
+  if (!tr.enabled()) return;
+  const double t0 = t0_ns >= 0.0 ? t0_ns : tr.now_ns();
+  const double end = std::max(tr.now_ns(), t0 + seconds * 1e9);
+  tr.complete(kPidSim, kTidMpe, name, t0, end - t0, std::move(args_json));
+  tr.advance_to_ns(end);
+}
+
+}  // namespace swgmx::obs

@@ -1,0 +1,166 @@
+// TraceSession: deterministic simulated-time tracing with a
+// Chrome-trace-event / Perfetto JSON exporter.
+//
+// Clock domain. Every timestamp is *simulated* time: a nanosecond clock
+// advanced only by cost-model charges (kernel critical paths, MPE phase
+// seconds, message latencies) — never by host wall-clock and never by host
+// thread identity. Because the simulated costs are bit-identical for any
+// SWGMX_THREADS (per-CPE staging + fixed-order post-join reduction, see
+// sw/core_group.hpp), the exported trace is byte-identical for any host
+// pool size.
+//
+// Event model. One track per (pid, tid): the core-group process (kPidSim)
+// has an MPE track (phase + kernel-launch spans, step flight recorder) and
+// 64 CPE tracks (per-launch kernel spans with nested DMA transfer events);
+// each simulated rank of ParallelSim is its own process (rank_pid) whose
+// message send/recv pairs are connected with flow events. Faults and
+// recovery actions appear as instant events on the track that paid for
+// them. Each track is a bounded ring (SWGMX_TRACE_RING, default 4096
+// events): the newest events win, so a long run keeps a flight-recorder
+// tail instead of growing without bound.
+//
+// Cost when off: every hook gates on one bool; CPE-side DMA logging gates
+// on a null pointer. Enable with SWGMX_TRACE=<path> (exported at process
+// exit and by bench::write_observability_artifacts()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swgmx::obs {
+
+// Track layout: the simulated core group is process 1 (MPE = tid 0, CPE i =
+// tid 1+i); ParallelSim rank r is its own process 100+r.
+inline constexpr int kPidSim = 1;
+inline constexpr int kTidMpe = 0;
+[[nodiscard]] constexpr int cpe_tid(int cpe) { return 1 + cpe; }
+[[nodiscard]] constexpr int rank_pid(int rank) { return 100 + rank; }
+
+/// One DMA transfer as seen by a CPE inside a kernel. `start_cycles` /
+/// `end_cycles` are the CPE's cumulative total_cycles() before/after the
+/// transfer, i.e. positions on that CPE's own within-kernel timeline.
+struct CpeDmaRecord {
+  char op = 'g';  ///< 'g' get, 'p' put, 'G' get_2d, 'P' put_2d
+  std::uint32_t rows = 1;
+  std::uint32_t retries = 0;  ///< CRC-mismatch redo copies beyond the expected rows
+  std::uint64_t bytes = 0;    ///< payload bytes (rows * row_bytes for 2-D)
+  double start_cycles = 0.0;
+  double end_cycles = 0.0;
+};
+
+/// Per-CPE staging log for one kernel launch. Filled by CpeContext on the
+/// worker thread (each CPE writes only its own log — the same contract as
+/// every other per-CPE output), flushed into the TraceSession by the
+/// launcher after the join, in CPE-id order.
+struct CpeKernelLog {
+  std::vector<CpeDmaRecord> dma;
+  double straggle_cycles = 0.0;  ///< injected straggler penalty, 0 if none
+};
+
+class TraceSession {
+ public:
+  /// Process-wide session, configured from SWGMX_TRACE / SWGMX_TRACE_RING on
+  /// first use (never destroyed, safe from atexit hooks).
+  [[nodiscard]] static TraceSession& global();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Enable tracing to `path` (empty = export only on demand), dropping any
+  /// previously recorded events and resetting the simulated clock. Test and
+  /// driver hook; the env path goes through here too.
+  void start(std::string path, std::size_t ring_capacity = 0);
+  /// Disable and drop all events; the simulated clock resets to 0.
+  void stop();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t ring_capacity() const { return cap_; }
+
+  // --- simulated clock (nanoseconds) ---
+  [[nodiscard]] double now_ns() const { return clock_ns_; }
+  void advance_seconds(double s) {
+    if (enabled_) clock_ns_ += s * 1e9;
+  }
+  /// Move the clock forward to `ns` if it is ahead of now (never backwards).
+  void advance_to_ns(double ns) {
+    if (enabled_ && ns > clock_ns_) clock_ns_ = ns;
+  }
+
+  // --- track metadata ---
+  void set_process_name(int pid, std::string_view name);
+  void set_thread_name(int pid, int tid, std::string_view name);
+
+  // --- events (all no-ops when disabled) ---
+  /// `args_json`, when non-empty, is a complete JSON object ("{...}")
+  /// rendered by the caller with obs/json.hpp helpers.
+  void complete(int pid, int tid, std::string_view name, double ts_ns,
+                double dur_ns, std::string args_json = {});
+  void instant(int pid, int tid, std::string_view name, double ts_ns,
+               std::string args_json = {});
+  void flow_start(int pid, int tid, std::string_view name, double ts_ns,
+                  std::uint64_t flow_id);
+  void flow_end(int pid, int tid, std::string_view name, double ts_ns,
+                std::uint64_t flow_id);
+  /// Fresh id linking one flow_start to its flow_end(s).
+  [[nodiscard]] std::uint64_t next_flow_id() { return ++flow_ids_; }
+
+  /// Events dropped so far to ring-buffer bounds (also mirrored to the
+  /// "trace/dropped_events" counter in MetricsRegistry::global()).
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
+
+  // --- export ---
+  /// Write the Chrome-trace-event JSON ({"traceEvents":[...]}): metadata
+  /// first, then tracks in (pid, tid) order, events in record order.
+  void export_json(std::ostream& os) const;
+  [[nodiscard]] std::string export_json() const;
+  /// Write to path(); false when disabled, path is empty, or the open fails.
+  bool export_to_path() const;
+
+ private:
+  TraceSession();
+
+  struct Event {
+    char ph;  ///< 'X' complete, 'i' instant, 's' flow start, 'f' flow end
+    double ts_ns = 0.0;
+    double dur_ns = 0.0;
+    std::uint64_t flow_id = 0;
+    std::string name;
+    std::string args;
+  };
+  struct Track {
+    std::vector<Event> ring;
+    std::uint64_t pushed = 0;
+  };
+
+  void push(int pid, int tid, Event ev);
+  static std::int64_t track_key(int pid, int tid) {
+    return (static_cast<std::int64_t>(pid) << 32) |
+           static_cast<std::uint32_t>(tid);
+  }
+
+  bool enabled_ = false;
+  std::string path_;
+  std::size_t default_cap_ = 4096;  ///< SWGMX_TRACE_RING override of 4096
+  std::size_t cap_ = 4096;
+  double clock_ns_ = 0.0;
+  std::uint64_t flow_ids_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::map<std::int64_t, Track> tracks_;
+  std::map<int, std::string> process_names_;
+  std::map<std::int64_t, std::string> thread_names_;
+};
+
+/// Record one MPE-side phase span of `seconds` on the core-group MPE track
+/// and advance the simulated clock past it. With `t0_ns` < 0 the span
+/// starts at now and the clock advances by `seconds` (leaf phases); with a
+/// captured earlier `t0_ns` the span covers [t0, max(now, t0 + seconds)]
+/// (composite phases whose kernel launches already advanced the clock —
+/// e.g. Force — so nested launch spans stay inside and nothing is
+/// double-counted).
+void mpe_phase_span(std::string_view name, double seconds, double t0_ns = -1.0,
+                    std::string args_json = {});
+
+}  // namespace swgmx::obs

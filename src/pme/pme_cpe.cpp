@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "md/cost.hpp"
 #include "md/units.hpp"
+#include "obs/trace.hpp"
 
 namespace swgmx::pme {
 
@@ -170,7 +171,7 @@ void PmeCpeDriver::run_spread() {
     }
     cache.flush();
   };
-  const sw::KernelStats st = cg_.run(kernel, 0.5);
+  const sw::KernelStats st = cg_.run(kernel, 0.5, "pme/spread");
   breakdown_.spread_s = st.sim_seconds;
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;
@@ -219,7 +220,7 @@ void PmeCpeDriver::run_reduce(fft::Grid3D& grid) {
                   nz * sizeof(fft::cplx));
     }
   };
-  const sw::KernelStats st = cg_.run(kernel, 0.5);
+  const sw::KernelStats st = cg_.run(kernel, 0.5, "pme/reduce");
   breakdown_.reduce_s = st.sim_seconds;
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;
@@ -287,7 +288,7 @@ double PmeCpeDriver::run_fft_pass(fft::Grid3D& grid, int axis, bool fwd) {
     }
   };
   // 0.8 overlap: double-buffered get/compute/put pipeline.
-  const sw::KernelStats st = cg_.run(kernel, 0.8);
+  const sw::KernelStats st = cg_.run(kernel, 0.8, "pme/fft");
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;
   return st.sim_seconds;
@@ -349,7 +350,7 @@ double PmeCpeDriver::run_convolve(const md::System& sys, fft::Grid3D& grid,
     }
     energy_slots_[c] = e;
   };
-  const sw::KernelStats st = cg_.run(kernel, 0.8);
+  const sw::KernelStats st = cg_.run(kernel, 0.8, "pme/convolve");
   breakdown_.convolve_s = st.sim_seconds;
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;
@@ -437,7 +438,7 @@ void PmeCpeDriver::run_gather(const md::System& sys, const fft::Grid3D& grid) {
       ctx.dma_put(f_slots_.data() + s0, fbuf.data(), cnt * sizeof(Vec3d));
     }
   };
-  const sw::KernelStats st = cg_.run(kernel, 0.5);
+  const sw::KernelStats st = cg_.run(kernel, 0.5, "pme/gather");
   breakdown_.gather_s = st.sim_seconds;
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;
@@ -452,6 +453,7 @@ double PmeCpeDriver::recip(const md::System& sys, fft::Grid3D& grid,
   SWGMX_CHECK(f.size() == sys.size());
   breakdown_ = {};
   breakdown_.prep_s = prepare(sys);
+  obs::mpe_phase_span("pme/prep", breakdown_.prep_s);
 
   run_spread();
   run_reduce(grid);
@@ -467,8 +469,10 @@ double PmeCpeDriver::recip(const md::System& sys, fft::Grid3D& grid,
   // MPE-side scatter of the slot-ordered forces back to particle order.
   const std::size_t n = sys.size();
   for (std::size_t s = 0; s < n; ++s) f[order_[s]] += f_slots_[s];
-  breakdown_.prep_s +=
+  const double scatter_s =
       cg_.mpe_seconds(static_cast<double>(n) * 3.0, static_cast<double>(n) * 4.0);
+  breakdown_.prep_s += scatter_s;
+  obs::mpe_phase_span("pme/scatter", scatter_s);
   return energy;
 }
 

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 namespace swgmx::sw {
@@ -20,8 +25,10 @@ LdmArena& CoreGroup::thread_arena() {
   return *slot;
 }
 
-KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kernel,
-                                   double dma_overlap) {
+KernelStats CoreGroup::run_impl(const std::function<void(CpeContext&)>& kernel,
+                                double dma_overlap,
+                                std::vector<obs::CpeKernelLog>* logs,
+                                std::vector<PerfCounters>* per_cpe) {
   const int n = cfg_.cpe_count;
   // Per-CPE counters land in private slots; the reduction below walks them
   // in CPE-id order so stats are bit-identical for any thread count.
@@ -30,6 +37,7 @@ KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kerne
     LdmArena& arena = thread_arena();
     arena.reset();
     CpeContext ctx(id, cfg_, arena);
+    if (logs != nullptr) ctx.set_trace_log(&(*logs)[static_cast<std::size_t>(id)]);
     kernel(ctx);
     perf[static_cast<std::size_t>(id)] = ctx.perf();
   });
@@ -47,6 +55,8 @@ KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kerne
         const double extra = kStragglerSlowdown * pc.total_cycles();
         pc.compute_cycles += extra;
         inj.record_cpe_straggler(extra);
+        if (logs != nullptr)
+          (*logs)[static_cast<std::size_t>(id)].straggle_cycles = extra;
       }
     }
   }
@@ -62,13 +72,125 @@ KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kerne
   }
   if (n == 0) stats.min_cycles = 0.0;
   stats.sim_seconds = cfg_.seconds(stats.max_cycles);
+  if (per_cpe != nullptr) *per_cpe = std::move(perf);
   return stats;
 }
 
+KernelStats CoreGroup::run_collect(const std::function<void(CpeContext&)>& kernel,
+                                   double dma_overlap) {
+  return run_impl(kernel, dma_overlap, nullptr, nullptr);
+}
+
+namespace {
+
+const char* dma_op_name(char op) {
+  switch (op) {
+    case 'g': return "dma_get";
+    case 'p': return "dma_put";
+    case 'G': return "dma_get_2d";
+    case 'P': return "dma_put_2d";
+    default: return "dma";
+  }
+}
+
+/// Flush one launch's per-CPE staging logs into the trace, in CPE-id order.
+/// Each CPE gets a kernel span of its own *overlapped* cycles starting at
+/// the launch time `t0_ns`; DMA events are drawn on that pipelined timeline
+/// (within-kernel positions scaled by overlapped/total) so they nest inside
+/// the span, while their args carry the unscaled cycle costs.
+void flush_launch_trace(obs::TraceSession& tr, const SwConfig& cfg,
+                        const char* label, double t0_ns, double dma_overlap,
+                        const std::vector<obs::CpeKernelLog>& logs,
+                        const std::vector<PerfCounters>& per_cpe,
+                        const KernelStats& stats) {
+  const double ns_per_cycle = 1e9 / cfg.freq_hz;
+  auto& dma_hist = obs::MetricsRegistry::global().histogram(
+      "dma/transfer_bytes", Histogram::exponential(8.0, 2.0, 13));
+  for (int id = 0; id < cfg.cpe_count; ++id) {
+    tr.set_thread_name(obs::kPidSim, obs::cpe_tid(id),
+                       "CPE " + std::to_string(id));
+    const auto& pc = per_cpe[static_cast<std::size_t>(id)];
+    const double total = pc.total_cycles();
+    const double overlapped = pc.overlapped_cycles(dma_overlap);
+    const double scale = total > 0.0 ? overlapped / total : 1.0;
+    {
+      std::ostringstream args;
+      args << "{\"compute_cycles\":" << obs::json_number(pc.compute_cycles)
+           << ",\"mem_cycles\":"
+           << obs::json_number(pc.dma_cycles + pc.gld_cycles)
+           << ",\"dma_bytes\":" << pc.dma_bytes << "}";
+      tr.complete(obs::kPidSim, obs::cpe_tid(id), label, t0_ns,
+                  overlapped * ns_per_cycle, args.str());
+    }
+    for (const auto& d : logs[static_cast<std::size_t>(id)].dma) {
+      dma_hist.observe(static_cast<double>(d.bytes));
+      std::ostringstream args;
+      args << "{\"bytes\":" << d.bytes << ",\"rows\":" << d.rows
+           << ",\"retries\":" << d.retries << "}";
+      tr.complete(obs::kPidSim, obs::cpe_tid(id), dma_op_name(d.op),
+                  t0_ns + d.start_cycles * scale * ns_per_cycle,
+                  (d.end_cycles - d.start_cycles) * scale * ns_per_cycle,
+                  args.str());
+      if (d.retries != 0) {
+        std::ostringstream rargs;
+        rargs << "{\"retries\":" << d.retries << ",\"bytes\":" << d.bytes << "}";
+        tr.instant(obs::kPidSim, obs::cpe_tid(id), "dma_crc_retry",
+                   t0_ns + d.end_cycles * scale * ns_per_cycle, rargs.str());
+      }
+    }
+    const double straggle = logs[static_cast<std::size_t>(id)].straggle_cycles;
+    if (straggle > 0.0) {
+      std::ostringstream args;
+      args << "{\"extra_cycles\":" << obs::json_number(straggle) << "}";
+      tr.instant(obs::kPidSim, obs::cpe_tid(id), "cpe_straggler",
+                 t0_ns + overlapped * ns_per_cycle, args.str());
+    }
+  }
+  // MPE-side launch span covering the kernel's critical path.
+  std::ostringstream args;
+  args << "{\"sim_seconds\":" << obs::json_number(stats.sim_seconds)
+       << ",\"imbalance\":" << obs::json_number(stats.imbalance(cfg.cpe_count))
+       << "}";
+  tr.complete(obs::kPidSim, obs::kTidMpe, label, t0_ns,
+              stats.sim_seconds * 1e9, args.str());
+}
+
+/// Per-label kernel metrics (always on): the overlapped_cycles inputs —
+/// compute vs memory cycles — plus sim time, traffic and launch count, so
+/// the pipeline-overlap claim is checkable from one metrics snapshot.
+void record_kernel_metrics(const char* label, const KernelStats& stats) {
+  auto& m = obs::MetricsRegistry::global();
+  const std::string prefix = std::string("kernel/") + label;
+  m.counter_add(prefix + "/launches", 1.0);
+  m.counter_add(prefix + "/compute_cycles", stats.total.compute_cycles);
+  m.counter_add(prefix + "/mem_cycles",
+                stats.total.dma_cycles + stats.total.gld_cycles);
+  m.counter_add(prefix + "/sim_seconds", stats.sim_seconds);
+  m.counter_add(prefix + "/dma_bytes",
+                static_cast<double>(stats.total.dma_bytes));
+}
+
+}  // namespace
+
 KernelStats CoreGroup::run(const std::function<void(CpeContext&)>& kernel,
-                           double dma_overlap) {
-  const KernelStats stats = run_collect(kernel, dma_overlap);
+                           double dma_overlap, const char* label) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) {
+    const KernelStats stats = run_impl(kernel, dma_overlap, nullptr, nullptr);
+    add_lifetime(stats.total);
+    record_kernel_metrics(label, stats);
+    return stats;
+  }
+
+  const int n = cfg_.cpe_count;
+  std::vector<obs::CpeKernelLog> logs(static_cast<std::size_t>(n));
+  std::vector<PerfCounters> per_cpe;
+  const double t0 = tr.now_ns();
+  const KernelStats stats = run_impl(kernel, dma_overlap, &logs, &per_cpe);
   add_lifetime(stats.total);
+  record_kernel_metrics(label, stats);
+  flush_launch_trace(tr, cfg_, label, t0, dma_overlap, logs, per_cpe, stats);
+  tr.advance_seconds(stats.sim_seconds);
   return stats;
 }
 

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "sw/cpe.hpp"
 
@@ -49,8 +50,15 @@ class CoreGroup {
   /// partitioning. `dma_overlap` in [0, 1] models double-buffered
   /// pipelining: that fraction of min(compute, memory) cycles hides behind
   /// the other. Folds the launch's counters into lifetime().
+  ///
+  /// `label` names the launch for observability: it becomes the span name
+  /// on every CPE trace track, the MPE-track launch span, and the
+  /// "kernel/<label>/..." metric family (launches, compute vs memory
+  /// cycles, sim seconds, DMA bytes). Only this sequential driver path is
+  /// traced — concurrent launchers go through run_collect(), which stays
+  /// out of the trace so event order never depends on host scheduling.
   KernelStats run(const std::function<void(CpeContext&)>& kernel,
-                  double dma_overlap = 0.0);
+                  double dma_overlap = 0.0, const char* label = "kernel");
 
   /// Same as run() but does NOT touch lifetime(). Callers that launch
   /// kernels concurrently from several host threads (e.g. the rank-parallel
@@ -79,6 +87,13 @@ class CoreGroup {
   }
 
  private:
+  /// Shared launch path. When `logs`/`per_cpe` are non-null (tracing), each
+  /// CPE's DMA events and final counters are captured in its own slot —
+  /// same per-CPE-output contract as the kernel results themselves.
+  KernelStats run_impl(const std::function<void(CpeContext&)>& kernel,
+                       double dma_overlap, std::vector<obs::CpeKernelLog>* logs,
+                       std::vector<PerfCounters>* per_cpe);
+
   /// The LDM arena for the calling host thread. Arenas model scratchpad
   /// state that is reset at every CPE invocation, so they are keyed by
   /// execution lane (host thread), not by CPE id: concurrent launches on

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "sw/dma.hpp"
 #include "sw/ldm.hpp"
 #include "sw/perf.hpp"
@@ -27,24 +28,49 @@ class CpeContext {
   [[nodiscard]] PerfCounters& perf() { return perf_; }
   [[nodiscard]] const PerfCounters& perf() const { return perf_; }
 
+  /// Attach this CPE's per-launch trace staging log (set by the launcher
+  /// when SWGMX_TRACE is active, null otherwise — the off path is one
+  /// pointer test per DMA call).
+  void set_trace_log(obs::CpeKernelLog* log) { tlog_ = log; }
+
   // --- DMA (bulk, contiguous) ---
   void dma_get(void* ldm_dst, const void* mem_src, std::size_t bytes) {
-    dma_.get(ldm_dst, mem_src, bytes, perf_);
+    if (tlog_ == nullptr) {
+      dma_.get(ldm_dst, mem_src, bytes, perf_);
+      return;
+    }
+    traced_dma('g', 1, [&] { dma_.get(ldm_dst, mem_src, bytes, perf_); });
   }
   void dma_put(void* mem_dst, const void* ldm_src, std::size_t bytes) {
-    dma_.put(mem_dst, ldm_src, bytes, perf_);
+    if (tlog_ == nullptr) {
+      dma_.put(mem_dst, ldm_src, bytes, perf_);
+      return;
+    }
+    traced_dma('p', 1, [&] { dma_.put(mem_dst, ldm_src, bytes, perf_); });
   }
 
   // --- DMA (strided / 2-D) ---
   void dma_get_2d(void* ldm_dst, const void* mem_src, std::size_t rows,
                   std::size_t row_bytes, std::size_t mem_pitch,
                   std::size_t ldm_pitch) {
-    dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+    if (tlog_ == nullptr) {
+      dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+      return;
+    }
+    traced_dma('G', rows, [&] {
+      dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+    });
   }
   void dma_put_2d(void* mem_dst, const void* ldm_src, std::size_t rows,
                   std::size_t row_bytes, std::size_t mem_pitch,
                   std::size_t ldm_pitch) {
-    dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+    if (tlog_ == nullptr) {
+      dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+      return;
+    }
+    traced_dma('P', rows, [&] {
+      dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+    });
   }
 
   // --- gld/gst (single-element, high latency) ---
@@ -75,11 +101,32 @@ class CpeContext {
   void charge_cycles(double n) { perf_.compute_cycles += n; }
 
  private:
+  /// Run one DMA call and stage a CpeDmaRecord from the counter deltas it
+  /// leaves behind: the byte/cycle costs come straight from PerfCounters,
+  /// and any dma_transfers beyond the expected `rows` are CRC retries.
+  template <typename Fn>
+  void traced_dma(char op, std::size_t rows, Fn&& fn) {
+    const double c0 = perf_.total_cycles();
+    const std::uint64_t xfers0 = perf_.dma_transfers;
+    const std::uint64_t bytes0 = perf_.dma_bytes;
+    fn();
+    obs::CpeDmaRecord rec;
+    rec.op = op;
+    rec.rows = static_cast<std::uint32_t>(rows);
+    rec.retries =
+        static_cast<std::uint32_t>(perf_.dma_transfers - xfers0 - rows);
+    rec.bytes = perf_.dma_bytes - bytes0;
+    rec.start_cycles = c0;
+    rec.end_cycles = perf_.total_cycles();
+    tlog_->dma.push_back(rec);
+  }
+
   int id_;
   const SwConfig* cfg_;
   LdmArena* ldm_;
   DmaEngine dma_;
   PerfCounters perf_;
+  obs::CpeKernelLog* tlog_ = nullptr;
 };
 
 }  // namespace swgmx::sw

@@ -103,6 +103,62 @@ TEST(Stats, RelRms) {
   EXPECT_NEAR(rel_rms(c, b), 1.0, 1e-12);
 }
 
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h = Histogram::exponential(1.0, 2.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, ExponentialBoundsGrow) {
+  const Histogram h = Histogram::exponential(8.0, 2.0, 4);
+  ASSERT_EQ(h.bounds().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 8.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 16.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[3], 64.0);
+  // One overflow bucket past the last bound.
+  EXPECT_EQ(h.buckets().size(), 5u);
+}
+
+TEST(Histogram, ObserveTracksMomentsAndBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (const double x : {0.5, 5.0, 5.0, 50.0, 500.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 560.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 112.1);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_EQ(h.buckets()[0], 1u);  // (-inf, 1]
+  EXPECT_EQ(h.buckets()[1], 2u);  // (1, 10]
+  EXPECT_EQ(h.buckets()[2], 1u);  // (10, 100]
+  EXPECT_EQ(h.buckets()[3], 1u);  // overflow
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndClamped) {
+  Histogram h = Histogram::exponential(1.0, 2.0, 16);
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+  // p50 of 1..100 lands in the right decade (bucketed estimate).
+  EXPECT_GT(h.p50(), 30.0);
+  EXPECT_LT(h.p50(), 70.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, SingleValueQuantiles) {
+  Histogram h({1.0, 2.0});
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 1.5);
+  EXPECT_DOUBLE_EQ(h.p99(), 1.5);
+}
+
 TEST(Table, PrintsAlignedRows) {
   Table t({"name", "value"});
   t.add_row({"alpha", Table::num(1.2345, 2)});

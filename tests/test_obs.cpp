@@ -1,0 +1,349 @@
+// Observability: the MetricsRegistry, JSON helpers, BENCH rendering, and the
+// deterministic simulated-time TraceSession — including the headline
+// guarantee that an exported trace is byte-identical for any SWGMX_THREADS.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.hpp"
+#include "common/thread_pool.hpp"
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "md/simulation.hpp"
+#include "net/parallel_sim.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pme/pme.hpp"
+#include "sw/core_group.hpp"
+#include "sw/fault.hpp"
+#include "testutil.hpp"
+
+namespace swgmx {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceSession;
+
+/// RAII: enable in-memory tracing for one test, restore "off" afterwards so
+/// the rest of the suite runs untraced.
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::size_t ring = 0) {
+    TraceSession::global().start("", ring);
+  }
+  ~TraceGuard() { TraceSession::global().stop(); }
+};
+
+/// RAII: configure the global fault injector, restore "disabled" afterwards.
+class FaultGuard {
+ public:
+  explicit FaultGuard(const sw::FaultRates& r) {
+    sw::FaultInjector::global().configure(r);
+  }
+  ~FaultGuard() { sw::FaultInjector::global().configure_from_env(nullptr); }
+};
+
+/// RAII: resize the global host pool, restore the previous size afterwards.
+class PoolGuard {
+ public:
+  explicit PoolGuard(int n) : prev_(common::ThreadPool::global().size()) {
+    common::ThreadPool::set_global_size(n);
+  }
+  ~PoolGuard() { common::ThreadPool::set_global_size(prev_); }
+
+ private:
+  int prev_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+TEST(ObsJson, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ObsJson, NumbersRoundTripAtFullPrecision) {
+  // 0.1 at 6 significant digits (the old BENCH path) loses bits; at
+  // max_digits10 the text parses back to the identical double.
+  const double v = 0.1;
+  const std::string s = obs::json_number(v);
+  EXPECT_EQ(std::stod(s), v);
+  const double third = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(obs::json_number(third)), third);
+  EXPECT_EQ(obs::json_number(2.0), "2");
+}
+
+TEST(ObsJson, NonFiniteBecomesNull) {
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(Metrics, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.counter_add("hits");
+  reg.counter_add("hits", 2.0);
+  reg.gauge_set("level", 5.0);
+  reg.gauge_set("level", 7.0);
+  EXPECT_DOUBLE_EQ(reg.value("hits"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("level"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+}
+
+TEST(Metrics, HistogramIsCreatedOnceAndObservable) {
+  MetricsRegistry reg;
+  const auto proto = Histogram::exponential(1.0, 2.0, 4);
+  reg.histogram("h", proto).observe(3.0);
+  reg.histogram("h", Histogram::exponential(100.0, 2.0, 2)).observe(5.0);
+  const obs::MetricEntry* e = reg.find("h");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, obs::MetricKind::kHist);
+  EXPECT_EQ(e->hist.count(), 2u);
+  // The first proto's bucket layout stuck.
+  EXPECT_EQ(e->hist.bounds().size(), 4u);
+}
+
+TEST(Metrics, SnapshotJsonHasAllSections) {
+  MetricsRegistry reg;
+  reg.counter_add("c/one", 4.0);
+  reg.gauge_set("g/two", 0.5);
+  reg.histogram("h/three", Histogram::exponential(1.0, 2.0, 3)).observe(2.0);
+  const std::string js = reg.snapshot_json();
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"c/one\":4"), std::string::npos);
+  EXPECT_NE(js.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(js.find("\"g/two\":0.5"), std::string::npos);
+  EXPECT_NE(js.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(js.find("\"p95\""), std::string::npos);
+}
+
+TEST(Metrics, WriteFlatKeepsInsertionOrderAndEscapes) {
+  MetricsRegistry reg;
+  reg.gauge_set("b_first", 1.0);
+  reg.counter_add("a_second", 2.0);
+  reg.gauge_set("quo\"ted", 3.0);
+  std::ostringstream os;
+  reg.write_flat(os);
+  EXPECT_EQ(os.str(), "\"b_first\":1,\"a_second\":2,\"quo\\\"ted\":3");
+}
+
+TEST(Bench, BenchJsonRendersThroughRegistry) {
+  std::ostringstream os;
+  bench::bench_json("fig10/case \"1\"", {{"sim_seconds", 0.1}}, os);
+  const std::string line = os.str();
+  // Name is escaped, host_threads always present, doubles lossless.
+  EXPECT_EQ(line.rfind("BENCH {\"name\":\"fig10/case \\\"1\\\"\",", 0), 0u);
+  EXPECT_NE(line.find("\"host_threads\":"), std::string::npos);
+  EXPECT_NE(line.find("\"sim_seconds\":0.10000000000000001"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession mechanics
+
+TEST(Trace, DisabledHooksAreNoOps) {
+  TraceSession& tr = TraceSession::global();
+  ASSERT_FALSE(tr.enabled());
+  tr.complete(obs::kPidSim, obs::kTidMpe, "x", 0.0, 1.0);
+  tr.advance_seconds(1.0);
+  EXPECT_DOUBLE_EQ(tr.now_ns(), 0.0);
+  EXPECT_EQ(tr.export_json().find("\"x\""), std::string::npos);
+}
+
+TEST(Trace, ClockAdvancesOnlyForward) {
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  tr.advance_seconds(1e-9);
+  EXPECT_DOUBLE_EQ(tr.now_ns(), 1.0);
+  tr.advance_to_ns(0.5);  // backwards: ignored
+  EXPECT_DOUBLE_EQ(tr.now_ns(), 1.0);
+  tr.advance_to_ns(5.0);
+  EXPECT_DOUBLE_EQ(tr.now_ns(), 5.0);
+}
+
+TEST(Trace, ExportContainsMetadataAndEvents) {
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  tr.set_process_name(obs::kPidSim, "core_group");
+  tr.set_thread_name(obs::kPidSim, obs::cpe_tid(0), "CPE 0");
+  tr.complete(obs::kPidSim, obs::cpe_tid(0), "kern", 1000.0, 2000.0,
+              "{\"bytes\":64}");
+  tr.instant(obs::kPidSim, obs::cpe_tid(0), "blip", 1500.0);
+  const std::uint64_t id = tr.next_flow_id();
+  tr.flow_start(obs::kPidSim, obs::kTidMpe, "msg", 1000.0, id);
+  tr.flow_end(obs::kPidSim, obs::cpe_tid(0), "msg", 3000.0, id);
+  const std::string js = tr.export_json();
+  EXPECT_EQ(js.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(js.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(js.find("process_name"), std::string::npos);
+  EXPECT_NE(js.find("\"CPE 0\""), std::string::npos);
+  // ts is microseconds: 1000 ns -> 1 us.
+  EXPECT_NE(js.find("\"ts\":1,\"dur\":2"), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(js.find("\"bytes\":64"), std::string::npos);
+}
+
+TEST(Trace, RingBoundsEachTrackAndCountsDrops) {
+  TraceGuard guard(/*ring=*/4);
+  TraceSession& tr = TraceSession::global();
+  for (int i = 0; i < 10; ++i)
+    tr.instant(obs::kPidSim, obs::kTidMpe, "e" + std::to_string(i),
+               static_cast<double>(i));
+  EXPECT_EQ(tr.dropped_events(), 6u);
+  const std::string js = tr.export_json();
+  // Newest four survive, oldest six dropped.
+  EXPECT_EQ(js.find("\"e5\""), std::string::npos);
+  EXPECT_NE(js.find("\"e6\""), std::string::npos);
+  EXPECT_NE(js.find("\"e9\""), std::string::npos);
+  EXPECT_GE(MetricsRegistry::global().value("trace/dropped_events"), 6.0);
+}
+
+TEST(Trace, MpePhaseSpanLeafAndComposite) {
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  // Leaf: starts at now, advances the clock by its cost.
+  obs::mpe_phase_span("leaf", 2e-9);
+  EXPECT_DOUBLE_EQ(tr.now_ns(), 2.0);
+  // Composite: covers [t0, max(now, t0 + cost)] — here the nested work
+  // already pushed the clock past t0 + cost, so the clock stays put.
+  const double t0 = tr.now_ns();
+  tr.advance_seconds(10e-9);
+  obs::mpe_phase_span("composite", 3e-9, t0);
+  EXPECT_DOUBLE_EQ(tr.now_ns(), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced runs
+
+/// One short traced water run (Mark kernel + PME); returns the exported JSON.
+std::string traced_water_run(int steps = 3) {
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  md::System sys = test::small_water(32, md::CoulombMode::EwaldShort);
+  pme::PmeSolver pme(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+  pme.set_accelerated(true);
+  md::SimOptions opt;
+  opt.nstenergy = 1;
+  md::Simulation sim(std::move(sys), opt, *sr, pl, &pme);
+  sim.run(steps);
+  return TraceSession::global().export_json();
+}
+
+TEST(TraceEndToEnd, WaterRunCoversAllSubsystems) {
+  TraceGuard guard;
+  const std::string js = traced_water_run();
+  // 64 CPE tracks named, kernel + DMA spans, PME phases, step recorder.
+  EXPECT_NE(js.find("\"CPE 0\""), std::string::npos);
+  EXPECT_NE(js.find("\"CPE 63\""), std::string::npos);
+  EXPECT_NE(js.find("\"sr/force\""), std::string::npos);
+  EXPECT_NE(js.find("\"dma_get\""), std::string::npos);
+  EXPECT_NE(js.find("\"pme/spread\""), std::string::npos);
+  EXPECT_NE(js.find("\"pme/fft\""), std::string::npos);
+  EXPECT_NE(js.find("\"step\""), std::string::npos);
+  EXPECT_NE(js.find(md::phase::kNeighborSearch), std::string::npos);
+  // Always-on metrics got fed too.
+  EXPECT_GT(MetricsRegistry::global().value("kernel/sr/force/launches"), 0.0);
+  EXPECT_GT(MetricsRegistry::global().value("kernel/sr/force/compute_cycles"),
+            0.0);
+  EXPECT_GT(MetricsRegistry::global().value("kernel/sr/force/mem_cycles"), 0.0);
+  const obs::MetricEntry* h = MetricsRegistry::global().find("sim/step_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->hist.count(), 3u);
+}
+
+TEST(TraceEndToEnd, ByteIdenticalAcrossHostPoolSizes) {
+  auto run_with = [](int nthreads) {
+    PoolGuard pool(nthreads);
+    TraceGuard guard;
+    return traced_water_run();
+  };
+  const std::string t1 = run_with(1);
+  const std::string t4 = run_with(4);
+  const std::string t8 = run_with(8);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t8);
+  // Sanity: the runs actually traced something substantial.
+  EXPECT_GT(t1.size(), 10000u);
+}
+
+TEST(TraceEndToEnd, TracingOffLeavesPhysicsUnchanged) {
+  auto energies = [](bool traced) {
+    std::unique_ptr<TraceGuard> guard;
+    if (traced) guard = std::make_unique<TraceGuard>();
+    sw::CoreGroup cg;
+    auto sr = core::make_short_range(core::Strategy::Mark, cg);
+    core::CpePairList pl(cg);
+    md::SimOptions opt;
+    opt.nstenergy = 1;
+    md::Simulation sim(test::small_water(32), opt, *sr, pl);
+    sim.run(3);
+    return sim.energy_series();
+  };
+  const auto off = energies(false);
+  const auto on = energies(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].e_lj, on[i].e_lj);
+    EXPECT_EQ(off[i].e_coul, on[i].e_coul);
+    EXPECT_EQ(off[i].e_kin, on[i].e_kin);
+  }
+}
+
+TEST(TraceEndToEnd, DmaFlipShowsRetriesChargedToSimTime) {
+  sw::FaultRates r;
+  r.dma_flip = 0.15;
+  r.seed = 12;
+  auto run_once = [](bool faulted, const sw::FaultRates& rates) {
+    std::unique_ptr<FaultGuard> fg;
+    if (faulted) fg = std::make_unique<FaultGuard>(rates);
+    TraceGuard guard;
+    sw::CoreGroup cg;
+    auto sr = core::make_short_range(core::Strategy::Mark, cg);
+    bench::ForceRun fr = bench::run_force(*sr, test::small_water(64));
+    return std::pair<std::string, double>(TraceSession::global().export_json(),
+                                          fr.seconds);
+  };
+  const auto [clean_js, clean_s] = run_once(false, r);
+  const auto [fault_js, fault_s] = run_once(true, r);
+  // Recovery instants appear on CPE tracks, and the retry copies cost
+  // simulated time: the faulted run is strictly slower than the clean one.
+  EXPECT_EQ(clean_js.find("dma_crc_retry"), std::string::npos);
+  EXPECT_NE(fault_js.find("dma_crc_retry"), std::string::npos);
+  EXPECT_NE(fault_js.find("\"retries\":"), std::string::npos);
+  EXPECT_GT(fault_s, clean_s);
+}
+
+TEST(TraceEndToEnd, ParallelRanksGetProcessesAndFlows) {
+  TraceGuard guard;
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  net::ParallelOptions opt;
+  opt.nranks = 4;
+  opt.sim.nstenergy = 2;
+  net::ParallelSim sim(test::small_water(60), opt, *sr, pl);
+  sim.run(4);
+  const std::string js = TraceSession::global().export_json();
+  EXPECT_NE(js.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(js.find("\"rank 3\""), std::string::npos);
+  EXPECT_NE(js.find("\"halo_x\""), std::string::npos);
+  EXPECT_NE(js.find(md::phase::kCommEnergies), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"f\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swgmx

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a SW_GROMACS trace + metrics snapshot (stdlib only).
+
+Usage: validate_trace.py TRACE.json [METRICS.json]
+
+Checks that the trace is well-formed Chrome-trace-event JSON that Perfetto
+will load, that the instrumentation actually covered the simulator (>= 64
+CPE tracks, kernel/DMA/PME/step events), and that the metrics snapshot
+carries the per-kernel compute/memory cycle split and the step-time
+histogram. Exits non-zero with a message on the first failure.
+"""
+import json
+import sys
+
+REQUIRED_BY_PH = {
+    "X": {"name", "pid", "tid", "ts", "dur"},
+    "i": {"name", "pid", "tid", "ts", "s"},
+    "s": {"name", "pid", "tid", "ts", "id", "cat"},
+    "f": {"name", "pid", "tid", "ts", "id", "cat"},
+    "M": {"name", "pid", "args"},
+}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict) and "traceEvents" in doc,
+          "top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    check(isinstance(events, list) and events, "traceEvents is empty")
+
+    names_by_ph = {}
+    thread_names = set()
+    process_names = set()
+    for i, ev in enumerate(events):
+        check(isinstance(ev, dict), f"event {i} is not an object")
+        ph = ev.get("ph")
+        check(ph in REQUIRED_BY_PH, f"event {i} has unsupported ph {ph!r}")
+        missing = REQUIRED_BY_PH[ph] - ev.keys()
+        check(not missing, f"event {i} (ph={ph}) missing fields {sorted(missing)}")
+        if ph in ("X", "i"):
+            check(ev["ts"] >= 0, f"event {i} has negative ts")
+        if ph == "X":
+            check(ev["dur"] >= 0, f"event {i} has negative dur")
+        if ph == "M" and ev["name"] == "thread_name":
+            thread_names.add(ev["args"]["name"])
+        elif ph == "M" and ev["name"] == "process_name":
+            process_names.add(ev["args"]["name"])
+        else:
+            names_by_ph.setdefault(ph, set()).add(ev["name"])
+
+    cpe_tracks = {n for n in thread_names if n.startswith("CPE ")}
+    check(len(cpe_tracks) >= 64, f"expected >= 64 CPE tracks, got {len(cpe_tracks)}")
+    check("core_group" in process_names, "missing core_group process metadata")
+
+    spans = names_by_ph.get("X", set())
+    instants = names_by_ph.get("i", set())
+    for required in ("step", "Neighbor search", "Force"):
+        check(required in spans, f"missing {required!r} spans")
+    check(any(n.startswith("dma_") for n in spans), "no DMA transfer events")
+    check(any(n.startswith("pme/") for n in spans), "no PME phase spans")
+    check(any(n.startswith("sr/") for n in spans), "no kernel-launch spans")
+    print(f"validate_trace: trace OK: {len(events)} events, "
+          f"{len(cpe_tracks)} CPE tracks, "
+          f"{len(spans)} span names, {len(instants)} instant names")
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        check(section in doc and isinstance(doc[section], dict),
+              f"metrics snapshot missing {section!r} section")
+    counters = doc["counters"]
+    kernels = {k.split("/", 1)[1].rsplit("/", 1)[0]
+               for k in counters if k.startswith("kernel/")}
+    check(kernels, "no kernel/* metrics recorded")
+    for kern in kernels:
+        for leaf in ("launches", "compute_cycles", "mem_cycles", "sim_seconds"):
+            check(f"kernel/{kern}/{leaf}" in counters,
+                  f"kernel {kern!r} missing {leaf} counter")
+    check("sim/steps" in counters, "missing sim/steps counter")
+    hist = doc["histograms"].get("sim/step_seconds")
+    check(hist is not None, "missing sim/step_seconds histogram")
+    for field in ("count", "sum", "p50", "p95", "p99", "bounds", "buckets"):
+        check(field in hist, f"sim/step_seconds histogram missing {field!r}")
+    check(hist["count"] > 0, "sim/step_seconds histogram is empty")
+    print(f"validate_metrics: metrics OK: {len(counters)} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms, "
+          f"{len(kernels)} kernels")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: validate_trace.py TRACE.json [METRICS.json]")
+    validate_trace(argv[1])
+    if len(argv) > 2:
+        validate_metrics(argv[2])
+
+
+if __name__ == "__main__":
+    main(sys.argv)
