@@ -77,6 +77,7 @@ inline void recovery_json(const std::string& name, std::ostream& os = std::cout)
   m.gauge_set("recovery/faults_seen", static_cast<double>(st.faults_seen()));
   m.gauge_set("recovery/dma_retries", static_cast<double>(st.dma_retries));
   m.gauge_set("recovery/rollbacks", static_cast<double>(st.rollbacks));
+  m.gauge_set("recovery/ranks_evicted", static_cast<double>(st.ranks_evicted));
   m.gauge_set("recovery/seconds_lost", st.seconds_lost());
   bench_json(name + "/recovery",
              {{"dma_bitflips", static_cast<double>(st.dma_bitflips)},
@@ -92,6 +93,13 @@ inline void recovery_json(const std::string& name, std::ostream& os = std::cout)
               {"steps_replayed", static_cast<double>(st.steps_replayed)},
               {"transport_fallbacks", static_cast<double>(st.transport_fallbacks)},
               {"checkpoints_written", static_cast<double>(st.checkpoints_written)},
+              {"rank_crashes", static_cast<double>(st.rank_crashes)},
+              {"rank_hangs", static_cast<double>(st.rank_hangs)},
+              {"ranks_evicted", static_cast<double>(st.ranks_evicted)},
+              {"spares_promoted", static_cast<double>(st.spares_promoted)},
+              {"redecompositions", static_cast<double>(st.redecompositions)},
+              {"detection_seconds", static_cast<double>(st.detection_ns) * 1e-9},
+              {"redecomp_seconds", static_cast<double>(st.redecomp_ns) * 1e-9},
               {"seconds_lost", st.seconds_lost()}},
              os);
 }

@@ -15,7 +15,12 @@
 namespace swgmx::io {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x53574758'43505432ull;  // "SWGX CPT2"
+constexpr std::uint64_t kMagic = 0x53574758'43505432ull;    // "SWGX CPT2" (v1)
+constexpr std::uint64_t kMagicV2 = 0x53574758'43505433ull;  // "SWGX CPT3" (v2)
+constexpr std::uint32_t kPending = 0x444E4550u;    // "PEND"
+constexpr std::uint32_t kCommitted = 0x544D4F43u;  // "COMT"
+/// Byte offset of the commit marker in a v2 file (right after the magic).
+constexpr long kCommitOffset = static_cast<long>(sizeof(kMagicV2));
 
 /// Flush `f` through the OS to the disk. Returns false on any failure.
 bool flush_to_disk(std::FILE* f) {
@@ -24,6 +29,12 @@ bool flush_to_disk(std::FILE* f) {
   if (::fsync(::fileno(f)) != 0) return false;
 #endif
   return true;
+}
+
+std::uint32_t payload_crc(const md::System& sys) {
+  const std::size_t xbytes = sys.size() * sizeof(Vec3f);
+  std::uint32_t crc = common::crc32(sys.x.data(), xbytes);
+  return common::crc32(sys.v.data(), xbytes, crc);
 }
 }  // namespace
 
@@ -45,8 +56,7 @@ void write_checkpoint(const std::string& path, const md::System& sys,
 
   const std::uint64_t n = sys.size();
   const std::size_t xbytes = n * sizeof(Vec3f);
-  std::uint32_t crc = common::crc32(sys.x.data(), xbytes);
-  crc = common::crc32(sys.v.data(), xbytes, crc);
+  const std::uint32_t crc = payload_crc(sys);
 
   bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1;
   ok = ok && std::fwrite(&step, sizeof(step), 1, f) == 1;
@@ -79,6 +89,68 @@ void write_checkpoint_rotating(const std::string& path, const md::System& sys,
   write_checkpoint(path, sys, step);
 }
 
+void write_checkpoint_coordinated(const std::string& path,
+                                  const md::System& sys, std::int64_t step,
+                                  const RankLayout& layout) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  SWGMX_CHECK_MSG(f != nullptr, "cannot open " << tmp);
+
+  const std::uint64_t n = sys.size();
+  const std::size_t xbytes = n * sizeof(Vec3f);
+  const std::uint32_t crc = payload_crc(sys);
+  const auto n_evicted = static_cast<std::int32_t>(layout.evicted.size());
+
+  // Phase 1: everything, with the marker still PENDING, made durable.
+  bool ok = std::fwrite(&kMagicV2, sizeof(kMagicV2), 1, f) == 1;
+  ok = ok && std::fwrite(&kPending, sizeof(kPending), 1, f) == 1;
+  ok = ok && std::fwrite(&step, sizeof(step), 1, f) == 1;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, f) == 1;
+  ok = ok && std::fwrite(&layout.world, sizeof(layout.world), 1, f) == 1;
+  ok = ok && std::fwrite(&layout.active, sizeof(layout.active), 1, f) == 1;
+  ok = ok && std::fwrite(&layout.px, sizeof(layout.px), 1, f) == 1;
+  ok = ok && std::fwrite(&layout.py, sizeof(layout.py), 1, f) == 1;
+  ok = ok && std::fwrite(&layout.pz, sizeof(layout.pz), 1, f) == 1;
+  ok = ok && std::fwrite(&layout.spares_promoted,
+                         sizeof(layout.spares_promoted), 1, f) == 1;
+  ok = ok && std::fwrite(&n_evicted, sizeof(n_evicted), 1, f) == 1;
+  ok = ok && (layout.evicted.empty() ||
+              std::fwrite(layout.evicted.data(), sizeof(std::int32_t),
+                          layout.evicted.size(),
+                          f) == layout.evicted.size());
+  ok = ok && std::fwrite(sys.x.data(), 1, xbytes, f) == xbytes;
+  ok = ok && std::fwrite(sys.v.data(), 1, xbytes, f) == xbytes;
+  ok = ok && flush_to_disk(f);
+  // Phase 2: flip the marker to COMMITTED and make the flip durable. Only
+  // now can a reader that sees this file ever accept it.
+  ok = ok && std::fseek(f, kCommitOffset, SEEK_SET) == 0;
+  ok = ok && std::fwrite(&kCommitted, sizeof(kCommitted), 1, f) == 1;
+  ok = ok && flush_to_disk(f);
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    SWGMX_CHECK_MSG(false, "short write to " << tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SWGMX_CHECK_MSG(false, "cannot rename " << tmp << " to " << path);
+  }
+}
+
+void write_checkpoint_coordinated_rotating(const std::string& path,
+                                           const md::System& sys,
+                                           std::int64_t step,
+                                           const RankLayout& layout) {
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, checkpoint_prev_path(path), ec);
+    SWGMX_CHECK_MSG(!ec, "cannot rotate checkpoint " << path << ": "
+                                                     << ec.message());
+  }
+  write_checkpoint_coordinated(path, sys, step, layout);
+}
+
 Checkpoint read_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SWGMX_CHECK_MSG(in.good(), "cannot open " << path);
@@ -86,12 +158,44 @@ Checkpoint read_checkpoint(const std::string& path) {
   std::uint32_t stored_crc = 0;
   Checkpoint cp;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  SWGMX_CHECK_MSG(magic == kMagic, "not a SW_GROMACS checkpoint: " << path);
+  SWGMX_CHECK_MSG(magic == kMagic || magic == kMagicV2,
+                  "not a SW_GROMACS checkpoint: " << path);
+  if (magic == kMagicV2) {
+    std::uint32_t commit = 0;
+    in.read(reinterpret_cast<char*>(&commit), sizeof(commit));
+    SWGMX_CHECK_MSG(in.good() && commit == kCommitted,
+                    "uncommitted (torn) coordinated checkpoint " << path);
+  }
   in.read(reinterpret_cast<char*>(&cp.step), sizeof(cp.step));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
   SWGMX_CHECK_MSG(in.good() && n > 0 && n < (1ull << 32),
                   "corrupt checkpoint header in " << path);
+  if (magic == kMagicV2) {
+    RankLayout& l = cp.layout;
+    std::int32_t n_evicted = 0;
+    in.read(reinterpret_cast<char*>(&l.world), sizeof(l.world));
+    in.read(reinterpret_cast<char*>(&l.active), sizeof(l.active));
+    in.read(reinterpret_cast<char*>(&l.px), sizeof(l.px));
+    in.read(reinterpret_cast<char*>(&l.py), sizeof(l.py));
+    in.read(reinterpret_cast<char*>(&l.pz), sizeof(l.pz));
+    in.read(reinterpret_cast<char*>(&l.spares_promoted),
+            sizeof(l.spares_promoted));
+    in.read(reinterpret_cast<char*>(&n_evicted), sizeof(n_evicted));
+    SWGMX_CHECK_MSG(in.good() && l.world >= 1 && l.active >= 1 &&
+                        l.active <= l.world && n_evicted >= 0 &&
+                        n_evicted < l.world &&
+                        l.px * l.py * l.pz == l.active,
+                    "corrupt rank-layout metadata in " << path);
+    l.evicted.resize(static_cast<std::size_t>(n_evicted));
+    if (n_evicted > 0) {
+      in.read(reinterpret_cast<char*>(l.evicted.data()),
+              static_cast<std::streamsize>(l.evicted.size() *
+                                           sizeof(std::int32_t)));
+    }
+    SWGMX_CHECK_MSG(in.good(), "truncated rank-layout in " << path);
+    cp.has_layout = true;
+  }
   cp.x.resize(n);
   cp.v.resize(n);
   in.read(reinterpret_cast<char*>(cp.x.data()),
@@ -105,6 +209,23 @@ Checkpoint read_checkpoint(const std::string& path) {
                   "checkpoint payload CRC mismatch in " << path
                                                         << " (corrupt file)");
   return cp;
+}
+
+Checkpoint read_checkpoint_or_prev(const std::string& path) {
+  try {
+    return read_checkpoint(path);
+  } catch (const Error&) {
+    const std::string prev = checkpoint_prev_path(path);
+    std::error_code ec;
+    if (std::filesystem::exists(prev, ec)) {
+      try {
+        return read_checkpoint(prev);
+      } catch (const Error&) {
+        // fall through: re-raise the primary's error below
+      }
+    }
+    throw;
+  }
 }
 
 void apply_checkpoint(const Checkpoint& cp, md::System& sys) {

@@ -1,6 +1,16 @@
 // Binary checkpoint / restart of a simulation state (positions, velocities,
 // step counter). Restarting from a checkpoint continues bit-identically,
 // which the tests assert.
+//
+// Two on-disk formats coexist:
+//  - v1 ("SWGX CPT2" magic): step + particle state + payload CRC. Written
+//    by write_checkpoint / write_checkpoint_rotating.
+//  - v2 ("SWGX CPT3" magic): v1 plus per-rank decomposition metadata
+//    (RankLayout) and a two-phase commit marker. The coordinated writer
+//    publishes the marker only after the payload is durable, so a crash
+//    mid-write can never leave a file that *looks* complete but carries a
+//    torn global state — readers reject uncommitted files outright.
+// read_checkpoint accepts both.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +20,18 @@
 
 namespace swgmx::io {
 
+/// Decomposition metadata stored in a v2 (coordinated) checkpoint: enough
+/// for a restarted multi-rank driver to rebuild the survivor set without
+/// re-deriving it, and for post-mortem tools (tools/cpt_dump.py) to show
+/// which ranks had been evicted when the state was captured.
+struct RankLayout {
+  std::int32_t world = 1;   ///< ranks at launch (compute + hot spares)
+  std::int32_t active = 1;  ///< surviving compute ranks at capture time
+  std::int32_t px = 1, py = 1, pz = 1;  ///< decomposition grid over `active`
+  std::int32_t spares_promoted = 0;     ///< hot spares pressed into service
+  std::vector<std::int32_t> evicted;    ///< world ids removed from the run
+};
+
 /// Everything needed to resume: per-particle dynamic state + step count.
 /// Static data (topology, force field) is reconstructed by the caller, as
 /// in GROMACS (.cpt holds state; .tpr holds the setup).
@@ -17,13 +39,15 @@ struct Checkpoint {
   std::int64_t step = 0;
   std::vector<Vec3f> x;
   std::vector<Vec3f> v;
+  RankLayout layout;        ///< v2 files only; defaults for v1
+  bool has_layout = false;  ///< true when read from a v2 file
 };
 
-/// Write the dynamic state of `sys` at `step`. Crash-safe: the state is
-/// written to `<path>.tmp`, fsync'd, then atomically renamed over `path`,
-/// and the header carries a CRC32 of the payload so a reader can reject a
-/// torn or bit-rotted file. A crash mid-write leaves the previous `path`
-/// intact.
+/// Write the dynamic state of `sys` at `step` (v1 format). Crash-safe: the
+/// state is written to `<path>.tmp`, fsync'd, then atomically renamed over
+/// `path`, and the header carries a CRC32 of the payload so a reader can
+/// reject a torn or bit-rotted file. A crash mid-write leaves the previous
+/// `path` intact.
 void write_checkpoint(const std::string& path, const md::System& sys,
                       std::int64_t step);
 
@@ -33,13 +57,35 @@ void write_checkpoint(const std::string& path, const md::System& sys,
 void write_checkpoint_rotating(const std::string& path, const md::System& sys,
                                std::int64_t step);
 
-/// The `_prev` sibling used by write_checkpoint_rotating
+/// Coordinated (v2) checkpoint: rank-layout metadata plus a two-phase
+/// commit. Phase 1 writes the header with a PENDING marker, the layout and
+/// the payload, and makes them durable; phase 2 flips the marker to
+/// COMMITTED and makes *that* durable before the atomic rename publishes
+/// the file. Readers treat a PENDING file as torn.
+void write_checkpoint_coordinated(const std::string& path,
+                                  const md::System& sys, std::int64_t step,
+                                  const RankLayout& layout);
+
+/// write_checkpoint_coordinated with the `_prev` rotation of
+/// write_checkpoint_rotating.
+void write_checkpoint_coordinated_rotating(const std::string& path,
+                                           const md::System& sys,
+                                           std::int64_t step,
+                                           const RankLayout& layout);
+
+/// The `_prev` sibling used by the rotating writers
 /// ("run.cpt" -> "run_prev.cpt").
 [[nodiscard]] std::string checkpoint_prev_path(const std::string& path);
 
-/// Read a checkpoint (throws swgmx::Error on format mismatch, truncation or
-/// payload CRC mismatch).
+/// Read a checkpoint, v1 or v2 (throws swgmx::Error on format mismatch,
+/// truncation, an uncommitted v2 file, or payload CRC mismatch).
 [[nodiscard]] Checkpoint read_checkpoint(const std::string& path);
+
+/// Read `path`, falling back to its `_prev` sibling when the primary is
+/// missing, torn, uncommitted or CRC-corrupt (the rotating writers
+/// guarantee the sibling was durable before the primary was ever touched).
+/// Throws only when both are unreadable, with the primary's error message.
+[[nodiscard]] Checkpoint read_checkpoint_or_prev(const std::string& path);
 
 /// Apply a checkpoint's dynamic state onto a freshly constructed system
 /// (particle count must match).

@@ -324,7 +324,11 @@ void Simulation::rollback() {
 void Simulation::maybe_write_checkpoint() {
   if (opt_.checkpoint_every <= 0 || opt_.checkpoint_path.empty()) return;
   if (step_ % opt_.checkpoint_every != 0) return;
-  io::write_checkpoint_rotating(opt_.checkpoint_path, sys_, step_);
+  // Single-rank runs still write the coordinated v2 format (trivial
+  // 1x1x1 layout): restart tooling sees one header shape everywhere and
+  // the two-phase commit marker rules out torn files on every path.
+  io::write_checkpoint_coordinated_rotating(opt_.checkpoint_path, sys_, step_,
+                                            io::RankLayout{});
   // Serialization charged as an MPE streaming pass; the fsync itself is
   // host-side I/O, outside the simulated machine.
   const double n = static_cast<double>(sys_.size());

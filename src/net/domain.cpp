@@ -32,6 +32,10 @@ std::array<int, 3> factor3(int n) {
 
 DomainDecomposition::DomainDecomposition(const md::Box& box, int nranks)
     : box_(box) {
+  rebuild(nranks);
+}
+
+void DomainDecomposition::rebuild(int nranks) {
   SWGMX_CHECK(nranks >= 1);
   const auto f = factor3(nranks);
   px_ = f[0];

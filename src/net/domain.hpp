@@ -20,6 +20,11 @@ class DomainDecomposition {
   [[nodiscard]] int nranks() const { return px_ * py_ * pz_; }
   [[nodiscard]] std::array<int, 3> dims() const { return {px_, py_, pz_}; }
 
+  /// Re-factorize the grid over a new rank count (elastic re-decomposition
+  /// after rank evictions): the box is re-split into `nranks` near-cubic
+  /// cells and every rank_of / halo query reflects the survivor set.
+  void rebuild(int nranks);
+
   /// Rank owning a (wrapped) position.
   [[nodiscard]] int rank_of(const Vec3f& pos) const;
 

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
@@ -42,6 +45,19 @@ ParallelSim::ParallelSim(md::System sys, ParallelOptions opt,
   } else {
     transport_ = std::make_unique<MpiSimTransport>();
   }
+  // Rank world: compute ranks [0, nranks) plus hot spares on top. The fault
+  // plan's spare_ranks key raises the budget so chaos specs are
+  // self-contained.
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  int spares = std::max(0, opt_.spare_ranks);
+  if (inj.enabled()) {
+    spares = std::max(spares, inj.plan().rates().spare_ranks);
+  }
+  world_size_ = opt_.nranks + spares;
+  active_.resize(static_cast<std::size_t>(opt_.nranks));
+  std::iota(active_.begin(), active_.end(), 0);
+  spares_free_.resize(static_cast<std::size_t>(spares));
+  std::iota(spares_free_.begin(), spares_free_.end(), opt_.nranks);
   neighbor_search();
 }
 
@@ -62,6 +78,7 @@ double ParallelSim::faulted_cost(double base_s) {
   double s = base_s;
   if (!inj.enabled()) return s;
   const sw::FaultPlan& plan = inj.plan();
+  const sw::RetryPolicy& pol = inj.policy();
   const auto step = static_cast<std::uint64_t>(step_);
   // Ranks are simulated sequentially, so this ordinal is a deterministic
   // per-call key regardless of the host pool size.
@@ -70,16 +87,18 @@ double ParallelSim::faulted_cost(double base_s) {
   constexpr int kTo = 0x52;
   int attempt = 0;
   while (plan.msg_drop(step, kFrom, kTo, ord, attempt)) {
-    // Lost on the wire: ack timeout, then the whole exchange is re-paid.
+    // Lost on the wire: ack timeout (growing exponentially with the
+    // attempt), then the whole exchange is re-paid.
     const double penalty =
-        sw::kMsgTimeoutFactor * transport_->message_seconds(sw::kMsgAckBytes) +
+        pol.timeout_factor_at(attempt) *
+            transport_->message_seconds(sw::kMsgAckBytes) +
         base_s;
     s += penalty;
     inj.record_msg_drop();
     inj.record_msg_retransmit(penalty);
     ++drops_;
     ++attempt;
-    if (attempt > sw::kMaxMsgRetries) {
+    if (attempt > pol.max_msg_retries) {
       // RDMA is lossy here by assumption; MPI retransmits below us. Degrade
       // instead of dying — or give up if we already did.
       SWGMX_CHECK_MSG(using_rdma_,
@@ -108,9 +127,13 @@ double ParallelSim::comm_seconds(std::size_t bytes) {
 void ParallelSim::trace_rank_tracks() {
   obs::TraceSession& tr = obs::TraceSession::global();
   if (!tr.enabled()) return;
-  for (int r = 0; r < opt_.nranks; ++r) {
-    tr.set_process_name(obs::rank_pid(r), "rank " + std::to_string(r));
-    tr.set_thread_name(obs::rank_pid(r), 0, "MPE");
+  for (int w : active_) {
+    tr.set_process_name(obs::rank_pid(w), "rank " + std::to_string(w));
+    tr.set_thread_name(obs::rank_pid(w), 0, "MPE");
+  }
+  for (int w : spares_free_) {
+    tr.set_process_name(obs::rank_pid(w), "spare " + std::to_string(w));
+    tr.set_thread_name(obs::rank_pid(w), 0, "MPE");
   }
 }
 
@@ -118,14 +141,15 @@ void ParallelSim::trace_rank_exchange(const char* name, double seconds,
                                       bool gather_to_rank0) {
   obs::TraceSession& tr = obs::TraceSession::global();
   if (!tr.enabled()) return;
-  const int R = opt_.nranks;
+  const int R = nactive();
   const double t0 = tr.now_ns();
   const double t1 = t0 + seconds * 1e9;
   std::ostringstream args;
   args << "{\"transport\":\"" << obs::json_escape(transport_->name())
        << "\",\"seconds\":" << obs::json_number(seconds) << "}";
   for (int r = 0; r < R; ++r) {
-    tr.complete(obs::rank_pid(r), 0, name, t0, t1 - t0, args.str());
+    tr.complete(obs::rank_pid(active_[static_cast<std::size_t>(r)]), 0, name,
+                t0, t1 - t0, args.str());
   }
   // Flow arrows: send at the span start, delivery at the span end. Ranks
   // run concurrently in simulated time, so all flows share [t0, t1].
@@ -139,8 +163,10 @@ void ParallelSim::trace_rank_exchange(const char* name, double seconds,
       to = (r + 1) % R;
     }
     const std::uint64_t id = tr.next_flow_id();
-    tr.flow_start(obs::rank_pid(r), 0, name, t0, id);
-    tr.flow_end(obs::rank_pid(to), 0, name, t1, id);
+    tr.flow_start(obs::rank_pid(active_[static_cast<std::size_t>(r)]), 0, name,
+                  t0, id);
+    tr.flow_end(obs::rank_pid(active_[static_cast<std::size_t>(to)]), 0, name,
+                t1, id);
   }
   tr.advance_to_ns(t1);
 }
@@ -152,14 +178,14 @@ void ParallelSim::finish_step_trace(double step_t0, std::int64_t step_at_entry,
   std::ostringstream args;
   args << "{\"step\":" << step_at_entry
        << ",\"rebuild\":" << (rebuilt ? "true" : "false") << "}";
-  for (int r = 0; r < opt_.nranks; ++r) {
-    tr.complete(obs::rank_pid(r), 0, "step", step_t0, tr.now_ns() - step_t0,
+  for (int w : active_) {
+    tr.complete(obs::rank_pid(w), 0, "step", step_t0, tr.now_ns() - step_t0,
                 args.str());
   }
 }
 
 void ParallelSim::neighbor_search() {
-  const int R = opt_.nranks;
+  const int R = nactive();
 
   // "Domain decomp.": reassign particles to ranks and ship the migrants.
   const double n = static_cast<double>(sys_.size());
@@ -179,7 +205,8 @@ void ParallelSim::neighbor_search() {
       pl_->build(*clusters_, sys_.box, static_cast<float>(sys_.ff->rlist()),
                  sr_->wants_half_list(), list_, R);
 
-  // Rank shares from the true spatial decomposition of i-clusters.
+  // Rank shares from the true spatial decomposition of i-clusters (indices
+  // here are decomposition slots; active_ maps a slot to its world id).
   const int ncl = clusters_->nclusters();
   std::vector<double> pair_share(static_cast<std::size_t>(R), 0.0);
   std::vector<double> cl_share(static_cast<std::size_t>(R), 0.0);
@@ -213,16 +240,153 @@ void ParallelSim::neighbor_search() {
     trace_rank_tracks();
     const double t0 = tr.now_ns();
     for (int r = 0; r < R; ++r) {
-      tr.complete(obs::rank_pid(r), 0, kDomainDecomp, t0, dd_s * 1e9);
-      tr.complete(obs::rank_pid(r), 0, kNeighborSearch, t0 + dd_s * 1e9,
-                  secs * 1e9);
+      const int pid = obs::rank_pid(active_[static_cast<std::size_t>(r)]);
+      tr.complete(pid, 0, kDomainDecomp, t0, dd_s * 1e9);
+      tr.complete(pid, 0, kNeighborSearch, t0 + dd_s * 1e9, secs * 1e9);
     }
     tr.advance_to_ns(t0 + (dd_s + secs) * 1e9);
   }
 }
 
+bool ParallelSim::check_rank_faults() {
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  const sw::FaultPlan& plan = inj.plan();
+  const sw::FaultRates& rates = plan.rates();
+  if (rates.rank_crash <= 0.0 && rates.rank_hang <= 0.0) return false;
+
+  const sw::RetryPolicy& pol = inj.policy();
+  const auto step = static_cast<std::uint64_t>(step_);
+  // Heartbeats ride every step. They are tiny and concurrent across ranks,
+  // so the critical path pays one ack-sized message latency.
+  if (nactive() > 1) {
+    timers_.add(md::phase::kRest,
+                transport_->message_seconds(sw::kMsgAckBytes));
+  }
+
+  // Collect this step's whole-rank failures. Decisions are keyed on
+  // (step, world id) alone — an evicted rank is never probed again, so a
+  // replayed step sees identical (all-false) decisions for the survivors
+  // and the recovery loop converges.
+  std::vector<std::pair<int, bool>> failed;  // (world id, is_hang)
+  for (int w : active_) {
+    if (plan.rank_crash(step, w)) {
+      failed.emplace_back(w, false);
+    } else if (plan.rank_hang(step, w)) {
+      failed.emplace_back(w, true);
+    }
+  }
+  if (failed.empty()) return false;
+  SWGMX_CHECK_MSG(failed.size() < active_.size(),
+                  "rank-failure recovery impossible: all "
+                      << active_.size() << " ranks failed at step " << step_);
+
+  obs::TraceSession& tr = obs::TraceSession::global();
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  const double gossip_s =
+      static_cast<double>(pol.gossip_confirmations) *
+      transport_->message_seconds(sw::kMsgAckBytes);
+
+  // Failure detection. A crashed rank stops heartbeating and is suspected
+  // after one missed interval; a hung rank still holds its slot and is only
+  // declared dead after the (longer) silence timeout. Either suspicion
+  // needs `gossip_confirmations` neighbor confirmations before eviction.
+  // Concurrent failures are detected concurrently: charge the slowest.
+  double detect_s = 0.0;
+  for (const auto& [w, hang] : failed) {
+    const double base =
+        hang ? pol.heartbeat_timeout_s : pol.heartbeat_interval_s;
+    detect_s = std::max(detect_s, base + gossip_s);
+    if (hang) {
+      inj.record_rank_hang();
+      mx.counter_add("ft/rank_hangs");
+    } else {
+      inj.record_rank_crash();
+      mx.counter_add("ft/rank_crashes");
+    }
+    if (tr.enabled()) {
+      std::ostringstream args;
+      args << "{\"step\":" << step_ << ",\"rank\":" << w << "}";
+      tr.instant(obs::rank_pid(w), 0, hang ? "rank_hang" : "rank_crash",
+                 tr.now_ns(), args.str());
+    }
+  }
+  timers_.add(md::phase::kRest, detect_s);
+  inj.record_detection(detect_s);
+  mx.counter_add("ft/detection_seconds", detect_s);
+
+  // Eviction, promoting hot spares first: a spare adopts the dead rank's
+  // decomposition slot, so the grid survives intact and only the state
+  // migration is paid. Without a spare the survivor set shrinks.
+  const int r_old = nactive();
+  for (const auto& [w, hang] : failed) {
+    (void)hang;
+    const auto it = std::find(active_.begin(), active_.end(), w);
+    evicted_.push_back(w);
+    inj.record_rank_eviction();
+    mx.counter_add("ft/ranks_evicted");
+    if (tr.enabled()) {
+      std::ostringstream args;
+      args << "{\"step\":" << step_ << ",\"rank\":" << w << "}";
+      tr.instant(obs::rank_pid(w), 0, "rank_evicted", tr.now_ns(),
+                 args.str());
+    }
+    if (!spares_free_.empty()) {
+      const int s = spares_free_.front();
+      spares_free_.erase(spares_free_.begin());
+      *it = s;
+      ++spares_promoted_;
+      inj.record_spare_promotion();
+      mx.counter_add("ft/spares_promoted");
+      if (tr.enabled()) {
+        std::ostringstream args;
+        args << "{\"step\":" << step_ << ",\"replaces\":" << w << "}";
+        tr.instant(obs::rank_pid(s), 0, "spare_promoted", tr.now_ns(),
+                   args.str());
+      }
+    } else {
+      active_.erase(it);
+    }
+  }
+  const int r_new = nactive();
+
+  // Elastic re-decomposition + state migration: each failure's domain is
+  // re-shipped — to its promoted spare, or redistributed over the shrunken
+  // grid — and the survivors commit the new epoch with an all-reduce (the
+  // same two-phase agreement the coordinated checkpoint uses).
+  const double n = static_cast<double>(sys_.size());
+  double redecomp_s =
+      static_cast<double>(failed.size()) *
+      comm_seconds(static_cast<std::size_t>(std::max(1.0, n / r_old * 24.0)));
+  if (r_new > 1) {
+    redecomp_s += faulted_cost(allreduce_seconds(*transport_, 64, r_new));
+  }
+  if (r_new != r_old) dd_.rebuild(r_new);
+  timers_.add(kDomainDecomp, redecomp_s);
+  inj.record_redecomposition(redecomp_s);
+  mx.counter_add("ft/redecomp_seconds", redecomp_s);
+  mx.counter_add("ft/redecompositions");
+  if (tr.enabled()) {
+    const auto dims = dd_.dims();
+    std::ostringstream args;
+    args << "{\"step\":" << step_ << ",\"active\":" << r_new
+         << ",\"grid\":[" << dims[0] << "," << dims[1] << "," << dims[2]
+         << "],\"spares_left\":" << spares_free_.size() << "}";
+    tr.instant(obs::rank_pid(active_.front()), 0, "redecomposition",
+               tr.now_ns(), args.str());
+  }
+
+  // Roll back to the coordinated snapshot and replay. Physics is computed
+  // globally, so the replayed trajectory is bit-identical to a fault-free
+  // run — eviction only changes the modeled time. The pair list must match
+  // the restored positions *and* the survivor grid: rebuild it when the
+  // grid shrank (a promoted spare inherits the old grid, nothing changes).
+  rollback();
+  if (r_new != r_old) neighbor_search();
+  return true;
+}
+
 void ParallelSim::step() {
-  const int R = opt_.nranks;
+  const int R = nactive();
   const double n = static_cast<double>(sys_.size());
 
   sw::FaultInjector& inj = sw::FaultInjector::global();
@@ -241,6 +405,14 @@ void ParallelSim::step() {
   skip_rebuild_ = false;
   if (guard && (snap_.step != step_) && (snap_.step < 0 || rebuild_step)) {
     take_snapshot();
+  }
+
+  // Whole-rank failures are detected (heartbeats + gossip) and recovered
+  // (evict, re-decompose, roll back) before the step's physics: a handled
+  // failure rewinds to the snapshot and the run loop re-enters.
+  if (faults && check_rank_faults()) {
+    finish_step_trace(step_t0, step_at_entry, rebuild_step);
+    return;
   }
 
   // Position halo exchange before the force computation (staged pulses:
@@ -272,8 +444,8 @@ void ParallelSim::step() {
       const double share = pair_fraction_[static_cast<std::size_t>(r)];
       std::ostringstream fargs;
       fargs << "{\"pair_fraction\":" << obs::json_number(share) << "}";
-      tr.complete(obs::rank_pid(r), 0, kForce, t_force0,
-                  share * force_global * 1e9, fargs.str());
+      tr.complete(obs::rank_pid(active_[static_cast<std::size_t>(r)]), 0,
+                  kForce, t_force0, share * force_global * 1e9, fargs.str());
     }
   }
   // "Force" carries the average rank's work; the extra time of the most
@@ -411,7 +583,8 @@ void ParallelSim::inject_numeric_fault() {
   if (tr.enabled()) {
     std::ostringstream args;
     args << "{\"step\":" << step_ << ",\"particle\":" << i << "}";
-    tr.instant(obs::rank_pid(0), 0, "numeric_kick", tr.now_ns(), args.str());
+    tr.instant(obs::rank_pid(active_.front()), 0, "numeric_kick", tr.now_ns(),
+               args.str());
   }
 }
 
@@ -456,23 +629,37 @@ void ParallelSim::rollback() {
     std::ostringstream args;
     args << "{\"detected_at\":" << last_detect_step_ << ",\"to_step\":" << step_
          << ",\"replayed\":" << replayed << "}";
-    tr.instant(obs::rank_pid(0), 0, "rollback", tr.now_ns(), args.str());
+    tr.instant(obs::rank_pid(active_.front()), 0, "rollback", tr.now_ns(),
+               args.str());
   }
 }
 
 void ParallelSim::maybe_write_checkpoint() {
   if (opt_.sim.checkpoint_every <= 0 || opt_.sim.checkpoint_path.empty()) return;
   if (step_ % opt_.sim.checkpoint_every != 0) return;
+  const int R = nactive();
+  const double n = static_cast<double>(sys_.size());
   // Rank 0 gathers the state and writes; the gather rides the transport.
   double gather_s = 0.0;
-  if (opt_.nranks > 1) {
-    const double n = static_cast<double>(sys_.size());
-    gather_s = static_cast<double>(opt_.nranks - 1) *
+  if (R > 1) {
+    gather_s = static_cast<double>(R - 1) *
                transport_->message_seconds(static_cast<std::size_t>(
-                   std::max(1.0, n / opt_.nranks * 24.0)));
+                   std::max(1.0, n / R * 24.0)));
   }
-  io::write_checkpoint_rotating(opt_.sim.checkpoint_path, sys_, step_);
-  const double n = static_cast<double>(sys_.size());
+  // Coordinated v2 checkpoint: the survivor layout plus a two-phase commit
+  // marker, so a restart (or tools/cpt_dump.py) sees exactly which ranks
+  // were alive when the state was captured.
+  io::RankLayout layout;
+  const auto dims = dd_.dims();
+  layout.world = static_cast<std::int32_t>(world_size_);
+  layout.active = static_cast<std::int32_t>(R);
+  layout.px = dims[0];
+  layout.py = dims[1];
+  layout.pz = dims[2];
+  layout.spares_promoted = static_cast<std::int32_t>(spares_promoted_);
+  layout.evicted.assign(evicted_.begin(), evicted_.end());
+  io::write_checkpoint_coordinated_rotating(opt_.sim.checkpoint_path, sys_,
+                                            step_, layout);
   timers_.add(kWriteTraj, gather_s + mpe_secs(n * 8.0, n * 4.0));
   sw::FaultInjector::global().record_checkpoint();
 }

@@ -7,6 +7,14 @@
 // (with true spatial load imbalance), halo exchange and PME all-to-all
 // volumes through the MPI/RDMA transport models, and the per-step energy
 // all-reduce that dominates Case 2's "Comm. energies" row.
+//
+// Rank-level fault tolerance (DESIGN.md §2.9): under a `rank_crash` /
+// `rank_hang` fault plan the driver runs a simulated-time heartbeat failure
+// detector, evicts confirmed-dead ranks (promoting hot spares first when
+// configured), elastically re-decomposes the box over the survivors, and
+// rolls back to the last coordinated checkpoint. Because physics is global,
+// the replayed trajectory is bit-identical to a fault-free run; only the
+// modeled time pays for detection, re-decomposition and replay.
 #pragma once
 
 #include <memory>
@@ -29,6 +37,10 @@ struct ParallelOptions {
   /// Under fault injection: cumulative message losses before an RDMA run
   /// degrades gracefully to the (reliable, slower) MPI transport.
   int rdma_fallback_drops = 16;
+  /// Hot-spare ranks held in reserve on top of `nranks`: an evicted rank is
+  /// replaced by a spare (decomposition unchanged) before the survivor set
+  /// is allowed to shrink. The SWGMX_FAULTS `spare_ranks` key raises this.
+  int spare_ranks = 0;
 };
 
 class ParallelSim {
@@ -51,13 +63,29 @@ class ParallelSim {
   [[nodiscard]] const Transport& transport() const { return *transport_; }
   /// Max-over-ranks share of cluster pairs (load imbalance indicator).
   [[nodiscard]] double max_pair_share() const { return max_pair_share_; }
-  /// Rollbacks performed so far (numeric watchdog recoveries).
+  /// Rollbacks performed so far (numeric watchdog + rank-failure recoveries).
   [[nodiscard]] std::uint64_t rollback_count() const { return rollbacks_; }
   /// Messages lost (and retransmitted) so far under fault injection.
   [[nodiscard]] std::uint64_t message_drops() const { return drops_; }
+  // --- rank fault tolerance ---
+  /// Compute ranks still in the decomposition (== nranks until an eviction
+  /// shrinks the survivor set past the spare budget).
+  [[nodiscard]] int active_ranks() const {
+    return static_cast<int>(active_.size());
+  }
+  /// Launch-time world size: compute ranks + hot spares.
+  [[nodiscard]] int world_size() const { return world_size_; }
+  /// World ids of evicted ranks, in eviction order.
+  [[nodiscard]] const std::vector<int>& evicted_ranks() const {
+    return evicted_;
+  }
+  [[nodiscard]] std::uint64_t spares_promoted() const {
+    return spares_promoted_;
+  }
 
  private:
   void neighbor_search();
+  [[nodiscard]] int nactive() const { return static_cast<int>(active_.size()); }
   [[nodiscard]] double mpe_secs(double ops, double mem) const;
   /// Pass a modeled communication cost through the fault plan: drops charge
   /// an ack timeout plus a retransmit (and can trigger the RDMA->MPI
@@ -71,18 +99,19 @@ class ParallelSim {
   [[nodiscard]] bool state_healthy(const AlignedVector<Vec3f>& x_ref) const;
   void rollback();
   void maybe_write_checkpoint();
-  // --- observability (all no-ops when tracing is off) ---
-  /// Register one trace process per rank ("rank r").
   void trace_rank_tracks();
-  /// Emit a communication phase on every rank track plus message flow
-  /// events, then advance the simulated clock past it. `gather_to_rank0`
-  /// draws ranks 1..R-1 -> rank 0 flows (reductions / gathers); otherwise
-  /// each rank sends to its ring neighbor (halo pulses, transposes).
   void trace_rank_exchange(const char* name, double seconds,
                            bool gather_to_rank0);
-  /// Per-rank step flight-recorder spans.
   void finish_step_trace(double step_t0, std::int64_t step_at_entry,
                          bool rebuilt);
+  // --- rank fault tolerance ---
+  /// Probe the fault plan for whole-rank failures this step. On failure:
+  /// charge the heartbeat/gossip detection latency, evict the dead ranks
+  /// (promoting hot spares first), elastically re-decompose over the
+  /// survivor set, and roll back to the coordinated snapshot. Returns true
+  /// when a failure was handled (the caller's step must return so the run
+  /// loop replays from the restored state).
+  bool check_rank_faults();
 
   md::System sys_;
   ParallelOptions opt_;
@@ -100,8 +129,8 @@ class ParallelSim {
   AlignedVector<Vec3f> f_slots_;
   double max_pair_share_ = 1.0;
   double max_cluster_share_ = 1.0;
-  /// Per-rank fraction of cluster pairs from the current decomposition
-  /// (sums to 1); sizes the per-rank Force spans in the trace.
+  /// Per-decomposition-slot fraction of cluster pairs (sums to 1); sizes the
+  /// per-rank Force spans in the trace.
   std::vector<double> pair_fraction_;
 
   sw::PhaseTimers timers_;
@@ -109,7 +138,9 @@ class ParallelSim {
   std::int64_t step_ = 0;
 
   /// Rollback target, captured at pair-list rebuild boundaries (see
-  /// md::Simulation — same replay-bit-identity argument).
+  /// md::Simulation — same replay-bit-identity argument). Doubles as the
+  /// in-memory image of the last *coordinated* checkpoint for rank-failure
+  /// recovery.
   struct Snapshot {
     std::int64_t step = -1;
     AlignedVector<Vec3f> x, v;
@@ -123,6 +154,13 @@ class ParallelSim {
   std::int64_t last_detect_step_ = -1;
   bool skip_rebuild_ = false;
   bool using_rdma_ = false;
+
+  // --- rank fault-tolerance state (world ids are launch-time rank ids) ---
+  int world_size_ = 0;
+  std::vector<int> active_;      ///< world id per decomposition slot
+  std::vector<int> spares_free_; ///< unpromoted hot spares, promotion order
+  std::vector<int> evicted_;     ///< world ids removed, eviction order
+  std::uint64_t spares_promoted_ = 0;
 };
 
 }  // namespace swgmx::net

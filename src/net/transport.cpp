@@ -60,22 +60,26 @@ void LoopbackNetwork::send(int from, int to, std::vector<std::uint8_t> payload) 
   sw::FaultInjector& inj = sw::FaultInjector::global();
   if (inj.enabled()) {
     const sw::FaultPlan& plan = inj.plan();
+    const sw::RetryPolicy& pol = inj.policy();
     const std::uint64_t step = inj.step();
     int attempt = 0;
     while (plan.msg_drop(step, from, to, seq, attempt)) {
-      // Lost on the wire: the sender times out waiting for the ack, then
-      // retransmits — both charged through the transport cost model.
+      // Lost on the wire: the sender times out waiting for the ack (the
+      // timeout backs off exponentially per attempt), then retransmits —
+      // both charged through the transport cost model.
       const double penalty =
-          sw::kMsgTimeoutFactor * transport_->message_seconds(sw::kMsgAckBytes) +
+          pol.timeout_factor_at(attempt) *
+              transport_->message_seconds(sw::kMsgAckBytes) +
           transport_->message_seconds(frame.size());
       s += penalty;
       inj.record_msg_drop();
       inj.record_msg_retransmit(penalty);
       ++attempt;
-      SWGMX_CHECK_MSG(attempt <= sw::kMaxMsgRetries,
+      SWGMX_CHECK_MSG(attempt <= pol.max_msg_retries,
                       "message retransmit budget exhausted ("
-                          << sw::kMaxMsgRetries << " retries, " << from << " -> "
-                          << to << " seq " << seq << " at step " << step << ")");
+                          << pol.max_msg_retries << " retries, " << from
+                          << " -> " << to << " seq " << seq << " at step "
+                          << step << ")");
     }
     if (plan.msg_delay(step, from, to, seq)) {
       const double extra = sw::kMsgDelaySpike * s;

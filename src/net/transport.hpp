@@ -76,8 +76,9 @@ class RdmaSimTransport final : public Transport {
 ///
 /// Delivery is reliable under fault injection: every message carries a
 /// (sender, sequence) header; a dropped message is retransmitted after a
-/// modeled ack timeout (charged to the cost model, bounded by
-/// sw::kMaxMsgRetries), duplicated deliveries are discarded on receive, and
+/// modeled ack timeout with exponential backoff (charged to the cost model,
+/// bounded by sw::RetryPolicy), duplicated deliveries are discarded on
+/// receive, and
 /// latency spikes inflate the carried cost. With faults disabled the header
 /// is inert and each payload is delivered exactly once, in order.
 class LoopbackNetwork {

@@ -30,15 +30,17 @@ void DmaEngine::transfer(void* dst, const void* src, std::size_t bytes,
 
   // Faulted path: the payload is protected by a CRC32 check charged to the
   // CPE; a mismatch (injected bit flip) redoes the transfer, bounded by
-  // kMaxDmaRetries. Fault keys are (step, CPE lane, per-CPE transfer index,
-  // attempt) — pure data, so any host schedule sees the same faults.
+  // RetryPolicy::max_dma_retries. Fault keys are (step, CPE lane, per-CPE
+  // transfer index, attempt) — pure data, so any host schedule sees the
+  // same faults.
   const FaultPlan& plan = inj.plan();
+  const int max_retries = inj.policy().max_dma_retries;
   const std::uint64_t step = inj.step();
   const std::uint64_t xfer = pc.dma_transfers;
   for (int attempt = 0;; ++attempt) {
-    SWGMX_CHECK_MSG(attempt <= kMaxDmaRetries,
+    SWGMX_CHECK_MSG(attempt <= max_retries,
                     "DMA CRC retry budget exhausted ("
-                        << kMaxDmaRetries << " retries, " << bytes
+                        << max_retries << " retries, " << bytes
                         << " B transfer on CPE " << lane_ << " at step "
                         << step << ")");
     std::memcpy(dst, src, bytes);

@@ -1,7 +1,9 @@
 #include "sw/fault.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -11,6 +13,7 @@ FaultRates parse_fault_spec(const char* spec) {
   FaultRates r;
   if (spec == nullptr || *spec == '\0') return r;
   const std::string s(spec);
+  std::vector<std::string> seen;
   std::size_t pos = 0;
   while (pos < s.size()) {
     std::size_t comma = s.find(',', pos);
@@ -23,16 +26,80 @@ FaultRates parse_fault_spec(const char* spec) {
                     "SWGMX_FAULTS item '" << item << "' is not key:value");
     const std::string key = item.substr(0, colon);
     const std::string val = item.substr(colon + 1);
+    SWGMX_CHECK_MSG(!key.empty(),
+                    "SWGMX_FAULTS item '" << item << "' has an empty key");
+    SWGMX_CHECK_MSG(std::find(seen.begin(), seen.end(), key) == seen.end(),
+                    "duplicate SWGMX_FAULTS key '" << key << "'");
+    seen.push_back(key);
+
     char* end = nullptr;
+    auto parse_int = [&](const char* what) {
+      const long long v = std::strtoll(val.c_str(), &end, 10);
+      SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
+                      "SWGMX_FAULTS " << what << " '" << val
+                                      << "' is not an integer");
+      SWGMX_CHECK_MSG(v >= 0, "SWGMX_FAULTS " << what << ":" << v
+                                              << " must be >= 0");
+      return static_cast<int>(v);
+    };
+    auto parse_double = [&](const char* what) {
+      const double v = std::strtod(val.c_str(), &end);
+      SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
+                      "SWGMX_FAULTS " << what << " '" << val
+                                      << "' is not a number");
+      return v;
+    };
+
     if (key == "seed") {
       r.seed = std::strtoull(val.c_str(), &end, 10);
-      SWGMX_CHECK_MSG(end != nullptr && *end == '\0',
+      SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
                       "SWGMX_FAULTS seed '" << val << "' is not an integer");
       continue;
     }
-    const double rate = std::strtod(val.c_str(), &end);
-    SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
-                    "SWGMX_FAULTS rate '" << val << "' is not a number");
+    if (key == "spare_ranks") {
+      r.spare_ranks = parse_int("spare_ranks");
+      continue;
+    }
+    if (key == "max_dma_retries") {
+      r.policy.max_dma_retries = parse_int("max_dma_retries");
+      continue;
+    }
+    if (key == "max_msg_retries") {
+      r.policy.max_msg_retries = parse_int("max_msg_retries");
+      continue;
+    }
+    if (key == "gossip_confirmations") {
+      r.policy.gossip_confirmations = parse_int("gossip_confirmations");
+      continue;
+    }
+    if (key == "msg_timeout_factor") {
+      r.policy.msg_timeout_factor = parse_double("msg_timeout_factor");
+      SWGMX_CHECK_MSG(r.policy.msg_timeout_factor > 0.0,
+                      "SWGMX_FAULTS msg_timeout_factor must be > 0");
+      continue;
+    }
+    if (key == "msg_backoff") {
+      r.policy.msg_backoff = parse_double("msg_backoff");
+      SWGMX_CHECK_MSG(r.policy.msg_backoff >= 1.0,
+                      "SWGMX_FAULTS msg_backoff "
+                          << r.policy.msg_backoff
+                          << " must be >= 1 (exponential backoff)");
+      continue;
+    }
+    if (key == "hb_interval") {
+      r.policy.heartbeat_interval_s = parse_double("hb_interval");
+      SWGMX_CHECK_MSG(r.policy.heartbeat_interval_s > 0.0,
+                      "SWGMX_FAULTS hb_interval must be > 0");
+      continue;
+    }
+    if (key == "hb_timeout") {
+      r.policy.heartbeat_timeout_s = parse_double("hb_timeout");
+      SWGMX_CHECK_MSG(r.policy.heartbeat_timeout_s > 0.0,
+                      "SWGMX_FAULTS hb_timeout must be > 0");
+      continue;
+    }
+
+    const double rate = parse_double("rate");
     SWGMX_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
                     "SWGMX_FAULTS rate " << key << ":" << rate
                                          << " outside [0, 1]");
@@ -50,13 +117,26 @@ FaultRates parse_fault_spec(const char* spec) {
       r.cpe_straggle = rate;
     } else if (key == "numeric_kick") {
       r.numeric_kick = rate;
+    } else if (key == "rank_crash") {
+      r.rank_crash = rate;
+    } else if (key == "rank_hang") {
+      r.rank_hang = rate;
     } else {
-      SWGMX_CHECK_MSG(false, "unknown SWGMX_FAULTS key '"
-                                 << key
-                                 << "' (dma_flip|dma_stall|msg_drop|msg_dup|"
-                                    "msg_delay|cpe_straggle|numeric_kick|seed)");
+      SWGMX_CHECK_MSG(false,
+                      "unknown SWGMX_FAULTS key '"
+                          << key
+                          << "' (dma_flip|dma_stall|msg_drop|msg_dup|"
+                             "msg_delay|cpe_straggle|numeric_kick|rank_crash|"
+                             "rank_hang|spare_ranks|seed|max_dma_retries|"
+                             "max_msg_retries|msg_timeout_factor|msg_backoff|"
+                             "hb_interval|hb_timeout|gossip_confirmations)");
     }
   }
+  SWGMX_CHECK_MSG(
+      r.policy.heartbeat_timeout_s >= r.policy.heartbeat_interval_s,
+      "SWGMX_FAULTS hb_timeout " << r.policy.heartbeat_timeout_s
+                                 << " must be >= hb_interval "
+                                 << r.policy.heartbeat_interval_s);
   return r;
 }
 
@@ -91,6 +171,11 @@ void FaultInjector::add_msg_seconds(double seconds) {
       std::memory_order_relaxed);
 }
 
+void FaultInjector::add_ns(Counter& c, double seconds) {
+  c.fetch_add(static_cast<std::uint64_t>(std::llround(seconds * 1e9)),
+              std::memory_order_relaxed);
+}
+
 RecoveryStats FaultInjector::snapshot() const {
   RecoveryStats s;
   s.dma_bitflips = dma_bitflips_.load(std::memory_order_relaxed);
@@ -106,8 +191,15 @@ RecoveryStats FaultInjector::snapshot() const {
   s.steps_replayed = steps_replayed_.load(std::memory_order_relaxed);
   s.transport_fallbacks = transport_fallbacks_.load(std::memory_order_relaxed);
   s.checkpoints_written = checkpoints_written_.load(std::memory_order_relaxed);
+  s.rank_crashes = rank_crashes_.load(std::memory_order_relaxed);
+  s.rank_hangs = rank_hangs_.load(std::memory_order_relaxed);
+  s.ranks_evicted = ranks_evicted_.load(std::memory_order_relaxed);
+  s.spares_promoted = spares_promoted_.load(std::memory_order_relaxed);
+  s.redecompositions = redecompositions_.load(std::memory_order_relaxed);
   s.fault_cycles = fault_cycles_.load(std::memory_order_relaxed);
   s.msg_fault_ns = msg_fault_ns_.load(std::memory_order_relaxed);
+  s.detection_ns = detection_ns_.load(std::memory_order_relaxed);
+  s.redecomp_ns = redecomp_ns_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -116,7 +208,9 @@ void FaultInjector::reset_stats() {
        {&dma_bitflips_, &dma_retries_, &dma_stalls_, &msgs_dropped_,
         &msg_retransmits_, &msgs_duplicated_, &msg_delays_, &cpe_stragglers_,
         &numeric_kicks_, &rollbacks_, &steps_replayed_, &transport_fallbacks_,
-        &checkpoints_written_, &fault_cycles_, &msg_fault_ns_}) {
+        &checkpoints_written_, &rank_crashes_, &rank_hangs_, &ranks_evicted_,
+        &spares_promoted_, &redecompositions_, &fault_cycles_, &msg_fault_ns_,
+        &detection_ns_, &redecomp_ns_}) {
     c->store(0, std::memory_order_relaxed);
   }
 }

@@ -18,6 +18,8 @@
 //
 // Configured from the SWGMX_FAULTS environment variable, e.g.
 //   SWGMX_FAULTS=dma_flip:1e-6,dma_stall:1e-4,msg_drop:1e-5,seed:42
+// or, for whole-rank chaos with two hot spares and custom retry knobs,
+//   SWGMX_FAULTS=rank_crash:5e-3,rank_hang:1e-3,spare_ranks:2,msg_backoff:1.5
 // With the variable unset the injector is disabled and every hook reduces
 // to one relaxed atomic load.
 #pragma once
@@ -28,18 +30,48 @@
 
 namespace swgmx::sw {
 
-// --- recovery policy constants ---
+// --- recovery policy constants (the RetryPolicy defaults) ---
 inline constexpr int kMaxDmaRetries = 4;      ///< CRC-retry budget per transfer
 inline constexpr int kMaxMsgRetries = 6;      ///< retransmit budget per message
 inline constexpr int kMaxConsecutiveRollbacks = 8;  ///< per snapshot before giving up
 inline constexpr double kDmaStallPenalty = 8.0;     ///< stall = this x transfer cycles
 inline constexpr double kCrcCyclesPerByte = 0.5;    ///< software CRC32 on a CPE (2 passes)
 inline constexpr double kStragglerSlowdown = 1.0;   ///< straggler runs (1+this)x slower
-inline constexpr double kMsgTimeoutFactor = 20.0;   ///< ack-timeout, in ack-message units
-inline constexpr std::size_t kMsgAckBytes = 64;     ///< modeled ack message size
+inline constexpr double kMsgTimeoutFactor = 20.0;   ///< first ack-timeout, in ack-message units
+inline constexpr std::size_t kMsgAckBytes = 64;     ///< modeled ack / heartbeat message size
 inline constexpr double kMsgDelaySpike = 10.0;      ///< latency-spike multiplier
+inline constexpr double kMsgBackoff = 2.0;          ///< retransmit timeout growth per attempt
+inline constexpr double kHeartbeatInterval = 1e-3;  ///< modeled s between rank heartbeats
+inline constexpr double kHeartbeatTimeout = 5e-3;   ///< silent this long => rank suspected
+inline constexpr int kGossipConfirmations = 2;      ///< neighbor confirmations before eviction
 
-/// Per-kind fault probabilities (per transfer / message / CPE-launch / step).
+/// Every retry / timeout knob of the recovery layers in one place, instead
+/// of call sites hard-coding the k-constants above (which remain as the
+/// documented defaults). Message retransmits use *exponential backoff*: the
+/// ack timeout for attempt k is `msg_timeout_factor * msg_backoff^k` ack
+/// units, so a lossy link degrades gracefully instead of hammering.
+/// Overridable per run through SWGMX_FAULTS keys (see parse_fault_spec).
+struct RetryPolicy {
+  int max_dma_retries = kMaxDmaRetries;    ///< key: max_dma_retries
+  int max_msg_retries = kMaxMsgRetries;    ///< key: max_msg_retries
+  double msg_timeout_factor = kMsgTimeoutFactor;  ///< key: msg_timeout_factor
+  double msg_backoff = kMsgBackoff;        ///< key: msg_backoff (>= 1)
+  double heartbeat_interval_s = kHeartbeatInterval;  ///< key: hb_interval
+  double heartbeat_timeout_s = kHeartbeatTimeout;    ///< key: hb_timeout
+  int gossip_confirmations = kGossipConfirmations;   ///< key: gossip_confirmations
+
+  /// Ack-timeout multiplier for retransmit attempt `attempt` (0-based):
+  /// msg_timeout_factor * msg_backoff^attempt.
+  [[nodiscard]] double timeout_factor_at(int attempt) const {
+    double f = msg_timeout_factor;
+    for (int k = 0; k < attempt; ++k) f *= msg_backoff;
+    return f;
+  }
+};
+
+/// Per-kind fault probabilities (per transfer / message / CPE-launch / step),
+/// plus the retry/timeout policy and the hot-spare budget parsed from the
+/// same SWGMX_FAULTS spec.
 struct FaultRates {
   double dma_flip = 0.0;      ///< one bit of a DMA payload flips
   double dma_stall = 0.0;     ///< a DMA transfer stalls (kDmaStallPenalty x cost)
@@ -48,18 +80,25 @@ struct FaultRates {
   double msg_delay = 0.0;     ///< a message hits a latency spike
   double cpe_straggle = 0.0;  ///< a CPE finishes (1+kStragglerSlowdown)x late
   double numeric_kick = 0.0;  ///< a force entry is corrupted (NaN / blow-up)
+  double rank_crash = 0.0;    ///< a whole rank dies, per rank per step
+  double rank_hang = 0.0;     ///< a whole rank goes silent, per rank per step
+  int spare_ranks = 0;        ///< hot spares ParallelSim may promote on eviction
+  RetryPolicy policy;         ///< retry/timeout/heartbeat knobs
   std::uint64_t seed = 0x53574758ull;  // "SWGX"
 
   [[nodiscard]] bool any() const {
     return dma_flip > 0.0 || dma_stall > 0.0 || msg_drop > 0.0 ||
            msg_dup > 0.0 || msg_delay > 0.0 || cpe_straggle > 0.0 ||
-           numeric_kick > 0.0;
+           numeric_kick > 0.0 || rank_crash > 0.0 || rank_hang > 0.0;
   }
 };
 
 /// Parse a SWGMX_FAULTS spec ("dma_flip:1e-6,msg_drop:1e-5,seed:42").
-/// nullptr/empty yields all-zero rates; unknown keys or rates outside [0, 1]
-/// throw swgmx::Error.
+/// nullptr/empty yields all-zero rates. Throws swgmx::Error with a precise
+/// message on: malformed `key:value` pairs, unknown keys, duplicate keys,
+/// rates outside [0, 1], negative integer knobs (spare_ranks, *_retries,
+/// gossip_confirmations), msg_backoff < 1, non-positive timeouts, or
+/// hb_timeout < hb_interval.
 [[nodiscard]] FaultRates parse_fault_spec(const char* spec);
 
 enum class FaultKind : std::uint64_t {
@@ -70,6 +109,8 @@ enum class FaultKind : std::uint64_t {
   MsgDelay,
   CpeStraggle,
   NumericKick,
+  RankCrash,
+  RankHang,
 };
 
 /// Pure deterministic fault oracle: every method is a hash of its arguments
@@ -119,6 +160,18 @@ class FaultPlan {
                                   std::uint64_t generation) const {
     return fires(FaultKind::NumericKick, r_.numeric_kick, step,
                  static_cast<std::uint64_t>(rank), generation, 0);
+  }
+  /// Whole-rank failures are keyed on (step, world rank) alone — no
+  /// generation salt: once the rank is evicted it is never probed again, so
+  /// a replayed step sees the identical decision for every survivor and the
+  /// recovery loop converges without re-randomizing.
+  [[nodiscard]] bool rank_crash(std::uint64_t step, int rank) const {
+    return fires(FaultKind::RankCrash, r_.rank_crash, step,
+                 static_cast<std::uint64_t>(rank), 0, 0);
+  }
+  [[nodiscard]] bool rank_hang(std::uint64_t step, int rank) const {
+    return fires(FaultKind::RankHang, r_.rank_hang, step,
+                 static_cast<std::uint64_t>(rank), 0, 0);
   }
 
   /// Raw deterministic 64-bit draw for fault payloads (which bit to flip,
@@ -181,17 +234,26 @@ struct RecoveryStats {
   std::uint64_t steps_replayed = 0;
   std::uint64_t transport_fallbacks = 0;  ///< RDMA -> MPI degradations
   std::uint64_t checkpoints_written = 0;
+  std::uint64_t rank_crashes = 0;       ///< whole-rank deaths injected
+  std::uint64_t rank_hangs = 0;         ///< whole-rank hangs injected
+  std::uint64_t ranks_evicted = 0;      ///< ranks removed from the run
+  std::uint64_t spares_promoted = 0;    ///< hot spares pressed into service
+  std::uint64_t redecompositions = 0;   ///< survivor-set domain rebuilds
   std::uint64_t fault_cycles = 0;   ///< CPE cycles spent on checks + recovery
   std::uint64_t msg_fault_ns = 0;   ///< simulated ns spent on retransmits/spikes
+  std::uint64_t detection_ns = 0;   ///< simulated ns waiting on failure detection
+  std::uint64_t redecomp_ns = 0;    ///< simulated ns re-decomposing + migrating state
 
   [[nodiscard]] std::uint64_t faults_seen() const {
     return dma_bitflips + dma_stalls + msgs_dropped + msgs_duplicated +
-           msg_delays + cpe_stragglers + numeric_kicks;
+           msg_delays + cpe_stragglers + numeric_kicks + rank_crashes +
+           rank_hangs;
   }
   /// Simulated seconds charged to fault recovery and protection overhead.
   [[nodiscard]] double seconds_lost(double freq_hz = 1.45e9) const {
     return static_cast<double>(fault_cycles) / freq_hz +
-           static_cast<double>(msg_fault_ns) * 1e-9;
+           static_cast<double>(msg_fault_ns + detection_ns + redecomp_ns) *
+               1e-9;
   }
 };
 
@@ -213,6 +275,10 @@ class FaultInjector {
     return enabled_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// The active retry/timeout policy (SWGMX_FAULTS overrides applied).
+  [[nodiscard]] const RetryPolicy& policy() const {
+    return plan_.rates().policy;
+  }
 
   void set_step(std::int64_t step) {
     step_.store(step, std::memory_order_relaxed);
@@ -241,6 +307,15 @@ class FaultInjector {
   }
   void record_transport_fallback() { bump(transport_fallbacks_); }
   void record_checkpoint() { bump(checkpoints_written_); }
+  void record_rank_crash() { bump(rank_crashes_); }
+  void record_rank_hang() { bump(rank_hangs_); }
+  void record_rank_eviction() { bump(ranks_evicted_); }
+  void record_spare_promotion() { bump(spares_promoted_); }
+  void record_redecomposition(double seconds) {
+    bump(redecompositions_);
+    add_ns(redecomp_ns_, seconds);
+  }
+  void record_detection(double seconds) { add_ns(detection_ns_, seconds); }
 
   [[nodiscard]] RecoveryStats snapshot() const;
   void reset_stats();
@@ -250,6 +325,7 @@ class FaultInjector {
   static void bump(Counter& c) { c.fetch_add(1, std::memory_order_relaxed); }
   void add_cycles(double cycles);
   void add_msg_seconds(double seconds);
+  static void add_ns(Counter& c, double seconds);
 
   FaultPlan plan_;
   std::atomic<bool> enabled_{false};
@@ -260,7 +336,10 @@ class FaultInjector {
   Counter cpe_stragglers_{0}, numeric_kicks_{0};
   Counter rollbacks_{0}, steps_replayed_{0};
   Counter transport_fallbacks_{0}, checkpoints_written_{0};
+  Counter rank_crashes_{0}, rank_hangs_{0}, ranks_evicted_{0};
+  Counter spares_promoted_{0}, redecompositions_{0};
   Counter fault_cycles_{0}, msg_fault_ns_{0};
+  Counter detection_ns_{0}, redecomp_ns_{0};
 };
 
 }  // namespace swgmx::sw

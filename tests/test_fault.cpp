@@ -66,6 +66,70 @@ TEST(FaultSpec, RejectsUnknownKeysAndBadRates) {
   EXPECT_THROW((void)sw::parse_fault_spec("dma_flip"), Error);
 }
 
+TEST(FaultSpec, ParsesRankFaultAndPolicyKeys) {
+  const FaultRates r = sw::parse_fault_spec(
+      "rank_crash:5e-3,rank_hang:1e-3,spare_ranks:2,max_dma_retries:3,"
+      "max_msg_retries:9,msg_timeout_factor:10,msg_backoff:1.5,"
+      "hb_interval:2e-3,hb_timeout:8e-3,gossip_confirmations:3");
+  EXPECT_DOUBLE_EQ(r.rank_crash, 5e-3);
+  EXPECT_DOUBLE_EQ(r.rank_hang, 1e-3);
+  EXPECT_EQ(r.spare_ranks, 2);
+  EXPECT_EQ(r.policy.max_dma_retries, 3);
+  EXPECT_EQ(r.policy.max_msg_retries, 9);
+  EXPECT_DOUBLE_EQ(r.policy.msg_timeout_factor, 10.0);
+  EXPECT_DOUBLE_EQ(r.policy.msg_backoff, 1.5);
+  EXPECT_DOUBLE_EQ(r.policy.heartbeat_interval_s, 2e-3);
+  EXPECT_DOUBLE_EQ(r.policy.heartbeat_timeout_s, 8e-3);
+  EXPECT_EQ(r.policy.gossip_confirmations, 3);
+  EXPECT_TRUE(r.any());
+  // Policy knobs alone don't enable fault injection.
+  EXPECT_FALSE(sw::parse_fault_spec("spare_ranks:2,msg_backoff:3").any());
+}
+
+TEST(FaultSpec, RejectsMalformedPairs) {
+  EXPECT_THROW((void)sw::parse_fault_spec(":0.5"), Error);  // empty key
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip:"), Error);  // empty value
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip:abc"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip:0.5x"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("spare_ranks:two"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("seed:abc"), Error);
+}
+
+TEST(FaultSpec, RejectsDuplicateKeys) {
+  EXPECT_THROW((void)sw::parse_fault_spec("dma_flip:0.1,dma_flip:0.2"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("seed:1,msg_drop:0.1,seed:2"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("rank_crash:0.1,rank_crash:0.1"),
+               Error);
+}
+
+TEST(FaultSpec, RejectsOutOfRangeRatesAndPolicy) {
+  EXPECT_THROW((void)sw::parse_fault_spec("rank_crash:1.5"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("rank_hang:-0.1"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("spare_ranks:-1"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("max_msg_retries:-1"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("gossip_confirmations:-2"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("msg_backoff:0.5"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("msg_timeout_factor:0"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("hb_interval:0"), Error);
+  // hb_timeout below hb_interval would declare healthy ranks dead.
+  EXPECT_THROW((void)sw::parse_fault_spec("hb_interval:5e-3,hb_timeout:1e-3"),
+               Error);
+}
+
+TEST(FaultSpec, RetryPolicyBackoffGrowsExponentially) {
+  sw::RetryPolicy pol;
+  pol.msg_timeout_factor = 3.0;
+  pol.msg_backoff = 2.0;
+  EXPECT_DOUBLE_EQ(pol.timeout_factor_at(0), 3.0);
+  EXPECT_DOUBLE_EQ(pol.timeout_factor_at(1), 6.0);
+  EXPECT_DOUBLE_EQ(pol.timeout_factor_at(3), 24.0);
+  // The defaults reproduce the documented k-constants.
+  const sw::RetryPolicy def;
+  EXPECT_DOUBLE_EQ(def.timeout_factor_at(0), sw::kMsgTimeoutFactor);
+  EXPECT_EQ(def.max_dma_retries, sw::kMaxDmaRetries);
+  EXPECT_EQ(def.max_msg_retries, sw::kMaxMsgRetries);
+}
+
 TEST(FaultPlanTest, DeterministicAndRateEdges) {
   FaultRates r;
   r.dma_flip = 0.5;

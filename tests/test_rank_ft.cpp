@@ -1,0 +1,208 @@
+// Rank-level fault tolerance in ParallelSim (DESIGN.md §2.9): heartbeat
+// failure detection, eviction with hot-spare promotion, elastic
+// re-decomposition over the survivors, and rollback/replay that lands on
+// the fault-free trajectory bit for bit.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "io/checkpoint.hpp"
+#include "net/parallel_sim.hpp"
+#include "sw/fault.hpp"
+#include "testutil.hpp"
+
+namespace swgmx {
+namespace {
+
+// Seeds probed offline against the fault-plan hash: with rank_crash:5e-3
+// over 150 steps and 4 ranks, seed 99999 kills world ranks 2 (step 0) and 0
+// (step 72); with rank_hang:5e-3, seed 123456 evicts two ranks. Decisions
+// are keyed on (step, world rank) only, so these patterns hold for any pool
+// size, transport or particle count.
+constexpr const char* kCrashSpec = "rank_crash:5e-3,seed:99999";
+constexpr const char* kHangSpec = "rank_hang:5e-3,seed:123456";
+constexpr const char* kSpareSpec = "rank_crash:5e-3,spare_ranks:2,seed:99999";
+
+struct FtResult {
+  md::System sys;
+  std::vector<md::EnergySample> series;
+  double sim_seconds = 0.0;
+  std::uint64_t rollbacks = 0;
+  int active = 0;
+  int world = 0;
+  std::vector<int> evicted;
+  std::uint64_t spares_promoted = 0;
+  sw::RecoveryStats stats;
+};
+
+FtResult run_ft(int nsteps, const char* spec, const std::string& cpt = "") {
+  sw::FaultInjector::global().configure_from_env(spec);
+  md::System sys = test::small_water(60, md::CoulombMode::ReactionField, 3);
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  net::ParallelOptions popt;
+  popt.nranks = 4;
+  popt.sim.nstlist = 10;
+  popt.sim.nstenergy = 10;
+  if (!cpt.empty()) {
+    popt.sim.checkpoint_path = cpt;
+    popt.sim.checkpoint_every = 50;
+  }
+  net::ParallelSim sim(std::move(sys), popt, *sr, pl);
+  FtResult out;
+  try {
+    sim.run(nsteps);
+  } catch (...) {
+    sw::FaultInjector::global().configure_from_env(nullptr);
+    throw;
+  }
+  out.sys = sim.system();
+  out.series = sim.energy_series();
+  out.sim_seconds = sim.total_seconds();
+  out.rollbacks = sim.rollback_count();
+  out.active = sim.active_ranks();
+  out.world = sim.world_size();
+  out.evicted = sim.evicted_ranks();
+  out.spares_promoted = sim.spares_promoted();
+  out.stats = sw::FaultInjector::global().snapshot();
+  sw::FaultInjector::global().configure_from_env(nullptr);
+  return out;
+}
+
+void expect_bit_identical(const FtResult& a, const FtResult& b) {
+  ASSERT_EQ(a.sys.size(), b.sys.size());
+  for (std::size_t i = 0; i < a.sys.size(); ++i) {
+    ASSERT_EQ(a.sys.x[i].x, b.sys.x[i].x) << "particle " << i;
+    ASSERT_EQ(a.sys.x[i].y, b.sys.x[i].y) << "particle " << i;
+    ASSERT_EQ(a.sys.x[i].z, b.sys.x[i].z) << "particle " << i;
+    ASSERT_EQ(a.sys.v[i].x, b.sys.v[i].x) << "particle " << i;
+    ASSERT_EQ(a.sys.v[i].y, b.sys.v[i].y) << "particle " << i;
+    ASSERT_EQ(a.sys.v[i].z, b.sys.v[i].z) << "particle " << i;
+  }
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].step, b.series[i].step);
+    EXPECT_EQ(a.series[i].e_lj, b.series[i].e_lj) << "sample " << i;
+    EXPECT_EQ(a.series[i].e_coul, b.series[i].e_coul) << "sample " << i;
+    EXPECT_EQ(a.series[i].e_bonded, b.series[i].e_bonded) << "sample " << i;
+    EXPECT_EQ(a.series[i].e_kin, b.series[i].e_kin) << "sample " << i;
+  }
+}
+
+TEST(RankFt, CrashEvictsAndReplaysBitIdentically) {
+  const FtResult clean = run_ft(150, nullptr);
+  const FtResult faulted = run_ft(150, kCrashSpec);
+
+  // The planned failures happened and were fully recovered...
+  EXPECT_EQ(faulted.stats.rank_crashes, 2u);
+  EXPECT_EQ(faulted.stats.ranks_evicted, 2u);
+  ASSERT_EQ(faulted.evicted, (std::vector<int>{2, 0}));
+  EXPECT_EQ(faulted.active, 2);  // no spares: the survivor set shrank
+  EXPECT_EQ(faulted.world, 4);
+  EXPECT_GE(faulted.rollbacks, 2u);
+  EXPECT_GE(faulted.stats.redecompositions, 2u);
+  // ...detection and re-decomposition cost real simulated time...
+  EXPECT_GT(faulted.stats.detection_ns, 0u);
+  EXPECT_GT(faulted.stats.redecomp_ns, 0u);
+  EXPECT_GT(faulted.stats.seconds_lost(), 0.0);
+  EXPECT_GT(faulted.sim_seconds, clean.sim_seconds);
+  // ...and the trajectory is the fault-free one, bit for bit.
+  expect_bit_identical(faulted, clean);
+}
+
+TEST(RankFt, HangIsDetectedAfterTheLongerTimeout) {
+  const FtResult clean = run_ft(150, nullptr);
+  const FtResult faulted = run_ft(150, kHangSpec);
+
+  EXPECT_GE(faulted.stats.rank_hangs, 1u);
+  EXPECT_EQ(faulted.stats.rank_crashes, 0u);
+  EXPECT_GE(faulted.evicted.size(), 1u);
+  // A hung rank is only declared dead after the full heartbeat timeout
+  // (kHeartbeatTimeout = 5 ms of simulated time), not one interval.
+  EXPECT_GE(faulted.stats.detection_ns,
+            static_cast<std::uint64_t>(sw::kHeartbeatTimeout * 1e9));
+  expect_bit_identical(faulted, clean);
+}
+
+TEST(RankFt, SparePromotionKeepsTheGrid) {
+  const FtResult clean = run_ft(150, nullptr);
+  const FtResult faulted = run_ft(150, kSpareSpec);
+
+  // Both failures were absorbed by hot spares: the compute-rank count (and
+  // with it the decomposition grid) never shrank.
+  EXPECT_EQ(faulted.stats.ranks_evicted, 2u);
+  EXPECT_EQ(faulted.spares_promoted, 2u);
+  EXPECT_EQ(faulted.active, 4);
+  EXPECT_EQ(faulted.world, 6);  // 4 compute + 2 spares from the spec
+  expect_bit_identical(faulted, clean);
+}
+
+TEST(RankFt, PoolSizeInvariance) {
+  // The same chaos spec on 1 vs 8 host threads: identical fault pattern,
+  // identical recovery costs, identical healed state.
+  common::ThreadPool::set_global_size(1);
+  const FtResult a = run_ft(150, kCrashSpec);
+  common::ThreadPool::set_global_size(8);
+  const FtResult b = run_ft(150, kCrashSpec);
+  common::ThreadPool::set_global_size(0);
+
+  EXPECT_EQ(a.stats.rank_crashes, b.stats.rank_crashes);
+  EXPECT_EQ(a.stats.ranks_evicted, b.stats.ranks_evicted);
+  EXPECT_EQ(a.stats.redecompositions, b.stats.redecompositions);
+  EXPECT_EQ(a.stats.detection_ns, b.stats.detection_ns);
+  EXPECT_EQ(a.stats.redecomp_ns, b.stats.redecomp_ns);
+  EXPECT_EQ(a.stats.rollbacks, b.stats.rollbacks);
+  EXPECT_EQ(a.evicted, b.evicted);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  expect_bit_identical(a, b);
+}
+
+TEST(RankFt, AllRanksFailingThrows) {
+  // rank_crash:1 kills every rank on the same step: recovery is impossible
+  // and the driver must say so instead of wedging.
+  EXPECT_THROW((void)run_ft(5, "rank_crash:1,seed:1"), Error);
+}
+
+TEST(RankFt, CoordinatedCheckpointCarriesSurvivorLayout) {
+  const std::string path = ::testing::TempDir() + "/rank_ft.cpt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(io::checkpoint_prev_path(path));
+
+  const FtResult faulted = run_ft(150, kCrashSpec, path);
+  ASSERT_EQ(faulted.evicted, (std::vector<int>{2, 0}));
+
+  // The final checkpoint (step 150) records the post-eviction world.
+  const io::Checkpoint cp = io::read_checkpoint(path);
+  EXPECT_EQ(cp.step, 150);
+  ASSERT_TRUE(cp.has_layout);
+  EXPECT_EQ(cp.layout.world, 4);
+  EXPECT_EQ(cp.layout.active, 2);
+  EXPECT_EQ(cp.layout.px * cp.layout.py * cp.layout.pz, 2);
+  EXPECT_EQ(cp.layout.spares_promoted, 0);
+  ASSERT_EQ(cp.layout.evicted, (std::vector<std::int32_t>{2, 0}));
+  // It restores onto a matching system like any checkpoint.
+  md::System fresh = test::small_water(60, md::CoulombMode::ReactionField, 3);
+  io::apply_checkpoint(cp, fresh);
+
+  // A fault-free multi-rank run writes the same v2 format with a full
+  // (nothing-evicted) layout.
+  const std::string clean_path = ::testing::TempDir() + "/rank_ft_clean.cpt";
+  std::filesystem::remove(clean_path);
+  std::filesystem::remove(io::checkpoint_prev_path(clean_path));
+  (void)run_ft(100, nullptr, clean_path);
+  const io::Checkpoint ccp = io::read_checkpoint(clean_path);
+  ASSERT_TRUE(ccp.has_layout);
+  EXPECT_EQ(ccp.layout.world, 4);
+  EXPECT_EQ(ccp.layout.active, 4);
+  EXPECT_TRUE(ccp.layout.evicted.empty());
+}
+
+}  // namespace
+}  // namespace swgmx

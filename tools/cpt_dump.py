@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Inspect a SW_GROMACS checkpoint file (stdlib only).
+
+Understands both on-disk formats (src/io/checkpoint.cpp):
+  v1 "SWGX CPT2": magic u64, step i64, n u64, crc u32, x[n*12], v[n*12]
+  v2 "SWGX CPT3": magic u64, commit u32 (PEND/COMT), step i64, n u64,
+      crc u32, rank layout (world, active, px, py, pz, spares_promoted,
+      n_evicted, evicted[n_evicted] — all i32), x[n*12], v[n*12]
+All fields little-endian. The payload CRC is IEEE CRC-32 (zlib.crc32) over
+the x bytes then the v bytes.
+
+Prints the header, the rank layout (v2) and the CRC verdict. Exit status:
+0 = healthy, 1 = corrupt / truncated / uncommitted / CRC mismatch, 2 = usage.
+"""
+
+import struct
+import sys
+import zlib
+
+MAGIC_V1 = 0x53574758_43505432
+MAGIC_V2 = 0x53574758_43505433
+PENDING = 0x444E4550  # "PEND"
+COMMITTED = 0x544D4F43  # "COMT"
+
+
+def fail(msg):
+    print(f"cpt_dump: {msg}", file=sys.stderr)
+    return 1
+
+
+def read_exact(f, nbytes, what):
+    data = f.read(nbytes)
+    if len(data) != nbytes:
+        raise EOFError(f"truncated file while reading {what} "
+                       f"(wanted {nbytes} bytes, got {len(data)})")
+    return data
+
+
+def dump(path):
+    with open(path, "rb") as f:
+        (magic,) = struct.unpack("<Q", read_exact(f, 8, "magic"))
+        if magic == MAGIC_V1:
+            version = 1
+        elif magic == MAGIC_V2:
+            version = 2
+        else:
+            return fail(f"{path}: not a SW_GROMACS checkpoint "
+                        f"(magic {magic:#018x})")
+        print(f"file:    {path}")
+        print(f"format:  v{version} "
+              f"({'coordinated, two-phase commit' if version == 2 else 'legacy'})")
+
+        if version == 2:
+            (commit,) = struct.unpack("<I", read_exact(f, 4, "commit marker"))
+            if commit == COMMITTED:
+                print("commit:  COMMITTED")
+            elif commit == PENDING:
+                print("commit:  PENDING")
+                return fail(f"{path}: uncommitted (torn) coordinated "
+                            "checkpoint")
+            else:
+                return fail(f"{path}: unrecognized commit marker "
+                            f"{commit:#010x}")
+
+        step, n, crc_stored = struct.unpack(
+            "<qQI", read_exact(f, 20, "step/count/crc header"))
+        if n == 0 or n >= 1 << 32:
+            return fail(f"{path}: implausible particle count {n}")
+        print(f"step:    {step}")
+        print(f"n:       {n} particles")
+
+        if version == 2:
+            world, active, px, py, pz, spares, n_evicted = struct.unpack(
+                "<7i", read_exact(f, 28, "rank layout"))
+            evicted = list(struct.unpack(
+                f"<{n_evicted}i",
+                read_exact(f, 4 * n_evicted, "evicted-rank list"))) \
+                if 0 <= n_evicted < 1 << 16 else None
+            if evicted is None:
+                return fail(f"{path}: implausible evicted-rank count "
+                            f"{n_evicted}")
+            print(f"layout:  world={world} active={active} "
+                  f"grid={px}x{py}x{pz} spares_promoted={spares}")
+            print(f"evicted: {evicted if evicted else '(none)'}")
+            if not (1 <= active <= world and px * py * pz == active
+                    and n_evicted < world):
+                return fail(f"{path}: inconsistent rank layout")
+
+        xbytes = read_exact(f, 12 * n, "positions")
+        vbytes = read_exact(f, 12 * n, "velocities")
+        if f.read(1):
+            return fail(f"{path}: trailing bytes after payload")
+
+    crc = zlib.crc32(vbytes, zlib.crc32(xbytes))
+    verdict = "OK" if crc == crc_stored else "MISMATCH"
+    print(f"crc:     stored {crc_stored:#010x}, computed {crc:#010x} "
+          f"[{verdict}]")
+    if crc != crc_stored:
+        return fail(f"{path}: payload CRC mismatch (corrupt file)")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        print("\nusage: cpt_dump.py <checkpoint>", file=sys.stderr)
+        return 2
+    try:
+        return dump(argv[1])
+    except (EOFError, OSError, struct.error) as e:
+        return fail(f"{argv[1]}: {e}")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
