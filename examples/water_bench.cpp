@@ -5,6 +5,13 @@
 //
 //   ./water_bench [particles] [strategy] [steps] [pme|rf]
 //   strategies: ori pkg cache vec mark rca collect
+//
+//   ./water_bench ab [particles] [ranks] [steps]
+//     Overlap-engine A/B: the same multi-rank PME run with SWGMX_OVERLAP
+//     off then on. Asserts bit-identical trajectories and a faster
+//     overlapped run; emits water_bench/overlap/{serial,overlapped} BENCH
+//     lines (CI collects them into BENCH_overlap.json).
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -17,10 +24,109 @@
 #include "core/sw_short_range.hpp"
 #include "md/simulation.hpp"
 #include "md/water.hpp"
+#include "net/parallel_sim.hpp"
 #include "pme/pme.hpp"
+
+namespace {
+
+int run_overlap_ab(int argc, char** argv) {
+  using namespace swgmx;
+  const std::size_t particles =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 96000;
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int nsteps = argc > 4 ? std::atoi(argv[4]) : 10;
+  // Partition ratio: 0 auto-balances, -1 never splits, >0 pins the
+  // short-range CPE count.
+  const int sr_cpes = argc > 5 ? std::atoi(argv[5]) : 0;
+
+  std::cout << "overlap A/B: " << particles << " particles, " << ranks
+            << " simulated ranks, " << nsteps << " steps, mark kernel + PME "
+            << "offload\n";
+
+  auto run_once = [&](bool overlap, AlignedVector<Vec3f>& x_out,
+                      double& total_s, double& wall_s) {
+    // The DMA-pipeline gate inside the kernels reads the global flag, so the
+    // A/B pins it alongside the per-run option.
+    sw::set_overlap_enabled(overlap);
+    md::System sys =
+        bench::water_particles(particles, md::CoulombMode::EwaldShort);
+    sw::CoreGroup cg;
+    auto sr = core::make_short_range(core::Strategy::Mark, cg);
+    core::CpePairList pl(cg);
+    pme::PmeSolver pme_solver(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+    pme_solver.set_accelerated(true);
+    net::ParallelOptions popt;
+    popt.nranks = ranks;
+    popt.sim.nstenergy = nsteps;
+    popt.sim.overlap = overlap;
+    popt.sim.overlap_sr_cpes = sr_cpes;
+    net::ParallelSim sim(std::move(sys), popt, *sr, pl, &pme_solver);
+    bench::WallTimer wall;
+    sim.run(nsteps);
+    wall_s = wall.seconds();
+    x_out.assign(sim.system().x.begin(), sim.system().x.end());
+    total_s = sim.total_seconds();
+  };
+
+  AlignedVector<Vec3f> x_serial, x_overlap;
+  double serial_s = 0.0, overlap_s = 0.0;
+  double serial_wall = 0.0, overlap_wall = 0.0;
+  run_once(false, x_serial, serial_s, serial_wall);
+  run_once(true, x_overlap, overlap_s, overlap_wall);
+  sw::set_overlap_enabled(true);  // restore the default for artifact hooks
+
+  const bool identical =
+      x_serial.size() == x_overlap.size() &&
+      std::memcmp(x_serial.data(), x_overlap.data(),
+                  x_serial.size() * sizeof(Vec3f)) == 0;
+  const double speedup = overlap_s > 0.0 ? serial_s / overlap_s : 0.0;
+  const obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+
+  std::cout << "serial (SWGMX_OVERLAP=0): " << serial_s * 1e3
+            << " ms simulated\noverlapped:               " << overlap_s * 1e3
+            << " ms simulated\nspeedup " << speedup << "x, trajectories "
+            << (identical ? "bit-identical" : "DIVERGED") << "\n"
+            << "hidden: " << mx.value("overlap/hidden_seconds") * 1e3
+            << " ms graph, " << mx.value("overlap/hidden_comm_seconds") * 1e3
+            << " ms comm, " << mx.value("overlap/dma_hidden_seconds") * 1e3
+            << " ms DMA (CPE-seconds)\n";
+
+  bench::bench_json("water_bench/overlap/serial",
+                    {{"sim_seconds", serial_s}, {"wall_seconds", serial_wall}});
+  bench::bench_json(
+      "water_bench/overlap/overlapped",
+      {{"sim_seconds", overlap_s},
+       {"wall_seconds", overlap_wall},
+       {"speedup", speedup},
+       {"bit_identical", identical ? 1.0 : 0.0},
+       {"hidden_seconds", mx.value("overlap/hidden_seconds")},
+       {"hidden_comm_seconds", mx.value("overlap/hidden_comm_seconds")},
+       {"dma_hidden_seconds", mx.value("overlap/dma_hidden_seconds")},
+       {"partition_idle_seconds",
+        mx.value("overlap/partition_idle_seconds")},
+       {"partition_imbalance", mx.value("overlap/partition_imbalance")}});
+  bench::write_observability_artifacts();
+
+  if (!identical) {
+    std::cerr << "FAIL: overlapped trajectory diverged from serial\n";
+    return 1;
+  }
+  if (overlap_s >= serial_s) {
+    std::cerr << "FAIL: overlap engine did not reduce modeled step time ("
+              << overlap_s << " s vs " << serial_s << " s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace swgmx;
+
+  if (argc > 1 && std::strcmp(argv[1], "ab") == 0) {
+    return run_overlap_ab(argc, argv);
+  }
 
   const std::size_t particles =
       argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12000;

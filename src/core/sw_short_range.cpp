@@ -297,6 +297,18 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
 
   last_ = ShortRangeBreakdown{};
 
+  // Overlap engine: apply this backend's mesh slice for the duration of its
+  // launches and run the explicit double-buffer DMA pipeline. The pipeline
+  // refunds transfer cycles that fit under the compute issued since the
+  // previous transfer, *before* the in-kernel instruction-overlap factor
+  // applies — the two model different mechanisms (prefetch across tiles vs
+  // ld/st-compute dual issue within a tile) and compose. Only the
+  // vectorized rungs pipeline — the scalar rungs model the pre-"full
+  // pipeline" kernels.
+  const bool pipelined = sw::overlap_enabled() && flags_.vectorized;
+  const sw::CpePartition saved_part = cg_->partition();
+  cg_->set_partition(part_);
+
   // 1. MPE-side aggregation (Fig 2): stream every particle's fields once.
   const double nslots = static_cast<double>(packed.nslots());
   last_.aggregate_s = cg_->mpe_seconds(nslots * 6.0, nslots * 2.0);
@@ -325,6 +337,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   std::vector<CpeEnergies> e_cpe(static_cast<std::size_t>(ncpe));
   const std::vector<int> bounds = balance_rows(list, ncl, ncpe);
   const auto fst = cg_->run([&](sw::CpeContext& ctx) {
+    if (pipelined) ctx.set_dma_pipeline(true);
     const int cpe = ctx.id();
     const int lo = bounds[static_cast<std::size_t>(cpe)];
     const int hi = bounds[static_cast<std::size_t>(cpe) + 1];
@@ -424,8 +437,10 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
     sink.flush();
     e_cpe[static_cast<std::size_t>(cpe)] = eng;
   },
-  // The Vec/Mark rungs double-buffer their DMA streams ("full pipeline
-  // acceleration"); the scalar rungs issue blocking transfers.
+  // The Vec/Mark rungs dual-issue loads and arithmetic ("full pipeline
+  // acceleration"); the scalar rungs stall on every memory op. The factor
+  // is charged on the post-refund counters, so the prefetch pipeline can
+  // only tighten the vectorized model, never loosen it.
   flags_.vectorized ? 0.8 : 0.0, "sr/force");
   last_.force_s = fst.sim_seconds;
   last_.force = fst;
@@ -434,6 +449,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   // copies are fetched, summed, and written to f_slots.
   const std::size_t total_slots = cs.nslots();
   const auto rst = cg_->run([&](sw::CpeContext& ctx) {
+    if (pipelined) ctx.set_dma_pipeline(true);
     const int cpe = ctx.id();
     const int l_lo = nlines * cpe / ncpe;
     const int l_hi = nlines * (cpe + 1) / ncpe;
@@ -496,6 +512,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   }, 0.0, "sr/reduce");
   last_.reduce_s = rst.sim_seconds;
   last_.reduce = rst;
+  cg_->set_partition(saved_part);
 
   for (const auto& ec : e_cpe) {
     e.lj += ec.lj;

@@ -60,6 +60,13 @@ class SwShortRange final : public md::ShortRangeBackend {
                  const md::ClusterPairList& list, const md::NbParams& p,
                  std::span<Vec3f> f_slots, md::NbEnergies& e) override;
 
+  [[nodiscard]] bool uses_cpes() const override { return true; }
+  /// Stash the mesh slice; applied around this backend's launches inside
+  /// compute() (the CoreGroup may be shared with other backends).
+  void set_cpe_partition(const sw::CpePartition& part) override {
+    part_ = part;
+  }
+
   [[nodiscard]] const ShortRangeBreakdown& last() const { return last_; }
 
  private:
@@ -67,6 +74,7 @@ class SwShortRange final : public md::ShortRangeBackend {
   Flags flags_;
   SwKernelOptions opt_;
   std::string name_;
+  sw::CpePartition part_;
   std::optional<ForceCopySet> copies_;
   ShortRangeBreakdown last_;
 };

@@ -27,6 +27,12 @@ class ShortRangeBackend {
   virtual double compute(const ClusterSystem& cs, const Box& box,
                          const ClusterPairList& list, const NbParams& p,
                          std::span<Vec3f> f_slots, NbEnergies& e) = 0;
+  /// True when compute() launches CPE kernels, i.e. the overlap engine may
+  /// hand this backend a slice of the mesh via set_cpe_partition().
+  [[nodiscard]] virtual bool uses_cpes() const { return false; }
+  /// Restrict this backend's launches to a mesh slice (overlap engine; an
+  /// inactive partition restores the whole mesh). Default: ignore.
+  virtual void set_cpe_partition(const sw::CpePartition& /*part*/) {}
 };
 
 /// Builds the cluster pair list (every nstlist steps).
@@ -50,6 +56,9 @@ class LongRangeBackend {
   /// Adds reciprocal-space + correction forces into sys.f; returns simulated
   /// seconds and writes the reciprocal energy (incl. self/excluded terms).
   virtual double compute(System& sys, double& e_recip) = 0;
+  /// See ShortRangeBackend::uses_cpes / set_cpe_partition.
+  [[nodiscard]] virtual bool uses_cpes() const { return false; }
+  virtual void set_cpe_partition(const sw::CpePartition& /*part*/) {}
 };
 
 /// Trajectory sink (implemented in src/io).

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
+#include "md/taskgraph.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -51,6 +52,10 @@ void Simulation::neighbor_search() {
 }
 
 void Simulation::compute_forces() {
+  if (opt_.overlap) {
+    compute_forces_overlapped();
+    return;
+  }
   sys_.clear_forces();
 
   // "NB X buffer ops": refresh package coordinates from the system.
@@ -98,6 +103,129 @@ void Simulation::compute_forces() {
     timers_.add(phase::kForce, lr_secs);
     obs::mpe_phase_span(phase::kForce, lr_secs, t_lr,
                         "{\"part\":\"long_range\"}");
+  }
+}
+
+void Simulation::compute_forces_overlapped() {
+  // Identical physics in the identical host execution order as
+  // compute_forces(); only the *scheduling* of the simulated costs differs:
+  // each phase becomes a StepGraph node, short-range and PME run on
+  // concurrent CPE partitions, and the MPE phases slot around them. The
+  // trace clock seeks to each node's scheduled start before the phase runs
+  // so its spans land on the overlapped timeline.
+  sys_.clear_forces();
+  clusters_->update_positions(sys_);
+  const double n = static_cast<double>(clusters_->nslots());
+
+  std::fill(f_slots_.begin(), f_slots_.end(), Vec3f{});
+  last_nb_ = NbEnergies{};
+  const NbParams params = make_nb_params(*sys_.ff);
+
+  obs::TraceSession& tr = obs::TraceSession::global();
+  StepGraph g(tr.now_ns() / 1e9);
+
+  // Partition the mesh only when both backends launch CPE kernels; a lone
+  // CPE backend keeps the whole mesh (the overlap then comes from MPE
+  // phases and the DMA pipeline). In auto mode the planner probes split
+  // and unsplit schedules and commits to the measured winner.
+  const bool sr_cpe = sr_->uses_cpes();
+  const bool lr_cpe = lr_ != nullptr && lr_->uses_cpes();
+  const int ncpe = opt_.cfg.cpe_count;
+  const int plan_cpes = sr_cpe && lr_cpe && opt_.overlap_sr_cpes >= 0
+                            ? planner_.plan(ncpe, opt_.overlap_sr_cpes)
+                            : 0;
+  const bool split = plan_cpes > 0;
+  const int sr_cpes = split ? plan_cpes : ncpe;
+  if (split) {
+    sr_->set_cpe_partition({0, sr_cpes, 0, "sr"});
+    lr_->set_cpe_partition({sr_cpes, ncpe - sr_cpes, 1, "pme"});
+  } else {
+    if (sr_cpe) sr_->set_cpe_partition({});
+    if (lr_cpe) lr_->set_cpe_partition({});
+  }
+  // Without a split, both CPE backends run (serially) on the whole mesh:
+  // they must share one graph resource or the mesh would be double-charged.
+  const int res_sr = sr_cpe ? kResCpeA : kResMpe;
+  const int res_lr = lr_cpe ? (split ? kResCpeB : kResCpeA) : kResMpe;
+
+  // Short-range nonbonded (CPE partition A, or the MPE).
+  tr.seek_ns(g.ready_at(res_sr) * 1e9);
+  if (res_sr != kResMpe) {
+    tr.set_thread_name(obs::kPidSim, obs::stream_tid(0), "stream sr");
+    tr.set_mpe_redirect(obs::stream_tid(0));
+  }
+  const double t_sr = tr.now_ns();
+  const double force_secs =
+      sr_->compute(*clusters_, sys_.box, list_, params, f_slots_, last_nb_);
+  obs::mpe_phase_span(phase::kForce, force_secs, t_sr,
+                      "{\"part\":\"short_range\"}");
+  tr.set_mpe_redirect(-1);
+  const int n_sr = g.add(phase::kForce, res_sr, force_secs, {}, 2);
+
+  // Force scatter (MPE, needs the short-range forces).
+  tr.seek_ns(g.ready_at(kResMpe, {n_sr}) * 1e9);
+  clusters_->scatter_forces(f_slots_, sys_);
+  const double buffer_secs =
+      mpe_secs(opt_.cfg, n * 8.0, n * 2.0) / opt_.buffer_speedup;
+  obs::mpe_phase_span(phase::kBufferOps, buffer_secs);
+  g.add(phase::kBufferOps, kResMpe, buffer_secs, {n_sr}, 1);
+
+  // Bonded terms (MPE; independent of short-range).
+  tr.seek_ns(g.ready_at(kResMpe) * 1e9);
+  last_bonded_ = compute_bonded(sys_);
+  const double nbonded =
+      static_cast<double>(sys_.top.bonds.size()) * BondedOpCounts::kPerBond +
+      static_cast<double>(sys_.top.angles.size()) * BondedOpCounts::kPerAngle +
+      static_cast<double>(sys_.top.dihedrals.size()) *
+          BondedOpCounts::kPerDihedral;
+  const double bonded_secs = mpe_secs(opt_.cfg, nbonded, nbonded * 0.2);
+  obs::mpe_phase_span(phase::kForce, bonded_secs, -1.0,
+                      "{\"part\":\"bonded\"}");
+  g.add(phase::kForce, kResMpe, bonded_secs, {}, 1);
+
+  // Long-range electrostatics (CPE partition B when offloaded).
+  last_longrange_ = 0.0;
+  double lr_secs = 0.0;
+  int n_lr = -1;
+  if (lr_ != nullptr) {
+    tr.seek_ns(g.ready_at(res_lr) * 1e9);
+    if (res_lr != kResMpe) {
+      tr.set_thread_name(obs::kPidSim, obs::stream_tid(1), "stream pme");
+      tr.set_mpe_redirect(obs::stream_tid(1));
+    }
+    const double t_lr = tr.now_ns();
+    lr_secs = lr_->compute(sys_, last_longrange_);
+    obs::mpe_phase_span(phase::kForce, lr_secs, t_lr,
+                        "{\"part\":\"long_range\"}");
+    tr.set_mpe_redirect(-1);
+    n_lr = g.add(phase::kForce, res_lr, lr_secs, {}, 2);
+  }
+
+  // The force section ends when every node has finished; phase timers get
+  // the exposed-time attribution so they sum to the overlapped makespan.
+  tr.seek_ns(g.end_seconds() * 1e9);
+  g.charge(timers_);
+
+  auto& m = obs::MetricsRegistry::global();
+  if (g.hidden_seconds() > 0.0) {
+    m.counter_add("overlap/hidden_seconds", g.hidden_seconds());
+  }
+  if (split && n_lr >= 0) {
+    const double d_sr = g.finish_of(n_sr) - g.start_of(n_sr);
+    const double d_lr = g.finish_of(n_lr) - g.start_of(n_lr);
+    m.counter_add("overlap/partition_idle_seconds",
+                  std::abs(g.finish_of(n_sr) - g.finish_of(n_lr)));
+    if (d_sr > 0.0 && d_lr > 0.0) {
+      m.gauge_set("overlap/partition_imbalance",
+                  std::max(d_sr, d_lr) / std::min(d_sr, d_lr));
+    }
+  }
+
+  // Feed the planner with this step's per-stream work so the next step's
+  // split decision and balance track the measurements.
+  if (sr_cpe && lr_cpe) {
+    planner_.observe(split, force_secs, split ? sr_cpes : ncpe, lr_secs,
+                     split ? ncpe - sr_cpes : ncpe);
   }
 }
 

@@ -12,6 +12,7 @@
 #include "md/bonded.hpp"
 #include "md/constraints.hpp"
 #include "md/integrator.hpp"
+#include "md/taskgraph.hpp"
 #include "sw/perf.hpp"
 
 namespace swgmx::md {
@@ -41,6 +42,19 @@ struct SimOptions {
   double update_speedup = 1.0;
   double constraint_speedup = 1.0;
   double buffer_speedup = 1.0;
+  // --- asynchronous overlap engine (DESIGN.md §2.10) ---
+  /// Schedule each step's force phases as a task graph (concurrent CPE
+  /// partitions + hidden communication) instead of the serial sum. Physics
+  /// and trajectories are bit-identical either way; only the simulated
+  /// clock, timers and trace change. Defaults to SWGMX_OVERLAP.
+  bool overlap = sw::overlap_enabled();
+  /// CPEs given to short-range when both short-range and PME run on the
+  /// mesh. 0 (auto): the planner probes split and unsplit schedules and
+  /// commits to the measured winner, auto-balancing the ratio on the
+  /// previous step's work. -1: never split — the kernels run back-to-back
+  /// on the whole mesh and the overlap comes from hidden communication,
+  /// MPE phases and the DMA pipeline. > 0: pin the short-range CPE count.
+  int overlap_sr_cpes = 0;
   // --- robustness / self-healing knobs ---
   int checkpoint_every = 0;        ///< steps between on-disk checkpoints (0 = off)
   std::string checkpoint_path;     ///< base .cpt path; a `_prev` sibling is kept
@@ -106,6 +120,10 @@ class Simulation {
   void neighbor_search();
   /// All force terms; fills last_* energy fields.
   void compute_forces();
+  /// Overlap-engine variant: same force phases in the same host execution
+  /// order, but modeled as a StepGraph (short-range and PME on concurrent
+  /// CPE partitions, MPE phases slotted around them).
+  void compute_forces_overlapped();
   void take_snapshot();
   /// Deterministically corrupt a force (FaultKind::NumericKick), modeling an
   /// undetected upstream corruption that escaped the DMA CRC.
@@ -150,6 +168,10 @@ class Simulation {
   NbEnergies last_nb_;
   BondedEnergies last_bonded_;
   double last_longrange_ = 0.0;
+
+  /// Split/no-split and ratio decisions for the overlap engine's CPE
+  /// partitions, probing on measured per-stream seconds.
+  PartitionPlanner planner_;
 };
 
 }  // namespace swgmx::md

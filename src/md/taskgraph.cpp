@@ -1,0 +1,168 @@
+#include "md/taskgraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace swgmx::md {
+
+StepGraph::StepGraph(double t0_seconds, bool serialize)
+    : t0_(t0_seconds), serialize_(serialize) {
+  avail_.fill(t0_seconds);
+}
+
+double StepGraph::ready_at(int resource,
+                           const std::vector<int>& deps) const {
+  SWGMX_CHECK_MSG(resource >= 0 && resource < kResCount,
+                  "step-graph resource out of range");
+  if (serialize_) return end_seconds();
+  double t = avail_[static_cast<std::size_t>(resource)];
+  for (const int d : deps) {
+    SWGMX_CHECK_MSG(d >= 0 && static_cast<std::size_t>(d) < nodes_.size(),
+                    "step-graph dependency on unknown node");
+    t = std::max(t, nodes_[static_cast<std::size_t>(d)].finish);
+  }
+  return t;
+}
+
+int StepGraph::add(const std::string& phase, int resource, double seconds,
+                   const std::vector<int>& deps, int priority) {
+  const double start = ready_at(resource, deps);
+  Node n;
+  n.phase = phase;
+  n.resource = resource;
+  n.start = start;
+  n.finish = start + std::max(0.0, seconds);
+  n.priority = priority;
+  nodes_.push_back(std::move(n));
+  avail_[static_cast<std::size_t>(resource)] = nodes_.back().finish;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+double StepGraph::start_of(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).start;
+}
+
+double StepGraph::finish_of(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).finish;
+}
+
+double StepGraph::end_seconds() const {
+  double e = t0_;
+  for (const Node& n : nodes_) e = std::max(e, n.finish);
+  return e;
+}
+
+double StepGraph::makespan() const { return end_seconds() - t0_; }
+
+double StepGraph::serial_total() const {
+  double s = 0.0;
+  for (const Node& n : nodes_) s += n.finish - n.start;
+  return s;
+}
+
+double StepGraph::hidden_seconds() const {
+  return std::max(0.0, serial_total() - makespan());
+}
+
+std::vector<double> StepGraph::exposed() const {
+  std::vector<double> out(nodes_.size(), 0.0);
+  if (nodes_.empty()) return out;
+  // Elementary intervals between consecutive node boundaries. Every start
+  // equals t0 or an earlier finish/avail time, so the timeline has no idle
+  // gaps and the per-interval winners partition the whole makespan.
+  std::vector<double> cuts;
+  cuts.reserve(nodes_.size() * 2 + 1);
+  cuts.push_back(t0_);
+  for (const Node& n : nodes_) {
+    cuts.push_back(n.start);
+    cuts.push_back(n.finish);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double lo = cuts[i];
+    const double hi = cuts[i + 1];
+    int winner = -1;
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      const Node& n = nodes_[j];
+      if (n.start > lo || n.finish < hi) continue;
+      if (winner < 0 ||
+          n.priority > nodes_[static_cast<std::size_t>(winner)].priority) {
+        winner = static_cast<int>(j);
+      }
+    }
+    if (winner >= 0) out[static_cast<std::size_t>(winner)] += hi - lo;
+  }
+  return out;
+}
+
+void StepGraph::charge(sw::PhaseTimers& timers) const {
+  const std::vector<double> ex = exposed();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (ex[i] > 0.0) timers.add(nodes_[i].phase, ex[i]);
+  }
+}
+
+int balance_sr_cpes(int ncpe, int requested, double prev_sr_s,
+                    int prev_sr_cpes, double prev_pme_s, int prev_pme_cpes) {
+  const int g = std::max(1, ncpe / 16);  // granule: 4 for the 64-CPE mesh
+  const int lo = 2 * g;
+  const int hi = ncpe - 2 * g;
+  int m;
+  if (requested > 0) {
+    m = requested;
+  } else if (prev_sr_s > 0.0 && prev_pme_s > 0.0 && prev_sr_cpes > 0 &&
+             prev_pme_cpes > 0) {
+    // Equalize finish times: give each side CPEs in proportion to its work
+    // (previous seconds x CPEs it ran on).
+    const double sr_work = prev_sr_s * prev_sr_cpes;
+    const double pme_work = prev_pme_s * prev_pme_cpes;
+    m = static_cast<int>(
+        std::lround(ncpe * sr_work / (sr_work + pme_work)));
+  } else {
+    m = ncpe * 3 / 4;  // first step: short-range usually dominates
+  }
+  m = (m + g / 2) / g * g;
+  return std::clamp(m, lo, hi);
+}
+
+int PartitionPlanner::plan(int ncpe, int requested) {
+  const int step = calls_++;
+  if (requested > 0) {
+    return balance_sr_cpes(ncpe, requested, prev_sr_s_, prev_sr_cpes_,
+                           prev_pme_s_, prev_pme_cpes_);
+  }
+  if (requested < 0) return 0;
+  const int phase = step % kProbePeriod;
+  bool split;
+  if (phase == 0) {
+    split = false;  // unsplit probe
+  } else if (phase == 1) {
+    split = true;  // split probe, balanced on the probe step's measurements
+  } else {
+    split = split_score_ >= 0.0 && nosplit_score_ >= 0.0 &&
+            split_score_ < nosplit_score_;
+  }
+  if (!split) return 0;
+  return balance_sr_cpes(ncpe, 0, prev_sr_s_, prev_sr_cpes_, prev_pme_s_,
+                         prev_pme_cpes_);
+}
+
+void PartitionPlanner::observe(bool split, double sr_s, int sr_cpes,
+                               double pme_s, int pme_cpes) {
+  prev_sr_s_ = sr_s;
+  prev_sr_cpes_ = sr_cpes;
+  prev_pme_s_ = pme_s;
+  prev_pme_cpes_ = pme_cpes;
+  // The CPE section's makespan contribution: concurrent partitions finish
+  // at the slower side; an unsplit mesh runs the kernels back to back.
+  if (split) {
+    split_score_ = std::max(sr_s, pme_s);
+  } else {
+    nosplit_score_ = sr_s + pme_s;
+  }
+}
+
+}  // namespace swgmx::md

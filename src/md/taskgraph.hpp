@@ -1,0 +1,131 @@
+// StepGraph: the per-step task graph of the asynchronous overlap engine
+// (DESIGN.md §2.10).
+//
+// One MD step is a small DAG of phase nodes, each occupying one execution
+// resource (MPE, a CPE partition, the interconnect). The driver still
+// *executes* the phases sequentially in the engine's fixed order — physics
+// and message ordinals never depend on the schedule — but the *simulated*
+// start of each node is scheduled as max(resource available, dependency
+// finishes). Scheduling is incremental: `ready_at()` answers before the
+// phase runs, so the driver can seek the trace clock to the node's start,
+// execute the phase (its spans land at the scheduled time), then `add()`
+// the node with the measured duration. The step's modeled time is the
+// makespan; `serialize` mode chains every node and degenerates to the
+// legacy sum, which is the SWGMX_OVERLAP=0 baseline.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sw/perf.hpp"
+
+namespace swgmx::md {
+
+/// Execution resources a step-graph node can occupy. Nodes on the same
+/// resource serialize; nodes on different resources overlap (subject to
+/// dependencies).
+enum StepResource : int {
+  kResMpe = 0,   ///< management core: serial host-side phases
+  kResCpeA = 1,  ///< first CPE partition (or the whole mesh)
+  kResCpeB = 2,  ///< second CPE partition
+  kResNet = 3,   ///< interconnect: halo / all-to-all / all-reduce latency
+  kResCount = 4,
+};
+
+class StepGraph {
+ public:
+  /// `t0_seconds` anchors the step on the simulated timeline; `serialize`
+  /// chains every node regardless of resources/dependencies.
+  explicit StepGraph(double t0_seconds = 0.0, bool serialize = false);
+
+  /// Scheduled start for a node on `resource` depending on `deps` (node ids
+  /// from earlier add() calls), were it added now. Absolute seconds.
+  [[nodiscard]] double ready_at(int resource,
+                                const std::vector<int>& deps = {}) const;
+
+  /// Schedule a node; returns its id. `priority` steers the exposed-time
+  /// attribution in charge() — when several nodes overlap, the highest
+  /// priority one (ties: lowest id) absorbs the wall time.
+  int add(const std::string& phase, int resource, double seconds,
+          const std::vector<int>& deps = {}, int priority = 0);
+
+  [[nodiscard]] double start_of(int node) const;
+  [[nodiscard]] double finish_of(int node) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Absolute end of the step (max finish; t0 when empty).
+  [[nodiscard]] double end_seconds() const;
+  /// Modeled step-section time: end - t0.
+  [[nodiscard]] double makespan() const;
+  /// Sum of node durations — what the legacy serial model would charge.
+  [[nodiscard]] double serial_total() const;
+  /// Time the schedule hid relative to the serial model (>= 0).
+  [[nodiscard]] double hidden_seconds() const;
+
+  /// Exposed seconds per node: the makespan is partitioned over elementary
+  /// intervals, each charged to the highest-priority node active on it.
+  /// Exposed times sum to makespan(); a fully-hidden node gets 0.
+  [[nodiscard]] std::vector<double> exposed() const;
+
+  /// Fold each node's exposed seconds into `timers` under its phase name,
+  /// so the breakdown sums to the overlapped step time and hidden
+  /// communication vanishes from the comm phases.
+  void charge(sw::PhaseTimers& timers) const;
+
+ private:
+  struct Node {
+    std::string phase;
+    int resource = kResMpe;
+    double start = 0.0;
+    double finish = 0.0;
+    int priority = 0;
+  };
+
+  double t0_;
+  bool serialize_;
+  std::vector<Node> nodes_;
+  std::array<double, kResCount> avail_{};  ///< per-resource next-free time
+};
+
+/// Pick the short-range share of a partitioned CPE mesh. `requested` > 0
+/// pins the split (rounded to the mesh granule and clamped so both sides
+/// keep at least two granules); otherwise the split auto-balances on the
+/// previous step's work (seconds x CPEs per side), starting from 3/4 of the
+/// mesh when no history exists.
+[[nodiscard]] int balance_sr_cpes(int ncpe, int requested, double prev_sr_s,
+                                  int prev_sr_cpes, double prev_pme_s,
+                                  int prev_pme_cpes);
+
+/// Per-step mesh-partition policy. A pinned request (> 0) always splits at
+/// that ratio; a negative request never splits. In auto mode (0) the planner
+/// probes: the first step of every probe window runs unsplit, the second
+/// runs split at the work-balanced ratio, and the remaining steps commit to
+/// whichever configuration measured the shorter CPE section. Splitting packs
+/// 64 virtual invocations onto fewer slots (ceil rounding) and duplicates
+/// gld latency, so it is not always a win — the probe finds out instead of
+/// assuming. All inputs are deterministic simulated seconds, so the decision
+/// sequence is bit-stable across host thread counts.
+class PartitionPlanner {
+ public:
+  /// Steps between probe refreshes of both configurations.
+  static constexpr int kProbePeriod = 32;
+
+  /// Short-range CPE count for this step (0 = run unsplit). Advances the
+  /// planner's step counter.
+  [[nodiscard]] int plan(int ncpe, int requested);
+
+  /// Report the step's measured per-stream CPE seconds and the CPE counts
+  /// each side ran on (the whole mesh when unsplit).
+  void observe(bool split, double sr_s, int sr_cpes, double pme_s,
+               int pme_cpes);
+
+ private:
+  int calls_ = 0;
+  double split_score_ = -1.0;    ///< CPE-section seconds, last split step
+  double nosplit_score_ = -1.0;  ///< CPE-section seconds, last unsplit step
+  double prev_sr_s_ = 0.0, prev_pme_s_ = 0.0;
+  int prev_sr_cpes_ = 0, prev_pme_cpes_ = 0;
+};
+
+}  // namespace swgmx::md

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
+#include "md/taskgraph.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -141,8 +142,16 @@ void ParallelSim::trace_rank_exchange(const char* name, double seconds,
                                       bool gather_to_rank0) {
   obs::TraceSession& tr = obs::TraceSession::global();
   if (!tr.enabled()) return;
+  trace_rank_exchange_at(name, tr.now_ns(), seconds, gather_to_rank0);
+  tr.advance_to_ns(tr.now_ns() + seconds * 1e9);
+}
+
+void ParallelSim::trace_rank_exchange_at(const char* name, double t0_ns,
+                                         double seconds, bool gather_to_rank0) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
   const int R = nactive();
-  const double t0 = tr.now_ns();
+  const double t0 = t0_ns;
   const double t1 = t0 + seconds * 1e9;
   std::ostringstream args;
   args << "{\"transport\":\"" << obs::json_escape(transport_->name())
@@ -168,7 +177,6 @@ void ParallelSim::trace_rank_exchange(const char* name, double seconds,
     tr.flow_end(obs::rank_pid(active_[static_cast<std::size_t>(to)]), 0, name,
                 t1, id);
   }
-  tr.advance_to_ns(t1);
 }
 
 void ParallelSim::finish_step_trace(double step_t0, std::int64_t step_at_entry,
@@ -415,6 +423,12 @@ void ParallelSim::step() {
     return;
   }
 
+  md::NbEnergies nb_e;
+  md::BondedEnergies bonded_e;
+  double e_long = 0.0;
+  if (opt_.sim.overlap) {
+    compute_forces_overlapped(R, n, nb_e, bonded_e, e_long);
+  } else {
   // Position halo exchange before the force computation (staged pulses:
   // 2 per decomposed dimension, corners forwarded — GROMACS DD style).
   if (R > 1) {
@@ -432,7 +446,6 @@ void ParallelSim::step() {
   sys_.clear_forces();
   clusters_->update_positions(sys_);
   std::fill(f_slots_.begin(), f_slots_.end(), Vec3f{});
-  md::NbEnergies nb_e;
   const md::NbParams params = make_nb_params(*sys_.ff);
   const double t_force0 = tr.now_ns();
   const double force_global =
@@ -463,9 +476,8 @@ void ParallelSim::step() {
   clusters_->scatter_forces(f_slots_, sys_);
   timers_.add(kBufferOps, mpe_secs(n * 8.0, n * 2.0) / R);
 
-  const md::BondedEnergies bonded_e = md::compute_bonded(sys_);
+  bonded_e = md::compute_bonded(sys_);
 
-  double e_long = 0.0;
   if (lr_ != nullptr) {
     const double pme_s = lr_->compute(sys_, e_long);
     timers_.add(kForce, pme_s / R);
@@ -491,6 +503,7 @@ void ParallelSim::step() {
     timers_.add(kWaitCommF, halo_s);
     trace_rank_exchange("halo_f", halo_s, false);
   }
+  }  // !opt_.sim.overlap
 
   if (faults) inject_numeric_fault();
 
@@ -558,6 +571,173 @@ void ParallelSim::step() {
   }
   maybe_write_checkpoint();
   finish_step_trace(step_t0, step_at_entry, rebuild_step);
+}
+
+void ParallelSim::compute_forces_overlapped(int R, double n,
+                                            md::NbEnergies& nb_e,
+                                            md::BondedEnergies& bonded_e,
+                                            double& e_long) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  md::StepGraph g(tr.now_ns() / 1e9);
+
+  // CPE mesh partitioning (same policy as the single-rank engine): split
+  // only when both backends launch CPE kernels, probing split vs unsplit
+  // schedules in auto mode and committing to the measured winner.
+  const bool sr_cpe = sr_->uses_cpes();
+  const bool lr_cpe = lr_ != nullptr && lr_->uses_cpes();
+  const int ncpe = opt_.sim.cfg.cpe_count;
+  const int plan_cpes = sr_cpe && lr_cpe && opt_.sim.overlap_sr_cpes >= 0
+                            ? planner_.plan(ncpe, opt_.sim.overlap_sr_cpes)
+                            : 0;
+  const bool split = plan_cpes > 0;
+  const int sr_cpes = split ? plan_cpes : ncpe;
+  if (split) {
+    sr_->set_cpe_partition({0, sr_cpes, 0, "sr"});
+    lr_->set_cpe_partition({sr_cpes, ncpe - sr_cpes, 1, "pme"});
+  } else {
+    if (sr_cpe) sr_->set_cpe_partition({});
+    if (lr_cpe) lr_->set_cpe_partition({});
+  }
+  // Without a split, both CPE backends run (serially) on the whole mesh:
+  // they must share one graph resource or the mesh would be double-charged.
+  const int res_sr = sr_cpe ? md::kResCpeA : md::kResMpe;
+  const int res_lr =
+      lr_cpe ? (split ? md::kResCpeB : md::kResCpeA) : md::kResMpe;
+
+  // Interconnect nodes and their serial-model durations, for the
+  // hidden-communication metric.
+  std::vector<int> net_nodes;
+
+  // Position halo, posted early: the local (interior) force work proceeds
+  // while the halo shell is in flight, so this node overlaps the force node
+  // instead of preceding it.
+  if (R > 1) {
+    const double halo_particles =
+        n / R * dd_.halo_fraction(sys_.ff->rlist());
+    const int nb = dd_.halo_pulses();
+    const auto bytes = static_cast<std::size_t>(
+        std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
+    const double halo_s = static_cast<double>(nb) * comm_seconds(bytes);
+    trace_rank_exchange_at("halo_x", g.ready_at(md::kResNet) * 1e9, halo_s,
+                           false);
+    net_nodes.push_back(g.add(kWaitCommF, md::kResNet, halo_s, {}, 0));
+  }
+
+  // Forces (functionally global; timed per rank — the node carries the
+  // average rank's share, exactly what the serial model charges to Force).
+  sys_.clear_forces();
+  clusters_->update_positions(sys_);
+  std::fill(f_slots_.begin(), f_slots_.end(), Vec3f{});
+  const md::NbParams params = make_nb_params(*sys_.ff);
+  tr.seek_ns(g.ready_at(res_sr) * 1e9);
+  if (res_sr != md::kResMpe) {
+    tr.set_thread_name(obs::kPidSim, obs::stream_tid(0), "stream sr");
+    tr.set_mpe_redirect(obs::stream_tid(0));
+  }
+  const double t_force0 = tr.now_ns();
+  const double force_global =
+      sr_->compute(*clusters_, sys_.box, list_, params, f_slots_, nb_e);
+  tr.set_mpe_redirect(-1);
+  if (tr.enabled()) {
+    for (int r = 0; r < R; ++r) {
+      const double share = pair_fraction_[static_cast<std::size_t>(r)];
+      std::ostringstream fargs;
+      fargs << "{\"pair_fraction\":" << obs::json_number(share) << "}";
+      tr.complete(obs::rank_pid(active_[static_cast<std::size_t>(r)]), 0,
+                  kForce, t_force0, share * force_global * 1e9, fargs.str());
+    }
+  }
+  const int n_force = g.add(kForce, res_sr, force_global / R, {}, 2);
+  if (R > 1) {
+    // DLB residual imbalance: a serial charge outside the graph, same as
+    // the legacy model (it is wait time, not schedulable work).
+    timers_.add(kCommEnergies,
+                0.5 * force_global * std::max(0.0, max_pair_share_ - 1.0 / R));
+  }
+
+  // Force scatter needs the short-range forces; bonded is independent but
+  // executes in the serial host order (both add into sys_.f).
+  tr.seek_ns(g.ready_at(md::kResMpe, {n_force}) * 1e9);
+  clusters_->scatter_forces(f_slots_, sys_);
+  g.add(kBufferOps, md::kResMpe, mpe_secs(n * 8.0, n * 2.0) / R, {n_force}, 1);
+
+  bonded_e = md::compute_bonded(sys_);
+
+  // PME on its own CPE partition; the FFT transpose all-to-alls are posted
+  // to the interconnect as soon as the position halo drains.
+  int n_pme = -1;
+  double pme_rank_s = 0.0;
+  if (lr_ != nullptr) {
+    tr.seek_ns(g.ready_at(res_lr) * 1e9);
+    if (res_lr != md::kResMpe) {
+      tr.set_thread_name(obs::kPidSim, obs::stream_tid(1), "stream pme");
+      tr.set_mpe_redirect(obs::stream_tid(1));
+    }
+    const double pme_s = lr_->compute(sys_, e_long);
+    tr.set_mpe_redirect(-1);
+    pme_rank_s = pme_s / R;
+    n_pme = g.add(kForce, res_lr, pme_rank_s, {}, 2);
+    if (R > 1) {
+      const auto grid_bytes_per_pair = static_cast<std::size_t>(std::max(
+          1.0, 16.0 * 64.0 * 64.0 * 64.0 / (static_cast<double>(R) * R)));
+      const double fft_comm_s = faulted_cost(
+          2.0 * alltoall_seconds(*transport_, grid_bytes_per_pair, R));
+      trace_rank_exchange_at("fft_alltoall", g.ready_at(md::kResNet) * 1e9,
+                             fft_comm_s, false);
+      net_nodes.push_back(g.add(kWaitCommF, md::kResNet, fft_comm_s, {}, 0));
+    }
+  }
+
+  // Force halo: the one communication that depends on the force results, so
+  // only its tail past the compute is ever exposed.
+  if (R > 1) {
+    const double halo_particles = n / R * dd_.halo_fraction(sys_.ff->rlist());
+    const int nb = dd_.halo_pulses();
+    const auto bytes = static_cast<std::size_t>(
+        std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
+    const double halo_s = static_cast<double>(nb) * comm_seconds(bytes);
+    std::vector<int> deps{n_force};
+    if (n_pme >= 0) deps.push_back(n_pme);
+    trace_rank_exchange_at("halo_f", g.ready_at(md::kResNet, deps) * 1e9,
+                           halo_s, false);
+    net_nodes.push_back(g.add(kWaitCommF, md::kResNet, halo_s, deps, 0));
+  }
+
+  // Close the section: timers get the exposed-time attribution (summing to
+  // the overlapped makespan), the clock lands at the section end.
+  tr.seek_ns(g.end_seconds() * 1e9);
+  g.charge(timers_);
+
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (g.hidden_seconds() > 0.0) {
+    mx.counter_add("overlap/hidden_seconds", g.hidden_seconds());
+  }
+  const std::vector<double> ex = g.exposed();
+  double hidden_comm = 0.0;
+  for (const int id : net_nodes) {
+    hidden_comm += g.finish_of(id) - g.start_of(id) -
+                   ex[static_cast<std::size_t>(id)];
+  }
+  if (hidden_comm > 0.0) {
+    mx.counter_add("overlap/hidden_comm_seconds", hidden_comm);
+  }
+  if (split && n_pme >= 0) {
+    const double d_sr = g.finish_of(n_force) - g.start_of(n_force);
+    const double d_pme = g.finish_of(n_pme) - g.start_of(n_pme);
+    mx.counter_add("overlap/partition_idle_seconds",
+                   std::abs(g.finish_of(n_force) - g.finish_of(n_pme)));
+    if (d_sr > 0.0 && d_pme > 0.0) {
+      mx.gauge_set("overlap/partition_imbalance",
+                   std::max(d_sr, d_pme) / std::min(d_sr, d_pme));
+    }
+  }
+
+  // Feed the planner with this step's per-stream work so the next step's
+  // split decision and balance track the measurements.
+  if (sr_cpe && lr_cpe) {
+    planner_.observe(split, force_global / R, split ? sr_cpes : ncpe,
+                     pme_rank_s, split ? ncpe - sr_cpes : ncpe);
+  }
 }
 
 void ParallelSim::take_snapshot() {

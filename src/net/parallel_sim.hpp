@@ -85,6 +85,14 @@ class ParallelSim {
 
  private:
   void neighbor_search();
+  /// The halo_x → halo_f force section as a StepGraph (overlap engine): the
+  /// position halo and FFT all-to-all are posted early on the interconnect
+  /// resource and overlap the local force compute; short-range and PME run
+  /// on concurrent CPE partitions; the force halo is the only dependent
+  /// communication. Physics and message ordinals are issued in the exact
+  /// serial host order, so trajectories are bit-identical to overlap=off.
+  void compute_forces_overlapped(int R, double n, md::NbEnergies& nb_e,
+                                 md::BondedEnergies& bonded_e, double& e_long);
   [[nodiscard]] int nactive() const { return static_cast<int>(active_.size()); }
   [[nodiscard]] double mpe_secs(double ops, double mem) const;
   /// Pass a modeled communication cost through the fault plan: drops charge
@@ -102,6 +110,11 @@ class ParallelSim {
   void trace_rank_tracks();
   void trace_rank_exchange(const char* name, double seconds,
                            bool gather_to_rank0);
+  /// Draw one exchange at an explicit start time without advancing the
+  /// clock (overlap engine: the span lands at the graph node's scheduled
+  /// start while the driver's clock is elsewhere).
+  void trace_rank_exchange_at(const char* name, double t0_ns, double seconds,
+                              bool gather_to_rank0);
   void finish_step_trace(double step_t0, std::int64_t step_at_entry,
                          bool rebuilt);
   // --- rank fault tolerance ---
@@ -161,6 +174,10 @@ class ParallelSim {
   std::vector<int> spares_free_; ///< unpromoted hot spares, promotion order
   std::vector<int> evicted_;     ///< world ids removed, eviction order
   std::uint64_t spares_promoted_ = 0;
+
+  /// Split/no-split and ratio decisions for the overlap engine's CPE
+  /// partitions, probing on measured per-stream seconds.
+  md::PartitionPlanner planner_;
 };
 
 }  // namespace swgmx::net

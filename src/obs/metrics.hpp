@@ -12,11 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/stats.hpp"
 
@@ -41,14 +41,15 @@ class MetricsRegistry {
   void counter_add(std::string_view name, double v = 1.0);
   void gauge_set(std::string_view name, double v);
   /// Get-or-create a histogram; `proto` supplies the bucket layout on first
-  /// use and is ignored afterwards.
+  /// use and is ignored afterwards. The reference stays valid across later
+  /// registrations (entries live in a deque), so hot paths may cache it.
   Histogram& histogram(std::string_view name, const Histogram& proto);
 
   /// Counter/gauge value, 0.0 when absent.
   [[nodiscard]] double value(std::string_view name) const;
   [[nodiscard]] const MetricEntry* find(std::string_view name) const;
   /// All metrics in first-recorded order (the order BENCH fields render in).
-  [[nodiscard]] const std::vector<MetricEntry>& entries() const {
+  [[nodiscard]] const std::deque<MetricEntry>& entries() const {
     return entries_;
   }
 
@@ -68,7 +69,10 @@ class MetricsRegistry {
  private:
   MetricEntry& upsert(std::string_view name, MetricKind kind);
 
-  std::vector<MetricEntry> entries_;
+  /// Deque, not vector: histogram() hands out long-lived references (e.g.
+  /// the DMA-size histogram cached across a launch flush) and a mid-flush
+  /// registration must not invalidate them.
+  std::deque<MetricEntry> entries_;
   std::unordered_map<std::string, std::size_t> index_;
 };
 

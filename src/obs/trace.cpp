@@ -62,6 +62,7 @@ void TraceSession::stop() {
   enabled_ = false;
   path_.clear();
   clock_ns_ = 0.0;
+  mpe_redirect_ = -1;
   flow_ids_ = 0;
   dropped_ = 0;
   tracks_.clear();
@@ -196,7 +197,7 @@ void mpe_phase_span(std::string_view name, double seconds, double t0_ns,
   if (!tr.enabled()) return;
   const double t0 = t0_ns >= 0.0 ? t0_ns : tr.now_ns();
   const double end = std::max(tr.now_ns(), t0 + seconds * 1e9);
-  tr.complete(kPidSim, kTidMpe, name, t0, end - t0, std::move(args_json));
+  tr.complete(kPidSim, tr.mpe_tid(), name, t0, end - t0, std::move(args_json));
   tr.advance_to_ns(end);
 }
 

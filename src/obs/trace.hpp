@@ -39,6 +39,9 @@ inline constexpr int kPidSim = 1;
 inline constexpr int kTidMpe = 0;
 [[nodiscard]] constexpr int cpe_tid(int cpe) { return 1 + cpe; }
 [[nodiscard]] constexpr int rank_pid(int rank) { return 100 + rank; }
+/// Kernel-stream track for one concurrent partition/backend of the overlap
+/// engine (CPE tids occupy 1..64, so streams start at 70).
+[[nodiscard]] constexpr int stream_tid(int stream) { return 70 + stream; }
 
 /// One DMA transfer as seen by a CPE inside a kernel. `start_cycles` /
 /// `end_cycles` are the CPE's cumulative total_cycles() before/after the
@@ -87,6 +90,22 @@ class TraceSession {
   /// Move the clock forward to `ns` if it is ahead of now (never backwards).
   void advance_to_ns(double ns) {
     if (enabled_ && ns > clock_ns_) clock_ns_ = ns;
+  }
+  /// Set the clock to `ns`, backwards allowed. Only the overlap engine's
+  /// step-graph driver uses this: concurrent resource timelines are replayed
+  /// sequentially, so the clock seeks to each node's scheduled start before
+  /// its phase executes.
+  void seek_ns(double ns) {
+    if (enabled_) clock_ns_ = ns;
+  }
+
+  /// Redirect MPE-side spans (mpe_phase_span, kernel-launch spans) to
+  /// another track. The overlap engine points this at a kernel-stream track
+  /// while a CPE-resource graph node executes, so spans of concurrent nodes
+  /// land on separate tracks; -1 restores the MPE track.
+  void set_mpe_redirect(int tid) { mpe_redirect_ = tid; }
+  [[nodiscard]] int mpe_tid() const {
+    return mpe_redirect_ >= 0 ? mpe_redirect_ : kTidMpe;
   }
 
   // --- track metadata ---
@@ -146,6 +165,7 @@ class TraceSession {
   std::size_t default_cap_ = 4096;  ///< SWGMX_TRACE_RING override of 4096
   std::size_t cap_ = 4096;
   double clock_ns_ = 0.0;
+  int mpe_redirect_ = -1;
   std::uint64_t flow_ids_ = 0;
   std::uint64_t dropped_ = 0;
   std::map<std::int64_t, Track> tracks_;

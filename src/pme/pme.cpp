@@ -66,7 +66,10 @@ const PmeBreakdown& PmeSolver::last_breakdown() const {
 
 double PmeSolver::recip_cpe(const md::System& sys, std::span<Vec3d> f) {
   if (!cpe_) cpe_ = std::make_unique<PmeCpeDriver>(opt_, cfg_);
-  return cpe_->recip(sys, grid_, bmod_x_, bmod_y_, bmod_z_, f);
+  cpe_->core_group().set_partition(part_);
+  const double s = cpe_->recip(sys, grid_, bmod_x_, bmod_y_, bmod_z_, f);
+  cpe_->core_group().clear_partition();
+  return s;
 }
 
 std::vector<double> PmeSolver::bspline_moduli(std::size_t K) {

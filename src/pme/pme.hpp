@@ -86,6 +86,13 @@ class PmeSolver final : public md::LongRangeBackend {
   void set_accelerated(bool on) { opt_.offload = on; }
   [[nodiscard]] bool accelerated() const { return opt_.offload; }
 
+  [[nodiscard]] bool uses_cpes() const override { return opt_.offload; }
+  /// Stash the mesh slice for the offloaded phases; applied to the CPE
+  /// driver's core group when compute() runs (the driver is built lazily).
+  void set_cpe_partition(const sw::CpePartition& part) override {
+    part_ = part;
+  }
+
   /// Phase breakdown of the most recent offloaded call.
   [[nodiscard]] const PmeBreakdown& last_breakdown() const;
 
@@ -102,6 +109,7 @@ class PmeSolver final : public md::LongRangeBackend {
 
   PmeOptions opt_;
   sw::SwConfig cfg_;
+  sw::CpePartition part_;
   fft::Grid3D grid_;
   std::vector<double> bmod_x_, bmod_y_, bmod_z_;
   std::unique_ptr<PmeCpeDriver> cpe_;  ///< lazily built on first offload

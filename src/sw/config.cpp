@@ -1,8 +1,27 @@
 #include "sw/config.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace swgmx::sw {
+
+namespace {
+// -1 = not yet resolved from the environment; 0/1 afterwards.
+int g_overlap_state = -1;
+}  // namespace
+
+bool overlap_enabled() {
+  if (g_overlap_state < 0) {
+    const char* env = std::getenv("SWGMX_OVERLAP");
+    g_overlap_state =
+        (env != nullptr && std::strcmp(env, "0") == 0) ? 0 : 1;
+  }
+  return g_overlap_state != 0;
+}
+
+void set_overlap_enabled(bool on) { g_overlap_state = on ? 1 : 0; }
 
 double SwConfig::dma_bandwidth(std::size_t bytes) const {
   SWGMX_CHECK_MSG(bytes > 0, "DMA transfer of zero bytes");

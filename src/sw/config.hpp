@@ -77,4 +77,17 @@ struct SwConfig {
   [[nodiscard]] double seconds(double cycles) const { return cycles / freq_hz; }
 };
 
+// --- overlap engine switch (DESIGN.md §2.10) ---
+// Global because it selects a *cost model*, not physics: with overlap on,
+// kernels charge explicitly pipelined DMA, the step runs as a task graph and
+// the CPE mesh can split into concurrent partitions. Physics is computed in
+// the same fixed order either way, so trajectories are bit-identical across
+// the switch; only the simulated clock and trace change.
+
+/// True when the asynchronous overlap engine is active. Defaults to the
+/// SWGMX_OVERLAP environment switch (unset or anything but "0" = on).
+[[nodiscard]] bool overlap_enabled();
+/// Override the SWGMX_OVERLAP default (tests and A/B drivers).
+void set_overlap_enabled(bool on);
+
 }  // namespace swgmx::sw

@@ -39,6 +39,7 @@ KernelStats CoreGroup::run_impl(const std::function<void(CpeContext&)>& kernel,
     CpeContext ctx(id, cfg_, arena);
     if (logs != nullptr) ctx.set_trace_log(&(*logs)[static_cast<std::size_t>(id)]);
     kernel(ctx);
+    ctx.dma_pipeline_drain();
     perf[static_cast<std::size_t>(id)] = ctx.perf();
   });
 
@@ -63,12 +64,31 @@ KernelStats CoreGroup::run_impl(const std::function<void(CpeContext&)>& kernel,
 
   KernelStats stats;
   stats.min_cycles = std::numeric_limits<double>::infinity();
-  for (int id = 0; id < n; ++id) {
-    const auto& pc = perf[static_cast<std::size_t>(id)];
-    const double cyc = pc.overlapped_cycles(dma_overlap);
-    stats.max_cycles = std::max(stats.max_cycles, cyc);
-    stats.min_cycles = std::min(stats.min_cycles, cyc);
-    stats.total += pc;
+  const CpePartition part = part_;
+  const bool packed = part.active() && part.count < n;
+  if (packed) {
+    // Partitioned launch: pack the n virtual invocations onto part.count
+    // physical slots in fixed id order; the critical path is the busiest
+    // slot's summed pipelined cycles.
+    std::vector<double> slot(static_cast<std::size_t>(part.count), 0.0);
+    for (int id = 0; id < n; ++id) {
+      const auto& pc = perf[static_cast<std::size_t>(id)];
+      slot[static_cast<std::size_t>(id % part.count)] +=
+          pc.overlapped_cycles(dma_overlap);
+      stats.total += pc;
+    }
+    for (const double cyc : slot) {
+      stats.max_cycles = std::max(stats.max_cycles, cyc);
+      stats.min_cycles = std::min(stats.min_cycles, cyc);
+    }
+  } else {
+    for (int id = 0; id < n; ++id) {
+      const auto& pc = perf[static_cast<std::size_t>(id)];
+      const double cyc = pc.overlapped_cycles(dma_overlap);
+      stats.max_cycles = std::max(stats.max_cycles, cyc);
+      stats.min_cycles = std::min(stats.min_cycles, cyc);
+      stats.total += pc;
+    }
   }
   if (n == 0) stats.min_cycles = 0.0;
   stats.sim_seconds = cfg_.seconds(stats.max_cycles);
@@ -99,66 +119,95 @@ const char* dma_op_name(char op) {
 /// (within-kernel positions scaled by overlapped/total) so they nest inside
 /// the span, while their args carry the unscaled cycle costs.
 void flush_launch_trace(obs::TraceSession& tr, const SwConfig& cfg,
-                        const char* label, double t0_ns, double dma_overlap,
+                        const CpePartition& part, const char* label,
+                        double t0_ns, double dma_overlap,
                         const std::vector<obs::CpeKernelLog>& logs,
                         const std::vector<PerfCounters>& per_cpe,
                         const KernelStats& stats) {
   const double ns_per_cycle = 1e9 / cfg.freq_hz;
   auto& dma_hist = obs::MetricsRegistry::global().histogram(
       "dma/transfer_bytes", Histogram::exponential(8.0, 2.0, 13));
+  // Partitioned launches pack the virtual invocations onto the slice's
+  // physical slots: each slot's spans stack sequentially from t0 so its
+  // track mirrors the packed cost model (no double-charged intervals).
+  const bool packed = part.active() && part.count < cfg.cpe_count;
+  std::vector<double> slot_base(
+      packed ? static_cast<std::size_t>(part.count) : 0, 0.0);
   for (int id = 0; id < cfg.cpe_count; ++id) {
-    tr.set_thread_name(obs::kPidSim, obs::cpe_tid(id),
-                       "CPE " + std::to_string(id));
+    const int lane = packed ? id % part.count : id;
+    const int slot = packed ? part.offset + lane : id;
+    tr.set_thread_name(obs::kPidSim, obs::cpe_tid(slot),
+                       "CPE " + std::to_string(slot));
     const auto& pc = per_cpe[static_cast<std::size_t>(id)];
     const double total = pc.total_cycles();
     const double overlapped = pc.overlapped_cycles(dma_overlap);
     const double scale = total > 0.0 ? overlapped / total : 1.0;
+    const double span_t0 =
+        packed ? t0_ns + slot_base[static_cast<std::size_t>(lane)] : t0_ns;
+    const double span_dur = overlapped * ns_per_cycle;
     {
       std::ostringstream args;
       args << "{\"compute_cycles\":" << obs::json_number(pc.compute_cycles)
            << ",\"mem_cycles\":"
            << obs::json_number(pc.dma_cycles + pc.gld_cycles)
-           << ",\"dma_bytes\":" << pc.dma_bytes << "}";
-      tr.complete(obs::kPidSim, obs::cpe_tid(id), label, t0_ns,
-                  overlapped * ns_per_cycle, args.str());
+           << ",\"dma_bytes\":" << pc.dma_bytes
+           << ",\"hidden_dma_cycles\":"
+           << obs::json_number(pc.hidden_dma_cycles) << "}";
+      tr.complete(obs::kPidSim, obs::cpe_tid(slot), label, span_t0, span_dur,
+                  args.str());
     }
     for (const auto& d : logs[static_cast<std::size_t>(id)].dma) {
       dma_hist.observe(static_cast<double>(d.bytes));
+      // DMA record cycle marks were taken at issue time; pipeline refunds can
+      // shrink the kernel span below them, so clamp into [0, span_dur].
+      const double ds =
+          std::clamp(d.start_cycles * scale * ns_per_cycle, 0.0, span_dur);
+      const double de =
+          std::clamp(d.end_cycles * scale * ns_per_cycle, ds, span_dur);
       std::ostringstream args;
       args << "{\"bytes\":" << d.bytes << ",\"rows\":" << d.rows
            << ",\"retries\":" << d.retries << "}";
-      tr.complete(obs::kPidSim, obs::cpe_tid(id), dma_op_name(d.op),
-                  t0_ns + d.start_cycles * scale * ns_per_cycle,
-                  (d.end_cycles - d.start_cycles) * scale * ns_per_cycle,
-                  args.str());
+      tr.complete(obs::kPidSim, obs::cpe_tid(slot), dma_op_name(d.op),
+                  span_t0 + ds, de - ds, args.str());
       if (d.retries != 0) {
         std::ostringstream rargs;
         rargs << "{\"retries\":" << d.retries << ",\"bytes\":" << d.bytes << "}";
-        tr.instant(obs::kPidSim, obs::cpe_tid(id), "dma_crc_retry",
-                   t0_ns + d.end_cycles * scale * ns_per_cycle, rargs.str());
+        tr.instant(obs::kPidSim, obs::cpe_tid(slot), "dma_crc_retry",
+                   span_t0 + de, rargs.str());
       }
     }
     const double straggle = logs[static_cast<std::size_t>(id)].straggle_cycles;
     if (straggle > 0.0) {
       std::ostringstream args;
       args << "{\"extra_cycles\":" << obs::json_number(straggle) << "}";
-      tr.instant(obs::kPidSim, obs::cpe_tid(id), "cpe_straggler",
-                 t0_ns + overlapped * ns_per_cycle, args.str());
+      tr.instant(obs::kPidSim, obs::cpe_tid(slot), "cpe_straggler",
+                 span_t0 + span_dur, args.str());
     }
+    if (packed) slot_base[static_cast<std::size_t>(lane)] += span_dur;
   }
-  // MPE-side launch span covering the kernel's critical path.
+  // MPE-side launch span covering the kernel's critical path. Partitioned
+  // launches (and any launch running under an MPE redirect) land on their
+  // kernel-stream track so concurrent streams stay on separate tracks.
+  const int active = part.active() ? part.count : cfg.cpe_count;
+  int launch_tid = tr.mpe_tid();
+  if (part.active()) {
+    launch_tid = obs::stream_tid(part.stream);
+    tr.set_thread_name(obs::kPidSim, launch_tid,
+                       std::string("stream ") + part.name);
+  }
   std::ostringstream args;
   args << "{\"sim_seconds\":" << obs::json_number(stats.sim_seconds)
-       << ",\"imbalance\":" << obs::json_number(stats.imbalance(cfg.cpe_count))
+       << ",\"imbalance\":" << obs::json_number(stats.imbalance(active))
        << "}";
-  tr.complete(obs::kPidSim, obs::kTidMpe, label, t0_ns,
-              stats.sim_seconds * 1e9, args.str());
+  tr.complete(obs::kPidSim, launch_tid, label, t0_ns, stats.sim_seconds * 1e9,
+              args.str());
 }
 
 /// Per-label kernel metrics (always on): the overlapped_cycles inputs —
 /// compute vs memory cycles — plus sim time, traffic and launch count, so
 /// the pipeline-overlap claim is checkable from one metrics snapshot.
-void record_kernel_metrics(const char* label, const KernelStats& stats) {
+void record_kernel_metrics(const char* label, const SwConfig& cfg,
+                           const KernelStats& stats) {
   auto& m = obs::MetricsRegistry::global();
   const std::string prefix = std::string("kernel/") + label;
   m.counter_add(prefix + "/launches", 1.0);
@@ -168,6 +217,14 @@ void record_kernel_metrics(const char* label, const KernelStats& stats) {
   m.counter_add(prefix + "/sim_seconds", stats.sim_seconds);
   m.counter_add(prefix + "/dma_bytes",
                 static_cast<double>(stats.total.dma_bytes));
+  if (stats.total.hidden_dma_cycles > 0.0) {
+    m.counter_add(prefix + "/hidden_dma_cycles",
+                  stats.total.hidden_dma_cycles);
+    // Aggregate CPE-seconds of transfer time the double-buffer pipeline hid
+    // (summed over CPEs, not critical-path time).
+    m.counter_add("overlap/dma_hidden_seconds",
+                  cfg.seconds(stats.total.hidden_dma_cycles));
+  }
 }
 
 }  // namespace
@@ -178,7 +235,7 @@ KernelStats CoreGroup::run(const std::function<void(CpeContext&)>& kernel,
   if (!tr.enabled()) {
     const KernelStats stats = run_impl(kernel, dma_overlap, nullptr, nullptr);
     add_lifetime(stats.total);
-    record_kernel_metrics(label, stats);
+    record_kernel_metrics(label, cfg_, stats);
     return stats;
   }
 
@@ -188,8 +245,9 @@ KernelStats CoreGroup::run(const std::function<void(CpeContext&)>& kernel,
   const double t0 = tr.now_ns();
   const KernelStats stats = run_impl(kernel, dma_overlap, &logs, &per_cpe);
   add_lifetime(stats.total);
-  record_kernel_metrics(label, stats);
-  flush_launch_trace(tr, cfg_, label, t0, dma_overlap, logs, per_cpe, stats);
+  record_kernel_metrics(label, cfg_, stats);
+  flush_launch_trace(tr, cfg_, part_, label, t0, dma_overlap, logs, per_cpe,
+                     stats);
   tr.advance_seconds(stats.sim_seconds);
   return stats;
 }

@@ -25,6 +25,21 @@
 
 namespace swgmx::sw {
 
+/// A contiguous slice of the CPE mesh running one kernel stream while the
+/// complement runs another (overlap engine, DESIGN.md §2.10). Partitioning
+/// is pure cost packing: all cpe_count virtual CPE invocations still execute
+/// with unchanged physics (bit-identity is trivial), but virtual CPE v is
+/// charged to physical slot offset + (v % count) and the launch's critical
+/// path becomes the max over slots of their summed cycles — the throughput
+/// of the smaller mesh.
+struct CpePartition {
+  int offset = 0;          ///< first physical CPE of the slice
+  int count = 0;           ///< physical CPEs in the slice (0 = whole mesh)
+  int stream = 0;          ///< kernel-stream index (selects the trace track)
+  const char* name = "";   ///< stream label ("sr", "pme")
+  [[nodiscard]] bool active() const { return count > 0; }
+};
+
 /// Result of one CPE-kernel launch.
 struct KernelStats {
   double sim_seconds = 0.0;   ///< max over CPEs (the kernel's critical path)
@@ -78,6 +93,13 @@ class CoreGroup {
 
   [[nodiscard]] const SwConfig& config() const { return cfg_; }
 
+  /// Restrict subsequent launches to a slice of the mesh (cost packing, see
+  /// CpePartition). Set/cleared by the sequential step driver only; an
+  /// inactive partition (the default) charges the whole mesh.
+  void set_partition(const CpePartition& p) { part_ = p; }
+  void clear_partition() { part_ = {}; }
+  [[nodiscard]] const CpePartition& partition() const { return part_; }
+
   /// Cumulative counters across every kernel launched on this core group.
   /// Read between launches (not while a launch is in flight).
   [[nodiscard]] const PerfCounters& lifetime() const { return lifetime_; }
@@ -102,6 +124,7 @@ class CoreGroup {
   [[nodiscard]] LdmArena& thread_arena();
 
   SwConfig cfg_;
+  CpePartition part_;
   std::mutex arena_mu_;
   std::unordered_map<std::thread::id, std::unique_ptr<LdmArena>> arenas_;
   std::mutex lifetime_mu_;

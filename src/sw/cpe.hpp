@@ -3,6 +3,7 @@
 // and explicit compute-cost charging hooks.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 
 #include "obs/trace.hpp"
@@ -33,43 +34,79 @@ class CpeContext {
   /// pointer test per DMA call).
   void set_trace_log(obs::CpeKernelLog* log) { tlog_ = log; }
 
+  // --- double-buffered DMA pipeline (DESIGN.md §2.10) ---
+  // With the pipeline on, each DMA call keeps one transfer in flight: when
+  // the next DMA is issued (or the kernel drains), the in-flight transfer is
+  // retired and the compute cycles charged since its issue hide it — refund =
+  // min(dma_cycles, compute window). The hide frontier guarantees a given
+  // compute cycle never hides two transfers. Kernels opt in per launch; the
+  // launcher drains after the kernel body returns.
+  void set_dma_pipeline(bool on) {
+    dma_pipeline_drain();
+    pipeline_ = on;
+  }
+  [[nodiscard]] bool dma_pipeline() const { return pipeline_; }
+  void dma_pipeline_drain() {
+    if (!pending_) return;
+    pending_ = false;
+    const double window_start = std::max(pending_compute_at_, hide_frontier_);
+    const double avail =
+        std::max(0.0, perf_.compute_cycles - window_start);
+    const double hidden = std::min(pending_dma_, avail);
+    hide_frontier_ = window_start + hidden;
+    perf_.dma_cycles -= hidden;
+    perf_.hidden_dma_cycles += hidden;
+  }
+
   // --- DMA (bulk, contiguous) ---
   void dma_get(void* ldm_dst, const void* mem_src, std::size_t bytes) {
-    if (tlog_ == nullptr) {
-      dma_.get(ldm_dst, mem_src, bytes, perf_);
-      return;
-    }
-    traced_dma('g', 1, [&] { dma_.get(ldm_dst, mem_src, bytes, perf_); });
+    issue_dma([&] {
+      if (tlog_ == nullptr) {
+        dma_.get(ldm_dst, mem_src, bytes, perf_);
+        return;
+      }
+      traced_dma('g', 1, [&] { dma_.get(ldm_dst, mem_src, bytes, perf_); });
+    });
   }
   void dma_put(void* mem_dst, const void* ldm_src, std::size_t bytes) {
-    if (tlog_ == nullptr) {
-      dma_.put(mem_dst, ldm_src, bytes, perf_);
-      return;
-    }
-    traced_dma('p', 1, [&] { dma_.put(mem_dst, ldm_src, bytes, perf_); });
+    issue_dma([&] {
+      if (tlog_ == nullptr) {
+        dma_.put(mem_dst, ldm_src, bytes, perf_);
+        return;
+      }
+      traced_dma('p', 1, [&] { dma_.put(mem_dst, ldm_src, bytes, perf_); });
+    });
   }
 
   // --- DMA (strided / 2-D) ---
   void dma_get_2d(void* ldm_dst, const void* mem_src, std::size_t rows,
                   std::size_t row_bytes, std::size_t mem_pitch,
                   std::size_t ldm_pitch) {
-    if (tlog_ == nullptr) {
-      dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
-      return;
-    }
-    traced_dma('G', rows, [&] {
-      dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+    issue_dma([&] {
+      if (tlog_ == nullptr) {
+        dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch,
+                    perf_);
+        return;
+      }
+      traced_dma('G', rows, [&] {
+        dma_.get_2d(ldm_dst, mem_src, rows, row_bytes, mem_pitch, ldm_pitch,
+                    perf_);
+      });
     });
   }
   void dma_put_2d(void* mem_dst, const void* ldm_src, std::size_t rows,
                   std::size_t row_bytes, std::size_t mem_pitch,
                   std::size_t ldm_pitch) {
-    if (tlog_ == nullptr) {
-      dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
-      return;
-    }
-    traced_dma('P', rows, [&] {
-      dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch, perf_);
+    issue_dma([&] {
+      if (tlog_ == nullptr) {
+        dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch,
+                    perf_);
+        return;
+      }
+      traced_dma('P', rows, [&] {
+        dma_.put_2d(mem_dst, ldm_src, rows, row_bytes, mem_pitch, ldm_pitch,
+                    perf_);
+      });
     });
   }
 
@@ -101,6 +138,31 @@ class CpeContext {
   void charge_cycles(double n) { perf_.compute_cycles += n; }
 
  private:
+  /// Issue one DMA through the pipeline. Transfers issued back to back with
+  /// no compute in between form one in-flight batch (the engine queues
+  /// descriptors); as soon as compute has been charged since the batch's
+  /// first issue, the batch is retired — refunding whatever part of it the
+  /// compute window hides — and a new batch starts.
+  template <typename Fn>
+  void issue_dma(Fn&& fn) {
+    if (!pipeline_) {
+      fn();
+      return;
+    }
+    if (pending_ && perf_.compute_cycles > pending_compute_at_) {
+      dma_pipeline_drain();
+    }
+    const double d0 = perf_.dma_cycles;
+    fn();
+    if (pending_) {
+      pending_dma_ += perf_.dma_cycles - d0;
+    } else {
+      pending_dma_ = perf_.dma_cycles - d0;
+      pending_compute_at_ = perf_.compute_cycles;
+      pending_ = true;
+    }
+  }
+
   /// Run one DMA call and stage a CpeDmaRecord from the counter deltas it
   /// leaves behind: the byte/cycle costs come straight from PerfCounters,
   /// and any dma_transfers beyond the expected `rows` are CRC retries.
@@ -127,6 +189,13 @@ class CpeContext {
   DmaEngine dma_;
   PerfCounters perf_;
   obs::CpeKernelLog* tlog_ = nullptr;
+
+  // Double-buffer pipeline state (see set_dma_pipeline).
+  bool pipeline_ = false;
+  bool pending_ = false;
+  double pending_dma_ = 0.0;        ///< cost of the in-flight transfer
+  double pending_compute_at_ = 0.0; ///< compute_cycles when it was issued
+  double hide_frontier_ = 0.0;      ///< compute_cycles already used for hiding
 };
 
 }  // namespace swgmx::sw

@@ -6,6 +6,7 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& o) {
   compute_cycles += o.compute_cycles;
   dma_cycles += o.dma_cycles;
   gld_cycles += o.gld_cycles;
+  hidden_dma_cycles += o.hidden_dma_cycles;
   dma_transfers += o.dma_transfers;
   dma_bytes += o.dma_bytes;
   gld_count += o.gld_count;

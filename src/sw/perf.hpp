@@ -16,6 +16,11 @@ struct PerfCounters {
   double compute_cycles = 0.0;
   double dma_cycles = 0.0;
   double gld_cycles = 0.0;
+  /// DMA cycles refunded by the double-buffer pipeline (DESIGN.md §2.10):
+  /// already subtracted from `dma_cycles`, kept separately so benches can
+  /// report how much transfer time the pipeline hid. Not part of
+  /// total_cycles().
+  double hidden_dma_cycles = 0.0;
 
   std::uint64_t dma_transfers = 0;
   std::uint64_t dma_bytes = 0;

@@ -1,0 +1,318 @@
+// Asynchronous overlap engine (DESIGN.md §2.10): StepGraph scheduling,
+// partition planning, the double-buffered DMA pipeline, and the headline
+// guarantees — trajectories bit-identical to the serial engine (for any
+// SWGMX_THREADS, partition ratio, and under fault recovery) while the
+// modeled step time only shrinks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "md/simulation.hpp"
+#include "md/taskgraph.hpp"
+#include "net/parallel_sim.hpp"
+#include "pme/pme.hpp"
+#include "sw/core_group.hpp"
+#include "sw/fault.hpp"
+#include "testutil.hpp"
+
+namespace swgmx {
+namespace {
+
+using md::StepGraph;
+
+/// RAII: resize the global host pool, restore the previous size afterwards.
+class PoolGuard {
+ public:
+  explicit PoolGuard(int n) : prev_(common::ThreadPool::global().size()) {
+    common::ThreadPool::set_global_size(n);
+  }
+  ~PoolGuard() { common::ThreadPool::set_global_size(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// RAII: configure the global fault injector, restore "disabled" afterwards.
+class FaultGuard {
+ public:
+  explicit FaultGuard(const sw::FaultRates& r) {
+    sw::FaultInjector::global().configure(r);
+  }
+  ~FaultGuard() { sw::FaultInjector::global().configure_from_env(nullptr); }
+};
+
+// ---------------------------------------------------------------------------
+// StepGraph scheduling
+
+TEST(StepGraph, SerializeModeDegeneratesToTheSum) {
+  StepGraph g(10.0, /*serialize=*/true);
+  g.add("a", md::kResMpe, 1.0);
+  g.add("b", md::kResCpeA, 2.0);  // different resource, still chained
+  g.add("c", md::kResNet, 3.0);
+  EXPECT_DOUBLE_EQ(g.makespan(), 6.0);
+  EXPECT_DOUBLE_EQ(g.end_seconds(), 16.0);
+  EXPECT_DOUBLE_EQ(g.hidden_seconds(), 0.0);
+}
+
+TEST(StepGraph, IndependentResourcesOverlap) {
+  StepGraph g;
+  g.add("net", md::kResNet, 5.0);
+  g.add("cpe", md::kResCpeA, 3.0);
+  EXPECT_DOUBLE_EQ(g.makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(g.serial_total(), 8.0);
+  EXPECT_DOUBLE_EQ(g.hidden_seconds(), 3.0);
+}
+
+TEST(StepGraph, DependenciesAndResourcesBothGateStarts) {
+  StepGraph g;
+  const int a = g.add("a", md::kResCpeA, 2.0);
+  const int b = g.add("b", md::kResCpeB, 1.0);
+  // Depends on both partitions -> starts at max(2, 1) = 2.
+  const int c = g.add("c", md::kResMpe, 1.0, {a, b});
+  EXPECT_DOUBLE_EQ(g.start_of(c), 2.0);
+  // Same resource as c -> serializes behind it even without a dependency.
+  const int d = g.add("d", md::kResMpe, 1.0);
+  EXPECT_DOUBLE_EQ(g.start_of(d), 3.0);
+  EXPECT_DOUBLE_EQ(g.makespan(), 4.0);
+}
+
+TEST(StepGraph, ChargeSumsToTheMakespan) {
+  StepGraph g;
+  g.add("Force", md::kResCpeA, 4.0, {}, 2);
+  g.add("Wait + comm. F", md::kResNet, 6.0, {}, 0);  // 2s tail exposed
+  g.add("Rest", md::kResMpe, 1.0, {}, 1);
+  sw::PhaseTimers t;
+  g.charge(t);
+  EXPECT_NEAR(t.total(), g.makespan(), 1e-12);
+  // The high-priority Force absorbs the contested interval; only the comm
+  // tail past the compute is exposed.
+  EXPECT_DOUBLE_EQ(t.get("Force"), 4.0);
+  EXPECT_DOUBLE_EQ(t.get("Wait + comm. F"), 2.0);
+  EXPECT_DOUBLE_EQ(t.get("Rest"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Partition balance + planner
+
+TEST(PartitionBalance, PinnedRoundsToGranuleAndClamps) {
+  // Granule for 64 CPEs is 4; both sides keep >= 8.
+  EXPECT_EQ(md::balance_sr_cpes(64, 48, 0, 0, 0, 0), 48);
+  EXPECT_EQ(md::balance_sr_cpes(64, 47, 0, 0, 0, 0), 48);
+  EXPECT_EQ(md::balance_sr_cpes(64, 1, 0, 0, 0, 0), 8);
+  EXPECT_EQ(md::balance_sr_cpes(64, 63, 0, 0, 0, 0), 56);
+}
+
+TEST(PartitionBalance, AutoFollowsMeasuredWork) {
+  // 3x the PME work on equal meshes -> short range gets ~3/4 of the CPEs.
+  EXPECT_EQ(md::balance_sr_cpes(64, 0, 3.0, 64, 1.0, 64), 48);
+  // Equal work -> even split.
+  EXPECT_EQ(md::balance_sr_cpes(64, 0, 1.0, 64, 1.0, 64), 32);
+}
+
+TEST(PartitionPlanner, ProbesBothModesThenCommitsToTheWinner) {
+  md::PartitionPlanner p;
+  // Step 0: unsplit probe. Step 1: split probe.
+  EXPECT_EQ(p.plan(64, 0), 0);
+  p.observe(false, 3.0, 64, 1.0, 64);
+  EXPECT_GT(p.plan(64, 0), 0);
+  // Splitting measured slower -> the steady state stays unsplit.
+  p.observe(true, 5.0, 48, 1.0, 16);
+  EXPECT_EQ(p.plan(64, 0), 0);
+  // New measurements where the split wins flip the decision.
+  p.observe(true, 2.0, 48, 1.0, 16);
+  EXPECT_GT(p.plan(64, 0), 0);
+}
+
+TEST(PartitionPlanner, PinnedAndDisabledBypassProbing) {
+  md::PartitionPlanner p;
+  EXPECT_EQ(p.plan(64, 32), 32);
+  EXPECT_EQ(p.plan(64, 32), 32);
+  md::PartitionPlanner q;
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.plan(64, -1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Double-buffered DMA pipeline
+
+TEST(DmaPipeline, RefundsTransfersHiddenUnderCompute) {
+  test::OverlapGuard overlap(true);
+  sw::CoreGroup cg;
+  std::vector<float> mem(1 << 16, 1.0f);
+  auto kernel = [&](sw::CpeContext& ctx) {
+    ctx.set_dma_pipeline(true);
+    auto buf = ctx.ldm().allocate<float>(1024);
+    for (int tile = 0; tile < 8; ++tile) {
+      ctx.dma_get(buf.data(), mem.data(), 1024 * sizeof(float));
+      ctx.charge_flops(1e6);  // plenty of compute to hide the next prefetch
+    }
+  };
+  const sw::KernelStats st = cg.run(kernel, 0.0, "test/pipelined");
+  EXPECT_GT(st.total.hidden_dma_cycles, 0.0);
+
+  // The same kernel without the pipeline charges every transfer in full and
+  // can only be slower.
+  sw::CoreGroup cg2;
+  auto blocking = [&](sw::CpeContext& ctx) {
+    auto buf = ctx.ldm().allocate<float>(1024);
+    for (int tile = 0; tile < 8; ++tile) {
+      ctx.dma_get(buf.data(), mem.data(), 1024 * sizeof(float));
+      ctx.charge_flops(1e6);
+    }
+  };
+  const sw::KernelStats bl = cg2.run(blocking, 0.0, "test/blocking");
+  EXPECT_DOUBLE_EQ(bl.total.hidden_dma_cycles, 0.0);
+  EXPECT_LT(st.sim_seconds, bl.sim_seconds);
+}
+
+TEST(DmaPipeline, BackToBackTransfersBatchIntoOneWindow) {
+  test::OverlapGuard overlap(true);
+  sw::CoreGroup cg;
+  std::vector<float> mem(1 << 16, 1.0f);
+  // Two gets per tile with no compute in between: with per-transfer depth-1
+  // retirement the second get of each pair would never be refunded; batching
+  // hides both under the following compute.
+  auto kernel = [&](sw::CpeContext& ctx) {
+    ctx.set_dma_pipeline(true);
+    auto a = ctx.ldm().allocate<float>(256);
+    auto b = ctx.ldm().allocate<float>(256);
+    for (int tile = 0; tile < 8; ++tile) {
+      ctx.dma_get(a.data(), mem.data(), 256 * sizeof(float));
+      ctx.dma_get(b.data(), mem.data() + 256, 256 * sizeof(float));
+      ctx.charge_flops(1e6);
+    }
+  };
+  const sw::KernelStats st = cg.run(kernel, 0.0, "test/batched");
+  // Everything but the last (undrainable-before-compute) batch hides: the
+  // remaining dma cost is at most one batch's worth per CPE.
+  EXPECT_GT(st.total.hidden_dma_cycles, 0.0);
+  const double per_batch = st.total.dma_cycles / 8.0;
+  EXPECT_LE(st.total.dma_cycles - per_batch, st.total.hidden_dma_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level guarantees
+
+struct Rig {
+  sw::CoreGroup cg;
+  std::unique_ptr<md::ShortRangeBackend> sr;
+  std::unique_ptr<core::CpePairList> pl;
+  Rig() {
+    sr = core::make_short_range(core::Strategy::Mark, cg);
+    pl = std::make_unique<core::CpePairList>(cg);
+  }
+};
+
+struct RunResult {
+  AlignedVector<Vec3f> x;
+  double total_s = 0.0;
+};
+
+/// One single-rank run with PME offload; overlap per `overlap`.
+RunResult run_sim(bool overlap, int steps = 6, int sr_cpes = 0) {
+  test::OverlapGuard guard(overlap);
+  Rig rig;
+  md::System sys = test::small_water(200, md::CoulombMode::EwaldShort);
+  pme::PmeSolver solver(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+  solver.set_accelerated(true);
+  md::SimOptions opt;
+  opt.nstenergy = steps;
+  opt.overlap = overlap;
+  opt.overlap_sr_cpes = sr_cpes;
+  md::Simulation sim(std::move(sys), opt, *rig.sr, *rig.pl, &solver);
+  sim.run(steps);
+  RunResult r;
+  r.x.assign(sim.system().x.begin(), sim.system().x.end());
+  r.total_s = sim.timers().total();
+  return r;
+}
+
+/// One multi-rank run with PME offload; overlap per `overlap`.
+RunResult run_parallel(bool overlap, int ranks = 8, int steps = 6,
+                       int sr_cpes = 0, std::size_t nmol = 200) {
+  test::OverlapGuard guard(overlap);
+  Rig rig;
+  md::System sys = test::small_water(nmol, md::CoulombMode::EwaldShort);
+  pme::PmeSolver solver(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+  solver.set_accelerated(true);
+  net::ParallelOptions opt;
+  opt.nranks = ranks;
+  opt.sim.nstenergy = steps;
+  opt.sim.overlap = overlap;
+  opt.sim.overlap_sr_cpes = sr_cpes;
+  net::ParallelSim sim(std::move(sys), opt, *rig.sr, *rig.pl, &solver);
+  sim.run(steps);
+  RunResult r;
+  r.x.assign(sim.system().x.begin(), sim.system().x.end());
+  r.total_s = sim.total_seconds();
+  return r;
+}
+
+bool same_bits(const AlignedVector<Vec3f>& a, const AlignedVector<Vec3f>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(Vec3f)) == 0;
+}
+
+TEST(OverlapEngine, SingleRankTrajectoriesAreBitIdentical) {
+  const RunResult serial = run_sim(false);
+  const RunResult overlapped = run_sim(true);
+  EXPECT_TRUE(same_bits(serial.x, overlapped.x));
+}
+
+TEST(OverlapEngine, MultiRankTrajectoriesAreBitIdenticalAndFaster) {
+  const RunResult serial = run_parallel(false);
+  const RunResult overlapped = run_parallel(true);
+  EXPECT_TRUE(same_bits(serial.x, overlapped.x));
+  // Hidden communication + MPE overlap + the DMA pipeline must strictly
+  // reduce the modeled time.
+  EXPECT_LT(overlapped.total_s, serial.total_s);
+}
+
+TEST(OverlapEngine, TrajectoryInvariantUnderHostThreadCount) {
+  AlignedVector<Vec3f> ref;
+  for (const int threads : {1, 4, 8}) {
+    PoolGuard pool(threads);
+    const RunResult r = run_parallel(true);
+    if (ref.empty()) {
+      ref = r.x;
+    } else {
+      EXPECT_TRUE(same_bits(ref, r.x)) << threads << " host threads";
+    }
+  }
+}
+
+TEST(OverlapEngine, PartitionRatioNeverChangesPhysics) {
+  const RunResult serial = run_parallel(false);
+  for (const int sr_cpes : {-1, 0, 8, 32, 48}) {
+    const RunResult r = run_parallel(true, 8, 6, sr_cpes);
+    EXPECT_TRUE(same_bits(serial.x, r.x)) << "sr_cpes=" << sr_cpes;
+  }
+}
+
+TEST(OverlapEngine, DmaFlipRecoveryStaysBitIdentical) {
+  const RunResult clean = run_parallel(false);
+  sw::FaultRates r;
+  r.dma_flip = 2e-6;
+  r.seed = 7;
+  FaultGuard faults(r);
+  const RunResult faulted = run_parallel(true);
+  // CRC-detected flips retry deterministically: same trajectory, more time.
+  EXPECT_TRUE(same_bits(clean.x, faulted.x));
+}
+
+TEST(OverlapEngine, RankCrashRecoveryStaysBitIdentical) {
+  const RunResult clean = run_parallel(false, 8, 8);
+  sw::FaultRates r;
+  r.rank_crash = 4e-3;
+  r.seed = 3;
+  FaultGuard faults(r);
+  const RunResult faulted = run_parallel(true, 8, 8);
+  EXPECT_TRUE(same_bits(clean.x, faulted.x));
+}
+
+}  // namespace
+}  // namespace swgmx

@@ -7,8 +7,24 @@
 #include "md/clusters.hpp"
 #include "md/kernel_ref.hpp"
 #include "md/water.hpp"
+#include "sw/config.hpp"
 
 namespace swgmx::test {
+
+/// Scoped override of the global overlap-engine flag (SWGMX_OVERLAP);
+/// restores the previous value on destruction.
+class OverlapGuard {
+ public:
+  explicit OverlapGuard(bool on) : prev_(sw::overlap_enabled()) {
+    sw::set_overlap_enabled(on);
+  }
+  ~OverlapGuard() { sw::set_overlap_enabled(prev_); }
+  OverlapGuard(const OverlapGuard&) = delete;
+  OverlapGuard& operator=(const OverlapGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 /// Small water box (fast to brute-force).
 inline md::System small_water(std::size_t nmol = 64,

@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
 """Validate a SW_GROMACS trace + metrics snapshot (stdlib only).
 
-Usage: validate_trace.py TRACE.json [METRICS.json]
+Usage: validate_trace.py [--overlap|--serial] TRACE.json [METRICS.json]
 
 Checks that the trace is well-formed Chrome-trace-event JSON that Perfetto
 will load, that the instrumentation actually covered the simulator (>= 64
-CPE tracks, kernel/DMA/PME/step events), and that the metrics snapshot
-carries the per-kernel compute/memory cycle split and the step-time
-histogram. Exits non-zero with a message on the first failure.
+CPE tracks, kernel/DMA/PME/step events), that no simulator track
+double-charges an interval (same-track spans must nest or be disjoint), and
+that the metrics snapshot carries the per-kernel compute/memory cycle split
+and the step-time histogram. With --overlap the trace must additionally show
+the overlap engine at work: "stream" partition tracks with genuinely
+concurrent spans. With --serial it must not carry any stream tracks. Exits
+non-zero with a message on the first failure.
 """
 import json
 import sys
+
+# Tolerance (trace microseconds) for float rounding in span boundaries.
+EPS_NEST = 1e-2
+# Minimum same-time window (microseconds) for two spans to count as
+# genuinely concurrent rather than merely adjacent.
+EPS_CONCURRENT = 1.0
 
 REQUIRED_BY_PH = {
     "X": {"name", "pid", "tid", "ts", "dur"},
@@ -70,9 +80,90 @@ def validate_trace(path):
     check(any(n.startswith("dma_") for n in spans), "no DMA transfer events")
     check(any(n.startswith("pme/") for n in spans), "no PME phase spans")
     check(any(n.startswith("sr/") for n in spans), "no kernel-launch spans")
+    check_no_double_charge(events)
     print(f"validate_trace: trace OK: {len(events)} events, "
           f"{len(cpe_tracks)} CPE tracks, "
           f"{len(spans)} span names, {len(instants)} instant names")
+    return events
+
+
+def sim_pids(events):
+    """Pids of the simulator process (rank pids model per-rank mirrors of
+    globally-computed work and are exempt from the accounting invariants)."""
+    return {ev["pid"] for ev in events
+            if ev.get("ph") == "M" and ev["name"] == "process_name"
+            and ev["args"]["name"] == "core_group"}
+
+
+def stream_tracks(events):
+    """(pid, tid) of the overlap engine's partition tracks."""
+    return {(ev["pid"], ev["tid"]) for ev in events
+            if ev.get("ph") == "M" and ev["name"] == "thread_name"
+            and ev["args"]["name"].startswith("stream ")}
+
+
+def check_no_double_charge(events):
+    """Same-track spans must nest or be disjoint: a track whose spans
+    partially overlap charges some interval twice. DMA markers are drawn on
+    the pipelined timeline and may straddle kernel tile boundaries, so they
+    are exempt. Multi-rank traces are skipped entirely: there the simulator
+    process mirrors *globally computed* kernels (physics is computed once)
+    while the step clock advances per-rank shares, so kernel spans
+    legitimately outlive their step — the rank-time accounting lives on the
+    rank pids and the phase timers."""
+    if any(ev.get("ph") == "M" and ev["name"] == "process_name"
+           and ev["args"]["name"].startswith("rank ") for ev in events):
+        print("validate_trace: multi-rank trace, skipping same-track "
+              "double-charge check (global-compute mirror)")
+        return
+    pids = sim_pids(events)
+    tracks = {}
+    for ev in events:
+        if ev.get("ph") != "X" or ev["pid"] not in pids:
+            continue
+        if ev["name"].startswith("dma_"):
+            continue
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+            (ev["ts"], ev["ts"] + ev["dur"], ev["name"]))
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        open_ends = []
+        for t0, t1, name in spans:
+            while open_ends and open_ends[-1] <= t0 + EPS_NEST:
+                open_ends.pop()
+            if open_ends:
+                check(t1 <= open_ends[-1] + EPS_NEST,
+                      f"span {name!r} on track ({pid},{tid}) at ts={t0} "
+                      f"partially overlaps an earlier span "
+                      f"(double-charged interval)")
+            open_ends.append(t1)
+
+
+def check_overlap_mode(events):
+    """The overlap engine must leave visible evidence: partition stream
+    tracks, with at least one pair of spans on *different* streams running
+    at the same simulated time."""
+    streams = stream_tracks(events)
+    check(streams, "overlap trace has no 'stream' partition tracks")
+    latest = {}  # track -> max span end seen so far
+    found = False
+    spans = [ev for ev in events
+             if ev.get("ph") == "X" and (ev["pid"], ev["tid"]) in streams]
+    for ev in sorted(spans, key=lambda e: e["ts"]):
+        track = (ev["pid"], ev["tid"])
+        for other, end in latest.items():
+            if other != track and end > ev["ts"] + EPS_CONCURRENT:
+                found = True
+        latest[track] = max(latest.get(track, 0.0), ev["ts"] + ev["dur"])
+    check(found, "no concurrent spans across different stream tracks")
+    print(f"validate_trace: overlap OK: {len(streams)} stream tracks with "
+          f"concurrent spans")
+
+
+def check_serial_mode(events):
+    check(not stream_tracks(events),
+          "serial (SWGMX_OVERLAP=0) trace must not carry stream tracks")
+    print("validate_trace: serial OK: no stream tracks")
 
 
 def validate_metrics(path):
@@ -101,11 +192,24 @@ def validate_metrics(path):
 
 
 def main(argv):
-    if len(argv) < 2:
-        fail("usage: validate_trace.py TRACE.json [METRICS.json]")
-    validate_trace(argv[1])
-    if len(argv) > 2:
-        validate_metrics(argv[2])
+    mode = None
+    args = []
+    for a in argv[1:]:
+        if a in ("--overlap", "--serial"):
+            check(mode is None, "pass at most one of --overlap/--serial")
+            mode = a
+        else:
+            args.append(a)
+    if not args:
+        fail("usage: validate_trace.py [--overlap|--serial] TRACE.json "
+             "[METRICS.json]")
+    events = validate_trace(args[0])
+    if mode == "--overlap":
+        check_overlap_mode(events)
+    elif mode == "--serial":
+        check_serial_mode(events)
+    if len(args) > 1:
+        validate_metrics(args[1])
 
 
 if __name__ == "__main__":
