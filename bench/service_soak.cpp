@@ -1,0 +1,328 @@
+// Service soak (DESIGN.md §2.11): a resilient multi-tenant simulation
+// service under a heavy-tailed arrival stream with a fault matrix.
+//
+// Drives one JobScheduler through four scripted phases on the simulated
+// clock:
+//   1. Steady stream — `jobs` mixed-size, mixed-seed water boxes from three
+//      tenants with Pareto-ish inter-arrivals; a slice of them carry
+//      per-job SWGMX_FAULTS specs (dma_flip, cpe_straggler, multi-rank
+//      msg_drop, a rank_crash+spare job) that must stay invisible to their
+//      neighbours.
+//   2. Poison + deadline — a job whose every rank crashes on step one
+//      (fails deterministically on every replay -> quarantine) and a job
+//      with an impossible deadline (watchdog miss -> retries -> quarantine).
+//   3. Priority preemption — long low-priority jobs saturate every host,
+//      then a high-priority arrival forces a checkpoint-preempt and a
+//      later resume.
+//   4. Overload burst — three tenants dump simultaneous arrivals to
+//      exercise quota rejection, queue-full rejection and priority load
+//      shedding of a waiting victim.
+//
+// Isolation gate: every Completed job is re-run ALONE (same spec, fresh
+// injector/metrics, uninterrupted) and its final positions, velocities and
+// energy series must be bit-identical; every Quarantined job must also
+// fail solo. Exit status encodes the verdict for CI:
+//   0  contract holds (and every robustness counter fired)
+//   1  a scheduled job diverged from its solo run
+//   2  counter coverage missing (no preemption/quarantine/rejection/...)
+//   3  the scheduler died, a queue bound was violated, or < the required
+//      number of jobs completed
+//
+// Usage:
+//   service_soak [jobs] [mpi|rdma] [svc_spec]
+// Defaults: 108 stream jobs, mpi, $SWGMX_SERVICE if set, else
+//   hosts:3,queue_limit:8,tenant_quota:4,slice_steps:10,checkpoint_dir:svc_cpt
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "svc/scheduler.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+/// splitmix64: the per-index hash every "random" fleet property derives
+/// from, so the workload is a pure function of the job index.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t h) {
+  return (static_cast<double>(h % 100000ULL) + 0.5) / 100000.0;
+}
+
+bool solo_matches(const svc::Job& j, const svc::SoloResult& solo) {
+  if (!solo.completed) return false;
+  const auto& x = j.final_x();
+  const auto& v = j.final_v();
+  if (x.size() != solo.x.size() || v.size() != solo.v.size() ||
+      j.energy_series().size() != solo.series.size())
+    return false;
+  if (std::memcmp(x.data(), solo.x.data(), x.size() * sizeof(Vec3f)) != 0)
+    return false;
+  if (std::memcmp(v.data(), solo.v.data(), v.size() * sizeof(Vec3f)) != 0)
+    return false;
+  for (std::size_t i = 0; i < solo.series.size(); ++i) {
+    const auto& ea = j.energy_series()[i];
+    const auto& eb = solo.series[i];
+    if (ea.e_lj != eb.e_lj || ea.e_coul != eb.e_coul ||
+        ea.e_bonded != eb.e_bonded || ea.e_kin != eb.e_kin)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nstream = argc > 1 ? std::stoi(argv[1]) : 108;
+  const bool rdma = argc > 2 && std::string(argv[2]) == "rdma";
+  const char* env_spec = std::getenv("SWGMX_SERVICE");
+  const std::string svc_spec =
+      (argc > 3 && argv[3][0] != '\0') ? argv[3]
+      : (env_spec != nullptr && env_spec[0] != '\0')
+          ? env_spec
+          : "hosts:3,queue_limit:8,tenant_quota:4,slice_steps:10,"
+            "max_job_retries:2,retry_delay:1e-4,retry_backoff:2.0,"
+            "checkpoint_dir:svc_cpt";
+  const std::string transport = rdma ? "rdma" : "mpi";
+
+  bench::banner("Service soak: multi-tenant scheduler under " + transport +
+                " (" + svc_spec + ")");
+
+  svc::JobScheduler sched(svc::parse_service_spec(svc_spec.c_str()));
+
+  const char* tenants[3] = {"acme", "globex", "initech"};
+  const std::size_t sizes[4] = {96, 192, 384, 768};
+
+  // Phase 1: steady heavy-tailed stream of mixed-size jobs. The Pareto-ish
+  // gap (u^-0.6, mean well above the service rate) keeps this phase
+  // underloaded so admission control only bites in the scripted burst.
+  double arrival = 0.0;
+  for (int i = 0; i < nstream; ++i) {
+    const std::uint64_t h = mix(static_cast<std::uint64_t>(i));
+    svc::JobSpec s;
+    s.tenant = tenants[i % 3];
+    s.name = "stream" + std::to_string(i);
+    s.particles = sizes[h % 4];
+    s.steps = 20 + static_cast<int>((h >> 16) % 3) * 10;  // 20/30/40
+    s.seed = 1 + static_cast<unsigned>(h % 7);
+    const double u = unit(h >> 24);
+    arrival += 2e-2 * std::pow(u, -0.6) / 3.0;  // heavy-tailed gap
+    s.arrival_s = arrival;
+    if (i % 23 == 5) s.faults = "dma_flip:2e-3,seed:" + std::to_string(i);
+    if (i % 23 == 11)
+      s.faults = "cpe_straggle:1e-3,seed:" + std::to_string(i);
+    if (i % 31 == 7) {
+      s.ranks = 2;
+      s.faults = "msg_drop:1e-3,seed:" + std::to_string(i);
+    }
+    if (i == 50) {
+      s.ranks = 4;
+      s.faults = "rank_crash:5e-3,rank_hang:1e-3,spare_ranks:1,seed:11";
+    }
+    sched.submit(s);
+  }
+  const double t_end = arrival;
+
+  // Phase 2: a poison job (every rank crashes at the first opportunity, on
+  // every replay -> quarantine after the retry budget) and an impossible
+  // deadline (watchdog fires at the first slice, every attempt).
+  {
+    svc::JobSpec p;
+    p.tenant = "acme";
+    p.name = "poison";
+    p.particles = 96;
+    p.steps = 20;
+    p.ranks = 2;
+    p.faults = "rank_crash:1.0,seed:3";
+    p.arrival_s = t_end * 0.25;
+    sched.submit(p);
+
+    svc::JobSpec d;
+    d.tenant = "globex";
+    d.name = "late";
+    d.particles = 96;
+    d.steps = 30;
+    d.deadline_s = 1e-9;  // < any slice; misses on every attempt
+    d.arrival_s = t_end * 0.35;
+    sched.submit(d);
+  }
+
+  // Phase 3: saturate every host with long low-priority jobs, then land a
+  // high-priority job an instant later: no idle host, so the scheduler must
+  // checkpoint-preempt a runner and resume it afterwards.
+  const double t_pre = t_end + 1.0;
+  for (int i = 0; i < sched.options().hosts; ++i) {
+    svc::JobSpec s;
+    s.tenant = "batch";
+    s.name = "long" + std::to_string(i);
+    s.particles = 768;
+    s.steps = 60;
+    s.arrival_s = t_pre;
+    sched.submit(s);
+  }
+  {
+    svc::JobSpec s;
+    s.tenant = "vip";
+    s.name = "urgent";
+    s.particles = 192;
+    s.steps = 20;
+    s.priority = 5;
+    s.arrival_s = t_pre + 1e-9;
+    sched.submit(s);
+  }
+
+  // Phase 4: overload burst. "burst" and "flood" each dump 20 simultaneous
+  // jobs (quota 4 each -> 32 quota rejections, 8 admitted filling the
+  // queue); "spike" jobs then see a full queue with no lower-priority
+  // victim (queue rejection); a late priority-2 "vip2" arrival sheds the
+  // oldest priority-0 waiter.
+  const double t_burst = t_pre + 2.0;
+  for (const char* t : {"burst", "flood", "spike"}) {
+    for (int i = 0; i < 20; ++i) {
+      svc::JobSpec s;
+      s.tenant = t;
+      s.name = std::string(t) + std::to_string(i);
+      s.particles = 96;
+      s.steps = 20;
+      s.arrival_s = t_burst + (std::strcmp(t, "spike") == 0 ? 1e-9 : 0.0);
+      sched.submit(s);
+    }
+  }
+  {
+    svc::JobSpec s;
+    s.tenant = "vip";
+    s.name = "urgent2";
+    s.particles = 96;
+    s.steps = 20;
+    s.priority = 2;
+    s.arrival_s = t_burst + 2e-9;
+    sched.submit(s);
+  }
+
+  try {
+    sched.run_until_idle();
+  } catch (const Error& e) {
+    std::cout << "SERVICE scheduler died: " << e.what() << "\n";
+    return 3;
+  }
+
+  const svc::ServiceStats& st = sched.stats();
+
+  // Isolation gate: every completed job bit-identical to running alone;
+  // every quarantined job is poison alone too.
+  std::size_t divergent = 0;
+  std::size_t checked = 0;
+  for (const auto& jp : sched.jobs()) {
+    const svc::Job& j = *jp;
+    if (j.state == svc::JobState::Completed) {
+      const svc::SoloResult solo = svc::run_solo(j.spec(), sched.options());
+      ++checked;
+      if (!solo_matches(j, solo)) {
+        ++divergent;
+        std::cout << "DIVERGED: " << j.display_name()
+                  << " (solo completed=" << solo.completed << ")\n";
+      }
+    } else if (j.state == svc::JobState::Quarantined &&
+               j.spec().deadline_s == 0.0) {
+      const svc::SoloResult solo = svc::run_solo(j.spec(), sched.options());
+      ++checked;
+      if (solo.completed) {
+        ++divergent;
+        std::cout << "DIVERGED: quarantined " << j.display_name()
+                  << " completes alone\n";
+      }
+    }
+  }
+
+  const std::uint64_t rejected =
+      st.rejected_queue + st.rejected_quota + st.shed;
+  const double makespan = sched.now();
+  const double jobs_per_sec =
+      makespan > 0.0 ? static_cast<double>(st.completed) / makespan : 0.0;
+  const sw::RecoveryStats rec = sched.recovery();
+
+  bench::bench_json(
+      "service/" + transport,
+      {{"jobs_submitted", static_cast<double>(st.submitted)},
+       {"jobs_completed", static_cast<double>(st.completed)},
+       {"rejected_queue", static_cast<double>(st.rejected_queue)},
+       {"rejected_quota", static_cast<double>(st.rejected_quota)},
+       {"shed", static_cast<double>(st.shed)},
+       {"preemptions", static_cast<double>(st.preemptions)},
+       {"resumes", static_cast<double>(st.resumes)},
+       {"retries", static_cast<double>(st.retries)},
+       {"quarantined", static_cast<double>(st.quarantined)},
+       {"deadline_misses", static_cast<double>(st.deadline_misses)},
+       {"max_queue_depth", static_cast<double>(st.max_queue_depth)},
+       {"makespan_sim_seconds", makespan},
+       {"jobs_per_sim_second", jobs_per_sec},
+       {"latency_p50_s", st.latency.p50()},
+       {"latency_p95_s", st.latency.p95()},
+       {"latency_p99_s", st.latency.p99()},
+       {"fault_rollbacks", static_cast<double>(rec.rollbacks)},
+       {"fault_dma_retries", static_cast<double>(rec.dma_retries)},
+       {"fault_ranks_evicted", static_cast<double>(rec.ranks_evicted)},
+       {"solo_checked", static_cast<double>(checked)},
+       {"divergent", static_cast<double>(divergent)}});
+
+  // Per-tenant fairness: completions and host seconds per tenant.
+  for (const svc::Tenant& t : sched.tenants()) {
+    bench::bench_json(
+        "service/" + transport + "/tenant/" + t.name,
+        {{"submitted", static_cast<double>(t.submitted)},
+         {"completed", static_cast<double>(t.completed)},
+         {"rejected", static_cast<double>(t.rejected)},
+         {"quarantined", static_cast<double>(t.quarantined)},
+         {"busy_seconds", t.busy_seconds}});
+  }
+
+  // Roll per-job metrics up into the global registry so SWGMX_METRICS
+  // snapshots carry the svc/ namespaces.
+  sched.rollup_into(obs::MetricsRegistry::global());
+  bench::write_observability_artifacts();
+
+  std::cout << "SERVICE transport=" << transport
+            << " completed=" << st.completed << " rejected=" << rejected
+            << " preemptions=" << st.preemptions
+            << " resumes=" << st.resumes << " retries=" << st.retries
+            << " quarantined=" << st.quarantined
+            << " deadline_misses=" << st.deadline_misses
+            << " max_queue_depth=" << st.max_queue_depth
+            << " divergent=" << divergent << "\n";
+
+  if (divergent != 0) {
+    std::cout << "FAIL: " << divergent
+              << " job(s) diverged from their solo runs\n";
+    return 1;
+  }
+  if (st.max_queue_depth >
+      static_cast<std::size_t>(sched.options().queue_limit)) {
+    std::cout << "FAIL: admission queue exceeded its bound\n";
+    return 3;
+  }
+  if (st.completed < 100) {
+    std::cout << "FAIL: only " << st.completed << " jobs completed (< 100)\n";
+    return 3;
+  }
+  if (st.preemptions == 0 || st.resumes == 0 || st.quarantined == 0 ||
+      st.retries == 0 || st.rejected_queue == 0 || st.rejected_quota == 0 ||
+      st.shed == 0 || st.deadline_misses == 0) {
+    std::cout << "FAIL: a robustness path never fired (preempt/quarantine/"
+                 "reject/shed/retry/deadline coverage)\n";
+    return 2;
+  }
+  std::cout << "OK: " << st.completed << " jobs, isolation bit-identical, "
+            << "all robustness paths exercised\n";
+  return 0;
+}

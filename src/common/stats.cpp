@@ -75,6 +75,38 @@ void Histogram::observe(double x) {
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    if (bounds_.empty() && !other.bounds_.empty()) *this = other;
+    return;
+  }
+  if (bounds_.empty()) {
+    *this = other;
+    return;
+  }
+  SWGMX_CHECK_MSG(bounds_ == other.bounds_,
+                  "Histogram::merge: bucket layouts differ ("
+                      << bounds_.size() << " vs " << other.bounds_.size()
+                      << " bounds)");
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

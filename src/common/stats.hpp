@@ -43,6 +43,14 @@ class Histogram {
                                              std::size_t n);
 
   void observe(double x);
+  /// Fold `other` into this histogram: per-bucket counts, count, sum and the
+  /// observed min/max combine exactly, so merging per-job histograms into a
+  /// tenant or service rollup loses nothing and double-counts nothing.
+  /// Merging into a default-constructed histogram adopts `other`'s bucket
+  /// layout; otherwise the layouts must match.
+  void merge(const Histogram& other);
+  /// Drop all observations, keeping the bucket layout.
+  void reset();
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const {

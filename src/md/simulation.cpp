@@ -32,10 +32,38 @@ Histogram& step_seconds_hist() {
 }
 }  // namespace
 
+void SimOptions::validate() const {
+  SWGMX_CHECK_MSG(checkpoint_every >= 0, "SimOptions checkpoint_every "
+                                             << checkpoint_every
+                                             << " must be >= 0 (0 = off)");
+  SWGMX_CHECK_MSG(
+      checkpoint_every == 0 || !checkpoint_path.empty(),
+      "SimOptions checkpoint_every " << checkpoint_every
+                                     << " needs a non-empty checkpoint_path");
+  SWGMX_CHECK_MSG(watchdog_max_disp > 0.0, "SimOptions watchdog_max_disp "
+                                               << watchdog_max_disp
+                                               << " must be > 0");
+  SWGMX_CHECK_MSG(watchdog_energy_tol > 0.0, "SimOptions watchdog_energy_tol "
+                                                 << watchdog_energy_tol
+                                                 << " must be > 0");
+  SWGMX_CHECK_MSG(start_step >= 0,
+                  "SimOptions start_step " << start_step << " must be >= 0");
+  SWGMX_CHECK_MSG(nstlist >= 0, "SimOptions nstlist " << nstlist
+                                                      << " must be >= 0");
+  SWGMX_CHECK_MSG(nstenergy >= 0, "SimOptions nstenergy " << nstenergy
+                                                          << " must be >= 0");
+}
+
 Simulation::Simulation(System sys, SimOptions opt, ShortRangeBackend& sr,
                        PairListBackend& pl, LongRangeBackend* lr, TrajSink* traj)
     : sys_(std::move(sys)), opt_(opt), sr_(&sr), pl_(&pl), lr_(lr), traj_(traj) {
   SWGMX_CHECK(sys_.size() > 0);
+  opt_.validate();
+  // A resumed job starts mid-trajectory: the list built here matches the
+  // restored positions exactly (preemption only happens at rebuild
+  // boundaries), and the first step() at start_step % nstlist == 0 rebuilds
+  // again deterministically, same as the uninterrupted run.
+  step_ = opt_.start_step;
   neighbor_search();
 }
 

@@ -61,6 +61,17 @@ struct SimOptions {
   bool watchdog = false;           ///< run the numeric health guard even fault-free
   double watchdog_max_disp = 0.1;  ///< nm of per-step displacement before rollback
   double watchdog_energy_tol = 1.0;  ///< relative total-energy drift before rollback
+  /// First step number of this run (>= 0). A job resumed from a preemption
+  /// checkpoint passes the checkpointed step here so its rebuild schedule,
+  /// fault keys and energy-sample steps line up with the uninterrupted run.
+  std::int64_t start_step = 0;
+
+  /// Range-check the robustness knobs with precise errors (mirrors the
+  /// SWGMX_FAULTS spec validation): checkpoint_every >= 0 and a non-empty
+  /// checkpoint_path when it is > 0, watchdog_max_disp > 0,
+  /// watchdog_energy_tol > 0, start_step >= 0, nstlist/nstenergy >= 0.
+  /// Called by the Simulation and ParallelSim constructors.
+  void validate() const;
 };
 
 /// One energy sample.

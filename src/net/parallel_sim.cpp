@@ -40,6 +40,8 @@ ParallelSim::ParallelSim(md::System sys, ParallelOptions opt,
       traj_(traj),
       dd_(sys_.box, opt.nranks) {
   SWGMX_CHECK(opt_.nranks >= 1);
+  opt_.sim.validate();
+  step_ = opt_.sim.start_step;
   if (opt_.rdma) {
     transport_ = std::make_unique<RdmaSimTransport>();
     using_rdma_ = true;

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <atomic>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -7,11 +8,29 @@
 
 namespace swgmx::obs {
 
+namespace {
+// The installed-registry override. Atomic so worker threads hitting
+// global() mid-kernel read a coherent pointer; swaps happen only between
+// slices on the driver thread (the pool join orders them).
+std::atomic<MetricsRegistry*>& active_registry() {
+  static std::atomic<MetricsRegistry*> active{nullptr};
+  return active;
+}
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::global() {
+  if (MetricsRegistry* a = active_registry().load(std::memory_order_acquire);
+      a != nullptr) {
+    return *a;
+  }
   // Leaked on purpose: the trace/metrics atexit exporter may run after
   // static destructors would have fired.
   static MetricsRegistry* g = new MetricsRegistry();
   return *g;
+}
+
+MetricsRegistry* MetricsRegistry::install(MetricsRegistry* reg) {
+  return active_registry().exchange(reg, std::memory_order_acq_rel);
 }
 
 MetricEntry& MetricsRegistry::upsert(std::string_view name, MetricKind kind) {
@@ -30,17 +49,25 @@ MetricEntry& MetricsRegistry::upsert(std::string_view name, MetricKind kind) {
   return entries_.back();
 }
 
+MetricEntry& MetricsRegistry::scoped(std::string_view name, MetricKind kind) {
+  if (prefix_.empty()) return upsert(name, kind);
+  std::string full;
+  full.reserve(prefix_.size() + name.size());
+  full.append(prefix_).append(name);
+  return upsert(full, kind);
+}
+
 void MetricsRegistry::counter_add(std::string_view name, double v) {
-  upsert(name, MetricKind::kCounter).value += v;
+  scoped(name, MetricKind::kCounter).value += v;
 }
 
 void MetricsRegistry::gauge_set(std::string_view name, double v) {
-  upsert(name, MetricKind::kGauge).value = v;
+  scoped(name, MetricKind::kGauge).value = v;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const Histogram& proto) {
-  MetricEntry& e = upsert(name, MetricKind::kHist);
+  MetricEntry& e = scoped(name, MetricKind::kHist);
   if (e.hist.bounds().empty()) e.hist = proto;
   return e.hist;
 }
@@ -128,6 +155,27 @@ void MetricsRegistry::write_flat(std::ostream& os, bool leading_comma) const {
     comma = true;
     os << '"' << json_escape(e.name) << "\":";
     json_number(os, e.value);
+  }
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& src,
+                                 std::string_view strip,
+                                 std::string_view add) {
+  for (const MetricEntry& e : src.entries_) {
+    std::string_view rest = e.name;
+    if (!strip.empty()) {
+      if (rest.substr(0, strip.size()) != strip) continue;
+      rest.remove_prefix(strip.size());
+    }
+    std::string full;
+    full.reserve(add.size() + rest.size());
+    full.append(add).append(rest);
+    MetricEntry& d = upsert(full, e.kind);
+    switch (e.kind) {
+      case MetricKind::kCounter: d.value += e.value; break;
+      case MetricKind::kGauge: d.value = e.value; break;
+      case MetricKind::kHist: d.hist.merge(e.hist); break;
+    }
   }
 }
 

@@ -36,7 +36,18 @@ class MetricsRegistry {
   MetricsRegistry() = default;
 
   /// Process-wide registry (never destroyed, safe from atexit hooks).
+  /// Resolves to the installed registry when one is active (see install()),
+  /// so deep instrumentation sites need no plumbing to record into a job's
+  /// namespace.
   [[nodiscard]] static MetricsRegistry& global();
+
+  /// Swap the registry global() resolves to (nullptr restores the process
+  /// default). Returns the previously installed registry. The service
+  /// scheduler installs a job's registry around each scheduling slice so
+  /// every metric the simulator records lands in that job's namespace; the
+  /// pointer is atomic, but the registry itself stays single-writer — swap
+  /// only from the driver thread with no kernels in flight.
+  static MetricsRegistry* install(MetricsRegistry* reg);
 
   void counter_add(std::string_view name, double v = 1.0);
   void gauge_set(std::string_view name, double v);
@@ -64,16 +75,35 @@ class MetricsRegistry {
   /// emits a leading comma before each pair when `leading_comma`.
   void write_flat(std::ostream& os, bool leading_comma = false) const;
 
+  /// Namespace scoping: every metric recorded after this call is stored
+  /// under `prefix + name` (e.g. "svc/acme/equil-3/"). Lookups (value/find)
+  /// take full names. Existing entries are not renamed — set the prefix
+  /// before recording.
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  /// Fold `src` into this registry without double counting: counters add,
+  /// gauges take the source value, histograms merge (layouts must match).
+  /// Entries whose name does not start with `strip` are skipped; the
+  /// surviving names are rewritten `strip + rest -> add + rest`, so one
+  /// per-job registry rolls up under several namespaces (job, tenant,
+  /// service totals) from the same source of truth.
+  void merge_from(const MetricsRegistry& src, std::string_view strip = {},
+                  std::string_view add = {});
+
   void clear();
 
  private:
   MetricEntry& upsert(std::string_view name, MetricKind kind);
+  /// upsert under `prefix_ + name` (the write path of the recording calls).
+  MetricEntry& scoped(std::string_view name, MetricKind kind);
 
   /// Deque, not vector: histogram() hands out long-lived references (e.g.
   /// the DMA-size histogram cached across a launch flush) and a mid-flush
   /// registration must not invalidate them.
   std::deque<MetricEntry> entries_;
   std::unordered_map<std::string, std::size_t> index_;
+  std::string prefix_;
 };
 
 }  // namespace swgmx::obs

@@ -63,6 +63,8 @@ void TraceSession::stop() {
   path_.clear();
   clock_ns_ = 0.0;
   mpe_redirect_ = -1;
+  sim_pid_redirect_ = -1;
+  muted_ = false;
   flow_ids_ = 0;
   dropped_ = 0;
   tracks_.clear();
@@ -71,16 +73,20 @@ void TraceSession::stop() {
 }
 
 void TraceSession::set_process_name(int pid, std::string_view name) {
-  if (!enabled_) return;
+  if (!enabled_ || muted_) return;
+  if (pid == kPidSim) pid = sim_pid();
   process_names_[pid] = std::string(name);
 }
 
 void TraceSession::set_thread_name(int pid, int tid, std::string_view name) {
-  if (!enabled_) return;
+  if (!enabled_ || muted_) return;
+  if (pid == kPidSim) pid = sim_pid();
   thread_names_[track_key(pid, tid)] = std::string(name);
 }
 
 void TraceSession::push(int pid, int tid, Event ev) {
+  if (muted_) return;
+  if (pid == kPidSim) pid = sim_pid();
   Track& t = tracks_[track_key(pid, tid)];
   if (t.ring.size() < cap_) {
     t.ring.push_back(std::move(ev));

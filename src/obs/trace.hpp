@@ -37,8 +37,13 @@ namespace swgmx::obs {
 // tid 1+i); ParallelSim rank r is its own process 100+r.
 inline constexpr int kPidSim = 1;
 inline constexpr int kTidMpe = 0;
+/// The service scheduler's own process (admission / preemption / quarantine
+/// instants). Job processes use job_pid(), clear of rank pids (100+r).
+inline constexpr int kPidSvc = 2;
 [[nodiscard]] constexpr int cpe_tid(int cpe) { return 1 + cpe; }
 [[nodiscard]] constexpr int rank_pid(int rank) { return 100 + rank; }
+/// Trace process for service job number `seq` (0-based).
+[[nodiscard]] constexpr int job_pid(int seq) { return 1000 + seq; }
 /// Kernel-stream track for one concurrent partition/backend of the overlap
 /// engine (CPE tids occupy 1..64, so streams start at 70).
 [[nodiscard]] constexpr int stream_tid(int stream) { return 70 + stream; }
@@ -108,6 +113,22 @@ class TraceSession {
     return mpe_redirect_ >= 0 ? mpe_redirect_ : kTidMpe;
   }
 
+  /// Re-home the simulated core-group process: every event and track-name
+  /// registration addressed to kPidSim lands on `pid` instead. The service
+  /// scheduler points this at job_pid(seq) while a job's slice executes, so
+  /// each job owns a full process (MPE + 64 CPE tracks) in the trace and no
+  /// CPE track ever interleaves spans from two jobs; -1 restores kPidSim.
+  void set_sim_pid(int pid) { sim_pid_redirect_ = pid; }
+  [[nodiscard]] int sim_pid() const {
+    return sim_pid_redirect_ > 0 ? sim_pid_redirect_ : kPidSim;
+  }
+
+  /// Drop events and track metadata while muted (the clock still runs).
+  /// run_solo() mutes its reference runs so a service trace carries exactly
+  /// the scheduled execution, not the verification replays.
+  void set_muted(bool m) { muted_ = m; }
+  [[nodiscard]] bool muted() const { return muted_; }
+
   // --- track metadata ---
   void set_process_name(int pid, std::string_view name);
   void set_thread_name(int pid, int tid, std::string_view name);
@@ -166,6 +187,8 @@ class TraceSession {
   std::size_t cap_ = 4096;
   double clock_ns_ = 0.0;
   int mpe_redirect_ = -1;
+  int sim_pid_redirect_ = -1;
+  bool muted_ = false;
   std::uint64_t flow_ids_ = 0;
   std::uint64_t dropped_ = 0;
   std::map<std::int64_t, Track> tracks_;

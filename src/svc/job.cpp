@@ -1,0 +1,271 @@
+#include "svc/job.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/strategies.hpp"
+#include "io/checkpoint.hpp"
+#include "md/water.hpp"
+
+namespace swgmx::svc {
+
+namespace {
+
+/// MPE cost of `ops` arithmetic ops + `mem` memory references (the same
+/// streaming-pass model Simulation charges for its periodic checkpoints),
+/// used to price preemption checkpoint writes and restores.
+double mpe_secs(const sw::SwConfig& cfg, double ops, double mem) {
+  return cfg.seconds(ops * cfg.mpe_op_penalty +
+                     mem * cfg.mpe_miss_rate * cfg.mpe_miss_latency_cycles);
+}
+
+md::System make_system(const JobSpec& spec) {
+  md::WaterBoxOptions w;
+  w.nmol = std::max<std::size_t>(1, spec.particles / 3);
+  w.seed = spec.seed;
+  return md::make_water_box(w);
+}
+
+md::SimOptions make_sim_options(const JobSpec& spec, std::int64_t start_step) {
+  md::SimOptions o;
+  o.nstlist = spec.nstlist;
+  o.nstenergy = spec.nstenergy;
+  o.start_step = start_step;
+  return o;
+}
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Pending: return "pending";
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Preempted: return "preempted";
+    case JobState::Completed: return "completed";
+    case JobState::Rejected: return "rejected";
+    case JobState::Quarantined: return "quarantined";
+  }
+  return "?";
+}
+
+/// One job's simulated machine: its own core group (kernel counters and
+/// launch logs included) plus the MD driver. Torn down whenever the job
+/// leaves a host so a hundred-job soak never holds a hundred live engines.
+struct Job::Engine {
+  sw::CoreGroup cg;
+  std::unique_ptr<md::ShortRangeBackend> sr;
+  std::unique_ptr<core::CpePairList> pl;
+  std::unique_ptr<md::Simulation> sim;     ///< single-rank jobs
+  std::unique_ptr<net::ParallelSim> psim;  ///< multi-rank jobs
+};
+
+Job::Job(JobSpec spec, int seq, const ServiceOptions& svc)
+    : spec_(std::move(spec)), seq_(seq), svc_(&svc) {
+  SWGMX_CHECK_MSG(spec_.steps > 0,
+                  "job steps " << spec_.steps << " must be > 0");
+  SWGMX_CHECK_MSG(spec_.ranks >= 1,
+                  "job ranks " << spec_.ranks << " must be >= 1");
+  SWGMX_CHECK_MSG(spec_.nstlist > 0,
+                  "job nstlist " << spec_.nstlist << " must be > 0");
+  name_ = spec_.name.empty() ? "job" + std::to_string(seq_) : spec_.name;
+  cpt_path_ = svc_->checkpoint_dir + "/" + spec_.tenant + "__" + name_ + ".cpt";
+  metrics_.set_prefix("svc/" + spec_.tenant + "/" + name_ + "/");
+  inj_.configure(sw::parse_fault_spec(spec_.faults.c_str()));
+}
+
+Job::~Job() = default;
+
+void Job::build_engine(const io::Checkpoint* cp) {
+  md::System sys = make_system(spec_);
+  std::int64_t start_step = 0;
+  if (cp != nullptr) {
+    io::apply_checkpoint(*cp, sys);
+    start_step = cp->step;
+  }
+  auto e = std::make_unique<Engine>();
+  e->sr = core::make_short_range(core::Strategy::Mark, e->cg);
+  e->pl = std::make_unique<core::CpePairList>(e->cg);
+  if (spec_.ranks > 1) {
+    net::ParallelOptions po;
+    po.nranks = spec_.ranks;
+    po.rdma = spec_.rdma;
+    po.sim = make_sim_options(spec_, start_step);
+    e->psim = std::make_unique<net::ParallelSim>(std::move(sys), po, *e->sr,
+                                                 *e->pl);
+  } else {
+    e->sim = std::make_unique<md::Simulation>(
+        std::move(sys), make_sim_options(spec_, start_step), *e->sr, *e->pl);
+  }
+  engine_ = std::move(e);
+}
+
+void Job::start_attempt() {
+  ++attempts_;
+  resume_step_ = 0;
+  series_.clear();  // retries restart from scratch
+  build_engine(nullptr);
+}
+
+SliceResult Job::run_slice(int max_steps) {
+  SWGMX_CHECK_MSG(engine_ != nullptr,
+                  "run_slice on " << display_name() << " with no engine");
+  SliceResult r;
+  const double t0 = engine_seconds();
+  const auto remaining =
+      static_cast<int>(static_cast<std::int64_t>(spec_.steps) - current_step());
+  const int n = std::min(remaining, max_steps);
+  try {
+    if (engine_->sim) {
+      engine_->sim->run(n);
+    } else {
+      engine_->psim->run(n);
+    }
+  } catch (const Error& e) {
+    r.failed = true;
+    r.error = e.what();
+    r.seconds = engine_seconds() - t0;
+    return r;
+  }
+  r.seconds = engine_seconds() - t0;
+  r.done = current_step() >= spec_.steps;
+  return r;
+}
+
+bool Job::preemptible() const {
+  return engine_ != nullptr && engine_->sim != nullptr &&
+         current_step() % spec_.nstlist == 0 && current_step() < spec_.steps;
+}
+
+double Job::preempt() {
+  SWGMX_CHECK_MSG(preemptible(),
+                  "preempt on " << display_name()
+                                << " outside a rebuild boundary");
+  const md::Simulation& sim = *engine_->sim;
+  io::write_checkpoint_coordinated_rotating(cpt_path_, sim.system(),
+                                            sim.current_step(),
+                                            io::RankLayout{});
+  // The inspector requires the _prev fallback unconditionally; the first
+  // preemption has nothing to rotate, so publish the same state as _prev.
+  const std::string prev = io::checkpoint_prev_path(cpt_path_);
+  if (!std::filesystem::exists(prev)) {
+    io::write_checkpoint_coordinated(prev, sim.system(), sim.current_step(),
+                                     io::RankLayout{});
+  }
+  resume_step_ = sim.current_step();
+  // Samples land after ++step_ (a job at step s holds samples through s;
+  // the resumed engine samples from s + nstenergy), so appending here and
+  // again at finish() splices the series exactly as the solo run records it.
+  const auto& es = sim.energy_series();
+  series_.insert(series_.end(), es.begin(), es.end());
+  const double n = static_cast<double>(sim.system().size());
+  inj_.record_checkpoint();
+  engine_.reset();
+  ++preemptions;
+  return mpe_secs(md::SimOptions{}.cfg, n * 8.0, n * 4.0);
+}
+
+double Job::resume() {
+  SWGMX_CHECK_MSG(engine_ == nullptr && resume_step_ > 0,
+                  "resume on " << display_name() << " that was not preempted");
+  const io::Checkpoint cp = io::read_checkpoint_or_prev(cpt_path_);
+  build_engine(&cp);
+  const double n = static_cast<double>(cp.x.size());
+  return mpe_secs(md::SimOptions{}.cfg, n * 8.0, n * 4.0);
+}
+
+void Job::finish(bool completed) {
+  if (completed && engine_ != nullptr) {
+    const md::System& sys =
+        engine_->sim ? engine_->sim->system() : engine_->psim->system();
+    final_x_.assign(sys.x.begin(), sys.x.end());
+    final_v_.assign(sys.v.begin(), sys.v.end());
+    const auto& es = engine_->sim ? engine_->sim->energy_series()
+                                  : engine_->psim->energy_series();
+    series_.insert(series_.end(), es.begin(), es.end());
+  }
+  engine_.reset();
+}
+
+void Job::abort_attempt() {
+  resume_step_ = 0;
+  engine_.reset();
+}
+
+std::int64_t Job::current_step() const {
+  if (engine_ == nullptr) return resume_step_;
+  return engine_->sim ? engine_->sim->current_step()
+                      : engine_->psim->current_step();
+}
+
+double Job::engine_seconds() const {
+  if (engine_ == nullptr) return 0.0;
+  return engine_->sim ? engine_->sim->timers().total()
+                      : engine_->psim->total_seconds();
+}
+
+std::uint64_t Job::rollbacks() const {
+  if (engine_ == nullptr) return 0;
+  return engine_->sim ? engine_->sim->rollback_count()
+                      : engine_->psim->rollback_count();
+}
+
+JobContext::JobContext(Job& job, double now_s) {
+  prev_inj_ = sw::FaultInjector::install(&job.injector());
+  prev_reg_ = obs::MetricsRegistry::install(&job.metrics());
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    tr.set_sim_pid(job.trace_pid());
+    // Through the redirect these land on the job's own process/tracks. The
+    // [parallel] tag tells the trace validator this process mirrors
+    // globally-computed kernels (rank timelines replay with clock seeks),
+    // so its spans are exempt from the nest-or-disjoint invariant — the
+    // same exemption the base validator applies to multi-rank traces.
+    tr.set_process_name(obs::kPidSim,
+                        "job " + job.display_name() +
+                            (job.spec().ranks > 1 ? " [parallel]" : ""));
+    tr.seek_ns(now_s * 1e9);
+  }
+}
+
+JobContext::~JobContext() {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) tr.set_sim_pid(-1);
+  obs::MetricsRegistry::install(prev_reg_);
+  sw::FaultInjector::install(prev_inj_);
+}
+
+namespace {
+/// Mute the trace for the duration of a reference run.
+struct TraceMute {
+  bool prev;
+  TraceMute() : prev(obs::TraceSession::global().muted()) {
+    obs::TraceSession::global().set_muted(true);
+  }
+  ~TraceMute() { obs::TraceSession::global().set_muted(prev); }
+};
+}  // namespace
+
+SoloResult run_solo(const JobSpec& spec, const ServiceOptions& svc) {
+  Job job(spec, /*seq=*/0, svc);
+  SoloResult r;
+  TraceMute mute;
+  JobContext ctx(job, 0.0);
+  job.start_attempt();
+  const SliceResult s = job.run_slice(spec.steps);
+  if (s.failed) {
+    r.error = s.error;
+    job.abort_attempt();
+    return r;
+  }
+  job.finish(true);
+  r.completed = true;
+  r.x = job.final_x();
+  r.v = job.final_v();
+  r.series = job.energy_series();
+  return r;
+}
+
+}  // namespace swgmx::svc

@@ -1,0 +1,196 @@
+// Job: one tenant's simulation request, run by the service scheduler as a
+// sequence of preemptible slices with its *own* fault injector, metrics
+// namespace and trace process — the re-entrancy refactor that turns
+// md::Simulation / net::ParallelSim from one-at-a-time drivers into
+// multiplexable jobs (DESIGN.md §2.11).
+//
+// Isolation contract: everything a job's engine touches through the
+// process-global accessors (sw::FaultInjector::global(),
+// obs::MetricsRegistry::global(), the trace sim pid) resolves to *this
+// job's* instances while one of its slices executes (JobContext installs
+// them), so one tenant's SWGMX_FAULTS spec can neither perturb another
+// job's trajectory nor pollute its stats. Completed jobs are bit-identical
+// to running alone: recovery converges to the fault-free trajectory
+// (DESIGN.md §2.6/§2.9), retries restart from scratch, and preemption
+// checkpoints only happen at pair-list rebuild boundaries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/pairlist_cpe.hpp"
+#include "md/simulation.hpp"
+#include "net/parallel_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/service.hpp"
+#include "sw/core_group.hpp"
+#include "sw/fault.hpp"
+
+namespace swgmx::io {
+struct Checkpoint;
+}
+
+namespace swgmx::svc {
+
+/// What a tenant submits: a water-box simulation plus scheduling metadata.
+struct JobSpec {
+  std::string tenant = "default";
+  std::string name;           ///< unique within the run; "job<seq>" if empty
+  std::size_t particles = 384;  ///< water box size (rounded down to molecules)
+  int steps = 20;             ///< MD steps to completion
+  int ranks = 1;              ///< > 1: ParallelSim-backed (non-preemptible)
+  bool rdma = false;          ///< transport for multi-rank jobs
+  int priority = 0;           ///< higher dispatches first and may preempt lower
+  double arrival_s = 0.0;     ///< simulated submission time
+  double deadline_s = 0.0;    ///< latency allowance from admission (0 = service default)
+  std::string faults;         ///< this job's SWGMX_FAULTS spec ("" = fault-free)
+  int nstlist = 10;           ///< pair-list rebuild interval (slice boundaries align to it)
+  int nstenergy = 10;
+  unsigned seed = 1;          ///< water box seed (mixed-size mixed-seed fleets)
+};
+
+enum class JobState {
+  Pending,      ///< submitted, arrival time not reached
+  Queued,       ///< admitted, waiting for a host
+  Running,      ///< a slice is on a host
+  Preempted,    ///< checkpointed off a host, waiting to resume
+  Completed,    ///< reached its step target (terminal)
+  Rejected,     ///< refused at admission or shed under overload (terminal)
+  Quarantined,  ///< poison job: exhausted its retry budget (terminal)
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+
+/// One scheduling slice's outcome.
+struct SliceResult {
+  double seconds = 0.0;  ///< simulated seconds the slice cost the host
+  bool done = false;     ///< job reached its step target
+  bool failed = false;   ///< the attempt died (self-healing gave up)
+  std::string error;     ///< failure message when failed
+};
+
+class Job {
+ public:
+  Job(JobSpec spec, int seq, const ServiceOptions& svc);
+  ~Job();
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+  [[nodiscard]] int seq() const { return seq_; }
+  [[nodiscard]] std::string display_name() const {
+    return spec_.tenant + "/" + name_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int trace_pid() const { return obs::job_pid(seq_); }
+  [[nodiscard]] sw::FaultInjector& injector() { return inj_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// "svc/<tenant>/<name>/" — the namespace metrics() records under.
+  [[nodiscard]] const std::string& metrics_prefix() const {
+    return metrics_.prefix();
+  }
+
+  // --- engine lifecycle; call inside this job's JobContext ---
+  /// Build a fresh engine at step 0 (also the retry path: attempts restart
+  /// from scratch, so a completed retry matches the solo trajectory).
+  void start_attempt();
+  /// Advance up to `max_steps` (never past the job's step target). Catches
+  /// the engine's swgmx::Error (self-healing gave up) into SliceResult.
+  [[nodiscard]] SliceResult run_slice(int max_steps);
+  /// Checkpoint at the current (rebuild-boundary) step, tear the engine
+  /// down, and make sure the `_prev` sibling exists so the inspector's
+  /// two-deep fallback guarantee holds from the first preemption on.
+  /// Returns the modeled checkpoint-write seconds.
+  [[nodiscard]] double preempt();
+  /// Rebuild the engine from the preemption checkpoint (start_step = the
+  /// checkpointed step, so the rebuild/sample schedule matches the
+  /// uninterrupted run). Returns the modeled restore seconds.
+  [[nodiscard]] double resume();
+  /// Tear the engine down; on completion first copy out the final state.
+  void finish(bool completed);
+  /// Drop the engine without checkpointing (failed attempt: the retry
+  /// restarts from scratch).
+  void abort_attempt();
+
+  [[nodiscard]] bool engine_live() const { return engine_ != nullptr; }
+  /// Preemption is only legal for single-rank jobs sitting exactly on a
+  /// pair-list rebuild boundary (the checkpoint/rollback invariant).
+  [[nodiscard]] bool preemptible() const;
+  [[nodiscard]] std::int64_t current_step() const;
+  [[nodiscard]] double engine_seconds() const;  ///< timers total, 0 if down
+  [[nodiscard]] std::uint64_t rollbacks() const;
+  [[nodiscard]] int attempts() const { return attempts_; }
+  [[nodiscard]] const std::string& checkpoint_path() const { return cpt_path_; }
+
+  /// Final state, valid once finish(true) ran.
+  [[nodiscard]] const AlignedVector<Vec3f>& final_x() const { return final_x_; }
+  [[nodiscard]] const AlignedVector<Vec3f>& final_v() const { return final_v_; }
+  [[nodiscard]] const std::vector<md::EnergySample>& energy_series() const {
+    return series_;
+  }
+
+  // --- scheduler-owned bookkeeping ---
+  JobState state = JobState::Pending;
+  double admit_s = 0.0;     ///< admission time
+  double finish_s = 0.0;    ///< terminal-state time
+  double not_before = 0.0;  ///< retry backoff release time
+  double deadline_abs = 0.0;  ///< absolute deadline on the service clock (0 = none)
+  double deadline_allowance = 0.0;  ///< latency budget per attempt (0 = none)
+  double busy_seconds = 0.0;  ///< host seconds this job consumed
+  int preemptions = 0;
+  SliceResult last_slice;  ///< outcome of the slice running on a host
+
+ private:
+  struct Engine;  ///< core group + backends + Simulation / ParallelSim
+
+  /// Build the engine; with `cp` the system is restored from the checkpoint
+  /// and the run continues at its step.
+  void build_engine(const io::Checkpoint* cp);
+
+  JobSpec spec_;
+  int seq_;
+  std::string name_;
+  std::string cpt_path_;
+  const ServiceOptions* svc_;
+  sw::FaultInjector inj_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<Engine> engine_;
+  int attempts_ = 0;
+  std::int64_t resume_step_ = 0;  ///< step the preemption checkpoint captured
+
+  AlignedVector<Vec3f> final_x_, final_v_;
+  std::vector<md::EnergySample> series_;
+};
+
+/// Install-swap RAII bracket for everything that touches a job: its fault
+/// injector and metrics registry become the process-active ones and the
+/// trace's simulated core-group process is re-homed to the job's pid, then
+/// everything is restored. The scheduler wraps engine builds, slices,
+/// preemptions and resumes in one of these; run_solo() wraps whole runs.
+class JobContext {
+ public:
+  JobContext(Job& job, double now_s);
+  ~JobContext();
+  JobContext(const JobContext&) = delete;
+  JobContext& operator=(const JobContext&) = delete;
+
+ private:
+  sw::FaultInjector* prev_inj_;
+  obs::MetricsRegistry* prev_reg_;
+};
+
+/// A job run alone (no scheduler, fresh injector/metrics, uninterrupted):
+/// the isolation reference the service's trajectories are compared against.
+struct SoloResult {
+  bool completed = false;
+  std::string error;  ///< why it failed, when it did (poison jobs)
+  AlignedVector<Vec3f> x, v;
+  std::vector<md::EnergySample> series;
+};
+[[nodiscard]] SoloResult run_solo(const JobSpec& spec,
+                                  const ServiceOptions& svc);
+
+}  // namespace swgmx::svc

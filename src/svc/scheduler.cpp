@@ -1,0 +1,407 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace swgmx::svc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool terminal(JobState s) {
+  return s == JobState::Completed || s == JobState::Rejected ||
+         s == JobState::Quarantined;
+}
+}  // namespace
+
+JobScheduler::JobScheduler(ServiceOptions opt) : opt_(std::move(opt)) {
+  opt_.validate();
+  hosts_.resize(static_cast<std::size_t>(opt_.hosts));
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i].id = static_cast<int>(i);
+  }
+  std::filesystem::create_directories(opt_.checkpoint_dir);
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    tr.set_process_name(obs::kPidSvc, "scheduler");
+    tr.set_thread_name(obs::kPidSvc, 0, "events");
+  }
+}
+
+int JobScheduler::submit(JobSpec spec) {
+  const int seq = static_cast<int>(jobs_.size());
+  jobs_.push_back(std::make_unique<Job>(std::move(spec), seq, opt_));
+  ++stats_.submitted;
+  ++tenant_of(jobs_.back()->spec().tenant).submitted;
+  return seq;
+}
+
+Tenant& JobScheduler::tenant_of(const std::string& name) {
+  for (Tenant& t : tenants_) {
+    if (t.name == name) return t;
+  }
+  Tenant t;
+  t.name = name;
+  t.quota = opt_.tenant_quota;
+  tenants_.push_back(std::move(t));
+  return tenants_.back();
+}
+
+std::size_t JobScheduler::queue_depth() const {
+  // The admission queue proper: admitted jobs that never held a host.
+  // Preempted and retrying jobs hold committed service resources (their
+  // admission slot, a checkpoint) and wait in a separate pool; shedding and
+  // the queue bound apply only to never-started arrivals.
+  std::size_t n = 0;
+  for (const int seq : queue_) {
+    const Job& j = job(seq);
+    if (j.state == JobState::Queued && j.attempts() == 0) ++n;
+  }
+  return n;
+}
+
+void JobScheduler::admit_arrivals() {
+  for (const auto& jp : jobs_) {
+    Job& j = *jp;
+    if (j.state == JobState::Pending && j.spec().arrival_s <= now_) admit(j);
+  }
+}
+
+void JobScheduler::admit(Job& j) {
+  if (tenant_of(j.spec().tenant).in_flight >=
+      tenant_of(j.spec().tenant).quota) {
+    ++stats_.rejected_quota;
+    reject(j, "tenant quota exhausted");
+    return;
+  }
+  if (queue_depth() >= static_cast<std::size_t>(opt_.queue_limit)) {
+    // Load shedding: evict the lowest-priority, then oldest, never-started
+    // waiting job — but only for a strictly higher-priority arrival.
+    int victim = -1;
+    for (const int seq : queue_) {
+      const Job& c = job(seq);
+      if (c.state != JobState::Queued || c.attempts() != 0) continue;
+      if (c.spec().priority >= j.spec().priority) continue;
+      if (victim < 0) {
+        victim = seq;
+        continue;
+      }
+      const Job& v = job(victim);
+      const bool better =
+          c.spec().priority < v.spec().priority ||
+          (c.spec().priority == v.spec().priority &&
+           (c.admit_s < v.admit_s ||
+            (c.admit_s == v.admit_s && c.seq() < v.seq())));
+      if (better) victim = seq;
+    }
+    if (victim < 0) {
+      ++stats_.rejected_queue;
+      reject(j, "admission queue full");
+      return;
+    }
+    Job& v = job(victim);
+    queue_.erase(std::find(queue_.begin(), queue_.end(), victim));
+    --tenant_of(v.spec().tenant).in_flight;
+    ++stats_.shed;
+    reject(v, "shed for higher-priority arrival");
+  }
+  Tenant& t = tenant_of(j.spec().tenant);
+  ++t.in_flight;
+  ++stats_.admitted;
+  j.state = JobState::Queued;
+  j.admit_s = now_;
+  j.not_before = now_;
+  j.deadline_allowance =
+      j.spec().deadline_s > 0.0 ? j.spec().deadline_s : opt_.default_deadline_s;
+  j.deadline_abs =
+      j.deadline_allowance > 0.0 ? now_ + j.deadline_allowance : 0.0;
+  queue_.push_back(j.seq());
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
+  svc_instant("job_admitted", j);
+}
+
+void JobScheduler::reject(Job& j, const char* why) {
+  j.state = JobState::Rejected;
+  j.finish_s = now_;
+  ++tenant_of(j.spec().tenant).rejected;
+  svc_instant("job_rejected", j, why);
+}
+
+void JobScheduler::complete_slices() {
+  for (;;) {
+    Host* done = nullptr;
+    for (Host& h : hosts_) {
+      if (h.job >= 0 && h.busy_until <= now_) {
+        done = &h;
+        break;
+      }
+    }
+    if (done == nullptr) return;
+    finish_slice(*done);
+  }
+}
+
+void JobScheduler::finish_slice(Host& h) {
+  Job& j = job(h.job);
+  const SliceResult r = j.last_slice;
+  h.job = -1;
+  if (r.failed) {
+    handle_failure(j, r.error);
+    return;
+  }
+  if (j.deadline_abs > 0.0 && now_ > j.deadline_abs && !r.done) {
+    ++stats_.deadline_misses;
+    handle_failure(j, "deadline exceeded");
+    return;
+  }
+  if (r.done) {
+    complete_job(j);
+    return;
+  }
+  // Mid-job at a slice boundary: yield the host to a strictly
+  // higher-priority waiting job, but only when the waiters outnumber the
+  // hosts that are already free or draining (idle + checkpoint cooldown) —
+  // one urgent arrival must cost one preemption, not one per busy host.
+  const int w = pick_waiting(/*require_ready=*/true);
+  std::size_t avail = 0;
+  for (const Host& o : hosts_) {
+    if (o.id != h.id && o.job < 0) ++avail;
+  }
+  std::size_t higher = 0;
+  for (const int seq : queue_) {
+    const Job& c = job(seq);
+    if (c.not_before <= now_ && c.spec().priority > j.spec().priority)
+      ++higher;
+  }
+  if (w >= 0 && job(w).spec().priority > j.spec().priority &&
+      higher > avail && j.preemptible()) {
+    double cpt_cost = 0.0;
+    {
+      JobContext ctx(j, now_);
+      cpt_cost = j.preempt();
+    }
+    h.busy_until = now_ + cpt_cost;  // the host pays for the checkpoint write
+    h.busy_seconds += cpt_cost;
+    j.state = JobState::Preempted;
+    j.busy_seconds += cpt_cost;
+    tenant_of(j.spec().tenant).busy_seconds += cpt_cost;
+    queue_.push_back(j.seq());
+    ++stats_.preemptions;
+    svc_instant("job_preempted", j);
+    return;
+  }
+  launch_slice(h, j);
+}
+
+void JobScheduler::handle_failure(Job& j, const std::string& why) {
+  {
+    JobContext ctx(j, now_);
+    j.abort_attempt();
+  }
+  if (j.attempts() > opt_.max_job_retries) {
+    j.state = JobState::Quarantined;
+    j.finish_s = now_;
+    ++stats_.quarantined;
+    Tenant& t = tenant_of(j.spec().tenant);
+    ++t.quarantined;
+    --t.in_flight;
+    svc_instant("job_quarantined", j, why.c_str());
+    return;
+  }
+  // Retry from scratch after an exponential backoff; the deadline budget
+  // restarts with the attempt so a transient fault is not an instant
+  // deadline miss.
+  ++stats_.retries;
+  double delay = opt_.retry_delay_s;
+  for (int k = 1; k < j.attempts(); ++k) delay *= opt_.retry_backoff;
+  j.state = JobState::Queued;
+  j.not_before = now_ + delay;
+  j.deadline_abs =
+      j.deadline_allowance > 0.0 ? j.not_before + j.deadline_allowance : 0.0;
+  queue_.push_back(j.seq());
+  svc_instant("job_retry", j, why.c_str());
+}
+
+void JobScheduler::dispatch() {
+  for (;;) {
+    Host* idle = nullptr;
+    for (Host& h : hosts_) {
+      if (h.job < 0 && h.busy_until <= now_) {
+        idle = &h;
+        break;
+      }
+    }
+    if (idle == nullptr) return;
+    const int w = pick_waiting(/*require_ready=*/true);
+    if (w < 0) return;
+    queue_.erase(std::find(queue_.begin(), queue_.end(), w));
+    launch_slice(*idle, job(w));
+  }
+}
+
+int JobScheduler::pick_waiting(bool require_ready) const {
+  int best = -1;
+  for (const int seq : queue_) {
+    const Job& c = job(seq);
+    if (require_ready && c.not_before > now_) continue;
+    if (best < 0) {
+      best = seq;
+      continue;
+    }
+    const Job& b = job(best);
+    const bool better =
+        c.spec().priority > b.spec().priority ||
+        (c.spec().priority == b.spec().priority &&
+         (c.admit_s < b.admit_s ||
+          (c.admit_s == b.admit_s && c.seq() < b.seq())));
+    if (better) best = seq;
+  }
+  return best;
+}
+
+void JobScheduler::launch_slice(Host& h, Job& j) {
+  double before = j.engine_seconds();
+  double extra = 0.0;
+  {
+    JobContext ctx(j, now_);
+    if (!j.engine_live()) {
+      if (j.state == JobState::Preempted) {
+        extra = j.resume();
+        ++stats_.resumes;
+        svc_instant("job_resumed", j);
+      } else {
+        j.start_attempt();
+      }
+      before = 0.0;  // fresh engine: its build cost belongs to this slice
+    }
+    j.last_slice = j.run_slice(opt_.slice_steps);
+  }
+  const double cost = extra + (j.engine_seconds() - before);
+  SWGMX_CHECK_MSG(cost > 0.0, "zero-cost slice for " << j.display_name()
+                                                     << " would wedge the "
+                                                        "event loop");
+  j.state = JobState::Running;
+  h.job = j.seq();
+  h.busy_until = now_ + cost;
+  h.busy_seconds += cost;
+  ++h.slices;
+  j.busy_seconds += cost;
+  tenant_of(j.spec().tenant).busy_seconds += cost;
+}
+
+void JobScheduler::complete_job(Job& j) {
+  {
+    JobContext ctx(j, now_);
+    j.finish(/*completed=*/true);
+  }
+  j.state = JobState::Completed;
+  j.finish_s = now_;
+  ++stats_.completed;
+  stats_.latency.observe(now_ - j.spec().arrival_s);
+  Tenant& t = tenant_of(j.spec().tenant);
+  ++t.completed;
+  --t.in_flight;
+  svc_instant("job_completed", j);
+}
+
+double JobScheduler::next_event_time() const {
+  double t = kInf;
+  for (const auto& jp : jobs_) {
+    if (jp->state == JobState::Pending) t = std::min(t, jp->spec().arrival_s);
+  }
+  for (const Host& h : hosts_) {
+    if (h.job >= 0 || h.busy_until > now_) t = std::min(t, h.busy_until);
+  }
+  for (const int seq : queue_) {
+    const Job& j = job(seq);
+    if (j.not_before > now_) t = std::min(t, j.not_before);
+  }
+  return t;
+}
+
+void JobScheduler::run_until_idle() {
+  for (;;) {
+    admit_arrivals();
+    complete_slices();
+    dispatch();
+    const double t = next_event_time();
+    if (!std::isfinite(t)) break;
+    now_ = std::max(now_, t);
+  }
+  for (const auto& jp : jobs_) {
+    SWGMX_CHECK_MSG(terminal(jp->state),
+                    "job " << jp->display_name() << " ended non-terminal ("
+                           << to_string(jp->state) << ")");
+  }
+}
+
+sw::RecoveryStats JobScheduler::recovery() const {
+  sw::RecoveryStats total;
+  for (const auto& jp : jobs_) total.merge(jp->injector().snapshot());
+  return total;
+}
+
+void JobScheduler::rollup_into(obs::MetricsRegistry& dst) const {
+  for (const auto& jp : jobs_) {
+    const Job& j = *jp;
+    dst.merge_from(j.metrics());  // svc/<tenant>/<job>/... verbatim
+    dst.merge_from(j.metrics(), j.metrics_prefix(),
+                   "svc/tenant/" + j.spec().tenant + "/");
+    dst.merge_from(j.metrics(), j.metrics_prefix(), "svc/total/");
+  }
+  for (const Tenant& t : tenants_) {
+    const std::string p = "svc/tenant/" + t.name + "/";
+    dst.counter_add(p + "jobs_submitted", static_cast<double>(t.submitted));
+    dst.counter_add(p + "jobs_completed", static_cast<double>(t.completed));
+    dst.counter_add(p + "jobs_rejected", static_cast<double>(t.rejected));
+    dst.counter_add(p + "jobs_quarantined",
+                    static_cast<double>(t.quarantined));
+    dst.gauge_set(p + "busy_seconds", t.busy_seconds);
+  }
+  dst.counter_add("svc/jobs/submitted", static_cast<double>(stats_.submitted));
+  dst.counter_add("svc/jobs/admitted", static_cast<double>(stats_.admitted));
+  dst.counter_add("svc/jobs/completed", static_cast<double>(stats_.completed));
+  dst.counter_add("svc/jobs/rejected_queue",
+                  static_cast<double>(stats_.rejected_queue));
+  dst.counter_add("svc/jobs/rejected_quota",
+                  static_cast<double>(stats_.rejected_quota));
+  dst.counter_add("svc/jobs/shed", static_cast<double>(stats_.shed));
+  dst.counter_add("svc/jobs/preemptions",
+                  static_cast<double>(stats_.preemptions));
+  dst.counter_add("svc/jobs/resumes", static_cast<double>(stats_.resumes));
+  dst.counter_add("svc/jobs/retries", static_cast<double>(stats_.retries));
+  dst.counter_add("svc/jobs/quarantined",
+                  static_cast<double>(stats_.quarantined));
+  dst.counter_add("svc/jobs/deadline_misses",
+                  static_cast<double>(stats_.deadline_misses));
+  dst.gauge_set("svc/queue/max_depth",
+                static_cast<double>(stats_.max_queue_depth));
+  // Register with an *empty* same-layout proto: histogram() copies the proto
+  // (counts included) on first use, so seeding with stats_.latency itself
+  // would double count once merged.
+  dst.histogram("svc/job_latency_seconds",
+                Histogram::exponential(1e-6, 2.0, 30))
+      .merge(stats_.latency);
+}
+
+void JobScheduler::svc_instant(const char* name, const Job& j,
+                               const char* detail) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
+  std::string args = "{\"job\":\"" + obs::json_escape(j.display_name()) +
+                     "\",\"state\":\"" + to_string(j.state) + "\"";
+  if (detail != nullptr) {
+    args += ",\"detail\":\"" + obs::json_escape(detail) + "\"";
+  }
+  args += "}";
+  tr.instant(obs::kPidSvc, 0, name, now_ * 1e9, std::move(args));
+}
+
+}  // namespace swgmx::svc

@@ -1,0 +1,135 @@
+// JobScheduler: a deterministic multi-tenant job scheduler over a simulated
+// host pool (DESIGN.md §2.11).
+//
+// Event loop on the simulated clock: job arrivals, slice completions and
+// retry-backoff releases are the only events; ties break on fixed orders
+// (host id, then job seq), every slice's cost is the engine's bit-identical
+// simulated seconds, and no wall clock or host thread identity is ever
+// consulted — so the whole schedule, including rejections, preemptions and
+// quarantines, is bit-identical for any SWGMX_THREADS.
+//
+// Policy:
+//  - Admission: a bounded queue (queue_limit) with per-tenant in-flight
+//    quotas. When the queue is full a higher-priority arrival sheds the
+//    oldest lowest-priority waiting job (load-shedding rejection); equal or
+//    lower priority arrivals are rejected outright.
+//  - Dispatch: highest priority first, then earliest admission, then seq.
+//  - Preemption: at a slice boundary a running lower-priority single-rank
+//    job yields to a waiting higher-priority one via a coordinated v2
+//    checkpoint (rebuild-boundary aligned), and resumes later from it.
+//  - Deadlines & retries: a job that misses its deadline or whose engine
+//    gives up (self-healing exhausted) is torn down and retried from
+//    scratch after an exponential backoff (RetryPolicy-style), and
+//    quarantined as a poison job after max_job_retries failed replays.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "svc/job.hpp"
+#include "svc/service.hpp"
+
+namespace swgmx::svc {
+
+/// Per-tenant admission accounting and fairness counters.
+struct Tenant {
+  std::string name;
+  int quota = 0;      ///< max admitted-and-unfinished jobs
+  int in_flight = 0;  ///< admitted, not yet terminal
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  ///< quota/queue rejections + shed jobs
+  std::uint64_t quarantined = 0;
+  double busy_seconds = 0.0;  ///< host seconds consumed by this tenant
+};
+
+/// One simulated host node (a full core group's worth of machine).
+struct Host {
+  int id = 0;
+  double busy_until = 0.0;  ///< simulated time the host frees up
+  int job = -1;             ///< running job seq, -1 when idle
+  double busy_seconds = 0.0;
+  std::uint64_t slices = 0;
+};
+
+/// Service-level counters and the job-latency distribution.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_queue = 0;  ///< queue full, no sheddable victim
+  std::uint64_t rejected_quota = 0;  ///< tenant over its in-flight quota
+  std::uint64_t shed = 0;            ///< waiting jobs evicted by priority arrivals
+  std::uint64_t preemptions = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t retries = 0;  ///< failed attempts sent back with backoff
+  std::uint64_t quarantined = 0;
+  std::uint64_t deadline_misses = 0;
+  std::size_t max_queue_depth = 0;  ///< watermark; never exceeds queue_limit
+  Histogram latency = Histogram::exponential(1e-6, 2.0, 30);  ///< arrival->done, sim s
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(ServiceOptions opt);
+
+  /// Register a job (arrives at spec.arrival_s on the simulated clock).
+  /// Returns its seq; admission control runs when the clock reaches it.
+  int submit(JobSpec spec);
+
+  /// Drive the event loop until every submitted job is terminal
+  /// (Completed, Rejected or Quarantined).
+  void run_until_idle();
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const ServiceOptions& options() const { return opt_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Job>>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] Job& job(int seq) { return *jobs_[static_cast<std::size_t>(seq)]; }
+  [[nodiscard]] const Job& job(int seq) const {
+    return *jobs_[static_cast<std::size_t>(seq)];
+  }
+  [[nodiscard]] const std::vector<Tenant>& tenants() const { return tenants_; }
+  [[nodiscard]] const std::vector<Host>& hosts() const { return hosts_; }
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  /// Merged recovery stats across every job's private injector.
+  [[nodiscard]] sw::RecoveryStats recovery() const;
+
+  /// Roll every job's metrics plus the scheduler's own counters into `dst`
+  /// under three namespaces — svc/<tenant>/<job>/... (verbatim),
+  /// svc/tenant/<tenant>/... and svc/total/... — exactly once per call, so
+  /// per-job numbers aggregate without double counting. Call once, after
+  /// run_until_idle().
+  void rollup_into(obs::MetricsRegistry& dst) const;
+
+ private:
+  Tenant& tenant_of(const std::string& name);
+  [[nodiscard]] std::size_t queue_depth() const;  ///< waiting, never-started jobs
+  void admit_arrivals();
+  void admit(Job& j);
+  void reject(Job& j, const char* why);
+  void complete_slices();
+  void finish_slice(Host& h);
+  void handle_failure(Job& j, const std::string& why);
+  void dispatch();
+  /// Highest-priority eligible waiting job (not_before <= now), or -1.
+  [[nodiscard]] int pick_waiting(bool require_ready) const;
+  void launch_slice(Host& h, Job& j);
+  void complete_job(Job& j);
+  [[nodiscard]] double next_event_time() const;
+  void svc_instant(const char* name, const Job& j, const char* detail = nullptr);
+
+  ServiceOptions opt_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<Tenant> tenants_;
+  std::vector<Host> hosts_;
+  std::vector<int> queue_;  ///< waiting job seqs (Queued or Preempted)
+  ServiceStats stats_;
+  double now_ = 0.0;
+};
+
+}  // namespace swgmx::svc

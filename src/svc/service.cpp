@@ -1,0 +1,104 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace swgmx::svc {
+
+void ServiceOptions::validate() const {
+  SWGMX_CHECK_MSG(hosts >= 1,
+                  "SWGMX_SERVICE hosts " << hosts << " must be >= 1");
+  SWGMX_CHECK_MSG(queue_limit >= 1, "SWGMX_SERVICE queue_limit "
+                                        << queue_limit << " must be >= 1");
+  SWGMX_CHECK_MSG(tenant_quota >= 1, "SWGMX_SERVICE tenant_quota "
+                                         << tenant_quota << " must be >= 1");
+  SWGMX_CHECK_MSG(slice_steps >= 1, "SWGMX_SERVICE slice_steps "
+                                        << slice_steps << " must be >= 1");
+  SWGMX_CHECK_MSG(max_job_retries >= 0, "SWGMX_SERVICE max_job_retries "
+                                            << max_job_retries
+                                            << " must be >= 0");
+  SWGMX_CHECK_MSG(retry_delay_s > 0.0, "SWGMX_SERVICE retry_delay "
+                                           << retry_delay_s << " must be > 0");
+  SWGMX_CHECK_MSG(retry_backoff >= 1.0,
+                  "SWGMX_SERVICE retry_backoff "
+                      << retry_backoff << " must be >= 1 (exponential backoff)");
+  SWGMX_CHECK_MSG(default_deadline_s >= 0.0, "SWGMX_SERVICE deadline "
+                                                 << default_deadline_s
+                                                 << " must be >= 0 (0 = off)");
+  SWGMX_CHECK_MSG(!checkpoint_dir.empty(),
+                  "SWGMX_SERVICE checkpoint_dir must not be empty");
+}
+
+ServiceOptions parse_service_spec(const char* spec) {
+  ServiceOptions o;
+  if (spec == nullptr || *spec == '\0') return o;
+  const std::string s(spec);
+  std::vector<std::string> seen;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    SWGMX_CHECK_MSG(colon != std::string::npos,
+                    "SWGMX_SERVICE item '" << item << "' is not key:value");
+    const std::string key = item.substr(0, colon);
+    const std::string val = item.substr(colon + 1);
+    SWGMX_CHECK_MSG(!key.empty(),
+                    "SWGMX_SERVICE item '" << item << "' has an empty key");
+    SWGMX_CHECK_MSG(std::find(seen.begin(), seen.end(), key) == seen.end(),
+                    "duplicate SWGMX_SERVICE key '" << key << "'");
+    seen.push_back(key);
+
+    char* end = nullptr;
+    auto parse_int = [&](const char* what) {
+      const long long v = std::strtoll(val.c_str(), &end, 10);
+      SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
+                      "SWGMX_SERVICE " << what << " '" << val
+                                       << "' is not an integer");
+      return static_cast<int>(v);
+    };
+    auto parse_double = [&](const char* what) {
+      const double v = std::strtod(val.c_str(), &end);
+      SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
+                      "SWGMX_SERVICE " << what << " '" << val
+                                       << "' is not a number");
+      return v;
+    };
+
+    if (key == "hosts") {
+      o.hosts = parse_int("hosts");
+    } else if (key == "queue_limit") {
+      o.queue_limit = parse_int("queue_limit");
+    } else if (key == "tenant_quota") {
+      o.tenant_quota = parse_int("tenant_quota");
+    } else if (key == "slice_steps") {
+      o.slice_steps = parse_int("slice_steps");
+    } else if (key == "max_job_retries") {
+      o.max_job_retries = parse_int("max_job_retries");
+    } else if (key == "retry_delay") {
+      o.retry_delay_s = parse_double("retry_delay");
+    } else if (key == "retry_backoff") {
+      o.retry_backoff = parse_double("retry_backoff");
+    } else if (key == "deadline") {
+      o.default_deadline_s = parse_double("deadline");
+    } else if (key == "checkpoint_dir") {
+      o.checkpoint_dir = val;
+    } else {
+      SWGMX_CHECK_MSG(false, "unknown SWGMX_SERVICE key '"
+                                 << key
+                                 << "' (hosts|queue_limit|tenant_quota|"
+                                    "slice_steps|max_job_retries|retry_delay|"
+                                    "retry_backoff|deadline|checkpoint_dir)");
+    }
+  }
+  o.validate();
+  return o;
+}
+
+}  // namespace swgmx::svc

@@ -1,0 +1,41 @@
+// ServiceOptions: the multi-tenant simulation service's knobs, parsed from a
+// SWGMX_SERVICE-style spec string and range-checked with precise errors —
+// the same contract as the SWGMX_FAULTS / RetryPolicy spec in sw/fault.hpp.
+//
+//   SWGMX_SERVICE=hosts:8,queue_limit:16,slice_steps:10,max_job_retries:2
+//
+// Every knob governs the deterministic scheduler in svc/scheduler.hpp; see
+// DESIGN.md §2.11 for the policy each one feeds.
+#pragma once
+
+#include <string>
+
+namespace swgmx::svc {
+
+struct ServiceOptions {
+  int hosts = 4;            ///< key: hosts — simulated host nodes (>= 1)
+  int queue_limit = 32;     ///< key: queue_limit — admission queue bound (>= 1)
+  int tenant_quota = 16;    ///< key: tenant_quota — in-flight jobs per tenant (>= 1)
+  int slice_steps = 10;     ///< key: slice_steps — steps per scheduling slice (>= 1)
+  int max_job_retries = 2;  ///< key: max_job_retries — replays before quarantine (>= 0)
+  double retry_delay_s = 1e-3;  ///< key: retry_delay — first backoff delay, sim s (> 0)
+  double retry_backoff = 2.0;   ///< key: retry_backoff — delay growth per retry (>= 1)
+  /// key: deadline — default per-job latency allowance in simulated seconds,
+  /// measured from admission; 0 disables deadlines for jobs that don't set
+  /// their own. A missed deadline kills the attempt and retries with backoff.
+  double default_deadline_s = 0.0;
+  /// key: checkpoint_dir — directory for preemption checkpoints (one .cpt
+  /// plus its _prev sibling per suspended job); non-empty.
+  std::string checkpoint_dir = "svc_cpt";
+
+  /// Range-check every knob; throws swgmx::Error with the offending key.
+  void validate() const;
+};
+
+/// Parse a SWGMX_SERVICE spec ("hosts:8,queue_limit:16,..."). nullptr/empty
+/// yields the defaults. Throws swgmx::Error on malformed `key:value` items,
+/// unknown keys, duplicate keys, or out-of-range values (same validation
+/// style as parse_fault_spec).
+[[nodiscard]] ServiceOptions parse_service_spec(const char* spec);
+
+}  // namespace swgmx::svc

@@ -1,6 +1,7 @@
 #include "sw/fault.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <vector>
@@ -140,13 +141,28 @@ FaultRates parse_fault_spec(const char* spec) {
   return r;
 }
 
+namespace {
+std::atomic<FaultInjector*>& active_injector() {
+  static std::atomic<FaultInjector*> active{nullptr};
+  return active;
+}
+}  // namespace
+
 FaultInjector& FaultInjector::global() {
+  if (FaultInjector* a = active_injector().load(std::memory_order_acquire);
+      a != nullptr) {
+    return *a;
+  }
   static FaultInjector* instance = [] {
     auto* fi = new FaultInjector();
     fi->configure_from_env(std::getenv("SWGMX_FAULTS"));
     return fi;
   }();
   return *instance;
+}
+
+FaultInjector* FaultInjector::install(FaultInjector* inj) {
+  return active_injector().exchange(inj, std::memory_order_acq_rel);
 }
 
 void FaultInjector::configure(const FaultRates& rates) {

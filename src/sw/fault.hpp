@@ -244,6 +244,34 @@ struct RecoveryStats {
   std::uint64_t detection_ns = 0;   ///< simulated ns waiting on failure detection
   std::uint64_t redecomp_ns = 0;    ///< simulated ns re-decomposing + migrating state
 
+  /// Fold another snapshot in (service rollups: per-job injector stats
+  /// summed into a fleet-wide view). Counts and integer time units add, so
+  /// the merge is order-independent like the counters themselves.
+  void merge(const RecoveryStats& o) {
+    dma_bitflips += o.dma_bitflips;
+    dma_retries += o.dma_retries;
+    dma_stalls += o.dma_stalls;
+    msgs_dropped += o.msgs_dropped;
+    msg_retransmits += o.msg_retransmits;
+    msgs_duplicated += o.msgs_duplicated;
+    msg_delays += o.msg_delays;
+    cpe_stragglers += o.cpe_stragglers;
+    numeric_kicks += o.numeric_kicks;
+    rollbacks += o.rollbacks;
+    steps_replayed += o.steps_replayed;
+    transport_fallbacks += o.transport_fallbacks;
+    checkpoints_written += o.checkpoints_written;
+    rank_crashes += o.rank_crashes;
+    rank_hangs += o.rank_hangs;
+    ranks_evicted += o.ranks_evicted;
+    spares_promoted += o.spares_promoted;
+    redecompositions += o.redecompositions;
+    fault_cycles += o.fault_cycles;
+    msg_fault_ns += o.msg_fault_ns;
+    detection_ns += o.detection_ns;
+    redecomp_ns += o.redecomp_ns;
+  }
+
   [[nodiscard]] std::uint64_t faults_seen() const {
     return dma_bitflips + dma_stalls + msgs_dropped + msgs_duplicated +
            msg_delays + cpe_stragglers + numeric_kicks + rank_crashes +
@@ -263,8 +291,20 @@ struct RecoveryStats {
 /// so an unset SWGMX_FAULTS costs a single predictable branch.
 class FaultInjector {
  public:
-  /// The global injector, configured from SWGMX_FAULTS on first use.
+  /// The active injector: the installed one when a job context is live (see
+  /// install()), otherwise the process default configured from SWGMX_FAULTS
+  /// on first use. Every hook in the stack resolves through here, so
+  /// swapping the installed pointer re-homes all fault decisions and
+  /// recovery bookkeeping without plumbing an injector through the layers.
   [[nodiscard]] static FaultInjector& global();
+
+  /// Swap the injector global() resolves to (nullptr restores the process
+  /// default); returns the previously installed one. The service scheduler
+  /// brackets every job slice with its own injector so one tenant's
+  /// SWGMX_FAULTS spec cannot touch another job's trajectory or stats. The
+  /// pointer is atomic; swap only from the driver thread between kernel
+  /// launches (the pool join orders the handoff).
+  static FaultInjector* install(FaultInjector* inj);
 
   /// Install a new plan and reset statistics (test hook; also the env path).
   void configure(const FaultRates& rates);

@@ -1,0 +1,401 @@
+// Multi-tenant simulation service (DESIGN.md §2.11): scheduler determinism,
+// fault isolation between concurrent jobs, checkpoint preemption/resume
+// fidelity, admission control, quarantine, and the supporting seams
+// (Histogram merge/reset, MetricsRegistry namespaces, option validation).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "io/checkpoint.hpp"
+#include "svc/scheduler.hpp"
+
+namespace swgmx {
+namespace {
+
+svc::ServiceOptions test_options(const std::string& dir) {
+  svc::ServiceOptions o;
+  o.hosts = 2;
+  o.queue_limit = 4;
+  o.tenant_quota = 3;
+  o.slice_steps = 10;
+  o.max_job_retries = 1;
+  o.retry_delay_s = 1e-4;
+  o.checkpoint_dir = dir;
+  return o;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool same_state(const AlignedVector<Vec3f>& ax, const AlignedVector<Vec3f>& av,
+                const AlignedVector<Vec3f>& bx,
+                const AlignedVector<Vec3f>& bv) {
+  if (ax.size() != bx.size() || av.size() != bv.size()) return false;
+  return std::memcmp(ax.data(), bx.data(), ax.size() * sizeof(Vec3f)) == 0 &&
+         std::memcmp(av.data(), bv.data(), av.size() * sizeof(Vec3f)) == 0;
+}
+
+bool same_series(const std::vector<md::EnergySample>& a,
+                 const std::vector<md::EnergySample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].step != b[i].step || a[i].e_lj != b[i].e_lj ||
+        a[i].e_coul != b[i].e_coul || a[i].e_kin != b[i].e_kin)
+      return false;
+  }
+  return true;
+}
+
+svc::JobSpec spec_named(const char* tenant, const char* name,
+                        std::size_t particles, int steps) {
+  svc::JobSpec s;
+  s.tenant = tenant;
+  s.name = name;
+  s.particles = particles;
+  s.steps = steps;
+  return s;
+}
+
+// --- satellite seams ---
+
+TEST(HistogramMerge, AddsCountsAndCombinesExtremes) {
+  Histogram a = Histogram::exponential(1e-3, 2.0, 10);
+  Histogram b = Histogram::exponential(1e-3, 2.0, 10);
+  a.observe(0.01);
+  a.observe(0.5);
+  b.observe(0.02);
+  b.observe(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.01 + 0.5 + 0.02 + 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.01);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(HistogramMerge, EmptySidesAndReset) {
+  Histogram a = Histogram::exponential(1e-3, 2.0, 10);
+  Histogram b = Histogram::exponential(1e-3, 2.0, 10);
+  b.observe(0.25);
+  a.merge(b);  // empty.merge(full) adopts the contents
+  EXPECT_EQ(a.count(), 1u);
+  Histogram empty = Histogram::exponential(1e-3, 2.0, 10);
+  a.merge(empty);  // full.merge(empty) is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(HistogramMerge, MismatchedLayoutsRefuse) {
+  Histogram a = Histogram::exponential(1e-3, 2.0, 10);
+  Histogram b = Histogram::exponential(1e-6, 2.0, 12);
+  a.observe(1.0);
+  b.observe(1.0);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(MetricsNamespace, PrefixAppliesToWritesNotLookups) {
+  obs::MetricsRegistry r;
+  r.set_prefix("svc/acme/j1/");
+  r.counter_add("sim/steps", 5.0);
+  r.gauge_set("sim/seconds", 1.5);
+  EXPECT_DOUBLE_EQ(r.value("svc/acme/j1/sim/steps"), 5.0);
+  EXPECT_DOUBLE_EQ(r.value("svc/acme/j1/sim/seconds"), 1.5);
+  EXPECT_EQ(r.find("sim/steps"), nullptr);
+}
+
+TEST(MetricsNamespace, MergeFromRenamesWithoutDoubleCounting) {
+  obs::MetricsRegistry job;
+  job.set_prefix("svc/acme/j1/");
+  job.counter_add("sim/steps", 20.0);
+  job.histogram("lat", Histogram::exponential(1e-3, 2.0, 8)).observe(0.5);
+
+  obs::MetricsRegistry total;
+  total.merge_from(job);  // verbatim
+  total.merge_from(job, "svc/acme/j1/", "svc/total/");
+  EXPECT_DOUBLE_EQ(total.value("svc/acme/j1/sim/steps"), 20.0);
+  EXPECT_DOUBLE_EQ(total.value("svc/total/sim/steps"), 20.0);
+  const obs::MetricEntry* h = total.find("svc/total/lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hist.count(), 1u);
+  // Merging the same source again adds (counters are cumulative), proving
+  // the caller controls multiplicity — rollup_into calls each pair once.
+  total.merge_from(job, "svc/acme/j1/", "svc/total/");
+  EXPECT_DOUBLE_EQ(total.value("svc/total/sim/steps"), 40.0);
+}
+
+TEST(MetricsNamespace, InstallSwapsGlobal) {
+  obs::MetricsRegistry mine;
+  obs::MetricsRegistry* prev = obs::MetricsRegistry::install(&mine);
+  obs::MetricsRegistry::global().counter_add("x", 1.0);
+  obs::MetricsRegistry::install(prev);
+  EXPECT_DOUBLE_EQ(mine.value("x"), 1.0);
+}
+
+TEST(SimOptionsValidate, RejectsBadKnobs) {
+  md::SimOptions o;
+  o.checkpoint_every = -1;
+  EXPECT_THROW(o.validate(), Error);
+  o = md::SimOptions{};
+  o.checkpoint_every = 10;  // no checkpoint_path
+  EXPECT_THROW(o.validate(), Error);
+  o = md::SimOptions{};
+  o.watchdog_max_disp = 0.0f;
+  EXPECT_THROW(o.validate(), Error);
+  o = md::SimOptions{};
+  o.watchdog_energy_tol = -1.0;
+  EXPECT_THROW(o.validate(), Error);
+  o = md::SimOptions{};
+  o.start_step = -5;
+  EXPECT_THROW(o.validate(), Error);
+  o = md::SimOptions{};
+  o.checkpoint_every = 10;
+  o.checkpoint_path = "ok.cpt";
+  EXPECT_NO_THROW(o.validate());
+}
+
+TEST(ServiceSpec, ParsesAndValidates) {
+  const svc::ServiceOptions o = svc::parse_service_spec(
+      "hosts:2,queue_limit:5,tenant_quota:3,slice_steps:4,max_job_retries:1,"
+      "retry_delay:1e-3,retry_backoff:3.0,deadline:2.5,checkpoint_dir:/tmp/c");
+  EXPECT_EQ(o.hosts, 2);
+  EXPECT_EQ(o.queue_limit, 5);
+  EXPECT_EQ(o.tenant_quota, 3);
+  EXPECT_EQ(o.slice_steps, 4);
+  EXPECT_EQ(o.max_job_retries, 1);
+  EXPECT_DOUBLE_EQ(o.retry_delay_s, 1e-3);
+  EXPECT_DOUBLE_EQ(o.retry_backoff, 3.0);
+  EXPECT_DOUBLE_EQ(o.default_deadline_s, 2.5);
+  EXPECT_EQ(o.checkpoint_dir, "/tmp/c");
+}
+
+TEST(ServiceSpec, RejectsUnknownDuplicateAndOutOfRange) {
+  EXPECT_THROW(svc::parse_service_spec("bogus:1"), Error);
+  EXPECT_THROW(svc::parse_service_spec("hosts:2,hosts:3"), Error);
+  EXPECT_THROW(svc::parse_service_spec("hosts:0"), Error);
+  EXPECT_THROW(svc::parse_service_spec("queue_limit:0"), Error);
+  EXPECT_THROW(svc::parse_service_spec("retry_backoff:0.5"), Error);
+  EXPECT_THROW(svc::parse_service_spec("checkpoint_dir:"), Error);
+  EXPECT_NO_THROW(svc::parse_service_spec(""));
+  EXPECT_NO_THROW(svc::parse_service_spec(nullptr));
+}
+
+// --- (a) concurrent jobs bit-identical to solo, across thread counts ---
+
+TEST(ServiceIsolation, TwoConcurrentJobsMatchSoloAcrossThreadCounts) {
+  for (const int threads : {1, 4, 8}) {
+    common::ThreadPool::set_global_size(threads);
+    const std::string dir = fresh_dir("svc_test_iso");
+    const svc::ServiceOptions opt = test_options(dir);
+    svc::JobScheduler sched(opt);
+    svc::JobSpec a = spec_named("acme", "a", 96, 20);
+    svc::JobSpec b = spec_named("globex", "b", 192, 20);
+    b.seed = 3;
+    sched.submit(a);
+    sched.submit(b);
+    sched.run_until_idle();
+    ASSERT_EQ(sched.job(0).state, svc::JobState::Completed);
+    ASSERT_EQ(sched.job(1).state, svc::JobState::Completed);
+
+    const svc::SoloResult sa = svc::run_solo(a, opt);
+    const svc::SoloResult sb = svc::run_solo(b, opt);
+    ASSERT_TRUE(sa.completed);
+    ASSERT_TRUE(sb.completed);
+    EXPECT_TRUE(same_state(sched.job(0).final_x(), sched.job(0).final_v(),
+                           sa.x, sa.v))
+        << "threads=" << threads;
+    EXPECT_TRUE(same_state(sched.job(1).final_x(), sched.job(1).final_v(),
+                           sb.x, sb.v))
+        << "threads=" << threads;
+    EXPECT_TRUE(same_series(sched.job(0).energy_series(), sa.series));
+    EXPECT_TRUE(same_series(sched.job(1).energy_series(), sb.series));
+  }
+  common::ThreadPool::set_global_size(0);  // restore the env default
+}
+
+// --- (b) faults on job A leave job B byte-identical ---
+
+TEST(ServiceIsolation, FaultedNeighborLeavesJobByteIdentical) {
+  const std::string dir = fresh_dir("svc_test_fault");
+  const svc::ServiceOptions opt = test_options(dir);
+
+  svc::JobSpec a = spec_named("acme", "chaotic", 300, 30);
+  a.ranks = 4;
+  a.faults = "dma_flip:1e-2,rank_crash:5e-3,spare_ranks:1,seed:11";
+  svc::JobSpec b = spec_named("globex", "quiet", 192, 30);
+
+  svc::JobScheduler sched(opt);
+  sched.submit(a);
+  sched.submit(b);
+  sched.run_until_idle();
+  ASSERT_EQ(sched.job(0).state, svc::JobState::Completed);
+  ASSERT_EQ(sched.job(1).state, svc::JobState::Completed);
+
+  // B next to a chaos job == B alone, byte for byte.
+  const svc::SoloResult sb = svc::run_solo(b, opt);
+  ASSERT_TRUE(sb.completed);
+  EXPECT_TRUE(same_state(sched.job(1).final_x(), sched.job(1).final_v(), sb.x,
+                         sb.v));
+  EXPECT_TRUE(same_series(sched.job(1).energy_series(), sb.series));
+  // And A's faults really fired (the test would be vacuous otherwise),
+  // confined to A's private injector.
+  EXPECT_GT(sched.job(0).injector().snapshot().faults_seen(), 0u);
+  EXPECT_EQ(sched.job(1).injector().snapshot().faults_seen(), 0u);
+}
+
+// --- (c) preempt at a checkpoint then resume matches uninterrupted ---
+
+TEST(ServicePreemption, PreemptResumeMatchesUninterrupted) {
+  const std::string dir = fresh_dir("svc_test_preempt");
+  svc::ServiceOptions opt = test_options(dir);
+  opt.hosts = 1;  // one host: the priority arrival must preempt
+
+  svc::JobSpec lo = spec_named("batch", "long", 384, 40);
+  svc::JobSpec hi = spec_named("vip", "urgent", 96, 10);
+  hi.priority = 5;
+  hi.arrival_s = 1e-9;  // lands after `lo` is dispatched
+
+  svc::JobScheduler sched(opt);
+  sched.submit(lo);
+  sched.submit(hi);
+  sched.run_until_idle();
+  ASSERT_EQ(sched.job(0).state, svc::JobState::Completed);
+  ASSERT_EQ(sched.job(1).state, svc::JobState::Completed);
+  EXPECT_GE(sched.stats().preemptions, 1u);
+  EXPECT_GE(sched.stats().resumes, 1u);
+  EXPECT_GT(sched.job(0).preemptions, 0);
+  // The preemption checkpoint and its _prev sibling exist for the
+  // inspector's two-deep fallback.
+  EXPECT_TRUE(std::filesystem::exists(sched.job(0).checkpoint_path()));
+  EXPECT_TRUE(std::filesystem::exists(
+      io::checkpoint_prev_path(sched.job(0).checkpoint_path())));
+
+  const svc::SoloResult slo = svc::run_solo(lo, opt);
+  ASSERT_TRUE(slo.completed);
+  EXPECT_TRUE(same_state(sched.job(0).final_x(), sched.job(0).final_v(),
+                         slo.x, slo.v));
+  EXPECT_TRUE(same_series(sched.job(0).energy_series(), slo.series));
+}
+
+// --- (d) admission rejection and quarantine are deterministic ---
+
+TEST(ServiceAdmission, QuotaQueueAndShedAreDeterministic) {
+  for (int round = 0; round < 2; ++round) {
+    const std::string dir = fresh_dir("svc_test_admit");
+    svc::ServiceOptions opt = test_options(dir);
+    opt.hosts = 1;
+    opt.queue_limit = 2;
+    opt.tenant_quota = 3;
+
+    svc::JobScheduler sched(opt);
+    // q0 arrives first and dispatches onto the single host. While it runs,
+    // q1/q2 fill the queue (limit 2), q3 trips acme's quota (3 in flight)
+    // and a second-tenant "spike" job finds the queue full with no
+    // lower-priority victim. A later priority-3 arrival sheds q1 (the
+    // oldest priority-0 waiter).
+    sched.submit(spec_named("acme", "q0", 96, 10));       // seq 0: runs
+    svc::JobSpec q = spec_named("acme", "q1", 96, 10);    // seq 1: shed
+    q.arrival_s = 1e-9;
+    sched.submit(q);
+    q.name = "q2";                                        // seq 2: completes
+    sched.submit(q);
+    q.name = "q3";                                        // seq 3: quota
+    sched.submit(q);
+    svc::JobSpec spike = spec_named("spike", "s0", 96, 10);  // seq 4: queue
+    spike.arrival_s = 1e-9;
+    sched.submit(spike);
+    svc::JobSpec hi = spec_named("vip", "hi", 96, 10);    // seq 5: sheds q1
+    hi.priority = 3;
+    hi.arrival_s = 2e-9;
+    sched.submit(hi);
+    sched.run_until_idle();
+
+    EXPECT_EQ(sched.stats().rejected_quota, 1u) << "round " << round;
+    EXPECT_EQ(sched.stats().rejected_queue, 1u) << "round " << round;
+    EXPECT_EQ(sched.stats().shed, 1u) << "round " << round;
+    EXPECT_EQ(sched.stats().completed, 3u) << "round " << round;
+    EXPECT_EQ(sched.job(1).state, svc::JobState::Rejected);
+    EXPECT_EQ(sched.job(3).state, svc::JobState::Rejected);
+    EXPECT_EQ(sched.job(4).state, svc::JobState::Rejected);
+    EXPECT_EQ(sched.job(5).state, svc::JobState::Completed);
+    EXPECT_LE(sched.stats().max_queue_depth,
+              static_cast<std::size_t>(opt.queue_limit));
+  }
+}
+
+TEST(ServiceQuarantine, PoisonJobRetriesThenQuarantines) {
+  const std::string dir = fresh_dir("svc_test_poison");
+  svc::ServiceOptions opt = test_options(dir);
+  opt.max_job_retries = 1;
+
+  svc::JobSpec p = spec_named("acme", "poison", 96, 10);
+  p.ranks = 2;
+  p.faults = "rank_crash:1.0,seed:3";  // every rank dies -> unrecoverable
+  svc::JobSpec ok = spec_named("globex", "fine", 96, 10);
+
+  svc::JobScheduler sched(opt);
+  sched.submit(p);
+  sched.submit(ok);
+  sched.run_until_idle();
+  EXPECT_EQ(sched.job(0).state, svc::JobState::Quarantined);
+  EXPECT_EQ(sched.job(0).attempts(), 2);  // original + one retry
+  EXPECT_EQ(sched.stats().retries, 1u);
+  EXPECT_EQ(sched.stats().quarantined, 1u);
+  ASSERT_EQ(sched.job(1).state, svc::JobState::Completed);
+  const svc::SoloResult sok = svc::run_solo(ok, opt);
+  ASSERT_TRUE(sok.completed);
+  EXPECT_TRUE(same_state(sched.job(1).final_x(), sched.job(1).final_v(),
+                         sok.x, sok.v));
+  // Poison alone is still poison.
+  EXPECT_FALSE(svc::run_solo(p, opt).completed);
+}
+
+TEST(ServiceDeadline, ImpossibleDeadlineMissesAndQuarantines) {
+  const std::string dir = fresh_dir("svc_test_deadline");
+  svc::ServiceOptions opt = test_options(dir);
+  svc::JobSpec d = spec_named("acme", "late", 96, 30);
+  d.deadline_s = 1e-12;
+  svc::JobScheduler sched(opt);
+  sched.submit(d);
+  sched.run_until_idle();
+  EXPECT_EQ(sched.job(0).state, svc::JobState::Quarantined);
+  EXPECT_GT(sched.stats().deadline_misses, 0u);
+}
+
+TEST(ServiceRollup, NamespacesAggregateWithoutDoubleCounting) {
+  const std::string dir = fresh_dir("svc_test_rollup");
+  const svc::ServiceOptions opt = test_options(dir);
+  svc::JobScheduler sched(opt);
+  sched.submit(spec_named("acme", "a", 96, 10));
+  sched.submit(spec_named("acme", "b", 96, 10));
+  sched.submit(spec_named("globex", "c", 96, 10));
+  sched.run_until_idle();
+  ASSERT_EQ(sched.stats().completed, 3u);
+
+  obs::MetricsRegistry dst;
+  sched.rollup_into(dst);
+  const double a = dst.value("svc/acme/a/sim/steps");
+  const double b = dst.value("svc/acme/b/sim/steps");
+  const double c = dst.value("svc/globex/c/sim/steps");
+  EXPECT_DOUBLE_EQ(a, 10.0);
+  EXPECT_DOUBLE_EQ(b, 10.0);
+  EXPECT_DOUBLE_EQ(c, 10.0);
+  EXPECT_DOUBLE_EQ(dst.value("svc/tenant/acme/sim/steps"), a + b);
+  EXPECT_DOUBLE_EQ(dst.value("svc/total/sim/steps"), a + b + c);
+  EXPECT_DOUBLE_EQ(dst.value("svc/jobs/completed"), 3.0);
+  const obs::MetricEntry* lat = dst.find("svc/job_latency_seconds");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count(), 3u);
+}
+
+}  // namespace
+}  // namespace swgmx

@@ -11,8 +11,16 @@ the x bytes then the v bytes.
 
 Prints the header, the rank layout (v2) and the CRC verdict. Exit status:
 0 = healthy, 1 = corrupt / truncated / uncommitted / CRC mismatch, 2 = usage.
+
+With --dir, validates a service preemption-checkpoint directory instead
+(one <tenant>__<job>.cpt per suspended/preempted job, written by
+svc::Job::preempt): every primary checkpoint must be healthy AND have a
+healthy _prev rotation sibling (the inspector's two-deep fallback
+guarantee). An empty directory fails — pointing this at the wrong path
+must not pass silently.
 """
 
+import os
 import struct
 import sys
 import zlib
@@ -100,10 +108,62 @@ def dump(path):
     return 0
 
 
+def dump_quiet(path):
+    """dump() with stdout suppressed; returns its exit code."""
+    saved = sys.stdout
+    sys.stdout = open(os.devnull, "w")
+    try:
+        return dump(path)
+    except (EOFError, OSError, struct.error) as e:
+        return fail(f"{path}: {e}")
+    finally:
+        sys.stdout.close()
+        sys.stdout = saved
+
+
+def prev_path(path):
+    """Mirror io::checkpoint_prev_path: foo.cpt -> foo_prev.cpt."""
+    root, ext = os.path.splitext(path)
+    return root + "_prev" + ext
+
+
+def dump_dir(dirpath):
+    if not os.path.isdir(dirpath):
+        return fail(f"{dirpath}: not a directory")
+    primaries = sorted(
+        name for name in os.listdir(dirpath)
+        if name.endswith(".cpt") and not name.endswith("_prev.cpt"))
+    if not primaries:
+        return fail(f"{dirpath}: no preemption checkpoints found")
+    bad = 0
+    for name in primaries:
+        path = os.path.join(dirpath, name)
+        ok = dump_quiet(path) == 0
+        prev = prev_path(path)
+        prev_ok = os.path.exists(prev) and dump_quiet(prev) == 0
+        verdict = "OK" if ok and prev_ok else "BAD"
+        detail = []
+        if not ok:
+            detail.append("primary invalid")
+        if not os.path.exists(prev):
+            detail.append("missing _prev fallback")
+        elif not prev_ok:
+            detail.append("_prev invalid")
+        print(f"{verdict}  {name}" + (f"  ({', '.join(detail)})"
+                                      if detail else ""))
+        if verdict == "BAD":
+            bad += 1
+    print(f"{len(primaries)} job checkpoint(s), {bad} bad")
+    return 1 if bad else 0
+
+
 def main(argv):
-    if len(argv) != 2:
+    if len(argv) == 3 and argv[1] == "--dir":
+        return dump_dir(argv[2])
+    if len(argv) != 2 or argv[1].startswith("--"):
         print(__doc__.strip(), file=sys.stderr)
-        print("\nusage: cpt_dump.py <checkpoint>", file=sys.stderr)
+        print("\nusage: cpt_dump.py <checkpoint> | cpt_dump.py --dir <dir>",
+              file=sys.stderr)
         return 2
     try:
         return dump(argv[1])

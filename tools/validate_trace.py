@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a SW_GROMACS trace + metrics snapshot (stdlib only).
 
-Usage: validate_trace.py [--overlap|--serial] TRACE.json [METRICS.json]
+Usage: validate_trace.py [--overlap|--serial|--service] TRACE.json [METRICS.json]
 
 Checks that the trace is well-formed Chrome-trace-event JSON that Perfetto
 will load, that the instrumentation actually covered the simulator (>= 64
@@ -12,6 +12,16 @@ and the step-time histogram. With --overlap the trace must additionally show
 the overlap engine at work: "stream" partition tracks with genuinely
 concurrent spans. With --serial it must not carry any stream tracks. Exits
 non-zero with a message on the first failure.
+
+--service validates a multi-tenant service trace (bench/service_soak)
+instead: every scheduled job owns its own "job <tenant>/<name>" trace
+process (>= 2 of them), a "scheduler" process carries the admission /
+preemption / quarantine instants, NOTHING leaks onto the shared core_group
+process (the isolation seam: a leaked span would mean one job's events
+landed on another's timeline), and each job's CPE tracks carry
+nest-or-disjoint spans only (cross-job interleaving shows up as partial
+overlap). The metrics snapshot, when given, must carry the rolled-up svc/
+namespaces instead of the top-level simulator counters.
 """
 import json
 import sys
@@ -160,6 +170,127 @@ def check_overlap_mode(events):
           f"concurrent spans")
 
 
+def validate_service(path):
+    """Service-mode trace validation (see module docstring)."""
+    with open(path) as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict) and "traceEvents" in doc,
+          "top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    check(isinstance(events, list) and events, "traceEvents is empty")
+
+    proc_names = {}     # pid -> process name
+    track_names = {}    # (pid, tid) -> thread name
+    span_names = set()
+    instant_names = set()
+    for i, ev in enumerate(events):
+        check(isinstance(ev, dict), f"event {i} is not an object")
+        ph = ev.get("ph")
+        check(ph in REQUIRED_BY_PH, f"event {i} has unsupported ph {ph!r}")
+        missing = REQUIRED_BY_PH[ph] - ev.keys()
+        check(not missing,
+              f"event {i} (ph={ph}) missing fields {sorted(missing)}")
+        if ph == "M" and ev["name"] == "process_name":
+            proc_names[ev["pid"]] = ev["args"]["name"]
+        elif ph == "M" and ev["name"] == "thread_name":
+            track_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        elif ph == "X":
+            span_names.add(ev["name"])
+        elif ph == "i":
+            instant_names.add(ev["name"])
+
+    job_pids = {pid for pid, n in proc_names.items() if n.startswith("job ")}
+    check(len(job_pids) >= 2,
+          f"expected >= 2 job processes, got {len(job_pids)}")
+    check("scheduler" in proc_names.values(), "missing scheduler process")
+    for required in ("job_admitted", "job_completed"):
+        check(required in instant_names,
+              f"missing scheduler {required!r} instants")
+    for required in ("step", "Force"):
+        check(required in span_names, f"missing {required!r} spans")
+
+    # Isolation seam: a slice that escaped its JobContext would land on the
+    # shared core_group process.
+    leaked = [ev for ev in events if ev.get("ph") == "X"
+              and proc_names.get(ev["pid"]) == "core_group"]
+    check(not leaked,
+          f"{len(leaked)} span(s) leaked onto the shared core_group process "
+          f"(first: {leaked[0]['name']!r})" if leaked else "")
+
+    # Each job owns a full simulated process; at least one must carry the
+    # whole CPE fleet.
+    cpe_by_pid = {}
+    for (pid, tid), name in track_names.items():
+        if pid in job_pids and name.startswith("CPE "):
+            cpe_by_pid[pid] = cpe_by_pid.get(pid, 0) + 1
+    check(cpe_by_pid and max(cpe_by_pid.values()) >= 64,
+          "no job process carries >= 64 CPE tracks")
+
+    # Cross-job interleaving check: spans from two jobs on one CPE track
+    # would partially overlap (each job's own kernels nest or are disjoint).
+    # "[parallel]" jobs mirror globally-computed kernels over per-rank clock
+    # seeks (same exemption as multi-rank traces in the base validator).
+    serial_jobs = {pid for pid in job_pids
+                   if not proc_names[pid].endswith("[parallel]")}
+    tracks = {}
+    for ev in events:
+        if ev.get("ph") != "X" or ev["pid"] not in serial_jobs:
+            continue
+        tname = track_names.get((ev["pid"], ev["tid"]), "")
+        if not tname.startswith("CPE ") or ev["name"].startswith("dma_"):
+            continue
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+            (ev["ts"], ev["ts"] + ev["dur"], ev["name"]))
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        open_ends = []
+        for t0, t1, name in spans:
+            while open_ends and open_ends[-1] <= t0 + EPS_NEST:
+                open_ends.pop()
+            if open_ends:
+                check(t1 <= open_ends[-1] + EPS_NEST,
+                      f"span {name!r} on job track ({pid},{tid}) at ts={t0} "
+                      f"partially overlaps an earlier span (cross-job "
+                      f"interleaving or double charge)")
+            open_ends.append(t1)
+
+    print(f"validate_trace: service OK: {len(events)} events, "
+          f"{len(job_pids)} job processes, "
+          f"{max(cpe_by_pid.values())} CPE tracks on the busiest job, "
+          f"{len(instant_names)} scheduler instant names")
+
+
+def validate_service_metrics(path):
+    """The rolled-up svc/ namespaces of a service-soak metrics snapshot."""
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        check(section in doc and isinstance(doc[section], dict),
+              f"metrics snapshot missing {section!r} section")
+    counters = doc["counters"]
+    check(counters.get("svc/jobs/completed", 0) > 0,
+          "missing or zero svc/jobs/completed counter")
+    check("svc/total/sim/steps" in counters,
+          "missing svc/total/sim/steps rollup counter")
+    job_steps = {k for k in counters
+                 if k.startswith("svc/") and k.endswith("/sim/steps")
+                 and not k.startswith(("svc/total/", "svc/tenant/"))}
+    check(len(job_steps) >= 2, "fewer than 2 per-job sim/steps namespaces")
+    tenant_steps = [k for k in counters
+                    if k.startswith("svc/tenant/") and k.endswith("/sim/steps")]
+    check(tenant_steps, "no svc/tenant/*/sim/steps rollups")
+    # No double counting: the total equals the sum of the per-job numbers.
+    total = counters["svc/total/sim/steps"]
+    per_job = sum(counters[k] for k in job_steps)
+    check(abs(total - per_job) < 1e-6,
+          f"svc/total/sim/steps {total} != sum of per-job steps {per_job}")
+    hist = doc["histograms"].get("svc/job_latency_seconds")
+    check(hist is not None, "missing svc/job_latency_seconds histogram")
+    check(hist["count"] > 0, "svc/job_latency_seconds histogram is empty")
+    print(f"validate_metrics: service metrics OK: {len(job_steps)} jobs, "
+          f"{len(tenant_steps)} tenants, latency count {hist['count']}")
+
+
 def check_serial_mode(events):
     check(not stream_tracks(events),
           "serial (SWGMX_OVERLAP=0) trace must not carry stream tracks")
@@ -195,14 +326,20 @@ def main(argv):
     mode = None
     args = []
     for a in argv[1:]:
-        if a in ("--overlap", "--serial"):
-            check(mode is None, "pass at most one of --overlap/--serial")
+        if a in ("--overlap", "--serial", "--service"):
+            check(mode is None,
+                  "pass at most one of --overlap/--serial/--service")
             mode = a
         else:
             args.append(a)
     if not args:
-        fail("usage: validate_trace.py [--overlap|--serial] TRACE.json "
-             "[METRICS.json]")
+        fail("usage: validate_trace.py [--overlap|--serial|--service] "
+             "TRACE.json [METRICS.json]")
+    if mode == "--service":
+        validate_service(args[0])
+        if len(args) > 1:
+            validate_service_metrics(args[1])
+        return
     events = validate_trace(args[0])
     if mode == "--overlap":
         check_overlap_mode(events)
