@@ -20,7 +20,7 @@ void BM_ReadCacheHit(benchmark::State& state) {
   sw::LdmArena ldm(cfg.ldm_bytes);
   sw::CpeContext ctx(0, cfg, ldm);
   std::vector<Rec> mem(4096);
-  core::ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 32, 2);
+  core::ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8, 32, 2);
   (void)cache.get(100);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.get(100));
@@ -33,7 +33,7 @@ void BM_ReadCacheRandom(benchmark::State& state) {
   sw::LdmArena ldm(cfg.ldm_bytes);
   sw::CpeContext ctx(0, cfg, ldm);
   std::vector<Rec> mem(4096);
-  core::ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 32, 2);
+  core::ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8, 32, 2);
   Rng rng(3);
   std::vector<std::size_t> idx(1024);
   for (auto& i : idx) i = rng.below(4096);

@@ -1,0 +1,174 @@
+// Offline tuning sweep (DESIGN.md §2.12): for each (workload, size) case,
+// search the launch-parameter space on the simulated clock, write the
+// winning profile to tune_<workload>_<size>.prof, and report the
+// tuned-vs-default speedup as BENCH lines (CI collects them into
+// BENCH_tune.json). The tuner starts from the paper defaults, so tuned can
+// only match or beat them; the binary exits non-zero if any case regresses
+// or if no case improves — the sweep must actually buy something somewhere.
+//
+//   ./tune_sweep [--quick]
+//     --quick: the smallest reaction-field case only (the bounded CI job).
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "bench/harness.hpp"
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "md/simulation.hpp"
+#include "pme/pme.hpp"
+#include "tune/profile.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+struct Case {
+  const char* workload;
+  std::size_t particles;
+  int steps;
+  bool pme;
+};
+
+/// One short simulation under `cfg`; the deterministic simulated seconds.
+/// Everything (kernels, pair list, SimOptions::nstlist) is constructed under
+/// the scoped config, exactly as a production run with a loaded profile.
+double simulate(const Case& c, const tune::TuneConfig& cfg) {
+  tune::ScopedTune scope(cfg);
+  md::System sys = bench::water_particles(
+      c.particles,
+      c.pme ? md::CoulombMode::EwaldShort : md::CoulombMode::ReactionField);
+  sw::CoreGroup cg;
+  auto sr = core::make_short_range(core::Strategy::Mark, cg);
+  core::CpePairList pl(cg);
+  std::optional<pme::PmeSolver> solver;
+  if (c.pme) {
+    solver.emplace(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
+    solver->set_accelerated(true);
+  }
+  md::SimOptions opt;
+  opt.nstenergy = 0;
+  md::Simulation sim(std::move(sys), opt, *sr, pl,
+                     c.pme ? &*solver : nullptr);
+  sim.run(c.steps);
+  return sim.timers().total();
+}
+
+std::string profile_path(const Case& c) {
+  return std::string("tune_") + c.workload + "_" +
+         std::to_string(c.particles) + ".prof";
+}
+
+/// Sweep one case; returns the serialized winning profile.
+std::string sweep_case(const Case& c, tune::TuneResult& result) {
+  tune::TuneSpace space;
+  tune::TuneFeasible feasible;
+  if (c.pme) {
+    space = tune::pme_space();
+    // The pencil caches must fit the actual grid depth of this box.
+    md::System probe = bench::water_particles(c.particles,
+                                              md::CoulombMode::EwaldShort);
+    const std::size_t nz = static_cast<std::size_t>(
+        pme::suggest_grid(probe.box, probe.ff->ewald_beta).grid_z);
+    feasible = [nz](const tune::TuneConfig& t) {
+      return tune::spread_ldm_bytes(t, nz) <= tune::kPencilCacheBudget &&
+             tune::gather_ldm_bytes(t, nz) <= tune::kPencilCacheBudget;
+    };
+  } else {
+    space = tune::short_range_space();
+  }
+  result = tune::tune_search(
+      space, tune::TuneConfig{},
+      [&](const tune::TuneConfig& t) { return simulate(c, t); }, feasible);
+
+  tune::TuneProfile p;
+  p.workload = c.workload;
+  p.size = static_cast<int>(c.particles);
+  p.config = result.best;
+  return tune::serialize_profile(p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::banner(quick ? "Tuning sweep (bounded CI case)"
+                      : "Tuning sweep: launch parameters per workload/size");
+
+  const Case all_cases[] = {
+      {"water_rf", 768, 30, false},   // small box — not a paper size
+      {"water_rf", 3000, 30, false},  // Table 3's smallest water box
+      {"water_pme", 768, 20, true},   // mesh path: PME dims join the space
+  };
+  const std::size_t ncases = quick ? 1 : std::size(all_cases);
+
+  Table t({"workload", "size", "default ms", "tuned ms", "speedup", "evals",
+           "pruned", "mode"});
+  bool any_improved = false;
+  bool any_regressed = false;
+  for (std::size_t i = 0; i < ncases; ++i) {
+    const Case& c = all_cases[i];
+    tune::TuneResult r;
+    const std::string profile = sweep_case(c, r);
+    tune::TuneProfile parsed;  // write via the same path a loader reads
+    if (tune::parse_profile(profile, parsed) != tune::ProfileStatus::kLoaded) {
+      std::cerr << "FAIL: " << c.workload << "/" << c.particles
+                << " produced an unloadable profile\n";
+      return 1;
+    }
+    tune::write_profile(profile_path(c), parsed);
+
+    const double speedup =
+        r.best_seconds > 0.0 ? r.start_seconds / r.best_seconds : 0.0;
+    any_improved = any_improved || r.best_seconds < r.start_seconds;
+    any_regressed = any_regressed || r.best_seconds > r.start_seconds;
+    t.add_row({c.workload, std::to_string(c.particles),
+               Table::num(r.start_seconds * 1e3, 3),
+               Table::num(r.best_seconds * 1e3, 3), Table::num(speedup, 3),
+               std::to_string(r.evaluated), std::to_string(r.pruned),
+               r.exhaustive ? "exhaustive" : "descent"});
+    bench::bench_json(
+        std::string("tune/") + c.workload + "/" + std::to_string(c.particles),
+        {{"default_seconds", r.start_seconds},
+         {"tuned_seconds", r.best_seconds},
+         {"speedup", speedup},
+         {"evaluated", static_cast<double>(r.evaluated)},
+         {"pruned", static_cast<double>(r.pruned)},
+         {"exhaustive", r.exhaustive ? 1.0 : 0.0},
+         {"nstlist", static_cast<double>(r.best.nstlist)},
+         {"read_sets", static_cast<double>(r.best.read_sets)},
+         {"read_ways", static_cast<double>(r.best.read_ways)},
+         {"write_lines", static_cast<double>(r.best.write_lines)},
+         {"row_chunk", static_cast<double>(r.best.row_chunk)}});
+  }
+  t.print(std::cout);
+
+  // Determinism gate: the smallest sweep re-run must reproduce its profile
+  // byte for byte (the tuner runs on the deterministic simulated clock, so
+  // host thread count and repetition must not matter).
+  tune::TuneResult again;
+  const std::string first = sweep_case(all_cases[0], again);
+  tune::TuneResult again2;
+  const bool deterministic = first == sweep_case(all_cases[0], again2);
+  bench::bench_json("tune/determinism",
+                    {{"byte_identical", deterministic ? 1.0 : 0.0}});
+  bench::write_observability_artifacts();
+
+  if (!deterministic) {
+    std::cerr << "FAIL: repeated sweep produced a different profile\n";
+    return 1;
+  }
+  if (any_regressed) {
+    std::cerr << "FAIL: a tuned config is slower than the paper defaults\n";
+    return 1;
+  }
+  if (!any_improved) {
+    std::cerr << "FAIL: no case improved on the paper defaults\n";
+    return 1;
+  }
+  std::cout << "\nAll cases at >= 1.0x, profiles written next to the binary"
+               " (load with SWGMX_TUNE=<path>).\n";
+  return 0;
+}

@@ -35,10 +35,12 @@ void GridCopySet::clear_marks() {
 }
 
 GridWriteCache::GridWriteCache(sw::CpeContext& ctx, GridCopySet& copies,
-                               int cpe)
-    : ctx_(&ctx), copies_(&copies), cpe_(cpe), nz_(copies.nz()) {
-  data_ = ctx.ldm().allocate<double>(static_cast<std::size_t>(kSlots) * nz_);
-  tags_ = ctx.ldm().allocate<std::int32_t>(kSlots);
+                               int cpe, int slots)
+    : ctx_(&ctx), copies_(&copies), cpe_(cpe), slots_(slots), nz_(copies.nz()) {
+  SWGMX_CHECK_MSG(slots >= 16 && (slots & (slots - 1)) == 0,
+                  "grid cache slots must be a power of two >= 16");
+  data_ = ctx.ldm().allocate<double>(static_cast<std::size_t>(slots_) * nz_);
+  tags_ = ctx.ldm().allocate<std::int32_t>(static_cast<std::size_t>(slots_));
   for (auto& t : tags_) t = -1;
   ldm_marks_ = ctx.ldm().allocate<std::uint64_t>(copies.mark_words(cpe));
 }
@@ -72,8 +74,11 @@ void GridWriteCache::load_pencil(int slot, std::int32_t wp) {
 void GridWriteCache::add(std::size_t wplane, std::size_t iy, std::size_t iz,
                          double v) {
   // The 4 support planes x 4 support iy of one particle are consecutive, so
-  // their low-2-bit pairs are distinct: zero intra-particle conflicts.
-  const int slot = static_cast<int>(((wplane & 3u) << 2) | (iy & 3u));
+  // their low-2-bit pairs are distinct: zero intra-particle conflicts. With
+  // more than 16 slots the extra wplane bits spread particles across slot
+  // groups (identical map at the default 16).
+  const auto plane_mask = static_cast<std::size_t>(slots_ / 4 - 1);
+  const int slot = static_cast<int>(((wplane & plane_mask) << 2) | (iy & 3u));
   const auto wp = static_cast<std::int32_t>(wplane * copies_->ny() + iy);
   if (tags_[static_cast<std::size_t>(slot)] != wp) {
     ++ctx_->perf().write_misses;
@@ -86,7 +91,7 @@ void GridWriteCache::add(std::size_t wplane, std::size_t iy, std::size_t iz,
 }
 
 void GridWriteCache::flush() {
-  for (int s = 0; s < kSlots; ++s) {
+  for (int s = 0; s < slots_; ++s) {
     write_back(s);
     tags_[static_cast<std::size_t>(s)] = -1;
   }

@@ -100,10 +100,14 @@ class GridCopySet {
 /// first touch zero-fills in LDM instead of fetching.
 class GridWriteCache {
  public:
-  /// 16 slots = the 4 planes x 4 iy support of one particle, conflict-free.
+  /// Paper-default slot count: 16 = the 4 planes x 4 iy support of one
+  /// particle, conflict-free. Larger (power-of-four-times-4) counts keep
+  /// the conflict-free property and add capacity across particles.
   static constexpr int kSlots = 16;
 
-  GridWriteCache(sw::CpeContext& ctx, GridCopySet& copies, int cpe);
+  /// `slots` must be a power of two >= 16 (the tune::grid_slots knob).
+  GridWriteCache(sw::CpeContext& ctx, GridCopySet& copies, int cpe,
+                 int slots = kSlots);
 
   /// Accumulate v into the window pencil (wplane, iy) at depth iz.
   void add(std::size_t wplane, std::size_t iy, std::size_t iz, double v);
@@ -113,9 +117,11 @@ class GridWriteCache {
   void flush();
 
   /// LDM bytes the cache allocates for a given pencil depth (pencils + tags
-  /// + mark mirror; budget checks in tests).
-  [[nodiscard]] static std::size_t ldm_bytes(std::size_t nz, std::size_t mark_words) {
-    return kSlots * nz * sizeof(double) + kSlots * sizeof(std::int32_t) +
+  /// + mark mirror; budget checks in tests and the PME driver).
+  [[nodiscard]] static std::size_t ldm_bytes(int slots, std::size_t nz,
+                                             std::size_t mark_words) {
+    return static_cast<std::size_t>(slots) * nz * sizeof(double) +
+           static_cast<std::size_t>(slots) * sizeof(std::int32_t) +
            mark_words * sizeof(std::uint64_t);
   }
 
@@ -126,8 +132,9 @@ class GridWriteCache {
   sw::CpeContext* ctx_;
   GridCopySet* copies_;
   int cpe_;
+  int slots_;
   std::size_t nz_;
-  std::span<double> data_;              ///< kSlots pencils of nz doubles
+  std::span<double> data_;              ///< slots_ pencils of nz doubles
   std::span<std::int32_t> tags_;        ///< window pencil id per slot
   std::span<std::uint64_t> ldm_marks_;  ///< LDM mirror of this CPE's marks
 };

@@ -15,7 +15,6 @@
 namespace swgmx::core {
 
 namespace {
-constexpr std::size_t kRowChunk = 512;
 /// One update record: slot id + 3 force components.
 constexpr std::size_t kRecordBytes = 16;
 /// Records per queue flush (a 2 KB DMA).
@@ -37,10 +36,11 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
                                      std::span<Vec3f> f_slots,
                                      md::NbEnergies& e) {
   SWGMX_CHECK_MSG(list.half, "MPE-collect consumes half lists");
-  const PackedSystem packed(cs);
+  const PackedSystem packed(cs, opt_.pkgs_per_line);
   const int ncl = packed.nclusters();
   const int ncpe = cg_->config().cpe_count;
   const Vec3f box_len(box.len);
+  const auto row_chunk = static_cast<std::size_t>(opt_.row_chunk);
 
   /// One queued force-update record (what the CPE ships to the MPE).
   struct Update {
@@ -66,10 +66,10 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
     ctx.dma_get(c6l.data(), p.c6.data(), nt2 * sizeof(float));
     ctx.dma_get(c12l.data(), p.c12.data(), nt2 * sizeof(float));
 
-    ReadCache<DevicePackage, kPkgsPerLine> rcache(ctx, packed.packages(),
-                                                  opt_.read_sets, opt_.read_ways);
+    ReadCache<DevicePackage> rcache(ctx, packed.packages(), opt_.pkgs_per_line,
+                                    opt_.read_sets, opt_.read_ways);
     auto ibuf = ctx.ldm().allocate<DevicePackage>(1);
-    auto rowbuf = ctx.ldm().allocate<std::int32_t>(kRowChunk);
+    auto rowbuf = ctx.ldm().allocate<std::int32_t>(row_chunk);
 
     CpeOut out;
     std::size_t queued = 0;  // records in the LDM-side queue buffer
@@ -98,8 +98,8 @@ double MpeCollectShortRange::compute(const md::ClusterSystem& cs,
       Vec3f fi[md::kClusterSize] = {};
 
       std::size_t tested = 0, accepted = 0;
-      for (std::size_t base = 0; base < row.size(); base += kRowChunk) {
-        const std::size_t chunk = std::min(kRowChunk, row.size() - base);
+      for (std::size_t base = 0; base < row.size(); base += row_chunk) {
+        const std::size_t chunk = std::min(row_chunk, row.size() - base);
         ctx.dma_get(rowbuf.data(), row.data() + base,
                     chunk * sizeof(std::int32_t));
         for (std::size_t k = 0; k < chunk; ++k) {

@@ -6,7 +6,9 @@
 
 namespace swgmx::core {
 
-PackedSystem::PackedSystem(const md::ClusterSystem& cs) : layout_(cs.layout()) {
+PackedSystem::PackedSystem(const md::ClusterSystem& cs, int pkgs_per_line)
+    : layout_(cs.layout()), ppl_(pkgs_per_line) {
+  SWGMX_CHECK(pkgs_per_line >= 1);
   const int ncl = cs.nclusters();
   pkg_.resize(static_cast<std::size_t>(ncl));
   const std::span<const float> raw = cs.packages();
@@ -23,11 +25,14 @@ PackedSystem::PackedSystem(const md::ClusterSystem& cs) : layout_(cs.layout()) {
   }
 }
 
-ForceCopySet::ForceCopySet(int ncpe, int nlines)
+ForceCopySet::ForceCopySet(int ncpe, int nlines, int pkgs_per_line)
     : ncpe_(ncpe),
       nlines_(nlines),
-      pkgs_per_cpe_(static_cast<std::size_t>(nlines) * kPkgsPerLine),
+      ppl_(pkgs_per_line),
+      pkgs_per_cpe_(static_cast<std::size_t>(nlines) *
+                    static_cast<std::size_t>(pkgs_per_line)),
       mark_words_((static_cast<std::size_t>(nlines) + 63) / 64) {
+  SWGMX_CHECK(pkgs_per_line >= 1);
   storage_.resize(static_cast<std::size_t>(ncpe) * pkgs_per_cpe_);
   marks_.resize(static_cast<std::size_t>(ncpe) * mark_words_);
   zero_all();
@@ -44,11 +49,13 @@ std::span<const ForcePackage> ForceCopySet::copy_of(int cpe) const {
 
 ForcePackage* ForceCopySet::line(int cpe, int line_idx) {
   SWGMX_CHECK(line_idx >= 0 && line_idx < nlines_);
-  return copy_of(cpe).data() + static_cast<std::size_t>(line_idx) * kPkgsPerLine;
+  return copy_of(cpe).data() +
+         static_cast<std::size_t>(line_idx) * static_cast<std::size_t>(ppl_);
 }
 const ForcePackage* ForceCopySet::line(int cpe, int line_idx) const {
   SWGMX_CHECK(line_idx >= 0 && line_idx < nlines_);
-  return copy_of(cpe).data() + static_cast<std::size_t>(line_idx) * kPkgsPerLine;
+  return copy_of(cpe).data() +
+         static_cast<std::size_t>(line_idx) * static_cast<std::size_t>(ppl_);
 }
 
 std::span<std::uint64_t> ForceCopySet::marks_of(int cpe) {

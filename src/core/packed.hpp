@@ -10,14 +10,18 @@
 
 #include "common/aligned.hpp"
 #include "md/clusters.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::core {
 
-/// Packages per software-cache line (Fig 3/5: offset field is 3 bits).
-inline constexpr int kPkgsPerLine = 8;
-/// Particles covered by one cache line (8 packages x 4 particles = 32;
-/// Fig 5: "for one Byte size memory we could record the update state of 256
-/// (8*8*4) particles").
+/// Packages per software-cache line, the paper default (Fig 3/5: offset
+/// field is 3 bits). The runtime value is a TuneConfig field
+/// (tune/params.hpp) threaded through PackedSystem/ForceCopySet; this
+/// constant remains for code that wants the paper geometry.
+inline constexpr int kPkgsPerLine = tune::kDefaultPkgsPerLine;
+/// Particles covered by one paper-default cache line (8 packages x 4
+/// particles = 32; Fig 5: "for one Byte size memory we could record the
+/// update state of 256 (8*8*4) particles").
 inline constexpr int kParticlesPerLine = kPkgsPerLine * md::kClusterSize;
 
 /// One particle package in main memory. pos_q layout follows the owning
@@ -36,6 +40,11 @@ struct alignas(16) ForcePackage {
   float f[md::kClusterSize * 3];  ///< xyz-interleaved per particle
 };
 static_assert(sizeof(ForcePackage) == 48);
+
+// The tune-layer LDM budget model (tune/params.hpp) hard-codes these sizes
+// because it cannot include core without a dependency cycle.
+static_assert(sizeof(DevicePackage) == tune::kDevicePackageBytes);
+static_assert(sizeof(ForcePackage) == tune::kForcePackageBytes);
 
 /// Layout-aware package accessors (lane in [0, 4)).
 [[nodiscard]] inline Vec3f pkg_pos(const DevicePackage& p, md::PackageLayout lay,
@@ -56,19 +65,26 @@ static_assert(sizeof(ForcePackage) == 48);
 class PackedSystem {
  public:
   /// Aggregate from the cluster system (MPE-side work, done once per step).
-  explicit PackedSystem(const md::ClusterSystem& cs);
+  /// `pkgs_per_line` sets the force-line granularity (kernels pass their
+  /// TuneConfig value; the default is the paper geometry).
+  explicit PackedSystem(const md::ClusterSystem& cs,
+                        int pkgs_per_line = kPkgsPerLine);
 
   [[nodiscard]] std::span<const DevicePackage> packages() const { return pkg_; }
   [[nodiscard]] int nclusters() const { return static_cast<int>(pkg_.size()); }
   [[nodiscard]] std::size_t nslots() const { return pkg_.size() * md::kClusterSize; }
+  [[nodiscard]] int pkgs_per_line() const { return ppl_; }
   /// Force lines covering all clusters.
   [[nodiscard]] int nlines() const {
-    return static_cast<int>((pkg_.size() + kPkgsPerLine - 1) / kPkgsPerLine);
+    return static_cast<int>(
+        (pkg_.size() + static_cast<std::size_t>(ppl_) - 1) /
+        static_cast<std::size_t>(ppl_));
   }
   [[nodiscard]] md::PackageLayout layout() const { return layout_; }
 
  private:
   md::PackageLayout layout_;
+  int ppl_;
   AlignedVector<DevicePackage> pkg_;
 };
 
@@ -78,23 +94,32 @@ class PackedSystem {
 /// (Fig 5) mirrored to main memory so the reduction kernel can read them.
 class ForceCopySet {
  public:
-  ForceCopySet(int ncpe, int nlines);
+  ForceCopySet(int ncpe, int nlines, int pkgs_per_line = kPkgsPerLine);
 
   [[nodiscard]] int ncpe() const { return ncpe_; }
   [[nodiscard]] int nlines() const { return nlines_; }
+  [[nodiscard]] int pkgs_per_line() const { return ppl_; }
+  [[nodiscard]] int particles_per_line() const {
+    return ppl_ * md::kClusterSize;
+  }
+  /// DMA bytes of one force line at this geometry.
+  [[nodiscard]] std::size_t line_bytes() const {
+    return sizeof(ForcePackage) * static_cast<std::size_t>(ppl_);
+  }
 
-  /// One CPE's whole copy array (nlines * kPkgsPerLine force packages).
+  /// One CPE's whole copy array (nlines * pkgs_per_line force packages).
   [[nodiscard]] std::span<ForcePackage> copy_of(int cpe);
   [[nodiscard]] std::span<const ForcePackage> copy_of(int cpe) const;
-  /// One line (kPkgsPerLine packages) of one CPE's copy.
+  /// One line (pkgs_per_line packages) of one CPE's copy.
   [[nodiscard]] ForcePackage* line(int cpe, int line_idx);
   [[nodiscard]] const ForcePackage* line(int cpe, int line_idx) const;
 
   /// The 3 floats of one particle slot inside one CPE's copy (used by the
   /// Pkg rung's per-pair direct updates).
   [[nodiscard]] float* slot_ptr(int cpe, std::size_t slot) {
-    const auto line_idx = static_cast<int>(slot / kParticlesPerLine);
-    const std::size_t in_line = slot % kParticlesPerLine;
+    const auto per_line = static_cast<std::size_t>(particles_per_line());
+    const auto line_idx = static_cast<int>(slot / per_line);
+    const std::size_t in_line = slot % per_line;
     return line(cpe, line_idx)[in_line / md::kClusterSize].f +
            (in_line % md::kClusterSize) * 3;
   }
@@ -118,7 +143,7 @@ class ForceCopySet {
   [[nodiscard]] std::size_t words_per_cpe() const { return mark_words_; }
 
  private:
-  int ncpe_, nlines_;
+  int ncpe_, nlines_, ppl_;
   std::size_t pkgs_per_cpe_;
   std::size_t mark_words_;
   AlignedVector<ForcePackage> storage_;

@@ -24,6 +24,9 @@ struct alignas(16) GeomRec {
 };
 static_assert(sizeof(GeomRec) == 32);
 constexpr int kGeomsPerLine = 16;
+// The tune-layer pair-list LDM budget (tune::pl_ldm_bytes) hard-codes this
+// line geometry because it cannot include core without a dependency cycle.
+static_assert(kGeomsPerLine * sizeof(GeomRec) == tune::kGeomLineBytes);
 
 float mi(float d, float L) { return d - L * std::nearbyint(d / L); }
 
@@ -164,11 +167,12 @@ double CpePairList::build(const md::ClusterSystem& cs, const md::Box& box,
                     static_cast<std::size_t>(cpe)];
     my.row_len.reserve(static_cast<std::size_t>(hi - lo));
 
-    ReadCache<GeomRec, kGeomsPerLine> gcache(ctx, rank_geom, sets_, ways_);
+    ReadCache<GeomRec> gcache(ctx, rank_geom, kGeomsPerLine, sets_, ways_);
 
     // Staging buffer for accepted cj values; flushed to the CPE's temporary
     // main-memory region with 2 KB DMA puts.
     constexpr std::size_t kStage = 512;
+    static_assert(kStage * sizeof(std::int32_t) == tune::kPlStageBytes);
     auto stage = ctx.ldm().allocate<std::int32_t>(kStage);
     std::size_t staged = 0;
     auto flush = [&]() {

@@ -8,17 +8,21 @@
 
 #include "md/backends.hpp"
 #include "sw/core_group.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::core {
 
 class CpePairList final : public md::PairListBackend {
  public:
   /// ways = 1 reproduces the thrashing configuration; ways = 2 the fix.
-  /// Default geometry: 32 sets x 2 ways x 512 B lines = 32 KB of LDM.
-  /// sorted_scan = false reproduces the original (cell-grid order) traversal
-  /// whose conflict misses motivated §3.5's two-way cache.
-  CpePairList(sw::CoreGroup& cg, int cache_sets = 32, int cache_ways = 2,
-              bool sorted_scan = true)
+  /// Defaults come from tune::active() (paper geometry: 32 sets x 2 ways x
+  /// 512 B lines = 32 KB of LDM). sorted_scan = false reproduces the
+  /// original (cell-grid order) traversal whose conflict misses motivated
+  /// §3.5's two-way cache.
+  explicit CpePairList(sw::CoreGroup& cg,
+                       int cache_sets = tune::active().pl_sets,
+                       int cache_ways = tune::active().pl_ways,
+                       bool sorted_scan = true)
       : cg_(&cg), sets_(cache_sets), ways_(cache_ways), sorted_(sorted_scan) {}
 
   [[nodiscard]] std::string name() const override {

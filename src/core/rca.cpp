@@ -15,8 +15,6 @@
 namespace swgmx::core {
 
 namespace {
-constexpr std::size_t kRowChunk = 512;
-
 simd::floatv4 pbc_wrap(simd::floatv4 d, float box_len) {
   float out[4];
   for (int lane = 0; lane < 4; ++lane) {
@@ -33,10 +31,11 @@ double RcaShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
                               md::NbEnergies& e) {
   SWGMX_CHECK_MSG(!list.half, "RCA consumes full lists");
   SWGMX_CHECK(cs.layout() == md::PackageLayout::Transposed);
-  const PackedSystem packed(cs);
+  const PackedSystem packed(cs, opt_.pkgs_per_line);
   const int ncl = packed.nclusters();
   const int ncpe = cg_->config().cpe_count;
   const Vec3f box_len(box.len);
+  const auto row_chunk = static_cast<std::size_t>(opt_.row_chunk);
 
   struct CpeE {
     double lj = 0.0, coul = 0.0;
@@ -57,10 +56,10 @@ double RcaShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
     ctx.dma_get(c6l.data(), p.c6.data(), nt2 * sizeof(float));
     ctx.dma_get(c12l.data(), p.c12.data(), nt2 * sizeof(float));
 
-    ReadCache<DevicePackage, kPkgsPerLine> rcache(ctx, packed.packages(),
-                                                  opt_.read_sets, opt_.read_ways);
+    ReadCache<DevicePackage> rcache(ctx, packed.packages(), opt_.pkgs_per_line,
+                                    opt_.read_sets, opt_.read_ways);
     auto ibuf = ctx.ldm().allocate<DevicePackage>(1);
-    auto rowbuf = ctx.ldm().allocate<std::int32_t>(kRowChunk);
+    auto rowbuf = ctx.ldm().allocate<std::int32_t>(row_chunk);
     auto fout = ctx.ldm().allocate<float>(md::kClusterSize * 3);
 
     CpeE eng;
@@ -76,8 +75,8 @@ double RcaShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
 
       const auto row = list.row(ci);
       double vec_ops = 0.0, vec_divs = 0.0;
-      for (std::size_t base = 0; base < row.size(); base += kRowChunk) {
-        const std::size_t chunk = std::min(kRowChunk, row.size() - base);
+      for (std::size_t base = 0; base < row.size(); base += row_chunk) {
+        const std::size_t chunk = std::min(row_chunk, row.size() - base);
         ctx.dma_get(rowbuf.data(), row.data() + base,
                     chunk * sizeof(std::int32_t));
         for (std::size_t k = 0; k < chunk; ++k) {

@@ -4,7 +4,9 @@
 // The address is decomposed exactly as in Fig 3: the record index splits
 // into | tag | set index | offset-in-line |. Direct-mapped (ways = 1) is the
 // short-range kernel's configuration; the pair-list generation kernel uses
-// ways = 2 to defeat the cache thrashing described in §3.5.
+// ways = 2 to defeat the cache thrashing described in §3.5. The records-
+// per-line geometry is a runtime parameter (a TuneConfig field for the
+// kernels that consume it), not a template constant.
 #pragma once
 
 #include <algorithm>
@@ -19,16 +21,19 @@ namespace swgmx::core {
 /// Set-associative software cache of `Record` lines, backed by a main-memory
 /// array. LRU within a set (exact for ways <= 2, which is all the paper
 /// uses). All storage (lines + tags) lives in the owning CPE's LDM.
-template <typename Record, int RecordsPerLine>
+template <typename Record>
 class ReadCache {
  public:
-  ReadCache(sw::CpeContext& ctx, std::span<const Record> mem, int nsets, int ways)
-      : ctx_(&ctx), mem_(mem), nsets_(nsets), ways_(ways) {
+  ReadCache(sw::CpeContext& ctx, std::span<const Record> mem,
+            int records_per_line, int nsets, int ways)
+      : ctx_(&ctx), mem_(mem), rpl_(records_per_line), nsets_(nsets),
+        ways_(ways) {
     SWGMX_CHECK_MSG((nsets & (nsets - 1)) == 0, "nsets must be a power of two");
     SWGMX_CHECK(ways >= 1 && ways <= 2);
+    SWGMX_CHECK(records_per_line >= 1);
     const int nlines = nsets * ways;
-    lines_ = ctx.ldm().allocate<Record>(
-        static_cast<std::size_t>(nlines) * RecordsPerLine);
+    lines_ = ctx.ldm().allocate<Record>(static_cast<std::size_t>(nlines) *
+                                        static_cast<std::size_t>(rpl_));
     tags_ = ctx.ldm().allocate<std::int32_t>(static_cast<std::size_t>(nlines));
     lru_ = ctx.ldm().allocate<std::int8_t>(static_cast<std::size_t>(nsets));
     for (auto& t : tags_) t = -1;
@@ -36,8 +41,9 @@ class ReadCache {
 
   /// Fetch the record at `index`, via the cache.
   const Record& get(std::size_t index) {
-    const auto line_id = static_cast<std::int32_t>(index / RecordsPerLine);
-    const auto offset = index % RecordsPerLine;
+    const auto rpl = static_cast<std::size_t>(rpl_);
+    const auto line_id = static_cast<std::int32_t>(index / rpl);
+    const auto offset = index % rpl;
     const int set = line_id & (nsets_ - 1);
 
     // Probe the ways of this set.
@@ -54,22 +60,22 @@ class ReadCache {
     ++ctx_->perf().read_misses;
     const int w = victim(set);
     const int slot = set * ways_ + w;
-    const std::size_t first = static_cast<std::size_t>(line_id) *
-                              static_cast<std::size_t>(RecordsPerLine);
-    const std::size_t count =
-        std::min<std::size_t>(RecordsPerLine, mem_.size() - first);
+    const std::size_t first = static_cast<std::size_t>(line_id) * rpl;
+    const std::size_t count = std::min<std::size_t>(rpl, mem_.size() - first);
     ctx_->dma_get(line_at(slot), mem_.data() + first, count * sizeof(Record));
     tags_[static_cast<std::size_t>(slot)] = line_id;
     touch(set, w);
     return line_at(slot)[offset];
   }
 
+  [[nodiscard]] int records_per_line() const { return rpl_; }
   [[nodiscard]] int nsets() const { return nsets_; }
   [[nodiscard]] int ways() const { return ways_; }
 
  private:
   [[nodiscard]] Record* line_at(int slot) {
-    return lines_.data() + static_cast<std::size_t>(slot) * RecordsPerLine;
+    return lines_.data() +
+           static_cast<std::size_t>(slot) * static_cast<std::size_t>(rpl_);
   }
   void touch(int set, int way) {
     // For 2-way: remember the most recently used way. For 1-way: no-op.
@@ -85,7 +91,7 @@ class ReadCache {
 
   sw::CpeContext* ctx_;
   std::span<const Record> mem_;
-  int nsets_, ways_;
+  int rpl_, nsets_, ways_;
   std::span<Record> lines_;
   std::span<std::int32_t> tags_;
   std::span<std::int8_t> lru_;

@@ -9,6 +9,7 @@
 
 #include "md/backends.hpp"
 #include "sw/core_group.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::core {
 
@@ -27,12 +28,18 @@ enum class Strategy : std::uint8_t {
 
 [[nodiscard]] const char* strategy_name(Strategy s);
 
-/// Tuning knobs of the CPE kernels (defaults follow the paper's geometry:
-/// 8-package lines, 32-line direct-mapped read cache ~ Fig 3's 5-bit index).
+/// Tuning knobs of the CPE kernels. Defaults come from the process-wide
+/// tune::active() config, which itself defaults to the paper's geometry
+/// (32 x 2 x 768 B read sets = 48 KB, 16 x 384 B write lines = 6 KB,
+/// 8-package lines, 2 KB row chunks) unless an SWGMX_TUNE profile says
+/// otherwise. Construct SwKernelOptions on the driver thread, not inside
+/// CPE kernel lambdas.
 struct SwKernelOptions {
-  int read_sets = 32;   ///< 32 sets x 2 ways x 768 B = 48 KB of LDM
-  int read_ways = 2;
-  int write_lines = 16; ///< 16 x 384 B = 6 KB of LDM
+  int read_sets = tune::active().read_sets;
+  int read_ways = tune::active().read_ways;
+  int write_lines = tune::active().write_lines;
+  int pkgs_per_line = tune::active().pkgs_per_line;  ///< packages per cache line
+  int row_chunk = tune::active().row_chunk;  ///< pair-list ints per row DMA
 };
 
 /// Create the short-range backend implementing a strategy on a core group.

@@ -11,14 +11,11 @@
 #include "md/cost.hpp"
 #include "md/kernel_ref.hpp"
 #include "simd/floatv4.hpp"
+#include "tune/constants.hpp"
 
 namespace swgmx::core {
 
 namespace {
-
-/// Pair-list row entries staged per DMA (int32 each; 512 * 4 B = 2 KB, the
-/// top of the Table 2 curve).
-constexpr std::size_t kRowChunk = 512;
 
 /// Lane-wise minimum image: d -= L * round(d / L). Branchless floatv4
 /// arithmetic (divide, vnearbyint, multiply-subtract) — three vector issues
@@ -238,11 +235,10 @@ void cluster_pair_vector(sw::CpeContext& ctx, const DevicePackage& ip,
           const float r = r2l * rinv;
           const float br = p.ewald_beta * r;
           const float erfc_br = std::erfc(br);
-          constexpr float kTwoOverSqrtPi = 1.1283791670955126f;
           ec[li] = qq[li] * erfc_br * rinv;
           fs[li] = qq[li] *
                    (erfc_br * rinv +
-                    kTwoOverSqrtPi * p.ewald_beta * std::exp(-br * br)) *
+                    tune::kTwoOverSqrtPiF * p.ewald_beta * std::exp(-br * br)) *
                    (1.0f / r2l);
         }
         e_coul_v = floatv4(ec[0], ec[1], ec[2], ec[3]);
@@ -289,7 +285,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
                              md::NbEnergies& e) {
   SWGMX_CHECK_MSG(list.half, "SwShortRange consumes half lists");
   SWGMX_CHECK(cs.layout() == wants_layout());
-  const PackedSystem packed(cs);
+  const PackedSystem packed(cs, opt_.pkgs_per_line);
   const int ncl = packed.nclusters();
   const int nlines = packed.nlines();
   const int ncpe = cg_->config().cpe_count;
@@ -313,8 +309,9 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   const double nslots = static_cast<double>(packed.nslots());
   last_.aggregate_s = cg_->mpe_seconds(nslots * 6.0, nslots * 2.0);
 
-  if (!copies_ || copies_->nlines() != nlines || copies_->ncpe() != ncpe) {
-    copies_.emplace(ncpe, nlines);
+  if (!copies_ || copies_->nlines() != nlines || copies_->ncpe() != ncpe ||
+      copies_->pkgs_per_line() != opt_.pkgs_per_line) {
+    copies_.emplace(ncpe, nlines, opt_.pkgs_per_line);
   }
 
   // 2. RMA initialization step (deserted by the Bit-Map strategy). The
@@ -325,7 +322,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
     copies_->zero_all();
     const double init_bytes = static_cast<double>(ncpe) *
                               static_cast<double>(copies_->nlines()) *
-                              kForceLineBytes;
+                              static_cast<double>(copies_->line_bytes());
     // ~0.22 ops and 1/16 memory reference per byte: a straight vectorized
     // MPE memset sweep over ncpe copies.
     last_.init_s = cg_->mpe_seconds(init_bytes * 0.22, init_bytes / 16.0);
@@ -352,10 +349,11 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
 
     // Read path: cache (Fig 3), direct per-package DMA (Pkg rung), or
     // per-element gld (the naive port of §3.1's "before" state).
-    std::optional<ReadCache<DevicePackage, kPkgsPerLine>> rcache;
+    std::optional<ReadCache<DevicePackage>> rcache;
     std::span<DevicePackage> jscratch;
     if (flags_.read_cache) {
-      rcache.emplace(ctx, packed.packages(), opt_.read_sets, opt_.read_ways);
+      rcache.emplace(ctx, packed.packages(), opt_.pkgs_per_line, opt_.read_sets,
+                     opt_.read_ways);
     } else {
       jscratch = ctx.ldm().allocate<DevicePackage>(1);
     }
@@ -368,8 +366,10 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
     }
     ForceSink sink(ctx, *copies_, wcache ? &*wcache : nullptr, flags_.gld);
 
-    // Pair-list row staging buffer.
-    auto rowbuf = ctx.ldm().allocate<std::int32_t>(kRowChunk);
+    // Pair-list row staging buffer (int32 each; the default 512 * 4 B = 2 KB
+    // sits at the top of the Table 2 curve).
+    const auto row_chunk = static_cast<std::size_t>(opt_.row_chunk);
+    auto rowbuf = ctx.ldm().allocate<std::int32_t>(row_chunk);
 
     CpeEnergies eng;
     for (int ci = lo; ci < hi; ++ci) {
@@ -382,8 +382,8 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
 
       // Stream the row in 2 KB chunks (functional reads go straight to the
       // list; the DMA charges model the staging transfers).
-      for (std::size_t base = 0; base < row.size(); base += kRowChunk) {
-        const std::size_t chunk = std::min(kRowChunk, row.size() - base);
+      for (std::size_t base = 0; base < row.size(); base += row_chunk) {
+        const std::size_t chunk = std::min(row_chunk, row.size() - base);
         ctx.dma_get(rowbuf.data(), row.data() + base,
                     chunk * sizeof(std::int32_t));
         for (std::size_t k = 0; k < chunk; ++k) {
@@ -448,6 +448,10 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   // 4. Reduction (Alg 4): force lines are chunked over CPEs; marked (or all)
   // copies are fetched, summed, and written to f_slots.
   const std::size_t total_slots = cs.nslots();
+  const auto ppl = static_cast<std::size_t>(opt_.pkgs_per_line);
+  const std::size_t line_bytes = copies_->line_bytes();
+  const auto particles_per_line =
+      static_cast<std::size_t>(copies_->particles_per_line());
   const auto rst = cg_->run([&](sw::CpeContext& ctx) {
     if (pipelined) ctx.set_dma_pipeline(true);
     const int cpe = ctx.id();
@@ -455,8 +459,8 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
     const int l_hi = nlines * (cpe + 1) / ncpe;
     if (l_lo == l_hi) return;
 
-    auto acc = ctx.ldm().allocate<ForcePackage>(kPkgsPerLine);
-    auto fetch = ctx.ldm().allocate<ForcePackage>(kPkgsPerLine);
+    auto acc = ctx.ldm().allocate<ForcePackage>(ppl);
+    auto fetch = ctx.ldm().allocate<ForcePackage>(ppl);
 
     // Pull the mark words covering this CPE's line range from every CPE.
     // The mark store is contiguous (cpe-major), so this is a single strided
@@ -483,7 +487,7 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
     }
 
     for (int l = l_lo; l < l_hi; ++l) {
-      std::memset(acc.data(), 0, kForceLineBytes);
+      std::memset(acc.data(), 0, line_bytes);
       bool any = false;
       for (int c = 0; c < ncpe; ++c) {
         if (flags_.marks) {
@@ -493,20 +497,20 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
           if (((marks[static_cast<std::size_t>(c) * w_chunk + w] >> b) & 1u) == 0)
             continue;
         }
-        ctx.dma_get(fetch.data(), copies_->line(c, l), kForceLineBytes);
+        ctx.dma_get(fetch.data(), copies_->line(c, l), line_bytes);
         const float* src = fetch[0].f;
         float* dst = acc[0].f;
-        for (std::size_t i = 0; i < kPkgsPerLine * md::kClusterSize * 3; ++i) {
+        for (std::size_t i = 0; i < ppl * md::kClusterSize * 3; ++i) {
           dst[i] += src[i];
         }
-        ctx.charge_vec_ops(kPkgsPerLine * md::kClusterSize * 3 / 4.0);
+        ctx.charge_vec_ops(static_cast<double>(ppl) * md::kClusterSize * 3 / 4.0);
         any = true;
       }
       if (!any) continue;
       // Write the summed line into the global slot-force array.
-      const std::size_t slot0 = static_cast<std::size_t>(l) * kParticlesPerLine;
+      const std::size_t slot0 = static_cast<std::size_t>(l) * particles_per_line;
       const std::size_t count =
-          std::min<std::size_t>(kParticlesPerLine, total_slots - slot0);
+          std::min<std::size_t>(particles_per_line, total_slots - slot0);
       ctx.dma_put(f_slots.data() + slot0, acc.data(), count * sizeof(Vec3f));
     }
   }, 0.0, "sr/reduce");

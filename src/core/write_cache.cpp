@@ -10,11 +10,14 @@ ForceWriteCache::ForceWriteCache(sw::CpeContext& ctx, ForceCopySet& copies,
       copies_(&copies),
       cpe_(cpe),
       nlines_cache_(cache_lines),
-      use_marks_(use_marks) {
+      use_marks_(use_marks),
+      ppl_(copies.pkgs_per_line()),
+      particles_per_line_(static_cast<std::size_t>(copies.particles_per_line())),
+      line_bytes_(copies.line_bytes()) {
   SWGMX_CHECK_MSG((cache_lines & (cache_lines - 1)) == 0,
                   "cache_lines must be a power of two");
   data_ = ctx.ldm().allocate<ForcePackage>(
-      static_cast<std::size_t>(cache_lines) * kPkgsPerLine);
+      static_cast<std::size_t>(cache_lines) * static_cast<std::size_t>(ppl_));
   tags_ = ctx.ldm().allocate<std::int32_t>(static_cast<std::size_t>(cache_lines));
   for (auto& t : tags_) t = -1;
   if (use_marks_) {
@@ -28,34 +31,36 @@ void ForceWriteCache::write_back(int cache_slot) {
   const std::int32_t line_id = tags_[static_cast<std::size_t>(cache_slot)];
   if (line_id < 0) return;
   ctx_->dma_put(copies_->line(cpe_, line_id),
-                data_.data() + static_cast<std::size_t>(cache_slot) * kPkgsPerLine,
-                kForceLineBytes);
+                data_.data() + static_cast<std::size_t>(cache_slot) *
+                                   static_cast<std::size_t>(ppl_),
+                line_bytes_);
 }
 
 void ForceWriteCache::load_line(int cache_slot, std::int32_t line_id) {
-  ForcePackage* dst = data_.data() + static_cast<std::size_t>(cache_slot) * kPkgsPerLine;
+  ForcePackage* dst = data_.data() + static_cast<std::size_t>(cache_slot) *
+                                         static_cast<std::size_t>(ppl_);
   if (use_marks_) {
     const auto w = static_cast<std::size_t>(line_id) / 64;
     const auto b = static_cast<std::size_t>(line_id) % 64;
     if ((ldm_marks_[w] >> b) & 1u) {
       // Line was written before (Alg 3 line 11-13): fetch the partial sums.
-      ctx_->dma_get(dst, copies_->line(cpe_, line_id), kForceLineBytes);
+      ctx_->dma_get(dst, copies_->line(cpe_, line_id), line_bytes_);
     } else {
       // First touch (Alg 3 line 14-16): the copy is logically zero — just
       // clear the LDM line and set the mark. No DMA, no init step.
-      std::memset(dst, 0, kForceLineBytes);
+      std::memset(dst, 0, line_bytes_);
       ldm_marks_[w] |= std::uint64_t{1} << b;
       ctx_->charge_cycles(2.0);  // the bit ops of Alg 3
     }
   } else {
     // RMA: copies were zero-initialized up front, always fetch.
-    ctx_->dma_get(dst, copies_->line(cpe_, line_id), kForceLineBytes);
+    ctx_->dma_get(dst, copies_->line(cpe_, line_id), line_bytes_);
   }
   tags_[static_cast<std::size_t>(cache_slot)] = line_id;
 }
 
 void ForceWriteCache::add(std::size_t slot, const Vec3f& fv) {
-  const auto line_id = static_cast<std::int32_t>(slot / kParticlesPerLine);
+  const auto line_id = static_cast<std::int32_t>(slot / particles_per_line_);
   const int cache_slot = line_id & (nlines_cache_ - 1);
 
   if (tags_[static_cast<std::size_t>(cache_slot)] != line_id) {
@@ -66,10 +71,13 @@ void ForceWriteCache::add(std::size_t slot, const Vec3f& fv) {
     ++ctx_->perf().write_hits;
   }
 
-  const std::size_t in_line = slot % kParticlesPerLine;
+  const std::size_t in_line = slot % particles_per_line_;
   const std::size_t pkg = in_line / md::kClusterSize;
   const std::size_t lane = in_line % md::kClusterSize;
-  float* f = data_[static_cast<std::size_t>(cache_slot) * kPkgsPerLine + pkg].f;
+  float* f = data_[static_cast<std::size_t>(cache_slot) *
+                       static_cast<std::size_t>(ppl_) +
+                   pkg]
+                 .f;
   f[lane * 3 + 0] += fv.x;
   f[lane * 3 + 1] += fv.y;
   f[lane * 3 + 2] += fv.z;

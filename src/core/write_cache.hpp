@@ -40,13 +40,18 @@ class ForceWriteCache {
   int cpe_;
   int nlines_cache_;
   bool use_marks_;
+  // Line geometry, mirrored from the ForceCopySet (a TuneConfig field).
+  int ppl_;
+  std::size_t particles_per_line_;
+  std::size_t line_bytes_;
 
   std::span<ForcePackage> data_;       ///< LDM line storage
   std::span<std::int32_t> tags_;       ///< backing line id per cache line
   std::span<std::uint64_t> ldm_marks_; ///< LDM copy of this CPE's mark bits
 };
 
-/// DMA bytes of one force line (used by cost estimates in benches).
+/// DMA bytes of one paper-default force line (cost estimates in benches;
+/// the runtime value is ForceCopySet::line_bytes()).
 inline constexpr std::size_t kForceLineBytes = sizeof(ForcePackage) * kPkgsPerLine;
 
 }  // namespace swgmx::core

@@ -3,17 +3,9 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::fft {
-
-namespace {
-
-/// Lines per batch of the MPE path. 16 z-columns of complex doubles is a
-/// 256 B contiguous run per segment read/write — enough to amortize the
-/// cache-line fills the old one-element-at-a-time gather paid per value.
-constexpr std::size_t kMpeLinesPerBatch = 16;
-
-}  // namespace
 
 Grid3D::Grid3D(std::size_t nx, std::size_t ny, std::size_t nz)
     : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz) {
@@ -122,14 +114,19 @@ void Grid3D::transform_axis(int axis, bool fwd) {
     return;
   }
 
-  // Blocked transpose: stage kMpeLinesPerBatch lines at a time so the
-  // strided axis is read/written in contiguous zc-element runs. Per-line
-  // results are identical to the old per-element gather (same data through
-  // the same 1-D transform), only the memory access order changes.
-  const std::size_t nb = batch_count(axis, kMpeLinesPerBatch);
-  std::vector<cplx> scratch(std::min(kMpeLinesPerBatch, nz_) * line_len(axis));
+  // Blocked transpose: stage a batch of lines at a time so the strided axis
+  // is read/written in contiguous zc-element runs (the default 16 z-columns
+  // of complex doubles is a 256 B run per segment — enough to amortize the
+  // cache-line fills the old one-element-at-a-time gather paid per value).
+  // Per-line results are identical to the old per-element gather (same data
+  // through the same 1-D transform), only the memory access order changes.
+  // This is MPE-side code, so reading tune::active() here is safe.
+  const auto lines_per_batch =
+      static_cast<std::size_t>(tune::active().mpe_lines_per_batch);
+  const std::size_t nb = batch_count(axis, lines_per_batch);
+  std::vector<cplx> scratch(std::min(lines_per_batch, nz_) * line_len(axis));
   for (std::size_t i = 0; i < nb; ++i) {
-    const LineBatch b = batch_info(axis, i, kMpeLinesPerBatch);
+    const LineBatch b = batch_info(axis, i, lines_per_batch);
     load_batch(b, scratch);
     for (std::size_t l = 0; l < b.lines; ++l)
       run(std::span<cplx>(scratch.data() + l * b.len, b.len));

@@ -13,6 +13,7 @@
 #include "md/clusters.hpp"
 #include "md/forcefield.hpp"
 #include "md/pairlist.hpp"
+#include "tune/constants.hpp"
 
 namespace swgmx::md {
 
@@ -72,9 +73,8 @@ inline bool pair_force(float r2, float qi, float qj, float c6, float c12,
       const float br = p.ewald_beta * r;
       const float erfc_br = std::erfc(br);
       // d/dr [erfc(br)/r] term: erfc/r^2 + 2b/sqrt(pi) exp(-b^2 r^2)/r
-      constexpr float kTwoOverSqrtPi = 1.1283791670955126f;
       out.e_coul = qq * erfc_br * rinv;
-      fscal += qq * (erfc_br * rinv + kTwoOverSqrtPi * p.ewald_beta *
+      fscal += qq * (erfc_br * rinv + tune::kTwoOverSqrtPiF * p.ewald_beta *
                                           std::exp(-br * br)) *
                rinv2;
       break;

@@ -14,6 +14,7 @@
 #include "md/integrator.hpp"
 #include "md/taskgraph.hpp"
 #include "sw/perf.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::md {
 
@@ -33,7 +34,7 @@ inline constexpr const char* kRest = "Rest";
 
 struct SimOptions {
   IntegratorOptions integ;
-  int nstlist = 10;    ///< pair-list rebuild interval (Table 3)
+  int nstlist = tune::active().nstlist;  ///< pair-list rebuild interval (Table 3)
   int nstenergy = 10;  ///< energy sampling interval
   int nstxout = 0;     ///< trajectory output interval (0 = never)
   sw::SwConfig cfg;    ///< architecture model for MPE-side phase costs

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "md/units.hpp"
+#include "tune/constants.hpp"
 
 namespace swgmx::pme {
 
@@ -69,7 +70,6 @@ double excluded_correction(const md::System& sys, double beta,
   // this library's generators, but handle the general case with a map pass.
   const std::size_t n = sys.size();
   double energy = 0.0;
-  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
 
   // All same-molecule pairs (i<j). Molecules are small (<= a few atoms), so
   // scanning a window around i is enough when ids are contiguous; fall back
@@ -86,7 +86,9 @@ double excluded_correction(const md::System& sys, double beta,
       // E -= qq erf(beta r)/r.
       energy -= qq * erf_br / r;
       const double fscal =
-          -qq * (erf_br / r - kTwoOverSqrtPi * beta * std::exp(-beta * beta * r2)) /
+          -qq *
+          (erf_br / r -
+           tune::kTwoOverSqrtPi * beta * std::exp(-beta * beta * r2)) /
           r2;
       const Vec3d fv = dr * fscal;
       f[i] += fv;

@@ -15,10 +15,6 @@ namespace swgmx::pme {
 
 namespace {
 
-/// Atoms staged per spread/gather DMA chunk (128 * 32 B = 4 KB, the top of
-/// the Table 2 curve).
-constexpr std::size_t kAtomChunk = 128;
-
 /// floor(u) wrapped into [0, k).
 std::size_t wrap_cell(double fu, std::size_t k) {
   const auto kk = static_cast<long long>(k);
@@ -28,28 +24,37 @@ std::size_t wrap_cell(double fu, std::size_t k) {
 
 }  // namespace
 
-std::size_t fft_lines_per_batch(std::size_t len) {
+std::size_t fft_lines_per_batch(std::size_t len, std::size_t batch_bytes) {
   const std::size_t line_bytes = len * sizeof(fft::cplx);
-  return std::max<std::size_t>(1, kFftBatchBytes / line_bytes);
+  return std::max<std::size_t>(1, batch_bytes / line_bytes);
 }
 
-std::size_t fft_ldm_bytes(std::size_t len) {
+std::size_t fft_ldm_bytes(std::size_t len, std::size_t batch_bytes) {
   const std::size_t line_bytes = len * sizeof(fft::cplx);
-  const std::size_t tile = fft_lines_per_batch(len) * line_bytes;
+  const std::size_t tile = fft_lines_per_batch(len, batch_bytes) * line_bytes;
   return tile + line_bytes;  // staged tile + the line gather buffer
 }
 
 PmeCpeDriver::PmeCpeDriver(const PmeOptions& opt, sw::SwConfig cfg)
     : opt_(opt),
+      tune_(tune::active()),
       cg_(cfg),
       copies_(cfg.cpe_count, opt.grid_x, opt.grid_y, opt.grid_z) {
-  // The spread write cache stages 16 full z pencils in LDM; the FFT stages
-  // one batch tile plus a line buffer. Both bound the supported grid.
-  SWGMX_CHECK_MSG(opt_.grid_z <= 256,
-                  "CPE PME offload supports nz <= 256 (LDM pencil cache)");
+  // The spread/gather caches stage full z pencils in LDM; the FFT stages
+  // one batch tile plus a line buffer. Both bound the supported grid (at
+  // the paper defaults: 16 slots x nz x 8 B <= 32 KB, i.e. nz <= 256).
+  SWGMX_CHECK_MSG(
+      tune::spread_ldm_bytes(tune_, opt_.grid_z) <= tune::kPencilCacheBudget,
+      "CPE PME spread pencil cache (" << tune_.grid_slots << " slots x nz="
+          << opt_.grid_z << ") exceeds the LDM pencil budget");
+  SWGMX_CHECK_MSG(
+      tune::gather_ldm_bytes(tune_, opt_.grid_z) <= tune::kPencilCacheBudget,
+      "CPE PME gather pencil cache (" << tune_.pen_slots << " slots x nz="
+          << opt_.grid_z << ") exceeds the LDM pencil budget");
   const std::size_t max_len =
       std::max({opt_.grid_x, opt_.grid_y, opt_.grid_z});
-  SWGMX_CHECK_MSG(max_len * sizeof(fft::cplx) <= kFftBatchBytes,
+  SWGMX_CHECK_MSG(max_len * sizeof(fft::cplx) <=
+                      static_cast<std::size_t>(tune_.fft_batch_bytes),
                   "CPE FFT line of " << max_len << " exceeds the batch tile");
 }
 
@@ -139,16 +144,19 @@ void PmeCpeDriver::run_spread() {
   // prefetch under compute; the 0.5 in-kernel overlap factor then applies
   // to the post-refund counters, so pipelining only tightens the model.
   const bool pipelined = sw::overlap_enabled();
+  // Atoms staged per DMA chunk (the default 128 * 32 B = 4 KB sits at the
+  // top of the Table 2 curve).
+  const auto atom_chunk = static_cast<std::size_t>(tune_.atom_chunk);
   auto kernel = [&](sw::CpeContext& ctx) {
     if (pipelined) ctx.set_dma_pipeline(true);
     const auto c = static_cast<std::size_t>(ctx.id());
     const std::size_t a0 = atom_bounds_[c], a1 = atom_bounds_[c + 1];
     if (a0 == a1) return;
     const core::GridCopySet::Window w = copies_.window(ctx.id());
-    core::GridWriteCache cache(ctx, copies_, ctx.id());
-    auto buf = ctx.ldm().allocate<PmeAtom>(kAtomChunk);
-    for (std::size_t s0 = a0; s0 < a1; s0 += kAtomChunk) {
-      const std::size_t cnt = std::min(kAtomChunk, a1 - s0);
+    core::GridWriteCache cache(ctx, copies_, ctx.id(), tune_.grid_slots);
+    auto buf = ctx.ldm().allocate<PmeAtom>(atom_chunk);
+    for (std::size_t s0 = a0; s0 < a1; s0 += atom_chunk) {
+      const std::size_t cnt = std::min(atom_chunk, a1 - s0);
       ctx.dma_get(buf.data(), atoms_.data() + s0, cnt * sizeof(PmeAtom));
       for (std::size_t k = 0; k < cnt; ++k) {
         const PmeAtom& a = buf[k];
@@ -237,7 +245,8 @@ void PmeCpeDriver::run_reduce(fft::Grid3D& grid) {
 
 double PmeCpeDriver::run_fft_pass(fft::Grid3D& grid, int axis, bool fwd) {
   const std::size_t len = grid.line_len(axis);
-  const std::size_t lpb = fft_lines_per_batch(len);
+  const std::size_t lpb = fft_lines_per_batch(
+      len, static_cast<std::size_t>(tune_.fft_batch_bytes));
   const std::size_t nb = grid.batch_count(axis, lpb);
   const int ncpe = cg_.config().cpe_count;
   const double butterflies = fft::butterfly_count(len);
@@ -378,6 +387,8 @@ void PmeCpeDriver::run_gather(const md::System& sys, const fft::Grid3D& grid) {
   const double sz = static_cast<double>(nz) / sys.box.len.z;
 
   const bool pipelined = sw::overlap_enabled();
+  const auto pen_slots = static_cast<std::size_t>(tune_.pen_slots);
+  const auto atom_chunk = static_cast<std::size_t>(tune_.atom_chunk);
   auto kernel = [&](sw::CpeContext& ctx) {
     if (pipelined) ctx.set_dma_pipeline(true);
     const auto c = static_cast<std::size_t>(ctx.id());
@@ -390,14 +401,14 @@ void PmeCpeDriver::run_gather(const md::System& sys, const fft::Grid3D& grid) {
     // set). Whole z pencils also ride the fast end of the DMA bandwidth
     // curve instead of 64 B line fills. Slots store the real part only:
     // after the inverse FFT the potential is real, and doubles halve LDM.
-    constexpr int kPenSlots = 16;
-    auto pens = ctx.ldm().allocate<double>(kPenSlots * nz);
-    auto tags = ctx.ldm().allocate<std::int64_t>(kPenSlots);
+    auto pens = ctx.ldm().allocate<double>(pen_slots * nz);
+    auto tags = ctx.ldm().allocate<std::int64_t>(pen_slots);
     auto scratch = ctx.ldm().allocate<fft::cplx>(nz);
     for (auto& t : tags) t = -1;
     const fft::cplx* gbase = grid.flat().data();
+    const std::size_t plane_mask = pen_slots / 4 - 1;
     auto pencil_of = [&](std::size_t gx, std::size_t gy) -> const double* {
-      const int slot = static_cast<int>(((gx & 3) << 2) | (gy & 3));
+      const int slot = static_cast<int>(((gx & plane_mask) << 2) | (gy & 3));
       const auto wp = static_cast<std::int64_t>(gx * ny + gy);
       double* data = pens.data() + static_cast<std::size_t>(slot) * nz;
       if (tags[static_cast<std::size_t>(slot)] != wp) {
@@ -413,8 +424,8 @@ void PmeCpeDriver::run_gather(const md::System& sys, const fft::Grid3D& grid) {
       }
       return data;
     };
-    auto abuf = ctx.ldm().allocate<PmeAtom>(kAtomChunk / 2);
-    auto fbuf = ctx.ldm().allocate<Vec3d>(kAtomChunk / 2);
+    auto abuf = ctx.ldm().allocate<PmeAtom>(atom_chunk / 2);
+    auto fbuf = ctx.ldm().allocate<Vec3d>(atom_chunk / 2);
     const std::size_t chunk = abuf.size();
     for (std::size_t s0 = a0; s0 < a1; s0 += chunk) {
       const std::size_t cnt = std::min(chunk, a1 - s0);

@@ -21,23 +21,27 @@
 #include "core/grid_cache.hpp"
 #include "pme/pme.hpp"
 #include "sw/core_group.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::pme {
 
 /// LDM sizing of the CPE FFT: one staged batch is at most this many bytes
-/// (tile of complex doubles). Double buffering is modeled by the
-/// dma_overlap argument of CoreGroup::run, so the worst-case LDM footprint
-/// is tile + one line buffer.
+/// (tile of complex doubles; the paper default of tune::fft_batch_bytes).
+/// Double buffering is modeled by the dma_overlap argument of
+/// CoreGroup::run, so the worst-case LDM footprint is tile + one line
+/// buffer.
 inline constexpr std::size_t kFftBatchBytes = 32 * 1024;
 
 /// Lines per FFT batch for a transform length (>= 1; a full batch is
-/// lines * len complex values <= kFftBatchBytes for len <= 1024).
-[[nodiscard]] std::size_t fft_lines_per_batch(std::size_t len);
+/// lines * len complex values <= batch_bytes for len <= 1024).
+[[nodiscard]] std::size_t fft_lines_per_batch(
+    std::size_t len, std::size_t batch_bytes = kFftBatchBytes);
 
 /// Worst-case LDM bytes of one CPE FFT pass for a transform length: the
 /// staged tile plus the line gather buffer. Must stay under the 64 KB LDM
 /// budget (asserted in tests for every power-of-two length we support).
-[[nodiscard]] std::size_t fft_ldm_bytes(std::size_t len);
+[[nodiscard]] std::size_t fft_ldm_bytes(
+    std::size_t len, std::size_t batch_bytes = kFftBatchBytes);
 
 /// Runs the offloaded reciprocal sum. Owns the CoreGroup, the windowed grid
 /// copies and the per-step scratch; persistent across steps so copy storage
@@ -77,6 +81,9 @@ class PmeCpeDriver {
   void run_gather(const md::System& sys, const fft::Grid3D& grid);
 
   PmeOptions opt_;
+  /// Launch geometry captured once at construction (on the driver thread —
+  /// kernels must never read tune::active() from pool threads).
+  tune::TuneConfig tune_;
   sw::CoreGroup cg_;
   core::GridCopySet copies_;
   PmeBreakdown breakdown_;

@@ -1,0 +1,47 @@
+// Shared physical/kernel constants that used to be duplicated across
+// modules, plus the paper's hand-picked launch parameters. The runtime
+// tunables (tune/params.hpp) default to the values here, so a build with no
+// profile loaded reproduces the paper's kernels bit for bit.
+#pragma once
+
+#include <cstddef>
+
+namespace swgmx::tune {
+
+/// 2/sqrt(pi), the Ewald short-range derivative factor. One definition for
+/// the three kernels (pme/ewald.cpp, md/kernel_ref.hpp,
+/// core/sw_short_range.cpp) that used to carry private copies.
+inline constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+inline constexpr float kTwoOverSqrtPiF = 1.1283791670955126f;
+
+// --- paper-default launch parameters (Table 2 / Fig 3 / §3 geometry) ---
+
+/// Packages per software-cache line (Fig 3/5: the offset field is 3 bits).
+inline constexpr int kDefaultPkgsPerLine = 8;
+/// Pair-list row entries staged per DMA (512 * 4 B = 2 KB, the top of the
+/// Table 2 curve). Previously three independent kRowChunk definitions in
+/// sw_short_range.cpp, rca.cpp and mpe_collect.cpp.
+inline constexpr int kDefaultRowChunk = 512;
+/// Short-range read cache: 32 sets x 2 ways x 768 B lines = 48 KB of LDM.
+inline constexpr int kDefaultReadSets = 32;
+inline constexpr int kDefaultReadWays = 2;
+/// Deferred-update write cache: 16 x 384 B lines = 6 KB of LDM.
+inline constexpr int kDefaultWriteLines = 16;
+/// Pair-list geometry cache: 32 sets x 2 ways x 512 B lines = 32 KB.
+inline constexpr int kDefaultPlSets = 32;
+inline constexpr int kDefaultPlWays = 2;
+/// PME atoms staged per spread DMA chunk (128 * 32 B = 4 KB).
+inline constexpr int kDefaultAtomChunk = 128;
+/// Spread pencil write-cache slots (4 planes x 4 iy of one particle's
+/// B-spline support map conflict-free).
+inline constexpr int kDefaultGridSlots = 16;
+/// Gather pencil read-cache slots (same 4x4 support argument).
+inline constexpr int kDefaultPenSlots = 16;
+/// CPE FFT staged batch tile bytes (complex doubles).
+inline constexpr int kDefaultFftBatchBytes = 32 * 1024;
+/// Lines per batch of the MPE FFT fallback's blocked transpose.
+inline constexpr int kDefaultMpeLinesPerBatch = 16;
+/// Pair-list rebuild interval (Table 3).
+inline constexpr int kDefaultNstlist = 10;
+
+}  // namespace swgmx::tune

@@ -1,0 +1,113 @@
+#include "tune/params.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "tune/profile.hpp"
+
+namespace swgmx::tune {
+
+namespace {
+
+constexpr std::array<ParamSpec, 13> kSpecs{{
+    // key                field                               min    max     pow2
+    {"pkgs_per_line", &TuneConfig::pkgs_per_line, 2, 32, true},
+    {"row_chunk", &TuneConfig::row_chunk, 64, 8192, true},
+    {"read_sets", &TuneConfig::read_sets, 1, 1024, true},
+    {"read_ways", &TuneConfig::read_ways, 1, 2, false},
+    {"write_lines", &TuneConfig::write_lines, 1, 256, true},
+    {"pl_sets", &TuneConfig::pl_sets, 1, 1024, true},
+    {"pl_ways", &TuneConfig::pl_ways, 1, 2, false},
+    {"atom_chunk", &TuneConfig::atom_chunk, 16, 1024, true},
+    {"grid_slots", &TuneConfig::grid_slots, 16, 256, true},
+    {"pen_slots", &TuneConfig::pen_slots, 16, 256, true},
+    {"fft_batch_bytes", &TuneConfig::fft_batch_bytes, 4096, 32768, true},
+    {"mpe_lines_per_batch", &TuneConfig::mpe_lines_per_batch, 1, 256, true},
+    {"nstlist", &TuneConfig::nstlist, 1, 1000, false},
+}};
+
+constexpr bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// -1 = not yet resolved from SWGMX_TUNE; the config is valid afterwards.
+int g_resolved = -1;
+TuneConfig g_active;
+
+}  // namespace
+
+std::span<const ParamSpec> param_specs() { return kSpecs; }
+
+const ParamSpec* find_param(const char* key) {
+  for (const ParamSpec& s : kSpecs) {
+    if (std::strcmp(s.key, key) == 0) return &s;
+  }
+  return nullptr;
+}
+
+void TuneConfig::validate() const {
+  for (const ParamSpec& s : kSpecs) {
+    const int v = this->*(s.field);
+    SWGMX_CHECK_MSG(v >= s.min_v && v <= s.max_v,
+                    "tune param " << s.key << ":" << v << " outside ["
+                                  << s.min_v << ", " << s.max_v << "]");
+    SWGMX_CHECK_MSG(!s.pow2 || is_pow2(v),
+                    "tune param " << s.key << ":" << v
+                                  << " must be a power of two");
+  }
+  const std::size_t sr = sr_ldm_bytes(*this);
+  SWGMX_CHECK_MSG(sr <= kLdmBytes - kLdmSlack,
+                  "tune config short-range LDM footprint "
+                      << sr << " B exceeds the " << (kLdmBytes - kLdmSlack)
+                      << " B budget (64 KB LDM minus kernel slack)");
+  const std::size_t pl = pl_ldm_bytes(*this);
+  SWGMX_CHECK_MSG(pl <= kLdmBytes - kLdmSlack,
+                  "tune config pair-list LDM footprint "
+                      << pl << " B exceeds the " << (kLdmBytes - kLdmSlack)
+                      << " B budget (64 KB LDM minus kernel slack)");
+}
+
+std::size_t sr_ldm_bytes(const TuneConfig& c) {
+  const std::size_t ppl = static_cast<std::size_t>(c.pkgs_per_line);
+  const std::size_t read = static_cast<std::size_t>(c.read_sets) *
+                           static_cast<std::size_t>(c.read_ways) * ppl *
+                           kDevicePackageBytes;
+  const std::size_t write =
+      static_cast<std::size_t>(c.write_lines) * ppl * kForcePackageBytes;
+  const std::size_t row = static_cast<std::size_t>(c.row_chunk) * 4;
+  return read + write + row;
+}
+
+std::size_t pl_ldm_bytes(const TuneConfig& c) {
+  return static_cast<std::size_t>(c.pl_sets) *
+             static_cast<std::size_t>(c.pl_ways) * kGeomLineBytes +
+         kPlStageBytes;
+}
+
+std::size_t spread_ldm_bytes(const TuneConfig& c, std::size_t nz) {
+  return static_cast<std::size_t>(c.grid_slots) * nz * sizeof(double);
+}
+
+std::size_t gather_ldm_bytes(const TuneConfig& c, std::size_t nz) {
+  return static_cast<std::size_t>(c.pen_slots) * nz * sizeof(double);
+}
+
+const TuneConfig& active() {
+  if (g_resolved < 0) {
+    g_resolved = 1;
+    g_active = resolve_env_config();
+  }
+  return g_active;
+}
+
+void set_active(const TuneConfig& c) {
+  c.validate();
+  g_active = c;
+  g_resolved = 1;
+}
+
+void reset_active() {
+  g_active = TuneConfig{};
+  g_resolved = -1;
+}
+
+}  // namespace swgmx::tune

@@ -1,0 +1,111 @@
+// Runtime kernel launch parameters (DESIGN.md §2.12). Every knob the paper
+// hand-picked — DMA package/chunk geometry, LDM cache shapes, FFT batch
+// widths, nstlist — lives in one validated TuneConfig instead of scattered
+// constexprs. Kernels read the process-wide active() config when their
+// options/drivers are constructed, so a run with no profile loaded is bit-
+// identical to the old hard-coded build, and the offline tuner
+// (tune/tuner.hpp) can search the space and persist winners as profiles
+// (tune/profile.hpp) loaded via SWGMX_TUNE.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tune/constants.hpp"
+
+namespace swgmx::tune {
+
+/// All tunable launch parameters. Plain ints so one ParamSpec table drives
+/// validation, profile (de)serialization, the tuner and the dump tool.
+/// Defaults are the paper's values (tune/constants.hpp) — a default
+/// TuneConfig reproduces the seed kernels bit for bit.
+struct TuneConfig {
+  int pkgs_per_line = kDefaultPkgsPerLine;  ///< particle packages per cache line
+  int row_chunk = kDefaultRowChunk;         ///< pair-list row ints per DMA
+  int read_sets = kDefaultReadSets;         ///< short-range read cache sets
+  int read_ways = kDefaultReadWays;         ///< short-range read cache ways
+  int write_lines = kDefaultWriteLines;     ///< deferred-update cache lines
+  int pl_sets = kDefaultPlSets;             ///< pair-list geom cache sets
+  int pl_ways = kDefaultPlWays;             ///< pair-list geom cache ways
+  int atom_chunk = kDefaultAtomChunk;       ///< PME atoms per staged DMA
+  int grid_slots = kDefaultGridSlots;       ///< spread pencil cache slots
+  int pen_slots = kDefaultPenSlots;         ///< gather pencil cache slots
+  int fft_batch_bytes = kDefaultFftBatchBytes;  ///< CPE FFT tile bytes
+  int mpe_lines_per_batch = kDefaultMpeLinesPerBatch;  ///< MPE FFT transpose block
+  int nstlist = kDefaultNstlist;            ///< pair-list rebuild interval
+
+  bool operator==(const TuneConfig&) const = default;
+
+  /// Throws swgmx::Error on any out-of-range / non-power-of-two field or a
+  /// short-range LDM footprint over budget (SWGMX_FAULTS-style messages).
+  void validate() const;
+};
+
+/// One row of the parameter table: key (profile/spec name), field, bounds.
+struct ParamSpec {
+  const char* key;
+  int TuneConfig::* field;
+  int min_v;
+  int max_v;
+  bool pow2;  ///< value must be a power of two
+};
+
+/// The full table, fixed order (profile line order, tuner dimension lookup).
+[[nodiscard]] std::span<const ParamSpec> param_specs();
+/// Spec for `key`, or nullptr.
+[[nodiscard]] const ParamSpec* find_param(const char* key);
+
+// --- LDM budget helpers (the 64 KB CPE scratchpad, sw::SwConfig) ---
+// Byte sizes of the records the caches hold; core/packed.hpp static_asserts
+// that the real structs match (tune cannot include core without a cycle).
+inline constexpr std::size_t kDevicePackageBytes = 96;
+inline constexpr std::size_t kForcePackageBytes = 48;
+/// Pair-list kernel geometry records: 16 x 32 B per cache line, plus its
+/// 2 KB accepted-cj staging buffer (pairlist_cpe.cpp static_asserts these).
+inline constexpr std::size_t kGeomLineBytes = 16 * 32;
+inline constexpr std::size_t kPlStageBytes = 2 * 1024;
+inline constexpr std::size_t kLdmBytes = 64 * 1024;
+/// Headroom the short-range kernel needs beside its caches (LJ tables,
+/// i-package + staging buffers, mark mirror).
+inline constexpr std::size_t kLdmSlack = 8 * 1024;
+/// Per-kernel cap on a single pencil cache (spread slots or gather slots):
+/// half the LDM, leaving room for atom staging and the mark mirror.
+inline constexpr std::size_t kPencilCacheBudget = 32 * 1024;
+
+/// Short-range kernel LDM footprint of a config: read cache lines + write
+/// cache lines + the row staging buffer. Must be <= kLdmBytes - kLdmSlack.
+[[nodiscard]] std::size_t sr_ldm_bytes(const TuneConfig& c);
+/// Pair-list kernel LDM footprint: geometry read cache + staging buffer.
+/// Must be <= kLdmBytes - kLdmSlack.
+[[nodiscard]] std::size_t pl_ldm_bytes(const TuneConfig& c);
+/// Spread pencil write-cache bytes for a grid depth nz.
+[[nodiscard]] std::size_t spread_ldm_bytes(const TuneConfig& c, std::size_t nz);
+/// Gather pencil read-cache bytes for a grid depth nz.
+[[nodiscard]] std::size_t gather_ldm_bytes(const TuneConfig& c, std::size_t nz);
+
+// --- process-wide active config ---
+
+/// The config kernels capture at construction time. First call resolves the
+/// SWGMX_TUNE environment spec (unset or "off" = paper defaults; a path
+/// loads a profile, falling back to defaults on corrupt/stale files — see
+/// tune/profile.hpp). Call only from driver (MPE) code, never inside CPE
+/// kernel lambdas: resolution mutates a global.
+[[nodiscard]] const TuneConfig& active();
+/// Replace the active config (validated). Benches/tests and profile loading.
+void set_active(const TuneConfig& c);
+/// Drop back to "unresolved": the next active() re-reads SWGMX_TUNE. Tests.
+void reset_active();
+
+/// RAII: swap in a config for a scope (the tuner's evaluation harness).
+class ScopedTune {
+ public:
+  explicit ScopedTune(const TuneConfig& c) : saved_(active()) { set_active(c); }
+  ~ScopedTune() { set_active(saved_); }
+  ScopedTune(const ScopedTune&) = delete;
+  ScopedTune& operator=(const ScopedTune&) = delete;
+
+ private:
+  TuneConfig saved_;
+};
+
+}  // namespace swgmx::tune

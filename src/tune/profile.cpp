@@ -1,0 +1,196 @@
+#include "tune/profile.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swgmx::tune {
+
+namespace {
+
+constexpr const char* kMagic = "swgmx-tune-profile";
+
+/// One parsed line: [first, last) within the text, split at the first space.
+struct Line {
+  std::size_t begin;  ///< byte offset of the line start (CRC boundary)
+  std::string key;
+  std::string value;
+};
+
+std::vector<Line> split_lines(const std::string& text) {
+  std::vector<Line> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    if (!line.empty()) {
+      const std::size_t sp = line.find(' ');
+      Line l;
+      l.begin = pos;
+      l.key = line.substr(0, sp);
+      l.value = sp == std::string::npos ? std::string() : line.substr(sp + 1);
+      lines.push_back(std::move(l));
+    }
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+int parse_int_field(const std::string& val, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(val.c_str(), &end, 10);
+  SWGMX_CHECK_MSG(end != nullptr && *end == '\0' && !val.empty(),
+                  "tune profile " << what << " '" << val
+                                  << "' is not an integer");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string serialize_profile(const TuneProfile& p) {
+  std::ostringstream os;
+  os << kMagic << " v" << kProfileSchemaVersion << '\n';
+  os << "workload " << p.workload << '\n';
+  os << "size " << p.size << '\n';
+  for (const ParamSpec& s : param_specs()) {
+    os << s.key << ' ' << p.config.*(s.field) << '\n';
+  }
+  const std::string body = os.str();
+  const std::uint32_t crc = common::crc32(body.data(), body.size());
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "crc32 0x%08x\n", crc);
+  return body + trailer;
+}
+
+ProfileStatus parse_profile(const std::string& text, TuneProfile& out) {
+  const std::vector<Line> lines = split_lines(text);
+  if (lines.size() < 2 || lines.front().key != kMagic) {
+    return ProfileStatus::kCorrupt;
+  }
+  // Schema version gate BEFORE the CRC: another version's trailer layout is
+  // not ours to judge, only to decline.
+  const std::string& ver = lines.front().value;
+  if (ver.size() < 2 || ver[0] != 'v') return ProfileStatus::kCorrupt;
+  char* end = nullptr;
+  const long version = std::strtol(ver.c_str() + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return ProfileStatus::kCorrupt;
+  if (version != kProfileSchemaVersion) return ProfileStatus::kStale;
+
+  // CRC trailer must be the last line and must match the preceding bytes.
+  const Line& last = lines.back();
+  if (last.key != "crc32") return ProfileStatus::kCorrupt;
+  unsigned long stored = 0;
+  if (std::sscanf(last.value.c_str(), "0x%8lx", &stored) != 1) {
+    return ProfileStatus::kCorrupt;
+  }
+  const std::uint32_t crc = common::crc32(text.data(), last.begin);
+  if (crc != static_cast<std::uint32_t>(stored)) return ProfileStatus::kCorrupt;
+
+  // CRC-verified: from here every problem is a hard error (SWGMX_FAULTS
+  // spec style — duplicate/unknown keys and ranges are rejected loudly).
+  TuneProfile p;
+  bool have_workload = false, have_size = false;
+  std::vector<std::string> seen;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    const Line& l = lines[i];
+    SWGMX_CHECK_MSG(!l.value.empty(),
+                    "tune profile line '" << l.key << "' has no value");
+    for (const std::string& k : seen) {
+      SWGMX_CHECK_MSG(k != l.key, "duplicate tune profile key '" << l.key << "'");
+    }
+    seen.push_back(l.key);
+    if (l.key == "workload") {
+      p.workload = l.value;
+      have_workload = true;
+      continue;
+    }
+    if (l.key == "size") {
+      p.size = parse_int_field(l.value, "size");
+      SWGMX_CHECK_MSG(p.size >= 1, "tune profile size " << p.size
+                                                        << " must be >= 1");
+      have_size = true;
+      continue;
+    }
+    const ParamSpec* spec = find_param(l.key.c_str());
+    SWGMX_CHECK_MSG(spec != nullptr,
+                    "unknown tune profile key '"
+                        << l.key
+                        << "' (workload|size|pkgs_per_line|row_chunk|"
+                           "read_sets|read_ways|write_lines|pl_sets|pl_ways|"
+                           "atom_chunk|grid_slots|pen_slots|fft_batch_bytes|"
+                           "mpe_lines_per_batch|nstlist)");
+    p.config.*(spec->field) = parse_int_field(l.value, l.key.c_str());
+  }
+  SWGMX_CHECK_MSG(have_workload, "tune profile is missing the workload line");
+  SWGMX_CHECK_MSG(have_size, "tune profile is missing the size line");
+  p.config.validate();
+  out = std::move(p);
+  return ProfileStatus::kLoaded;
+}
+
+void write_profile(const std::string& path, const TuneProfile& p) {
+  const std::string text = serialize_profile(p);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  SWGMX_CHECK_MSG(f.good(), "cannot open tune profile '" << path
+                                                         << "' for writing");
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  f.close();
+  SWGMX_CHECK_MSG(f.good(), "failed writing tune profile '" << path << "'");
+}
+
+ProfileStatus read_profile(const std::string& path, TuneProfile& out) {
+  std::ifstream f(path, std::ios::binary);
+  SWGMX_CHECK_MSG(f.good(), "cannot read tune profile '" << path << "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_profile(os.str(), out);
+}
+
+TuneConfig resolve_spec(const char* spec) {
+  if (spec == nullptr || *spec == '\0' || std::strcmp(spec, "off") == 0) {
+    return TuneConfig{};
+  }
+  TuneProfile p;
+  const ProfileStatus st = read_profile(spec, p);
+  auto& metrics = obs::MetricsRegistry::global();
+  auto& tr = obs::TraceSession::global();
+  const char* status = st == ProfileStatus::kLoaded ? "loaded"
+                       : st == ProfileStatus::kCorrupt ? "corrupt"
+                                                       : "stale";
+  std::ostringstream args;
+  args << "{\"path\":\"" << obs::json_escape(spec) << "\",\"status\":\""
+       << status << "\"";
+  if (st == ProfileStatus::kLoaded) {
+    args << ",\"workload\":\"" << obs::json_escape(p.workload)
+         << "\",\"size\":" << p.size;
+  }
+  args << "}";
+  tr.instant(obs::kPidSim, obs::kTidMpe, "tune_profile", tr.now_ns(),
+             args.str());
+  if (st == ProfileStatus::kLoaded) {
+    metrics.gauge_set("tune/loaded", 1.0);
+    metrics.gauge_set("tune/profile_size", static_cast<double>(p.size));
+    return p.config;
+  }
+  // Corrupt or stale: record the fallback and run on paper defaults.
+  metrics.gauge_set("tune/loaded", 0.0);
+  metrics.counter_add(st == ProfileStatus::kCorrupt ? "tune/fallback_corrupt"
+                                                    : "tune/fallback_stale");
+  return TuneConfig{};
+}
+
+TuneConfig resolve_env_config() {
+  return resolve_spec(std::getenv("SWGMX_TUNE"));
+}
+
+}  // namespace swgmx::tune

@@ -1,0 +1,67 @@
+// Versioned, CRC-checked tuning profiles (DESIGN.md §2.12).
+//
+// On-disk format (text, LF line endings, byte-deterministic):
+//
+//   swgmx-tune-profile v1
+//   workload water_pme
+//   size 3000
+//   <key> <value>          one line per param, param_specs() order
+//   crc32 0x<8 hex digits>
+//
+// The CRC is IEEE CRC-32 (common/crc32.hpp) over every byte preceding the
+// "crc32" line. Failure handling is two-tier:
+//   - corrupt (bad magic, bad/missing CRC) or stale (other schema version):
+//     graceful — read_profile reports the status, SWGMX_TUNE resolution
+//     falls back to defaults and records tune/* metrics + a trace instant.
+//   - CRC-valid but semantically invalid (unknown/duplicate keys, values
+//     out of range, bad header fields): hard swgmx::Error in the
+//     SWGMX_FAULTS spec style — the file was deliberately written, so a bad
+//     value is a bug to surface, not noise to ignore.
+#pragma once
+
+#include <string>
+
+#include "tune/params.hpp"
+
+namespace swgmx::tune {
+
+/// Schema version this build writes and accepts.
+inline constexpr int kProfileSchemaVersion = 1;
+
+/// One persisted tuning result, keyed by (workload, size, schema version).
+struct TuneProfile {
+  std::string workload;  ///< bench case name, e.g. "water_pme"
+  int size = 0;          ///< particle count the sweep ran at
+  TuneConfig config;
+};
+
+enum class ProfileStatus {
+  kLoaded,   ///< parsed, CRC-verified, validated
+  kCorrupt,  ///< bad magic or CRC mismatch — fall back to defaults
+  kStale,    ///< other schema version — fall back to defaults
+};
+
+/// Render the byte-deterministic profile text (including the CRC trailer).
+[[nodiscard]] std::string serialize_profile(const TuneProfile& p);
+
+/// Parse profile text. Returns kCorrupt/kStale without touching `out`;
+/// throws swgmx::Error for CRC-valid but invalid content.
+ProfileStatus parse_profile(const std::string& text, TuneProfile& out);
+
+/// Write to `path` (throws swgmx::Error on I/O failure).
+void write_profile(const std::string& path, const TuneProfile& p);
+
+/// Read + parse `path`. Throws swgmx::Error when the file cannot be read.
+ProfileStatus read_profile(const std::string& path, TuneProfile& out);
+
+/// Apply SWGMX_TUNE semantics to a spec string: nullptr/""/"off" returns
+/// paper defaults; anything else is a profile path — loaded on success,
+/// defaults (plus tune/* metrics and a "tune_profile" trace instant) on a
+/// corrupt or stale file. A missing/unreadable file or invalid content is a
+/// hard error. Exposed separately from the environment for tests.
+[[nodiscard]] TuneConfig resolve_spec(const char* spec);
+
+/// resolve_spec(getenv("SWGMX_TUNE")) — what tune::active() calls once.
+[[nodiscard]] TuneConfig resolve_env_config();
+
+}  // namespace swgmx::tune

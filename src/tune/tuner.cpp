@@ -1,0 +1,143 @@
+#include "tune/tuner.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace swgmx::tune {
+
+namespace {
+
+/// Memo key: the config's fields in spec order. std::map keeps lookups
+/// deterministic (no hash iteration order anywhere near the search).
+std::vector<int> key_of(const TuneConfig& c) {
+  std::vector<int> k;
+  k.reserve(param_specs().size());
+  for (const ParamSpec& s : param_specs()) k.push_back(c.*(s.field));
+  return k;
+}
+
+bool config_ok(const TuneConfig& c, const TuneFeasible& feasible) {
+  try {
+    c.validate();
+  } catch (const Error&) {
+    return false;
+  }
+  return !feasible || feasible(c);
+}
+
+}  // namespace
+
+TuneResult tune_search(const TuneSpace& space, const TuneConfig& start,
+                       const TuneEvaluator& evaluate,
+                       const TuneFeasible& feasible, const TunerOptions& opts) {
+  std::vector<int TuneConfig::*> fields;
+  fields.reserve(space.size());
+  std::size_t product = 1;
+  for (const TuneDimension& d : space) {
+    const ParamSpec* spec = find_param(d.key);
+    SWGMX_CHECK_MSG(spec != nullptr, "tune_search: unknown param '" << d.key
+                                                                    << "'");
+    SWGMX_CHECK_MSG(!d.values.empty(),
+                    "tune_search: dimension '" << d.key << "' has no values");
+    fields.push_back(spec->field);
+    // Saturating product: only the <= exhaustive_limit comparison matters.
+    if (product <= opts.exhaustive_limit) product *= d.values.size();
+  }
+
+  TuneResult r;
+  std::map<std::vector<int>, double> memo;
+  auto run = [&](const TuneConfig& c) {
+    const std::vector<int> k = key_of(c);
+    const auto it = memo.find(k);
+    if (it != memo.end()) return it->second;
+    const double t = evaluate(c);
+    memo.emplace(k, t);
+    ++r.evaluated;
+    return t;
+  };
+
+  SWGMX_CHECK_MSG(config_ok(start, feasible),
+                  "tune_search: start config is invalid or infeasible");
+  r.best = start;
+  r.best_seconds = r.start_seconds = run(start);
+
+  if (product <= opts.exhaustive_limit) {
+    // Exhaustive sweep in lexicographic dimension order.
+    r.exhaustive = true;
+    std::vector<std::size_t> idx(space.size(), 0);
+    for (;;) {
+      TuneConfig c = start;
+      for (std::size_t d = 0; d < space.size(); ++d) {
+        c.*(fields[d]) = space[d].values[idx[d]];
+      }
+      if (config_ok(c, feasible)) {
+        const double t = run(c);
+        if (t < r.best_seconds) {
+          r.best_seconds = t;
+          r.best = c;
+        }
+      } else {
+        ++r.pruned;
+      }
+      // Odometer increment.
+      std::size_t d = 0;
+      while (d < idx.size() && ++idx[d] == space[d].values.size()) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == idx.size()) break;
+    }
+    return r;
+  }
+
+  // Coordinate descent: sweep each dimension's candidates against the
+  // incumbent, strictly-better replaces; repeat until a pass is stable.
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    bool changed = false;
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      for (const int v : space[d].values) {
+        if (r.best.*(fields[d]) == v) continue;
+        TuneConfig c = r.best;
+        c.*(fields[d]) = v;
+        if (!config_ok(c, feasible)) {
+          ++r.pruned;
+          continue;
+        }
+        const double t = run(c);
+        if (t < r.best_seconds) {
+          r.best_seconds = t;
+          r.best = c;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return r;
+}
+
+TuneSpace short_range_space() {
+  return {
+      {"pkgs_per_line", {4, 8, 16}},
+      {"row_chunk", {256, 512, 1024}},
+      {"read_sets", {16, 32, 64}},
+      {"read_ways", {1, 2}},
+      {"write_lines", {8, 16, 32}},
+      {"pl_sets", {16, 32, 64}},
+      {"pl_ways", {1, 2}},
+      {"nstlist", {10, 20, 25}},
+  };
+}
+
+TuneSpace pme_space() {
+  TuneSpace s = short_range_space();
+  s.push_back({"atom_chunk", {64, 128, 256}});
+  s.push_back({"grid_slots", {16, 32}});
+  s.push_back({"pen_slots", {16, 32}});
+  s.push_back({"fft_batch_bytes", {16384, 32768}});
+  s.push_back({"mpe_lines_per_batch", {8, 16, 32}});
+  return s;
+}
+
+}  // namespace swgmx::tune

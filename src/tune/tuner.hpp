@@ -1,0 +1,71 @@
+// Deterministic offline parameter search on the simulated clock
+// (DESIGN.md §2.12). Because every evaluation is a deterministic cost-model
+// run, the search needs no repetitions, no noise filtering, and reproduces
+// byte-identical winners for any SWGMX_THREADS — the same property
+// LoopModels exploits for cost-model-guided loop optimization.
+//
+// Strategy: coordinate descent over the dimensions in table order (strictly
+// better replaces, ties keep the incumbent — deterministic), iterated until
+// a full pass changes nothing; spaces small enough are swept exhaustively
+// instead. Configs violating validation or the caller's feasibility check
+// (e.g. the 64 KB LDM budget for the workload's grid depth) are pruned
+// before any evaluation runs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tune/params.hpp"
+
+namespace swgmx::tune {
+
+/// One search dimension: a param key and its candidate values (must include
+/// the start config's value or the descent may regress coverage; the
+/// default_space() helper guarantees this).
+struct TuneDimension {
+  const char* key;
+  std::vector<int> values;
+};
+
+using TuneSpace = std::vector<TuneDimension>;
+
+struct TunerOptions {
+  int max_passes = 4;  ///< coordinate-descent sweeps before giving up
+  /// Cartesian-product size at or below which the space is swept
+  /// exhaustively instead of descended.
+  std::size_t exhaustive_limit = 64;
+};
+
+struct TuneResult {
+  TuneConfig best;
+  double best_seconds = 0.0;     ///< simulated seconds of the winner
+  double start_seconds = 0.0;    ///< simulated seconds of the start config
+  std::size_t evaluated = 0;     ///< distinct configs run (memoized)
+  std::size_t pruned = 0;        ///< configs rejected before evaluation
+  bool exhaustive = false;       ///< swept the full product
+};
+
+/// Simulated seconds of one config (lower is better). The evaluator must be
+/// deterministic — it is called once per distinct config.
+using TuneEvaluator = std::function<double(const TuneConfig&)>;
+/// Extra workload-specific feasibility (beyond TuneConfig::validate), e.g.
+/// PME pencil-cache budgets for the actual grid. May be empty.
+using TuneFeasible = std::function<bool(const TuneConfig&)>;
+
+/// Search `space` starting from `start` (typically paper defaults, so the
+/// result can only match or beat them). Throws if a dimension names an
+/// unknown param or the start config is invalid/infeasible.
+TuneResult tune_search(const TuneSpace& space, const TuneConfig& start,
+                       const TuneEvaluator& evaluate,
+                       const TuneFeasible& feasible = {},
+                       const TunerOptions& opts = {});
+
+/// The stock search space for short-range-only workloads (reaction-field
+/// water): DMA geometry, both short-range caches, the pair-list cache and
+/// nstlist. Every dimension includes the paper default.
+[[nodiscard]] TuneSpace short_range_space();
+/// short_range_space() plus the PME dimensions (atom chunk, pencil caches,
+/// FFT batch widths).
+[[nodiscard]] TuneSpace pme_space();
+
+}  // namespace swgmx::tune

@@ -23,7 +23,7 @@ TEST(ReadCache, ReturnsCorrectValues) {
   sw::CpeContext ctx(0, c, ldm);
   std::vector<Rec> mem(1000);
   for (int i = 0; i < 1000; ++i) mem[static_cast<std::size_t>(i)].v = i * 3;
-  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, 1);
+  ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8,16, 1);
   for (int i = 999; i >= 0; i -= 7) {
     EXPECT_EQ(cache.get(static_cast<std::size_t>(i)).v, i * 3);
   }
@@ -34,7 +34,7 @@ TEST(ReadCache, SequentialAccessHitsWithinLine) {
   sw::LdmArena ldm(c.ldm_bytes);
   sw::CpeContext ctx(0, c, ldm);
   std::vector<Rec> mem(256);
-  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, 1);
+  ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8,16, 1);
   for (std::size_t i = 0; i < 256; ++i) (void)cache.get(i);
   // One miss per 8-record line.
   EXPECT_EQ(ctx.perf().read_misses, 32u);
@@ -46,7 +46,7 @@ TEST(ReadCache, RepeatAccessIsAllHits) {
   sw::LdmArena ldm(c.ldm_bytes);
   sw::CpeContext ctx(0, c, ldm);
   std::vector<Rec> mem(64);
-  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, 1);
+  ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8,16, 1);
   (void)cache.get(5);
   const auto misses = ctx.perf().read_misses;
   for (int k = 0; k < 100; ++k) (void)cache.get(5);
@@ -61,7 +61,7 @@ TEST(ReadCache, TwoWayBeatsDirectMapOnThrash) {
   auto run = [&](int ways) {
     sw::LdmArena ldm(c.ldm_bytes);
     sw::CpeContext ctx(0, c, ldm);
-    ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 16, ways);
+    ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8,16, ways);
     // Records 0 and 16*8 share set 0.
     for (int k = 0; k < 100; ++k) {
       (void)cache.get(0);
@@ -78,7 +78,7 @@ TEST(ReadCache, DmaChargedPerMiss) {
   sw::LdmArena ldm(c.ldm_bytes);
   sw::CpeContext ctx(0, c, ldm);
   std::vector<Rec> mem(128);
-  ReadCache<Rec, 8> cache(ctx, std::span<const Rec>(mem), 8, 1);
+  ReadCache<Rec> cache(ctx, std::span<const Rec>(mem), 8,8, 1);
   (void)cache.get(0);
   EXPECT_EQ(ctx.perf().dma_transfers, 1u);
   EXPECT_EQ(ctx.perf().dma_bytes, 8 * sizeof(Rec));
@@ -89,9 +89,10 @@ TEST(ReadCache, RejectsBadGeometry) {
   sw::LdmArena ldm(c.ldm_bytes);
   sw::CpeContext ctx(0, c, ldm);
   std::vector<Rec> mem(8);
-  using Cache = ReadCache<Rec, 8>;
-  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 12, 1), Error);
-  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 16, 3), Error);
+  using Cache = ReadCache<Rec>;
+  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 8, 12, 1), Error);
+  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 8, 16, 3), Error);
+  EXPECT_THROW(Cache(ctx, std::span<const Rec>(mem), 0, 16, 1), Error);
 }
 
 TEST(ReadCache, OverflowsLdmWhenTooLarge) {
@@ -99,9 +100,10 @@ TEST(ReadCache, OverflowsLdmWhenTooLarge) {
   sw::LdmArena ldm(c.ldm_bytes);
   sw::CpeContext ctx(0, c, ldm);
   std::vector<DevicePackage> mem(64);
-  using BigCache = ReadCache<DevicePackage, 8>;
+  using BigCache = ReadCache<DevicePackage>;
   // 128 sets x 768 B = 98 KB > 64 KB LDM.
-  EXPECT_THROW(BigCache(ctx, std::span<const DevicePackage>(mem), 128, 1), Error);
+  EXPECT_THROW(BigCache(ctx, std::span<const DevicePackage>(mem), 8, 128, 1),
+               Error);
 }
 
 // ---------------------------------------------------------------------------

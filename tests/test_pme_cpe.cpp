@@ -123,7 +123,9 @@ TEST(PmeCpe, SpreadCacheFitsLdm) {
   // Worst-case marks: a CPE owning every plane of a 64 x 64 x 256 grid.
   const std::size_t mark_words = (64 * 64 + 63) / 64;
   const std::size_t atoms = 128 * 4 * sizeof(double);
-  EXPECT_LE(core::GridWriteCache::ldm_bytes(nz, mark_words) + atoms,
+  EXPECT_LE(core::GridWriteCache::ldm_bytes(core::GridWriteCache::kSlots, nz,
+                                            mark_words) +
+                atoms,
             kLdm - 8 * 1024);
 }
 

@@ -1,0 +1,351 @@
+// Runtime tunables, profiles and the offline tuner (DESIGN.md §2.12).
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/strategies.hpp"
+#include "obs/metrics.hpp"
+#include "sw/core_group.hpp"
+#include "tune/params.hpp"
+#include "tune/profile.hpp"
+#include "tune/tuner.hpp"
+
+namespace swgmx {
+namespace {
+
+using tune::ProfileStatus;
+using tune::TuneConfig;
+using tune::TuneProfile;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Restore the paper-default active config around every test in this file
+/// (several tests mutate it via set_active / profile loading).
+class TuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tune::set_active(TuneConfig{}); }
+  void TearDown() override { tune::set_active(TuneConfig{}); }
+};
+
+// --- TuneConfig validation -------------------------------------------------
+
+TEST_F(TuneTest, DefaultsAreValidAndFillTheLdmBudgetExactly) {
+  const TuneConfig c;
+  EXPECT_NO_THROW(c.validate());
+  // 32 sets x 2 ways x 8 pkgs x 96 B + 16 lines x 8 pkgs x 48 B + 512 x 4 B
+  // = 57344 B — exactly the 64 KB LDM minus the 8 KB kernel slack.
+  EXPECT_EQ(tune::sr_ldm_bytes(c), 57344u);
+  EXPECT_EQ(tune::sr_ldm_bytes(c), tune::kLdmBytes - tune::kLdmSlack);
+}
+
+TEST_F(TuneTest, ValidateRejectsOutOfRangeAndNonPow2) {
+  TuneConfig c;
+  c.row_chunk = 48;  // not a power of two
+  EXPECT_THROW(c.validate(), Error);
+  c = TuneConfig{};
+  c.nstlist = 0;  // below range
+  EXPECT_THROW(c.validate(), Error);
+  c = TuneConfig{};
+  c.read_ways = 3;  // above range
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST_F(TuneTest, ValidateRejectsLdmBudgetViolation) {
+  // Doubling the read sets at 2 ways overflows the short-range budget:
+  // 64 x 2 x 8 x 96 = 96 KB of read cache alone.
+  TuneConfig c;
+  c.read_sets = 64;
+  EXPECT_THROW(c.validate(), Error);
+  // The same sets are fine direct-mapped.
+  c.read_ways = 1;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST_F(TuneTest, ValidateRejectsPairListLdmViolation) {
+  // 64 sets x 2 ways x 512 B geometry lines = 64 KB — the pair-list kernel
+  // could not even allocate its 2 KB staging buffer beside that.
+  TuneConfig c;
+  c.pl_sets = 64;
+  EXPECT_THROW(c.validate(), Error);
+  c.pl_ways = 1;  // 32 KB of lines: fine
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(tune::pl_ldm_bytes(TuneConfig{}), 32u * 1024u + 2048u);
+}
+
+TEST_F(TuneTest, KernelOptionsPickUpTheActiveConfig) {
+  TuneConfig c;
+  c.read_sets = 16;
+  c.row_chunk = 1024;
+  {
+    tune::ScopedTune scope(c);
+    const core::SwKernelOptions opt;
+    EXPECT_EQ(opt.read_sets, 16);
+    EXPECT_EQ(opt.row_chunk, 1024);
+  }
+  const core::SwKernelOptions opt;
+  EXPECT_EQ(opt.read_sets, tune::kDefaultReadSets);
+  EXPECT_EQ(opt.row_chunk, tune::kDefaultRowChunk);
+}
+
+// --- profile round-trip / corruption --------------------------------------
+
+TuneProfile sample_profile() {
+  TuneProfile p;
+  p.workload = "water_rf";
+  p.size = 3000;
+  p.config.read_sets = 16;
+  p.config.nstlist = 25;
+  return p;
+}
+
+TEST_F(TuneTest, ProfileSerializeParseRoundTrip) {
+  const TuneProfile p = sample_profile();
+  TuneProfile q;
+  ASSERT_EQ(tune::parse_profile(tune::serialize_profile(p), q),
+            ProfileStatus::kLoaded);
+  EXPECT_EQ(q.workload, p.workload);
+  EXPECT_EQ(q.size, p.size);
+  EXPECT_TRUE(q.config == p.config);
+}
+
+TEST_F(TuneTest, ProfileFileRoundTrip) {
+  const std::string path = temp_path("tune_roundtrip.prof");
+  const TuneProfile p = sample_profile();
+  tune::write_profile(path, p);
+  TuneProfile q;
+  ASSERT_EQ(tune::read_profile(path, q), ProfileStatus::kLoaded);
+  EXPECT_TRUE(q.config == p.config);
+}
+
+TEST_F(TuneTest, SerializationIsByteDeterministic) {
+  const TuneProfile p = sample_profile();
+  EXPECT_EQ(tune::serialize_profile(p), tune::serialize_profile(p));
+}
+
+TEST_F(TuneTest, CorruptBytesAreDetected) {
+  std::string text = tune::serialize_profile(sample_profile());
+  text[text.find("3000")] = '4';  // flip a payload byte, keep the old CRC
+  TuneProfile q;
+  EXPECT_EQ(tune::parse_profile(text, q), ProfileStatus::kCorrupt);
+}
+
+TEST_F(TuneTest, BadMagicAndMissingCrcAreCorrupt) {
+  TuneProfile q;
+  EXPECT_EQ(tune::parse_profile("not a profile\n", q), ProfileStatus::kCorrupt);
+  std::string text = tune::serialize_profile(sample_profile());
+  text = text.substr(0, text.rfind("crc32"));
+  EXPECT_EQ(tune::parse_profile(text, q), ProfileStatus::kCorrupt);
+}
+
+TEST_F(TuneTest, OtherSchemaVersionIsStale) {
+  std::string text = tune::serialize_profile(sample_profile());
+  const std::size_t at = text.find("v1");
+  text.replace(at, 2, "v2");  // stale beats CRC: no re-stamp needed
+  TuneProfile q;
+  EXPECT_EQ(tune::parse_profile(text, q), ProfileStatus::kStale);
+}
+
+/// Re-stamp a mutated body with a fresh, valid CRC so the parser reaches the
+/// semantic checks.
+std::string restamp(std::string body) {
+  const std::uint32_t crc = common::crc32(body.data(), body.size());
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "crc32 0x%08x\n", crc);
+  return body + trailer;
+}
+
+std::string body_of(const TuneProfile& p) {
+  std::string text = tune::serialize_profile(p);
+  return text.substr(0, text.rfind("crc32"));
+}
+
+TEST_F(TuneTest, CrcValidButInvalidContentIsAHardError) {
+  TuneProfile q;
+  // Unknown key.
+  EXPECT_THROW(
+      (void)tune::parse_profile(restamp(body_of(sample_profile()) + "bogus 7\n"),
+                                q),
+      Error);
+  // Duplicate key.
+  EXPECT_THROW((void)tune::parse_profile(
+                   restamp(body_of(sample_profile()) + "nstlist 10\n"), q),
+               Error);
+  // Out-of-range value.
+  TuneProfile bad = sample_profile();
+  bad.config.read_sets = 64;  // LDM violation at 2 ways
+  EXPECT_THROW((void)tune::parse_profile(tune::serialize_profile(bad), q),
+               Error);
+  // Missing header lines.
+  std::string body = body_of(sample_profile());
+  body.erase(body.find("workload"), body.find('\n', body.find("workload")) -
+                                        body.find("workload") + 1);
+  EXPECT_THROW((void)tune::parse_profile(restamp(body), q), Error);
+}
+
+// --- SWGMX_TUNE spec resolution --------------------------------------------
+
+TEST_F(TuneTest, ResolveSpecOffAndEmptyAreDefaults) {
+  EXPECT_TRUE(tune::resolve_spec(nullptr) == TuneConfig{});
+  EXPECT_TRUE(tune::resolve_spec("") == TuneConfig{});
+  EXPECT_TRUE(tune::resolve_spec("off") == TuneConfig{});
+}
+
+TEST_F(TuneTest, ResolveSpecLoadsAProfile) {
+  const std::string path = temp_path("tune_resolve.prof");
+  tune::write_profile(path, sample_profile());
+  const TuneConfig c = tune::resolve_spec(path.c_str());
+  EXPECT_EQ(c.read_sets, 16);
+  EXPECT_EQ(c.nstlist, 25);
+  EXPECT_EQ(obs::MetricsRegistry::global().value("tune/loaded"), 1.0);
+}
+
+TEST_F(TuneTest, ResolveSpecFallsBackOnCorruptFile) {
+  const std::string path = temp_path("tune_corrupt.prof");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "swgmx-tune-profile v1\ngarbage\n";
+  }
+  const double before =
+      obs::MetricsRegistry::global().value("tune/fallback_corrupt");
+  EXPECT_TRUE(tune::resolve_spec(path.c_str()) == TuneConfig{});
+  EXPECT_EQ(obs::MetricsRegistry::global().value("tune/fallback_corrupt"),
+            before + 1.0);
+  EXPECT_EQ(obs::MetricsRegistry::global().value("tune/loaded"), 0.0);
+}
+
+TEST_F(TuneTest, ResolveSpecFallsBackOnStaleSchema) {
+  const std::string path = temp_path("tune_stale.prof");
+  std::string text = tune::serialize_profile(sample_profile());
+  text.replace(text.find("v1"), 2, "v9");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << text;
+  }
+  const double before =
+      obs::MetricsRegistry::global().value("tune/fallback_stale");
+  EXPECT_TRUE(tune::resolve_spec(path.c_str()) == TuneConfig{});
+  EXPECT_EQ(obs::MetricsRegistry::global().value("tune/fallback_stale"),
+            before + 1.0);
+}
+
+TEST_F(TuneTest, ResolveSpecMissingFileIsAHardError) {
+  EXPECT_THROW((void)tune::resolve_spec("/nonexistent/tune.prof"), Error);
+}
+
+// --- the tuner -------------------------------------------------------------
+
+TEST_F(TuneTest, ExhaustiveSweepFindsTheMinimum) {
+  // Synthetic bowl: optimum at read_sets=16, write_lines=32.
+  auto eval = [](const TuneConfig& c) {
+    return 1.0 + std::abs(c.read_sets - 16) + std::abs(c.write_lines - 32);
+  };
+  const tune::TuneSpace space = {
+      {"read_sets", {8, 16, 32}},
+      {"write_lines", {8, 16, 32}},
+  };
+  const tune::TuneResult r = tune::tune_search(space, TuneConfig{}, eval);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.best.read_sets, 16);
+  EXPECT_EQ(r.best.write_lines, 32);
+  EXPECT_EQ(r.best_seconds, 1.0);
+  EXPECT_LE(r.best_seconds, r.start_seconds);
+}
+
+TEST_F(TuneTest, CoordinateDescentNeverRegressesAndIsDeterministic) {
+  auto eval = [](const TuneConfig& c) {
+    return 100.0 + c.read_sets * 0.5 + c.row_chunk * 0.01 - c.nstlist;
+  };
+  const tune::TuneSpace space = tune::short_range_space();
+  const tune::TuneResult a = tune::tune_search(space, TuneConfig{}, eval);
+  const tune::TuneResult b = tune::tune_search(space, TuneConfig{}, eval);
+  EXPECT_LE(a.best_seconds, a.start_seconds);
+  EXPECT_TRUE(a.best == b.best);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST_F(TuneTest, InfeasibleConfigsArePrunedBeforeEvaluation) {
+  std::vector<TuneConfig> ran;
+  auto eval = [&](const TuneConfig& c) {
+    ran.push_back(c);
+    return 1.0;
+  };
+  // read_sets=64 at the default 2 ways violates the LDM budget and must be
+  // pruned by validate(); the feasibility hook kills read_sets=8.
+  const tune::TuneSpace space = {{"read_sets", {8, 32, 64}}};
+  const tune::TuneResult r = tune::tune_search(
+      space, TuneConfig{}, eval, [](const TuneConfig& c) {
+        return c.read_sets >= 16;
+      });
+  EXPECT_EQ(r.pruned, 2u);
+  for (const TuneConfig& c : ran) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_GE(c.read_sets, 16);
+  }
+}
+
+TEST_F(TuneTest, TunerRejectsUnknownDimensionAndBadStart) {
+  auto eval = [](const TuneConfig&) { return 1.0; };
+  EXPECT_THROW(
+      (void)tune::tune_search({{"no_such_param", {1}}}, TuneConfig{}, eval),
+      Error);
+  TuneConfig bad;
+  bad.read_sets = 64;  // infeasible start
+  EXPECT_THROW(
+      (void)tune::tune_search({{"read_sets", {32}}}, bad, eval), Error);
+}
+
+// --- end-to-end determinism ------------------------------------------------
+
+/// One short-range force invocation under a config; simulated seconds.
+double force_seconds(const TuneConfig& c, const md::System& sys) {
+  tune::ScopedTune scope(c);
+  sw::CoreGroup cg;
+  const auto be = core::make_short_range(core::Strategy::Mark, cg);
+  return bench::run_force(*be, sys).seconds;
+}
+
+TEST_F(TuneTest, DefaultRunsAreBitIdenticalAcrossPoolSizes) {
+  const md::System sys = bench::water_particles(384);
+  common::ThreadPool::set_global_size(1);
+  const double t1 = force_seconds(TuneConfig{}, sys);
+  common::ThreadPool::set_global_size(8);
+  const double t8 = force_seconds(TuneConfig{}, sys);
+  common::ThreadPool::set_global_size(0);  // back to the default size
+  EXPECT_EQ(t1, t8);  // bit-identical simulated clock, not just close
+}
+
+TEST_F(TuneTest, TunedProfileIsByteIdenticalAcrossPoolSizes) {
+  const md::System sys = bench::water_particles(384);
+  auto eval = [&](const TuneConfig& c) { return force_seconds(c, sys); };
+  const tune::TuneSpace space = {
+      {"read_sets", {16, 32}},
+      {"write_lines", {8, 16}},
+      {"row_chunk", {256, 512}},
+  };
+  auto sweep = [&]() {
+    TuneProfile p;
+    p.workload = "water_rf";
+    p.size = 384;
+    p.config = tune::tune_search(space, TuneConfig{}, eval).best;
+    return tune::serialize_profile(p);
+  };
+  common::ThreadPool::set_global_size(1);
+  const std::string prof1 = sweep();
+  common::ThreadPool::set_global_size(8);
+  const std::string prof8 = sweep();
+  common::ThreadPool::set_global_size(0);  // back to the default size
+  EXPECT_EQ(prof1, prof8);
+}
+
+}  // namespace
+}  // namespace swgmx

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Inspect a SW_GROMACS tuning profile (stdlib only).
+
+On-disk format (src/tune/profile.cpp), all plain text:
+  swgmx-tune-profile v1
+  workload <name>
+  size <particles>
+  <param> <int>          one line per launch parameter, fixed table order
+  crc32 0x<8 hex>        IEEE CRC-32 (zlib.crc32) over every preceding byte
+
+Prints the header and parameter table (flagging values that differ from the
+paper defaults) and the CRC verdict. Mirrors the loader's triage: a schema
+version other than v1 is STALE (declined before the CRC is judged), a bad
+CRC or structure is CORRUPT, and a verified profile with unknown/duplicate
+keys or missing header lines is INVALID. Exit status: 0 = healthy,
+1 = stale / corrupt / invalid, 2 = usage.
+"""
+
+import sys
+import zlib
+
+SCHEMA_VERSION = 1
+MAGIC = "swgmx-tune-profile"
+
+# Paper-default launch parameters, in profile line order
+# (src/tune/params.cpp kSpecs; the C++ side validates ranges, we only
+# flag deviations from the defaults).
+DEFAULTS = {
+    "pkgs_per_line": 8,
+    "row_chunk": 512,
+    "read_sets": 32,
+    "read_ways": 2,
+    "write_lines": 16,
+    "pl_sets": 32,
+    "pl_ways": 2,
+    "atom_chunk": 128,
+    "grid_slots": 16,
+    "pen_slots": 16,
+    "fft_batch_bytes": 32768,
+    "mpe_lines_per_batch": 16,
+    "nstlist": 10,
+}
+
+
+def fail(msg):
+    print(f"tune_dump: {msg}", file=sys.stderr)
+    return 1
+
+
+def dump(path):
+    with open(path, "rb") as f:
+        raw = f.read()
+    text = raw.decode("ascii", errors="replace")
+    lines = [ln for ln in text.split("\n") if ln]
+    if not lines or not lines[0].startswith(MAGIC + " "):
+        return fail(f"{path}: not a SW_GROMACS tuning profile")
+    print(f"file:     {path}")
+
+    version_str = lines[0][len(MAGIC) + 1:]
+    if not version_str.startswith("v") or not version_str[1:].isdigit():
+        return fail(f"{path}: malformed schema version '{version_str}'")
+    version = int(version_str[1:])
+    print(f"format:   v{version}")
+    if version != SCHEMA_VERSION:
+        # Match the loader: another schema's trailer layout is not ours to
+        # judge, only to decline.
+        return fail(f"{path}: STALE schema (loader supports "
+                    f"v{SCHEMA_VERSION}; it would fall back to defaults)")
+
+    if not lines[-1].startswith("crc32 0x"):
+        return fail(f"{path}: missing crc32 trailer")
+    stored = int(lines[-1].split()[1], 16)
+    body_len = raw.rfind(b"crc32 0x")
+    crc = zlib.crc32(raw[:body_len])
+    verdict = "OK" if crc == stored else "MISMATCH"
+    print(f"crc:      stored {stored:#010x}, computed {crc:#010x} [{verdict}]")
+    if crc != stored:
+        return fail(f"{path}: CRC mismatch (corrupt file; the loader would "
+                    "fall back to defaults)")
+
+    workload, size = None, None
+    params = {}
+    for ln in lines[1:-1]:
+        key, _, value = ln.partition(" ")
+        if not value:
+            return fail(f"{path}: line '{ln}' has no value")
+        if key == "workload":
+            if workload is not None:
+                return fail(f"{path}: duplicate workload line")
+            workload = value
+            continue
+        if key in params or (key == "size" and size is not None):
+            return fail(f"{path}: duplicate key '{key}'")
+        if not value.lstrip("-").isdigit():
+            return fail(f"{path}: {key} value '{value}' is not an integer")
+        if key == "size":
+            size = int(value)
+            continue
+        if key not in DEFAULTS:
+            return fail(f"{path}: unknown key '{key}' (the loader would "
+                        "reject this profile)")
+        params[key] = int(value)
+    if workload is None or size is None:
+        return fail(f"{path}: missing the workload/size header lines")
+
+    print(f"workload: {workload}")
+    print(f"size:     {size} particles")
+    print("params:   (* = differs from the paper default)")
+    width = max(len(k) for k in DEFAULTS)
+    for key, default in DEFAULTS.items():
+        if key not in params:
+            print(f"  {key:<{width}}  (absent -> default {default})")
+            continue
+        value = params[key]
+        mark = f"  * (default {default})" if value != default else ""
+        print(f"  {key:<{width}}  {value}{mark}")
+    extra = [k for k in params if k not in DEFAULTS]
+    if extra:  # unreachable given the loop above, defensive
+        return fail(f"{path}: unexpected keys {extra}")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1].startswith("--"):
+        print(__doc__.strip(), file=sys.stderr)
+        print("\nusage: tune_dump.py <profile>", file=sys.stderr)
+        return 2
+    try:
+        return dump(argv[1])
+    except OSError as e:
+        return fail(f"{argv[1]}: {e}")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
