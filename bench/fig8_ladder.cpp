@@ -40,6 +40,10 @@ int main() {
       } else {
         row.push_back(Table::num(t_ori / r.seconds, 1));
       }
+      bench::bench_json("fig8/" + std::to_string(n) + "/" + be->name(),
+                        {{"sim_seconds", r.seconds},
+                         {"speedup_vs_ori", t_ori / r.seconds},
+                         {"wall_seconds", r.wall_seconds}});
       if (s == Strategy::Mark && n == 48000) {
         auto* sw_be = dynamic_cast<core::SwShortRange*>(be.get());
         if (sw_be != nullptr) {
@@ -60,5 +64,7 @@ int main() {
     t.add_row(row);
   }
   t.print(std::cout, "\nSpeedup vs Ori (paper: 3 / 23 / 40 / 61-63):");
+  bench::roofline_json("fig8");
+  bench::write_observability_artifacts();
   return 0;
 }

@@ -2,13 +2,17 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <initializer_list>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/pairlist_cpe.hpp"
@@ -16,12 +20,19 @@
 #include "core/sw_short_range.hpp"
 #include "md/simulation.hpp"
 #include "md/water.hpp"
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 namespace swgmx::bench {
+
+/// BENCH line schema. Bumped when field names/semantics change so
+/// tools/bench_diff.py can refuse to compare across schemas instead of
+/// reporting spurious regressions.
+inline constexpr double kBenchSchemaVersion = 1.0;
 
 /// Host wall-clock stopwatch. Simulated seconds stay the headline number
 /// (deterministic, hardware-independent); wall seconds are recorded next to
@@ -42,23 +53,30 @@ class WallTimer {
 };
 
 /// One machine-readable result line:
-///   BENCH {"name":"fig10/case 1/Cal","host_threads":8,"sim_seconds":...,
-///          "wall_seconds":...}
-/// Every field list gets "host_threads" prepended so recorded wall-clock
-/// numbers are always attributable to a pool size.
+///   BENCH {"name":"fig10/case 1/Cal","host_threads":8,"schema_version":1,
+///          "sim_seconds":...,"wall_seconds":...}
+/// Every field list gets "host_threads" and "schema_version" added so
+/// recorded wall-clock numbers are always attributable to a pool size and
+/// tools/bench_diff.py can detect format drift.
 ///
 /// The line renders through an obs::MetricsRegistry snapshot: fields become
-/// insertion-ordered gauges and the registry's flat writer emits them, so
-/// BENCH output and metrics snapshots share one escaping/precision path
-/// (names JSON-escaped, doubles at max_digits10 — full round-trip, where the
-/// old direct streaming corrupted quoted names and truncated to 6
-/// significant digits).
+/// gauges and the registry's flat writer emits them, so BENCH output and
+/// metrics snapshots share one escaping/precision path (names JSON-escaped,
+/// doubles at max_digits10 — full round-trip, where the old direct streaming
+/// corrupted quoted names and truncated to 6 significant digits). Fields are
+/// inserted in sorted key order (via std::map) so a BENCH line is
+/// byte-identical regardless of the order the caller listed them — baseline
+/// files diff cleanly.
 inline void bench_json(const std::string& name,
                        std::initializer_list<std::pair<const char*, double>> fields,
                        std::ostream& os = std::cout) {
+  std::map<std::string, double> sorted;
+  sorted.emplace("host_threads",
+                 static_cast<double>(common::ThreadPool::global().size()));
+  sorted.emplace("schema_version", kBenchSchemaVersion);
+  for (const auto& [key, value] : fields) sorted.insert_or_assign(key, value);
   obs::MetricsRegistry reg;
-  reg.gauge_set("host_threads", common::ThreadPool::global().size());
-  for (const auto& [key, value] : fields) reg.gauge_set(key, value);
+  for (const auto& [key, value] : sorted) reg.gauge_set(key, value);
   os << "BENCH {\"name\":\"" << obs::json_escape(name) << "\",";
   reg.write_flat(os);
   os << "}\n";
@@ -104,6 +122,76 @@ inline void recovery_json(const std::string& name, std::ostream& os = std::cout)
              os);
 }
 
+/// One BENCH line with the critical-path attribution of everything the
+/// global CritPathCollector saw since its last reset(). The categorical
+/// verdict (report.bound_by) is encoded as bound_by_code — the index into
+/// obs::kCritCategoryCount's name list — so the line stays all-numeric; the
+/// human-readable verdict goes to SWGMX_REPORT and the text renderer.
+/// Emits nothing when the collector saw no steps (e.g. a bench that never
+/// ran a simulation), so unrelated benches keep their output unchanged.
+inline void critpath_json(const std::string& name, std::ostream& os = std::cout) {
+  obs::CritPathCollector& col = obs::CritPathCollector::global();
+  if (col.steps() == 0) return;
+  const obs::CritPathReport r = col.report();
+  // Occupancy identity: every gated bench asserts busy + idle == span per
+  // resource (tolerance only for float re-association; idle is derived).
+  for (int i = 0; i < obs::kCritResCount; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    SWGMX_CHECK_MSG(
+        std::abs(r.busy[u] + r.idle[u] - r.span_seconds) <=
+            1e-12 * std::max(1.0, r.span_seconds),
+        "critpath occupancy identity violated for "
+            << obs::crit_resource_name(i) << ": busy " << r.busy[u] << " + idle "
+            << r.idle[u] << " != span " << r.span_seconds);
+  }
+  double code = 0.0;
+  for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+    if (r.bound_by == obs::crit_category_name(c)) code = static_cast<double>(c);
+  }
+  bench_json(name + "/critpath",
+             {{"barrier_seconds", r.barrier_seconds},
+              {"bound_by_code", code},
+              {"busy_cpe_seconds", r.busy[obs::kCritResCpeA]},
+              {"busy_cpe2_seconds", r.busy[obs::kCritResCpeB]},
+              {"busy_mpe_seconds", r.busy[obs::kCritResMpe]},
+              {"busy_net_seconds", r.busy[obs::kCritResNet]},
+              {"cpe_compute_seconds", r.cpe_compute_seconds},
+              {"cpe_ldm_dma_seconds", r.cpe_ldm_dma_seconds},
+              {"graph_steps", static_cast<double>(r.graph_steps)},
+              {"idle_cpe_seconds", r.idle[obs::kCritResCpeA]},
+              {"idle_cpe2_seconds", r.idle[obs::kCritResCpeB]},
+              {"idle_mpe_seconds", r.idle[obs::kCritResMpe]},
+              {"idle_net_seconds", r.idle[obs::kCritResNet]},
+              {"mpe_seconds", r.mpe_seconds},
+              {"network_seconds", r.network_seconds},
+              {"network_share", r.network_share},
+              {"span_seconds", r.span_seconds},
+              {"steps", static_cast<double>(r.steps)}},
+             os);
+}
+
+/// One BENCH line per kernel label with its roofline placement (arithmetic
+/// intensity, memory fraction, LDM occupancy), from the always-on
+/// kernel/<label>/* counters. Cumulative over the process so far — benches
+/// that want per-case rooflines should snapshot between cases.
+inline void roofline_json(const std::string& name, std::ostream& os = std::cout) {
+  const obs::PerfReport pr =
+      obs::PerfReport::from_registry(obs::MetricsRegistry::global());
+  for (const obs::KernelReport& k : pr.kernels) {
+    bench_json(name + "/roofline/" + k.label,
+               {{"compute_cycles", k.compute_cycles},
+                {"dma_bytes", k.dma_bytes},
+                {"intensity_cycles_per_byte", k.intensity_cycles_per_byte},
+                {"launches", k.launches},
+                {"ldm_occupancy", k.ldm_occupancy},
+                {"mem_cycles", k.mem_cycles},
+                {"mem_fraction", k.mem_fraction},
+                {"memory_bound", k.memory_bound ? 1.0 : 0.0},
+                {"sim_seconds", k.sim_seconds}},
+               os);
+  }
+}
+
 /// Water box by particle count (3 particles per molecule), Table 3 defaults.
 inline md::System water_particles(std::size_t nparticles,
                                   md::CoulombMode mode = md::CoulombMode::ReactionField,
@@ -144,12 +232,14 @@ inline void banner(const std::string& title) {
 }
 
 /// Flush the observability outputs a traced run was asked for: the Perfetto
-/// trace to SWGMX_TRACE and the metrics snapshot to SWGMX_METRICS. Safe to
-/// call unconditionally — each part is a no-op when its knob is unset. The
-/// same writers run from a process-exit hook, so this mainly makes the
-/// artifacts available before any post-bench work the driver does.
+/// trace to SWGMX_TRACE, the metrics snapshot to SWGMX_METRICS, and the
+/// combined critical-path + roofline report to SWGMX_REPORT. Safe to call
+/// unconditionally — each part is a no-op when its knob is unset. The same
+/// writers run from a process-exit hook, so this mainly makes the artifacts
+/// available before any post-bench work the driver does.
 inline void write_observability_artifacts() {
   obs::TraceSession::global().export_to_path();
+  obs::write_report_to_env();
   if (const char* mpath = std::getenv("SWGMX_METRICS");
       mpath != nullptr && *mpath != '\0') {
     std::ofstream os(mpath);

@@ -40,7 +40,28 @@ void print_config() {
   t.print(std::cout, "Benchmark parameters (Table 3):");
 }
 
-sw::PhaseTimers run_case(std::size_t particles, int ranks, int steps) {
+/// Comm share of a phase breakdown: the two communication rows over the
+/// total — the number the critpath report's network_share must reproduce.
+double comm_share(const sw::PhaseTimers& t) {
+  return (t.get(md::phase::kCommEnergies) + t.get(md::phase::kWaitCommF)) /
+         t.total();
+}
+
+/// Gate: the critical-path collector was fed by the same call sites as the
+/// phase timers, so its network attribution must match the timer-derived
+/// comm share exactly (modulo float re-association).
+void check_critpath_consistency(const char* what, const sw::PhaseTimers& t) {
+  const obs::CritPathReport r = obs::CritPathCollector::global().report();
+  SWGMX_CHECK_MSG(std::abs(r.span_seconds - t.total()) <= 1e-9 * t.total(),
+                  what << ": critpath span " << r.span_seconds
+                       << " != timers total " << t.total());
+  SWGMX_CHECK_MSG(std::abs(r.network_share - comm_share(t)) <= 1e-9,
+                  what << ": critpath network share " << r.network_share
+                       << " != comm share " << comm_share(t));
+}
+
+sw::PhaseTimers run_case(std::size_t particles, int ranks, int steps,
+                         const std::string& bench_name) {
   md::System sys =
       bench::water_particles(particles, md::CoulombMode::EwaldShort);
   pme::PmeSolver pme(pme::suggest_grid(sys.box, sys.ff->ewald_beta));
@@ -57,8 +78,11 @@ sw::PhaseTimers run_case(std::size_t particles, int ranks, int steps) {
   // Table 1 reproduces the *original* workflow: the overlap engine stays
   // off so the phase shares match the paper's serial accounting.
   opt.sim.overlap = false;
+  obs::CritPathCollector::global().reset();
   net::ParallelSim sim(std::move(sys), opt, sr, pl, &pme, &traj);
   sim.run(steps);
+  check_critpath_consistency(bench_name.c_str(), sim.timers());
+  bench::critpath_json(bench_name);
   return sim.timers();
 }
 
@@ -148,7 +172,7 @@ void overlap_ab() {
   bench::banner(
       "Overlap engine on Case 2 (48K, 64 CG, accelerated kernels)");
 
-  auto run_once = [](bool overlap) {
+  auto run_once = [](bool overlap, const char* bench_name) {
     // Pin the kernels' DMA-pipeline gate alongside the scheduler option.
     sw::set_overlap_enabled(overlap);
     md::System sys =
@@ -162,19 +186,19 @@ void overlap_ab() {
     opt.nranks = 64;
     opt.sim.nstenergy = 10;
     opt.sim.overlap = overlap;
+    obs::CritPathCollector::global().reset();
     net::ParallelSim sim(std::move(sys), opt, *sr, pl, &pme);
     sim.run(20);
+    check_critpath_consistency(bench_name, sim.timers());
+    bench::critpath_json(bench_name);
     return sim.timers();
   };
 
-  const sw::PhaseTimers serial = run_once(false);
-  const sw::PhaseTimers overlapped = run_once(true);
+  const sw::PhaseTimers serial = run_once(false, "table1/overlap/serial");
+  const sw::PhaseTimers overlapped =
+      run_once(true, "table1/overlap/overlapped");
   sw::set_overlap_enabled(true);  // restore the default
 
-  auto comm_share = [](const sw::PhaseTimers& t) {
-    return (t.get(md::phase::kCommEnergies) + t.get(md::phase::kWaitCommF)) /
-           t.total();
-  };
   const double speedup = serial.total() / overlapped.total();
   print_breakdown("Serial (SWGMX_OVERLAP=0):", serial);
   std::cout << '\n';
@@ -210,10 +234,10 @@ int main() {
 
   std::cout << '\n';
   print_breakdown("Case 1 (12K particles, 1 CG; paper: 48K, 1 CG):",
-                  run_case(12000, 1, 20));
+                  run_case(12000, 1, 20, "table1/case1"));
   std::cout << '\n';
   print_breakdown("Case 2 (48K particles, 64 CG; paper: 3M, 512 CG):",
-                  run_case(48000, 64, 20));
+                  run_case(48000, 64, 20, "table1/case2"));
 
   std::cout << "\nPaper: Case 1 Force 95.5%, Neighbor search 2.5%; Case 2 "
                "Force 74.8%, Comm. energies 18.7%.\n";
@@ -221,5 +245,7 @@ int main() {
   pme_offload_breakdown();
   std::cout << '\n';
   overlap_ab();
+  bench::roofline_json("table1");
+  bench::write_observability_artifacts();
   return 0;
 }

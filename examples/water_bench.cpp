@@ -6,11 +6,14 @@
 //   ./water_bench [particles] [strategy] [steps] [pme|rf]
 //   strategies: ori pkg cache vec mark rca collect
 //
-//   ./water_bench ab [particles] [ranks] [steps]
+//   ./water_bench ab [particles] [ranks] [steps] [sr_cpes] [mpi|rdma]
 //     Overlap-engine A/B: the same multi-rank PME run with SWGMX_OVERLAP
 //     off then on. Asserts bit-identical trajectories and a faster
 //     overlapped run; emits water_bench/overlap/{serial,overlapped} BENCH
-//     lines (CI collects them into BENCH_overlap.json).
+//     lines plus the critical-path attribution of each leg (CI collects
+//     them into BENCH_overlap.json and diffs them against
+//     bench/baselines/). The last argument picks the transport cost model
+//     (default mpi).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -38,10 +41,16 @@ int run_overlap_ab(int argc, char** argv) {
   // Partition ratio: 0 auto-balances, -1 never splits, >0 pins the
   // short-range CPE count.
   const int sr_cpes = argc > 5 ? std::atoi(argv[5]) : 0;
+  const std::string transport = argc > 6 ? argv[6] : "mpi";
+  if (transport != "mpi" && transport != "rdma") {
+    std::cerr << "unknown transport '" << transport << "' (mpi|rdma)\n";
+    return 1;
+  }
+  const bool rdma = transport == "rdma";
 
   std::cout << "overlap A/B: " << particles << " particles, " << ranks
             << " simulated ranks, " << nsteps << " steps, mark kernel + PME "
-            << "offload\n";
+            << "offload, " << transport << " transport\n";
 
   auto run_once = [&](bool overlap, AlignedVector<Vec3f>& x_out,
                       double& total_s, double& wall_s) {
@@ -57,15 +66,19 @@ int run_overlap_ab(int argc, char** argv) {
     pme_solver.set_accelerated(true);
     net::ParallelOptions popt;
     popt.nranks = ranks;
+    popt.rdma = rdma;
     popt.sim.nstenergy = nsteps;
     popt.sim.overlap = overlap;
     popt.sim.overlap_sr_cpes = sr_cpes;
+    obs::CritPathCollector::global().reset();
     net::ParallelSim sim(std::move(sys), popt, *sr, pl, &pme_solver);
     bench::WallTimer wall;
     sim.run(nsteps);
     wall_s = wall.seconds();
     x_out.assign(sim.system().x.begin(), sim.system().x.end());
     total_s = sim.total_seconds();
+    bench::critpath_json(std::string("water_bench/overlap/") +
+                         (overlap ? "overlapped" : "serial") + "/" + transport);
   };
 
   AlignedVector<Vec3f> x_serial, x_overlap;
@@ -105,6 +118,7 @@ int run_overlap_ab(int argc, char** argv) {
        {"partition_idle_seconds",
         mx.value("overlap/partition_idle_seconds")},
        {"partition_imbalance", mx.value("overlap/partition_imbalance")}});
+  bench::roofline_json("water_bench/ab");
   bench::write_observability_artifacts();
 
   if (!identical) {

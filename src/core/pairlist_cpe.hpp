@@ -29,6 +29,8 @@ class CpePairList final : public md::PairListBackend {
     return ways_ == 2 ? "CPE list (2-way)" : "CPE list (direct-map)";
   }
 
+  [[nodiscard]] bool uses_cpes() const override { return true; }
+
   double build(const md::ClusterSystem& cs, const md::Box& box, float rlist,
                bool half, md::ClusterPairList& out, int nranks = 1) override;
 

@@ -10,8 +10,10 @@
 #include "core/write_cache.hpp"
 #include "md/cost.hpp"
 #include "md/kernel_ref.hpp"
+#include "obs/metrics.hpp"
 #include "simd/floatv4.hpp"
 #include "tune/constants.hpp"
+#include "tune/params.hpp"
 
 namespace swgmx::core {
 
@@ -444,6 +446,21 @@ double SwShortRange::compute(const md::ClusterSystem& cs, const md::Box& box,
   flags_.vectorized ? 0.8 : 0.0, "sr/force");
   last_.force_s = fst.sim_seconds;
   last_.force = fst;
+
+  // LDM footprint gauge for the roofline report (obs/report.hpp). Only the
+  // cache rungs match the tune::sr_ldm_bytes model; the Pkg/gld rungs keep
+  // just the staging buffers resident.
+  if (flags_.read_cache) {
+    tune::TuneConfig ldm = tune::active();
+    ldm.read_sets = opt_.read_sets;
+    ldm.read_ways = opt_.read_ways;
+    ldm.write_lines = opt_.write_lines;
+    ldm.pkgs_per_line = opt_.pkgs_per_line;
+    ldm.row_chunk = opt_.row_chunk;
+    obs::MetricsRegistry::global().gauge_set(
+        "kernel/sr/force/ldm_bytes",
+        static_cast<double>(tune::sr_ldm_bytes(ldm)));
+  }
 
   // 4. Reduction (Alg 4): force lines are chunked over CPEs; marked (or all)
   // copies are fetched, summed, and written to f_slots.

@@ -45,6 +45,9 @@ class PairListBackend {
   /// searching only its contiguous share of i-clusters.
   virtual double build(const ClusterSystem& cs, const Box& box, float rlist,
                        bool half, ClusterPairList& out, int nranks = 1) = 0;
+  /// True when build() launches CPE kernels (critical-path attribution
+  /// classifies the Neighbor search phase by this).
+  [[nodiscard]] virtual bool uses_cpes() const { return false; }
 };
 
 /// Long-range electrostatics (PME). Implemented in src/pme; interface lives

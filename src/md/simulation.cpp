@@ -9,6 +9,7 @@
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
 #include "md/taskgraph.hpp"
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,6 +18,15 @@
 namespace swgmx::md {
 
 namespace {
+
+/// Phase charge + critical-path attribution in one call: the collector sees
+/// exactly what the timers see, so the report's span equals the timers
+/// total and its network share equals the benches' comm share.
+void charge_phase(sw::PhaseTimers& timers, const char* ph, double seconds,
+                  int resource, bool barrier = false) {
+  timers.add(ph, seconds);
+  obs::CritPathCollector::global().add_serial(resource, ph, seconds, barrier);
+}
 /// MPE cost of `ops` arithmetic ops + `mem` memory references (same model as
 /// CoreGroup::mpe_seconds, usable without a core group).
 double mpe_secs(const sw::SwConfig& cfg, double ops, double mem) {
@@ -75,7 +85,8 @@ void Simulation::neighbor_search() {
   const double secs =
       pl_->build(*clusters_, sys_.box, static_cast<float>(sys_.ff->rlist()),
                  sr_->wants_half_list(), list_);
-  timers_.add(phase::kNeighborSearch, secs);
+  charge_phase(timers_, phase::kNeighborSearch, secs,
+               pl_->uses_cpes() ? kResCpeA : kResMpe);
   obs::mpe_phase_span(phase::kNeighborSearch, secs);
 }
 
@@ -100,7 +111,8 @@ void Simulation::compute_forces() {
   const double t_sr = obs::TraceSession::global().now_ns();
   const double force_secs =
       sr_->compute(*clusters_, sys_.box, list_, params, f_slots_, last_nb_);
-  timers_.add(phase::kForce, force_secs);
+  charge_phase(timers_, phase::kForce, force_secs,
+               sr_->uses_cpes() ? kResCpeA : kResMpe);
   // Composite span: the short-range kernel launches inside sr_->compute
   // already advanced the simulated clock, so anchor at the captured t0.
   obs::mpe_phase_span(phase::kForce, force_secs, t_sr,
@@ -109,7 +121,7 @@ void Simulation::compute_forces() {
   // "NB F buffer ops": scatter slot forces back to the system array.
   clusters_->scatter_forces(f_slots_, sys_);
   buffer_secs += mpe_secs(opt_.cfg, n * 8.0, n * 2.0) / opt_.buffer_speedup;
-  timers_.add(phase::kBufferOps, buffer_secs);
+  charge_phase(timers_, phase::kBufferOps, buffer_secs, kResMpe);
   obs::mpe_phase_span(phase::kBufferOps, buffer_secs);
 
   // Bonded terms (double precision, MPE).
@@ -119,7 +131,7 @@ void Simulation::compute_forces() {
       static_cast<double>(sys_.top.angles.size()) * BondedOpCounts::kPerAngle +
       static_cast<double>(sys_.top.dihedrals.size()) * BondedOpCounts::kPerDihedral;
   const double bonded_secs = mpe_secs(opt_.cfg, nbonded, nbonded * 0.2);
-  timers_.add(phase::kForce, bonded_secs);
+  charge_phase(timers_, phase::kForce, bonded_secs, kResMpe);
   obs::mpe_phase_span(phase::kForce, bonded_secs, -1.0,
                       "{\"part\":\"bonded\"}");
 
@@ -128,7 +140,8 @@ void Simulation::compute_forces() {
   if (lr_ != nullptr) {
     const double t_lr = obs::TraceSession::global().now_ns();
     const double lr_secs = lr_->compute(sys_, last_longrange_);
-    timers_.add(phase::kForce, lr_secs);
+    charge_phase(timers_, phase::kForce, lr_secs,
+                 lr_->uses_cpes() ? kResCpeA : kResMpe);
     obs::mpe_phase_span(phase::kForce, lr_secs, t_lr,
                         "{\"part\":\"long_range\"}");
   }
@@ -233,6 +246,7 @@ void Simulation::compute_forces_overlapped() {
   // the exposed-time attribution so they sum to the overlapped makespan.
   tr.seek_ns(g.end_seconds() * 1e9);
   g.charge(timers_);
+  obs::CritPathCollector::global().observe_graph(g.spans(), g.makespan());
 
   auto& m = obs::MetricsRegistry::global();
   if (g.hidden_seconds() > 0.0) {
@@ -302,14 +316,14 @@ std::optional<EnergySample> Simulation::step() {
   const double update_secs =
       mpe_secs(opt_.cfg, npart * kUpdateOpsPerParticle, npart * 2.0) /
       opt_.update_speedup;
-  timers_.add(phase::kUpdate, update_secs);
+  charge_phase(timers_, phase::kUpdate, update_secs, kResMpe);
   obs::mpe_phase_span(phase::kUpdate, update_secs);
 
   if (guard) {
     // Health scan before the constraints see a corrupt state; charged as an
     // MPE pass over x and v.
     const double scan_secs = mpe_secs(opt_.cfg, npart * 6.0, npart * 2.0);
-    timers_.add(phase::kRest, scan_secs);
+    charge_phase(timers_, phase::kRest, scan_secs, kResMpe);
     obs::mpe_phase_span(phase::kRest, scan_secs);
     if (!state_healthy(x_ref)) {
       rollback();
@@ -326,7 +340,7 @@ std::optional<EnergySample> Simulation::step() {
                        Shake::kSettleOpsPerConstraint;
     const double constraint_secs =
         mpe_secs(opt_.cfg, ops, ops * 0.2) / opt_.constraint_speedup;
-    timers_.add(phase::kConstraints, constraint_secs);
+    charge_phase(timers_, phase::kConstraints, constraint_secs, kResMpe);
     obs::mpe_phase_span(phase::kConstraints, constraint_secs);
   }
 
@@ -371,7 +385,7 @@ std::optional<EnergySample> Simulation::step() {
   if (traj_ != nullptr && opt_.nstxout > 0 && step_ % opt_.nstxout == 0) {
     const double traj_secs =
         traj_->write_frame(sys_, static_cast<double>(step_) * opt_.integ.dt);
-    timers_.add(phase::kWriteTraj, traj_secs);
+    charge_phase(timers_, phase::kWriteTraj, traj_secs, kResMpe);
     obs::mpe_phase_span(phase::kWriteTraj, traj_secs);
   }
   maybe_write_checkpoint();
@@ -386,6 +400,7 @@ void Simulation::finish_step_trace(double step_t0, double timers0,
   const double step_secs = timers_.total() - timers0;
   step_seconds_hist().observe(step_secs);
   obs::MetricsRegistry::global().counter_add("sim/steps", 1.0);
+  obs::CritPathCollector::global().end_step();
 
   obs::TraceSession& tr = obs::TraceSession::global();
   if (!tr.enabled()) return;
@@ -489,7 +504,7 @@ void Simulation::maybe_write_checkpoint() {
   // host-side I/O, outside the simulated machine.
   const double n = static_cast<double>(sys_.size());
   const double ckpt_secs = mpe_secs(opt_.cfg, n * 8.0, n * 4.0);
-  timers_.add(phase::kWriteTraj, ckpt_secs);
+  charge_phase(timers_, phase::kWriteTraj, ckpt_secs, kResMpe);
   obs::mpe_phase_span("checkpoint", ckpt_secs);
   sw::FaultInjector::global().record_checkpoint();
   obs::TraceSession& tr = obs::TraceSession::global();

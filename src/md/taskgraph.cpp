@@ -35,6 +35,7 @@ int StepGraph::add(const std::string& phase, int resource, double seconds,
   n.start = start;
   n.finish = start + std::max(0.0, seconds);
   n.priority = priority;
+  n.deps = deps;
   nodes_.push_back(std::move(n));
   avail_[static_cast<std::size_t>(resource)] = nodes_.back().finish;
   return static_cast<int>(nodes_.size()) - 1;
@@ -103,6 +104,95 @@ void StepGraph::charge(sw::PhaseTimers& timers) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (ex[i] > 0.0) timers.add(nodes_[i].phase, ex[i]);
   }
+}
+
+// The resource ids obs::TaskSpan carries are this enum by contract.
+static_assert(obs::kCritResMpe == kResMpe && obs::kCritResCpeA == kResCpeA &&
+              obs::kCritResCpeB == kResCpeB && obs::kCritResNet == kResNet &&
+              obs::kCritResCount == kResCount);
+
+std::vector<obs::TaskSpan> StepGraph::spans() const {
+  const std::size_t n = nodes_.size();
+  std::vector<obs::TaskSpan> out(n);
+  if (n == 0) return out;
+  const std::vector<double> ex = exposed();
+  const double end = end_seconds();
+
+  // Successor edges: declared deps plus the implicit ordering the scheduler
+  // enforced — same-resource predecessor, or the global predecessor in
+  // serialize mode. The backward pass over them gives each node's latest
+  // finish that keeps the step's end fixed; slack is the difference.
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> order_pred(n, -1);
+  {
+    std::array<int, kResCount> last_on{};
+    last_on.fill(-1);
+    int last_any = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Node& nd = nodes_[i];
+      for (const int d : nd.deps) {
+        succ[static_cast<std::size_t>(d)].push_back(static_cast<int>(i));
+      }
+      const int prev =
+          serialize_ ? last_any
+                     : last_on[static_cast<std::size_t>(nd.resource)];
+      if (prev >= 0) {
+        succ[static_cast<std::size_t>(prev)].push_back(static_cast<int>(i));
+      }
+      order_pred[i] = prev;
+      last_on[static_cast<std::size_t>(nd.resource)] = static_cast<int>(i);
+      last_any = static_cast<int>(i);
+    }
+  }
+  std::vector<double> late(n, end);
+  for (std::size_t i = n; i-- > 0;) {
+    for (const int j : succ[i]) {
+      const Node& nj = nodes_[static_cast<std::size_t>(j)];
+      late[i] = std::min(late[i],
+                         late[static_cast<std::size_t>(j)] -
+                             (nj.finish - nj.start));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& nd = nodes_[i];
+    out[i].phase = nd.phase;
+    out[i].resource = nd.resource;
+    out[i].start = nd.start;
+    out[i].finish = nd.finish;
+    out[i].exposed = ex[i];
+    out[i].slack = std::max(0.0, late[i] - nd.finish);
+  }
+
+  // Critical chain: walk backwards from the last-finishing node (ties:
+  // lowest id) through a predecessor whose finish equals our start. One
+  // always exists until start == t0 because ready_at() returns exactly one
+  // of those finishes (or t0) — double equality is exact here.
+  int cur = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (nodes_[i].finish > nodes_[static_cast<std::size_t>(cur)].finish) {
+      cur = static_cast<int>(i);
+    }
+  }
+  while (cur >= 0) {
+    out[static_cast<std::size_t>(cur)].critical = true;
+    const Node& nd = nodes_[static_cast<std::size_t>(cur)];
+    if (nd.start <= t0_) break;
+    int prev = -1;
+    for (const int d : nd.deps) {
+      if (nodes_[static_cast<std::size_t>(d)].finish == nd.start) {
+        prev = d;
+        break;
+      }
+    }
+    if (prev < 0) {
+      const int p = order_pred[static_cast<std::size_t>(cur)];
+      if (p >= 0 && nodes_[static_cast<std::size_t>(p)].finish == nd.start) {
+        prev = p;
+      }
+    }
+    cur = prev;
+  }
+  return out;
 }
 
 int balance_sr_cpes(int ncpe, int requested, double prev_sr_s,

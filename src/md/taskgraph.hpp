@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "sw/perf.hpp"
 
 namespace swgmx::md {
@@ -73,6 +74,15 @@ class StepGraph {
   /// communication vanishes from the comm phases.
   void charge(sw::PhaseTimers& timers) const;
 
+  /// The as-scheduled spans for critical-path attribution (obs/critpath.hpp):
+  /// per node the exposed seconds, the slack against the step's finish
+  /// (successor edges = declared deps plus the implicit same-resource
+  /// ordering; the whole chain in serialize mode), and whether the node lies
+  /// on the critical chain. The critical chain is contiguous: every start is
+  /// an exact copy of t0 or a predecessor's finish, so walking
+  /// finish == start edges backwards from the last node covers the makespan.
+  [[nodiscard]] std::vector<obs::TaskSpan> spans() const;
+
  private:
   struct Node {
     std::string phase;
@@ -80,6 +90,7 @@ class StepGraph {
     double start = 0.0;
     double finish = 0.0;
     int priority = 0;
+    std::vector<int> deps;
   };
 
   double t0_;

@@ -12,12 +12,24 @@
 #include "io/checkpoint.hpp"
 #include "md/cost.hpp"
 #include "md/taskgraph.hpp"
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sw/fault.hpp"
 
 namespace swgmx::net {
+
+namespace {
+/// Phase charge + critical-path attribution in one call (see the md
+/// counterpart in simulation.cpp): network/barrier classification here is
+/// what makes the report's network share equal the benches' comm share.
+void charge_phase(sw::PhaseTimers& timers, const std::string& ph,
+                  double seconds, int resource, bool barrier = false) {
+  timers.add(ph, seconds);
+  obs::CritPathCollector::global().add_serial(resource, ph, seconds, barrier);
+}
+}  // namespace
 
 using md::phase::kBufferOps;
 using md::phase::kCommEnergies;
@@ -183,6 +195,7 @@ void ParallelSim::trace_rank_exchange_at(const char* name, double t0_ns,
 
 void ParallelSim::finish_step_trace(double step_t0, std::int64_t step_at_entry,
                                     bool rebuilt) {
+  obs::CritPathCollector::global().end_step();
   obs::TraceSession& tr = obs::TraceSession::global();
   if (!tr.enabled()) return;
   std::ostringstream args;
@@ -207,7 +220,7 @@ void ParallelSim::neighbor_search() {
     dd_s += comm_seconds(
         static_cast<std::size_t>(std::max(1.0, migrants * 32.0)));
   }
-  timers_.add(kDomainDecomp, dd_s);
+  charge_phase(timers_, kDomainDecomp, dd_s, md::kResMpe);
 
   clusters_.emplace(sys_, sr_->wants_layout());
   f_slots_.assign(clusters_->nslots(), Vec3f{});
@@ -244,7 +257,8 @@ void ParallelSim::neighbor_search() {
   if (max_cluster_share_ == 0.0) max_cluster_share_ = 1.0;
 
   // The backend already reports the critical-path (worst-rank) build time.
-  timers_.add(kNeighborSearch, secs);
+  charge_phase(timers_, kNeighborSearch, secs,
+               pl_->uses_cpes() ? md::kResCpeA : md::kResMpe);
   obs::TraceSession& tr = obs::TraceSession::global();
   if (tr.enabled()) {
     trace_rank_tracks();
@@ -269,8 +283,8 @@ bool ParallelSim::check_rank_faults() {
   // Heartbeats ride every step. They are tiny and concurrent across ranks,
   // so the critical path pays one ack-sized message latency.
   if (nactive() > 1) {
-    timers_.add(md::phase::kRest,
-                transport_->message_seconds(sw::kMsgAckBytes));
+    charge_phase(timers_, md::phase::kRest,
+                 transport_->message_seconds(sw::kMsgAckBytes), md::kResMpe);
   }
 
   // Collect this step's whole-rank failures. Decisions are keyed on
@@ -320,7 +334,7 @@ bool ParallelSim::check_rank_faults() {
                  tr.now_ns(), args.str());
     }
   }
-  timers_.add(md::phase::kRest, detect_s);
+  charge_phase(timers_, md::phase::kRest, detect_s, md::kResMpe);
   inj.record_detection(detect_s);
   mx.counter_add("ft/detection_seconds", detect_s);
 
@@ -371,7 +385,7 @@ bool ParallelSim::check_rank_faults() {
     redecomp_s += faulted_cost(allreduce_seconds(*transport_, 64, r_new));
   }
   if (r_new != r_old) dd_.rebuild(r_new);
-  timers_.add(kDomainDecomp, redecomp_s);
+  charge_phase(timers_, kDomainDecomp, redecomp_s, md::kResMpe);
   inj.record_redecomposition(redecomp_s);
   mx.counter_add("ft/redecomp_seconds", redecomp_s);
   mx.counter_add("ft/redecompositions");
@@ -440,7 +454,7 @@ void ParallelSim::step() {
     const auto bytes = static_cast<std::size_t>(
         std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
     const double halo_s = static_cast<double>(nb) * comm_seconds(bytes);
-    timers_.add(kWaitCommF, halo_s);
+    charge_phase(timers_, kWaitCommF, halo_s, md::kResNet);
     trace_rank_exchange("halo_x", halo_s, false);
   }
 
@@ -467,29 +481,33 @@ void ParallelSim::step() {
   // loaded rank shows up as *waiting inside the energy reduction* on every
   // other rank, which is exactly how GROMACS' profiler attributes it (and
   // why Table 1's Case 2 charges 18.7% to "Comm. energies").
-  timers_.add(kForce, force_global / R);
+  charge_phase(timers_, kForce, force_global / R,
+               sr_->uses_cpes() ? md::kResCpeA : md::kResMpe);
   if (R > 1) {
     // Dynamic load balancing recovers roughly half of the raw imbalance
     // (GROMACS' DLB shifts domain boundaries toward the slow ranks).
-    timers_.add(kCommEnergies,
-                0.5 * force_global * std::max(0.0, max_pair_share_ - 1.0 / R));
+    charge_phase(timers_, kCommEnergies,
+                 0.5 * force_global * std::max(0.0, max_pair_share_ - 1.0 / R),
+                 md::kResNet, /*barrier=*/true);
   }
 
   clusters_->scatter_forces(f_slots_, sys_);
-  timers_.add(kBufferOps, mpe_secs(n * 8.0, n * 2.0) / R);
+  charge_phase(timers_, kBufferOps, mpe_secs(n * 8.0, n * 2.0) / R,
+               md::kResMpe);
 
   bonded_e = md::compute_bonded(sys_);
 
   if (lr_ != nullptr) {
     const double pme_s = lr_->compute(sys_, e_long);
-    timers_.add(kForce, pme_s / R);
+    charge_phase(timers_, kForce, pme_s / R,
+                 lr_->uses_cpes() ? md::kResCpeA : md::kResMpe);
     if (R > 1) {
       // Distributed 3-D FFT: two transpose all-to-alls per transform pair.
       const auto grid_bytes_per_pair = static_cast<std::size_t>(std::max(
           1.0, 16.0 * 64.0 * 64.0 * 64.0 / (static_cast<double>(R) * R)));
       const double fft_comm_s = faulted_cost(
           2.0 * alltoall_seconds(*transport_, grid_bytes_per_pair, R));
-      timers_.add(kWaitCommF, fft_comm_s);
+      charge_phase(timers_, kWaitCommF, fft_comm_s, md::kResNet);
       trace_rank_exchange("fft_alltoall", fft_comm_s, false);
     }
   }
@@ -502,7 +520,7 @@ void ParallelSim::step() {
     const auto bytes = static_cast<std::size_t>(
         std::max(1.0, halo_particles * 1.5 * 12.0 / std::max(1, nb)));
     const double halo_s = static_cast<double>(nb) * comm_seconds(bytes);
-    timers_.add(kWaitCommF, halo_s);
+    charge_phase(timers_, kWaitCommF, halo_s, md::kResNet);
     trace_rank_exchange("halo_f", halo_s, false);
   }
   }  // !opt_.sim.overlap
@@ -513,10 +531,13 @@ void ParallelSim::step() {
   const AlignedVector<Vec3f> x_ref(sys_.x.begin(), sys_.x.end());
   md::leapfrog_step(sys_, opt_.sim.integ);
   md::apply_thermostat(sys_, opt_.sim.integ);
-  timers_.add(kUpdate, mpe_secs(n * md::kUpdateOpsPerParticle, n * 2.0) / R);
+  charge_phase(timers_, kUpdate,
+               mpe_secs(n * md::kUpdateOpsPerParticle, n * 2.0) / R,
+               md::kResMpe);
 
   if (guard) {
-    timers_.add(md::phase::kRest, mpe_secs(n * 6.0, n * 2.0) / R);
+    charge_phase(timers_, md::phase::kRest, mpe_secs(n * 6.0, n * 2.0) / R,
+                 md::kResMpe);
     if (!state_healthy(x_ref)) {
       rollback();
       finish_step_trace(step_t0, step_at_entry, rebuild_step);
@@ -528,7 +549,8 @@ void ParallelSim::step() {
     shake_.apply(sys_, x_ref, opt_.sim.integ.dt);
     const double ops = static_cast<double>(sys_.top.constraints.size()) *
                        md::Shake::kSettleOpsPerConstraint;
-    timers_.add(kConstraints, mpe_secs(ops, ops * 0.2) / R);
+    charge_phase(timers_, kConstraints, mpe_secs(ops, ops * 0.2) / R,
+                 md::kResMpe);
   }
 
   // "Comm. energies": the per-step global reduction of energies/virial,
@@ -536,7 +558,8 @@ void ParallelSim::step() {
   if (R > 1) {
     const double e_comm_s = opt_.energy_comm_skew *
                             faulted_cost(allreduce_seconds(*transport_, 64, R));
-    timers_.add(kCommEnergies, e_comm_s);
+    charge_phase(timers_, kCommEnergies, e_comm_s, md::kResNet,
+                 /*barrier=*/true);
     trace_rank_exchange(kCommEnergies, e_comm_s, true);
   }
 
@@ -567,9 +590,11 @@ void ParallelSim::step() {
           transport_->message_seconds(
               static_cast<std::size_t>(std::max(1.0, n / R * 12.0))));
     }
-    timers_.add(kWriteTraj,
-                gather_s + traj_->write_frame(
-                               sys_, static_cast<double>(step_) * opt_.sim.integ.dt));
+    charge_phase(timers_, kWriteTraj,
+                 gather_s +
+                     traj_->write_frame(
+                         sys_, static_cast<double>(step_) * opt_.sim.integ.dt),
+                 md::kResMpe);
   }
   maybe_write_checkpoint();
   finish_step_trace(step_t0, step_at_entry, rebuild_step);
@@ -653,8 +678,9 @@ void ParallelSim::compute_forces_overlapped(int R, double n,
   if (R > 1) {
     // DLB residual imbalance: a serial charge outside the graph, same as
     // the legacy model (it is wait time, not schedulable work).
-    timers_.add(kCommEnergies,
-                0.5 * force_global * std::max(0.0, max_pair_share_ - 1.0 / R));
+    charge_phase(timers_, kCommEnergies,
+                 0.5 * force_global * std::max(0.0, max_pair_share_ - 1.0 / R),
+                 md::kResNet, /*barrier=*/true);
   }
 
   // Force scatter needs the short-range forces; bonded is independent but
@@ -709,6 +735,7 @@ void ParallelSim::compute_forces_overlapped(int R, double n,
   // the overlapped makespan), the clock lands at the section end.
   tr.seek_ns(g.end_seconds() * 1e9);
   g.charge(timers_);
+  obs::CritPathCollector::global().observe_graph(g.spans(), g.makespan());
 
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
   if (g.hidden_seconds() > 0.0) {
@@ -842,7 +869,8 @@ void ParallelSim::maybe_write_checkpoint() {
   layout.evicted.assign(evicted_.begin(), evicted_.end());
   io::write_checkpoint_coordinated_rotating(opt_.sim.checkpoint_path, sys_,
                                             step_, layout);
-  timers_.add(kWriteTraj, gather_s + mpe_secs(n * 8.0, n * 4.0));
+  charge_phase(timers_, kWriteTraj, gather_s + mpe_secs(n * 8.0, n * 4.0),
+               md::kResMpe);
   sw::FaultInjector::global().record_checkpoint();
 }
 

@@ -1,0 +1,280 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swgmx::obs {
+
+namespace {
+
+/// Counter-track tid on the core-group process (CPE tids occupy 1..64,
+/// stream tids 70+; 65 sits between them and collides with neither).
+constexpr int kTidCritPath = 65;
+
+const char* const kCategoryNames[] = {"mpe_compute", "cpe_compute", "ldm_dma",
+                                      "network", "barrier"};
+
+}  // namespace
+
+const char* crit_category_name(int category) {
+  if (category < 0 || category >= kCritCategoryCount) return "?";
+  return kCategoryNames[category];
+}
+
+const char* crit_resource_name(int resource) {
+  switch (resource) {
+    case kCritResMpe: return "mpe";
+    case kCritResCpeA: return "cpe";
+    case kCritResCpeB: return "cpe2";
+    case kCritResNet: return "net";
+    default: return "?";
+  }
+}
+
+std::string crit_steps_bound_by_metric(std::string_view category) {
+  return std::string("critpath/steps_bound_by/") + std::string(category);
+}
+
+CritPathCollector& CritPathCollector::global() {
+  // Leaked on purpose, same lifetime contract as MetricsRegistry::global():
+  // the atexit report writer must be able to read it.
+  static CritPathCollector* g = new CritPathCollector();
+  return *g;
+}
+
+void CritPathCollector::reset() { *this = CritPathCollector(); }
+
+void CritPathCollector::note_chain(std::string_view phase, int resource) {
+  std::string entry = std::string(phase) + "@" + crit_resource_name(resource);
+  // Consecutive repeats collapse (a phase charged in several slices is one
+  // chain link), so signatures stay readable and bounded.
+  if (!step_sig_.empty()) {
+    const std::size_t pos = step_sig_.rfind(" > ");
+    const std::string_view last =
+        pos == std::string::npos
+            ? std::string_view(step_sig_)
+            : std::string_view(step_sig_).substr(pos + 3);
+    if (last == entry) return;
+    step_sig_ += " > ";
+  }
+  step_sig_ += entry;
+}
+
+void CritPathCollector::add_serial(int resource, std::string_view phase,
+                                   double seconds, bool barrier) {
+  SWGMX_CHECK_MSG(resource >= 0 && resource < kCritResCount,
+                  "critpath resource out of range");
+  if (seconds <= 0.0) return;
+  busy_[static_cast<std::size_t>(resource)] += seconds;
+  span_ += seconds;
+  step_span_ += seconds;
+  if (barrier) {
+    barrier_ += seconds;
+    step_barrier_ += seconds;
+  } else if (resource == kCritResNet) {
+    net_ += seconds;
+    step_net_ += seconds;
+  } else if (resource == kCritResMpe) {
+    mpe_ += seconds;
+    step_mpe_ += seconds;
+  } else {
+    cpe_ += seconds;
+    step_cpe_ += seconds;
+  }
+  // Serial charges are all on the critical path by construction.
+  note_chain(phase, resource);
+}
+
+void CritPathCollector::observe_graph(const std::vector<TaskSpan>& spans,
+                                      double makespan_seconds) {
+  span_ += makespan_seconds;
+  step_span_ += makespan_seconds;
+  step_graph_ = true;
+  for (const TaskSpan& s : spans) {
+    SWGMX_CHECK_MSG(s.resource >= 0 && s.resource < kCritResCount,
+                    "critpath span resource out of range");
+    busy_[static_cast<std::size_t>(s.resource)] += s.finish - s.start;
+    // Exposed attribution: hidden communication contributes nothing, the
+    // same partition of the makespan that StepGraph::charge feeds the
+    // phase timers.
+    if (s.exposed > 0.0) {
+      if (s.resource == kCritResNet) {
+        net_ += s.exposed;
+        step_net_ += s.exposed;
+      } else if (s.resource == kCritResMpe) {
+        mpe_ += s.exposed;
+        step_mpe_ += s.exposed;
+      } else {
+        cpe_ += s.exposed;
+        step_cpe_ += s.exposed;
+      }
+    }
+  }
+  // Chain links in schedule order: the critical chain is contiguous from t0
+  // to the makespan, so start order is the walk order.
+  std::vector<const TaskSpan*> crit;
+  for (const TaskSpan& s : spans) {
+    if (s.critical) crit.push_back(&s);
+  }
+  std::stable_sort(crit.begin(), crit.end(),
+                   [](const TaskSpan* a, const TaskSpan* b) {
+                     return a->start < b->start;
+                   });
+  for (const TaskSpan* s : crit) note_chain(s->phase, s->resource);
+}
+
+void CritPathCollector::end_step() {
+  if (step_span_ <= 0.0 && step_sig_.empty()) return;
+  if (step_graph_) ++graph_steps_;
+  ++steps_;
+
+  // Classify: argmax of the step's four category buckets, fixed tie order.
+  const double cats[] = {step_mpe_, step_cpe_, step_net_, step_barrier_};
+  const char* const names[] = {"mpe", "cpe", "network", "barrier"};
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (cats[i] > cats[best]) best = i;
+  }
+  MetricsRegistry::global().counter_add(crit_steps_bound_by_metric(names[best]));
+
+  if (!step_sig_.empty()) {
+    ChainAgg& agg = chains_[step_sig_];
+    ++agg.steps;
+    agg.seconds += step_span_;
+  }
+
+  TraceSession& tr = TraceSession::global();
+  if (tr.enabled()) {
+    tr.set_thread_name(kPidSim, kTidCritPath, "critpath");
+    std::ostringstream args;
+    args << "{\"barrier\":" << json_number(step_barrier_)
+         << ",\"cpe\":" << json_number(step_cpe_)
+         << ",\"mpe\":" << json_number(step_mpe_)
+         << ",\"net\":" << json_number(step_net_) << "}";
+    tr.counter(kPidSim, kTidCritPath, "bound_by_seconds", tr.now_ns(),
+               args.str());
+  }
+
+  step_mpe_ = step_cpe_ = step_net_ = step_barrier_ = step_span_ = 0.0;
+  step_graph_ = false;
+  step_sig_.clear();
+}
+
+CritPathReport CritPathCollector::report() const {
+  CritPathReport r;
+  r.span_seconds = span_;
+  r.steps = steps_;
+  r.graph_steps = graph_steps_;
+  r.busy = busy_;
+  for (std::size_t i = 0; i < kCritResCount; ++i) {
+    r.idle[i] = span_ - busy_[i];
+  }
+  r.mpe_seconds = mpe_;
+  r.network_seconds = net_;
+  r.barrier_seconds = barrier_;
+
+  // Split the CPE-attributed seconds into compute vs LDM/DMA traffic by the
+  // run's aggregate kernel cycle ratio (kernel/<label>/{compute,mem}_cycles
+  // are always on, see sw/core_group).
+  double compute_cycles = 0.0, mem_cycles = 0.0;
+  for (const MetricEntry& e : MetricsRegistry::global().entries()) {
+    if (e.name.rfind("kernel/", 0) != 0) continue;
+    if (e.name.size() > 15 &&
+        e.name.compare(e.name.size() - 15, 15, "/compute_cycles") == 0) {
+      compute_cycles += e.value;
+    } else if (e.name.size() > 11 &&
+               e.name.compare(e.name.size() - 11, 11, "/mem_cycles") == 0) {
+      mem_cycles += e.value;
+    }
+  }
+  const double cyc = compute_cycles + mem_cycles;
+  const double compute_frac = cyc > 0.0 ? compute_cycles / cyc : 1.0;
+  r.cpe_compute_seconds = cpe_ * compute_frac;
+  r.cpe_ldm_dma_seconds = cpe_ - r.cpe_compute_seconds;
+
+  r.network_share = span_ > 0.0 ? (net_ + barrier_) / span_ : 0.0;
+
+  const double cats[] = {r.mpe_seconds, r.cpe_compute_seconds,
+                         r.cpe_ldm_dma_seconds, r.network_seconds,
+                         r.barrier_seconds};
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 5; ++i) {
+    if (cats[i] > cats[best]) best = i;
+  }
+  r.bound_by = kCategoryNames[best];
+
+  // Top-5 chains by carried seconds (ties: signature order, already the map
+  // order), deterministic for a deterministic run.
+  std::vector<CritChain> chains;
+  chains.reserve(chains_.size());
+  for (const auto& [sig, agg] : chains_) {
+    chains.push_back(CritChain{sig, agg.steps, agg.seconds});
+  }
+  std::stable_sort(chains.begin(), chains.end(),
+                   [](const CritChain& a, const CritChain& b) {
+                     return a.seconds > b.seconds;
+                   });
+  if (chains.size() > 5) chains.resize(5);
+  r.chains = std::move(chains);
+  return r;
+}
+
+void CritPathReport::write_json(std::ostream& os) const {
+  // Keys in sorted order, hand-maintained (no runtime sort needed for a
+  // fixed struct). Every number goes through json_number: byte-stable.
+  os << "{\"barrier_seconds\":" << json_number(barrier_seconds)
+     << ",\"bound_by\":\"" << json_escape(bound_by) << "\"";
+  os << ",\"busy_seconds\":{";
+  for (std::size_t i = 0; i < kCritResCount; ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << crit_resource_name(static_cast<int>(i))
+       << "\":" << json_number(busy[i]);
+  }
+  os << "},\"chains\":[";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"seconds\":" << json_number(chains[i].seconds)
+       << ",\"signature\":\"" << json_escape(chains[i].signature)
+       << "\",\"steps\":" << chains[i].steps << "}";
+  }
+  os << "],\"cpe_compute_seconds\":" << json_number(cpe_compute_seconds)
+     << ",\"cpe_ldm_dma_seconds\":" << json_number(cpe_ldm_dma_seconds)
+     << ",\"graph_steps\":" << graph_steps;
+  os << ",\"idle_seconds\":{";
+  for (std::size_t i = 0; i < kCritResCount; ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << crit_resource_name(static_cast<int>(i))
+       << "\":" << json_number(idle[i]);
+  }
+  os << "},\"mpe_seconds\":" << json_number(mpe_seconds)
+     << ",\"network_seconds\":" << json_number(network_seconds)
+     << ",\"network_share\":" << json_number(network_share)
+     << ",\"span_seconds\":" << json_number(span_seconds)
+     << ",\"steps\":" << steps << "}";
+}
+
+void CritPathReport::write_text(std::ostream& os) const {
+  os << "critical path: " << span_seconds << " s over " << steps << " steps ("
+     << graph_steps << " overlapped), bound by " << bound_by << "\n";
+  os << "  attribution: mpe " << mpe_seconds << " s, cpe compute "
+     << cpe_compute_seconds << " s, ldm/dma " << cpe_ldm_dma_seconds
+     << " s, network " << network_seconds << " s, barrier " << barrier_seconds
+     << " s (network share " << network_share * 100.0 << "%)\n";
+  for (std::size_t i = 0; i < kCritResCount; ++i) {
+    const double occ = span_seconds > 0.0 ? busy[i] / span_seconds : 0.0;
+    os << "  " << crit_resource_name(static_cast<int>(i)) << ": busy "
+       << busy[i] << " s, idle " << idle[i] << " s (occupancy "
+       << occ * 100.0 << "%)\n";
+  }
+  for (const CritChain& c : chains) {
+    os << "  chain x" << c.steps << " (" << c.seconds << " s): "
+       << c.signature << "\n";
+  }
+}
+
+}  // namespace swgmx::obs

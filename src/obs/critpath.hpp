@@ -1,0 +1,161 @@
+// Critical-path attribution for the performance observatory
+// (DESIGN.md §2.13).
+//
+// The overlap engine's StepGraph (md/taskgraph.hpp) schedules each step's
+// phases onto four resources (MPE, two CPE partitions, the interconnect) on
+// the simulated clock. This layer receives the resulting per-task spans —
+// start/finish/exposed/slack plus a critical flag — and the serial phase
+// charges that never enter a graph (update, constraints, energy all-reduce,
+// ...), and answers the question the raw timers cannot: *what bounds this
+// step, and what bounds the run?*
+//
+// Accounting invariants (checked by tests and the perf-gate benches):
+//   - span == sum of observed makespans + serial charges, i.e. exactly what
+//     the PhaseTimers total for the same run charges — the collector is fed
+//     by the same call sites.
+//   - per-resource busy + idle == span (idle is derived, busy never exceeds
+//     the span because same-resource work serializes).
+//   - category attribution (mpe / cpe / network / barrier) partitions the
+//     span: graph nodes contribute their *exposed* seconds (hidden
+//     communication vanishes, exactly as in StepGraph::charge), serial
+//     charges contribute whole.
+//
+// Layering: obs depends only on common. md::StepGraph converts its nodes
+// into obs::TaskSpan values (md -> obs is fine; obs never includes md); the
+// resource ids below mirror md::StepResource by contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swgmx::obs {
+
+// Resource ids, mirroring md::StepResource (static_asserted in taskgraph.cpp).
+inline constexpr int kCritResMpe = 0;
+inline constexpr int kCritResCpeA = 1;
+inline constexpr int kCritResCpeB = 2;
+inline constexpr int kCritResNet = 3;
+inline constexpr int kCritResCount = 4;
+
+/// Short display name of a resource ("mpe", "cpe", "cpe2", "net").
+[[nodiscard]] const char* crit_resource_name(int resource);
+
+/// Bound-by categories, fixed order: mpe_compute, cpe_compute, ldm_dma,
+/// network, barrier. The index doubles as the BENCH bound_by_code.
+inline constexpr int kCritCategoryCount = 5;
+[[nodiscard]] const char* crit_category_name(int category);
+
+/// One scheduled task of a step graph, on the simulated clock (seconds).
+struct TaskSpan {
+  std::string phase;      ///< Table 1 phase name
+  int resource = kCritResMpe;
+  double start = 0.0;     ///< absolute simulated seconds
+  double finish = 0.0;
+  double exposed = 0.0;   ///< seconds charged to this node by the priority
+                          ///< attribution (0 = fully hidden)
+  double slack = 0.0;     ///< seconds the node could slip without moving the
+                          ///< step's finish (0 on the critical path)
+  bool critical = false;  ///< member of the step's critical chain
+};
+
+/// One recurring critical chain: the sequence of slack-free phases that
+/// carried whole steps, aggregated over the run.
+struct CritChain {
+  std::string signature;   ///< "Force@cpe > Wait + comm. F@net > ..."
+  std::uint64_t steps = 0; ///< steps whose critical path matched
+  double seconds = 0.0;    ///< total span of those steps
+};
+
+/// Whole-run attribution summary. All seconds are simulated.
+struct CritPathReport {
+  double span_seconds = 0.0;  ///< total critical-path span (== timers total)
+  std::uint64_t steps = 0;    ///< steps classified
+  std::uint64_t graph_steps = 0;  ///< steps that ran through a StepGraph
+  std::array<double, kCritResCount> busy{};  ///< scheduled work per resource
+  std::array<double, kCritResCount> idle{};  ///< span - busy (by definition)
+  // Category attribution; the five sum to span_seconds (cpe split at report
+  // time by the run's aggregate kernel compute/memory cycle ratio).
+  double mpe_seconds = 0.0;
+  double cpe_compute_seconds = 0.0;
+  double cpe_ldm_dma_seconds = 0.0;
+  double network_seconds = 0.0;
+  double barrier_seconds = 0.0;
+  /// (network + barrier) / span — comparable to the benches' comm share.
+  double network_share = 0.0;
+  /// One of "mpe_compute", "cpe_compute", "ldm_dma", "network", "barrier".
+  std::string bound_by;
+  std::vector<CritChain> chains;  ///< top-k by seconds, k = 5
+
+  /// Stable machine form: sorted keys, max_digits10 numbers — byte-identical
+  /// across host thread counts for the same simulated run.
+  void write_json(std::ostream& os) const;
+  /// Human rendering (per-resource occupancy + bound-by + top chains).
+  void write_text(std::ostream& os) const;
+};
+
+/// Per-step classification counts land in MetricsRegistry::global() under
+/// these names (counters, one increment per classified step).
+[[nodiscard]] std::string crit_steps_bound_by_metric(std::string_view category);
+
+/// Process-wide span sink. Fed by md::Simulation / net::ParallelSim next to
+/// every PhaseTimers charge; drained by CritPathReport at bench end. Not
+/// thread-safe — all feeding happens from the sequential driver loop, like
+/// the MetricsRegistry.
+class CritPathCollector {
+ public:
+  /// Process-wide collector (never destroyed, safe from atexit hooks).
+  [[nodiscard]] static CritPathCollector& global();
+
+  /// Drop all accumulated state (benches call this between A/B runs).
+  void reset();
+
+  /// A phase charged serially (no graph): `seconds` on `resource`.
+  /// `barrier` marks synchronization waits (energy all-reduce, DLB
+  /// residual) that classify separately from real network transfers.
+  void add_serial(int resource, std::string_view phase, double seconds,
+                  bool barrier = false);
+
+  /// One step-graph's scheduled spans (md::StepGraph::spans()) plus its
+  /// makespan. Exposed seconds feed the category attribution; critical
+  /// spans extend the step's chain signature.
+  void observe_graph(const std::vector<TaskSpan>& spans,
+                     double makespan_seconds);
+
+  /// Close the current step: classify it (argmax of the step's category
+  /// seconds), bump the critpath/steps_bound_by/<cat> counter, emit one
+  /// trace counter sample, and fold the step's chain into the aggregate.
+  /// A step with no observations is ignored.
+  void end_step();
+
+  [[nodiscard]] CritPathReport report() const;
+
+  [[nodiscard]] double span_seconds() const { return span_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  struct ChainAgg {
+    std::uint64_t steps = 0;
+    double seconds = 0.0;
+  };
+
+  void note_chain(std::string_view phase, int resource);
+
+  // Run totals.
+  std::array<double, kCritResCount> busy_{};
+  double span_ = 0.0;
+  double mpe_ = 0.0, cpe_ = 0.0, net_ = 0.0, barrier_ = 0.0;
+  std::uint64_t steps_ = 0, graph_steps_ = 0;
+  std::map<std::string, ChainAgg> chains_;
+  // Current step.
+  double step_mpe_ = 0.0, step_cpe_ = 0.0, step_net_ = 0.0,
+         step_barrier_ = 0.0, step_span_ = 0.0;
+  bool step_graph_ = false;
+  std::string step_sig_;
+};
+
+}  // namespace swgmx::obs

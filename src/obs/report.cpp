@@ -1,0 +1,154 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "obs/critpath.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace swgmx::obs {
+
+namespace {
+
+struct KernelRaw {
+  double launches = 0.0;
+  double compute_cycles = 0.0;
+  double mem_cycles = 0.0;
+  double sim_seconds = 0.0;
+  double dma_bytes = 0.0;
+  double ldm_bytes = 0.0;
+  bool any_cycles = false;
+};
+
+}  // namespace
+
+PerfReport PerfReport::from_registry(const MetricsRegistry& reg,
+                                     RooflineMachine m) {
+  // kernel/<label>/<leaf>; the label itself contains '/' ("sr/force"), so
+  // split at the *last* separator.
+  std::map<std::string, KernelRaw> raw;
+  for (const MetricEntry& e : reg.entries()) {
+    if (e.name.rfind("kernel/", 0) != 0) continue;
+    const std::size_t cut = e.name.rfind('/');
+    if (cut <= 7) continue;
+    const std::string label = e.name.substr(7, cut - 7);
+    const std::string leaf = e.name.substr(cut + 1);
+    KernelRaw& k = raw[label];
+    if (leaf == "launches") {
+      k.launches = e.value;
+    } else if (leaf == "compute_cycles") {
+      k.compute_cycles = e.value;
+      k.any_cycles = true;
+    } else if (leaf == "mem_cycles") {
+      k.mem_cycles = e.value;
+      k.any_cycles = true;
+    } else if (leaf == "sim_seconds") {
+      k.sim_seconds = e.value;
+    } else if (leaf == "dma_bytes") {
+      k.dma_bytes = e.value;
+    } else if (leaf == "ldm_bytes") {
+      k.ldm_bytes = e.value;
+    }
+  }
+
+  PerfReport r;
+  r.machine = m;
+  for (const auto& [label, k] : raw) {
+    if (!k.any_cycles) continue;
+    KernelReport kr;
+    kr.label = label;
+    kr.launches = k.launches;
+    kr.compute_cycles = k.compute_cycles;
+    kr.mem_cycles = k.mem_cycles;
+    kr.sim_seconds = k.sim_seconds;
+    kr.dma_bytes = k.dma_bytes;
+    kr.ldm_bytes = k.ldm_bytes;
+    kr.intensity_cycles_per_byte =
+        k.dma_bytes > 0.0 ? k.compute_cycles / k.dma_bytes : 0.0;
+    const double cyc = k.compute_cycles + k.mem_cycles;
+    kr.mem_fraction = cyc > 0.0 ? k.mem_cycles / cyc : 0.0;
+    kr.ldm_occupancy = m.ldm_bytes > 0.0 ? k.ldm_bytes / m.ldm_bytes : 0.0;
+    kr.memory_bound = k.mem_cycles >= k.compute_cycles;
+    r.kernels.push_back(std::move(kr));
+  }
+  // std::map iteration is already label-sorted.
+  return r;
+}
+
+namespace {
+
+void machine_json(std::ostream& os, const RooflineMachine& m) {
+  os << "{\"freq_hz\":" << json_number(m.freq_hz)
+     << ",\"ldm_bytes\":" << json_number(m.ldm_bytes)
+     << ",\"peak_dma_bytes_per_s\":" << json_number(m.peak_dma_bytes_per_s)
+     << ",\"ridge_cycles_per_byte\":"
+     << json_number(m.ridge_cycles_per_byte()) << "}";
+}
+
+void kernels_json(std::ostream& os, const std::vector<KernelReport>& ks) {
+  os << "[";
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const KernelReport& k = ks[i];
+    if (i != 0) os << ",";
+    os << "{\"compute_cycles\":" << json_number(k.compute_cycles)
+       << ",\"dma_bytes\":" << json_number(k.dma_bytes)
+       << ",\"intensity_cycles_per_byte\":"
+       << json_number(k.intensity_cycles_per_byte)
+       << ",\"label\":\"" << json_escape(k.label) << "\""
+       << ",\"launches\":" << json_number(k.launches)
+       << ",\"ldm_bytes\":" << json_number(k.ldm_bytes)
+       << ",\"ldm_occupancy\":" << json_number(k.ldm_occupancy)
+       << ",\"mem_cycles\":" << json_number(k.mem_cycles)
+       << ",\"mem_fraction\":" << json_number(k.mem_fraction)
+       << ",\"memory_bound\":" << (k.memory_bound ? "true" : "false")
+       << ",\"sim_seconds\":" << json_number(k.sim_seconds) << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+void PerfReport::write_json(std::ostream& os) const {
+  os << "{\"kernels\":";
+  kernels_json(os, kernels);
+  os << ",\"machine\":";
+  machine_json(os, machine);
+  os << "}";
+}
+
+void PerfReport::write_text(std::ostream& os) const {
+  os << "roofline (ridge " << machine.ridge_cycles_per_byte()
+     << " cycles/B):\n";
+  for (const KernelReport& k : kernels) {
+    os << "  " << k.label << ": " << k.intensity_cycles_per_byte
+       << " cycles/B, mem fraction " << k.mem_fraction * 100.0
+       << "%, ldm " << k.ldm_occupancy * 100.0 << "% -> "
+       << (k.memory_bound ? "memory" : "compute") << " bound\n";
+  }
+}
+
+void write_report_json(std::ostream& os, const CritPathReport& cp,
+                       const PerfReport& pr) {
+  os << "{\"critpath\":";
+  cp.write_json(os);
+  os << ",\"kernels\":";
+  kernels_json(os, pr.kernels);
+  os << ",\"machine\":";
+  machine_json(os, pr.machine);
+  os << ",\"schema_version\":1}\n";
+}
+
+bool write_report_to_env() {
+  const char* rpath = std::getenv("SWGMX_REPORT");
+  if (rpath == nullptr || *rpath == '\0') return false;
+  std::ofstream os(rpath);
+  if (!os) return false;
+  write_report_json(os, CritPathCollector::global().report(),
+                    PerfReport::from_registry(MetricsRegistry::global()));
+  return os.good();
+}
+
+}  // namespace swgmx::obs

@@ -1,0 +1,83 @@
+// PerfReport: roofline / bound-by rendering for every instrumented kernel,
+// plus the combined SWGMX_REPORT artifact (DESIGN.md §2.13).
+//
+// Inputs are the always-on kernel metric families the core group records —
+// kernel/<label>/{launches,compute_cycles,mem_cycles,sim_seconds,dma_bytes}
+// — plus the kernel/<label>/ldm_bytes gauges the launch sites publish from
+// their active tune::TuneConfig. The roofline itself needs two machine
+// numbers (CPE clock, peak DMA bandwidth); they are plain doubles here with
+// SW26010 defaults so obs stays independent of sw/ and tune/ — callers with
+// a non-default SwConfig pass their own.
+//
+// Like write_flat for BENCH lines, this is the one renderer every bench
+// shares: benches emit per-kernel BENCH lines through it and the combined
+// JSON report goes to $SWGMX_REPORT (written by
+// bench::write_observability_artifacts() and the process-exit hook).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swgmx::obs {
+
+class MetricsRegistry;
+struct CritPathReport;
+
+/// Machine parameters of the roofline (SW26010 core-group defaults: 1.45 GHz
+/// CPEs, 30.48 GB/s peak DMA at 2 KB packages, 64 KB LDM per CPE).
+struct RooflineMachine {
+  double freq_hz = 1.45e9;
+  double peak_dma_bytes_per_s = 30.48e9;
+  double ldm_bytes = 64.0 * 1024.0;
+  /// Arithmetic intensity (cycles/byte) where the roofline's compute and
+  /// memory ceilings cross: kernels below it are DMA-bound at peak.
+  [[nodiscard]] double ridge_cycles_per_byte() const {
+    return freq_hz / peak_dma_bytes_per_s;
+  }
+};
+
+/// Roofline placement of one kernel label.
+struct KernelReport {
+  std::string label;  ///< "sr/force", "pme/spread", ...
+  double launches = 0.0;
+  double compute_cycles = 0.0;
+  double mem_cycles = 0.0;  ///< DMA + gld/gst cycles (cost-model charge)
+  double sim_seconds = 0.0;
+  double dma_bytes = 0.0;
+  double ldm_bytes = 0.0;  ///< LDM working set of the launch config (gauge)
+  /// compute_cycles / dma_bytes; compare against the machine ridge.
+  double intensity_cycles_per_byte = 0.0;
+  /// mem_cycles / (compute_cycles + mem_cycles): where the modeled time
+  /// actually went, independent of the peak-bandwidth assumption.
+  double mem_fraction = 0.0;
+  double ldm_occupancy = 0.0;  ///< ldm_bytes / machine LDM
+  bool memory_bound = false;   ///< mem_cycles >= compute_cycles
+};
+
+struct PerfReport {
+  RooflineMachine machine;
+  std::vector<KernelReport> kernels;  ///< label-sorted
+
+  /// Build from the registry's kernel/<label>/* families. Labels without a
+  /// *cycle* counter (never launched) are skipped.
+  [[nodiscard]] static PerfReport from_registry(const MetricsRegistry& reg,
+                                               RooflineMachine m = {});
+
+  /// Sorted-key JSON ({"kernels":[...],"machine":{...}}), byte-stable.
+  void write_json(std::ostream& os) const;
+  /// Human rendering: one roofline row per kernel.
+  void write_text(std::ostream& os) const;
+};
+
+/// The combined observatory artifact: {"critpath":...,"kernels":...,
+/// "machine":...,"schema_version":1}, sorted keys throughout.
+void write_report_json(std::ostream& os, const CritPathReport& cp,
+                       const PerfReport& pr);
+
+/// Write the combined report for the process-global collector/registry to
+/// $SWGMX_REPORT. False when the variable is unset/empty or the open fails.
+/// Safe to call repeatedly (benches and the exit hook both call it).
+bool write_report_to_env();
+
+}  // namespace swgmx::obs

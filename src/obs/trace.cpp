@@ -7,13 +7,15 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace swgmx::obs {
 
 namespace {
 
-/// Process-exit exporter: writes SWGMX_TRACE and SWGMX_METRICS files even
-/// when the driver never calls bench::write_observability_artifacts().
+/// Process-exit exporter: writes SWGMX_TRACE, SWGMX_METRICS and SWGMX_REPORT
+/// files even when the driver never calls
+/// bench::write_observability_artifacts().
 void export_at_exit() {
   TraceSession::global().export_to_path();
   if (const char* mpath = std::getenv("SWGMX_METRICS");
@@ -24,6 +26,7 @@ void export_at_exit() {
       os << '\n';
     }
   }
+  write_report_to_env();
 }
 
 }  // namespace
@@ -91,9 +94,14 @@ void TraceSession::push(int pid, int tid, Event ev) {
   if (t.ring.size() < cap_) {
     t.ring.push_back(std::move(ev));
   } else {
+    if (t.dropped == 0) t.first_drop_ts_ns = t.ring[t.pushed % cap_].ts_ns;
     t.ring[t.pushed % cap_] = std::move(ev);
+    ++t.dropped;
     ++dropped_;
     MetricsRegistry::global().counter_add("trace/dropped_events");
+    MetricsRegistry::global().counter_add("trace/dropped_events/p" +
+                                          std::to_string(pid) + "/t" +
+                                          std::to_string(tid));
   }
   ++t.pushed;
 }
@@ -125,6 +133,13 @@ void TraceSession::flow_end(int pid, int tid, std::string_view name,
   push(pid, tid, Event{'f', ts_ns, 0.0, flow_id, std::string(name), {}});
 }
 
+void TraceSession::counter(int pid, int tid, std::string_view name,
+                           double ts_ns, std::string args_json) {
+  if (!enabled_) return;
+  push(pid, tid,
+       Event{'C', ts_ns, 0.0, 0, std::string(name), std::move(args_json)});
+}
+
 void TraceSession::export_json(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -150,6 +165,18 @@ void TraceSession::export_json(std::ostream& os) const {
     const int pid = static_cast<int>(key >> 32);
     const int tid = static_cast<int>(key & 0xFFFFFFFF);
     const std::size_t n = track.ring.size();
+    // A track that overflowed its ring announces the loss where it began:
+    // one synthesized instant at the first dropped event's position,
+    // outside the ring (so the marker itself can never be dropped).
+    if (track.dropped > 0) {
+      sep();
+      os << "{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":";
+      json_number(os, track.first_drop_ts_ns / 1000.0);
+      os << ",\"s\":\"t\",\"cat\":\"sim\",\"name\":\"trace_ring_overflow\""
+         << ",\"args\":{\"dropped\":" << track.dropped
+         << ",\"ring\":" << cap_ << "}}";
+    }
     // Ring order: oldest surviving event first.
     const std::size_t head = track.pushed > cap_ ? track.pushed % cap_ : 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -172,6 +199,9 @@ void TraceSession::export_json(std::ostream& os) const {
           break;
         case 'f':
           os << ",\"cat\":\"flow\",\"bp\":\"e\",\"id\":" << e.flow_id;
+          break;
+        case 'C':
+          os << ",\"cat\":\"sim\"";
           break;
         default: break;
       }

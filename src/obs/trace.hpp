@@ -144,11 +144,21 @@ class TraceSession {
                   std::uint64_t flow_id);
   void flow_end(int pid, int tid, std::string_view name, double ts_ns,
                 std::uint64_t flow_id);
+  /// Counter sample ('C'): `args_json` holds the series values, e.g.
+  /// {"mpe":0.1,"net":0.2}. Perfetto renders each track as stacked series.
+  void counter(int pid, int tid, std::string_view name, double ts_ns,
+               std::string args_json);
   /// Fresh id linking one flow_start to its flow_end(s).
   [[nodiscard]] std::uint64_t next_flow_id() { return ++flow_ids_; }
 
-  /// Events dropped so far to ring-buffer bounds (also mirrored to the
-  /// "trace/dropped_events" counter in MetricsRegistry::global()).
+  /// Events dropped so far to ring-buffer bounds, all tracks. Also mirrored
+  /// to MetricsRegistry::global(): the "trace/dropped_events" total plus a
+  /// "trace/dropped_events/p<pid>/t<tid>" counter per overflowing track, so
+  /// a drop is attributable without replaying the run. The exporter
+  /// additionally synthesizes one "trace_ring_overflow" instant per
+  /// overflowing track (at the first dropped event's position, outside the
+  /// ring so it cannot itself be dropped) — silent loss was satellite bug
+  /// #1 of ISSUE 9.
   [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
 
   // --- export ---
@@ -163,7 +173,7 @@ class TraceSession {
   TraceSession();
 
   struct Event {
-    char ph;  ///< 'X' complete, 'i' instant, 's' flow start, 'f' flow end
+    char ph;  ///< 'X' complete, 'i' instant, 's'/'f' flow, 'C' counter
     double ts_ns = 0.0;
     double dur_ns = 0.0;
     std::uint64_t flow_id = 0;
@@ -173,6 +183,8 @@ class TraceSession {
   struct Track {
     std::vector<Event> ring;
     std::uint64_t pushed = 0;
+    std::uint64_t dropped = 0;       ///< ring overwrites on this track
+    double first_drop_ts_ns = 0.0;   ///< ts of the first overwritten event
   };
 
   void push(int pid, int tid, Event ev);

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "md/cost.hpp"
 #include "md/units.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace swgmx::pme {
@@ -186,6 +187,9 @@ void PmeCpeDriver::run_spread() {
   };
   const sw::KernelStats st =
       cg_.run(kernel, 0.5, "pme/spread");
+  obs::MetricsRegistry::global().gauge_set(
+      "kernel/pme/spread/ldm_bytes",
+      static_cast<double>(tune::spread_ldm_bytes(tune_, nz)));
   breakdown_.spread_s = st.sim_seconds;
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;
@@ -462,6 +466,9 @@ void PmeCpeDriver::run_gather(const md::System& sys, const fft::Grid3D& grid) {
   };
   const sw::KernelStats st =
       cg_.run(kernel, 0.5, "pme/gather");
+  obs::MetricsRegistry::global().gauge_set(
+      "kernel/pme/gather/ldm_bytes",
+      static_cast<double>(tune::gather_ldm_bytes(tune_, opt_.grid_z)));
   breakdown_.gather_s = st.sim_seconds;
   breakdown_.dma_bytes += st.total.dma_bytes;
   breakdown_.dma_transfers += st.total.dma_transfers;

@@ -159,6 +159,86 @@ TEST(Histogram, SingleValueQuantiles) {
   EXPECT_DOUBLE_EQ(h.p99(), 1.5);
 }
 
+TEST(Histogram, MergeIntoDefaultAdoptsLayout) {
+  Histogram src({1.0, 10.0});
+  src.observe(0.5);
+  src.observe(5.0);
+  src.observe(50.0);
+  Histogram dst;  // default-constructed: no layout yet
+  dst.merge(src);
+  ASSERT_EQ(dst.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(dst.bounds()[1], 10.0);
+  EXPECT_EQ(dst.count(), 3u);
+  EXPECT_DOUBLE_EQ(dst.sum(), 55.5);
+  EXPECT_DOUBLE_EQ(dst.min(), 0.5);
+  EXPECT_DOUBLE_EQ(dst.max(), 50.0);
+  EXPECT_EQ(dst.buckets(), src.buckets());
+  // The adopted layout keeps observing correctly.
+  dst.observe(2.0);
+  EXPECT_EQ(dst.buckets()[1], 2u);  // (1, 10] now holds 5.0 and 2.0
+}
+
+TEST(Histogram, MergeOfEmptyIsANoOp) {
+  Histogram h({1.0, 2.0});
+  h.observe(1.5);
+  // An empty histogram with a matching layout contributes nothing — in
+  // particular it must not drag min/max toward 0.
+  h.merge(Histogram({1.0, 2.0}));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+  // Default-constructed source: also a no-op, layout unchanged.
+  h.merge(Histogram());
+  EXPECT_EQ(h.count(), 1u);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  // Both directions empty: still empty, adopts nothing weird.
+  Histogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.p99(), 0.0);
+}
+
+TEST(Histogram, ResetKeepsLayoutAndRecordsAgain) {
+  Histogram h = Histogram::exponential(1.0, 2.0, 4);
+  for (const double x : {0.5, 3.0, 100.0}) h.observe(x);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  ASSERT_EQ(h.bounds().size(), 4u);
+  for (const std::uint64_t c : h.buckets()) EXPECT_EQ(c, 0u);
+  // Fresh observations after reset: no ghosts of the old min/max.
+  h.observe(6.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 6.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 6.0);
+}
+
+TEST(Histogram, QuantilesAfterMergeMatchSingleHistogram) {
+  // Two shards of the same stream merged == one histogram fed everything:
+  // quantiles, moments and buckets are identical, so rollups are lossless.
+  Histogram whole = Histogram::exponential(1.0, 2.0, 10);
+  Histogram shard_a = Histogram::exponential(1.0, 2.0, 10);
+  Histogram shard_b = Histogram::exponential(1.0, 2.0, 10);
+  for (int i = 1; i <= 200; ++i) {
+    const double x = static_cast<double>(i);
+    whole.observe(x);
+    (i % 2 == 0 ? shard_a : shard_b).observe(x);
+  }
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(shard_a.sum(), whole.sum());
+  EXPECT_EQ(shard_a.buckets(), whole.buckets());
+  EXPECT_DOUBLE_EQ(shard_a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(shard_a.max(), whole.max());
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(shard_a.quantile(q), whole.quantile(q)) << q;
+  }
+}
+
 TEST(Table, PrintsAlignedRows) {
   Table t({"name", "value"});
   t.add_row({"alpha", Table::num(1.2345, 2)});

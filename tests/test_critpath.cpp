@@ -1,0 +1,282 @@
+// Performance observatory (DESIGN.md §2.13): StepGraph span extraction
+// (slack + critical chain), the CritPathCollector accounting invariants on
+// real runs, the roofline PerfReport, and the combined report artifact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "core/pairlist_cpe.hpp"
+#include "core/strategies.hpp"
+#include "md/simulation.hpp"
+#include "md/taskgraph.hpp"
+#include "net/parallel_sim.hpp"
+#include "obs/critpath.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "testutil.hpp"
+
+namespace swgmx {
+namespace {
+
+using obs::CritPathCollector;
+using obs::CritPathReport;
+using obs::TaskSpan;
+
+struct Rig {
+  sw::CoreGroup cg;
+  std::unique_ptr<md::ShortRangeBackend> sr;
+  std::unique_ptr<md::PairListBackend> pl;
+  explicit Rig(core::Strategy s = core::Strategy::Mark) {
+    sr = core::make_short_range(s, cg);
+    pl = std::make_unique<core::CpePairList>(cg);
+  }
+};
+
+/// RAII: clean global collector for a test, clean again afterwards so the
+/// suite order doesn't matter.
+struct CollectorGuard {
+  CollectorGuard() { CritPathCollector::global().reset(); }
+  ~CollectorGuard() { CritPathCollector::global().reset(); }
+};
+
+const TaskSpan* find_span(const std::vector<TaskSpan>& spans,
+                          const std::string& phase) {
+  for (const TaskSpan& s : spans) {
+    if (s.phase == phase) return &s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// StepGraph::spans(): slack + critical chain on a hand-built diamond.
+
+TEST(StepGraphSpans, SlackAndCriticalChainOnDiamond) {
+  // A(mpe,1) -> {B(cpe,3), C(net,1)} -> D(mpe,0.5): the B arm carries the
+  // step, C has 2 s of slack.
+  md::StepGraph g(0.0);
+  const int a = g.add("A", md::kResMpe, 1.0);
+  const int b = g.add("B", md::kResCpeA, 3.0, {a});
+  const int c = g.add("C", md::kResNet, 1.0, {a});
+  g.add("D", md::kResMpe, 0.5, {b, c});
+  EXPECT_DOUBLE_EQ(g.end_seconds(), 4.5);
+
+  const std::vector<TaskSpan> spans = g.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (const char* ph : {"A", "B", "D"}) {
+    const TaskSpan* s = find_span(spans, ph);
+    ASSERT_NE(s, nullptr) << ph;
+    EXPECT_TRUE(s->critical) << ph;
+    EXPECT_DOUBLE_EQ(s->slack, 0.0) << ph;
+  }
+  const TaskSpan* sc = find_span(spans, "C");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_FALSE(sc->critical);
+  EXPECT_DOUBLE_EQ(sc->slack, 2.0);
+
+  // Exposed seconds partition the makespan.
+  double exposed = 0.0;
+  for (const TaskSpan& s : spans) exposed += s.exposed;
+  EXPECT_NEAR(exposed, g.makespan(), 1e-12);
+}
+
+TEST(StepGraphSpans, SerializedGraphIsOneChain) {
+  md::StepGraph g(2.0, /*serialize=*/true);
+  g.add("A", md::kResMpe, 1.0);
+  g.add("B", md::kResNet, 1.0);  // no declared dep: serialize chains it
+  g.add("C", md::kResCpeA, 1.0);
+  const std::vector<TaskSpan> spans = g.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const TaskSpan& s : spans) {
+    EXPECT_TRUE(s.critical) << s.phase;
+    EXPECT_DOUBLE_EQ(s.slack, 0.0) << s.phase;
+    EXPECT_DOUBLE_EQ(s.exposed, 1.0) << s.phase;
+  }
+  EXPECT_DOUBLE_EQ(spans[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(spans[2].finish, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Collector mechanics.
+
+TEST(CritPathCollector, SerialAndGraphChargesPartitionTheSpan) {
+  CollectorGuard guard;
+  CritPathCollector& col = CritPathCollector::global();
+  col.add_serial(obs::kCritResMpe, "Update", 1.0);
+  col.add_serial(obs::kCritResNet, "Comm. energies", 0.5, /*barrier=*/true);
+  col.add_serial(obs::kCritResNet, "Wait + comm. F", 0.25);
+
+  md::StepGraph g(0.0);
+  const int f = g.add("Force", md::kResCpeA, 2.0);
+  g.add("Wait + comm. F", md::kResNet, 0.5, {f});
+  col.observe_graph(g.spans(), g.makespan());
+  col.end_step();
+
+  const CritPathReport r = col.report();
+  EXPECT_EQ(r.steps, 1u);
+  EXPECT_EQ(r.graph_steps, 1u);
+  EXPECT_DOUBLE_EQ(r.span_seconds, 1.0 + 0.5 + 0.25 + 2.5);
+  // Categories partition the span.
+  EXPECT_NEAR(r.mpe_seconds + r.cpe_compute_seconds + r.cpe_ldm_dma_seconds +
+                  r.network_seconds + r.barrier_seconds,
+              r.span_seconds, 1e-12);
+  EXPECT_DOUBLE_EQ(r.barrier_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(r.network_seconds, 0.25 + 0.5);
+  // Occupancy identity per resource.
+  for (std::size_t i = 0; i < obs::kCritResCount; ++i) {
+    EXPECT_NEAR(r.busy[i] + r.idle[i], r.span_seconds, 1e-12);
+    EXPECT_LE(r.busy[i], r.span_seconds + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(r.network_share,
+                   (r.network_seconds + r.barrier_seconds) / r.span_seconds);
+  // The dominant category here is the CPE force work.
+  EXPECT_TRUE(r.bound_by == "cpe_compute" || r.bound_by == "ldm_dma")
+      << r.bound_by;
+  // One chain, carrying the whole step.
+  ASSERT_FALSE(r.chains.empty());
+  EXPECT_EQ(r.chains[0].steps, 1u);
+  EXPECT_NE(r.chains[0].signature.find("Force@cpe"), std::string::npos);
+}
+
+TEST(CritPathCollector, EndStepClassifiesAndCountsSteps) {
+  CollectorGuard guard;
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  const double before_net = mx.value(obs::crit_steps_bound_by_metric("network"));
+  const double before_mpe = mx.value(obs::crit_steps_bound_by_metric("mpe"));
+
+  CritPathCollector& col = CritPathCollector::global();
+  col.add_serial(obs::kCritResNet, "Wait + comm. F", 2.0);
+  col.add_serial(obs::kCritResMpe, "Update", 0.5);
+  col.end_step();
+  col.add_serial(obs::kCritResMpe, "Update", 1.0);
+  col.end_step();
+  col.end_step();  // empty step: ignored
+
+  EXPECT_EQ(col.steps(), 2u);
+  EXPECT_EQ(mx.value(obs::crit_steps_bound_by_metric("network")),
+            before_net + 1.0);
+  EXPECT_EQ(mx.value(obs::crit_steps_bound_by_metric("mpe")), before_mpe + 1.0);
+}
+
+TEST(CritPathCollector, TraceCounterTrackEmitted) {
+  CollectorGuard guard;
+  obs::TraceSession::global().start("", 0);
+  CritPathCollector& col = CritPathCollector::global();
+  col.add_serial(obs::kCritResMpe, "Update", 1.0);
+  col.end_step();
+  const std::string js = obs::TraceSession::global().export_json();
+  obs::TraceSession::global().stop();
+  EXPECT_NE(js.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(js.find("\"bound_by_seconds\""), std::string::npos);
+  EXPECT_NE(js.find("\"critpath\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Real runs: the collector agrees with the phase timers.
+
+TEST(CritPathEndToEnd, SimulationSpanMatchesTimersAndIsDeterministic) {
+  auto run_once = [] {
+    CritPathCollector::global().reset();
+    // The cpe compute/ldm split uses the run's cumulative kernel cycle
+    // counters; start both runs from the same (empty) registry so the
+    // reports can be compared byte for byte.
+    obs::MetricsRegistry::global().clear();
+    Rig rig;
+    md::SimOptions opt;
+    md::Simulation sim(test::small_water(60), opt, *rig.sr, *rig.pl);
+    sim.run(8);
+    const CritPathReport r = CritPathCollector::global().report();
+    EXPECT_NEAR(r.span_seconds, sim.timers().total(),
+                1e-9 * sim.timers().total());
+    EXPECT_EQ(r.steps, 8u);
+    std::ostringstream os;
+    r.write_json(os);
+    return os.str();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b) << "critpath report must be deterministic";
+  EXPECT_NE(a.find("\"bound_by\""), std::string::npos);
+  CritPathCollector::global().reset();
+}
+
+TEST(CritPathEndToEnd, ParallelNetworkShareMatchesCommShare) {
+  for (const bool overlap : {false, true}) {
+    test::OverlapGuard og(overlap);
+    CritPathCollector::global().reset();
+    Rig rig;
+    net::ParallelOptions o;
+    o.nranks = 4;
+    o.sim.nstenergy = 5;
+    o.sim.overlap = overlap;
+    net::ParallelSim sim(test::small_water(100), o, *rig.sr, *rig.pl);
+    sim.run(10);
+    const CritPathReport r = CritPathCollector::global().report();
+    const auto& t = sim.timers();
+    const double comm_share =
+        (t.get(md::phase::kCommEnergies) + t.get(md::phase::kWaitCommF)) /
+        t.total();
+    EXPECT_NEAR(r.span_seconds, t.total(), 1e-9 * t.total()) << overlap;
+    EXPECT_NEAR(r.network_share, comm_share, 1e-9) << overlap;
+    for (std::size_t i = 0; i < obs::kCritResCount; ++i) {
+      EXPECT_NEAR(r.busy[i] + r.idle[i], r.span_seconds,
+                  1e-9 * r.span_seconds);
+    }
+    if (overlap) EXPECT_GT(r.graph_steps, 0u);
+  }
+  CritPathCollector::global().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Roofline PerfReport.
+
+TEST(PerfReportTest, FromFakeRegistryComputesRooflinePlacement) {
+  obs::MetricsRegistry reg;
+  reg.counter_add("kernel/sr/force/launches", 2.0);
+  reg.counter_add("kernel/sr/force/compute_cycles", 100.0);
+  reg.counter_add("kernel/sr/force/mem_cycles", 300.0);
+  reg.counter_add("kernel/sr/force/sim_seconds", 0.1);
+  reg.counter_add("kernel/sr/force/dma_bytes", 50.0);
+  reg.gauge_set("kernel/sr/force/ldm_bytes", 32.0 * 1024.0);
+  // A label with no cycle counters never launched: skipped.
+  reg.counter_add("kernel/ghost/launches", 1.0);
+  // Non-kernel names are ignored.
+  reg.counter_add("sim/steps", 7.0);
+
+  const obs::PerfReport pr = obs::PerfReport::from_registry(reg);
+  ASSERT_EQ(pr.kernels.size(), 1u);
+  const obs::KernelReport& k = pr.kernels[0];
+  EXPECT_EQ(k.label, "sr/force");
+  EXPECT_DOUBLE_EQ(k.launches, 2.0);
+  EXPECT_DOUBLE_EQ(k.intensity_cycles_per_byte, 100.0 / 50.0);
+  EXPECT_DOUBLE_EQ(k.mem_fraction, 300.0 / 400.0);
+  EXPECT_TRUE(k.memory_bound);
+  EXPECT_DOUBLE_EQ(k.ldm_occupancy, 0.5);
+  EXPECT_DOUBLE_EQ(pr.machine.ridge_cycles_per_byte(), 1.45e9 / 30.48e9);
+
+  std::ostringstream os;
+  pr.write_json(os);
+  const std::string js = os.str();
+  EXPECT_NE(js.find("\"kernels\":["), std::string::npos);
+  EXPECT_NE(js.find("\"machine\":{"), std::string::npos);
+  EXPECT_NE(js.find("\"sr/force\""), std::string::npos);
+}
+
+TEST(PerfReportTest, CombinedArtifactCarriesSchemaVersion) {
+  CollectorGuard guard;
+  CritPathCollector& col = CritPathCollector::global();
+  col.add_serial(obs::kCritResMpe, "Update", 1.0);
+  col.end_step();
+  obs::MetricsRegistry reg;
+  std::ostringstream os;
+  obs::write_report_json(os, col.report(), obs::PerfReport::from_registry(reg));
+  const std::string js = os.str();
+  EXPECT_NE(js.find("\"critpath\":{"), std::string::npos);
+  EXPECT_NE(js.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_EQ(js.back(), '\n');
+}
+
+}  // namespace
+}  // namespace swgmx

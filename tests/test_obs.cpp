@@ -137,6 +137,41 @@ TEST(Metrics, WriteFlatKeepsInsertionOrderAndEscapes) {
   EXPECT_EQ(os.str(), "\"b_first\":1,\"a_second\":2,\"quo\\\"ted\":3");
 }
 
+TEST(Metrics, MergeFromStripsAndPrefixesWithoutCollisions) {
+  MetricsRegistry src;
+  src.counter_add("job/steps", 3.0);
+  src.gauge_set("job/depth", 2.0);
+  src.histogram("job/lat", Histogram::exponential(1.0, 2.0, 3)).observe(2.0);
+  src.counter_add("other/steps", 9.0);  // outside the strip prefix: skipped
+
+  MetricsRegistry dst;
+  dst.counter_add("svc/a/steps", 1.0);  // pre-existing: counters add
+  dst.gauge_set("svc/a/depth", 7.0);    // pre-existing: gauges overwritten
+  dst.merge_from(src, "job/", "svc/a/");
+  EXPECT_DOUBLE_EQ(dst.value("svc/a/steps"), 4.0);
+  EXPECT_DOUBLE_EQ(dst.value("svc/a/depth"), 2.0);
+  EXPECT_DOUBLE_EQ(dst.value("svc/a/other/steps"), 0.0);
+  EXPECT_DOUBLE_EQ(dst.value("other/steps"), 0.0);
+  const obs::MetricEntry* h = dst.find("svc/a/lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hist.count(), 1u);
+
+  // The same source rolls up under a second namespace independently: the
+  // rewritten names never collide across roll-ups.
+  dst.merge_from(src, "job/", "tenant/");
+  EXPECT_DOUBLE_EQ(dst.value("tenant/steps"), 3.0);
+  EXPECT_DOUBLE_EQ(dst.value("svc/a/steps"), 4.0);
+
+  // A strip prefix that is itself a prefix of another entry's name must not
+  // capture it: "job/" strips "job/steps" but never "jobx/steps".
+  MetricsRegistry tricky;
+  tricky.counter_add("jobx/steps", 5.0);
+  MetricsRegistry out;
+  out.merge_from(tricky, "job/", "ns/");
+  EXPECT_DOUBLE_EQ(out.value("ns/x/steps"), 0.0);
+  EXPECT_DOUBLE_EQ(out.value("nsx/steps"), 0.0);
+}
+
 TEST(Bench, BenchJsonRendersThroughRegistry) {
   std::ostringstream os;
   bench::bench_json("fig10/case \"1\"", {{"sim_seconds", 0.1}}, os);
@@ -146,6 +181,28 @@ TEST(Bench, BenchJsonRendersThroughRegistry) {
   EXPECT_NE(line.find("\"host_threads\":"), std::string::npos);
   EXPECT_NE(line.find("\"sim_seconds\":0.10000000000000001"), std::string::npos);
   EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(Bench, BenchJsonSortsKeysAndStampsSchemaVersion) {
+  std::ostringstream os;
+  // Keys deliberately out of order; one collides with the injected
+  // host_threads (caller wins).
+  bench::bench_json("sorted",
+                    {{"zeta", 1.0}, {"alpha", 2.0}, {"host_threads", 42.0}},
+                    os);
+  const std::string line = os.str();
+  const std::size_t alpha = line.find("\"alpha\":2");
+  const std::size_t host = line.find("\"host_threads\":42");
+  const std::size_t schema = line.find("\"schema_version\":1");
+  const std::size_t zeta = line.find("\"zeta\":1");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(host, std::string::npos);
+  ASSERT_NE(schema, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  // Deterministically sorted after the name, independent of argument order.
+  EXPECT_LT(alpha, host);
+  EXPECT_LT(host, schema);
+  EXPECT_LT(schema, zeta);
 }
 
 // ---------------------------------------------------------------------------
@@ -208,6 +265,46 @@ TEST(Trace, RingBoundsEachTrackAndCountsDrops) {
   EXPECT_NE(js.find("\"e6\""), std::string::npos);
   EXPECT_NE(js.find("\"e9\""), std::string::npos);
   EXPECT_GE(MetricsRegistry::global().value("trace/dropped_events"), 6.0);
+}
+
+TEST(Trace, OverflowCountsPerTrackAndSynthesizesInstant) {
+  MetricsRegistry& mx = MetricsRegistry::global();
+  const double before_total = mx.value("trace/dropped_events");
+  const double before_track = mx.value("trace/dropped_events/p1/t0");
+  const double before_clean = mx.value("trace/dropped_events/p1/t1");
+  TraceGuard guard(/*ring=*/4);
+  TraceSession& tr = TraceSession::global();
+  for (int i = 0; i < 10; ++i)
+    tr.instant(obs::kPidSim, obs::kTidMpe, "e" + std::to_string(i),
+               static_cast<double>(i) * 1000.0);
+  // A second, non-overflowing track stays clean.
+  tr.instant(obs::kPidSim, obs::cpe_tid(0), "ok", 0.0);
+  EXPECT_DOUBLE_EQ(mx.value("trace/dropped_events"), before_total + 6.0);
+  EXPECT_DOUBLE_EQ(mx.value("trace/dropped_events/p1/t0"), before_track + 6.0);
+  EXPECT_DOUBLE_EQ(mx.value("trace/dropped_events/p1/t1"), before_clean);
+
+  const std::string js = tr.export_json();
+  // The overflow marker instant carries the drop count and ring size, and
+  // is pinned at the first overwritten event's timestamp (e0: ts 1 us).
+  const std::size_t pos = js.find("\"trace_ring_overflow\"");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(js.find("\"args\":{\"dropped\":6,\"ring\":4}"), std::string::npos);
+  EXPECT_NE(js.find("\"ts\":0,\"s\":\"t\",\"cat\":\"sim\","
+                    "\"name\":\"trace_ring_overflow\""),
+            std::string::npos);
+  // Only the overflowing track gets a marker.
+  EXPECT_EQ(js.find("\"trace_ring_overflow\"", pos + 1), std::string::npos);
+}
+
+TEST(Trace, CounterEventsExportAsStackedSeries) {
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  tr.counter(obs::kPidSim, 65, "bound_by_seconds", 2000.0,
+             "{\"mpe\":0.25,\"net\":0.5}");
+  const std::string js = tr.export_json();
+  EXPECT_NE(js.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(js.find("\"bound_by_seconds\""), std::string::npos);
+  EXPECT_NE(js.find("\"args\":{\"mpe\":0.25,\"net\":0.5}"), std::string::npos);
 }
 
 TEST(Trace, MpePhaseSpanLeafAndComposite) {

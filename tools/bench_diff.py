@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Compare two BENCH result files and fail on regressions.
+
+The benches print one machine-readable line per result:
+
+    BENCH {"name":"fig8/48000/SW(Mark)","host_threads":8,"schema_version":1,
+           "sim_seconds":...,"wall_seconds":...}
+
+CI strips the "BENCH " prefix into a JSON-lines file (one object per line,
+keyed by "name"). This tool diffs such a file against a checked-in baseline
+(bench/baselines/*.json) with per-metric tolerance classes:
+
+  exact          every metric not listed below. The simulated clock is
+                 deterministic, so sim_seconds, speedups, cycle counts and
+                 attribution shares must match the baseline bit for bit.
+  ratio window   keys containing "wall" (host wall clock): machine-dependent,
+                 so the candidate only fails when it leaves
+                 [baseline/W, baseline*W] (W = --wall-window, default 100 —
+                 a hang detector, not a perf gate; tighten on a quiet host).
+  ignored        host_threads (attribution of wall numbers, not a result).
+  schema         schema_version must match exactly; a mismatch means the
+                 BENCH format changed — regenerate the baselines
+                 (see README "Bench-regression sentinel") instead of chasing
+                 per-metric diffs.
+
+Names/metrics present in the baseline but missing from the candidate fail;
+extra names/metrics in the candidate warn (--strict turns them into
+failures) so adding a bench doesn't break the gate before the baseline is
+refreshed.
+
+Exit codes:
+  0  no regressions (warnings allowed unless --strict)
+  1  at least one regression / mismatch
+  2  usage error (unreadable file, malformed JSON line, bad arguments)
+
+Stdlib only; python3 tools/bench_diff.py --selftest exercises the tool on a
+built-in baseline + perturbed candidate and exits non-zero if a perturbation
+ever slips through.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_KEY = "schema_version"
+IGNORED_KEYS = {"host_threads"}
+
+
+def is_wall_key(key):
+    return "wall" in key
+
+
+def load_bench_lines(path):
+    """Parse a JSON-lines BENCH file into {name: {metric: value}}."""
+    results = {}
+    warnings = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("BENCH "):  # accept raw bench logs too
+            line = line[len("BENCH "):]
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"bench_diff: {path}:{lineno}: malformed JSON: {e}")
+        if not isinstance(obj, dict) or "name" not in obj:
+            raise SystemExit(
+                f"bench_diff: {path}:{lineno}: BENCH object without a name")
+        name = obj["name"]
+        if name in results:
+            warnings.append(f"{path}: duplicate name {name!r} (last wins)")
+        results[name] = {
+            k: v for k, v in obj.items() if k != "name"
+        }
+    return results, warnings
+
+
+def compare_metric(name, key, base, cand, wall_window):
+    """Return an error string, or None when the metric passes."""
+    if not isinstance(base, (int, float)) or not isinstance(cand, (int, float)):
+        if base != cand:
+            return f"{name}: {key}: baseline {base!r} != candidate {cand!r}"
+        return None
+    if key == SCHEMA_KEY:
+        if base != cand:
+            return (f"{name}: {SCHEMA_KEY} {base} -> {cand}: BENCH format "
+                    f"changed; regenerate bench/baselines/ (see README)")
+        return None
+    if is_wall_key(key):
+        if wall_window <= 0:
+            return None
+        if base <= 0 or cand <= 0:
+            return None  # wall clock can degenerate to 0 on trivial runs
+        ratio = cand / base
+        if ratio > wall_window or ratio < 1.0 / wall_window:
+            return (f"{name}: {key}: wall-clock ratio {ratio:.2f} outside "
+                    f"[1/{wall_window:g}, {wall_window:g}] "
+                    f"({base:g} -> {cand:g})")
+        return None
+    if isinstance(base, float) or isinstance(cand, float):
+        same = (base == cand) or (math.isnan(base) and math.isnan(cand))
+    else:
+        same = base == cand
+    if not same:
+        return f"{name}: {key}: baseline {base!r} != candidate {cand!r} (exact)"
+    return None
+
+
+def diff(baseline, candidate, wall_window=100.0):
+    """Compare parsed result dicts; returns (errors, warnings)."""
+    errors = []
+    warnings = []
+    for name, base_metrics in sorted(baseline.items()):
+        if name not in candidate:
+            errors.append(f"{name}: missing from candidate")
+            continue
+        cand_metrics = candidate[name]
+        for key, base_val in sorted(base_metrics.items()):
+            if key in IGNORED_KEYS:
+                continue
+            if key not in cand_metrics:
+                errors.append(f"{name}: metric {key} missing from candidate")
+                continue
+            err = compare_metric(name, key, base_val, cand_metrics[key],
+                                 wall_window)
+            if err:
+                errors.append(err)
+        for key in sorted(cand_metrics.keys() - base_metrics.keys()):
+            if key not in IGNORED_KEYS:
+                warnings.append(f"{name}: extra metric {key} in candidate")
+    for name in sorted(candidate.keys() - baseline.keys()):
+        warnings.append(f"{name}: extra name in candidate")
+    return errors, warnings
+
+
+def write_report(path, baseline_path, candidate_path, errors, warnings):
+    report = {
+        "baseline": baseline_path,
+        "candidate": candidate_path,
+        "errors": errors,
+        "warnings": warnings,
+        "ok": not errors,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def selftest():
+    base = {
+        "fig8/48000/Mark": {"schema_version": 1, "host_threads": 1,
+                            "sim_seconds": 0.125, "speedup_vs_ori": 61.5,
+                            "wall_seconds": 2.0},
+        "table1/case2/critpath": {"schema_version": 1, "network_share": 0.485,
+                                  "span_seconds": 1.0},
+    }
+    # 1. identical candidate (different host_threads / sane wall) passes.
+    clean = {
+        "fig8/48000/Mark": {"schema_version": 1, "host_threads": 8,
+                            "sim_seconds": 0.125, "speedup_vs_ori": 61.5,
+                            "wall_seconds": 3.5},
+        "table1/case2/critpath": {"schema_version": 1, "network_share": 0.485,
+                                  "span_seconds": 1.0},
+    }
+    errors, _ = diff(base, clean)
+    assert not errors, f"clean candidate flagged: {errors}"
+
+    # 2. every class of perturbation is caught.
+    perturbations = [
+        # exact metric drift
+        ("fig8/48000/Mark", "sim_seconds", 0.1251),
+        # attribution drift
+        ("table1/case2/critpath", "network_share", 0.34),
+        # schema drift
+        ("fig8/48000/Mark", "schema_version", 2),
+        # wall-clock blow-up past the window
+        ("fig8/48000/Mark", "wall_seconds", 2.0 * 101),
+    ]
+    for name, key, value in perturbations:
+        cand = {n: dict(m) for n, m in clean.items()}
+        cand[name][key] = value
+        errors, _ = diff(base, cand)
+        assert errors, f"perturbation {name}/{key}={value} not caught"
+
+    # 3. a dropped result is a failure, an extra one only a warning.
+    cand = {n: dict(m) for n, m in clean.items()}
+    del cand["table1/case2/critpath"]
+    errors, _ = diff(base, cand)
+    assert errors, "missing name not caught"
+    cand = {n: dict(m) for n, m in clean.items()}
+    cand["new/bench"] = {"schema_version": 1, "sim_seconds": 1.0}
+    errors, warnings = diff(base, cand)
+    assert not errors and warnings, "extra name should warn, not fail"
+
+    print("bench_diff selftest: ok")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?",
+                        help="checked-in baseline (bench/baselines/*.json)")
+    parser.add_argument("candidate", nargs="?",
+                        help="freshly generated BENCH JSON-lines file")
+    parser.add_argument("--wall-window", type=float, default=100.0,
+                        metavar="W",
+                        help="allowed wall-clock ratio window [1/W, W] "
+                             "(default %(default)s; <= 0 disables wall checks)")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat extra names/metrics in the candidate as "
+                             "failures")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write a machine-readable diff report (JSON)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in perturbation test and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    baseline, warn_b = load_bench_lines(args.baseline)
+    candidate, warn_c = load_bench_lines(args.candidate)
+    errors, warnings = diff(baseline, candidate, args.wall_window)
+    warnings = warn_b + warn_c + warnings
+    if args.strict:
+        errors, warnings = errors + warnings, []
+
+    if args.report:
+        write_report(args.report, args.baseline, args.candidate, errors,
+                     warnings)
+    for w in warnings:
+        print(f"WARN  {w}")
+    for e in errors:
+        print(f"FAIL  {e}")
+    if errors:
+        print(f"bench_diff: {len(errors)} regression(s) vs {args.baseline}")
+        return 1
+    print(f"bench_diff: {len(baseline)} result(s) match {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit as e:
+        if isinstance(e.code, str):
+            print(e.code, file=sys.stderr)
+            sys.exit(2)
+        raise

@@ -1,7 +1,21 @@
 #!/usr/bin/env python3
 """Validate a SW_GROMACS trace + metrics snapshot (stdlib only).
 
-Usage: validate_trace.py [--overlap|--serial|--service] TRACE.json [METRICS.json]
+Usage: validate_trace.py [--overlap|--serial|--service|--summary]
+                         TRACE.json [METRICS.json]
+
+Exit codes:
+  0  trace (and metrics, when given) pass all checks
+  1  a validation check failed (message on stderr)
+  2  usage error (bad flags, missing arguments)
+
+--summary does not validate: it prints per-track event counts plus the
+ring-overflow drop totals (the synthesized "trace_ring_overflow" instants
+carry the per-track dropped counts in their args) and exits 0.
+
+A validated trace that carries ring-overflow evidence still passes, but a
+warning is printed: dropped events mean SWGMX_TRACE_RING was too small for
+the run and counters/spans in the affected window are incomplete.
 
 Checks that the trace is well-formed Chrome-trace-event JSON that Perfetto
 will load, that the instrumentation actually covered the simulator (>= 64
@@ -37,6 +51,7 @@ REQUIRED_BY_PH = {
     "i": {"name", "pid", "tid", "ts", "s"},
     "s": {"name", "pid", "tid", "ts", "id", "cat"},
     "f": {"name", "pid", "tid", "ts", "id", "cat"},
+    "C": {"name", "pid", "tid", "ts", "args"},
     "M": {"name", "pid", "args"},
 }
 
@@ -44,6 +59,11 @@ REQUIRED_BY_PH = {
 def fail(msg):
     print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def usage_fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(2)
 
 
 def check(cond, msg):
@@ -68,7 +88,7 @@ def validate_trace(path):
         check(ph in REQUIRED_BY_PH, f"event {i} has unsupported ph {ph!r}")
         missing = REQUIRED_BY_PH[ph] - ev.keys()
         check(not missing, f"event {i} (ph={ph}) missing fields {sorted(missing)}")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "C"):
             check(ev["ts"] >= 0, f"event {i} has negative ts")
         if ph == "X":
             check(ev["dur"] >= 0, f"event {i} has negative dur")
@@ -91,10 +111,63 @@ def validate_trace(path):
     check(any(n.startswith("pme/") for n in spans), "no PME phase spans")
     check(any(n.startswith("sr/") for n in spans), "no kernel-launch spans")
     check_no_double_charge(events)
+    warn_on_drops(events)
     print(f"validate_trace: trace OK: {len(events)} events, "
           f"{len(cpe_tracks)} CPE tracks, "
           f"{len(spans)} span names, {len(instants)} instant names")
     return events
+
+
+def drop_totals(events):
+    """{(pid, tid): dropped} from the synthesized ring-overflow instants."""
+    drops = {}
+    for ev in events:
+        if ev.get("ph") == "i" and ev.get("name") == "trace_ring_overflow":
+            drops[(ev["pid"], ev["tid"])] = ev.get("args", {}).get("dropped", 0)
+    return drops
+
+
+def warn_on_drops(events):
+    drops = drop_totals(events)
+    if drops:
+        total = sum(drops.values())
+        print(f"validate_trace: WARNING: ring overflow dropped {total} "
+              f"event(s) on {len(drops)} track(s) — raise SWGMX_TRACE_RING; "
+              f"the affected windows are incomplete", file=sys.stderr)
+
+
+def summarize(path):
+    """--summary: per-track event counts + drop totals. No validation."""
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+    proc_names = {}
+    track_names = {}
+    counts = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "process_name":
+            proc_names[ev["pid"]] = ev["args"]["name"]
+        elif ph == "M" and ev.get("name") == "thread_name":
+            track_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        elif "tid" in ev:
+            counts[(ev["pid"], ev["tid"])] = counts.get(
+                (ev["pid"], ev["tid"]), 0) + 1
+    drops = drop_totals(events)
+    print(f"{path}: {len(events)} events on {len(counts)} tracks")
+    for (pid, tid) in sorted(counts):
+        pname = proc_names.get(pid, f"pid {pid}")
+        tname = track_names.get((pid, tid), f"tid {tid}")
+        line = f"  {pname} / {tname}: {counts[(pid, tid)]} events"
+        if (pid, tid) in drops:
+            line += f" (+{drops[(pid, tid)]} dropped)"
+        print(line)
+    total = sum(drops.values())
+    if total:
+        print(f"  dropped: {total} event(s) across {len(drops)} track(s) "
+              f"(ring overflow — raise SWGMX_TRACE_RING)")
+    else:
+        print("  dropped: 0 events")
 
 
 def sim_pids(events):
@@ -326,15 +399,25 @@ def main(argv):
     mode = None
     args = []
     for a in argv[1:]:
-        if a in ("--overlap", "--serial", "--service"):
-            check(mode is None,
-                  "pass at most one of --overlap/--serial/--service")
+        if a in ("--help", "-h"):
+            print(__doc__)
+            return
+        if a in ("--overlap", "--serial", "--service", "--summary"):
+            if mode is not None:
+                usage_fail("pass at most one of "
+                           "--overlap/--serial/--service/--summary")
             mode = a
+        elif a.startswith("-"):
+            usage_fail(f"unknown flag {a!r} (see --help)")
         else:
             args.append(a)
     if not args:
-        fail("usage: validate_trace.py [--overlap|--serial|--service] "
-             "TRACE.json [METRICS.json]")
+        usage_fail("usage: validate_trace.py "
+                   "[--overlap|--serial|--service|--summary] "
+                   "TRACE.json [METRICS.json] (see --help for exit codes)")
+    if mode == "--summary":
+        summarize(args[0])
+        return
     if mode == "--service":
         validate_service(args[0])
         if len(args) > 1:
