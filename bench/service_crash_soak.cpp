@@ -1,0 +1,509 @@
+// Service crash soak (DESIGN.md §2.14): kill the scheduler at every kind of
+// journal event boundary, recover from the write-ahead log, and demand the
+// finished run is byte-identical to a crash-free service.
+//
+// Protocol:
+//   1. Reference run R0: the workload with journaling OFF; its bit-exact
+//      outcome dump (positions, velocities, energy series, tenant/host
+//      accounting, stats histogram) is the oracle.
+//   2. Crash-free journaled run: must match R0 exactly (journaling is
+//      observation, not perturbation) and yields the append-order list of
+//      event kinds used to pick crash points.
+//   3. Crash matrix: for the first occurrence of every event kind, the
+//      first post-compaction event, the midpoint and the final event, arm
+//      `svc_crash:<k>`, run until the injected ServiceCrash, then stand up
+//      a fresh scheduler, recover() from the journal, re-submit the
+//      never-accepted submission tail and run to idle. memcmp vs R0.
+//   4. Durable-I/O fault kinds: a run whose journal appends are torn
+//      (`journal_torn`) or bit-flipped after checksumming (`journal_crc`)
+//      must truncate-at-first-bad-frame on recovery and still re-decide its
+//      way to R0; a low-rate `fsync_fail` run survives via the retry
+//      budget; `fsync_fail:1.0` must fail loudly, not report success.
+//
+// Exit status for CI:
+//   0  every crash point and fault kind recovered bit-identical
+//   1  a recovered run diverged from R0
+//   2  coverage missing (an event kind never fired, no compaction
+//      snapshot was recovered, a fault counter stayed zero)
+//   3  the scheduler wedged or died outside the injected crash
+//
+// Usage:
+//   service_crash_soak [jobs] [mpi|rdma]
+// Defaults: 24 stream jobs, mpi. Honors SWGMX_THREADS like every bench.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "svc/journal.hpp"
+#include "svc/scheduler.hpp"
+#include "sw/fault.hpp"
+
+namespace {
+
+using namespace swgmx;
+
+/// splitmix64, same per-index derivation as service_soak: the workload is a
+/// pure function of the job index.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+svc::ServiceOptions soak_options(const std::string& base, bool with_journal) {
+  svc::ServiceOptions o;
+  o.hosts = 2;
+  o.queue_limit = 4;
+  o.tenant_quota = 3;
+  o.slice_steps = 10;
+  o.max_job_retries = 1;
+  o.retry_delay_s = 1e-4;
+  o.checkpoint_dir = base + "/cpt";
+  if (with_journal) {
+    o.journal_dir = base + "/journal";
+    o.journal_compact_every = 16;  // several compactions per run
+  }
+  return o;
+}
+
+/// One deterministic submission list covering every journal event kind:
+/// a mixed stream, a host-saturating preemption setup with a vip arrival,
+/// a poison job (retry -> quarantine) and an overload burst (quota reject,
+/// queue reject, shed victim). Submission order == seq order, which is what
+/// makes the post-crash resubmit tail well-defined.
+std::vector<svc::JobSpec> workload(int nstream, bool rdma) {
+  std::vector<svc::JobSpec> specs;
+  const char* tenants[3] = {"acme", "globex", "initech"};
+  double arrival = 0.0;
+  for (int i = 0; i < nstream; ++i) {
+    const std::uint64_t h = mix(static_cast<std::uint64_t>(i));
+    svc::JobSpec s;
+    s.tenant = tenants[i % 3];
+    s.name = "stream" + std::to_string(i);
+    s.particles = (h % 2 == 0) ? 96 : 192;
+    s.steps = 10 + static_cast<int>((h >> 16) % 2) * 10;  // 10/20
+    s.seed = 1 + static_cast<unsigned>(h % 5);
+    arrival += 1e-3 + 1e-4 * static_cast<double>(h % 7);
+    s.arrival_s = arrival;
+    if (i % 2 == 1) s.rdma = rdma;
+    specs.push_back(s);
+  }
+  const double t_pre = arrival + 1.0;
+
+  // Saturate both hosts with long low-priority jobs, then land a
+  // high-priority arrival: no idle host, so one runner is preempted and
+  // later resumed.
+  for (int i = 0; i < 2; ++i) {
+    svc::JobSpec s;
+    s.tenant = "batch";
+    s.name = "long" + std::to_string(i);
+    s.particles = 384;
+    s.steps = 40;
+    s.arrival_s = t_pre;
+    specs.push_back(s);
+  }
+  {
+    svc::JobSpec s;
+    s.tenant = "vip";
+    s.name = "urgent";
+    s.particles = 96;
+    s.steps = 10;
+    s.priority = 5;
+    s.arrival_s = t_pre + 1e-9;
+    specs.push_back(s);
+  }
+
+  // Poison: every rank crashes on every attempt -> retry, then quarantine.
+  {
+    svc::JobSpec s;
+    s.tenant = "acme";
+    s.name = "poison";
+    s.particles = 96;
+    s.steps = 10;
+    s.ranks = 2;
+    s.rdma = rdma;
+    s.faults = "rank_crash:1.0,seed:3";
+    s.arrival_s = t_pre + 2e-9;
+    specs.push_back(s);
+  }
+
+  // Overload burst: "burst" and "flood" each dump 8 simultaneous jobs
+  // against quota 3. Same-instant arrivals all pass admission before any
+  // dispatch, so the queue fills at depth 4 (burst x3 + flood0), the other
+  // flood jobs see a full queue with no sheddable victim (queue rejects)
+  // and burst3-7 exhaust their quota. Dispatch then drains two waiters onto
+  // the idle hosts; two "spike" jobs refill the queue so the priority-2
+  // arrival behind them finds it full and sheds the oldest priority-0
+  // waiter.
+  // Far enough past the preemption phase that both hosts and the queue
+  // have fully drained (simulated slice costs are O(seconds) per slice).
+  const double t_burst = t_pre + 200.0;
+  for (const char* t : {"burst", "flood"}) {
+    for (int i = 0; i < 8; ++i) {
+      svc::JobSpec s;
+      s.tenant = t;
+      s.name = std::string(t) + std::to_string(i);
+      s.particles = 96;
+      s.steps = 10;
+      s.arrival_s = t_burst;
+      specs.push_back(s);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    svc::JobSpec s;
+    s.tenant = "spike";
+    s.name = "spike" + std::to_string(i);
+    s.particles = 96;
+    s.steps = 10;
+    s.arrival_s = t_burst + 1e-9;
+    specs.push_back(s);
+  }
+  {
+    svc::JobSpec s;
+    s.tenant = "vip";
+    s.name = "urgent2";
+    s.particles = 96;
+    s.steps = 10;
+    s.priority = 2;
+    s.arrival_s = t_burst + 2e-9;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+/// Bit-exact dump of every externally observable outcome (same contract as
+/// tests/test_journal.cpp): recovery is only correct if this matches R0 to
+/// the byte.
+std::string capture(const svc::JobScheduler& s) {
+  std::ostringstream os;
+  auto hexd = [&os](double d) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    os << std::hex << u << std::dec << ' ';
+  };
+  auto fnv = [](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < n; ++i) h = (h ^ b[i]) * 1099511628211ull;
+    return h;
+  };
+  for (const auto& jp : s.jobs()) {
+    const svc::Job& j = *jp;
+    os << j.display_name() << ' ' << to_string(j.state) << " att"
+       << j.attempts() << " pre" << j.preemptions << ' ';
+    hexd(j.admit_s);
+    hexd(j.finish_s);
+    hexd(j.busy_seconds);
+    hexd(j.last_slice.seconds);
+    os << j.last_slice.done << j.last_slice.failed << ' ' << j.last_slice.error
+       << " x" << fnv(j.final_x().data(), j.final_x().size() * sizeof(Vec3f))
+       << " v" << fnv(j.final_v().data(), j.final_v().size() * sizeof(Vec3f))
+       << " s" << j.energy_series().size() << ':'
+       << fnv(j.energy_series().data(),
+              j.energy_series().size() * sizeof(md::EnergySample))
+       << '\n';
+  }
+  for (const auto& t : s.tenants()) {
+    os << t.name << ' ' << t.in_flight << ' ' << t.submitted << ' '
+       << t.completed << ' ' << t.rejected << ' ' << t.quarantined << ' ';
+    hexd(t.busy_seconds);
+    os << '\n';
+  }
+  for (const auto& h : s.hosts()) {
+    os << 'h' << h.id << ' ' << h.job << ' ' << h.slices << ' ';
+    hexd(h.busy_seconds);
+    os << '\n';
+  }
+  const svc::ServiceStats& st = s.stats();
+  os << st.submitted << ' ' << st.admitted << ' ' << st.completed << ' '
+     << st.rejected_queue << ' ' << st.rejected_quota << ' ' << st.shed << ' '
+     << st.preemptions << ' ' << st.resumes << ' ' << st.retries << ' '
+     << st.quarantined << ' ' << st.deadline_misses << ' '
+     << st.max_queue_depth << " lat" << st.latency.count() << ' ';
+  hexd(st.latency.sum());
+  hexd(st.latency.min());
+  hexd(st.latency.max());
+  for (const std::uint64_t c : st.latency.buckets()) os << c << ',';
+  return os.str();
+}
+
+/// Submit the whole workload and run to idle, reporting whether the
+/// injected ServiceCrash fired. Any other exception is a wedge (exit 3 at
+/// the call site).
+bool run_until_crash_or_idle(svc::JobScheduler& s,
+                             const std::vector<svc::JobSpec>& specs) {
+  try {
+    for (const svc::JobSpec& spec : specs) s.submit(spec);
+    s.run_until_idle();
+  } catch (const svc::ServiceCrash&) {
+    return true;
+  }
+  return false;
+}
+
+void disarm() { sw::FaultInjector::global().configure_from_env(nullptr); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nstream = argc > 1 ? std::stoi(argv[1]) : 24;
+  const bool rdma = argc > 2 && std::string(argv[2]) == "rdma";
+  const std::string transport = rdma ? "rdma" : "mpi";
+  const std::vector<svc::JobSpec> specs = workload(nstream, rdma);
+
+  bench::banner("Service crash soak: WAL recovery under " + transport + " (" +
+                std::to_string(specs.size()) + " jobs)");
+
+  // 1. Reference: journaling off.
+  const std::string base_ref = fresh_dir("swgmx_crash_soak_ref");
+  std::string want;
+  try {
+    svc::JobScheduler ref(soak_options(base_ref, false));
+    for (const svc::JobSpec& s : specs) ref.submit(s);
+    ref.run_until_idle();
+    want = capture(ref);
+    const svc::ServiceStats& st = ref.stats();
+    std::cout << "reference: completed=" << st.completed
+              << " rejected_quota=" << st.rejected_quota
+              << " rejected_queue=" << st.rejected_queue
+              << " shed=" << st.shed << " preemptions=" << st.preemptions
+              << " resumes=" << st.resumes << " retries=" << st.retries
+              << " quarantined=" << st.quarantined << "\n";
+  } catch (const Error& e) {
+    std::cout << "CRASH-SOAK reference run died: " << e.what() << "\n";
+    return 3;
+  }
+
+  // 2. Crash-free journaled run: byte-equal to R0, and the source of crash
+  // points. appended_kinds() is in append order and survives compaction.
+  std::vector<svc::EventKind> kinds;
+  {
+    const std::string base = fresh_dir("swgmx_crash_soak_clean");
+    svc::JobScheduler s(soak_options(base, true));
+    for (const svc::JobSpec& spec : specs) s.submit(spec);
+    s.run_until_idle();
+    if (capture(s) != want) {
+      std::cout << "FAIL: journaling perturbed a crash-free run\n";
+      return 1;
+    }
+    kinds = s.journal()->appended_kinds();
+  }
+  const std::size_t nevents = kinds.size();
+  std::set<svc::EventKind> seen(kinds.begin(), kinds.end());
+  for (int k = static_cast<int>(svc::EventKind::Submit);
+       k <= static_cast<int>(svc::EventKind::Complete); ++k) {
+    if (seen.count(static_cast<svc::EventKind>(k)) == 0) {
+      std::cout << "FAIL: event kind " << to_string(static_cast<svc::EventKind>(k))
+                << " never fired — workload lost its coverage\n";
+      return 2;
+    }
+  }
+
+  // 3. Crash matrix: first index of every kind, the first post-compaction
+  // event, the midpoint and the last event.
+  std::set<std::size_t> points;
+  for (const svc::EventKind k : seen) {
+    points.insert(static_cast<std::size_t>(
+        std::find(kinds.begin(), kinds.end(), k) - kinds.begin()));
+  }
+  points.insert(16);  // right after the first compaction snapshot
+  points.insert(nevents / 2);
+  points.insert(nevents - 1);
+
+  std::uint64_t frames_dropped_total = 0;
+  std::uint64_t events_replayed_total = 0;
+  std::size_t snapshot_recoveries = 0;
+  std::size_t divergent = 0;
+  for (const std::size_t k : points) {
+    const std::string base =
+        fresh_dir("swgmx_crash_soak_p" + std::to_string(k));
+    const svc::ServiceOptions opt = soak_options(base, true);
+    sw::FaultInjector::global().configure(
+        sw::parse_fault_spec(("svc_crash:" + std::to_string(k)).c_str()));
+    bool crashed = false;
+    {
+      svc::JobScheduler s(opt);
+      crashed = run_until_crash_or_idle(s, specs);
+    }
+    disarm();
+    if (!crashed) {
+      std::cout << "FAIL: svc_crash:" << k << " never fired (" << nevents
+                << " events)\n";
+      return 2;
+    }
+    try {
+      svc::JobScheduler recovered(opt);
+      const svc::JobScheduler::RecoverySummary sum = recovered.recover();
+      frames_dropped_total += sum.frames_dropped;
+      events_replayed_total += sum.events_replayed;
+      if (sum.snapshot_loaded) ++snapshot_recoveries;
+      // Client contract: submissions whose journal record never became
+      // durable were never accepted; re-submit the deterministic tail.
+      for (std::size_t i = recovered.jobs().size(); i < specs.size(); ++i) {
+        recovered.submit(specs[i]);
+      }
+      recovered.run_until_idle();
+      if (capture(recovered) != want) {
+        ++divergent;
+        std::cout << "DIVERGED: crash point " << k << " ("
+                  << to_string(kinds[k]) << ")\n";
+      } else {
+        std::cout << "crash point " << std::setw(3) << k << " ("
+                  << to_string(kinds[k]) << "): recovered bit-identical, "
+                  << sum.events_replayed << " events replayed"
+                  << (sum.snapshot_loaded ? " from snapshot\n" : "\n");
+      }
+    } catch (const Error& e) {
+      std::cout << "CRASH-SOAK recovery at point " << k
+                << " died: " << e.what() << "\n";
+      disarm();
+      return 3;
+    }
+  }
+  if (snapshot_recoveries == 0) {
+    std::cout << "FAIL: no crash point recovered through a compaction "
+                 "snapshot\n";
+    return 2;
+  }
+
+  // 4a. Torn and CRC-flipped journal suffixes: every append since the last
+  // compaction lands corrupt (rate 1.0), then the process dies mid-run —
+  // recovery must truncate at the first bad frame and re-decide the lost
+  // tail to the same outcomes. The crash point avoids k % 16 == 15 (a
+  // compaction boundary, where the file is a lone clean snapshot and there
+  // would be nothing to truncate).
+  std::size_t kmid = nevents / 2;
+  if (kmid % 16 == 15) ++kmid;
+  std::uint64_t torn_frames = 0, crc_flips = 0;
+  for (const char* fault : {"journal_torn:1.0", "journal_crc:1.0"}) {
+    const bool torn = std::string(fault).find("torn") != std::string::npos;
+    const std::string base =
+        fresh_dir(std::string("swgmx_crash_soak_") + (torn ? "torn" : "crc"));
+    const svc::ServiceOptions opt = soak_options(base, true);
+    bool crashed = false;
+    {
+      sw::FaultInjector::global().configure(sw::parse_fault_spec(
+          (std::string(fault) + ",svc_crash:" + std::to_string(kmid))
+              .c_str()));
+      svc::JobScheduler s(opt);
+      crashed = run_until_crash_or_idle(s, specs);
+      const sw::RecoveryStats rec = sw::FaultInjector::global().snapshot();
+      if (torn) torn_frames = rec.journal_torn_frames;
+      else crc_flips = rec.journal_crc_flips;
+      disarm();
+    }
+    if (!crashed || (torn ? torn_frames : crc_flips) == 0) {
+      std::cout << "FAIL: " << fault << " never corrupted a frame\n";
+      return 2;
+    }
+    try {
+      svc::JobScheduler recovered(opt);
+      const svc::JobScheduler::RecoverySummary sum = recovered.recover();
+      frames_dropped_total += sum.frames_dropped;
+      events_replayed_total += sum.events_replayed;
+      if (sum.frames_dropped == 0) {
+        std::cout << "FAIL: " << fault
+                  << " corrupted frames but recovery dropped none\n";
+        return 2;
+      }
+      for (std::size_t i = recovered.jobs().size(); i < specs.size(); ++i) {
+        recovered.submit(specs[i]);
+      }
+      recovered.run_until_idle();
+      if (capture(recovered) != want) {
+        ++divergent;
+        std::cout << "DIVERGED: " << fault << " recovery\n";
+      } else {
+        std::cout << fault << ": " << sum.frames_dropped
+                  << " frame(s) truncated, re-decided bit-identical\n";
+      }
+    } catch (const Error& e) {
+      std::cout << "CRASH-SOAK " << fault << " recovery died: " << e.what()
+                << "\n";
+      return 3;
+    }
+  }
+
+  // 4b. fsync faults: a low rate is absorbed by the retry budget; rate 1.0
+  // exhausts it and must fail loudly instead of reporting false durability.
+  std::uint64_t fsync_failures = 0;
+  {
+    const std::string base = fresh_dir("swgmx_crash_soak_fsync_lo");
+    sw::FaultInjector::global().configure(
+        sw::parse_fault_spec("fsync_fail:0.05,seed:13"));
+    svc::JobScheduler s(soak_options(base, true));
+    for (const svc::JobSpec& spec : specs) s.submit(spec);
+    s.run_until_idle();
+    fsync_failures = sw::FaultInjector::global().snapshot().fsync_failures;
+    disarm();
+    if (fsync_failures == 0) {
+      std::cout << "FAIL: fsync_fail:0.05 never fired\n";
+      return 2;
+    }
+    if (capture(s) != want) {
+      ++divergent;
+      std::cout << "DIVERGED: retried fsyncs perturbed the run\n";
+    }
+  }
+  {
+    const std::string base = fresh_dir("swgmx_crash_soak_fsync_hi");
+    sw::FaultInjector::global().configure(
+        sw::parse_fault_spec("fsync_fail:1.0"));
+    bool threw = false;
+    try {
+      svc::JobScheduler s(soak_options(base, true));
+      s.submit(specs[0]);
+    } catch (const Error&) {
+      threw = true;
+    }
+    disarm();
+    if (!threw) {
+      std::cout << "FAIL: fsync_fail:1.0 reported durable success\n";
+      return 2;
+    }
+    std::cout << "fsync_fail:1.0: retry budget exhausted loudly, as "
+                 "required\n";
+  }
+
+  bench::bench_json(
+      "service_crash/" + transport,
+      {{"jobs", static_cast<double>(specs.size())},
+       {"journal_events", static_cast<double>(nevents)},
+       {"crash_points", static_cast<double>(points.size())},
+       {"events_replayed", static_cast<double>(events_replayed_total)},
+       {"frames_dropped", static_cast<double>(frames_dropped_total)},
+       {"snapshot_recoveries", static_cast<double>(snapshot_recoveries)},
+       {"torn_frames", static_cast<double>(torn_frames)},
+       {"crc_flips", static_cast<double>(crc_flips)},
+       {"fsync_failures", static_cast<double>(fsync_failures)},
+       {"divergent", static_cast<double>(divergent)}});
+  bench::write_observability_artifacts();
+
+  std::cout << "CRASH-SOAK transport=" << transport << " events=" << nevents
+            << " crash_points=" << points.size()
+            << " snapshot_recoveries=" << snapshot_recoveries
+            << " divergent=" << divergent << "\n";
+  if (divergent != 0) {
+    std::cout << "FAIL: " << divergent
+              << " recovery run(s) diverged from the crash-free service\n";
+    return 1;
+  }
+  std::cout << "OK: every crash point and durable-I/O fault recovered "
+               "bit-identical\n";
+  return 0;
+}

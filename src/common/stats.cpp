@@ -107,6 +107,26 @@ void Histogram::reset() {
   min_ = max_ = 0.0;
 }
 
+void Histogram::restore(std::vector<double> bounds,
+                        std::vector<std::uint64_t> counts, std::uint64_t count,
+                        double sum, double min, double max) {
+  SWGMX_CHECK_MSG(!bounds.empty() && counts.size() == bounds.size() + 1,
+                  "Histogram::restore: " << counts.size() << " counts for "
+                                         << bounds.size() << " bounds");
+  SWGMX_CHECK_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                  "Histogram::restore: bounds not ascending");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  SWGMX_CHECK_MSG(total == count, "Histogram::restore: bucket counts sum to "
+                                      << total << ", expected " << count);
+  bounds_ = std::move(bounds);
+  counts_ = std::move(counts);
+  count_ = count;
+  sum_ = sum;
+  min_ = count == 0 ? 0.0 : min;
+  max_ = count == 0 ? 0.0 : max;
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

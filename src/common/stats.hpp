@@ -51,6 +51,13 @@ class Histogram {
   void merge(const Histogram& other);
   /// Drop all observations, keeping the bucket layout.
   void reset();
+  /// Exact-state restore (the service journal's snapshot records): adopt
+  /// the given layout and counts verbatim. `counts` must have
+  /// `bounds.size() + 1` entries (overflow bucket last) and their sum must
+  /// equal `count`; min/max are the raw observed extremes (ignored when
+  /// count is 0). Throws swgmx::Error on a malformed image.
+  void restore(std::vector<double> bounds, std::vector<std::uint64_t> counts,
+               std::uint64_t count, double sum, double min, double max);
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const {

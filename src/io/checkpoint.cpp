@@ -5,12 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
-
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "io/durable.hpp"
 
 namespace swgmx::io {
 
@@ -21,15 +18,6 @@ constexpr std::uint32_t kPending = 0x444E4550u;    // "PEND"
 constexpr std::uint32_t kCommitted = 0x544D4F43u;  // "COMT"
 /// Byte offset of the commit marker in a v2 file (right after the magic).
 constexpr long kCommitOffset = static_cast<long>(sizeof(kMagicV2));
-
-/// Flush `f` through the OS to the disk. Returns false on any failure.
-bool flush_to_disk(std::FILE* f) {
-  if (std::fflush(f) != 0) return false;
-#if defined(__unix__) || defined(__APPLE__)
-  if (::fsync(::fileno(f)) != 0) return false;
-#endif
-  return true;
-}
 
 std::uint32_t payload_crc(const md::System& sys) {
   const std::size_t xbytes = sys.size() * sizeof(Vec3f);
@@ -64,18 +52,21 @@ void write_checkpoint(const std::string& path, const md::System& sys,
   ok = ok && std::fwrite(&crc, sizeof(crc), 1, f) == 1;
   ok = ok && std::fwrite(sys.x.data(), 1, xbytes, f) == xbytes;
   ok = ok && std::fwrite(sys.v.data(), 1, xbytes, f) == xbytes;
-  ok = ok && flush_to_disk(f);
+  ok = ok && flush_file_to_disk(f);
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
     std::remove(tmp.c_str());
     SWGMX_CHECK_MSG(false, "short write to " << tmp);
   }
   // Atomic publish: readers see either the old checkpoint or the new one,
-  // never a torn file.
+  // never a torn file. The directory fsync makes the rename itself durable
+  // (and covers the rotating variant's _prev rename in the same directory).
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     SWGMX_CHECK_MSG(false, "cannot rename " << tmp << " to " << path);
   }
+  SWGMX_CHECK_MSG(fsync_parent_dir(path),
+                  "cannot fsync directory of " << path);
 }
 
 void write_checkpoint_rotating(const std::string& path, const md::System& sys,
@@ -121,12 +112,12 @@ void write_checkpoint_coordinated(const std::string& path,
                           f) == layout.evicted.size());
   ok = ok && std::fwrite(sys.x.data(), 1, xbytes, f) == xbytes;
   ok = ok && std::fwrite(sys.v.data(), 1, xbytes, f) == xbytes;
-  ok = ok && flush_to_disk(f);
+  ok = ok && flush_file_to_disk(f);
   // Phase 2: flip the marker to COMMITTED and make the flip durable. Only
   // now can a reader that sees this file ever accept it.
   ok = ok && std::fseek(f, kCommitOffset, SEEK_SET) == 0;
   ok = ok && std::fwrite(&kCommitted, sizeof(kCommitted), 1, f) == 1;
-  ok = ok && flush_to_disk(f);
+  ok = ok && flush_file_to_disk(f);
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
     std::remove(tmp.c_str());
@@ -136,6 +127,8 @@ void write_checkpoint_coordinated(const std::string& path,
     std::remove(tmp.c_str());
     SWGMX_CHECK_MSG(false, "cannot rename " << tmp << " to " << path);
   }
+  SWGMX_CHECK_MSG(fsync_parent_dir(path),
+                  "cannot fsync directory of " << path);
 }
 
 void write_checkpoint_coordinated_rotating(const std::string& path,
@@ -158,6 +151,11 @@ Checkpoint read_checkpoint(const std::string& path) {
   std::uint32_t stored_crc = 0;
   Checkpoint cp;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  // A zero-length or header-short file (a crash between create and write)
+  // is as unusable as a CRC-bad one; the explicit Error keeps it on the
+  // read_checkpoint_or_prev fallback path with a precise message.
+  SWGMX_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(sizeof(magic)),
+                  "zero-length or truncated checkpoint header: " << path);
   SWGMX_CHECK_MSG(magic == kMagic || magic == kMagicV2,
                   "not a SW_GROMACS checkpoint: " << path);
   if (magic == kMagicV2) {

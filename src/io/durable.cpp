@@ -1,0 +1,53 @@
+#include "io/durable.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "sw/fault.hpp"
+
+namespace swgmx::io {
+
+namespace {
+/// One deterministic draw per durable-flush operation; counts the failure
+/// when it fires so soak runs can assert the path was exercised.
+bool injected_fsync_failure() {
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  if (!inj.enabled() || inj.plan().rates().fsync_fail <= 0.0) return false;
+  if (!inj.plan().fsync_fail(inj.next_fsync_op())) return false;
+  inj.record_fsync_failure();
+  return true;
+}
+}  // namespace
+
+bool flush_file_to_disk(std::FILE* f) {
+  if (injected_fsync_failure()) return false;
+  if (std::fflush(f) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  if (injected_fsync_failure()) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd =
+      ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)dir;
+  return true;
+#endif
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+}  // namespace swgmx::io

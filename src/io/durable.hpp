@@ -1,0 +1,32 @@
+// Durable-I/O helpers shared by checkpoint writes (io/checkpoint.cpp) and
+// the service write-ahead journal (io/frame_log.cpp, svc/journal.*).
+//
+// Durability contract: a write is only claimed durable after fdatasync-class
+// persistence of *both* the file contents and, for renames/creates, the
+// containing directory (POSIX keeps the rename in the directory's data, so
+// tmp+fsync+rename alone does not survive power loss — DESIGN.md §2.14).
+//
+// Fault injection: when the active sw::FaultInjector carries a nonzero
+// fsync_fail rate, every flush here draws on a monotonic per-injector
+// fsync-op counter, so the k-th durable flush of a run fails
+// deterministically for a given seed no matter which file it lands on.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace swgmx::io {
+
+/// fflush + fsync `f` through the OS to the disk. Returns false on any
+/// failure, including an injected fsync_fail.
+[[nodiscard]] bool flush_file_to_disk(std::FILE* f);
+
+/// fsync the directory itself so a rename or create inside it is durable.
+/// Returns false on failure (including injected fsync_fail); true on
+/// platforms without directory fsync.
+[[nodiscard]] bool fsync_dir(const std::string& dir);
+
+/// fsync_dir() on the parent directory of `path` ("." when path has none).
+[[nodiscard]] bool fsync_parent_dir(const std::string& path);
+
+}  // namespace swgmx::io

@@ -1,0 +1,197 @@
+#include "io/frame_log.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "io/durable.hpp"
+#include "sw/fault.hpp"
+
+namespace swgmx::io {
+
+namespace {
+
+/// flush_file_to_disk with the shared retry budget: an injected fsync_fail
+/// consumes one op per attempt, so a low rate survives via fresh draws and
+/// rate 1.0 deterministically exhausts the budget.
+void durable_flush(std::FILE* f, const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    if (flush_file_to_disk(f)) return;
+    SWGMX_CHECK_MSG(attempt < FrameLog::kFsyncRetries,
+                    "journal fsync of " << path << " failed after "
+                                        << FrameLog::kFsyncRetries
+                                        << " retries");
+  }
+}
+
+void durable_dir_flush(const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    if (fsync_parent_dir(path)) return;
+    SWGMX_CHECK_MSG(attempt < FrameLog::kFsyncRetries,
+                    "journal directory fsync for "
+                        << path << " failed after " << FrameLog::kFsyncRetries
+                        << " retries");
+  }
+}
+
+void write_frame(std::FILE* f, const std::string& payload,
+                 const std::string& path) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = common::crc32(payload.data(), payload.size());
+  bool ok = std::fwrite(&len, sizeof(len), 1, f) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, f) == 1;
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), f) ==
+                  payload.size());
+  SWGMX_CHECK_MSG(ok, "short write to journal " << path);
+}
+
+}  // namespace
+
+FrameLog::FrameLog(std::string path) : path_(std::move(path)) {}
+
+FrameLog::~FrameLog() { close(); }
+
+void FrameLog::ensure_open() {
+  if (f_ != nullptr) return;
+  f_ = std::fopen(path_.c_str(), "ab");
+  SWGMX_CHECK_MSG(f_ != nullptr, "cannot open journal " << path_);
+  if (std::ftell(f_) == 0) {
+    SWGMX_CHECK_MSG(std::fwrite(&kMagic, sizeof(kMagic), 1, f_) == 1,
+                    "short write to journal " << path_);
+    // The magic's durability rides with the first frame's fsync; the new
+    // file itself becomes durable with the parent-directory fsync below.
+    durable_dir_flush(path_);
+  }
+}
+
+void FrameLog::append(const std::string& payload, std::uint64_t key) {
+  SWGMX_CHECK_MSG(payload.size() < kMaxFrameBytes,
+                  "journal frame of " << payload.size() << " bytes exceeds "
+                                      << kMaxFrameBytes);
+  SWGMX_CHECK_MSG(!payload.empty(), "empty journal frame");
+  ensure_open();
+  // Length and checksum always describe the *clean* payload; the fault
+  // paths below corrupt only what lands on disk, exactly like bit rot or a
+  // power cut would.
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = common::crc32(payload.data(), payload.size());
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  std::string body = payload;
+  std::size_t keep = body.size();
+  if (inj.enabled() && inj.plan().journal_crc(key)) {
+    // One deterministic payload bit flips after the CRC was taken, so the
+    // frame lands on disk with a mismatched checksum.
+    const std::uint64_t d =
+        inj.plan().draw(sw::FaultKind::JournalCrc, key, 1, 0, 0);
+    body[d % body.size()] ^= static_cast<char>(1u << ((d >> 32) % 8));
+    inj.record_journal_crc_flip();
+  }
+  if (inj.enabled() && inj.plan().journal_torn(key)) {
+    // Model a crash mid-write: full length prefix, half the payload.
+    // Recovery must treat this frame — and everything after it — as lost.
+    keep = body.size() / 2;
+    inj.record_journal_torn();
+  }
+  bool ok = std::fwrite(&len, sizeof(len), 1, f_) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, f_) == 1;
+  ok = ok && (keep == 0 || std::fwrite(body.data(), 1, keep, f_) == keep);
+  SWGMX_CHECK_MSG(ok, "short write to journal " << path_);
+  durable_flush(f_, path_);
+}
+
+void FrameLog::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+FrameLog::Scan FrameLog::scan_and_truncate(const std::string& path) {
+  Scan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return scan;  // no journal yet: nothing to replay
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size == 0) return scan;  // created but never written
+  in.seekg(0, std::ios::beg);
+  std::uint64_t magic = 0;
+  SWGMX_CHECK_MSG(
+      size >= sizeof(kMagic) &&
+          in.read(reinterpret_cast<char*>(&magic), sizeof(magic)).good() &&
+          magic == kMagic,
+      "not a SW_GROMACS journal: " << path);
+
+  std::uint64_t pos = sizeof(kMagic);
+  for (;;) {
+    if (pos + 2 * sizeof(std::uint32_t) > size) break;  // torn header
+    std::uint32_t len = 0, crc = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    if (!in.good() || len == 0 || len >= kMaxFrameBytes) break;
+    if (pos + 2 * sizeof(std::uint32_t) + len > size) break;  // torn payload
+    std::string payload(len, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (!in.good()) break;
+    if (common::crc32(payload.data(), payload.size()) != crc) break;
+    scan.frames.push_back(std::move(payload));
+    pos += 2 * sizeof(std::uint32_t) + len;
+  }
+  in.close();
+
+  if (pos < size) {
+    // Truncate-at-first-bad-frame: everything from the first torn or
+    // CRC-bad frame on is discarded, so a later append continues a clean
+    // log. Count the suffix's frames optimistically from readable headers.
+    scan.bytes_dropped = size - pos;
+    std::ifstream suffix(path, std::ios::binary);
+    suffix.seekg(static_cast<std::streamoff>(pos));
+    std::uint64_t p = pos;
+    while (p + 2 * sizeof(std::uint32_t) <= size) {
+      std::uint32_t len = 0, crc = 0;
+      suffix.read(reinterpret_cast<char*>(&len), sizeof(len));
+      suffix.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+      if (!suffix.good() || len == 0 || len >= kMaxFrameBytes) break;
+      ++scan.frames_dropped;
+      p += 2 * sizeof(std::uint32_t) + len;
+      if (p > size) break;
+      suffix.seekg(static_cast<std::streamoff>(p));
+    }
+    scan.frames_dropped = std::max<std::uint64_t>(scan.frames_dropped, 1);
+    std::error_code ec;
+    std::filesystem::resize_file(path, pos, ec);
+    SWGMX_CHECK_MSG(!ec, "cannot truncate journal " << path << ": "
+                                                    << ec.message());
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    SWGMX_CHECK_MSG(f != nullptr, "cannot reopen journal " << path);
+    durable_flush(f, path);
+    std::fclose(f);
+    durable_dir_flush(path);
+  }
+  return scan;
+}
+
+void FrameLog::replace_with(const std::string& path,
+                            const std::vector<std::string>& frames) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  SWGMX_CHECK_MSG(f != nullptr, "cannot open " << tmp);
+  bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1;
+  SWGMX_CHECK_MSG(ok, "short write to " << tmp);
+  for (const std::string& payload : frames) write_frame(f, payload, tmp);
+  durable_flush(f, tmp);
+  ok = std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    SWGMX_CHECK_MSG(false, "short write to " << tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SWGMX_CHECK_MSG(false, "cannot rename " << tmp << " to " << path);
+  }
+  durable_dir_flush(path);
+}
+
+}  // namespace swgmx::io

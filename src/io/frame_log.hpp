@@ -1,0 +1,76 @@
+// FrameLog: the CRC-framed, length-prefixed append-only record file under
+// the service write-ahead journal (svc/journal.*).
+//
+// On-disk layout: an 8-byte magic ("SWGXWAL1"), then frames of
+//   u32 payload_len | u32 crc32(payload) | payload bytes
+// all little-endian. Appends are append+fsync — no tmp+rename per record —
+// so a crash can leave at most a torn final frame, and scan_and_truncate()
+// implements the recovery contract: validate frame by frame, truncate the
+// file at the first torn or CRC-bad frame, and hand back only the clean
+// prefix (DESIGN.md §2.14). Compaction rewrites the whole file through
+// replace_with(), which is the classic tmp+fsync+rename+dir-fsync publish.
+//
+// Deterministic fault injection (sw::FaultInjector): journal_torn writes a
+// deliberately short payload for the frame, journal_crc flips one payload
+// bit after the CRC is computed, and fsync_fail makes flushes fail; append
+// retries a failed flush up to kFsyncRetries fresh draws and then throws.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace swgmx::io {
+
+class FrameLog {
+ public:
+  /// Bytes on disk read "SWGXWAL1".
+  static constexpr std::uint64_t kMagic = 0x314C4157'58475753ull;
+  /// Sanity bound on a single frame's payload.
+  static constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+  /// Durable-flush retry budget before append/replace gives up.
+  static constexpr int kFsyncRetries = 4;
+
+  explicit FrameLog(std::string path);
+  ~FrameLog();
+  FrameLog(const FrameLog&) = delete;
+  FrameLog& operator=(const FrameLog&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Append one frame and make it durable. `key` seeds the torn/CRC fault
+  /// draws (the journal passes its event index). Throws swgmx::Error on a
+  /// real I/O error or when the fsync retry budget is exhausted.
+  void append(const std::string& payload, std::uint64_t key);
+
+  /// Close the underlying handle (append reopens on demand) — required
+  /// before replace_with() swaps the inode under this path.
+  void close();
+
+  struct Scan {
+    std::vector<std::string> frames;   ///< CRC-clean prefix, in order
+    std::uint64_t frames_dropped = 0;  ///< torn / CRC-bad frames cut off
+    std::uint64_t bytes_dropped = 0;   ///< bytes truncated off the tail
+  };
+  /// Read `path`, validate every frame, and truncate the file at the first
+  /// bad one. A missing or zero-length file yields an empty scan; a present
+  /// file with a wrong magic throws (that is corruption recovery must not
+  /// paper over).
+  [[nodiscard]] static Scan scan_and_truncate(const std::string& path);
+
+  /// Atomically replace `path` with magic + `frames`: tmp + fsync + rename
+  /// + parent-dir fsync. Frames written here bypass torn/CRC injection (the
+  /// publish is modeled atomic); fsync_fail still applies, with the same
+  /// retry budget as append().
+  static void replace_with(const std::string& path,
+                           const std::vector<std::string>& frames);
+
+ private:
+  void ensure_open();
+
+  std::string path_;
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace swgmx::io

@@ -194,6 +194,35 @@ void Job::abort_attempt() {
   engine_.reset();
 }
 
+void Job::reattach(std::int64_t target_step, int slice_steps) {
+  SWGMX_CHECK_MSG(engine_ == nullptr,
+                  "reattach on " << display_name() << " with a live engine");
+  SWGMX_CHECK_MSG(slice_steps >= 1, "reattach slice_steps must be >= 1");
+  if (resume_step_ > 0) {
+    const io::Checkpoint cp = io::read_checkpoint_or_prev(cpt_path_);
+    SWGMX_CHECK_MSG(cp.step == resume_step_,
+                    "preemption checkpoint for "
+                        << display_name() << " is at step " << cp.step
+                        << ", journal expects " << resume_step_);
+    build_engine(&cp);
+  } else {
+    build_engine(nullptr);
+  }
+  SWGMX_CHECK_MSG(target_step >= current_step() && target_step <= spec_.steps,
+                  "journal step " << target_step << " for " << display_name()
+                                  << " is outside [" << current_step() << ", "
+                                  << spec_.steps << "]");
+  while (current_step() < target_step) {
+    const auto n = static_cast<int>(std::min<std::int64_t>(
+        slice_steps, target_step - current_step()));
+    const SliceResult r = run_slice(n);
+    // The journaled prefix ran these exact steps successfully before the
+    // crash; determinism means they cannot fail now.
+    SWGMX_CHECK_MSG(!r.failed, "reattach slice failed for " << display_name()
+                                                            << ": " << r.error);
+  }
+}
+
 std::int64_t Job::current_step() const {
   if (engine_ == nullptr) return resume_step_;
   return engine_->sim ? engine_->sim->current_step()

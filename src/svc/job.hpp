@@ -114,6 +114,13 @@ class Job {
   /// Drop the engine without checkpointing (failed attempt: the retry
   /// restarts from scratch).
   void abort_attempt();
+  /// Journal-recovery path: rebuild the engine of a job that was mid-slice
+  /// when the scheduler died and re-run it to `target_step`. The origin is
+  /// the preemption checkpoint when one is attached (resume_step > 0),
+  /// otherwise scratch; re-execution chunks by `slice_steps` exactly like
+  /// the live scheduler did, so the rebuilt engine — timers, energy series,
+  /// particle state — is bit-identical to the one the crash destroyed.
+  void reattach(std::int64_t target_step, int slice_steps);
 
   [[nodiscard]] bool engine_live() const { return engine_ != nullptr; }
   /// Preemption is only legal for single-rank jobs sitting exactly on a
@@ -142,8 +149,15 @@ class Job {
   double busy_seconds = 0.0;  ///< host seconds this job consumed
   int preemptions = 0;
   SliceResult last_slice;  ///< outcome of the slice running on a host
+  /// Step the job's engine will have reached when the slice on its host
+  /// completes — what the journal records and reattach() re-runs to.
+  std::int64_t journal_step = 0;
 
  private:
+  /// The scheduler's journal replay (svc/scheduler.cpp apply_event /
+  /// make_snapshot) restores attempts_/resume_step_/series_/final state
+  /// exactly rather than re-deriving them.
+  friend class JobScheduler;
   struct Engine;  ///< core group + backends + Simulation / ParallelSim
 
   /// Build the engine; with `cp` the system is restored from the checkpoint

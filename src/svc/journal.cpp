@@ -1,0 +1,516 @@
+#include "svc/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "io/frame_log.hpp"
+#include "sw/fault.hpp"
+
+namespace swgmx::svc {
+
+namespace {
+
+// --- little-endian wire helpers ---
+
+template <typename T>
+void put(std::string& b, T v) {
+  b.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_str(std::string& b, const std::string& s) {
+  put<std::uint32_t>(b, static_cast<std::uint32_t>(s.size()));
+  b.append(s);
+}
+
+void put_series(std::string& b, const std::vector<md::EnergySample>& es) {
+  put<std::uint64_t>(b, es.size());
+  for (const md::EnergySample& s : es) {
+    put<std::int64_t>(b, s.step);
+    put<double>(b, s.e_lj);
+    put<double>(b, s.e_coul);
+    put<double>(b, s.e_bonded);
+    put<double>(b, s.e_longrange);
+    put<double>(b, s.e_kin);
+    put<double>(b, s.temperature);
+  }
+}
+
+void put_vecs(std::string& b, const AlignedVector<Vec3f>& vs) {
+  put<std::uint64_t>(b, vs.size());
+  for (const Vec3f& v : vs) {
+    put<float>(b, v.x);
+    put<float>(b, v.y);
+    put<float>(b, v.z);
+  }
+}
+
+void put_spec(std::string& b, const JobSpec& s) {
+  put_str(b, s.tenant);
+  put_str(b, s.name);
+  put<std::uint64_t>(b, s.particles);
+  put<std::int32_t>(b, s.steps);
+  put<std::int32_t>(b, s.ranks);
+  put<std::uint8_t>(b, s.rdma ? 1 : 0);
+  put<std::int32_t>(b, s.priority);
+  put<double>(b, s.arrival_s);
+  put<double>(b, s.deadline_s);
+  put_str(b, s.faults);
+  put<std::int32_t>(b, s.nstlist);
+  put<std::int32_t>(b, s.nstenergy);
+  put<std::uint32_t>(b, s.seed);
+}
+
+void put_slice_result(std::string& b, const SliceResult& r) {
+  put<double>(b, r.seconds);
+  put<std::uint8_t>(b, r.done ? 1 : 0);
+  put<std::uint8_t>(b, r.failed ? 1 : 0);
+  put_str(b, r.error);
+}
+
+void put_histogram(std::string& b, const Histogram& h) {
+  put<std::uint64_t>(b, h.bounds().size());
+  for (const double x : h.bounds()) put<double>(b, x);
+  put<std::uint64_t>(b, h.buckets().size());
+  for (const std::uint64_t c : h.buckets()) put<std::uint64_t>(b, c);
+  put<std::uint64_t>(b, h.count());
+  put<double>(b, h.sum());
+  put<double>(b, h.min());
+  put<double>(b, h.max());
+}
+
+struct Reader {
+  const std::string& b;
+  std::size_t pos = 0;
+  explicit Reader(const std::string& s) : b(s) {}
+
+  void need(std::size_t n) const {
+    SWGMX_CHECK_MSG(pos + n <= b.size(),
+                    "journal record truncated mid-field (CRC-valid but "
+                    "undecodable: real corruption)");
+  }
+  template <typename T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, b.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+  std::string get_str() {
+    const auto n = get<std::uint32_t>();
+    need(n);
+    std::string s = b.substr(pos, n);
+    pos += n;
+    return s;
+  }
+  std::vector<md::EnergySample> get_series() {
+    const auto n = get<std::uint64_t>();
+    std::vector<md::EnergySample> es;
+    es.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      md::EnergySample s;
+      s.step = get<std::int64_t>();
+      s.e_lj = get<double>();
+      s.e_coul = get<double>();
+      s.e_bonded = get<double>();
+      s.e_longrange = get<double>();
+      s.e_kin = get<double>();
+      s.temperature = get<double>();
+      es.push_back(s);
+    }
+    return es;
+  }
+  AlignedVector<Vec3f> get_vecs() {
+    const auto n = get<std::uint64_t>();
+    AlignedVector<Vec3f> vs;
+    vs.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Vec3f v;
+      v.x = get<float>();
+      v.y = get<float>();
+      v.z = get<float>();
+      vs.push_back(v);
+    }
+    return vs;
+  }
+  JobSpec get_spec() {
+    JobSpec s;
+    s.tenant = get_str();
+    s.name = get_str();
+    s.particles = static_cast<std::size_t>(get<std::uint64_t>());
+    s.steps = get<std::int32_t>();
+    s.ranks = get<std::int32_t>();
+    s.rdma = get<std::uint8_t>() != 0;
+    s.priority = get<std::int32_t>();
+    s.arrival_s = get<double>();
+    s.deadline_s = get<double>();
+    s.faults = get_str();
+    s.nstlist = get<std::int32_t>();
+    s.nstenergy = get<std::int32_t>();
+    s.seed = get<std::uint32_t>();
+    return s;
+  }
+  SliceResult get_slice_result() {
+    SliceResult r;
+    r.seconds = get<double>();
+    r.done = get<std::uint8_t>() != 0;
+    r.failed = get<std::uint8_t>() != 0;
+    r.error = get_str();
+    return r;
+  }
+  Histogram get_histogram() {
+    const auto nb = get<std::uint64_t>();
+    std::vector<double> bounds(nb);
+    for (auto& x : bounds) x = get<double>();
+    const auto nc = get<std::uint64_t>();
+    std::vector<std::uint64_t> counts(nc);
+    for (auto& c : counts) c = get<std::uint64_t>();
+    const auto count = get<std::uint64_t>();
+    const auto sum = get<double>();
+    const auto mn = get<double>();
+    const auto mx = get<double>();
+    Histogram h;
+    h.restore(std::move(bounds), std::move(counts), count, sum, mn, mx);
+    return h;
+  }
+  void done() const {
+    SWGMX_CHECK_MSG(pos == b.size(),
+                    "journal record has trailing bytes (corrupt)");
+  }
+};
+
+}  // namespace
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Submit: return "submit";
+    case EventKind::Admit: return "admit";
+    case EventKind::RejectQuota: return "reject_quota";
+    case EventKind::RejectQueue: return "reject_queue";
+    case EventKind::Shed: return "shed";
+    case EventKind::Slice: return "slice";
+    case EventKind::Preempt: return "preempt";
+    case EventKind::Retry: return "retry";
+    case EventKind::Quarantine: return "quarantine";
+    case EventKind::Complete: return "complete";
+    case EventKind::Snapshot: return "snapshot";
+  }
+  return "?";
+}
+
+std::string Journal::encode(const Event& e) {
+  std::string b;
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(e.kind));
+  put<double>(b, e.t);
+  put<std::int32_t>(b, e.seq);
+  switch (e.kind) {
+    case EventKind::Submit:
+      put_spec(b, e.spec);
+      break;
+    case EventKind::Admit:
+      put<double>(b, e.deadline_allowance);
+      put<double>(b, e.deadline_abs);
+      break;
+    case EventKind::RejectQuota:
+    case EventKind::RejectQueue:
+    case EventKind::Shed:
+      break;  // the prefix says it all
+    case EventKind::Slice: {
+      put<std::int32_t>(b, e.host);
+      put<double>(b, e.cost);
+      put<double>(b, e.slice_seconds);
+      put<std::int64_t>(b, e.step_after);
+      put<std::int64_t>(b, e.resume_step);
+      put<std::int32_t>(b, e.attempts);
+      const std::uint8_t flags =
+          static_cast<std::uint8_t>((e.started ? 1u : 0u) |
+                                    (e.resumed ? 2u : 0u) |
+                                    (e.done ? 4u : 0u) | (e.failed ? 8u : 0u));
+      put<std::uint8_t>(b, flags);
+      put_str(b, e.error);
+      break;
+    }
+    case EventKind::Preempt:
+      put<std::int32_t>(b, e.host);
+      put<double>(b, e.cost);
+      put<std::int64_t>(b, e.resume_step);
+      put_series(b, e.series);
+      break;
+    case EventKind::Retry:
+      put<double>(b, e.not_before);
+      put<double>(b, e.deadline_abs);
+      put<std::uint8_t>(b, e.deadline_miss ? 1 : 0);
+      break;
+    case EventKind::Quarantine:
+      put<std::uint8_t>(b, e.deadline_miss ? 1 : 0);
+      break;
+    case EventKind::Complete:
+      put_vecs(b, e.x);
+      put_vecs(b, e.v);
+      put_series(b, e.series);
+      break;
+    case EventKind::Snapshot:
+      SWGMX_CHECK_MSG(false, "snapshots are encoded via encode_snapshot()");
+  }
+  return b;
+}
+
+Event Journal::decode_event(const std::string& payload) {
+  Reader r(payload);
+  Event e;
+  e.kind = static_cast<EventKind>(r.get<std::uint8_t>());
+  e.t = r.get<double>();
+  e.seq = r.get<std::int32_t>();
+  switch (e.kind) {
+    case EventKind::Submit:
+      e.spec = r.get_spec();
+      break;
+    case EventKind::Admit:
+      e.deadline_allowance = r.get<double>();
+      e.deadline_abs = r.get<double>();
+      break;
+    case EventKind::RejectQuota:
+    case EventKind::RejectQueue:
+    case EventKind::Shed:
+      break;
+    case EventKind::Slice: {
+      e.host = r.get<std::int32_t>();
+      e.cost = r.get<double>();
+      e.slice_seconds = r.get<double>();
+      e.step_after = r.get<std::int64_t>();
+      e.resume_step = r.get<std::int64_t>();
+      e.attempts = r.get<std::int32_t>();
+      const auto flags = r.get<std::uint8_t>();
+      e.started = (flags & 1u) != 0;
+      e.resumed = (flags & 2u) != 0;
+      e.done = (flags & 4u) != 0;
+      e.failed = (flags & 8u) != 0;
+      e.error = r.get_str();
+      break;
+    }
+    case EventKind::Preempt:
+      e.host = r.get<std::int32_t>();
+      e.cost = r.get<double>();
+      e.resume_step = r.get<std::int64_t>();
+      e.series = r.get_series();
+      break;
+    case EventKind::Retry:
+      e.not_before = r.get<double>();
+      e.deadline_abs = r.get<double>();
+      e.deadline_miss = r.get<std::uint8_t>() != 0;
+      break;
+    case EventKind::Quarantine:
+      e.deadline_miss = r.get<std::uint8_t>() != 0;
+      break;
+    case EventKind::Complete:
+      e.x = r.get_vecs();
+      e.v = r.get_vecs();
+      e.series = r.get_series();
+      break;
+    case EventKind::Snapshot:
+      SWGMX_CHECK_MSG(false, "snapshot record where an event was expected");
+      break;
+    default:
+      SWGMX_CHECK_MSG(false, "unknown journal event kind "
+                                 << static_cast<int>(e.kind));
+      break;
+  }
+  r.done();
+  return e;
+}
+
+std::string Journal::encode_snapshot(const Snapshot& s) {
+  std::string b;
+  put<std::uint8_t>(b, static_cast<std::uint8_t>(EventKind::Snapshot));
+  put<double>(b, s.now);
+  put<std::int32_t>(b, -1);
+  const ServiceStats& st = s.stats;
+  put<std::uint64_t>(b, st.submitted);
+  put<std::uint64_t>(b, st.admitted);
+  put<std::uint64_t>(b, st.completed);
+  put<std::uint64_t>(b, st.rejected_queue);
+  put<std::uint64_t>(b, st.rejected_quota);
+  put<std::uint64_t>(b, st.shed);
+  put<std::uint64_t>(b, st.preemptions);
+  put<std::uint64_t>(b, st.resumes);
+  put<std::uint64_t>(b, st.retries);
+  put<std::uint64_t>(b, st.quarantined);
+  put<std::uint64_t>(b, st.deadline_misses);
+  put<std::uint64_t>(b, st.max_queue_depth);
+  put_histogram(b, st.latency);
+  put<std::uint32_t>(b, static_cast<std::uint32_t>(s.tenants.size()));
+  for (const Tenant& t : s.tenants) {
+    put_str(b, t.name);
+    put<std::int32_t>(b, t.quota);
+    put<std::int32_t>(b, t.in_flight);
+    put<std::uint64_t>(b, t.submitted);
+    put<std::uint64_t>(b, t.completed);
+    put<std::uint64_t>(b, t.rejected);
+    put<std::uint64_t>(b, t.quarantined);
+    put<double>(b, t.busy_seconds);
+  }
+  put<std::uint32_t>(b, static_cast<std::uint32_t>(s.hosts.size()));
+  for (const Host& h : s.hosts) {
+    put<double>(b, h.busy_until);
+    put<std::int32_t>(b, h.job);
+    put<double>(b, h.busy_seconds);
+    put<std::uint64_t>(b, h.slices);
+  }
+  put<std::uint32_t>(b, static_cast<std::uint32_t>(s.queue.size()));
+  for (const int q : s.queue) put<std::int32_t>(b, q);
+  put<std::uint32_t>(b, static_cast<std::uint32_t>(s.jobs.size()));
+  for (const JobImage& j : s.jobs) {
+    put_spec(b, j.spec);
+    put<std::uint8_t>(b, j.state);
+    put<double>(b, j.admit_s);
+    put<double>(b, j.finish_s);
+    put<double>(b, j.not_before);
+    put<double>(b, j.deadline_abs);
+    put<double>(b, j.deadline_allowance);
+    put<double>(b, j.busy_seconds);
+    put<std::int32_t>(b, j.preemptions);
+    put<std::int32_t>(b, j.attempts);
+    put<std::int64_t>(b, j.resume_step);
+    put<std::int64_t>(b, j.journal_step);
+    put_slice_result(b, j.last_slice);
+    put_series(b, j.series);
+    put_vecs(b, j.x);
+    put_vecs(b, j.v);
+  }
+  return b;
+}
+
+Snapshot Journal::decode_snapshot(const std::string& payload) {
+  Reader r(payload);
+  const auto kind = static_cast<EventKind>(r.get<std::uint8_t>());
+  SWGMX_CHECK_MSG(kind == EventKind::Snapshot,
+                  "not a snapshot record (kind " << static_cast<int>(kind)
+                                                 << ")");
+  Snapshot s;
+  s.now = r.get<double>();
+  (void)r.get<std::int32_t>();  // seq placeholder, always -1
+  ServiceStats& st = s.stats;
+  st.submitted = r.get<std::uint64_t>();
+  st.admitted = r.get<std::uint64_t>();
+  st.completed = r.get<std::uint64_t>();
+  st.rejected_queue = r.get<std::uint64_t>();
+  st.rejected_quota = r.get<std::uint64_t>();
+  st.shed = r.get<std::uint64_t>();
+  st.preemptions = r.get<std::uint64_t>();
+  st.resumes = r.get<std::uint64_t>();
+  st.retries = r.get<std::uint64_t>();
+  st.quarantined = r.get<std::uint64_t>();
+  st.deadline_misses = r.get<std::uint64_t>();
+  st.max_queue_depth = static_cast<std::size_t>(r.get<std::uint64_t>());
+  st.latency = r.get_histogram();
+  const auto ntenants = r.get<std::uint32_t>();
+  s.tenants.resize(ntenants);
+  for (Tenant& t : s.tenants) {
+    t.name = r.get_str();
+    t.quota = r.get<std::int32_t>();
+    t.in_flight = r.get<std::int32_t>();
+    t.submitted = r.get<std::uint64_t>();
+    t.completed = r.get<std::uint64_t>();
+    t.rejected = r.get<std::uint64_t>();
+    t.quarantined = r.get<std::uint64_t>();
+    t.busy_seconds = r.get<double>();
+  }
+  const auto nhosts = r.get<std::uint32_t>();
+  s.hosts.resize(nhosts);
+  for (std::uint32_t i = 0; i < nhosts; ++i) {
+    Host& h = s.hosts[i];
+    h.id = static_cast<int>(i);
+    h.busy_until = r.get<double>();
+    h.job = r.get<std::int32_t>();
+    h.busy_seconds = r.get<double>();
+    h.slices = r.get<std::uint64_t>();
+  }
+  const auto nqueue = r.get<std::uint32_t>();
+  s.queue.resize(nqueue);
+  for (int& q : s.queue) q = r.get<std::int32_t>();
+  const auto njobs = r.get<std::uint32_t>();
+  s.jobs.resize(njobs);
+  for (JobImage& j : s.jobs) {
+    j.spec = r.get_spec();
+    j.state = r.get<std::uint8_t>();
+    j.admit_s = r.get<double>();
+    j.finish_s = r.get<double>();
+    j.not_before = r.get<double>();
+    j.deadline_abs = r.get<double>();
+    j.deadline_allowance = r.get<double>();
+    j.busy_seconds = r.get<double>();
+    j.preemptions = r.get<std::int32_t>();
+    j.attempts = r.get<std::int32_t>();
+    j.resume_step = r.get<std::int64_t>();
+    j.journal_step = r.get<std::int64_t>();
+    j.last_slice = r.get_slice_result();
+    j.series = r.get_series();
+    j.x = r.get_vecs();
+    j.v = r.get_vecs();
+  }
+  r.done();
+  return s;
+}
+
+Journal::Journal(std::string dir, int compact_every)
+    : dir_(std::move(dir)), compact_every_(compact_every) {
+  SWGMX_CHECK_MSG(!dir_.empty(), "journal directory must not be empty");
+  SWGMX_CHECK_MSG(compact_every_ >= 1, "journal_compact_every must be >= 1");
+  std::filesystem::create_directories(dir_);
+  file_ = dir_ + "/svc.journal";
+  std::error_code ec;
+  has_history_ = std::filesystem::exists(file_, ec) &&
+                 std::filesystem::file_size(file_, ec) > 0;
+}
+
+Journal::~Journal() = default;
+
+void Journal::append(const Event& e,
+                     const std::function<Snapshot()>& snapshot_fn) {
+  if (!log_) log_ = std::make_unique<io::FrameLog>(file_);
+  const std::uint64_t idx = events_appended_;
+  log_->append(encode(e), idx);
+  kinds_.push_back(e.kind);
+  ++events_appended_;
+  ++since_compact_;
+  if (since_compact_ >= compact_every_) {
+    // Fold everything into one snapshot record and atomically swap the
+    // file; the append handle must reopen because the inode changed.
+    log_->close();
+    io::FrameLog::replace_with(file_, {encode_snapshot(snapshot_fn())});
+    log_ = std::make_unique<io::FrameLog>(file_);
+    since_compact_ = 0;
+  }
+  sw::FaultInjector& inj = sw::FaultInjector::global();
+  if (inj.enabled() && inj.plan().svc_crash(idx)) {
+    inj.record_svc_crash();
+    throw ServiceCrash{};
+  }
+}
+
+Journal::Replay Journal::load() {
+  io::FrameLog::Scan scan = io::FrameLog::scan_and_truncate(file_);
+  Replay r;
+  r.frames_dropped = scan.frames_dropped;
+  r.bytes_dropped = scan.bytes_dropped;
+  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
+    const std::string& f = scan.frames[i];
+    SWGMX_CHECK_MSG(!f.empty(), "empty journal frame in " << file_);
+    const auto kind =
+        static_cast<EventKind>(static_cast<std::uint8_t>(f[0]));
+    if (kind == EventKind::Snapshot) {
+      SWGMX_CHECK_MSG(i == 0,
+                      "journal snapshot record not at the head of " << file_);
+      r.snapshot = decode_snapshot(f);
+      r.has_snapshot = true;
+    } else {
+      r.events.push_back(decode_event(f));
+    }
+  }
+  has_history_ = false;
+  return r;
+}
+
+}  // namespace swgmx::svc

@@ -1,0 +1,188 @@
+// Journal: the scheduler's write-ahead log (DESIGN.md §2.14).
+//
+// Every JobScheduler state transition — submit, admit, reject, shed, slice
+// launch, preempt, retry, quarantine, complete — is appended as one
+// CRC-framed record (io/frame_log.hpp) and fsynced before the transition's
+// effects can be observed by a later event. Events are *redo* records: each
+// one carries the post-transition values the live scheduler computed
+// (admission deadlines, slice costs, retry release times, spliced energy
+// series, final particle state), so recovery replays them with mechanical
+// assignments — no policy is re-run, and the rebuilt control plane is
+// bit-identical to the pre-crash one. Every `journal_compact_every` events
+// the whole scheduler state is folded into a single snapshot record and the
+// file is atomically rewritten, bounding replay work.
+//
+// Recovery invariant: after JobScheduler::recover() replays snapshot+tail
+// and re-attaches the engines of mid-slice jobs (svc/job.hpp reattach), the
+// remainder of the run — including every scheduling decision, deadline miss
+// and retry — proceeds exactly as the uninterrupted run would have, so all
+// completed jobs finish byte-identical to a crash-free service.
+//
+// Torn or CRC-bad suffixes are truncated at the first bad frame: the events
+// lost were durable-but-corrupted (or never fully written), and the resumed
+// event loop simply re-makes those decisions — deterministically arriving
+// at the same outcomes.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/scheduler.hpp"
+
+namespace swgmx::io {
+class FrameLog;
+}
+
+namespace swgmx::svc {
+
+/// Thrown by the journal's svc_crash fault hook to model the scheduler
+/// process dying mid-event-loop. Deliberately NOT a swgmx::Error so no
+/// self-healing layer swallows it; only the crash-soak driver catches it.
+class ServiceCrash : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "injected svc_crash: scheduler process died";
+  }
+};
+
+enum class EventKind : std::uint8_t {
+  Submit = 1,    ///< job registered; payload: the full JobSpec
+  Admit,         ///< admission granted; payload: deadline allowance/abs
+  RejectQuota,   ///< refused: tenant over quota
+  RejectQueue,   ///< refused: queue full, no sheddable victim
+  Shed,          ///< waiting job evicted for a higher-priority arrival
+  Slice,         ///< a slice launched on a host (start/resume folded in)
+  Preempt,       ///< checkpointed off its host; payload: spliced series
+  Retry,         ///< failed attempt re-queued with backoff
+  Quarantine,    ///< retry budget exhausted (terminal)
+  Complete,      ///< reached its step target; payload: final state
+  Snapshot = 32, ///< compaction record: the whole scheduler state
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+
+/// One journal record. A single fat struct keeps encode/decode/replay in
+/// one switch each; every kind uses the common prefix (kind, t, seq) plus
+/// the fields its doc comment names — the rest stay default.
+struct Event {
+  EventKind kind{};
+  double t = 0.0;  ///< scheduler clock when the transition happened
+  int seq = -1;    ///< subject job (the victim for Shed)
+  // Submit
+  JobSpec spec;
+  // Admit
+  double deadline_allowance = 0.0;
+  double deadline_abs = 0.0;  ///< also Retry's refreshed deadline
+  // Slice / Preempt
+  int host = -1;
+  double cost = 0.0;              ///< host-seconds charged for the event
+  double slice_seconds = 0.0;     ///< engine-side slice time (Job::last_slice)
+  std::int64_t step_after = 0;    ///< engine step when the slice completes
+  std::int64_t resume_step = 0;   ///< attached checkpoint step (0 = scratch)
+  int attempts = 0;               ///< attempt count after a started slice
+  bool started = false;           ///< slice began a fresh attempt
+  bool resumed = false;           ///< slice resumed from a preemption cpt
+  bool done = false;              ///< slice outcome (Job::last_slice)
+  bool failed = false;
+  std::string error;
+  // Retry / Quarantine
+  double not_before = 0.0;
+  bool deadline_miss = false;  ///< the failure was a missed deadline
+  // Preempt (spliced series) / Complete (final state)
+  std::vector<md::EnergySample> series;
+  AlignedVector<Vec3f> x, v;
+};
+
+/// Frozen Job fields inside a snapshot record (the scheduler-owned public
+/// bookkeeping plus the private attempt/series/final state it restores
+/// through its Job friendship).
+struct JobImage {
+  JobSpec spec;
+  std::uint8_t state = 0;
+  double admit_s = 0.0, finish_s = 0.0, not_before = 0.0;
+  double deadline_abs = 0.0, deadline_allowance = 0.0, busy_seconds = 0.0;
+  int preemptions = 0;
+  int attempts = 0;
+  std::int64_t resume_step = 0;
+  std::int64_t journal_step = 0;
+  SliceResult last_slice;
+  std::vector<md::EnergySample> series;
+  AlignedVector<Vec3f> x, v;
+};
+
+/// A compaction record: everything JobScheduler::recover() needs to stand
+/// the control plane back up without replaying from the beginning.
+struct Snapshot {
+  double now = 0.0;
+  ServiceStats stats;
+  std::vector<Tenant> tenants;
+  std::vector<Host> hosts;
+  std::vector<int> queue;
+  std::vector<JobImage> jobs;
+};
+
+class Journal {
+ public:
+  /// Creates `dir` if needed; the log lives at <dir>/svc.journal. Appends
+  /// go through io::FrameLog (append+fsync); compaction snapshots rewrite
+  /// the file atomically every `compact_every` events.
+  Journal(std::string dir, int compact_every);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return file_; }
+  /// The file held frames when this Journal was constructed — the scheduler
+  /// refuses fresh submissions until recover() consumed them.
+  [[nodiscard]] bool has_history() const { return has_history_; }
+  /// Events appended by this process (monotonic; compaction never resets
+  /// it) — also the svc_crash key of the next append.
+  [[nodiscard]] std::uint64_t events_appended() const {
+    return events_appended_;
+  }
+  /// Kinds in append order — in-memory observability the crash soak uses to
+  /// pick crash points; survives compaction.
+  [[nodiscard]] const std::vector<EventKind>& appended_kinds() const {
+    return kinds_;
+  }
+
+  /// Encode + append + fsync one event; run compaction when due (the
+  /// callback supplies the state snapshot); then give the svc_crash oracle
+  /// its shot at killing the process (throws ServiceCrash *after* the event
+  /// is durable — the crashed event is always recoverable).
+  void append(const Event& e, const std::function<Snapshot()>& snapshot_fn);
+
+  struct Replay {
+    bool has_snapshot = false;
+    Snapshot snapshot;
+    std::vector<Event> events;      ///< the tail, in append order
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t bytes_dropped = 0;
+  };
+  /// Scan + truncate the file (io::FrameLog truncate-at-first-bad-frame)
+  /// and decode the clean prefix. A snapshot record is only legal as the
+  /// first frame; a CRC-valid frame that fails to decode is real corruption
+  /// and throws.
+  [[nodiscard]] Replay load();
+
+  // --- wire format (exposed for tests and tools/journal_dump.py) ---
+  [[nodiscard]] static std::string encode(const Event& e);
+  [[nodiscard]] static Event decode_event(const std::string& payload);
+  [[nodiscard]] static std::string encode_snapshot(const Snapshot& s);
+  [[nodiscard]] static Snapshot decode_snapshot(const std::string& payload);
+
+ private:
+  std::string dir_, file_;
+  int compact_every_;
+  std::unique_ptr<io::FrameLog> log_;
+  std::uint64_t events_appended_ = 0;
+  int since_compact_ = 0;
+  std::vector<EventKind> kinds_;
+  bool has_history_ = false;
+};
+
+}  // namespace swgmx::svc

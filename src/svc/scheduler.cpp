@@ -9,6 +9,8 @@
 #include "common/error.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "svc/journal.hpp"
+#include "sw/fault.hpp"
 
 namespace swgmx::svc {
 
@@ -28,6 +30,10 @@ JobScheduler::JobScheduler(ServiceOptions opt) : opt_(std::move(opt)) {
     hosts_[i].id = static_cast<int>(i);
   }
   std::filesystem::create_directories(opt_.checkpoint_dir);
+  if (!opt_.journal_dir.empty()) {
+    journal_ =
+        std::make_unique<Journal>(opt_.journal_dir, opt_.journal_compact_every);
+  }
   obs::TraceSession& tr = obs::TraceSession::global();
   if (tr.enabled()) {
     tr.set_process_name(obs::kPidSvc, "scheduler");
@@ -35,11 +41,23 @@ JobScheduler::JobScheduler(ServiceOptions opt) : opt_(std::move(opt)) {
   }
 }
 
+JobScheduler::~JobScheduler() = default;
+
 int JobScheduler::submit(JobSpec spec) {
+  SWGMX_CHECK_MSG(journal_ == nullptr || !journal_->has_history() || recovered_,
+                  "journal in " << opt_.journal_dir
+                                << " holds an unrecovered crash history; call "
+                                   "recover() first or point journal_dir at a "
+                                   "fresh directory");
   const int seq = static_cast<int>(jobs_.size());
   jobs_.push_back(std::make_unique<Job>(std::move(spec), seq, opt_));
   ++stats_.submitted;
   ++tenant_of(jobs_.back()->spec().tenant).submitted;
+  if (journal_ != nullptr) {
+    Event e = journal_event(EventKind::Submit, seq);
+    e.spec = jobs_.back()->spec();
+    journal_append(e);
+  }
   return seq;
 }
 
@@ -79,6 +97,7 @@ void JobScheduler::admit(Job& j) {
       tenant_of(j.spec().tenant).quota) {
     ++stats_.rejected_quota;
     reject(j, "tenant quota exhausted");
+    journal_append(journal_event(EventKind::RejectQuota, j.seq()));
     return;
   }
   if (queue_depth() >= static_cast<std::size_t>(opt_.queue_limit)) {
@@ -104,6 +123,7 @@ void JobScheduler::admit(Job& j) {
     if (victim < 0) {
       ++stats_.rejected_queue;
       reject(j, "admission queue full");
+      journal_append(journal_event(EventKind::RejectQueue, j.seq()));
       return;
     }
     Job& v = job(victim);
@@ -111,6 +131,7 @@ void JobScheduler::admit(Job& j) {
     --tenant_of(v.spec().tenant).in_flight;
     ++stats_.shed;
     reject(v, "shed for higher-priority arrival");
+    journal_append(journal_event(EventKind::Shed, victim));
   }
   Tenant& t = tenant_of(j.spec().tenant);
   ++t.in_flight;
@@ -125,6 +146,12 @@ void JobScheduler::admit(Job& j) {
   queue_.push_back(j.seq());
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
   svc_instant("job_admitted", j);
+  if (journal_ != nullptr) {
+    Event e = journal_event(EventKind::Admit, j.seq());
+    e.deadline_allowance = j.deadline_allowance;
+    e.deadline_abs = j.deadline_abs;
+    journal_append(e);
+  }
 }
 
 void JobScheduler::reject(Job& j, const char* why) {
@@ -153,12 +180,12 @@ void JobScheduler::finish_slice(Host& h) {
   const SliceResult r = j.last_slice;
   h.job = -1;
   if (r.failed) {
-    handle_failure(j, r.error);
+    handle_failure(j, r.error, /*deadline_miss=*/false);
     return;
   }
   if (j.deadline_abs > 0.0 && now_ > j.deadline_abs && !r.done) {
     ++stats_.deadline_misses;
-    handle_failure(j, "deadline exceeded");
+    handle_failure(j, "deadline exceeded", /*deadline_miss=*/true);
     return;
   }
   if (r.done) {
@@ -195,12 +222,23 @@ void JobScheduler::finish_slice(Host& h) {
     queue_.push_back(j.seq());
     ++stats_.preemptions;
     svc_instant("job_preempted", j);
+    if (journal_ != nullptr) {
+      // Appended after the checkpoint write is durable (WAL discipline: a
+      // crash between the two replays the pre-preemption decision instead).
+      Event e = journal_event(EventKind::Preempt, j.seq());
+      e.host = h.id;
+      e.cost = cpt_cost;
+      e.resume_step = j.resume_step_;
+      e.series = j.energy_series();
+      journal_append(e);
+    }
     return;
   }
   launch_slice(h, j);
 }
 
-void JobScheduler::handle_failure(Job& j, const std::string& why) {
+void JobScheduler::handle_failure(Job& j, const std::string& why,
+                                  bool deadline_miss) {
   {
     JobContext ctx(j, now_);
     j.abort_attempt();
@@ -213,6 +251,11 @@ void JobScheduler::handle_failure(Job& j, const std::string& why) {
     ++t.quarantined;
     --t.in_flight;
     svc_instant("job_quarantined", j, why.c_str());
+    if (journal_ != nullptr) {
+      Event e = journal_event(EventKind::Quarantine, j.seq());
+      e.deadline_miss = deadline_miss;
+      journal_append(e);
+    }
     return;
   }
   // Retry from scratch after an exponential backoff; the deadline budget
@@ -227,6 +270,13 @@ void JobScheduler::handle_failure(Job& j, const std::string& why) {
       j.deadline_allowance > 0.0 ? j.not_before + j.deadline_allowance : 0.0;
   queue_.push_back(j.seq());
   svc_instant("job_retry", j, why.c_str());
+  if (journal_ != nullptr) {
+    Event e = journal_event(EventKind::Retry, j.seq());
+    e.not_before = j.not_before;
+    e.deadline_abs = j.deadline_abs;
+    e.deadline_miss = deadline_miss;
+    journal_append(e);
+  }
 }
 
 void JobScheduler::dispatch() {
@@ -269,15 +319,19 @@ int JobScheduler::pick_waiting(bool require_ready) const {
 void JobScheduler::launch_slice(Host& h, Job& j) {
   double before = j.engine_seconds();
   double extra = 0.0;
+  bool started = false;
+  bool resumed = false;
   {
     JobContext ctx(j, now_);
     if (!j.engine_live()) {
       if (j.state == JobState::Preempted) {
         extra = j.resume();
+        resumed = true;
         ++stats_.resumes;
         svc_instant("job_resumed", j);
       } else {
         j.start_attempt();
+        started = true;
       }
       before = 0.0;  // fresh engine: its build cost belongs to this slice
     }
@@ -288,12 +342,28 @@ void JobScheduler::launch_slice(Host& h, Job& j) {
                                                      << " would wedge the "
                                                         "event loop");
   j.state = JobState::Running;
+  j.journal_step = j.current_step();
   h.job = j.seq();
   h.busy_until = now_ + cost;
   h.busy_seconds += cost;
   ++h.slices;
   j.busy_seconds += cost;
   tenant_of(j.spec().tenant).busy_seconds += cost;
+  if (journal_ != nullptr) {
+    Event e = journal_event(EventKind::Slice, j.seq());
+    e.host = h.id;
+    e.cost = cost;
+    e.slice_seconds = j.last_slice.seconds;
+    e.step_after = j.journal_step;
+    e.resume_step = j.resume_step_;
+    e.attempts = j.attempts();
+    e.started = started;
+    e.resumed = resumed;
+    e.done = j.last_slice.done;
+    e.failed = j.last_slice.failed;
+    e.error = j.last_slice.error;
+    journal_append(e);
+  }
 }
 
 void JobScheduler::complete_job(Job& j) {
@@ -309,6 +379,13 @@ void JobScheduler::complete_job(Job& j) {
   ++t.completed;
   --t.in_flight;
   svc_instant("job_completed", j);
+  if (journal_ != nullptr) {
+    Event e = journal_event(EventKind::Complete, j.seq());
+    e.x = j.final_x();
+    e.v = j.final_v();
+    e.series = j.energy_series();
+    journal_append(e);
+  }
 }
 
 double JobScheduler::next_event_time() const {
@@ -346,6 +423,280 @@ sw::RecoveryStats JobScheduler::recovery() const {
   sw::RecoveryStats total;
   for (const auto& jp : jobs_) total.merge(jp->injector().snapshot());
   return total;
+}
+
+Event JobScheduler::journal_event(EventKind k, int seq) const {
+  Event e;
+  e.kind = k;
+  e.t = now_;
+  e.seq = seq;
+  return e;
+}
+
+void JobScheduler::journal_append(const Event& e) {
+  if (journal_ == nullptr) return;
+  journal_->append(e, [this] { return make_snapshot(); });
+}
+
+Snapshot JobScheduler::make_snapshot() const {
+  Snapshot s;
+  s.now = now_;
+  s.stats = stats_;
+  s.tenants = tenants_;
+  s.hosts = hosts_;
+  s.queue = queue_;
+  s.jobs.reserve(jobs_.size());
+  for (const auto& jp : jobs_) {
+    const Job& j = *jp;
+    JobImage im;
+    im.spec = j.spec();
+    im.state = static_cast<std::uint8_t>(j.state);
+    im.admit_s = j.admit_s;
+    im.finish_s = j.finish_s;
+    im.not_before = j.not_before;
+    im.deadline_abs = j.deadline_abs;
+    im.deadline_allowance = j.deadline_allowance;
+    im.busy_seconds = j.busy_seconds;
+    im.preemptions = j.preemptions;
+    im.attempts = j.attempts_;
+    im.resume_step = j.resume_step_;
+    im.journal_step = j.journal_step;
+    im.last_slice = j.last_slice;
+    im.series = j.series_;
+    im.x = j.final_x_;
+    im.v = j.final_v_;
+    s.jobs.push_back(std::move(im));
+  }
+  return s;
+}
+
+void JobScheduler::apply_snapshot(const Snapshot& s) {
+  SWGMX_CHECK_MSG(s.hosts.size() == hosts_.size(),
+                  "journal snapshot has " << s.hosts.size()
+                                          << " hosts but SWGMX_SERVICE says "
+                                          << hosts_.size()
+                                          << "; recover with the same config");
+  now_ = s.now;
+  stats_ = s.stats;
+  tenants_ = s.tenants;
+  hosts_ = s.hosts;
+  queue_ = s.queue;
+  for (std::size_t i = 0; i < s.jobs.size(); ++i) {
+    const JobImage& im = s.jobs[i];
+    auto jp = std::make_unique<Job>(im.spec, static_cast<int>(i), opt_);
+    Job& j = *jp;
+    j.state = static_cast<JobState>(im.state);
+    j.admit_s = im.admit_s;
+    j.finish_s = im.finish_s;
+    j.not_before = im.not_before;
+    j.deadline_abs = im.deadline_abs;
+    j.deadline_allowance = im.deadline_allowance;
+    j.busy_seconds = im.busy_seconds;
+    j.preemptions = im.preemptions;
+    j.journal_step = im.journal_step;
+    j.last_slice = im.last_slice;
+    j.attempts_ = im.attempts;
+    j.resume_step_ = im.resume_step;
+    j.series_ = im.series;
+    j.final_x_ = im.x;
+    j.final_v_ = im.v;
+    jobs_.push_back(std::move(jp));
+  }
+}
+
+void JobScheduler::replay_clear_host(int seq) {
+  for (Host& h : hosts_) {
+    if (h.job == seq) {
+      h.job = -1;
+      return;
+    }
+  }
+  SWGMX_CHECK_MSG(false, "journal event finishes job " << seq
+                                                       << " but no host was "
+                                                          "running it");
+}
+
+// Events are redo records: every branch assigns the values the dead
+// scheduler already computed (carried in the event), so replay re-runs no
+// policy and lands bit-identical to the pre-crash control plane.
+void JobScheduler::apply_event(const Event& e) {
+  now_ = std::max(now_, e.t);
+  switch (e.kind) {
+    case EventKind::Submit: {
+      SWGMX_CHECK_MSG(e.seq == static_cast<int>(jobs_.size()),
+                      "journal submit seq " << e.seq << " does not match next "
+                                            << "job slot " << jobs_.size());
+      jobs_.push_back(std::make_unique<Job>(e.spec, e.seq, opt_));
+      ++stats_.submitted;
+      ++tenant_of(e.spec.tenant).submitted;
+      break;
+    }
+    case EventKind::Admit: {
+      Job& j = job(e.seq);
+      ++tenant_of(j.spec().tenant).in_flight;
+      ++stats_.admitted;
+      j.state = JobState::Queued;
+      j.admit_s = e.t;
+      j.not_before = e.t;
+      j.deadline_allowance = e.deadline_allowance;
+      j.deadline_abs = e.deadline_abs;
+      queue_.push_back(e.seq);
+      stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
+      break;
+    }
+    case EventKind::RejectQuota:
+    case EventKind::RejectQueue: {
+      Job& j = job(e.seq);
+      if (e.kind == EventKind::RejectQuota) {
+        ++stats_.rejected_quota;
+      } else {
+        ++stats_.rejected_queue;
+      }
+      j.state = JobState::Rejected;
+      j.finish_s = e.t;
+      ++tenant_of(j.spec().tenant).rejected;
+      break;
+    }
+    case EventKind::Shed: {
+      Job& v = job(e.seq);
+      const auto it = std::find(queue_.begin(), queue_.end(), e.seq);
+      SWGMX_CHECK_MSG(it != queue_.end(),
+                      "journal sheds job " << e.seq << " that is not queued");
+      queue_.erase(it);
+      Tenant& t = tenant_of(v.spec().tenant);
+      --t.in_flight;
+      ++stats_.shed;
+      v.state = JobState::Rejected;
+      v.finish_s = e.t;
+      ++t.rejected;
+      break;
+    }
+    case EventKind::Slice: {
+      Job& j = job(e.seq);
+      // Dispatched slices were pulled off the queue; continuation slices
+      // (finish_slice -> launch_slice) never re-entered it.
+      const auto it = std::find(queue_.begin(), queue_.end(), e.seq);
+      if (it != queue_.end()) queue_.erase(it);
+      if (e.started) {
+        j.attempts_ = e.attempts;
+        j.resume_step_ = 0;
+        j.series_.clear();
+      }
+      if (e.resumed) ++stats_.resumes;
+      j.state = JobState::Running;
+      j.journal_step = e.step_after;
+      j.last_slice.seconds = e.slice_seconds;
+      j.last_slice.done = e.done;
+      j.last_slice.failed = e.failed;
+      j.last_slice.error = e.error;
+      Host& h = hosts_.at(static_cast<std::size_t>(e.host));
+      h.job = e.seq;
+      h.busy_until = e.t + e.cost;
+      h.busy_seconds += e.cost;
+      ++h.slices;
+      j.busy_seconds += e.cost;
+      tenant_of(j.spec().tenant).busy_seconds += e.cost;
+      break;
+    }
+    case EventKind::Preempt: {
+      Job& j = job(e.seq);
+      Host& h = hosts_.at(static_cast<std::size_t>(e.host));
+      SWGMX_CHECK_MSG(h.job == e.seq, "journal preempts job "
+                                          << e.seq << " but host " << e.host
+                                          << " runs " << h.job);
+      h.job = -1;
+      h.busy_until = e.t + e.cost;  // the checkpoint-write cooldown
+      h.busy_seconds += e.cost;
+      j.state = JobState::Preempted;
+      j.resume_step_ = e.resume_step;
+      j.series_ = e.series;
+      j.busy_seconds += e.cost;
+      tenant_of(j.spec().tenant).busy_seconds += e.cost;
+      ++j.preemptions;
+      queue_.push_back(e.seq);
+      ++stats_.preemptions;
+      break;
+    }
+    case EventKind::Retry: {
+      Job& j = job(e.seq);
+      replay_clear_host(e.seq);
+      ++stats_.retries;
+      if (e.deadline_miss) ++stats_.deadline_misses;
+      j.resume_step_ = 0;
+      j.state = JobState::Queued;
+      j.not_before = e.not_before;
+      j.deadline_abs = e.deadline_abs;
+      queue_.push_back(e.seq);
+      break;
+    }
+    case EventKind::Quarantine: {
+      Job& j = job(e.seq);
+      replay_clear_host(e.seq);
+      if (e.deadline_miss) ++stats_.deadline_misses;
+      ++stats_.quarantined;
+      j.resume_step_ = 0;
+      j.state = JobState::Quarantined;
+      j.finish_s = e.t;
+      Tenant& t = tenant_of(j.spec().tenant);
+      ++t.quarantined;
+      --t.in_flight;
+      break;
+    }
+    case EventKind::Complete: {
+      Job& j = job(e.seq);
+      replay_clear_host(e.seq);
+      j.state = JobState::Completed;
+      j.finish_s = e.t;
+      j.final_x_ = e.x;
+      j.final_v_ = e.v;
+      j.series_ = e.series;
+      ++stats_.completed;
+      stats_.latency.observe(e.t - j.spec().arrival_s);
+      Tenant& t = tenant_of(j.spec().tenant);
+      ++t.completed;
+      --t.in_flight;
+      break;
+    }
+    case EventKind::Snapshot:
+      SWGMX_CHECK_MSG(false, "snapshot record in the journal's event tail");
+      break;
+  }
+}
+
+JobScheduler::RecoverySummary JobScheduler::recover() {
+  SWGMX_CHECK_MSG(journal_ != nullptr,
+                  "recover() needs SWGMX_SERVICE journal_dir");
+  SWGMX_CHECK_MSG(jobs_.empty() && !recovered_,
+                  "recover() must run once, on a fresh scheduler");
+  Journal::Replay r = journal_->load();
+  RecoverySummary sum;
+  sum.frames_dropped = r.frames_dropped;
+  sum.bytes_dropped = r.bytes_dropped;
+  if (r.has_snapshot) {
+    apply_snapshot(r.snapshot);
+    sum.snapshot_loaded = true;
+  }
+  for (const Event& e : r.events) apply_event(e);
+  sum.events_replayed = r.events.size();
+  sum.jobs_restored = jobs_.size();
+  // Jobs that were mid-slice when the process died: rebuild their engines
+  // by deterministic re-execution up to the journaled step. A job whose
+  // last slice failed is skipped — its engine was doomed anyway and the
+  // resumed event loop aborts the attempt without touching it.
+  for (const auto& jp : jobs_) {
+    Job& j = *jp;
+    if (j.state != JobState::Running || j.engine_live() ||
+        j.last_slice.failed) {
+      continue;
+    }
+    JobContext ctx(j, now_);
+    j.reattach(j.journal_step, opt_.slice_steps);
+    ++sum.engines_reattached;
+  }
+  sw::FaultInjector::global().record_journal_recovery(
+      r.frames_dropped, static_cast<std::uint64_t>(r.events.size()));
+  recovered_ = true;
+  return sum;
 }
 
 void JobScheduler::rollup_into(obs::MetricsRegistry& dst) const {

@@ -34,6 +34,14 @@
 
 namespace swgmx::svc {
 
+// svc/journal.hpp includes this header; the scheduler only holds the
+// journal by pointer and passes events through, so forward declarations
+// keep the dependency one-way.
+class Journal;
+struct Event;
+struct Snapshot;
+enum class EventKind : std::uint8_t;
+
 /// Per-tenant admission accounting and fairness counters.
 struct Tenant {
   std::string name;
@@ -75,10 +83,35 @@ struct ServiceStats {
 class JobScheduler {
  public:
   explicit JobScheduler(ServiceOptions opt);
+  ~JobScheduler();
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
 
   /// Register a job (arrives at spec.arrival_s on the simulated clock).
   /// Returns its seq; admission control runs when the clock reaches it.
+  /// With a journal holding an unconsumed crash history this throws —
+  /// call recover() first (or point journal_dir at a fresh directory).
   int submit(JobSpec spec);
+
+  /// What recover() rebuilt, for logs and the crash soak's assertions.
+  struct RecoverySummary {
+    std::size_t events_replayed = 0;
+    std::uint64_t frames_dropped = 0;   ///< torn/CRC-bad suffix frames cut
+    std::uint64_t bytes_dropped = 0;
+    bool snapshot_loaded = false;       ///< journal began with a compaction record
+    std::size_t jobs_restored = 0;
+    std::size_t engines_reattached = 0; ///< mid-slice jobs re-run to journal_step
+  };
+  /// Crash recovery: replay the journal (snapshot + event tail, truncating
+  /// any torn/CRC-bad suffix) into this freshly constructed scheduler and
+  /// re-attach the engines of jobs that were mid-slice. Afterwards
+  /// run_until_idle() continues exactly where the dead process stopped and
+  /// every job finishes bit-identical to an uninterrupted run. Only legal
+  /// once, on a scheduler that has not been submitted to.
+  RecoverySummary recover();
+
+  /// The write-ahead journal, or nullptr when journal_dir is unset.
+  [[nodiscard]] const Journal* journal() const { return journal_.get(); }
 
   /// Drive the event loop until every submitted job is terminal
   /// (Completed, Rejected or Quarantined).
@@ -114,7 +147,7 @@ class JobScheduler {
   void reject(Job& j, const char* why);
   void complete_slices();
   void finish_slice(Host& h);
-  void handle_failure(Job& j, const std::string& why);
+  void handle_failure(Job& j, const std::string& why, bool deadline_miss);
   void dispatch();
   /// Highest-priority eligible waiting job (not_before <= now), or -1.
   [[nodiscard]] int pick_waiting(bool require_ready) const;
@@ -123,6 +156,18 @@ class JobScheduler {
   [[nodiscard]] double next_event_time() const;
   void svc_instant(const char* name, const Job& j, const char* detail = nullptr);
 
+  // --- write-ahead journal plumbing (svc/journal.hpp) ---
+  /// Common-prefix Event factory (kind, now_, seq).
+  [[nodiscard]] Event journal_event(EventKind k, int seq) const;
+  /// Append one event when journaling is on; a no-op otherwise. May throw
+  /// ServiceCrash (the svc_crash fault fires after the event is durable).
+  void journal_append(const Event& e);
+  [[nodiscard]] Snapshot make_snapshot() const;
+  void apply_snapshot(const Snapshot& s);
+  void apply_event(const Event& e);
+  /// Mark the host running `seq` idle (replay of the finish_slice step).
+  void replay_clear_host(int seq);
+
   ServiceOptions opt_;
   std::vector<std::unique_ptr<Job>> jobs_;
   std::vector<Tenant> tenants_;
@@ -130,6 +175,8 @@ class JobScheduler {
   std::vector<int> queue_;  ///< waiting job seqs (Queued or Preempted)
   ServiceStats stats_;
   double now_ = 0.0;
+  std::unique_ptr<Journal> journal_;  ///< null when journal_dir is unset
+  bool recovered_ = false;
 };
 
 }  // namespace swgmx::svc

@@ -30,6 +30,9 @@ void ServiceOptions::validate() const {
                                                  << " must be >= 0 (0 = off)");
   SWGMX_CHECK_MSG(!checkpoint_dir.empty(),
                   "SWGMX_SERVICE checkpoint_dir must not be empty");
+  SWGMX_CHECK_MSG(journal_compact_every >= 1,
+                  "SWGMX_SERVICE journal_compact_every "
+                      << journal_compact_every << " must be >= 1");
 }
 
 ServiceOptions parse_service_spec(const char* spec) {
@@ -89,12 +92,21 @@ ServiceOptions parse_service_spec(const char* spec) {
       o.default_deadline_s = parse_double("deadline");
     } else if (key == "checkpoint_dir") {
       o.checkpoint_dir = val;
+    } else if (key == "journal_dir") {
+      // An explicit key with an empty value is a typo, not "journaling off";
+      // omission is how journaling stays disabled.
+      SWGMX_CHECK_MSG(!val.empty(),
+                      "SWGMX_SERVICE journal_dir must not be empty");
+      o.journal_dir = val;
+    } else if (key == "journal_compact_every") {
+      o.journal_compact_every = parse_int("journal_compact_every");
     } else {
       SWGMX_CHECK_MSG(false, "unknown SWGMX_SERVICE key '"
                                  << key
                                  << "' (hosts|queue_limit|tenant_quota|"
                                     "slice_steps|max_job_retries|retry_delay|"
-                                    "retry_backoff|deadline|checkpoint_dir)");
+                                    "retry_backoff|deadline|checkpoint_dir|"
+                                    "journal_dir|journal_compact_every)");
     }
   }
   o.validate();

@@ -27,6 +27,16 @@ struct ServiceOptions {
   /// key: checkpoint_dir — directory for preemption checkpoints (one .cpt
   /// plus its _prev sibling per suspended job); non-empty.
   std::string checkpoint_dir = "svc_cpt";
+  /// key: journal_dir — when non-empty, every scheduler state transition is
+  /// appended to a CRC-framed write-ahead journal (<journal_dir>/svc.journal)
+  /// and JobScheduler::recover() can rebuild the control plane after a crash
+  /// (DESIGN.md §2.14). Empty (the default) disables journaling entirely:
+  /// behavior and output are byte-identical to a journal-free build.
+  std::string journal_dir;
+  /// key: journal_compact_every — appended events between snapshot
+  /// compactions of the journal (>= 1); only consulted when journal_dir is
+  /// set.
+  int journal_compact_every = 64;
 
   /// Range-check every knob; throws swgmx::Error with the offending key.
   void validate() const;

@@ -61,6 +61,10 @@ FaultRates parse_fault_spec(const char* spec) {
       r.spare_ranks = parse_int("spare_ranks");
       continue;
     }
+    if (key == "svc_crash") {
+      r.svc_crash_event = parse_int("svc_crash");
+      continue;
+    }
     if (key == "max_dma_retries") {
       r.policy.max_dma_retries = parse_int("max_dma_retries");
       continue;
@@ -122,13 +126,20 @@ FaultRates parse_fault_spec(const char* spec) {
       r.rank_crash = rate;
     } else if (key == "rank_hang") {
       r.rank_hang = rate;
+    } else if (key == "journal_torn") {
+      r.journal_torn = rate;
+    } else if (key == "journal_crc") {
+      r.journal_crc = rate;
+    } else if (key == "fsync_fail") {
+      r.fsync_fail = rate;
     } else {
       SWGMX_CHECK_MSG(false,
                       "unknown SWGMX_FAULTS key '"
                           << key
                           << "' (dma_flip|dma_stall|msg_drop|msg_dup|"
                              "msg_delay|cpe_straggle|numeric_kick|rank_crash|"
-                             "rank_hang|spare_ranks|seed|max_dma_retries|"
+                             "rank_hang|journal_torn|journal_crc|fsync_fail|"
+                             "svc_crash|spare_ranks|seed|max_dma_retries|"
                              "max_msg_retries|msg_timeout_factor|msg_backoff|"
                              "hb_interval|hb_timeout|gossip_confirmations)");
     }
@@ -212,6 +223,14 @@ RecoveryStats FaultInjector::snapshot() const {
   s.ranks_evicted = ranks_evicted_.load(std::memory_order_relaxed);
   s.spares_promoted = spares_promoted_.load(std::memory_order_relaxed);
   s.redecompositions = redecompositions_.load(std::memory_order_relaxed);
+  s.journal_torn_frames = journal_torn_frames_.load(std::memory_order_relaxed);
+  s.journal_crc_flips = journal_crc_flips_.load(std::memory_order_relaxed);
+  s.fsync_failures = fsync_failures_.load(std::memory_order_relaxed);
+  s.svc_crashes = svc_crashes_.load(std::memory_order_relaxed);
+  s.journal_frames_dropped =
+      journal_frames_dropped_.load(std::memory_order_relaxed);
+  s.journal_events_replayed =
+      journal_events_replayed_.load(std::memory_order_relaxed);
   s.fault_cycles = fault_cycles_.load(std::memory_order_relaxed);
   s.msg_fault_ns = msg_fault_ns_.load(std::memory_order_relaxed);
   s.detection_ns = detection_ns_.load(std::memory_order_relaxed);
@@ -225,8 +244,10 @@ void FaultInjector::reset_stats() {
         &msg_retransmits_, &msgs_duplicated_, &msg_delays_, &cpe_stragglers_,
         &numeric_kicks_, &rollbacks_, &steps_replayed_, &transport_fallbacks_,
         &checkpoints_written_, &rank_crashes_, &rank_hangs_, &ranks_evicted_,
-        &spares_promoted_, &redecompositions_, &fault_cycles_, &msg_fault_ns_,
-        &detection_ns_, &redecomp_ns_}) {
+        &spares_promoted_, &redecompositions_, &journal_torn_frames_,
+        &journal_crc_flips_, &fsync_failures_, &svc_crashes_,
+        &journal_frames_dropped_, &journal_events_replayed_, &fsync_ops_,
+        &fault_cycles_, &msg_fault_ns_, &detection_ns_, &redecomp_ns_}) {
     c->store(0, std::memory_order_relaxed);
   }
 }

@@ -82,6 +82,12 @@ struct FaultRates {
   double numeric_kick = 0.0;  ///< a force entry is corrupted (NaN / blow-up)
   double rank_crash = 0.0;    ///< a whole rank dies, per rank per step
   double rank_hang = 0.0;     ///< a whole rank goes silent, per rank per step
+  double journal_torn = 0.0;  ///< a journal frame lands torn (partial payload)
+  double journal_crc = 0.0;   ///< one bit of a journal frame flips on disk
+  double fsync_fail = 0.0;    ///< a durable flush (file or directory) fails
+  /// Journal event index after which the scheduler process dies
+  /// (svc::ServiceCrash), modeling mid-event-loop death; -1 disables.
+  std::int64_t svc_crash_event = -1;
   int spare_ranks = 0;        ///< hot spares ParallelSim may promote on eviction
   RetryPolicy policy;         ///< retry/timeout/heartbeat knobs
   std::uint64_t seed = 0x53574758ull;  // "SWGX"
@@ -89,7 +95,9 @@ struct FaultRates {
   [[nodiscard]] bool any() const {
     return dma_flip > 0.0 || dma_stall > 0.0 || msg_drop > 0.0 ||
            msg_dup > 0.0 || msg_delay > 0.0 || cpe_straggle > 0.0 ||
-           numeric_kick > 0.0 || rank_crash > 0.0 || rank_hang > 0.0;
+           numeric_kick > 0.0 || rank_crash > 0.0 || rank_hang > 0.0 ||
+           journal_torn > 0.0 || journal_crc > 0.0 || fsync_fail > 0.0 ||
+           svc_crash_event >= 0;
   }
 };
 
@@ -111,6 +119,10 @@ enum class FaultKind : std::uint64_t {
   NumericKick,
   RankCrash,
   RankHang,
+  JournalTorn,
+  JournalCrc,
+  FsyncFail,
+  SvcCrash,
 };
 
 /// Pure deterministic fault oracle: every method is a hash of its arguments
@@ -172,6 +184,26 @@ class FaultPlan {
   [[nodiscard]] bool rank_hang(std::uint64_t step, int rank) const {
     return fires(FaultKind::RankHang, r_.rank_hang, step,
                  static_cast<std::uint64_t>(rank), 0, 0);
+  }
+  // --- durable-I/O faults (io/durable.cpp, io/frame_log.cpp) ---
+  /// `frame` is the journal's monotonic event index.
+  [[nodiscard]] bool journal_torn(std::uint64_t frame) const {
+    return fires(FaultKind::JournalTorn, r_.journal_torn, frame, 0, 0, 0);
+  }
+  [[nodiscard]] bool journal_crc(std::uint64_t frame) const {
+    return fires(FaultKind::JournalCrc, r_.journal_crc, frame, 0, 0, 0);
+  }
+  /// `op` is the injector's monotonic fsync-op counter, so retries draw
+  /// fresh and the k-th flush of a run fails for a given seed regardless of
+  /// which file it lands on.
+  [[nodiscard]] bool fsync_fail(std::uint64_t op) const {
+    return fires(FaultKind::FsyncFail, r_.fsync_fail, op, 0, 0, 0);
+  }
+  /// Deterministic, not probabilistic: the scheduler dies right after the
+  /// journal append with this exact event index becomes durable.
+  [[nodiscard]] bool svc_crash(std::uint64_t event) const {
+    return r_.svc_crash_event >= 0 &&
+           event == static_cast<std::uint64_t>(r_.svc_crash_event);
   }
 
   /// Raw deterministic 64-bit draw for fault payloads (which bit to flip,
@@ -239,6 +271,12 @@ struct RecoveryStats {
   std::uint64_t ranks_evicted = 0;      ///< ranks removed from the run
   std::uint64_t spares_promoted = 0;    ///< hot spares pressed into service
   std::uint64_t redecompositions = 0;   ///< survivor-set domain rebuilds
+  std::uint64_t journal_torn_frames = 0;  ///< injected partial-frame writes
+  std::uint64_t journal_crc_flips = 0;    ///< injected frame bit flips
+  std::uint64_t fsync_failures = 0;       ///< injected durable-flush failures
+  std::uint64_t svc_crashes = 0;          ///< injected scheduler deaths
+  std::uint64_t journal_frames_dropped = 0;  ///< frames truncated at recovery
+  std::uint64_t journal_events_replayed = 0; ///< events replayed at recovery
   std::uint64_t fault_cycles = 0;   ///< CPE cycles spent on checks + recovery
   std::uint64_t msg_fault_ns = 0;   ///< simulated ns spent on retransmits/spikes
   std::uint64_t detection_ns = 0;   ///< simulated ns waiting on failure detection
@@ -266,6 +304,12 @@ struct RecoveryStats {
     ranks_evicted += o.ranks_evicted;
     spares_promoted += o.spares_promoted;
     redecompositions += o.redecompositions;
+    journal_torn_frames += o.journal_torn_frames;
+    journal_crc_flips += o.journal_crc_flips;
+    fsync_failures += o.fsync_failures;
+    svc_crashes += o.svc_crashes;
+    journal_frames_dropped += o.journal_frames_dropped;
+    journal_events_replayed += o.journal_events_replayed;
     fault_cycles += o.fault_cycles;
     msg_fault_ns += o.msg_fault_ns;
     detection_ns += o.detection_ns;
@@ -275,7 +319,8 @@ struct RecoveryStats {
   [[nodiscard]] std::uint64_t faults_seen() const {
     return dma_bitflips + dma_stalls + msgs_dropped + msgs_duplicated +
            msg_delays + cpe_stragglers + numeric_kicks + rank_crashes +
-           rank_hangs;
+           rank_hangs + journal_torn_frames + journal_crc_flips +
+           fsync_failures + svc_crashes;
   }
   /// Simulated seconds charged to fault recovery and protection overhead.
   [[nodiscard]] double seconds_lost(double freq_hz = 1.45e9) const {
@@ -356,6 +401,22 @@ class FaultInjector {
     add_ns(redecomp_ns_, seconds);
   }
   void record_detection(double seconds) { add_ns(detection_ns_, seconds); }
+  void record_journal_torn() { bump(journal_torn_frames_); }
+  void record_journal_crc_flip() { bump(journal_crc_flips_); }
+  void record_fsync_failure() { bump(fsync_failures_); }
+  void record_svc_crash() { bump(svc_crashes_); }
+  void record_journal_recovery(std::uint64_t frames_dropped,
+                               std::uint64_t events_replayed) {
+    journal_frames_dropped_.fetch_add(frames_dropped,
+                                      std::memory_order_relaxed);
+    journal_events_replayed_.fetch_add(events_replayed,
+                                       std::memory_order_relaxed);
+  }
+  /// Monotonic durable-flush op counter: one draw per fsync_fail decision
+  /// (io/durable.cpp). Reset by configure() so runs are reproducible.
+  [[nodiscard]] std::uint64_t next_fsync_op() {
+    return fsync_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] RecoveryStats snapshot() const;
   void reset_stats();
@@ -378,6 +439,10 @@ class FaultInjector {
   Counter transport_fallbacks_{0}, checkpoints_written_{0};
   Counter rank_crashes_{0}, rank_hangs_{0}, ranks_evicted_{0};
   Counter spares_promoted_{0}, redecompositions_{0};
+  Counter journal_torn_frames_{0}, journal_crc_flips_{0};
+  Counter fsync_failures_{0}, svc_crashes_{0};
+  Counter journal_frames_dropped_{0}, journal_events_replayed_{0};
+  Counter fsync_ops_{0};
   Counter fault_cycles_{0}, msg_fault_ns_{0};
   Counter detection_ns_{0}, redecomp_ns_{0};
 };

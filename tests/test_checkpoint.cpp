@@ -7,6 +7,7 @@
 
 #include "io/checkpoint.hpp"
 #include "md/simulation.hpp"
+#include "sw/fault.hpp"
 #include "testutil.hpp"
 
 namespace swgmx::io {
@@ -222,6 +223,59 @@ TEST(Checkpoint, FallsBackToPrevWhenPrimaryCorrupt) {
   // No `_prev` sibling at all: still the primary's error.
   std::filesystem::remove(prev);
   EXPECT_THROW((void)read_checkpoint_or_prev(path), Error);
+}
+
+TEST(Checkpoint, ZeroLengthPrimaryFallsBackToPrev) {
+  // Regression: a crash can publish a zero-length primary (metadata landed,
+  // data did not, on filesystems without strict rename-after-fsync
+  // ordering). The reader must treat it exactly like a CRC-bad file — a
+  // precise error solo, a `_prev` fallback when rotation left one.
+  md::System sys = test::small_water(10);
+  const std::string path = ::testing::TempDir() + "/cp_zero.cpt";
+  const std::string prev = checkpoint_prev_path(path);
+  std::filesystem::remove(path);
+  std::filesystem::remove(prev);
+
+  write_checkpoint_rotating(path, sys, 10);
+  write_checkpoint_rotating(path, sys, 20);
+  std::filesystem::resize_file(path, 0);
+  ASSERT_EQ(std::filesystem::file_size(path), 0u);
+  EXPECT_EQ(read_checkpoint_or_prev(path).step, 10);
+  // Solo zero-length read names the failure rather than a generic magic
+  // mismatch on uninitialized bytes.
+  try {
+    (void)read_checkpoint(path);
+    FAIL() << "zero-length checkpoint must not parse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("zero-length or truncated"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, WritesSurviveFsyncFaultExhaustion) {
+  // Durability chain: tmp + fsync + rename + parent-directory fsync. With
+  // fsync_fail:1.0 the chain must fail loudly (not publish a maybe-durable
+  // file as success) and leave no tmp litter behind.
+  md::System sys = test::small_water(10);
+  const std::string dir = ::testing::TempDir() + "/cp_fsync_fault";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/cp.cpt";
+
+  sw::FaultInjector::global().configure(
+      sw::parse_fault_spec("fsync_fail:1.0"));
+  EXPECT_THROW(write_checkpoint(path, sys, 5), Error);
+  sw::FaultInjector::global().configure_from_env(nullptr);
+
+  EXPECT_FALSE(std::filesystem::exists(path));
+  for (const auto& ent : std::filesystem::directory_iterator(dir)) {
+    FAIL() << "leftover file: " << ent.path();
+  }
+  // Fault-free, the same write lands and the parent directory fsync
+  // succeeds (covered by the write's own success contract).
+  write_checkpoint(path, sys, 5);
+  EXPECT_EQ(read_checkpoint(path).step, 5);
 }
 
 TEST(Checkpoint, SimulationAutoCheckpoints) {

@@ -1,0 +1,802 @@
+// Crash-recoverable control plane (DESIGN.md §2.14): the CRC-framed
+// write-ahead journal, durable-I/O fault injection (journal_torn,
+// journal_crc, fsync_fail, svc_crash), and JobScheduler::recover() — every
+// crash point must recover to a control plane whose remaining run is
+// bit-identical to an uninterrupted one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ios>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "io/durable.hpp"
+#include "io/frame_log.hpp"
+#include "svc/journal.hpp"
+#include "svc/scheduler.hpp"
+#include "sw/fault.hpp"
+
+namespace swgmx {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Configure the process-default injector for the test body, then restore
+/// the fault-free default.
+struct FaultGuard {
+  explicit FaultGuard(const char* spec) {
+    sw::FaultInjector::global().configure(sw::parse_fault_spec(spec));
+  }
+  ~FaultGuard() { sw::FaultInjector::global().configure_from_env(nullptr); }
+};
+
+// --- FrameLog: append+fsync framing, truncate-at-first-bad-frame ---
+
+TEST(FrameLog, RoundTripsFramesInOrder) {
+  const std::string dir = fresh_dir("swgmx_framelog_rt");
+  const std::string path = dir + "/log";
+  {
+    io::FrameLog log(path);
+    log.append("alpha", 0);
+    log.append(std::string("\x00\x01\x02", 3), 1);  // binary-safe
+    EXPECT_THROW(log.append("", 2), Error);  // every record carries a prefix
+  }
+  const io::FrameLog::Scan s = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(s.frames.size(), 2u);
+  EXPECT_EQ(s.frames[0], "alpha");
+  EXPECT_EQ(s.frames[1], std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(s.frames_dropped, 0u);
+  EXPECT_EQ(s.bytes_dropped, 0u);
+}
+
+TEST(FrameLog, MissingAndEmptyFilesScanEmpty) {
+  const std::string dir = fresh_dir("swgmx_framelog_empty");
+  const io::FrameLog::Scan missing =
+      io::FrameLog::scan_and_truncate(dir + "/nope");
+  EXPECT_TRUE(missing.frames.empty());
+  std::ofstream(dir + "/zero").close();
+  const io::FrameLog::Scan zero = io::FrameLog::scan_and_truncate(dir + "/zero");
+  EXPECT_TRUE(zero.frames.empty());
+}
+
+TEST(FrameLog, BadMagicRefuses) {
+  const std::string dir = fresh_dir("swgmx_framelog_magic");
+  const std::string path = dir + "/log";
+  std::ofstream(path) << "this is not a journal at all";
+  EXPECT_THROW((void)io::FrameLog::scan_and_truncate(path), Error);
+}
+
+TEST(FrameLog, TornTailTruncatesAndHeals) {
+  const std::string dir = fresh_dir("swgmx_framelog_torn");
+  const std::string path = dir + "/log";
+  {
+    io::FrameLog log(path);
+    log.append("keep-1", 0);
+    log.append("keep-2", 1);
+  }
+  const auto clean_size = std::filesystem::file_size(path);
+  {
+    // A torn append: full header, half the payload (what a power cut
+    // mid-write leaves behind).
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const std::uint32_t len = 8;
+    const std::uint32_t crc = 0xDEADBEEF;
+    out.write(reinterpret_cast<const char*>(&len), 4);
+    out.write(reinterpret_cast<const char*>(&crc), 4);
+    out.write("half", 4);
+  }
+  const io::FrameLog::Scan s = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(s.frames.size(), 2u);
+  EXPECT_EQ(s.frames[0], "keep-1");
+  EXPECT_EQ(s.frames[1], "keep-2");
+  EXPECT_EQ(s.frames_dropped, 1u);
+  EXPECT_GT(s.bytes_dropped, 0u);
+  // The file was physically truncated back to the clean prefix; a second
+  // scan is clean and appends continue from there.
+  EXPECT_EQ(std::filesystem::file_size(path), clean_size);
+  {
+    io::FrameLog log(path);
+    log.append("keep-3", 2);
+  }
+  const io::FrameLog::Scan again = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(again.frames.size(), 3u);
+  EXPECT_EQ(again.frames[2], "keep-3");
+  EXPECT_EQ(again.frames_dropped, 0u);
+}
+
+TEST(FrameLog, CrcFlipDropsFromFirstBadFrame) {
+  const std::string dir = fresh_dir("swgmx_framelog_crc");
+  const std::string path = dir + "/log";
+  std::uint64_t frame1_off = 0;
+  {
+    io::FrameLog log(path);
+    log.append("frame-0", 0);
+    frame1_off = std::filesystem::file_size(path);
+  }
+  {
+    io::FrameLog log(path);
+    log.append("frame-1", 1);
+    log.append("frame-2", 2);
+  }
+  {
+    // Flip one payload bit of frame-1 on disk: it and everything after it
+    // must go; frame-0 survives.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(frame1_off) + 8);
+    char c = 0;
+    f.seekg(static_cast<std::streamoff>(frame1_off) + 8);
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(frame1_off) + 8);
+    f.put(static_cast<char>(c ^ 0x10));
+  }
+  const io::FrameLog::Scan s = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(s.frames.size(), 1u);
+  EXPECT_EQ(s.frames[0], "frame-0");
+  EXPECT_EQ(s.frames_dropped, 2u);
+}
+
+TEST(FrameLog, ReplaceWithRewritesAtomically) {
+  const std::string dir = fresh_dir("swgmx_framelog_replace");
+  const std::string path = dir + "/log";
+  {
+    io::FrameLog log(path);
+    for (int i = 0; i < 5; ++i) log.append("old-" + std::to_string(i), i);
+  }
+  io::FrameLog::replace_with(path, {"snapshot"});
+  const io::FrameLog::Scan s = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(s.frames.size(), 1u);
+  EXPECT_EQ(s.frames[0], "snapshot");
+}
+
+// --- durable-I/O fault kinds through the injector ---
+
+TEST(DurableFaults, SpecParsesNewKinds) {
+  const sw::FaultRates r = sw::parse_fault_spec(
+      "journal_torn:0.25,journal_crc:0.5,fsync_fail:0.125,svc_crash:7");
+  EXPECT_DOUBLE_EQ(r.journal_torn, 0.25);
+  EXPECT_DOUBLE_EQ(r.journal_crc, 0.5);
+  EXPECT_DOUBLE_EQ(r.fsync_fail, 0.125);
+  EXPECT_EQ(r.svc_crash_event, 7);
+  EXPECT_TRUE(r.any());
+  EXPECT_THROW((void)sw::parse_fault_spec("svc_crash:-2"), Error);
+  EXPECT_THROW((void)sw::parse_fault_spec("journal_torn:1.5"), Error);
+  // svc_crash alone arms the injector (it is an index, not a rate).
+  EXPECT_TRUE(sw::parse_fault_spec("svc_crash:0").any());
+}
+
+TEST(DurableFaults, TornAppendIsDroppedOnScan) {
+  const std::string dir = fresh_dir("swgmx_fault_torn");
+  const std::string path = dir + "/log";
+  {
+    io::FrameLog log(path);
+    log.append("durable", 0);
+    FaultGuard guard("journal_torn:1.0");
+    log.append("torn-away", 1);
+  }
+  EXPECT_EQ(sw::FaultInjector::global().snapshot().journal_torn_frames, 0u)
+      << "fault counters must reset with the guard";
+  const io::FrameLog::Scan s = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(s.frames.size(), 1u);
+  EXPECT_EQ(s.frames[0], "durable");
+  EXPECT_EQ(s.frames_dropped, 1u);
+}
+
+TEST(DurableFaults, CrcFlippedAppendIsDroppedOnScan) {
+  const std::string dir = fresh_dir("swgmx_fault_crc");
+  const std::string path = dir + "/log";
+  {
+    io::FrameLog log(path);
+    log.append("durable", 0);
+    FaultGuard guard("journal_crc:1.0");
+    log.append("bit-rotted", 1);
+    EXPECT_EQ(sw::FaultInjector::global().snapshot().journal_crc_flips, 1u);
+  }
+  const io::FrameLog::Scan s = io::FrameLog::scan_and_truncate(path);
+  ASSERT_EQ(s.frames.size(), 1u);
+  EXPECT_EQ(s.frames[0], "durable");
+  EXPECT_EQ(s.frames_dropped, 1u);
+}
+
+TEST(DurableFaults, FsyncFailureExhaustsRetriesAndThrows) {
+  const std::string dir = fresh_dir("swgmx_fault_fsync");
+  const std::string path = dir + "/log";
+  io::FrameLog log(path);
+  log.append("fine", 0);
+  FaultGuard guard("fsync_fail:1.0");
+  EXPECT_THROW(log.append("never-durable", 1), Error);
+  EXPECT_GE(sw::FaultInjector::global().snapshot().fsync_failures,
+            static_cast<std::uint64_t>(io::FrameLog::kFsyncRetries));
+}
+
+TEST(DurableFaults, FsyncDirHelpers) {
+  const std::string dir = fresh_dir("swgmx_fsync_dir");
+  EXPECT_TRUE(io::fsync_dir(dir));
+  EXPECT_FALSE(io::fsync_dir(dir + "/does-not-exist"));
+  EXPECT_TRUE(io::fsync_parent_dir(dir + "/some-file"));
+  FaultGuard guard("fsync_fail:1.0");
+  EXPECT_FALSE(io::fsync_dir(dir));
+}
+
+// --- wire format round trips ---
+
+svc::JobSpec rt_spec() {
+  svc::JobSpec s;
+  s.tenant = "acme";
+  s.name = "wire";
+  s.particles = 300;
+  s.steps = 40;
+  s.ranks = 2;
+  s.rdma = true;
+  s.priority = 3;
+  s.arrival_s = 1.5e-9;
+  s.deadline_s = 0.25;
+  s.faults = "dma_flip:1e-3,seed:7";
+  s.nstlist = 5;
+  s.nstenergy = 10;
+  s.seed = 42;
+  return s;
+}
+
+bool spec_eq(const svc::JobSpec& a, const svc::JobSpec& b) {
+  return a.tenant == b.tenant && a.name == b.name &&
+         a.particles == b.particles && a.steps == b.steps &&
+         a.ranks == b.ranks && a.rdma == b.rdma && a.priority == b.priority &&
+         a.arrival_s == b.arrival_s && a.deadline_s == b.deadline_s &&
+         a.faults == b.faults && a.nstlist == b.nstlist &&
+         a.nstenergy == b.nstenergy && a.seed == b.seed;
+}
+
+TEST(JournalWire, EventRoundTripsEveryKind) {
+  using svc::Event;
+  using svc::EventKind;
+  {
+    Event e;
+    e.kind = EventKind::Submit;
+    e.t = 0.5;
+    e.seq = 3;
+    e.spec = rt_spec();
+    const Event d = svc::Journal::decode_event(svc::Journal::encode(e));
+    EXPECT_EQ(d.kind, EventKind::Submit);
+    EXPECT_EQ(d.t, 0.5);
+    EXPECT_EQ(d.seq, 3);
+    EXPECT_TRUE(spec_eq(d.spec, e.spec));
+  }
+  {
+    Event e;
+    e.kind = EventKind::Slice;
+    e.t = 1.25e-3;
+    e.seq = 9;
+    e.host = 1;
+    e.cost = 3.5e-4;
+    e.slice_seconds = 3.25e-4;
+    e.step_after = 30;
+    e.resume_step = 20;
+    e.attempts = 2;
+    e.resumed = true;
+    e.failed = true;
+    e.error = "self-healing gave up";
+    const Event d = svc::Journal::decode_event(svc::Journal::encode(e));
+    EXPECT_EQ(d.host, 1);
+    EXPECT_EQ(d.cost, 3.5e-4);
+    EXPECT_EQ(d.slice_seconds, 3.25e-4);
+    EXPECT_EQ(d.step_after, 30);
+    EXPECT_EQ(d.resume_step, 20);
+    EXPECT_EQ(d.attempts, 2);
+    EXPECT_FALSE(d.started);
+    EXPECT_TRUE(d.resumed);
+    EXPECT_FALSE(d.done);
+    EXPECT_TRUE(d.failed);
+    EXPECT_EQ(d.error, "self-healing gave up");
+  }
+  {
+    Event e;
+    e.kind = EventKind::Preempt;
+    e.seq = 0;
+    e.host = 0;
+    e.cost = 1e-5;
+    e.resume_step = 10;
+    md::EnergySample s;
+    s.step = 10;
+    s.e_lj = -1.5;
+    s.temperature = 293.0;
+    e.series = {s};
+    const Event d = svc::Journal::decode_event(svc::Journal::encode(e));
+    ASSERT_EQ(d.series.size(), 1u);
+    EXPECT_EQ(d.series[0].step, 10);
+    EXPECT_EQ(d.series[0].e_lj, -1.5);
+    EXPECT_EQ(d.series[0].temperature, 293.0);
+  }
+  {
+    Event e;
+    e.kind = EventKind::Complete;
+    e.seq = 4;
+    e.x.push_back(Vec3f{1.0f, 2.0f, 3.0f});
+    e.v.push_back(Vec3f{-0.5f, 0.25f, 0.125f});
+    const Event d = svc::Journal::decode_event(svc::Journal::encode(e));
+    ASSERT_EQ(d.x.size(), 1u);
+    ASSERT_EQ(d.v.size(), 1u);
+    EXPECT_EQ(std::memcmp(&d.x[0], &e.x[0], sizeof(Vec3f)), 0);
+    EXPECT_EQ(std::memcmp(&d.v[0], &e.v[0], sizeof(Vec3f)), 0);
+  }
+  {
+    Event e;
+    e.kind = EventKind::Retry;
+    e.seq = 2;
+    e.not_before = 0.125;
+    e.deadline_abs = 0.5;
+    e.deadline_miss = true;
+    const Event d = svc::Journal::decode_event(svc::Journal::encode(e));
+    EXPECT_EQ(d.not_before, 0.125);
+    EXPECT_EQ(d.deadline_abs, 0.5);
+    EXPECT_TRUE(d.deadline_miss);
+  }
+  // Truncated payloads are real corruption, not silently tolerated.
+  Event e;
+  e.kind = svc::EventKind::Submit;
+  e.spec = rt_spec();
+  std::string enc = svc::Journal::encode(e);
+  enc.resize(enc.size() - 3);
+  EXPECT_THROW((void)svc::Journal::decode_event(enc), Error);
+  enc = svc::Journal::encode(e) + "xx";
+  EXPECT_THROW((void)svc::Journal::decode_event(enc), Error);
+}
+
+TEST(JournalWire, SnapshotRoundTrips) {
+  svc::Snapshot s;
+  s.now = 2.5e-3;
+  s.stats.submitted = 7;
+  s.stats.completed = 4;
+  s.stats.deadline_misses = 1;
+  s.stats.max_queue_depth = 3;
+  s.stats.latency.observe(1e-4);
+  s.stats.latency.observe(2e-3);
+  svc::Tenant t;
+  t.name = "acme";
+  t.quota = 3;
+  t.in_flight = 1;
+  t.submitted = 5;
+  t.busy_seconds = 0.75;
+  s.tenants.push_back(t);
+  svc::Host h;
+  h.id = 0;
+  h.busy_until = 1e-3;
+  h.job = 2;
+  h.slices = 9;
+  s.hosts.push_back(h);
+  s.queue = {2, 5, 3};
+  svc::JobImage im;
+  im.spec = rt_spec();
+  im.state = static_cast<std::uint8_t>(svc::JobState::Preempted);
+  im.not_before = 1e-3;
+  im.attempts = 1;
+  im.resume_step = 20;
+  im.journal_step = 30;
+  im.last_slice.seconds = 1e-4;
+  im.last_slice.done = false;
+  im.x.push_back(Vec3f{9.0f, 8.0f, 7.0f});
+  s.jobs.push_back(im);
+
+  const svc::Snapshot d =
+      svc::Journal::decode_snapshot(svc::Journal::encode_snapshot(s));
+  EXPECT_EQ(d.now, s.now);
+  EXPECT_EQ(d.stats.submitted, 7u);
+  EXPECT_EQ(d.stats.completed, 4u);
+  EXPECT_EQ(d.stats.deadline_misses, 1u);
+  EXPECT_EQ(d.stats.max_queue_depth, 3u);
+  EXPECT_EQ(d.stats.latency.count(), 2u);
+  EXPECT_EQ(d.stats.latency.sum(), s.stats.latency.sum());
+  EXPECT_EQ(d.stats.latency.min(), 1e-4);
+  EXPECT_EQ(d.stats.latency.max(), 2e-3);
+  EXPECT_EQ(d.stats.latency.buckets(), s.stats.latency.buckets());
+  ASSERT_EQ(d.tenants.size(), 1u);
+  EXPECT_EQ(d.tenants[0].name, "acme");
+  EXPECT_EQ(d.tenants[0].in_flight, 1);
+  EXPECT_EQ(d.tenants[0].busy_seconds, 0.75);
+  ASSERT_EQ(d.hosts.size(), 1u);
+  EXPECT_EQ(d.hosts[0].job, 2);
+  EXPECT_EQ(d.hosts[0].slices, 9u);
+  EXPECT_EQ(d.queue, s.queue);
+  ASSERT_EQ(d.jobs.size(), 1u);
+  EXPECT_TRUE(spec_eq(d.jobs[0].spec, im.spec));
+  EXPECT_EQ(d.jobs[0].state, im.state);
+  EXPECT_EQ(d.jobs[0].resume_step, 20);
+  EXPECT_EQ(d.jobs[0].journal_step, 30);
+  ASSERT_EQ(d.jobs[0].x.size(), 1u);
+  EXPECT_EQ(std::memcmp(&d.jobs[0].x[0], &im.x[0], sizeof(Vec3f)), 0);
+}
+
+TEST(HistogramRestore, ValidatesImages) {
+  Histogram h;
+  EXPECT_THROW(h.restore({}, {1}, 1, 0.5, 0.5, 0.5), Error);  // no bounds
+  EXPECT_THROW(h.restore({1.0, 2.0}, {1, 0}, 1, 0.5, 0.5, 0.5),
+               Error);  // counts != bounds+1
+  EXPECT_THROW(h.restore({2.0, 1.0}, {1, 0, 0}, 1, 0.5, 0.5, 0.5),
+               Error);  // unsorted
+  EXPECT_THROW(h.restore({1.0, 2.0}, {1, 0, 0}, 2, 0.5, 0.5, 0.5),
+               Error);  // sum(counts) != count
+  EXPECT_NO_THROW(h.restore({1.0, 2.0}, {1, 1, 0}, 2, 2.0, 0.5, 1.5));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 1.5);
+}
+
+// --- end-to-end: journaled runs, crash points, recovery bit-identity ---
+
+svc::JobSpec spec_named(const char* tenant, const char* name,
+                        std::size_t particles, int steps) {
+  svc::JobSpec s;
+  s.tenant = tenant;
+  s.name = name;
+  s.particles = particles;
+  s.steps = steps;
+  return s;
+}
+
+svc::ServiceOptions journal_options(const std::string& base,
+                                    bool with_journal) {
+  svc::ServiceOptions o;
+  o.hosts = 1;  // one host: the priority arrival must preempt
+  o.queue_limit = 4;
+  o.tenant_quota = 3;
+  o.slice_steps = 10;
+  o.max_job_retries = 1;
+  o.retry_delay_s = 1e-4;
+  o.checkpoint_dir = base + "/cpt";
+  if (with_journal) o.journal_dir = base + "/journal";
+  return o;
+}
+
+/// A workload that exercises every event kind except the admission
+/// rejections (covered by RecoversAdmissionRejections below): preemption
+/// (priority arrival onto the single host), resume, poison-job retry +
+/// quarantine, and three completions.
+std::vector<svc::JobSpec> workload_specs() {
+  svc::JobSpec lo = spec_named("batch", "long", 384, 40);
+  svc::JobSpec hi = spec_named("vip", "urgent", 96, 10);
+  hi.priority = 5;
+  hi.arrival_s = 1e-9;
+  svc::JobSpec poison = spec_named("acme", "poison", 96, 10);
+  poison.ranks = 2;
+  poison.faults = "rank_crash:1.0,seed:3";
+  poison.arrival_s = 2e-9;
+  svc::JobSpec ok = spec_named("globex", "fine", 96, 20);
+  ok.arrival_s = 3e-9;
+  return {lo, hi, poison, ok};
+}
+
+void submit_workload(svc::JobScheduler& s) {
+  for (const svc::JobSpec& spec : workload_specs()) s.submit(spec);
+}
+
+/// The crash-recovery client contract: submissions whose journal record
+/// never became durable were never accepted, so the client re-submits them
+/// after recovery (seq order is deterministic, so the tail is exactly the
+/// workload's suffix).
+void resubmit_tail(svc::JobScheduler& s) {
+  const std::vector<svc::JobSpec> specs = workload_specs();
+  for (std::size_t i = s.jobs().size(); i < specs.size(); ++i) {
+    s.submit(specs[i]);
+  }
+}
+
+void hexd(std::ostringstream& os, double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  os << std::hex << u << std::dec << ' ';
+}
+
+std::uint64_t fnv(const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ b[i]) * 1099511628211ull;
+  return h;
+}
+
+/// Bit-exact dump of every externally observable scheduler outcome: job
+/// terminal states/series/particle state, per-tenant and per-host
+/// accounting, and the full stats block including the latency histogram.
+std::string capture(const svc::JobScheduler& s) {
+  std::ostringstream os;
+  for (const auto& jp : s.jobs()) {
+    const svc::Job& j = *jp;
+    os << j.display_name() << ' ' << to_string(j.state) << " att"
+       << j.attempts() << " pre" << j.preemptions << ' ';
+    hexd(os, j.admit_s);
+    hexd(os, j.finish_s);
+    hexd(os, j.not_before);
+    hexd(os, j.deadline_abs);
+    hexd(os, j.busy_seconds);
+    hexd(os, j.last_slice.seconds);
+    os << j.last_slice.done << j.last_slice.failed << ' ' << j.last_slice.error
+       << " x" << j.final_x().size() << ':'
+       << fnv(j.final_x().data(), j.final_x().size() * sizeof(Vec3f)) << " v"
+       << fnv(j.final_v().data(), j.final_v().size() * sizeof(Vec3f)) << " s"
+       << j.energy_series().size() << ':'
+       << fnv(j.energy_series().data(),
+              j.energy_series().size() * sizeof(md::EnergySample))
+       << '\n';
+  }
+  for (const auto& t : s.tenants()) {
+    os << t.name << ' ' << t.quota << ' ' << t.in_flight << ' ' << t.submitted
+       << ' ' << t.completed << ' ' << t.rejected << ' ' << t.quarantined
+       << ' ';
+    hexd(os, t.busy_seconds);
+    os << '\n';
+  }
+  for (const auto& h : s.hosts()) {
+    os << 'h' << h.id << ' ' << h.job << ' ' << h.slices << ' ';
+    hexd(os, h.busy_seconds);
+    os << '\n';
+  }
+  const svc::ServiceStats& st = s.stats();
+  os << st.submitted << ' ' << st.admitted << ' ' << st.completed << ' '
+     << st.rejected_queue << ' ' << st.rejected_quota << ' ' << st.shed << ' '
+     << st.preemptions << ' ' << st.resumes << ' ' << st.retries << ' '
+     << st.quarantined << ' ' << st.deadline_misses << ' '
+     << st.max_queue_depth << " lat" << st.latency.count() << ' ';
+  hexd(os, st.latency.sum());
+  hexd(os, st.latency.min());
+  hexd(os, st.latency.max());
+  for (const std::uint64_t c : st.latency.buckets()) os << c << ',';
+  return os.str();
+}
+
+TEST(JournalService, JournalingLeavesOutcomesUntouched) {
+  const std::string base_off = fresh_dir("swgmx_jsvc_off");
+  svc::JobScheduler plain(journal_options(base_off, false));
+  submit_workload(plain);
+  plain.run_until_idle();
+  EXPECT_EQ(plain.journal(), nullptr);
+
+  const std::string base_on = fresh_dir("swgmx_jsvc_on");
+  svc::JobScheduler journaled(journal_options(base_on, true));
+  submit_workload(journaled);
+  journaled.run_until_idle();
+
+  EXPECT_EQ(capture(plain), capture(journaled));
+  ASSERT_NE(journaled.journal(), nullptr);
+  EXPECT_GT(journaled.journal()->events_appended(), 10u);
+  // The file replays to exactly what was appended.
+  EXPECT_TRUE(std::filesystem::exists(journaled.journal()->path()));
+}
+
+TEST(JournalService, RefusesSubmissionsOverUnrecoveredHistory) {
+  const std::string base = fresh_dir("swgmx_jsvc_guard");
+  const svc::ServiceOptions opt = journal_options(base, true);
+  {
+    FaultGuard crash("svc_crash:2");
+    svc::JobScheduler s(opt);
+    EXPECT_THROW(submit_workload(s), svc::ServiceCrash);
+  }
+  svc::JobScheduler fresh(opt);
+  EXPECT_THROW(fresh.submit(spec_named("acme", "nope", 96, 10)), Error);
+  EXPECT_NO_THROW((void)fresh.recover());
+}
+
+TEST(JournalService, CrashAtEveryKindRecoversBitIdentical) {
+  // Reference: uninterrupted, journal off (proves recovery converges to
+  // the never-journaled outcome, not merely to another journaled run).
+  const std::string base_ref = fresh_dir("swgmx_jsvc_ref");
+  svc::JobScheduler ref(journal_options(base_ref, false));
+  submit_workload(ref);
+  ref.run_until_idle();
+  const std::string want = capture(ref);
+
+  // Crash-free journaled run: harvest the event stream to pick one crash
+  // point per kind plus the last event.
+  const std::string base_probe = fresh_dir("swgmx_jsvc_probe");
+  std::vector<svc::EventKind> kinds;
+  {
+    svc::JobScheduler probe(journal_options(base_probe, true));
+    submit_workload(probe);
+    probe.run_until_idle();
+    ASSERT_NE(probe.journal(), nullptr);
+    kinds = probe.journal()->appended_kinds();
+  }
+  ASSERT_GT(kinds.size(), 4u);
+  std::vector<std::uint64_t> crash_points;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    bool first = true;
+    for (std::size_t k = 0; k < i; ++k) first &= kinds[k] != kinds[i];
+    if (first) crash_points.push_back(i);
+  }
+  crash_points.push_back(kinds.size() - 1);
+
+  for (const std::uint64_t point : crash_points) {
+    const std::string base =
+        fresh_dir(("swgmx_jsvc_crash" + std::to_string(point)).c_str());
+    const svc::ServiceOptions opt = journal_options(base, true);
+    bool crashed = false;
+    {
+      FaultGuard crash(("svc_crash:" + std::to_string(point)).c_str());
+      svc::JobScheduler s(opt);
+      try {
+        submit_workload(s);
+        s.run_until_idle();
+      } catch (const svc::ServiceCrash&) {
+        crashed = true;
+      }
+    }
+    ASSERT_TRUE(crashed) << "crash point " << point << " ("
+                         << to_string(kinds[point]) << ") never fired";
+    svc::JobScheduler recovered(opt);
+    (void)recovered.recover();
+    resubmit_tail(recovered);
+    recovered.run_until_idle();
+    EXPECT_EQ(capture(recovered), want)
+        << "divergence after crash at event " << point << " ("
+        << to_string(kinds[point]) << ")";
+  }
+}
+
+TEST(JournalService, CompactionSnapshotRecoversBitIdentical) {
+  const std::string base_ref = fresh_dir("swgmx_jsvc_cref");
+  svc::JobScheduler ref(journal_options(base_ref, false));
+  submit_workload(ref);
+  ref.run_until_idle();
+  const std::string want = capture(ref);
+
+  const std::string base = fresh_dir("swgmx_jsvc_compact");
+  svc::ServiceOptions opt = journal_options(base, true);
+  opt.journal_compact_every = 4;  // force several compactions per run
+  bool crashed = false;
+  std::uint64_t events = 0;
+  {
+    // Crash right after a compaction boundary so recovery must start from
+    // a snapshot record.
+    FaultGuard crash("svc_crash:9");
+    svc::JobScheduler s(opt);
+    try {
+      submit_workload(s);
+      s.run_until_idle();
+    } catch (const svc::ServiceCrash&) {
+      crashed = true;
+      ASSERT_NE(s.journal(), nullptr);
+      events = s.journal()->events_appended();
+    }
+  }
+  ASSERT_TRUE(crashed);
+  ASSERT_EQ(events, 10u);
+  svc::JobScheduler recovered(opt);
+  const auto sum = recovered.recover();
+  EXPECT_TRUE(sum.snapshot_loaded);
+  EXPECT_LT(sum.events_replayed, 4u);
+  recovered.run_until_idle();
+  EXPECT_EQ(capture(recovered), want);
+}
+
+TEST(JournalService, TornTailRecoversBitIdentical) {
+  const std::string base_ref = fresh_dir("swgmx_jsvc_tref");
+  svc::JobScheduler ref(journal_options(base_ref, false));
+  submit_workload(ref);
+  ref.run_until_idle();
+  const std::string want = capture(ref);
+
+  const std::string base = fresh_dir("swgmx_jsvc_torn");
+  const svc::ServiceOptions opt = journal_options(base, true);
+  {
+    svc::JobScheduler s(opt);
+    submit_workload(s);
+    s.run_until_idle();
+  }
+  {
+    // Tear the journal's tail: the last event becomes a half-written frame.
+    const std::string path = base + "/journal/svc.journal";
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 5);
+  }
+  svc::JobScheduler recovered(opt);
+  const auto sum = recovered.recover();
+  EXPECT_EQ(sum.frames_dropped, 1u);
+  recovered.run_until_idle();  // re-decides the truncated suffix
+  EXPECT_EQ(capture(recovered), want);
+}
+
+TEST(JournalService, RecoversAdmissionRejections) {
+  // The admission-control workload from test_service: quota reject, queue
+  // reject and a shed victim all present. Crash late so every rejection is
+  // replayed from the journal rather than re-decided.
+  auto submit_admission = [](svc::JobScheduler& s) {
+    s.submit(spec_named("acme", "q0", 96, 10));
+    svc::JobSpec q = spec_named("acme", "q1", 96, 10);
+    q.arrival_s = 1e-9;
+    s.submit(q);
+    q.name = "q2";
+    s.submit(q);
+    q.name = "q3";
+    s.submit(q);
+    svc::JobSpec spike = spec_named("spike", "s0", 96, 10);
+    spike.arrival_s = 1e-9;
+    s.submit(spike);
+    svc::JobSpec hi = spec_named("vip", "hi", 96, 10);
+    hi.priority = 3;
+    hi.arrival_s = 2e-9;
+    s.submit(hi);
+  };
+  auto opts = [](const std::string& base, bool journal) {
+    svc::ServiceOptions o;
+    o.hosts = 1;
+    o.queue_limit = 2;
+    o.tenant_quota = 3;
+    o.slice_steps = 10;
+    o.max_job_retries = 1;
+    o.retry_delay_s = 1e-4;
+    o.checkpoint_dir = base + "/cpt";
+    if (journal) o.journal_dir = base + "/journal";
+    return o;
+  };
+  const std::string base_ref = fresh_dir("swgmx_jsvc_aref");
+  svc::JobScheduler ref(opts(base_ref, false));
+  submit_admission(ref);
+  ref.run_until_idle();
+  ASSERT_EQ(ref.stats().shed, 1u);
+  ASSERT_EQ(ref.stats().rejected_queue, 1u);
+  ASSERT_EQ(ref.stats().rejected_quota, 1u);
+  const std::string want = capture(ref);
+
+  const std::string base = fresh_dir("swgmx_jsvc_admit");
+  bool crashed = false;
+  {
+    FaultGuard crash("svc_crash:13");
+    svc::JobScheduler s(opts(base, true));
+    try {
+      submit_admission(s);
+      s.run_until_idle();
+    } catch (const svc::ServiceCrash&) {
+      crashed = true;
+    }
+  }
+  ASSERT_TRUE(crashed);
+  svc::JobScheduler recovered(opts(base, true));
+  (void)recovered.recover();
+  recovered.run_until_idle();
+  EXPECT_EQ(capture(recovered), want);
+}
+
+TEST(JournalService, RecoveryInvariantAcrossThreadCounts) {
+  const std::string base_ref = fresh_dir("swgmx_jsvc_thref");
+  svc::JobScheduler ref(journal_options(base_ref, false));
+  submit_workload(ref);
+  ref.run_until_idle();
+  const std::string want = capture(ref);
+
+  for (const int threads : {1, 8}) {
+    common::ThreadPool::set_global_size(threads);
+    const std::string base =
+        fresh_dir(("swgmx_jsvc_thr" + std::to_string(threads)).c_str());
+    const svc::ServiceOptions opt = journal_options(base, true);
+    bool crashed = false;
+    {
+      FaultGuard crash("svc_crash:12");
+      svc::JobScheduler s(opt);
+      try {
+        submit_workload(s);
+        s.run_until_idle();
+      } catch (const svc::ServiceCrash&) {
+        crashed = true;
+      }
+    }
+    ASSERT_TRUE(crashed) << "threads=" << threads;
+    svc::JobScheduler recovered(opt);
+    (void)recovered.recover();
+    recovered.run_until_idle();
+    EXPECT_EQ(capture(recovered), want) << "threads=" << threads;
+  }
+  common::ThreadPool::set_global_size(0);
+}
+
+}  // namespace
+}  // namespace swgmx

@@ -189,6 +189,39 @@ TEST(ServiceSpec, RejectsUnknownDuplicateAndOutOfRange) {
   EXPECT_NO_THROW(svc::parse_service_spec(nullptr));
 }
 
+TEST(ServiceSpec, ParsesJournalKeys) {
+  const svc::ServiceOptions o = svc::parse_service_spec(
+      "hosts:1,journal_dir:/tmp/j,journal_compact_every:128");
+  EXPECT_EQ(o.journal_dir, "/tmp/j");
+  EXPECT_EQ(o.journal_compact_every, 128);
+  // Defaults: journaling off, compaction cadence positive.
+  const svc::ServiceOptions d = svc::parse_service_spec("");
+  EXPECT_TRUE(d.journal_dir.empty());
+  EXPECT_GT(d.journal_compact_every, 0);
+}
+
+TEST(ServiceSpec, RejectsBadJournalKeys) {
+  // Same error-path discipline as every other key: empty value, zero/negative
+  // range, duplicates, and unknown-key parity for near-miss spellings.
+  EXPECT_THROW(svc::parse_service_spec("journal_dir:"), Error);
+  EXPECT_THROW(svc::parse_service_spec("journal_compact_every:0"), Error);
+  EXPECT_THROW(svc::parse_service_spec("journal_compact_every:-4"), Error);
+  EXPECT_THROW(
+      svc::parse_service_spec("journal_dir:/tmp/a,journal_dir:/tmp/b"), Error);
+  EXPECT_THROW(svc::parse_service_spec(
+                   "journal_compact_every:8,journal_compact_every:9"),
+               Error);
+  try {
+    svc::parse_service_spec("journal:on");
+    FAIL() << "unknown key must not parse";
+  } catch (const Error& e) {
+    // The unknown-key message lists valid keys; the new ones must be there.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("journal_dir"), std::string::npos) << what;
+    EXPECT_NE(what.find("journal_compact_every"), std::string::npos) << what;
+  }
+}
+
 // --- (a) concurrent jobs bit-identical to solo, across thread counts ---
 
 TEST(ServiceIsolation, TwoConcurrentJobsMatchSoloAcrossThreadCounts) {

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Inspect a SW_GROMACS scheduler write-ahead journal (stdlib only).
+
+On-disk format (src/io/frame_log.cpp + src/svc/journal.cpp):
+  magic u64 "SWGXWAL1", then frames of
+    len u32 | crc u32 | payload[len]
+  where crc is IEEE CRC-32 (zlib.crc32) of the payload. Every payload opens
+  with the 13-byte record prefix: kind u8 | t f64 | seq i32 (little-endian).
+  Event kinds 1..10 are scheduler transitions (submit .. complete); kind 32
+  is a compaction snapshot and is only legal as the first frame.
+
+Prints one line per frame (offset, size, kind, scheduler clock, job seq)
+and a trailer summarizing the scan. A torn or CRC-bad suffix is reported
+exactly the way recovery treats it: everything from the first bad frame on
+is dead weight that JobScheduler::recover() would truncate.
+
+Exit status: 0 = healthy to the last byte, 1 = corrupt (bad magic, CRC
+mismatch, torn frame, snapshot after frame 0, undecodable prefix),
+2 = usage. `--selftest` builds synthetic journals and checks all three.
+"""
+
+import os
+import struct
+import sys
+import tempfile
+import zlib
+
+MAGIC = 0x314C4157_58475753  # "SWGXWAL1" little-endian
+
+KIND_NAMES = {
+    1: "submit",
+    2: "admit",
+    3: "reject_quota",
+    4: "reject_queue",
+    5: "shed",
+    6: "slice",
+    7: "preempt",
+    8: "retry",
+    9: "quarantine",
+    10: "complete",
+    32: "snapshot",
+}
+
+
+def fail(msg):
+    print(f"journal_dump: {msg}", file=sys.stderr)
+    return 1
+
+
+def dump(path, quiet=False):
+    try:
+        data = open(path, "rb").read()
+    except OSError as e:
+        return fail(f"{path}: {e}")
+    if len(data) < 8:
+        return fail(f"{path}: {len(data)} bytes, too short for the magic")
+    (magic,) = struct.unpack_from("<Q", data, 0)
+    if magic != MAGIC:
+        return fail(f"{path}: not a SW_GROMACS journal (magic {magic:#018x})")
+    if not quiet:
+        print(f"file:  {path}")
+        print(f"size:  {len(data)} bytes")
+
+    pos = 8
+    frames = 0
+    bad = None
+    while pos < len(data):
+        if pos + 8 > len(data):
+            bad = f"torn frame header at offset {pos}"
+            break
+        length, crc = struct.unpack_from("<II", data, pos)
+        if length == 0 or length >= 1 << 30:
+            bad = f"implausible frame length {length} at offset {pos}"
+            break
+        if pos + 8 + length > len(data):
+            bad = (f"torn payload at offset {pos} "
+                   f"(frame wants {length} bytes, file has "
+                   f"{len(data) - pos - 8})")
+            break
+        payload = data[pos + 8:pos + 8 + length]
+        if zlib.crc32(payload) != crc:
+            bad = f"CRC mismatch at offset {pos} (frame {frames})"
+            break
+        if length < 13:
+            bad = (f"frame {frames} at offset {pos}: {length} bytes, "
+                   f"shorter than the record prefix")
+            break
+        kind, t = struct.unpack_from("<Bd", payload, 0)
+        (seq,) = struct.unpack_from("<i", payload, 9)
+        name = KIND_NAMES.get(kind)
+        if name is None:
+            bad = f"frame {frames} at offset {pos}: unknown kind {kind}"
+            break
+        if kind == 32 and frames != 0:
+            bad = (f"frame {frames} at offset {pos}: compaction snapshot "
+                   f"is only legal as the first frame")
+            break
+        if not quiet:
+            print(f"frame {frames:5d}  off={pos:<10d} len={length:<8d} "
+                  f"{name:<12s} t={t:<22.17g} seq={seq}")
+        frames += 1
+        pos += 8 + length
+
+    if not quiet:
+        print(f"frames: {frames} clean")
+    if bad is not None:
+        print(f"journal_dump: {path}: {bad}; {len(data) - pos} trailing "
+              f"byte(s) would be truncated by recovery", file=sys.stderr)
+        return 1
+    if not quiet:
+        print("verdict: healthy")
+    return 0
+
+
+# --- selftest -------------------------------------------------------------
+
+def _frame(payload):
+    return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+
+
+def _record(kind, t, seq, tail=b""):
+    return struct.pack("<Bdi", kind, t, seq) + tail
+
+
+def selftest():
+    failures = 0
+
+    def check(name, path, want):
+        nonlocal failures
+        got = dump(path, quiet=True)
+        if got != want:
+            print(f"selftest FAIL: {name}: exit {got}, wanted {want}",
+                  file=sys.stderr)
+            failures += 1
+
+    with tempfile.TemporaryDirectory(prefix="journal_dump_selftest") as d:
+        magic = struct.pack("<Q", MAGIC)
+
+        healthy = os.path.join(d, "healthy")
+        with open(healthy, "wb") as f:
+            f.write(magic)
+            f.write(_frame(_record(32, 0.0, -1, b"\x00" * 40)))  # snapshot
+            for i, kind in enumerate((1, 2, 6, 10)):
+                f.write(_frame(_record(kind, 0.25 * i, i)))
+        check("healthy journal", healthy, 0)
+
+        empty = os.path.join(d, "empty")
+        with open(empty, "wb") as f:
+            f.write(magic)
+        check("magic-only journal", empty, 0)
+
+        badmagic = os.path.join(d, "badmagic")
+        with open(badmagic, "wb") as f:
+            f.write(b"notajournal!")
+        check("bad magic", badmagic, 1)
+
+        torn = os.path.join(d, "torn")
+        with open(torn, "wb") as f:
+            f.write(magic)
+            f.write(_frame(_record(1, 0.0, 0)))
+            whole = _frame(_record(2, 1.0, 0))
+            f.write(whole[:len(whole) - 5])  # power cut mid-append
+        check("torn tail", torn, 1)
+
+        flipped = os.path.join(d, "crcflip")
+        with open(flipped, "wb") as f:
+            f.write(magic)
+            f.write(_frame(_record(1, 0.0, 0)))
+            frame = bytearray(_frame(_record(2, 1.0, 0)))
+            frame[10] ^= 0x04  # one payload bit, after the checksum
+            f.write(bytes(frame))
+        check("CRC flip", flipped, 1)
+
+        misplaced = os.path.join(d, "midsnapshot")
+        with open(misplaced, "wb") as f:
+            f.write(magic)
+            f.write(_frame(_record(1, 0.0, 0)))
+            f.write(_frame(_record(32, 1.0, -1, b"\x00" * 40)))
+        check("snapshot after frame 0", misplaced, 1)
+
+        check("missing file", os.path.join(d, "nope"), 1)
+
+    if failures:
+        return 1
+    print("journal_dump selftest: all journals classified correctly")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--selftest":
+        return selftest()
+    if len(argv) != 2 or argv[1].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return dump(argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
